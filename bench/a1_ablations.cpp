@@ -1,0 +1,138 @@
+// A1 — ablations of the design choices DESIGN.md calls out.
+//
+//   BM_Woven_CacheOn / CacheOff — the weaver's match cache: with the cache
+//       disabled every page composition re-matches every pointcut of every
+//       aspect (the cost AspectJ pays at compile time, paid here per
+//       dispatch).
+//   BM_SaxCount vs BM_DomCount — streaming vs tree parsing for a
+//       single-pass consumer over the museum data.
+//   BM_AspectStack — dispatch cost as unrelated aspects accumulate
+//       (navigation + personalization + trail + k no-op aspects).
+#include <benchmark/benchmark.h>
+
+#include "aop/weaver.hpp"
+#include "core/navigation_aspect.hpp"
+#include "core/personalization.hpp"
+#include "core/renderer.hpp"
+#include "core/trail.hpp"
+#include "museum/museum.hpp"
+#include "xml/parser.hpp"
+#include "xml/sax.hpp"
+#include "xml/serializer.hpp"
+
+namespace {
+
+using navsep::hypermedia::AccessStructureKind;
+using navsep::museum::MuseumWorld;
+
+struct Fixture {
+  std::unique_ptr<MuseumWorld> world;
+  navsep::hypermedia::NavigationalModel nav;
+  std::unique_ptr<navsep::hypermedia::AccessStructure> igt;
+};
+
+Fixture make_fixture(std::size_t paintings) {
+  auto world = MuseumWorld::synthetic({.painters = 1,
+                                       .paintings_per_painter = paintings,
+                                       .movements = 2,
+                                       .seed = 17});
+  auto nav = world->derive_navigation();
+  Fixture f{std::move(world), std::move(nav), nullptr};
+  f.igt = f.world->paintings_structure(AccessStructureKind::IndexedGuidedTour,
+                                       f.nav, "painter-0");
+  return f;
+}
+
+void run_woven(benchmark::State& state, bool cache) {
+  Fixture f = make_fixture(30);
+  navsep::aop::Weaver weaver;
+  weaver.register_aspect(
+      navsep::core::NavigationAspect::from_arcs(f.igt->arcs()));
+  weaver.set_cache_enabled(cache);
+  navsep::core::SeparatedComposer composer(weaver);
+  const auto* node = f.nav.node("painter-0-work-1");
+  for (auto _ : state) {
+    std::string page = composer.compose_node_page(*node);
+    benchmark::DoNotOptimize(page);
+  }
+}
+
+void BM_Woven_CacheOn(benchmark::State& state) { run_woven(state, true); }
+void BM_Woven_CacheOff(benchmark::State& state) { run_woven(state, false); }
+
+void BM_AspectStack(benchmark::State& state) {
+  Fixture f = make_fixture(30);
+  navsep::aop::Weaver weaver;
+  weaver.register_aspect(
+      navsep::core::NavigationAspect::from_arcs(f.igt->arcs()));
+  navsep::core::UserProfile profile;
+  profile.greet = true;
+  weaver.register_aspect(
+      navsep::core::PersonalizationAspect::for_profile(profile));
+  navsep::core::Trail trail;
+  weaver.register_aspect(navsep::core::TrailAspect::create(trail));
+  // Pile on k inert aspects whose pointcuts never match page composition.
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    auto noop = std::make_shared<navsep::aop::Aspect>(
+        "noop-" + std::to_string(i));
+    noop->before("traverse(never-matching-subject)",
+                 [](navsep::aop::JoinPointContext&) {});
+    weaver.register_aspect(noop);
+  }
+  navsep::core::SeparatedComposer composer(weaver);
+  const auto* node = f.nav.node("painter-0-work-1");
+  for (auto _ : state) {
+    std::string page = composer.compose_node_page(*node);
+    benchmark::DoNotOptimize(page);
+  }
+  state.counters["aspects"] = static_cast<double>(weaver.aspect_names().size());
+}
+
+std::string big_museum_xml(std::size_t painters) {
+  auto world = MuseumWorld::synthetic({.painters = painters,
+                                       .paintings_per_painter = 8,
+                                       .movements = 4,
+                                       .seed = 23});
+  navsep::xml::Document doc;
+  auto& root = doc.set_root(navsep::xml::QName("museum"));
+  for (const std::string& pid : world->painter_ids()) {
+    root.append(world->painter_document(pid)->root()->clone());
+  }
+  return navsep::xml::write(doc, {.pretty = true});
+}
+
+void BM_SaxCount(benchmark::State& state) {
+  std::string text = big_museum_xml(static_cast<std::size_t>(state.range(0)));
+  std::size_t elements = 0;
+  for (auto _ : state) {
+    navsep::xml::sax::CountingHandler h;
+    navsep::xml::sax::parse(text, h);
+    elements = h.elements;
+    benchmark::DoNotOptimize(h);
+  }
+  state.counters["elements"] = static_cast<double>(elements);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+
+void BM_DomCount(benchmark::State& state) {
+  std::string text = big_museum_xml(static_cast<std::size_t>(state.range(0)));
+  std::size_t elements = 0;
+  for (auto _ : state) {
+    auto doc = navsep::xml::parse(text);
+    elements = 0;
+    doc->root()->walk([&](const navsep::xml::Element&) { ++elements; });
+    benchmark::DoNotOptimize(doc);
+  }
+  state.counters["elements"] = static_cast<double>(elements);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Woven_CacheOn);
+BENCHMARK(BM_Woven_CacheOff);
+BENCHMARK(BM_AspectStack)->Arg(0)->Arg(8)->Arg(32);
+BENCHMARK(BM_SaxCount)->Arg(50)->Arg(200);
+BENCHMARK(BM_DomCount)->Arg(50)->Arg(200);

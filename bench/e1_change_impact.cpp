@@ -1,0 +1,87 @@
+// E1 — the headline experiment (paper §5, the customer's change request).
+//
+// Switch a context of N paintings from an Index access structure to an
+// Indexed Guided Tour and count what a developer must touch:
+//
+//   tangled   — every member page of the context changes (files_touched
+//               grows linearly with N);
+//   separated — exactly one authored artifact changes (links.xml),
+//               regardless of N.
+//
+// Counters reported per run:
+//   files_touched  — authored artifacts with any diff
+//   files_total    — authored artifacts in the site
+//   lines_changed  — added+deleted lines across the touched artifacts
+//
+// Expected shape (paper): separated wins; the gap grows with N.
+#include <benchmark/benchmark.h>
+
+#include "core/migration.hpp"
+#include "museum/museum.hpp"
+
+namespace {
+
+using navsep::core::MigrationOptions;
+using navsep::core::MigrationReport;
+using navsep::hypermedia::AccessStructureKind;
+using navsep::museum::MuseumWorld;
+
+struct Setup {
+  std::unique_ptr<MuseumWorld> world;
+  navsep::hypermedia::NavigationalModel nav;
+  std::unique_ptr<navsep::hypermedia::AccessStructure> index;
+  std::unique_ptr<navsep::hypermedia::AccessStructure> igt;
+  MigrationOptions options;
+};
+
+Setup make_setup(std::size_t paintings) {
+  auto world = MuseumWorld::synthetic({.painters = 1,
+                                       .paintings_per_painter = paintings,
+                                       .movements = 3,
+                                       .seed = 42});
+  auto nav = world->derive_navigation();
+  Setup s{std::move(world), std::move(nav), nullptr, nullptr, {}};
+  s.index = s.world->paintings_structure(AccessStructureKind::Index, s.nav,
+                                         "painter-0");
+  s.igt = s.world->paintings_structure(AccessStructureKind::IndexedGuidedTour,
+                                       s.nav, "painter-0");
+  s.options.separated_fixed_artifacts = s.world->data_artifacts();
+  return s;
+}
+
+void report(benchmark::State& state, const MigrationReport& r) {
+  state.counters["tangled_files_touched"] =
+      static_cast<double>(r.tangled_authored.files_touched);
+  state.counters["tangled_files_total"] =
+      static_cast<double>(r.tangled_artifacts);
+  state.counters["tangled_lines_changed"] =
+      static_cast<double>(r.tangled_authored.line_stats.lines_changed());
+  state.counters["separated_files_touched"] =
+      static_cast<double>(r.separated_authored.files_touched);
+  state.counters["separated_files_total"] =
+      static_cast<double>(r.separated_artifacts);
+  state.counters["separated_lines_changed"] =
+      static_cast<double>(r.separated_authored.line_stats.lines_changed());
+  state.counters["rendered_pages_changed"] =
+      static_cast<double>(r.separated_rendered.files_touched);
+}
+
+void BM_ChangeImpact(benchmark::State& state) {
+  Setup s = make_setup(static_cast<std::size_t>(state.range(0)));
+  MigrationReport last{};
+  for (auto _ : state) {
+    last = navsep::core::measure_migration(s.nav, *s.index, *s.igt,
+                                           s.options);
+    benchmark::DoNotOptimize(last);
+  }
+  report(state, last);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ChangeImpact)
+    ->Arg(3)    // the paper's own context size (Guitar/Guernica/Avignon)
+    ->Arg(10)
+    ->Arg(30)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);

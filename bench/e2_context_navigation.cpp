@@ -1,0 +1,105 @@
+// E2 — context-dependent navigation (paper §2).
+//
+// The museum scenario: the successor of a painting depends on how it was
+// reached. This bench drives NavigationSession through
+//
+//   BM_TourWalk         — next() across a whole by-author context
+//   BM_ContextSwitch    — visit + through(family) re-contextualization
+//   BM_MixedSession     — a realistic browse: enter, walk, switch family,
+//                         walk, leave — with join points announced to a
+//                         weaver carrying an audit aspect
+//
+// Expected shape: per-step cost linear in context size (contexts are
+// ordered scans), constant-ish context switches.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "aop/weaver.hpp"
+#include "museum/museum.hpp"
+#include "site/session.hpp"
+
+namespace {
+
+using navsep::museum::MuseumWorld;
+
+struct Fixture {
+  std::unique_ptr<MuseumWorld> world;
+  navsep::hypermedia::NavigationalModel nav;
+  navsep::hypermedia::ContextFamily by_author;
+  navsep::hypermedia::ContextFamily by_movement;
+};
+
+std::unique_ptr<Fixture> make_fixture(std::size_t painters,
+                                      std::size_t paintings) {
+  auto world = MuseumWorld::synthetic({.painters = painters,
+                                       .paintings_per_painter = paintings,
+                                       .movements = 4,
+                                       .seed = 13});
+  auto nav = world->derive_navigation();
+  auto by_author = world->by_author(nav);
+  auto by_movement = world->by_movement(nav);
+  return std::unique_ptr<Fixture>(new Fixture{std::move(world),
+                                              std::move(nav),
+                                              std::move(by_author),
+                                              std::move(by_movement)});
+}
+
+void BM_TourWalk(benchmark::State& state) {
+  auto f = make_fixture(1, static_cast<std::size_t>(state.range(0)));
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    navsep::site::NavigationSession session(f->nav, {&f->by_author});
+    session.enter_context("ByAuthor", "painter-0", "painter-0-work-0");
+    steps = 0;
+    while (session.next()) ++steps;
+    benchmark::DoNotOptimize(session);
+  }
+  state.counters["steps"] = static_cast<double>(steps);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(steps));
+}
+
+void BM_ContextSwitch(benchmark::State& state) {
+  auto f = make_fixture(static_cast<std::size_t>(state.range(0)), 5);
+  navsep::site::NavigationSession session(
+      f->nav, {&f->by_author, &f->by_movement});
+  session.visit("painter-0-work-0");
+  bool flip = false;
+  for (auto _ : state) {
+    bool ok = session.through(flip ? "ByAuthor" : "ByMovement");
+    flip = !flip;
+    benchmark::DoNotOptimize(ok);
+  }
+}
+
+void BM_MixedSession(benchmark::State& state) {
+  auto f = make_fixture(static_cast<std::size_t>(state.range(0)), 5);
+  navsep::aop::Weaver weaver;
+  auto audit = std::make_shared<navsep::aop::Aspect>("audit");
+  std::size_t traversals = 0;
+  audit->before("traverse(*)", [&](navsep::aop::JoinPointContext&) {
+    ++traversals;
+  });
+  weaver.register_aspect(audit);
+
+  for (auto _ : state) {
+    navsep::site::NavigationSession session(
+        f->nav, {&f->by_author, &f->by_movement}, &weaver);
+    session.enter_context("ByAuthor", "painter-0", "painter-0-work-0");
+    session.next();
+    session.next();
+    session.through("ByMovement");
+    session.next();
+    session.prev();
+    session.leave_context();
+    benchmark::DoNotOptimize(session);
+  }
+  state.counters["audited_traversals"] = static_cast<double>(traversals);
+}
+
+}  // namespace
+
+BENCHMARK(BM_TourWalk)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_ContextSwitch)->Arg(10)->Arg(100);
+BENCHMARK(BM_MixedSession)->Arg(10)->Arg(100);

@@ -1,0 +1,74 @@
+// F2 — Figure 2: the Index and Indexed Guided Tour access structures.
+//
+// Regenerates the figure's two link graphs over a paintings context of N
+// members and reports their arc populations:
+//
+//   Index             — star:  2N arcs (N entries + N ups)
+//   GuidedTour        — chain: 2(N-1) arcs (next+prev)
+//   IndexedGuidedTour — star + chain: 2N + 2(N-1) arcs
+//   Menu              — two-level index over sqrt(N) sub-indexes
+//
+// Measured: arc materialization time. Expected shape: all linear in N;
+// IGT ≈ Index + GuidedTour.
+#include <benchmark/benchmark.h>
+
+#include "hypermedia/access.hpp"
+
+namespace {
+
+using namespace navsep::hypermedia;
+
+std::vector<Member> members(std::size_t n) {
+  std::vector<Member> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(Member{"painting-" + std::to_string(i),
+                         "Painting #" + std::to_string(i)});
+  }
+  return out;
+}
+
+template <typename Structure>
+void run(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Structure structure("paintings", members(n));
+  std::size_t arc_count = 0;
+  for (auto _ : state) {
+    auto arcs = structure.arcs();
+    arc_count = arcs.size();
+    benchmark::DoNotOptimize(arcs);
+  }
+  state.counters["arcs"] = static_cast<double>(arc_count);
+  state.counters["members"] = static_cast<double>(n);
+}
+
+void BM_Index(benchmark::State& state) { run<Index>(state); }
+void BM_GuidedTour(benchmark::State& state) { run<GuidedTour>(state); }
+void BM_IndexedGuidedTour(benchmark::State& state) {
+  run<IndexedGuidedTour>(state);
+}
+
+void BM_Menu(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t groups = std::max<std::size_t>(1, n / 10);
+  std::vector<std::unique_ptr<AccessStructure>> subs;
+  for (std::size_t g = 0; g < groups; ++g) {
+    subs.push_back(std::make_unique<Index>("group-" + std::to_string(g),
+                                           members(n / groups)));
+  }
+  Menu menu("museum", std::move(subs));
+  std::size_t arc_count = 0;
+  for (auto _ : state) {
+    auto arcs = menu.arcs();
+    arc_count = arcs.size();
+    benchmark::DoNotOptimize(arcs);
+  }
+  state.counters["arcs"] = static_cast<double>(arc_count);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Index)->Arg(3)->Arg(30)->Arg(300);
+BENCHMARK(BM_GuidedTour)->Arg(3)->Arg(30)->Arg(300);
+BENCHMARK(BM_IndexedGuidedTour)->Arg(3)->Arg(30)->Arg(300);
+BENCHMARK(BM_Menu)->Arg(30)->Arg(300);

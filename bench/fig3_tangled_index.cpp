@@ -1,0 +1,81 @@
+// F3 — Figure 3: the Guitar node implemented with an Index access
+// structure, tangled style.
+//
+// Regenerates the figure's page (checked for shape in core_test) and
+// measures tangled rendering: one member page, the index page, and the
+// whole site, as the context grows. Expected shape: member-page cost is
+// O(1) in context size (Index pages carry one "up" anchor); index-page and
+// site cost grow linearly.
+#include <benchmark/benchmark.h>
+
+#include "core/renderer.hpp"
+#include "museum/museum.hpp"
+
+namespace {
+
+using navsep::core::TangledRenderer;
+using navsep::hypermedia::AccessStructureKind;
+using navsep::museum::MuseumWorld;
+
+struct Site {
+  std::unique_ptr<MuseumWorld> world;
+  navsep::hypermedia::NavigationalModel nav;
+  std::unique_ptr<navsep::hypermedia::AccessStructure> structure;
+};
+
+Site make_site(std::size_t paintings, AccessStructureKind kind) {
+  auto world = MuseumWorld::synthetic({.painters = 1,
+                                       .paintings_per_painter = paintings,
+                                       .movements = 2,
+                                       .seed = 11});
+  auto nav = world->derive_navigation();
+  Site s{std::move(world), std::move(nav), nullptr};
+  s.structure = s.world->paintings_structure(kind, s.nav, "painter-0");
+  return s;
+}
+
+void BM_TangledMemberPage(benchmark::State& state) {
+  Site s = make_site(static_cast<std::size_t>(state.range(0)),
+                     AccessStructureKind::Index);
+  TangledRenderer renderer(s.nav, *s.structure);
+  const auto* node = s.nav.node("painter-0-work-0");
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::string page = renderer.render_node_page(*node);
+    bytes = page.size();
+    benchmark::DoNotOptimize(page);
+  }
+  state.counters["page_bytes"] = static_cast<double>(bytes);
+}
+
+void BM_TangledIndexPage(benchmark::State& state) {
+  Site s = make_site(static_cast<std::size_t>(state.range(0)),
+                     AccessStructureKind::Index);
+  TangledRenderer renderer(s.nav, *s.structure);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::string page = renderer.render_structure_page();
+    bytes = page.size();
+    benchmark::DoNotOptimize(page);
+  }
+  state.counters["page_bytes"] = static_cast<double>(bytes);
+}
+
+void BM_TangledWholeSite(benchmark::State& state) {
+  Site s = make_site(static_cast<std::size_t>(state.range(0)),
+                     AccessStructureKind::Index);
+  TangledRenderer renderer(s.nav, *s.structure);
+  std::size_t pages = 0;
+  for (auto _ : state) {
+    auto site = renderer.render_site();
+    pages = site.size();
+    benchmark::DoNotOptimize(site);
+  }
+  state.counters["pages"] = static_cast<double>(pages);
+}
+
+}  // namespace
+
+BENCHMARK(BM_TangledMemberPage)->Arg(3)->Arg(30)->Arg(300);
+BENCHMARK(BM_TangledIndexPage)->Arg(3)->Arg(30)->Arg(300);
+BENCHMARK(BM_TangledWholeSite)->Arg(3)->Arg(30)->Arg(100);

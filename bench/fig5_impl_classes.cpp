@@ -1,0 +1,83 @@
+// F5 — Figure 5: the implementation class graphs of the two access
+// structures.
+//
+// The figure contrasts the object populations a developer instantiates for
+// Index vs IndexedGuidedTour. This bench builds the full implementation
+// stack at museum scale — conceptual instances, derived navigational
+// model, access-structure objects — and reports the object/edge counts.
+//
+// Expected shape: model derivation linear in entities; the IGT object
+// graph strictly contains the Index graph (same nodes, more arcs).
+#include <benchmark/benchmark.h>
+
+#include "museum/museum.hpp"
+
+namespace {
+
+using navsep::hypermedia::AccessStructureKind;
+using navsep::museum::MuseumWorld;
+using navsep::museum::SyntheticSpec;
+
+void BM_ConceptualInstantiation(benchmark::State& state) {
+  const auto painters = static_cast<std::size_t>(state.range(0));
+  SyntheticSpec spec{.painters = painters,
+                     .paintings_per_painter = 5,
+                     .movements = 3,
+                     .seed = 21};
+  std::size_t entities = 0;
+  for (auto _ : state) {
+    auto world = MuseumWorld::synthetic(spec);
+    entities = world->conceptual().size();
+    benchmark::DoNotOptimize(world);
+  }
+  state.counters["entities"] = static_cast<double>(entities);
+}
+
+void BM_NavigationalDerivation(benchmark::State& state) {
+  const auto painters = static_cast<std::size_t>(state.range(0));
+  auto world = MuseumWorld::synthetic({.painters = painters,
+                                       .paintings_per_painter = 5,
+                                       .movements = 3,
+                                       .seed = 21});
+  std::size_t nodes = 0, links = 0;
+  for (auto _ : state) {
+    auto nav = world->derive_navigation();
+    nodes = nav.nodes().size();
+    links = nav.links().size();
+    benchmark::DoNotOptimize(nav);
+  }
+  state.counters["nav_nodes"] = static_cast<double>(nodes);
+  state.counters["nav_links"] = static_cast<double>(links);
+}
+
+template <AccessStructureKind Kind>
+void BM_StructureObjects(benchmark::State& state) {
+  const auto paintings = static_cast<std::size_t>(state.range(0));
+  auto world = MuseumWorld::synthetic({.painters = 1,
+                                       .paintings_per_painter = paintings,
+                                       .movements = 3,
+                                       .seed = 21});
+  auto nav = world->derive_navigation();
+  std::size_t arcs = 0;
+  for (auto _ : state) {
+    auto structure = world->paintings_structure(Kind, nav, "painter-0");
+    arcs = structure->arcs().size();
+    benchmark::DoNotOptimize(structure);
+  }
+  state.counters["members"] = static_cast<double>(paintings);
+  state.counters["arcs"] = static_cast<double>(arcs);
+}
+
+void BM_IndexObjects(benchmark::State& state) {
+  BM_StructureObjects<AccessStructureKind::Index>(state);
+}
+void BM_IgtObjects(benchmark::State& state) {
+  BM_StructureObjects<AccessStructureKind::IndexedGuidedTour>(state);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ConceptualInstantiation)->Arg(10)->Arg(100)->Arg(500);
+BENCHMARK(BM_NavigationalDerivation)->Arg(10)->Arg(100)->Arg(500);
+BENCHMARK(BM_IndexObjects)->Arg(3)->Arg(30)->Arg(300);
+BENCHMARK(BM_IgtObjects)->Arg(3)->Arg(30)->Arg(300);

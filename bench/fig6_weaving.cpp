@@ -1,0 +1,103 @@
+// F6 — Figure 6: separating the navigational aspect — what the weaving
+// costs.
+//
+// Substitution 1 (DESIGN.md): the paper assumes compile-time AspectJ
+// weaving; we weave at runtime, so the separation has a measurable price.
+// This bench renders the same page
+//
+//   tangled          — navigation emitted inline (no weaver), and
+//   woven            — content render + PageCompose join point + the
+//                      navigation aspect's advice,
+//
+// and reports the overhead ratio. Both emit byte-identical pages (asserted
+// in core_test), so the delta is pure mechanism cost. Expected shape: a
+// small constant per page that amortizes to noise over whole-site builds.
+#include <benchmark/benchmark.h>
+
+#include "aop/weaver.hpp"
+#include "core/navigation_aspect.hpp"
+#include "core/renderer.hpp"
+#include "museum/museum.hpp"
+
+namespace {
+
+using navsep::hypermedia::AccessStructureKind;
+using navsep::museum::MuseumWorld;
+
+struct Fixture {
+  std::unique_ptr<MuseumWorld> world;
+  navsep::hypermedia::NavigationalModel nav;
+  std::unique_ptr<navsep::hypermedia::AccessStructure> igt;
+};
+
+Fixture make_fixture(std::size_t paintings) {
+  auto world = MuseumWorld::synthetic({.painters = 1,
+                                       .paintings_per_painter = paintings,
+                                       .movements = 2,
+                                       .seed = 5});
+  auto nav = world->derive_navigation();
+  Fixture f{std::move(world), std::move(nav), nullptr};
+  f.igt = f.world->paintings_structure(AccessStructureKind::IndexedGuidedTour,
+                                       f.nav, "painter-0");
+  return f;
+}
+
+void BM_TangledPage(benchmark::State& state) {
+  Fixture f = make_fixture(static_cast<std::size_t>(state.range(0)));
+  navsep::core::TangledRenderer renderer(f.nav, *f.igt);
+  const auto* node = f.nav.node("painter-0-work-1");
+  for (auto _ : state) {
+    std::string page = renderer.render_node_page(*node);
+    benchmark::DoNotOptimize(page);
+  }
+}
+
+void BM_WovenPage(benchmark::State& state) {
+  Fixture f = make_fixture(static_cast<std::size_t>(state.range(0)));
+  navsep::aop::Weaver weaver;
+  weaver.register_aspect(
+      navsep::core::NavigationAspect::from_arcs(f.igt->arcs()));
+  navsep::core::SeparatedComposer composer(weaver);
+  const auto* node = f.nav.node("painter-0-work-1");
+  for (auto _ : state) {
+    std::string page = composer.compose_node_page(*node);
+    benchmark::DoNotOptimize(page);
+  }
+  state.counters["advice_invocations_per_page"] =
+      static_cast<double>(weaver.stats().advice_invocations) /
+      static_cast<double>(weaver.stats().join_points_executed / 2);
+}
+
+void BM_WovenSite(benchmark::State& state) {
+  Fixture f = make_fixture(static_cast<std::size_t>(state.range(0)));
+  navsep::aop::Weaver weaver;
+  weaver.register_aspect(
+      navsep::core::NavigationAspect::from_arcs(f.igt->arcs()));
+  navsep::core::SeparatedComposer composer(weaver);
+  std::size_t pages = 0;
+  for (auto _ : state) {
+    auto site = composer.compose_site(f.nav, *f.igt);
+    pages = site.size();
+    benchmark::DoNotOptimize(site);
+  }
+  state.counters["pages"] = static_cast<double>(pages);
+}
+
+void BM_TangledSite(benchmark::State& state) {
+  Fixture f = make_fixture(static_cast<std::size_t>(state.range(0)));
+  navsep::core::TangledRenderer renderer(f.nav, *f.igt);
+  std::size_t pages = 0;
+  for (auto _ : state) {
+    auto site = renderer.render_site();
+    pages = site.size();
+    benchmark::DoNotOptimize(site);
+  }
+  state.counters["pages"] = static_cast<double>(pages);
+}
+
+}  // namespace
+
+BENCHMARK(BM_TangledPage)->Arg(3)->Arg(30)->Arg(300);
+BENCHMARK(BM_WovenPage)->Arg(3)->Arg(30)->Arg(300);
+BENCHMARK(BM_TangledSite)->Arg(30)->Arg(100);
+BENCHMARK(BM_WovenSite)->Arg(30)->Arg(100);

@@ -1,0 +1,64 @@
+// S1 — XML substrate soundness: parse/serialize throughput on
+// museum-shaped documents.
+#include <benchmark/benchmark.h>
+
+#include "museum/museum.hpp"
+#include "xml/parser.hpp"
+#include "xml/serializer.hpp"
+
+namespace {
+
+std::string museum_document(std::size_t painters) {
+  auto world = navsep::museum::MuseumWorld::synthetic(
+      {.painters = painters,
+       .paintings_per_painter = 8,
+       .movements = 4,
+       .seed = 1});
+  // One big document holding every painter (stresses depth + siblings).
+  navsep::xml::Document doc;
+  auto& root = doc.set_root(navsep::xml::QName("museum"));
+  for (const std::string& pid : world->painter_ids()) {
+    root.append(world->painter_document(pid)->root()->clone());
+  }
+  return navsep::xml::write(doc, {.pretty = true});
+}
+
+void BM_Parse(benchmark::State& state) {
+  std::string text = museum_document(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto doc = navsep::xml::parse(text);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+
+void BM_Serialize(benchmark::State& state) {
+  std::string text = museum_document(static_cast<std::size_t>(state.range(0)));
+  auto doc = navsep::xml::parse(text);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::string out = navsep::xml::write(*doc, {.pretty = true});
+    bytes = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+
+void BM_RoundTrip(benchmark::State& state) {
+  std::string text = museum_document(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto doc = navsep::xml::parse(text);
+    std::string out = navsep::xml::write(*doc, {});
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Parse)->Arg(10)->Arg(100)->Arg(300);
+BENCHMARK(BM_Serialize)->Arg(10)->Arg(100)->Arg(300);
+BENCHMARK(BM_RoundTrip)->Arg(10)->Arg(100);

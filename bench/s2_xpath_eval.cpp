@@ -1,0 +1,80 @@
+// S2 — XPath substrate soundness: query evaluation over museum documents.
+#include <benchmark/benchmark.h>
+
+#include "museum/museum.hpp"
+#include "xml/parser.hpp"
+#include "xml/serializer.hpp"
+#include "xpath/xpath.hpp"
+
+namespace {
+
+std::unique_ptr<navsep::xml::Document> museum_doc(std::size_t painters) {
+  auto world = navsep::museum::MuseumWorld::synthetic(
+      {.painters = painters,
+       .paintings_per_painter = 8,
+       .movements = 4,
+       .seed = 2});
+  navsep::xml::Document doc;
+  auto& root = doc.set_root(navsep::xml::QName("museum"));
+  for (const std::string& pid : world->painter_ids()) {
+    root.append(world->painter_document(pid)->root()->clone());
+  }
+  return navsep::xml::parse(navsep::xml::write(doc, {}));
+}
+
+void run_query(benchmark::State& state, const char* expr) {
+  auto doc = museum_doc(static_cast<std::size_t>(state.range(0)));
+  navsep::xpath::Environment env;
+  auto compiled = navsep::xpath::parse_expression(expr);
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    auto result = navsep::xpath::select(*compiled, *doc, env);
+    hits = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["hits"] = static_cast<double>(hits);
+}
+
+void BM_DescendantScan(benchmark::State& state) {
+  run_query(state, "//painting");
+}
+void BM_AttributePredicate(benchmark::State& state) {
+  run_query(state, "//painting[@id='painter-0-work-3']");
+}
+void BM_PositionalPredicate(benchmark::State& state) {
+  run_query(state, "/museum/painter[last()]/painting[1]");
+}
+void BM_StringPredicate(benchmark::State& state) {
+  run_query(state, "//painting[starts-with(title, 'The')]");
+}
+void BM_CountAggregate(benchmark::State& state) {
+  auto doc = museum_doc(static_cast<std::size_t>(state.range(0)));
+  navsep::xpath::Environment env;
+  auto compiled =
+      navsep::xpath::parse_expression("count(//painting[year > 1900])");
+  double value = 0;
+  for (auto _ : state) {
+    value = navsep::xpath::evaluate(
+                *compiled, {.node = doc.get(), .position = 1, .size = 1,
+                            .env = &env})
+                .to_number();
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["count"] = value;
+}
+void BM_CompileOnly(benchmark::State& state) {
+  for (auto _ : state) {
+    auto e = navsep::xpath::parse_expression(
+        "//painter[painting/@id]/painting[position() < last()]/title");
+    benchmark::DoNotOptimize(e);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_DescendantScan)->Arg(10)->Arg(100);
+BENCHMARK(BM_AttributePredicate)->Arg(10)->Arg(100);
+BENCHMARK(BM_PositionalPredicate)->Arg(10)->Arg(100);
+BENCHMARK(BM_StringPredicate)->Arg(10)->Arg(100);
+BENCHMARK(BM_CountAggregate)->Arg(10)->Arg(100);
+BENCHMARK(BM_CompileOnly);

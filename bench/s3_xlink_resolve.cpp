@@ -1,0 +1,90 @@
+// S3 — XLink substrate soundness: traversal-graph queries at linkbase
+// scale.
+#include <benchmark/benchmark.h>
+
+#include "core/linkbase.hpp"
+#include "museum/museum.hpp"
+#include "xml/parser.hpp"
+#include "xml/serializer.hpp"
+
+namespace {
+
+using navsep::hypermedia::AccessStructureKind;
+
+navsep::xlink::TraversalGraph graph_of(std::size_t paintings) {
+  auto world = navsep::museum::MuseumWorld::synthetic(
+      {.painters = 1,
+       .paintings_per_painter = paintings,
+       .movements = 3,
+       .seed = 8});
+  auto nav = world->derive_navigation();
+  auto igt = world->paintings_structure(AccessStructureKind::IndexedGuidedTour,
+                                        nav, "painter-0");
+  navsep::core::LinkbaseOptions lb;
+  lb.base_uri = "http://museum.example/site/links.xml";
+  auto doc = navsep::core::build_linkbase(*igt, lb);
+  return navsep::core::load_linkbase(*doc);
+}
+
+void BM_OutgoingLookup(benchmark::State& state) {
+  auto graph = graph_of(static_cast<std::size_t>(state.range(0)));
+  auto uris = graph.resource_uris();
+  std::size_t i = 0;
+  std::size_t arcs = 0;
+  for (auto _ : state) {
+    auto out = graph.outgoing(uris[i % uris.size()]);
+    arcs = out.size();
+    ++i;
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["total_arcs"] = static_cast<double>(graph.arcs().size());
+  state.counters["last_outgoing"] = static_cast<double>(arcs);
+}
+
+void BM_RoleFilteredLookup(benchmark::State& state) {
+  auto graph = graph_of(static_cast<std::size_t>(state.range(0)));
+  auto uris = graph.resource_uris();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto out = graph.outgoing_with_role(uris[i % uris.size()], "nav:next");
+    ++i;
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_GraphConstruction(benchmark::State& state) {
+  auto world = navsep::museum::MuseumWorld::synthetic(
+      {.painters = 1,
+       .paintings_per_painter = static_cast<std::size_t>(state.range(0)),
+       .movements = 3,
+       .seed = 8});
+  auto nav = world->derive_navigation();
+  auto igt = world->paintings_structure(AccessStructureKind::IndexedGuidedTour,
+                                        nav, "painter-0");
+  navsep::core::LinkbaseOptions lb;
+  lb.base_uri = "http://museum.example/site/links.xml";
+  auto doc = navsep::core::build_linkbase(*igt, lb);
+  for (auto _ : state) {
+    auto graph = navsep::core::load_linkbase(*doc);
+    benchmark::DoNotOptimize(graph);
+  }
+}
+
+void BM_GraphMerge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto a = graph_of(n);
+    auto b = graph_of(n);
+    state.ResumeTiming();
+    a.merge(std::move(b));
+    benchmark::DoNotOptimize(a);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_OutgoingLookup)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_RoleFilteredLookup)->Arg(10)->Arg(100);
+BENCHMARK(BM_GraphConstruction)->Arg(10)->Arg(100);
+BENCHMARK(BM_GraphMerge)->Arg(100);

@@ -1,0 +1,92 @@
+// S4 — CSS substrate soundness: selector matching and cascade on woven
+// museum pages.
+#include <benchmark/benchmark.h>
+
+#include "aop/weaver.hpp"
+#include "core/navigation_aspect.hpp"
+#include "core/renderer.hpp"
+#include "css/css.hpp"
+#include "html/html.hpp"
+#include "museum/museum.hpp"
+
+namespace {
+
+using navsep::hypermedia::AccessStructureKind;
+
+navsep::html::Page woven_page(std::size_t paintings) {
+  auto world = navsep::museum::MuseumWorld::synthetic(
+      {.painters = 1,
+       .paintings_per_painter = paintings,
+       .movements = 2,
+       .seed = 6});
+  auto nav = world->derive_navigation();
+  auto igt = world->paintings_structure(AccessStructureKind::IndexedGuidedTour,
+                                        nav, "painter-0");
+  navsep::aop::Weaver weaver;
+  weaver.register_aspect(navsep::core::NavigationAspect::from_arcs(
+      igt->arcs()));
+  navsep::core::SeparatedComposer composer(weaver);
+  // The structure page grows with the context — good cascade stress.
+  return composer.compose_structure_dom(igt->page_id(), igt->name());
+}
+
+navsep::css::StyleResolver museum_resolver() {
+  navsep::css::StyleResolver resolver;
+  resolver.add_sheet(navsep::css::parse("body { color: black; }"),
+                     navsep::css::Origin::UserAgent);
+  resolver.add_sheet(
+      navsep::css::parse(navsep::museum::MuseumWorld::site_css()));
+  resolver.add_sheet(navsep::css::parse(R"(
+    .navigation a { color: navy; text-decoration: none; }
+    .nav-index li { margin: 2px; }
+    .nav-index a.nav-entry { font-weight: normal !important; }
+    h1, h2 { font-family: Garamond; }
+  )"));
+  return resolver;
+}
+
+void BM_StylesheetParse(benchmark::State& state) {
+  std::string css = navsep::museum::MuseumWorld::site_css();
+  for (auto _ : state) {
+    auto sheet = navsep::css::parse(css);
+    benchmark::DoNotOptimize(sheet);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(css.size()));
+}
+
+void BM_ComputedProperty(benchmark::State& state) {
+  navsep::html::Page page = woven_page(static_cast<std::size_t>(state.range(0)));
+  auto resolver = museum_resolver();
+  std::vector<const navsep::xml::Element*> anchors;
+  page.document().root()->walk([&](const navsep::xml::Element& e) {
+    if (e.name().local == "a") anchors.push_back(&e);
+  });
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto v = resolver.computed(*anchors[i % anchors.size()], "color");
+    ++i;
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["anchors"] = static_cast<double>(anchors.size());
+}
+
+void BM_FullPageStyle(benchmark::State& state) {
+  navsep::html::Page page = woven_page(static_cast<std::size_t>(state.range(0)));
+  auto resolver = museum_resolver();
+  std::size_t props = 0;
+  for (auto _ : state) {
+    props = 0;
+    page.document().root()->walk([&](const navsep::xml::Element& e) {
+      props += resolver.computed_style(e).size();
+    });
+    benchmark::DoNotOptimize(props);
+  }
+  state.counters["computed_properties"] = static_cast<double>(props);
+}
+
+}  // namespace
+
+BENCHMARK(BM_StylesheetParse);
+BENCHMARK(BM_ComputedProperty)->Arg(10)->Arg(100);
+BENCHMARK(BM_FullPageStyle)->Arg(10)->Arg(50);

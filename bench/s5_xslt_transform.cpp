@@ -1,0 +1,71 @@
+// S5 — XSLT substrate soundness: the presentation transform of the
+// separated pipeline (data XML → content HTML).
+#include <benchmark/benchmark.h>
+
+#include "museum/museum.hpp"
+#include "xml/parser.hpp"
+#include "xml/serializer.hpp"
+#include "xslt/xslt.hpp"
+
+namespace {
+
+using navsep::museum::MuseumWorld;
+
+void BM_CompileStylesheet(benchmark::State& state) {
+  std::string text = MuseumWorld::presentation_xslt();
+  for (auto _ : state) {
+    auto sheet = navsep::xslt::Stylesheet::compile_text(text);
+    benchmark::DoNotOptimize(sheet);
+  }
+}
+
+void BM_TransformPainterDoc(benchmark::State& state) {
+  auto world = MuseumWorld::synthetic(
+      {.painters = 1,
+       .paintings_per_painter = static_cast<std::size_t>(state.range(0)),
+       .movements = 2,
+       .seed = 4});
+  auto sheet =
+      navsep::xslt::Stylesheet::compile_text(MuseumWorld::presentation_xslt());
+  auto input = world->painter_document("painter-0");
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto out = sheet.transform(*input);
+    std::string html = navsep::xml::write(*out, {.declaration = false});
+    bytes = html.size();
+    benchmark::DoNotOptimize(html);
+  }
+  state.counters["html_bytes"] = static_cast<double>(bytes);
+}
+
+void BM_TransformEveryPainting(benchmark::State& state) {
+  auto world = MuseumWorld::synthetic(
+      {.painters = static_cast<std::size_t>(state.range(0)),
+       .paintings_per_painter = 5,
+       .movements = 2,
+       .seed = 4});
+  auto sheet =
+      navsep::xslt::Stylesheet::compile_text(MuseumWorld::presentation_xslt());
+  std::vector<std::unique_ptr<navsep::xml::Document>> inputs;
+  for (const std::string& id : world->painting_ids()) {
+    inputs.push_back(world->painting_document(id));
+  }
+  std::size_t pages = 0;
+  for (auto _ : state) {
+    pages = 0;
+    for (const auto& input : inputs) {
+      auto out = sheet.transform(*input);
+      if (out->root() != nullptr) ++pages;
+      benchmark::DoNotOptimize(out);
+    }
+  }
+  state.counters["pages"] = static_cast<double>(pages);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inputs.size()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_CompileStylesheet);
+BENCHMARK(BM_TransformPainterDoc)->Arg(3)->Arg(30)->Arg(100);
+BENCHMARK(BM_TransformEveryPainting)->Arg(3)->Arg(10);

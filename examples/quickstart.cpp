@@ -1,0 +1,51 @@
+// Quickstart: the paper's example in ~60 lines of client code.
+//
+// Builds the museum of the paper (Picasso: The Guitar / Guernica /
+// Les Demoiselles d'Avignon), separates the navigational aspect as an
+// XLink linkbase, weaves it back at page composition, and prints the
+// woven Guitar page plus the authored links.xml.
+//
+// Run: build/examples/quickstart
+#include <cstdio>
+
+#include "aop/weaver.hpp"
+#include "core/linkbase.hpp"
+#include "core/navigation_aspect.hpp"
+#include "core/renderer.hpp"
+#include "museum/museum.hpp"
+#include "xml/serializer.hpp"
+
+int main() {
+  using namespace navsep;
+
+  // 1. The conceptual + navigational model (OOHDM layers).
+  auto world = museum::MuseumWorld::paper_instance();
+  hypermedia::NavigationalModel nav = world->derive_navigation();
+
+  // 2. The access structure the customer asked for *after* the change
+  //    request: an Indexed Guided Tour over Picasso's paintings.
+  auto structure = world->paintings_structure(
+      hypermedia::AccessStructureKind::IndexedGuidedTour, nav, "picasso");
+
+  // 3. Separate the navigational aspect: every arc lives in links.xml.
+  auto linkbase = core::build_linkbase(*structure);
+  std::string links_xml = xml::write(*linkbase, {.pretty = true});
+
+  // 4. Weave it back: the page renderer knows nothing about navigation;
+  //    the navigation aspect injects the anchors at PageCompose.
+  aop::Weaver weaver;
+  weaver.register_aspect(
+      core::NavigationAspect::from_linkbase(core::load_linkbase(*linkbase)));
+  core::SeparatedComposer composer(weaver);
+
+  std::string guitar = composer.compose_node_page(*nav.node("guitar"));
+
+  std::printf("=== links.xml (the authored navigational aspect) ===\n%s\n",
+              links_xml.c_str());
+  std::printf("=== guitar.html (woven page) ===\n%s\n", guitar.c_str());
+  std::printf(
+      "weaver: %zu join points, %zu advice invocations, %zu cache hits\n",
+      weaver.stats().join_points_executed, weaver.stats().advice_invocations,
+      weaver.stats().match_cache_hits);
+  return 0;
+}

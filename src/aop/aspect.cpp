@@ -1,0 +1,46 @@
+#include "aop/aspect.hpp"
+
+#include "common/error.hpp"
+
+namespace navsep::aop {
+
+std::string_view to_string(AdviceKind k) noexcept {
+  switch (k) {
+    case AdviceKind::Before: return "before";
+    case AdviceKind::Around: return "around";
+    case AdviceKind::After: return "after";
+  }
+  return "?";
+}
+
+void JoinPointContext::proceed() {
+  if (proceeded_) {
+    throw SemanticError("proceed() called twice at " + jp_->to_string());
+  }
+  proceeded_ = true;
+  if (proceed_) proceed_();
+}
+
+Aspect& Aspect::before(std::string_view pointcut, AdviceFn body,
+                       std::string note) {
+  return add(pointcut, AdviceKind::Before, std::move(body), std::move(note));
+}
+
+Aspect& Aspect::after(std::string_view pointcut, AdviceFn body,
+                      std::string note) {
+  return add(pointcut, AdviceKind::After, std::move(body), std::move(note));
+}
+
+Aspect& Aspect::around(std::string_view pointcut, AdviceFn body,
+                       std::string note) {
+  return add(pointcut, AdviceKind::Around, std::move(body), std::move(note));
+}
+
+Aspect& Aspect::add(std::string_view pointcut, AdviceKind kind, AdviceFn body,
+                    std::string note) {
+  rules_.push_back(AdviceRule{Pointcut::parse(pointcut), kind,
+                              std::move(body), std::move(note)});
+  return *this;
+}
+
+}  // namespace navsep::aop

@@ -1,0 +1,95 @@
+// Aspects and advice.
+//
+// An Aspect is a named bundle of (pointcut, advice) rules with a
+// precedence. Advice bodies receive a JoinPointContext giving access to
+// the join point, a mutable payload (for PageCompose join points this is
+// the page's <body> element), and — for around advice — proceed().
+#pragma once
+
+#include <any>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aop/pointcut.hpp"
+
+namespace navsep::aop {
+
+enum class AdviceKind { Before, Around, After };
+
+[[nodiscard]] std::string_view to_string(AdviceKind k) noexcept;
+
+class JoinPointContext {
+ public:
+  JoinPointContext(const JoinPoint& jp, std::any* payload,
+                   std::function<void()> proceed)
+      : jp_(&jp), payload_(payload), proceed_(std::move(proceed)) {}
+
+  [[nodiscard]] const JoinPoint& join_point() const noexcept { return *jp_; }
+
+  /// The pipeline-supplied payload (may be empty). For page composition
+  /// this holds a `xml::Element*` pointing at the page body.
+  [[nodiscard]] std::any& payload() noexcept { return *payload_; }
+
+  /// Typed payload access; returns nullptr on type mismatch/empty payload.
+  template <typename T>
+  [[nodiscard]] T* payload_as() noexcept {
+    T* p = std::any_cast<T>(payload_);
+    return p;
+  }
+
+  /// Run the rest of the chain (inner advice + the base behavior).
+  /// Only meaningful inside around advice; calling it twice is an error.
+  /// Around advice that never calls proceed() suppresses the base code.
+  void proceed();
+
+  [[nodiscard]] bool proceeded() const noexcept { return proceeded_; }
+
+ private:
+  const JoinPoint* jp_;
+  std::any* payload_;
+  std::function<void()> proceed_;
+  bool proceeded_ = false;
+};
+
+using AdviceFn = std::function<void(JoinPointContext&)>;
+
+struct AdviceRule {
+  Pointcut pointcut;
+  AdviceKind kind = AdviceKind::Before;
+  AdviceFn body;
+  std::string note;  // human description (for introspection/logging)
+};
+
+class Aspect {
+ public:
+  explicit Aspect(std::string name, int precedence = 0)
+      : name_(std::move(name)), precedence_(precedence) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int precedence() const noexcept { return precedence_; }
+
+  /// Add a rule; the pointcut text is parsed immediately (throws
+  /// navsep::ParseError on bad syntax).
+  Aspect& before(std::string_view pointcut, AdviceFn body,
+                 std::string note = "");
+  Aspect& after(std::string_view pointcut, AdviceFn body,
+                std::string note = "");
+  Aspect& around(std::string_view pointcut, AdviceFn body,
+                 std::string note = "");
+
+  [[nodiscard]] const std::vector<AdviceRule>& rules() const noexcept {
+    return rules_;
+  }
+
+ private:
+  Aspect& add(std::string_view pointcut, AdviceKind kind, AdviceFn body,
+              std::string note);
+
+  std::string name_;
+  int precedence_;
+  std::vector<AdviceRule> rules_;
+};
+
+}  // namespace navsep::aop

@@ -1,0 +1,55 @@
+#include "aop/joinpoint.hpp"
+
+namespace navsep::aop {
+
+std::string_view to_string(JoinPointKind k) noexcept {
+  switch (k) {
+    case JoinPointKind::NodeRender: return "NodeRender";
+    case JoinPointKind::PageCompose: return "PageCompose";
+    case JoinPointKind::LinkTraversal: return "LinkTraversal";
+    case JoinPointKind::ContextEnter: return "ContextEnter";
+    case JoinPointKind::ContextExit: return "ContextExit";
+    case JoinPointKind::IndexBuild: return "IndexBuild";
+    case JoinPointKind::Custom: return "Custom";
+  }
+  return "?";
+}
+
+std::string_view designator(JoinPointKind k) noexcept {
+  switch (k) {
+    case JoinPointKind::NodeRender: return "render";
+    case JoinPointKind::PageCompose: return "compose";
+    case JoinPointKind::LinkTraversal: return "traverse";
+    case JoinPointKind::ContextEnter: return "enterContext";
+    case JoinPointKind::ContextExit: return "exitContext";
+    case JoinPointKind::IndexBuild: return "buildIndex";
+    case JoinPointKind::Custom: return "custom";
+  }
+  return "?";
+}
+
+std::string JoinPoint::to_string() const {
+  std::string out(designator(kind));
+  out += '(';
+  out += subject;
+  if (!instance.empty()) {
+    out += ", ";
+    out += instance;
+  }
+  out += ')';
+  if (!tags.empty()) {
+    out += '{';
+    bool first = true;
+    for (const auto& [k, v] : tags) {
+      if (!first) out += ',';
+      first = false;
+      out += k;
+      out += '=';
+      out += v;
+    }
+    out += '}';
+  }
+  return out;
+}
+
+}  // namespace navsep::aop

@@ -1,0 +1,59 @@
+// The join point model.
+//
+// C++ has no language-level AOP, so this library substitutes an explicit
+// runtime join-point model (DESIGN.md, Substitution 1): the hypermedia
+// pipeline announces well-defined events — a node being rendered, a page
+// being composed, a link being traversed, a context being entered — and
+// the weaver runs matching advice around them. This preserves the paper's
+// essential property (navigation logic written once, in an aspect, never
+// in page code) at the cost of an explicit announcement in the base code.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace navsep::aop {
+
+/// Where in the hypermedia pipeline a join point sits.
+enum class JoinPointKind : std::uint8_t {
+  NodeRender,     // a navigation node's content is being rendered
+  PageCompose,    // a full page is being assembled (navigation attaches here)
+  LinkTraversal,  // the browser follows an arc
+  ContextEnter,   // a navigational context becomes current
+  ContextExit,
+  IndexBuild,     // an access-structure entry page is being built
+  Custom,         // escape hatch for applications
+};
+
+[[nodiscard]] std::string_view to_string(JoinPointKind k) noexcept;
+
+/// The pointcut designator keyword for a kind (render/compose/traverse/...).
+[[nodiscard]] std::string_view designator(JoinPointKind k) noexcept;
+
+/// One join point occurrence.
+struct JoinPoint {
+  JoinPointKind kind = JoinPointKind::Custom;
+  std::string subject;   // node class / structure name, e.g. "PaintingNode"
+  std::string instance;  // node id, e.g. "guitar" ("" when not applicable)
+  std::map<std::string, std::string, std::less<>> tags;  // context etc.
+
+  [[nodiscard]] std::string_view tag(std::string_view key) const noexcept {
+    auto it = tags.find(key);
+    return it == tags.end() ? std::string_view() : std::string_view(it->second);
+  }
+
+  /// Compact rendering for logs/tests: kind(subject, instance){k=v,...}.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Well-known tag keys.
+namespace tags {
+inline constexpr std::string_view kContext = "context";   // qualified context
+inline constexpr std::string_view kStructure = "structure";  // access structure
+inline constexpr std::string_view kRole = "role";          // arc role
+}  // namespace tags
+
+}  // namespace navsep::aop

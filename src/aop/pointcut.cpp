@@ -1,0 +1,263 @@
+#include "aop/pointcut.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/text_cursor.hpp"
+
+namespace navsep::aop {
+
+struct Pointcut::Node {
+  enum class Kind { And, Or, Not, Designator };
+  Kind kind = Kind::Designator;
+  std::unique_ptr<Node> lhs;
+  std::unique_ptr<Node> rhs;
+
+  // Designator payload.
+  std::optional<JoinPointKind> jp_kind;  // nullopt = any kind
+  std::string subject_pattern = "*";
+  std::string instance_pattern = "*";
+  std::string tag_key;     // non-empty for tag()/within()
+  std::string tag_pattern;
+
+  [[nodiscard]] bool eval(const JoinPoint& jp) const {
+    switch (kind) {
+      case Kind::And:
+        return lhs->eval(jp) && rhs->eval(jp);
+      case Kind::Or:
+        return lhs->eval(jp) || rhs->eval(jp);
+      case Kind::Not:
+        return !lhs->eval(jp);
+      case Kind::Designator: {
+        if (jp_kind.has_value() && jp.kind != *jp_kind) return false;
+        if (!strings::wildcard_match(subject_pattern, jp.subject)) {
+          return false;
+        }
+        if (!strings::wildcard_match(instance_pattern, jp.instance)) {
+          return false;
+        }
+        if (!tag_key.empty()) {
+          return strings::wildcard_match(tag_pattern, jp.tag(tag_key));
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string text() const {
+    switch (kind) {
+      case Kind::And:
+        return "(" + lhs->text() + " && " + rhs->text() + ")";
+      case Kind::Or:
+        return "(" + lhs->text() + " || " + rhs->text() + ")";
+      case Kind::Not:
+        return "!" + lhs->text();
+      case Kind::Designator: {
+        if (!tag_key.empty()) {
+          if (tag_key == tags::kContext && jp_kind == std::nullopt &&
+              subject_pattern == "*" && instance_pattern == "*") {
+            return "within(" + tag_pattern + ")";
+          }
+          return "tag(" + tag_key + ", " + tag_pattern + ")";
+        }
+        std::string name(jp_kind.has_value() ? designator(*jp_kind) : "any");
+        std::string out = name + "(" + subject_pattern;
+        if (instance_pattern != "*") out += ", " + instance_pattern;
+        return out + ")";
+      }
+    }
+    return "?";
+  }
+
+  [[nodiscard]] std::unique_ptr<Node> clone() const {
+    auto out = std::make_unique<Node>();
+    out->kind = kind;
+    if (lhs) out->lhs = lhs->clone();
+    if (rhs) out->rhs = rhs->clone();
+    out->jp_kind = jp_kind;
+    out->subject_pattern = subject_pattern;
+    out->instance_pattern = instance_pattern;
+    out->tag_key = tag_key;
+    out->tag_pattern = tag_pattern;
+    return out;
+  }
+};
+
+namespace {
+
+bool is_word_char(char c) noexcept {
+  return strings::is_alnum(c) || c == '_' || c == '-';
+}
+
+bool is_pattern_char(char c) noexcept {
+  return is_word_char(c) || c == '*' || c == '?' || c == ':' || c == '.' ||
+         c == '/';
+}
+
+std::optional<JoinPointKind> kind_from_designator(std::string_view name) {
+  if (name == "render") return JoinPointKind::NodeRender;
+  if (name == "compose") return JoinPointKind::PageCompose;
+  if (name == "traverse") return JoinPointKind::LinkTraversal;
+  if (name == "enterContext") return JoinPointKind::ContextEnter;
+  if (name == "exitContext") return JoinPointKind::ContextExit;
+  if (name == "buildIndex") return JoinPointKind::IndexBuild;
+  if (name == "custom") return JoinPointKind::Custom;
+  return std::nullopt;
+}
+
+}  // namespace
+
+namespace {
+
+class Parser {
+  using PNode = Pointcut::Node;
+
+ public:
+  explicit Parser(std::string_view text) : cur_(text) {}
+
+  std::unique_ptr<PNode> run() {
+    auto node = parse_or();
+    cur_.skip_ws();
+    if (!cur_.eof()) cur_.fail("trailing characters in pointcut");
+    return node;
+  }
+
+ private:
+  std::unique_ptr<PNode> parse_or() {
+    auto lhs = parse_and();
+    for (;;) {
+      cur_.skip_ws();
+      if (!cur_.consume("||")) return lhs;
+      auto node = std::make_unique<PNode>();
+      node->kind = PNode::Kind::Or;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_and();
+      lhs = std::move(node);
+    }
+  }
+
+  std::unique_ptr<PNode> parse_and() {
+    auto lhs = parse_unary();
+    for (;;) {
+      cur_.skip_ws();
+      if (!cur_.consume("&&")) return lhs;
+      auto node = std::make_unique<PNode>();
+      node->kind = PNode::Kind::And;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_unary();
+      lhs = std::move(node);
+    }
+  }
+
+  std::unique_ptr<PNode> parse_unary() {
+    cur_.skip_ws();
+    if (cur_.consume('!')) {
+      auto node = std::make_unique<PNode>();
+      node->kind = PNode::Kind::Not;
+      node->lhs = parse_unary();
+      return node;
+    }
+    if (cur_.consume('(')) {
+      auto inner = parse_or();
+      cur_.skip_ws();
+      cur_.expect(")", "')'");
+      return inner;
+    }
+    return parse_designator();
+  }
+
+  std::unique_ptr<PNode> parse_designator() {
+    cur_.skip_ws();
+    if (!strings::is_alpha(cur_.peek())) {
+      cur_.fail("expected pointcut designator");
+    }
+    std::string name(cur_.take_while(is_word_char));
+    cur_.skip_ws();
+    cur_.expect("(", "'(' after designator '" + name + "'");
+
+    auto node = std::make_unique<PNode>();
+    node->kind = PNode::Kind::Designator;
+
+    if (name == "within") {
+      node->tag_key = std::string(tags::kContext);
+      node->tag_pattern = parse_pattern();
+    } else if (name == "tag") {
+      cur_.skip_ws();
+      node->tag_key = std::string(cur_.take_while(is_word_char));
+      if (node->tag_key.empty()) cur_.fail("tag() needs a key");
+      cur_.skip_ws();
+      cur_.expect(",", "',' between tag key and pattern");
+      node->tag_pattern = parse_pattern();
+    } else if (name == "instance") {
+      node->instance_pattern = parse_pattern();
+    } else if (name == "subject") {
+      node->subject_pattern = parse_pattern();
+    } else if (name == "any") {
+      cur_.skip_ws();  // any() takes no arguments
+    } else {
+      node->jp_kind = kind_from_designator(name);
+      if (!node->jp_kind.has_value()) {
+        cur_.fail("unknown pointcut designator '" + name + "'");
+      }
+      node->subject_pattern = parse_pattern();
+      cur_.skip_ws();
+      if (cur_.consume(',')) {
+        node->instance_pattern = parse_pattern();
+      }
+    }
+    cur_.skip_ws();
+    cur_.expect(")", "')' closing designator '" + name + "'");
+    return node;
+  }
+
+  std::string parse_pattern() {
+    cur_.skip_ws();
+    // Quoted patterns allow characters outside the bare set.
+    char q = cur_.peek();
+    if (q == '"' || q == '\'') {
+      cur_.advance();
+      std::string out(cur_.take_until(std::string_view(&q, 1)));
+      cur_.advance();
+      return out;
+    }
+    std::string out(cur_.take_while(is_pattern_char));
+    if (out.empty()) cur_.fail("expected pattern");
+    return out;
+  }
+
+  TextCursor cur_;
+};
+
+}  // namespace
+
+Pointcut Pointcut::parse(std::string_view expr) {
+  Parser p(expr);
+  return Pointcut(p.run(), std::string(expr));
+}
+
+Pointcut::Pointcut(std::unique_ptr<Node> root, std::string source)
+    : root_(std::move(root)), source_(std::move(source)) {}
+
+Pointcut::Pointcut(Pointcut&&) noexcept = default;
+Pointcut& Pointcut::operator=(Pointcut&&) noexcept = default;
+Pointcut::~Pointcut() = default;
+
+Pointcut::Pointcut(const Pointcut& other)
+    : root_(other.root_->clone()), source_(other.source_) {}
+
+Pointcut& Pointcut::operator=(const Pointcut& other) {
+  if (this != &other) {
+    root_ = other.root_->clone();
+    source_ = other.source_;
+  }
+  return *this;
+}
+
+bool Pointcut::matches(const JoinPoint& jp) const { return root_->eval(jp); }
+
+std::string Pointcut::to_string() const { return root_->text(); }
+
+}  // namespace navsep::aop

@@ -1,0 +1,63 @@
+// The pointcut DSL.
+//
+// Pointcuts select join points, AspectJ-style but over our hypermedia
+// join-point model. Grammar:
+//
+//   expr       := or
+//   or         := and ('||' and)*
+//   and        := unary ('&&' unary)*
+//   unary      := '!' unary | primary
+//   primary    := '(' expr ')' | designator
+//   designator := kind '(' pattern [',' pattern] ')'   kind of join point,
+//                 with subject and optional instance patterns;
+//                 kind ∈ {render, compose, traverse, enterContext,
+//                         exitContext, buildIndex, custom, any}
+//               | 'within'   '(' pattern ')'           context tag match
+//               | 'tag'      '(' name ',' pattern ')'  arbitrary tag match
+//               | 'instance' '(' pattern ')'
+//               | 'subject'  '(' pattern ')'
+//
+// Patterns are glob-style: `*` any run, `?` one character. Examples:
+//
+//   compose(PaintingNode)                     every painting page
+//   compose(*) && within(ByAuthor:*)          any page in a by-author context
+//   traverse(*, guernica) || render(Painter*) mixed designators
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "aop/joinpoint.hpp"
+
+namespace navsep::aop {
+
+class Pointcut {
+ public:
+  /// Parse the DSL. Throws navsep::ParseError.
+  [[nodiscard]] static Pointcut parse(std::string_view expr);
+
+  Pointcut(Pointcut&&) noexcept;
+  Pointcut& operator=(Pointcut&&) noexcept;
+  Pointcut(const Pointcut&);
+  Pointcut& operator=(const Pointcut&);
+  ~Pointcut();
+
+  [[nodiscard]] bool matches(const JoinPoint& jp) const;
+
+  /// Normalized textual form (parenthesized).
+  [[nodiscard]] std::string to_string() const;
+
+  /// The source text this pointcut was parsed from.
+  [[nodiscard]] const std::string& source() const noexcept { return source_; }
+
+  /// AST node; defined in pointcut.cpp (public for the parser only).
+  struct Node;
+
+ private:
+  explicit Pointcut(std::unique_ptr<Node> root, std::string source);
+  std::unique_ptr<Node> root_;
+  std::string source_;
+};
+
+}  // namespace navsep::aop

@@ -1,0 +1,4 @@
+#include "common/text_cursor.hpp"
+
+// TextCursor is header-only today; this translation unit anchors the
+// library target and keeps a stable home for future out-of-line code.

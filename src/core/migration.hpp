@@ -1,0 +1,76 @@
+// The access-structure migration experiment (the paper's §5 change
+// request, quantified).
+//
+// Given one navigational model and two access structures (e.g. Index and
+// IndexedGuidedTour), this driver produces, for both implementation
+// styles, the set of *authored* artifacts a developer maintains:
+//
+//   tangled   — the HTML pages themselves (navigation baked in);
+//   separated — the data XML files (caller-provided, access-structure
+//               independent), the presentation stylesheet, and links.xml.
+//
+// It then diffs the before/after artifact sets. The paper's claim is the
+// asymmetry this exposes: the tangled delta touches every page of the
+// context, the separated delta touches exactly one artifact (links.xml).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/linkbase.hpp"
+#include "core/renderer.hpp"
+#include "diff/diff.hpp"
+
+namespace navsep::core {
+
+/// A named authored artifact (path → content).
+using Artifact = std::pair<std::string, std::string>;
+
+struct MigrationOptions {
+  /// The access-structure-independent artifacts of the separated site
+  /// (data XML documents, CSS, XSLT...). They appear verbatim on both
+  /// sides of the separated diff.
+  std::vector<Artifact> separated_fixed_artifacts;
+
+  /// Options used to synthesize links.xml on each side.
+  LinkbaseOptions linkbase;
+
+  /// Rendering options shared by both pipelines.
+  RenderOptions render;
+};
+
+struct MigrationReport {
+  /// Authored-artifact deltas — the paper's headline numbers.
+  diff::SiteDelta tangled_authored;
+  diff::SiteDelta separated_authored;
+
+  /// Rendered-output delta of the woven (separated) site. Both pipelines
+  /// change the user-visible pages identically; this shows the change
+  /// really happened even though only links.xml was edited.
+  diff::SiteDelta separated_rendered;
+
+  /// Artifact counts, for reporting.
+  std::size_t tangled_artifacts = 0;
+  std::size_t separated_artifacts = 0;
+};
+
+/// Run the full before/after comparison.
+[[nodiscard]] MigrationReport measure_migration(
+    const hypermedia::NavigationalModel& model,
+    const hypermedia::AccessStructure& before,
+    const hypermedia::AccessStructure& after,
+    const MigrationOptions& options = {});
+
+/// The separated site's authored artifacts for one access structure:
+/// fixed artifacts + the synthesized links.xml.
+[[nodiscard]] std::vector<Artifact> separated_authored_artifacts(
+    const hypermedia::AccessStructure& structure,
+    const MigrationOptions& options);
+
+/// The tangled site's authored artifacts: every rendered page.
+[[nodiscard]] std::vector<Artifact> tangled_authored_artifacts(
+    const hypermedia::NavigationalModel& model,
+    const hypermedia::AccessStructure& structure,
+    const MigrationOptions& options);
+
+}  // namespace navsep::core

@@ -1,0 +1,140 @@
+#include "core/navigation_aspect.hpp"
+
+#include "common/strings.hpp"
+#include "core/linkbase.hpp"
+
+namespace navsep::core {
+
+std::string default_href_for(std::string_view id) {
+  std::string out = strings::replace_all(id, ":", "-");
+  return out + ".html";
+}
+
+namespace {
+
+using hypermedia::roles::kIndexEntry;
+using hypermedia::roles::kMenuEntry;
+using hypermedia::roles::kNext;
+using hypermedia::roles::kPrev;
+using hypermedia::roles::kUp;
+
+/// The advice body: inject navigation for `node_id` into the page body.
+class NavigationInjector {
+ public:
+  NavigationInjector(std::vector<NavArc> arcs,
+                     NavigationAspectOptions options)
+      : options_(std::move(options)) {
+    if (!options_.href_for) options_.href_for = default_href_for;
+    for (NavArc& arc : arcs) {
+      by_from_[arc.from].push_back(std::move(arc));
+    }
+  }
+
+  void operator()(aop::JoinPointContext& ctx) const {
+    xml::Element* const* body_slot =
+        std::any_cast<xml::Element*>(&ctx.payload());
+    if (body_slot == nullptr || *body_slot == nullptr) return;
+    xml::Element& body = **body_slot;
+
+    const std::string& node_id = ctx.join_point().instance;
+    auto it = by_from_.find(node_id);
+    if (it == by_from_.end()) return;
+
+    const std::string_view current_context =
+        ctx.join_point().tag(aop::tags::kContext);
+
+    // Partition the node's arcs by role, honoring context sensitivity.
+    std::vector<const NavArc*> ups, prevs, nexts, entries;
+    for (const NavArc& arc : it->second) {
+      const bool tour_arc = arc.role == kNext || arc.role == kPrev;
+      if (options_.context_sensitive && tour_arc && !arc.context.empty() &&
+          arc.context != current_context) {
+        continue;
+      }
+      if (arc.role == kUp) {
+        ups.push_back(&arc);
+      } else if (arc.role == kPrev) {
+        prevs.push_back(&arc);
+      } else if (arc.role == kNext) {
+        nexts.push_back(&arc);
+      } else if (arc.role == kIndexEntry || arc.role == kMenuEntry) {
+        entries.push_back(&arc);
+      }
+    }
+    if (ups.empty() && prevs.empty() && nexts.empty() && entries.empty()) {
+      return;
+    }
+
+    xml::Element& nav = body.append_element("div");
+    nav.set_attribute("class", options_.container_class);
+
+    auto anchor = [&](xml::Element& parent, const NavArc& arc,
+                      std::string_view cls) {
+      xml::Element& a = parent.append_element("a");
+      a.set_attribute("href", options_.href_for(arc.to));
+      a.set_attribute("class", cls);
+      a.append_text(arc.title.empty() ? arc.to : arc.title);
+    };
+
+    for (const NavArc* arc : ups) anchor(nav, *arc, "nav-up");
+    for (const NavArc* arc : prevs) anchor(nav, *arc, "nav-prev");
+    for (const NavArc* arc : nexts) anchor(nav, *arc, "nav-next");
+    if (!entries.empty()) {
+      xml::Element& ul = nav.append_element("ul");
+      ul.set_attribute("class", "nav-index");
+      for (const NavArc* arc : entries) {
+        anchor(ul.append_element("li"), *arc, "nav-entry");
+      }
+    }
+  }
+
+ private:
+  NavigationAspectOptions options_;
+  std::map<std::string, std::vector<NavArc>, std::less<>> by_from_;
+};
+
+std::shared_ptr<aop::Aspect> build_aspect(std::vector<NavArc> arcs,
+                                          const NavigationAspectOptions& o) {
+  auto aspect = std::make_shared<aop::Aspect>("navigation", o.precedence);
+  NavigationInjector injector(std::move(arcs), o);
+  aspect->after("compose(*) || buildIndex(*)", std::move(injector),
+                "inject navigation anchors for the active access structure");
+  return aspect;
+}
+
+}  // namespace
+
+std::shared_ptr<aop::Aspect> NavigationAspect::from_arcs(
+    const std::vector<hypermedia::AccessArc>& arcs,
+    const NavigationAspectOptions& options) {
+  std::vector<NavArc> nav;
+  nav.reserve(arcs.size());
+  for (const auto& a : arcs) {
+    nav.push_back(NavArc{a.from, a.to, a.role, a.title, ""});
+  }
+  return build_aspect(std::move(nav), options);
+}
+
+std::shared_ptr<aop::Aspect> NavigationAspect::from_contextual_arcs(
+    const std::vector<NavArc>& arcs, const NavigationAspectOptions& options) {
+  return build_aspect(arcs, options);
+}
+
+std::shared_ptr<aop::Aspect> NavigationAspect::from_linkbase(
+    const xlink::TraversalGraph& graph,
+    const NavigationAspectOptions& options) {
+  return from_arcs(arcs_from_graph(graph), options);
+}
+
+std::shared_ptr<aop::Aspect> NavigationAspect::from_contextual_linkbase(
+    const xlink::TraversalGraph& graph,
+    const NavigationAspectOptions& options) {
+  std::vector<NavArc> nav;
+  for (const ContextualArc& ca : contextual_arcs_from_graph(graph)) {
+    nav.push_back(NavArc{ca.arc.from, ca.arc.to, ca.arc.role, ca.arc.title,
+                         ca.context});
+  }
+  return build_aspect(std::move(nav), options);
+}
+
+}  // namespace navsep::core

@@ -1,0 +1,92 @@
+// The navigation aspect: the separated navigational concern, expressed as
+// an aop::Aspect and woven into page composition (paper Figure 6).
+//
+// Base page code knows nothing about navigation. It announces a
+// PageCompose join point whose payload is the page body element; this
+// aspect's after-advice looks up the arcs leaving the node (in the current
+// context), and appends the corresponding anchors:
+//
+//   <div class="navigation">
+//     <a class="nav-up" ...>        (Index / Menu membership)
+//     <a class="nav-prev" ...>      (tour chain, context-aware)
+//     <a class="nav-next" ...>
+//     <ul class="nav-index"> ...    (on structure pages)
+//   </div>
+//
+// Swapping access structures — the paper's §5 change request — replaces
+// this aspect's arc set (one artifact) and nothing else.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aop/aspect.hpp"
+#include "hypermedia/access.hpp"
+#include "xlink/traversal.hpp"
+#include "xml/dom.hpp"
+
+namespace navsep::core {
+
+struct NavigationAspectOptions {
+  /// class attribute of the injected container.
+  std::string container_class = "navigation";
+
+  /// Maps node/page ids to hrefs in the rendered site.
+  /// Default: "<id>.html" with ':' replaced by '-' for structure pages.
+  std::function<std::string(std::string_view id)> href_for;
+
+  /// Aspect precedence (higher = outer).
+  int precedence = 10;
+
+  /// Restrict tour (next/prev) arcs to the current context: when the
+  /// PageCompose join point carries a context tag "family:name", a
+  /// next/prev arc is emitted only if its arc context matches. Arcs built
+  /// from plain access structures carry no context and always match.
+  bool context_sensitive = true;
+};
+
+/// Default id → href mapping (shared with the renderers).
+[[nodiscard]] std::string default_href_for(std::string_view id);
+
+/// One navigation arc as the aspect consumes it.
+struct NavArc {
+  std::string from;
+  std::string to;
+  std::string role;     // hypermedia::roles::*
+  std::string title;
+  std::string context;  // qualified context this arc belongs to ("" = any)
+};
+
+/// Builds the aspect. The returned Aspect is self-contained: it owns a
+/// copy of the arc table.
+class NavigationAspect {
+ public:
+  /// From materialized access-structure arcs (no context restriction).
+  [[nodiscard]] static std::shared_ptr<aop::Aspect> from_arcs(
+      const std::vector<hypermedia::AccessArc>& arcs,
+      const NavigationAspectOptions& options = {});
+
+  /// From per-context arc sets: each entry tags its arcs with the
+  /// qualified context name, making next/prev context-dependent.
+  [[nodiscard]] static std::shared_ptr<aop::Aspect> from_contextual_arcs(
+      const std::vector<NavArc>& arcs,
+      const NavigationAspectOptions& options = {});
+
+  /// From a parsed linkbase (the separated pipeline's path): nav: arcs are
+  /// lifted back into access arcs first.
+  [[nodiscard]] static std::shared_ptr<aop::Aspect> from_linkbase(
+      const xlink::TraversalGraph& graph,
+      const NavigationAspectOptions& options = {});
+
+  /// From a *contextual* linkbase (build_context_linkbase): arcs keep
+  /// their nav:context tags, so tour anchors appear only on pages composed
+  /// inside the matching navigational context.
+  [[nodiscard]] static std::shared_ptr<aop::Aspect> from_contextual_linkbase(
+      const xlink::TraversalGraph& graph,
+      const NavigationAspectOptions& options = {});
+};
+
+}  // namespace navsep::core

@@ -1,0 +1,87 @@
+#include "core/personalization.hpp"
+
+#include <vector>
+
+#include "xml/dom.hpp"
+
+namespace navsep::core {
+
+namespace {
+
+/// Remove direct children of `parent` that `pred` selects (indices shift,
+/// so walk back to front).
+template <typename Pred>
+void remove_children_if(xml::Element& parent, Pred pred) {
+  for (std::size_t i = parent.children().size(); i-- > 0;) {
+    const xml::Element* child = parent.children()[i]->as_element();
+    if (child != nullptr && pred(*child)) {
+      (void)parent.remove_child(i);
+    }
+  }
+}
+
+void strip_images(xml::Element& root) {
+  root.walk([](xml::Element& e) {
+    remove_children_if(e, [](const xml::Element& c) {
+      return c.name().local == "img";
+    });
+  });
+}
+
+void compact_attributes(xml::Element& body) {
+  // Node pages render attributes as <p><b>name: </b>value</p>; Compact
+  // keeps only the first such paragraph (in document order).
+  std::vector<std::size_t> attribute_paragraphs;
+  for (std::size_t i = 0; i < body.children().size(); ++i) {
+    const xml::Element* child = body.children()[i]->as_element();
+    if (child != nullptr && child->name().local == "p" &&
+        child->child("b") != nullptr) {
+      attribute_paragraphs.push_back(i);
+    }
+  }
+  for (std::size_t k = attribute_paragraphs.size(); k-- > 1;) {
+    (void)body.remove_child(attribute_paragraphs[k]);
+  }
+}
+
+void suppress_tour_anchors(xml::Element& body) {
+  body.walk([](xml::Element& e) {
+    if (e.attribute_or("class", "") != "navigation") return;
+    remove_children_if(e, [](const xml::Element& c) {
+      std::string cls = c.attribute_or("class", "");
+      return cls == "nav-next" || cls == "nav-prev";
+    });
+  });
+}
+
+void greet(xml::Element& body, const std::string& who) {
+  auto p = std::make_unique<xml::Element>(xml::QName("p"));
+  p->set_attribute("class", "greeting");
+  p->append_text("Welcome, " + who);
+  body.insert(0, std::move(p));
+}
+
+}  // namespace
+
+std::shared_ptr<aop::Aspect> PersonalizationAspect::for_profile(
+    const UserProfile& profile, int precedence) {
+  auto aspect = std::make_shared<aop::Aspect>("personalization", precedence);
+  UserProfile p = profile;  // captured by value: the aspect is self-contained
+  aspect->after(
+      "compose(*) || buildIndex(*)",
+      [p](aop::JoinPointContext& ctx) {
+        auto* slot = ctx.payload_as<xml::Element*>();
+        if (slot == nullptr || *slot == nullptr) return;
+        xml::Element& body = **slot;
+        if (!p.show_images) strip_images(body);
+        if (p.detail == UserProfile::Detail::Compact) {
+          compact_attributes(body);
+        }
+        if (p.suppress_tours) suppress_tour_anchors(body);
+        if (p.greet) greet(body, p.name);
+      },
+      "customize composed pages for profile '" + profile.name + "'");
+  return aspect;
+}
+
+}  // namespace navsep::core

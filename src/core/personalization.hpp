@@ -1,0 +1,51 @@
+// Personalization: the paper's §2 definition of navigation distinguishes
+// navigation objects from conceptual objects because "they are customized
+// according to the user's profile and the tasks that are being made"
+// ([Schwabe/Rossi 98]). This module expresses that customization as
+// another woven aspect, demonstrating that the mechanism built for
+// navigation carries further separated concerns unchanged.
+//
+// The PersonalizationAspect post-processes composed pages:
+//   * detail level Compact removes secondary attribute paragraphs,
+//   * show_images=false strips <img> placeholders,
+//   * an optional greeting tagged with the profile name is prepended.
+//
+// It composes with the NavigationAspect through precedence: it runs after
+// navigation injection (higher precedence = later among after-advice), so
+// it sees — and may also trim — the navigation block.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "aop/aspect.hpp"
+
+namespace navsep::core {
+
+struct UserProfile {
+  std::string name = "visitor";
+
+  enum class Detail { Full, Compact };
+  Detail detail = Detail::Full;
+
+  /// Keep the <img> placeholders on node pages?
+  bool show_images = true;
+
+  /// Prepend "Welcome, <name>" to every page?
+  bool greet = false;
+
+  /// Hide tour (next/prev) anchors — e.g. a kiosk profile restricted to
+  /// index navigation.
+  bool suppress_tours = false;
+};
+
+class PersonalizationAspect {
+ public:
+  /// Build the aspect for one profile. `precedence` must exceed the
+  /// navigation aspect's (default 10) for tour suppression to see the
+  /// injected anchors.
+  [[nodiscard]] static std::shared_ptr<aop::Aspect> for_profile(
+      const UserProfile& profile, int precedence = 20);
+};
+
+}  // namespace navsep::core

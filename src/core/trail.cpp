@@ -1,0 +1,55 @@
+#include "core/trail.hpp"
+
+#include "common/strings.hpp"
+#include "xml/dom.hpp"
+
+namespace navsep::core {
+
+std::vector<std::string> Trail::recent(std::size_t n) const {
+  const auto& all = *steps_;
+  std::vector<std::string> out;
+  std::size_t start = all.size() > n ? all.size() - n : 0;
+  for (std::size_t i = start; i < all.size(); ++i) {
+    out.push_back(all[i].node_id);
+  }
+  return out;
+}
+
+std::shared_ptr<aop::Aspect> TrailAspect::create(Trail trail,
+                                                 bool render_breadcrumbs,
+                                                 std::size_t breadcrumb_length,
+                                                 int precedence) {
+  auto aspect = std::make_shared<aop::Aspect>("trail", precedence);
+
+  Trail recorder = trail;
+  aspect->before(
+      "traverse(*)",
+      [recorder](aop::JoinPointContext& ctx) {
+        const aop::JoinPoint& jp = ctx.join_point();
+        recorder.steps_->push_back(
+            TrailStep{jp.instance, std::string(jp.tag(aop::tags::kRole)),
+                      std::string(jp.tag(aop::tags::kContext))});
+      },
+      "record every link traversal");
+
+  if (render_breadcrumbs) {
+    Trail reader = trail;
+    aspect->after(
+        "compose(*)",
+        [reader, breadcrumb_length](aop::JoinPointContext& ctx) {
+          auto* slot = ctx.payload_as<xml::Element*>();
+          if (slot == nullptr || *slot == nullptr) return;
+          std::vector<std::string> crumbs = reader.recent(breadcrumb_length);
+          if (crumbs.empty()) return;
+          xml::Element& p = (*slot)->append_element("p");
+          p.set_attribute("class", "trail");
+          p.append_text(strings::join(
+              std::vector<std::string_view>(crumbs.begin(), crumbs.end()),
+              " \xE2\x86\x92 "));  // " → "
+        },
+        "render the breadcrumb line");
+  }
+  return aspect;
+}
+
+}  // namespace navsep::core

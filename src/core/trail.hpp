@@ -1,0 +1,59 @@
+// The trail aspect: session history as a separated concern.
+//
+// HDM/OOHDM treat "where have I been" (breadcrumbs, guided-tour progress)
+// as navigation-adjacent UI that tends to get tangled into page code just
+// like links do. TrailAspect keeps it out: it *observes* LinkTraversal
+// join points announced by NavigationSession and *contributes* a
+// breadcrumb block at PageCompose — one aspect, two pointcuts, no page
+// code involved.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aop/aspect.hpp"
+
+namespace navsep::core {
+
+/// One recorded traversal step.
+struct TrailStep {
+  std::string node_id;
+  std::string role;     // visit / next / prev / enter-context / ...
+  std::string context;  // qualified context at traversal time ("" = none)
+};
+
+/// Shared trail state: the aspect holds one of these; tests and UIs read
+/// it. (Value-semantic interface over an internal shared buffer so the
+/// aspect's copies observe the same trail.)
+class Trail {
+ public:
+  Trail() : steps_(std::make_shared<std::vector<TrailStep>>()) {}
+
+  [[nodiscard]] const std::vector<TrailStep>& steps() const noexcept {
+    return *steps_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return steps_->size(); }
+  void clear() noexcept { steps_->clear(); }
+
+  /// The last `n` node ids, oldest first (the breadcrumb line).
+  [[nodiscard]] std::vector<std::string> recent(std::size_t n) const;
+
+ private:
+  friend class TrailAspect;
+  std::shared_ptr<std::vector<TrailStep>> steps_;
+};
+
+class TrailAspect {
+ public:
+  /// Build the aspect. It records every traverse(*) into `trail` and, when
+  /// `render_breadcrumbs` is true, appends a
+  /// `<p class="trail">guitar → guernica → avignon</p>` block to composed
+  /// pages (last `breadcrumb_length` stops).
+  [[nodiscard]] static std::shared_ptr<aop::Aspect> create(
+      Trail trail, bool render_breadcrumbs = true,
+      std::size_t breadcrumb_length = 5, int precedence = 15);
+};
+
+}  // namespace navsep::core

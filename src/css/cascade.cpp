@@ -1,0 +1,98 @@
+#include <algorithm>
+
+#include "css/css.hpp"
+
+namespace navsep::css {
+
+void StyleResolver::add_sheet(Stylesheet sheet, Origin origin) {
+  sheets_.push_back(std::move(sheet));
+  const Stylesheet& stored = sheets_.back();
+  for (const Rule& rule : stored.rules) {
+    for (const Selector& sel : rule.selectors) {
+      index_.push_back(TaggedRule{sel, &rule, origin, index_.size()});
+    }
+  }
+}
+
+std::optional<std::string> StyleResolver::cascaded(
+    const xml::Element& e, std::string_view property) const {
+  // Winner = max by (importance, origin, specificity, source order).
+  const Declaration* best = nullptr;
+  std::tuple<int, int, std::uint32_t, std::size_t> best_key;
+  for (const TaggedRule& tr : index_) {
+    if (!tr.selector.matches(e)) continue;
+    for (const Declaration& d : tr.rule->declarations) {
+      if (d.property != property) continue;
+      auto key = std::make_tuple(d.important ? 1 : 0,
+                                 static_cast<int>(tr.origin),
+                                 tr.selector.specificity(), tr.order);
+      if (best == nullptr || key > best_key) {
+        best = &d;
+        best_key = key;
+      }
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->value;
+}
+
+std::optional<std::string> StyleResolver::computed(
+    const xml::Element& e, std::string_view property) const {
+  std::optional<std::string> own = cascaded(e, property);
+  const bool wants_inherit = own.has_value() && *own == "inherit";
+  if (own.has_value() && !wants_inherit) return own;
+  if (wants_inherit || inherits_by_default(property)) {
+    for (const xml::Node* p = e.parent(); p != nullptr; p = p->parent()) {
+      const xml::Element* pe = p->as_element();
+      if (pe == nullptr) break;
+      std::optional<std::string> v = cascaded(*pe, property);
+      if (v.has_value() && *v != "inherit") return v;
+    }
+  }
+  return std::nullopt;
+}
+
+std::map<std::string, std::string> StyleResolver::computed_style(
+    const xml::Element& e) const {
+  // Gather candidate properties from every rule that matches the element
+  // or one of its ancestors (for inheritance), then compute each.
+  std::map<std::string, std::string> out;
+  std::vector<const xml::Element*> chain;
+  for (const xml::Node* n = &e; n != nullptr; n = n->parent()) {
+    if (const xml::Element* el = n->as_element()) chain.push_back(el);
+  }
+  std::vector<std::string> candidates;
+  for (const TaggedRule& tr : index_) {
+    bool relevant = false;
+    for (const xml::Element* el : chain) {
+      if (tr.selector.matches(*el)) {
+        relevant = el == &e;
+        if (!relevant) {
+          // Ancestor match matters only for inheritable properties.
+          for (const Declaration& d : tr.rule->declarations) {
+            if (inherits_by_default(d.property)) {
+              candidates.push_back(d.property);
+            }
+          }
+        }
+        break;
+      }
+    }
+    if (relevant) {
+      for (const Declaration& d : tr.rule->declarations) {
+        candidates.push_back(d.property);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  for (const std::string& prop : candidates) {
+    if (std::optional<std::string> v = computed(e, prop)) {
+      out.emplace(prop, std::move(*v));
+    }
+  }
+  return out;
+}
+
+}  // namespace navsep::css

@@ -1,0 +1,126 @@
+// A CSS2 subset: the presentation half of the paper's
+// data / presentation / navigation split.
+//
+// Supported grammar:
+//   * selectors — type, universal `*`, `.class`, `#id`, attribute selectors
+//     ([attr], [attr=v], [attr~=v], [attr|=v]), descendant and child
+//     combinators, comma-separated selector groups;
+//   * declarations — `property: value` with optional `!important`;
+//   * cascade — origin (user agent < author), importance, specificity,
+//     source order; inheritance for the CSS2 inherited properties and the
+//     explicit `inherit` keyword.
+//
+// Out of scope (documented): pseudo-classes/elements, media queries,
+// shorthand expansion, and actual layout — the museum pipeline only needs
+// computed declarations per element.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/dom.hpp"
+
+namespace navsep::css {
+
+/// [attr], [attr=v], [attr~=v], [attr|=v]
+struct AttributeSelector {
+  enum class Op { Exists, Equals, Includes, DashMatch };
+  std::string name;
+  Op op = Op::Exists;
+  std::string value;
+};
+
+/// One compound selector: everything that applies to a single element.
+struct SimpleSelector {
+  std::string type;  // element name; empty or "*" = universal
+  std::string id;
+  std::vector<std::string> classes;
+  std::vector<AttributeSelector> attributes;
+
+  [[nodiscard]] bool matches(const xml::Element& e) const;
+};
+
+/// A selector chain: compounds joined by combinators, e.g. `ul > li a`.
+struct Selector {
+  enum class Combinator { Descendant, Child };
+  std::vector<SimpleSelector> compounds;       // left to right
+  std::vector<Combinator> combinators;         // size = compounds-1
+
+  [[nodiscard]] bool matches(const xml::Element& e) const;
+
+  /// CSS2 specificity as (ids, classes+attrs, types), packed so that
+  /// lexicographic comparison is numeric comparison.
+  [[nodiscard]] std::uint32_t specificity() const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct Declaration {
+  std::string property;  // lowercase
+  std::string value;
+  bool important = false;
+};
+
+struct Rule {
+  std::vector<Selector> selectors;
+  std::vector<Declaration> declarations;
+};
+
+struct Stylesheet {
+  std::vector<Rule> rules;
+
+  [[nodiscard]] std::size_t rule_count() const noexcept {
+    return rules.size();
+  }
+};
+
+/// Parse a stylesheet. Per the CSS error-recovery rule, malformed
+/// declarations are skipped individually; a malformed selector drops its
+/// whole rule. Only unrecoverable input (unterminated block/string) throws.
+[[nodiscard]] Stylesheet parse(std::string_view text);
+
+/// Parse a single selector group ("a, b > c"). Throws navsep::ParseError.
+[[nodiscard]] std::vector<Selector> parse_selector_group(
+    std::string_view text);
+
+/// Where a stylesheet came from; later origins win ties.
+enum class Origin { UserAgent = 0, Author = 1 };
+
+/// Resolves computed style for elements of a document.
+class StyleResolver {
+ public:
+  void add_sheet(Stylesheet sheet, Origin origin = Origin::Author);
+
+  /// Declared value of `property` on `e` after cascade (no inheritance).
+  [[nodiscard]] std::optional<std::string> cascaded(
+      const xml::Element& e, std::string_view property) const;
+
+  /// Computed value: cascade + inheritance ('inherit' keyword and the
+  /// CSS2 inherited-by-default property list).
+  [[nodiscard]] std::optional<std::string> computed(
+      const xml::Element& e, std::string_view property) const;
+
+  /// Every computed property for an element (used by the benchmarks).
+  [[nodiscard]] std::map<std::string, std::string> computed_style(
+      const xml::Element& e) const;
+
+ private:
+  struct TaggedRule {
+    Selector selector;  // one selector of the rule
+    const Rule* rule;
+    Origin origin;
+    std::size_t order;  // global source order
+  };
+
+  std::vector<Stylesheet> sheets_;
+  std::vector<TaggedRule> index_;
+};
+
+/// True for properties that inherit by default in CSS2 (color, font-*,
+/// text-*, letter-spacing, line-height, list-style*, quotes, ...).
+[[nodiscard]] bool inherits_by_default(std::string_view property) noexcept;
+
+}  // namespace navsep::css

@@ -1,0 +1,254 @@
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/text_cursor.hpp"
+#include "css/css.hpp"
+
+namespace navsep::css {
+
+namespace {
+
+bool is_ident_start(char c) noexcept {
+  return strings::is_alpha(c) || c == '_' || c == '-' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool is_ident_char(char c) noexcept {
+  return is_ident_start(c) || strings::is_digit(c);
+}
+
+/// Skip whitespace and /* comments */.
+void skip_space(TextCursor& cur) {
+  for (;;) {
+    cur.skip_ws();
+    if (cur.consume("/*")) {
+      cur.take_until("*/");
+      cur.consume("*/");
+      continue;
+    }
+    return;
+  }
+}
+
+std::string parse_ident(TextCursor& cur) {
+  if (!is_ident_start(cur.peek())) cur.fail("expected identifier");
+  return std::string(cur.take_while(is_ident_char));
+}
+
+/// Attribute selector after '['.
+AttributeSelector parse_attribute(TextCursor& cur) {
+  AttributeSelector out;
+  skip_space(cur);
+  out.name = parse_ident(cur);
+  skip_space(cur);
+  if (cur.consume("~=")) {
+    out.op = AttributeSelector::Op::Includes;
+  } else if (cur.consume("|=")) {
+    out.op = AttributeSelector::Op::DashMatch;
+  } else if (cur.consume('=')) {
+    out.op = AttributeSelector::Op::Equals;
+  } else {
+    cur.skip_ws();
+    cur.expect("]", "']' after attribute name");
+    return out;
+  }
+  skip_space(cur);
+  char q = cur.peek();
+  if (q == '"' || q == '\'') {
+    cur.advance();
+    out.value = std::string(cur.take_until(std::string_view(&q, 1)));
+    cur.advance();
+  } else {
+    out.value = parse_ident(cur);
+  }
+  skip_space(cur);
+  cur.expect("]", "']' after attribute selector");
+  return out;
+}
+
+/// One compound selector (type/#id/.class/[attr] run, no whitespace).
+SimpleSelector parse_compound(TextCursor& cur) {
+  SimpleSelector out;
+  bool any = false;
+  if (cur.consume('*')) {
+    out.type = "*";
+    any = true;
+  } else if (is_ident_start(cur.peek())) {
+    out.type = parse_ident(cur);
+    any = true;
+  }
+  for (;;) {
+    if (cur.consume('#')) {
+      out.id = parse_ident(cur);
+      any = true;
+    } else if (cur.consume('.')) {
+      out.classes.push_back(parse_ident(cur));
+      any = true;
+    } else if (cur.consume('[')) {
+      out.attributes.push_back(parse_attribute(cur));
+      any = true;
+    } else {
+      break;
+    }
+  }
+  if (!any) cur.fail("expected selector");
+  return out;
+}
+
+Selector parse_selector(TextCursor& cur) {
+  Selector out;
+  out.compounds.push_back(parse_compound(cur));
+  for (;;) {
+    // Lookahead: whitespace may be a descendant combinator or the end.
+    bool ws = false;
+    std::size_t mark = cur.offset();
+    while (strings::is_space(cur.peek())) {
+      cur.advance();
+      ws = true;
+    }
+    if (cur.consume('>')) {
+      skip_space(cur);
+      out.combinators.push_back(Selector::Combinator::Child);
+      out.compounds.push_back(parse_compound(cur));
+      continue;
+    }
+    char c = cur.peek();
+    bool starts_compound = is_ident_start(c) || c == '*' || c == '#' ||
+                           c == '.' || c == '[';
+    if (ws && starts_compound) {
+      out.combinators.push_back(Selector::Combinator::Descendant);
+      out.compounds.push_back(parse_compound(cur));
+      continue;
+    }
+    // Not a combinator: rewind the whitespace for the caller.
+    if (ws && !starts_compound) {
+      cur = TextCursor(cur.input());
+      cur.advance(mark);
+    }
+    return out;
+  }
+}
+
+std::vector<Selector> parse_group(TextCursor& cur) {
+  std::vector<Selector> out;
+  skip_space(cur);
+  out.push_back(parse_selector(cur));
+  for (;;) {
+    skip_space(cur);
+    if (!cur.consume(',')) return out;
+    skip_space(cur);
+    out.push_back(parse_selector(cur));
+  }
+}
+
+/// Declarations inside `{ ... }`. Implements CSS error recovery: a bad
+/// declaration is skipped up to the next ';'.
+std::vector<Declaration> parse_declarations(TextCursor& cur) {
+  std::vector<Declaration> out;
+  for (;;) {
+    skip_space(cur);
+    if (cur.consume('}')) return out;
+    if (cur.eof()) cur.fail("unterminated declaration block");
+    if (cur.consume(';')) continue;
+
+    Declaration d;
+    try {
+      d.property = strings::to_lower(parse_ident(cur));
+      skip_space(cur);
+      cur.expect(":", "':' after property name");
+      skip_space(cur);
+      std::string value;
+      while (!cur.eof() && cur.peek() != ';' && cur.peek() != '}') {
+        char q = cur.peek();
+        if (q == '"' || q == '\'') {
+          cur.advance();
+          value.push_back(q);
+          value += std::string(cur.take_until(std::string_view(&q, 1)));
+          cur.advance();
+          value.push_back(q);
+        } else {
+          value.push_back(cur.next());
+        }
+      }
+      std::string trimmed(strings::trim(value));
+      // `!important` suffix.
+      constexpr std::string_view kImportant = "!important";
+      if (trimmed.size() >= kImportant.size()) {
+        std::string lowered = strings::to_lower(trimmed);
+        std::size_t at = lowered.rfind(kImportant);
+        if (at != std::string::npos &&
+            at + kImportant.size() == lowered.size()) {
+          d.important = true;
+          trimmed = std::string(strings::trim(trimmed.substr(0, at)));
+        }
+      }
+      d.value = trimmed;
+      if (!d.property.empty() && !d.value.empty()) {
+        out.push_back(std::move(d));
+      }
+    } catch (const ParseError&) {
+      // Error recovery: skip to the end of this declaration.
+      while (!cur.eof() && cur.peek() != ';' && cur.peek() != '}') {
+        cur.advance();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Selector> parse_selector_group(std::string_view text) {
+  TextCursor cur(text);
+  std::vector<Selector> group = parse_group(cur);
+  skip_space(cur);
+  if (!cur.eof()) cur.fail("trailing characters after selector");
+  return group;
+}
+
+Stylesheet parse(std::string_view text) {
+  Stylesheet out;
+  TextCursor cur(text);
+  for (;;) {
+    skip_space(cur);
+    if (cur.eof()) return out;
+    // At-rules are not supported; skip them wholesale (to ';' or block).
+    if (cur.consume('@')) {
+      while (!cur.eof() && cur.peek() != ';' && cur.peek() != '{') {
+        cur.advance();
+      }
+      if (cur.consume('{')) {
+        int depth = 1;
+        while (depth > 0 && !cur.eof()) {
+          char c = cur.next();
+          if (c == '{') ++depth;
+          if (c == '}') --depth;
+        }
+      } else {
+        cur.consume(';');
+      }
+      continue;
+    }
+
+    Rule rule;
+    bool selector_ok = true;
+    try {
+      rule.selectors = parse_group(cur);
+    } catch (const ParseError&) {
+      selector_ok = false;  // drop the whole rule, per CSS recovery
+    }
+    skip_space(cur);
+    if (!cur.consume('{')) {
+      // Resynchronize: skip to the next block and discard it.
+      while (!cur.eof() && cur.peek() != '{') cur.advance();
+      if (cur.eof()) return out;
+      cur.advance();
+      selector_ok = false;
+    }
+    std::vector<Declaration> decls = parse_declarations(cur);
+    if (selector_ok) {
+      rule.declarations = std::move(decls);
+      out.rules.push_back(std::move(rule));
+    }
+  }
+}
+
+}  // namespace navsep::css

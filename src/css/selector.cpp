@@ -1,0 +1,146 @@
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "css/css.hpp"
+
+namespace navsep::css {
+
+namespace {
+
+bool attr_matches(const AttributeSelector& sel, const xml::Element& e) {
+  auto v = e.attribute(sel.name);
+  if (!v.has_value()) return false;
+  switch (sel.op) {
+    case AttributeSelector::Op::Exists:
+      return true;
+    case AttributeSelector::Op::Equals:
+      return *v == sel.value;
+    case AttributeSelector::Op::Includes: {
+      for (std::string_view word : strings::split_ws(*v)) {
+        if (word == sel.value) return true;
+      }
+      return false;
+    }
+    case AttributeSelector::Op::DashMatch:
+      return *v == sel.value ||
+             (v->size() > sel.value.size() &&
+              v->substr(0, sel.value.size()) == sel.value &&
+              (*v)[sel.value.size()] == '-');
+  }
+  return false;
+}
+
+}  // namespace
+
+bool SimpleSelector::matches(const xml::Element& e) const {
+  if (!type.empty() && type != "*" && e.name().local != type) return false;
+  if (!id.empty()) {
+    auto v = e.attribute("id");
+    if (!v.has_value() || *v != id) return false;
+  }
+  if (!classes.empty()) {
+    auto v = e.attribute("class");
+    if (!v.has_value()) return false;
+    auto words = strings::split_ws(*v);
+    for (const auto& cls : classes) {
+      if (std::find(words.begin(), words.end(), cls) == words.end()) {
+        return false;
+      }
+    }
+  }
+  for (const auto& a : attributes) {
+    if (!attr_matches(a, e)) return false;
+  }
+  return true;
+}
+
+bool Selector::matches(const xml::Element& e) const {
+  if (compounds.empty()) return false;
+  // Match right to left: the rightmost compound must match `e`, then walk
+  // ancestors according to the combinators.
+  std::size_t i = compounds.size() - 1;
+  if (!compounds[i].matches(e)) return false;
+  const xml::Element* current = &e;
+  while (i > 0) {
+    Combinator comb = combinators[i - 1];
+    --i;
+    const xml::Node* parent = current->parent();
+    if (comb == Combinator::Child) {
+      const xml::Element* pe =
+          parent != nullptr ? parent->as_element() : nullptr;
+      if (pe == nullptr || !compounds[i].matches(*pe)) return false;
+      current = pe;
+    } else {
+      // Descendant: any ancestor may match; backtracking over ancestors is
+      // sound because each ancestor choice only loosens later constraints.
+      const xml::Element* anchor = nullptr;
+      for (const xml::Node* n = parent; n != nullptr; n = n->parent()) {
+        const xml::Element* pe = n->as_element();
+        if (pe != nullptr && compounds[i].matches(*pe)) {
+          anchor = pe;
+          break;
+        }
+      }
+      if (anchor == nullptr) return false;
+      current = anchor;
+    }
+  }
+  return true;
+}
+
+std::uint32_t Selector::specificity() const {
+  std::uint32_t ids = 0, classes = 0, types = 0;
+  for (const auto& c : compounds) {
+    if (!c.id.empty()) ++ids;
+    classes += static_cast<std::uint32_t>(c.classes.size());
+    classes += static_cast<std::uint32_t>(c.attributes.size());
+    if (!c.type.empty() && c.type != "*") ++types;
+  }
+  return (ids << 20) | (classes << 10) | types;
+}
+
+std::string Selector::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < compounds.size(); ++i) {
+    if (i > 0) {
+      out += combinators[i - 1] == Combinator::Child ? " > " : " ";
+    }
+    const SimpleSelector& c = compounds[i];
+    std::string piece;
+    if (!c.type.empty()) piece += c.type;
+    if (!c.id.empty()) piece += "#" + c.id;
+    for (const auto& cls : c.classes) piece += "." + cls;
+    for (const auto& a : c.attributes) {
+      piece += "[" + a.name;
+      switch (a.op) {
+        case AttributeSelector::Op::Exists: break;
+        case AttributeSelector::Op::Equals: piece += "=" + a.value; break;
+        case AttributeSelector::Op::Includes: piece += "~=" + a.value; break;
+        case AttributeSelector::Op::DashMatch: piece += "|=" + a.value; break;
+      }
+      piece += "]";
+    }
+    if (piece.empty()) piece.push_back('*');
+    out += piece;
+  }
+  return out;
+}
+
+bool inherits_by_default(std::string_view property) noexcept {
+  // The CSS2 inherited properties that matter for document styling.
+  static constexpr std::string_view kInherited[] = {
+      "color",          "font",           "font-family",
+      "font-size",      "font-style",     "font-variant",
+      "font-weight",    "letter-spacing", "line-height",
+      "list-style",     "list-style-image", "list-style-position",
+      "list-style-type", "quotes",        "text-align",
+      "text-indent",    "text-transform", "visibility",
+      "white-space",    "word-spacing",   "direction",
+  };
+  for (std::string_view p : kInherited) {
+    if (p == property) return true;
+  }
+  return false;
+}
+
+}  // namespace navsep::css

@@ -1,0 +1,345 @@
+#include "diff/diff.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace navsep::diff {
+
+Stats& Stats::operator+=(const Stats& o) noexcept {
+  lines_added += o.lines_added;
+  lines_deleted += o.lines_deleted;
+  hunks += o.hunks;
+  bytes_added += o.bytes_added;
+  bytes_deleted += o.bytes_deleted;
+  return *this;
+}
+
+std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (start < text.size()) out.push_back(text.substr(start));
+  return out;
+}
+
+namespace {
+
+/// Myers' greedy O(ND) shortest-edit-script algorithm over interned lines,
+/// with full trace kept for backtracking. Memory is O(D·(N+M)), which is
+/// comfortably small for the page-sized artifacts this library diffs;
+/// inputs beyond `kTraceLimit` edit distance fall back to a coarse
+/// prefix/suffix-strip diff (correct script, not guaranteed minimal).
+class Myers {
+ public:
+  Myers(const std::vector<int>& a, const std::vector<int>& b)
+      : a_(a), b_(b) {}
+
+  /// Pairs of (x, y) positions of matched elements, in order.
+  std::vector<std::pair<std::size_t, std::size_t>> matches() {
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    // Strip the common prefix/suffix first: cheap, and it bounds the
+    // region the quadratic-memory search ever sees.
+    std::size_t lo = 0;
+    std::size_t a_hi = a_.size();
+    std::size_t b_hi = b_.size();
+    while (lo < a_hi && lo < b_hi && a_[lo] == b_[lo]) {
+      out.emplace_back(lo, lo);
+      ++lo;
+    }
+    std::size_t suffix = 0;
+    while (a_hi > lo && b_hi > lo && a_[a_hi - 1] == b_[b_hi - 1]) {
+      --a_hi;
+      --b_hi;
+      ++suffix;
+    }
+    middle(lo, a_hi, lo, b_hi, out);
+    for (std::size_t i = 0; i < suffix; ++i) {
+      out.emplace_back(a_hi + i, b_hi + i);
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::ptrdiff_t kTraceLimit = 4096;
+
+  void middle(std::size_t a_lo, std::size_t a_hi, std::size_t b_lo,
+              std::size_t b_hi,
+              std::vector<std::pair<std::size_t, std::size_t>>& out) {
+    const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(a_hi - a_lo);
+    const std::ptrdiff_t m = static_cast<std::ptrdiff_t>(b_hi - b_lo);
+    if (n == 0 || m == 0) return;
+    const std::ptrdiff_t max = std::min(n + m, kTraceLimit);
+    const std::ptrdiff_t offset = max;
+    std::vector<std::ptrdiff_t> v(static_cast<std::size_t>(2 * max + 2), 0);
+    std::vector<std::vector<std::ptrdiff_t>> trace;
+
+    std::ptrdiff_t found_d = -1;
+    for (std::ptrdiff_t d = 0; d <= max && found_d < 0; ++d) {
+      trace.push_back(v);
+      for (std::ptrdiff_t k = -d; k <= d; k += 2) {
+        std::ptrdiff_t x;
+        if (k == -d ||
+            (k != d && v[static_cast<std::size_t>(offset + k - 1)] <
+                           v[static_cast<std::size_t>(offset + k + 1)])) {
+          x = v[static_cast<std::size_t>(offset + k + 1)];
+        } else {
+          x = v[static_cast<std::size_t>(offset + k - 1)] + 1;
+        }
+        std::ptrdiff_t y = x - k;
+        while (x < n && y < m &&
+               a_[a_lo + static_cast<std::size_t>(x)] ==
+                   b_[b_lo + static_cast<std::size_t>(y)]) {
+          ++x;
+          ++y;
+        }
+        v[static_cast<std::size_t>(offset + k)] = x;
+        if (x >= n && y >= m) {
+          found_d = d;
+          break;
+        }
+      }
+    }
+
+    if (found_d < 0) {
+      // Edit distance exceeds the trace budget: emit no matches for this
+      // region (treated as full replacement). Correct, just not minimal.
+      return;
+    }
+
+    // Backtrack from (n, m) to (0, 0), collecting matches in reverse.
+    std::vector<std::pair<std::size_t, std::size_t>> rev;
+    std::ptrdiff_t x = n, y = m;
+    for (std::ptrdiff_t d = found_d; d > 0; --d) {
+      const auto& pv = trace[static_cast<std::size_t>(d)];
+      const std::ptrdiff_t k = x - y;
+      std::ptrdiff_t prev_k;
+      if (k == -d ||
+          (k != d && pv[static_cast<std::size_t>(offset + k - 1)] <
+                         pv[static_cast<std::size_t>(offset + k + 1)])) {
+        prev_k = k + 1;
+      } else {
+        prev_k = k - 1;
+      }
+      const std::ptrdiff_t prev_x =
+          pv[static_cast<std::size_t>(offset + prev_k)];
+      const std::ptrdiff_t prev_y = prev_x - prev_k;
+      while (x > prev_x && y > prev_y) {
+        rev.emplace_back(a_lo + static_cast<std::size_t>(x - 1),
+                         b_lo + static_cast<std::size_t>(y - 1));
+        --x;
+        --y;
+      }
+      x = prev_x;
+      y = prev_y;
+    }
+    while (x > 0 && y > 0) {
+      rev.emplace_back(a_lo + static_cast<std::size_t>(x - 1),
+                       b_lo + static_cast<std::size_t>(y - 1));
+      --x;
+      --y;
+    }
+    out.insert(out.end(), rev.rbegin(), rev.rend());
+  }
+
+  const std::vector<int>& a_;
+  const std::vector<int>& b_;
+};
+
+std::vector<int> intern(const std::vector<std::string_view>& lines,
+                        std::map<std::string_view, int>& table) {
+  std::vector<int> out;
+  out.reserve(lines.size());
+  for (std::string_view l : lines) {
+    auto [it, _] = table.emplace(l, static_cast<int>(table.size()));
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Op> diff_lines(std::string_view a, std::string_view b) {
+  std::vector<std::string_view> la = split_lines(a);
+  std::vector<std::string_view> lb = split_lines(b);
+  std::map<std::string_view, int> table;
+  std::vector<int> ia = intern(la, table);
+  std::vector<int> ib = intern(lb, table);
+
+  auto matched = Myers(ia, ib).matches();
+
+  std::vector<Op> ops;
+  auto push = [&ops](OpKind kind, std::size_t a_start, std::size_t b_start,
+                     std::size_t count) {
+    if (count == 0) return;
+    if (!ops.empty() && ops.back().kind == kind &&
+        ops.back().a_start + ops.back().count == a_start &&
+        ops.back().b_start + ops.back().count == b_start) {
+      ops.back().count += count;
+      return;
+    }
+    ops.push_back(Op{kind, a_start, b_start, count});
+  };
+
+  std::size_t ai = 0, bi = 0;
+  for (auto [ma, mb] : matched) {
+    push(OpKind::Delete, ai, bi, ma - ai);
+    ai = ma;
+    push(OpKind::Insert, ai, bi, mb - bi);
+    bi = mb;
+    push(OpKind::Equal, ai, bi, 1);
+    ++ai;
+    ++bi;
+  }
+  push(OpKind::Delete, ai, bi, la.size() - ai);
+  ai = la.size();
+  push(OpKind::Insert, ai, bi, lb.size() - bi);
+  return ops;
+}
+
+Stats stats(std::string_view a, std::string_view b) {
+  std::vector<std::string_view> la = split_lines(a);
+  std::vector<std::string_view> lb = split_lines(b);
+  Stats out;
+  bool in_hunk = false;
+  for (const Op& op : diff_lines(a, b)) {
+    switch (op.kind) {
+      case OpKind::Equal:
+        in_hunk = false;
+        break;
+      case OpKind::Insert:
+        out.lines_added += op.count;
+        for (std::size_t i = 0; i < op.count; ++i) {
+          out.bytes_added += lb[op.b_start + i].size() + 1;
+        }
+        if (!in_hunk) ++out.hunks;
+        in_hunk = true;
+        break;
+      case OpKind::Delete:
+        out.lines_deleted += op.count;
+        for (std::size_t i = 0; i < op.count; ++i) {
+          out.bytes_deleted += la[op.a_start + i].size() + 1;
+        }
+        if (!in_hunk) ++out.hunks;
+        in_hunk = true;
+        break;
+    }
+  }
+  return out;
+}
+
+std::string unified(std::string_view a, std::string_view b,
+                    std::string_view a_name, std::string_view b_name,
+                    std::size_t context) {
+  std::vector<std::string_view> la = split_lines(a);
+  std::vector<std::string_view> lb = split_lines(b);
+  std::vector<Op> ops = diff_lines(a, b);
+
+  std::string out;
+  out += "--- " + std::string(a_name) + "\n";
+  out += "+++ " + std::string(b_name) + "\n";
+
+  // Group ops into hunks with `context` lines of surrounding equality.
+  struct Line {
+    char tag;
+    std::string_view text;
+    std::size_t a_line, b_line;
+  };
+  std::vector<Line> flat;
+  for (const Op& op : ops) {
+    for (std::size_t i = 0; i < op.count; ++i) {
+      switch (op.kind) {
+        case OpKind::Equal:
+          flat.push_back(Line{' ', la[op.a_start + i], op.a_start + i,
+                              op.b_start + i});
+          break;
+        case OpKind::Delete:
+          flat.push_back(
+              Line{'-', la[op.a_start + i], op.a_start + i, op.b_start});
+          break;
+        case OpKind::Insert:
+          flat.push_back(
+              Line{'+', lb[op.b_start + i], op.a_start, op.b_start + i});
+          break;
+      }
+    }
+  }
+
+  std::size_t i = 0;
+  while (i < flat.size()) {
+    if (flat[i].tag == ' ') {
+      ++i;
+      continue;
+    }
+    // Hunk: back up `context`, run forward until `context` equals separate
+    // us from the next change.
+    std::size_t start = i >= context ? i - context : 0;
+    while (start > 0 && flat[start - 1].tag != ' ') --start;
+    std::size_t end = i;
+    std::size_t equal_run = 0;
+    while (end < flat.size()) {
+      if (flat[end].tag == ' ') {
+        ++equal_run;
+        if (equal_run > context * 2) break;
+      } else {
+        equal_run = 0;
+      }
+      ++end;
+    }
+    if (equal_run > context) end -= equal_run - context;
+
+    std::size_t a_first = flat[start].a_line;
+    std::size_t b_first = flat[start].b_line;
+    std::size_t a_count = 0, b_count = 0;
+    for (std::size_t j = start; j < end; ++j) {
+      if (flat[j].tag != '+') ++a_count;
+      if (flat[j].tag != '-') ++b_count;
+    }
+    out += "@@ -" + std::to_string(a_first + 1) + "," +
+           std::to_string(a_count) + " +" + std::to_string(b_first + 1) +
+           "," + std::to_string(b_count) + " @@\n";
+    for (std::size_t j = start; j < end; ++j) {
+      out += flat[j].tag;
+      out += std::string(flat[j].text);
+      out += '\n';
+    }
+    i = end;
+  }
+  return out;
+}
+
+SiteDelta compare_sites(
+    const std::vector<std::pair<std::string, std::string>>& before,
+    const std::vector<std::pair<std::string, std::string>>& after) {
+  SiteDelta out;
+  std::map<std::string_view, const std::string*> b_map, a_map;
+  for (const auto& [path, content] : before) b_map.emplace(path, &content);
+  for (const auto& [path, content] : after) a_map.emplace(path, &content);
+
+  std::map<std::string_view, int> all_paths;
+  for (const auto& [p, _] : b_map) all_paths.emplace(p, 0);
+  for (const auto& [p, _] : a_map) all_paths.emplace(p, 0);
+
+  out.files_total = all_paths.size();
+  for (const auto& [path, _] : all_paths) {
+    auto bit = b_map.find(path);
+    auto ait = a_map.find(path);
+    std::string_view old_content =
+        bit == b_map.end() ? std::string_view() : *bit->second;
+    std::string_view new_content =
+        ait == a_map.end() ? std::string_view() : *ait->second;
+    Stats s = stats(old_content, new_content);
+    if (!s.unchanged()) {
+      ++out.files_touched;
+      out.touched_paths.emplace_back(path);
+      out.line_stats += s;
+    }
+  }
+  return out;
+}
+
+}  // namespace navsep::diff

@@ -1,0 +1,74 @@
+// Line-oriented diffing (Myers O(ND)) and change statistics.
+//
+// The paper's central claim is about *change impact*: how many authored
+// artifacts, and how many lines within them, must be touched to change an
+// access structure. This module measures exactly that — it diffs two
+// versions of a site artifact and aggregates counts across a whole site.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace navsep::diff {
+
+enum class OpKind { Equal, Insert, Delete };
+
+/// One run of consecutive lines with the same fate.
+struct Op {
+  OpKind kind = OpKind::Equal;
+  std::size_t a_start = 0;  // line index in `a` (for Equal/Delete)
+  std::size_t b_start = 0;  // line index in `b` (for Equal/Insert)
+  std::size_t count = 0;
+};
+
+/// Line-level diff statistics.
+struct Stats {
+  std::size_t lines_added = 0;
+  std::size_t lines_deleted = 0;
+  std::size_t hunks = 0;         // maximal runs of non-equal ops
+  std::size_t bytes_added = 0;
+  std::size_t bytes_deleted = 0;
+
+  [[nodiscard]] bool unchanged() const noexcept {
+    return lines_added == 0 && lines_deleted == 0;
+  }
+  [[nodiscard]] std::size_t lines_changed() const noexcept {
+    return lines_added + lines_deleted;
+  }
+
+  Stats& operator+=(const Stats& o) noexcept;
+};
+
+/// Split into lines; the trailing newline does not create an empty line.
+[[nodiscard]] std::vector<std::string_view> split_lines(std::string_view text);
+
+/// Myers diff over lines. The returned script transforms `a` into `b`.
+[[nodiscard]] std::vector<Op> diff_lines(std::string_view a,
+                                         std::string_view b);
+
+/// Aggregate statistics of a diff.
+[[nodiscard]] Stats stats(std::string_view a, std::string_view b);
+
+/// Render a unified diff (with `context` lines of context) for humans.
+[[nodiscard]] std::string unified(std::string_view a, std::string_view b,
+                                  std::string_view a_name = "a",
+                                  std::string_view b_name = "b",
+                                  std::size_t context = 3);
+
+/// Change statistics across two versions of a keyed artifact set
+/// (path → content). Artifacts present on only one side count as fully
+/// added/deleted.
+struct SiteDelta {
+  std::size_t files_touched = 0;
+  std::size_t files_total = 0;
+  Stats line_stats;
+  std::vector<std::string> touched_paths;
+};
+
+[[nodiscard]] SiteDelta compare_sites(
+    const std::vector<std::pair<std::string, std::string>>& before,
+    const std::vector<std::pair<std::string, std::string>>& after);
+
+}  // namespace navsep::diff

@@ -1,0 +1,201 @@
+#include "html/html.hpp"
+
+#include "xml/serializer.hpp"
+
+namespace navsep::html {
+
+Page::Page(std::string_view title) : doc_(std::make_unique<xml::Document>()) {
+  xml::Element& html = doc_->set_root(xml::QName("html"));
+  head_ = &html.append_element("head");
+  head_->append_element("title").append_text(title);
+  body_ = &html.append_element("body");
+}
+
+xml::Element& Page::heading(int level, std::string_view text,
+                            xml::Element* parent) {
+  if (level < 1) level = 1;
+  if (level > 6) level = 6;
+  xml::Element& h = (parent ? *parent : *body_)
+                        .append_element("h" + std::to_string(level));
+  h.append_text(text);
+  return h;
+}
+
+xml::Element& Page::paragraph(std::string_view text, xml::Element* parent) {
+  xml::Element& p = (parent ? *parent : *body_).append_element("p");
+  if (!text.empty()) p.append_text(text);
+  return p;
+}
+
+xml::Element& Page::anchor(std::string_view href, std::string_view text,
+                           xml::Element* parent) {
+  xml::Element& a = (parent ? *parent : *body_).append_element("a");
+  a.set_attribute("href", href);
+  a.append_text(text);
+  return a;
+}
+
+xml::Element& Page::image(std::string_view src, std::string_view alt,
+                          xml::Element* parent) {
+  xml::Element& img = (parent ? *parent : *body_).append_element("img");
+  img.set_attribute("src", src);
+  img.set_attribute("alt", alt);
+  return img;
+}
+
+xml::Element& Page::unordered_list(xml::Element* parent) {
+  return (parent ? *parent : *body_).append_element("ul");
+}
+
+xml::Element& Page::list_item(xml::Element& list) {
+  return list.append_element("li");
+}
+
+void Page::rule(xml::Element* parent) {
+  (parent ? *parent : *body_).append_element("hr");
+}
+
+void Page::line_break(xml::Element* parent) {
+  (parent ? *parent : *body_).append_element("br");
+}
+
+void Page::stylesheet(std::string_view href) {
+  xml::Element& link = head_->append_element("link");
+  link.set_attribute("rel", "stylesheet");
+  link.set_attribute("type", "text/css");
+  link.set_attribute("href", href);
+}
+
+std::string Page::to_string() const {
+  return navsep::html::write(*doc_, /*pretty=*/true);
+}
+
+bool is_void_element(std::string_view name) noexcept {
+  static constexpr std::string_view kVoid[] = {
+      "area", "base", "br",   "col",  "embed",  "hr",    "img",
+      "input", "link", "meta", "param", "source", "track", "wbr",
+  };
+  for (std::string_view v : kVoid) {
+    if (v == name) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Elements rendered inline (no indentation around them).
+bool is_inline(std::string_view name) noexcept {
+  static constexpr std::string_view kInline[] = {
+      "a", "b", "i", "em", "strong", "span", "code", "small", "img", "br",
+  };
+  for (std::string_view v : kInline) {
+    if (v == name) return true;
+  }
+  return false;
+}
+
+class HtmlWriter {
+ public:
+  explicit HtmlWriter(bool pretty) : pretty_(pretty) {}
+
+  std::string take() && { return std::move(out_); }
+
+  void document(const xml::Document& doc) {
+    out_ += "<!DOCTYPE html>";
+    if (pretty_) out_ += '\n';
+    for (const auto& child : doc.children()) node(*child, 0);
+    if (pretty_ && !out_.empty() && out_.back() != '\n') out_ += '\n';
+  }
+
+  void node(const xml::Node& n, int depth) {
+    switch (n.type()) {
+      case xml::NodeType::Element:
+        element(static_cast<const xml::Element&>(n), depth);
+        break;
+      case xml::NodeType::Text:
+        out_ += xml::escape_text(static_cast<const xml::Text&>(n).data());
+        break;
+      case xml::NodeType::Comment:
+        out_ += "<!--";
+        out_ += static_cast<const xml::Comment&>(n).data();
+        out_ += "-->";
+        break;
+      default:
+        break;  // PIs and attribute views do not appear in HTML output
+    }
+  }
+
+ private:
+  void element(const xml::Element& e, int depth) {
+    const std::string& name = e.name().local;
+    out_ += '<';
+    out_ += name;
+    for (const auto& a : e.attributes()) {
+      if (a.is_namespace_decl()) continue;
+      out_ += ' ';
+      out_ += a.name.local;
+      // Boolean attributes stay minimized (value equal to the name).
+      if (a.value != a.name.local) {
+        out_ += "=\"";
+        out_ += xml::escape_attribute(a.value);
+        out_ += '"';
+      }
+    }
+    out_ += '>';
+    if (is_void_element(name)) return;
+
+    // Mixed text+inline content (or a single child) stays on one line;
+    // a run of sibling elements lays out one per line, which is what the
+    // paper's page listings show (each navigation anchor on its own line).
+    bool has_text = false;
+    bool all_inline = true;
+    for (const auto& c : e.children()) {
+      if (c->is_text()) has_text = true;
+      const xml::Element* ce = c->as_element();
+      if (ce != nullptr && !is_inline(ce->name().local)) {
+        all_inline = false;
+      }
+    }
+    const bool inline_content =
+        all_inline && (has_text || e.children().size() == 1);
+
+    if (!pretty_ || inline_content) {
+      for (const auto& c : e.children()) node(*c, depth + 1);
+    } else {
+      for (const auto& c : e.children()) {
+        newline_indent(depth + 1);
+        node(*c, depth + 1);
+      }
+      newline_indent(depth);
+    }
+    out_ += "</";
+    out_ += name;
+    out_ += '>';
+  }
+
+  void newline_indent(int depth) {
+    out_ += '\n';
+    for (int i = 0; i < depth; ++i) out_ += "  ";
+  }
+
+  bool pretty_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string write(const xml::Document& doc, bool pretty) {
+  HtmlWriter w(pretty);
+  w.document(doc);
+  return std::move(w).take();
+}
+
+std::string write(const xml::Element& element, bool pretty) {
+  HtmlWriter w(pretty);
+  w.node(element, 0);
+  std::string out = std::move(w).take();
+  if (pretty && !out.empty() && out.back() != '\n') out += '\n';
+  return out;
+}
+
+}  // namespace navsep::html

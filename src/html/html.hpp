@@ -1,0 +1,68 @@
+// HTML generation on top of the XML DOM.
+//
+// The museum pages (paper Figures 3 and 4) are plain HTML 4-era documents.
+// We model an HTML page as an xml::Document and provide:
+//   * a builder with the handful of helpers the renderers need
+//     (headings, paragraphs, anchors, lists, horizontal rules);
+//   * a serializer that follows HTML rules rather than XML rules —
+//     void elements (<br>, <hr>, <img>...) never get end tags, and
+//     boolean attributes stay minimized.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "xml/dom.hpp"
+
+namespace navsep::html {
+
+/// A fluent builder for small HTML documents.
+class Page {
+ public:
+  explicit Page(std::string_view title);
+
+  /// The <body> element, for direct DOM work.
+  [[nodiscard]] xml::Element& body() noexcept { return *body_; }
+  [[nodiscard]] const xml::Element& body() const noexcept { return *body_; }
+  [[nodiscard]] xml::Element& head() noexcept { return *head_; }
+  [[nodiscard]] const xml::Document& document() const noexcept {
+    return *doc_;
+  }
+
+  /// Appends and returns child helpers (all under <body> by default).
+  xml::Element& heading(int level, std::string_view text,
+                        xml::Element* parent = nullptr);
+  xml::Element& paragraph(std::string_view text,
+                          xml::Element* parent = nullptr);
+  xml::Element& anchor(std::string_view href, std::string_view text,
+                       xml::Element* parent = nullptr);
+  xml::Element& image(std::string_view src, std::string_view alt,
+                      xml::Element* parent = nullptr);
+  xml::Element& unordered_list(xml::Element* parent = nullptr);
+  xml::Element& list_item(xml::Element& list);
+  void rule(xml::Element* parent = nullptr);  // <hr>
+  void line_break(xml::Element* parent = nullptr);  // <br>
+
+  /// Attach a stylesheet link in <head>.
+  void stylesheet(std::string_view href);
+
+  /// Serialize with the HTML writer below.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::unique_ptr<xml::Document> doc_;
+  xml::Element* head_ = nullptr;
+  xml::Element* body_ = nullptr;
+};
+
+/// True for the HTML void elements (no end tag, may not have children).
+[[nodiscard]] bool is_void_element(std::string_view name) noexcept;
+
+/// Serialize an element tree / document as HTML. `pretty` indents block
+/// structure; inline text content stays on one line.
+[[nodiscard]] std::string write(const xml::Document& doc, bool pretty = true);
+[[nodiscard]] std::string write(const xml::Element& element,
+                                bool pretty = true);
+
+}  // namespace navsep::html

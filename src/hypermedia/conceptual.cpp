@@ -1,0 +1,163 @@
+#include "hypermedia/conceptual.hpp"
+
+#include <memory>
+
+namespace navsep::hypermedia {
+
+bool ClassDef::has_attribute(std::string_view attr) const noexcept {
+  for (const auto& a : attributes) {
+    if (a.name == attr) return true;
+  }
+  return false;
+}
+
+ClassDef& ConceptualSchema::add_class(std::string name,
+                                      std::vector<AttributeDef> attributes) {
+  if (find_class(name) != nullptr) {
+    throw SemanticError("conceptual class '" + name + "' already declared");
+  }
+  classes_.push_back(ClassDef{std::move(name), std::move(attributes)});
+  return classes_.back();
+}
+
+RelationshipDef& ConceptualSchema::add_relationship(std::string name,
+                                                    std::string source,
+                                                    std::string target,
+                                                    Cardinality cardinality,
+                                                    std::string inverse) {
+  if (find_class(source) == nullptr) {
+    throw SemanticError("relationship '" + name + "': unknown source class '" +
+                        source + "'");
+  }
+  if (find_class(target) == nullptr) {
+    throw SemanticError("relationship '" + name + "': unknown target class '" +
+                        target + "'");
+  }
+  if (find_relationship(name) != nullptr) {
+    throw SemanticError("relationship '" + name + "' already declared");
+  }
+  relationships_.push_back(RelationshipDef{std::move(name), std::move(source),
+                                           std::move(target), cardinality,
+                                           std::move(inverse)});
+  const RelationshipDef& fwd = relationships_.back();
+  if (!fwd.inverse.empty() && find_relationship(fwd.inverse) == nullptr) {
+    // Auto-declare the inverse (target -> source, many).
+    relationships_.push_back(RelationshipDef{fwd.inverse, fwd.target_class,
+                                             fwd.source_class,
+                                             Cardinality::Many, fwd.name});
+  }
+  return relationships_[relationships_.size() -
+                        (relationships_.back().name == fwd.name ? 1 : 2)];
+}
+
+const ClassDef* ConceptualSchema::find_class(std::string_view name) const {
+  for (const auto& c : classes_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const RelationshipDef* ConceptualSchema::find_relationship(
+    std::string_view name) const {
+  for (const auto& r : relationships_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+std::optional<std::string_view> Entity::attribute(
+    std::string_view name) const {
+  auto it = attributes_.find(name);
+  if (it == attributes_.end()) return std::nullopt;
+  return std::string_view(it->second);
+}
+
+std::string Entity::attribute_or(std::string_view name,
+                                 std::string_view fallback) const {
+  auto v = attribute(name);
+  return std::string(v.value_or(fallback));
+}
+
+void Entity::set_attribute(std::string_view name, std::string value) {
+  if (!cls_->has_attribute(name)) {
+    throw SemanticError("class '" + cls_->name + "' has no attribute '" +
+                        std::string(name) + "'");
+  }
+  attributes_[std::string(name)] = std::move(value);
+}
+
+const std::vector<const Entity*>& Entity::related(
+    std::string_view relationship) const {
+  static const std::vector<const Entity*> kEmpty;
+  auto it = related_.find(relationship);
+  return it == related_.end() ? kEmpty : it->second;
+}
+
+Entity& ConceptualModel::create(std::string_view class_name, std::string id) {
+  const ClassDef* cls = schema_->find_class(class_name);
+  if (cls == nullptr) {
+    throw SemanticError("unknown conceptual class '" +
+                        std::string(class_name) + "'");
+  }
+  if (by_id_.find(id) != by_id_.end()) {
+    throw SemanticError("duplicate entity id '" + id + "'");
+  }
+  auto entity = std::make_unique<Entity>(id, *cls);
+  Entity* raw = entity.get();
+  by_id_.emplace(std::move(id), std::move(entity));
+  order_.push_back(raw);
+  return *raw;
+}
+
+void ConceptualModel::relate(Entity& source, std::string_view relationship,
+                             Entity& target) {
+  const RelationshipDef* rel = schema_->find_relationship(relationship);
+  if (rel == nullptr) {
+    throw SemanticError("unknown relationship '" + std::string(relationship) +
+                        "'");
+  }
+  if (source.conceptual_class().name != rel->source_class) {
+    throw SemanticError("relationship '" + rel->name + "' starts at class '" +
+                        rel->source_class + "', not '" +
+                        source.conceptual_class().name + "'");
+  }
+  if (target.conceptual_class().name != rel->target_class) {
+    throw SemanticError("relationship '" + rel->name + "' ends at class '" +
+                        rel->target_class + "', not '" +
+                        target.conceptual_class().name + "'");
+  }
+  auto& fwd = source.related_[rel->name];
+  if (rel->cardinality == Cardinality::One && !fwd.empty()) {
+    throw SemanticError("relationship '" + rel->name +
+                        "' is to-one and already set on '" + source.id() +
+                        "'");
+  }
+  for (const Entity* existing : fwd) {
+    if (existing == &target) return;  // idempotent
+  }
+  fwd.push_back(&target);
+  if (!rel->inverse.empty()) {
+    target.related_[rel->inverse].push_back(&source);
+  }
+}
+
+const Entity* ConceptualModel::find(std::string_view id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second.get();
+}
+
+Entity* ConceptualModel::find(std::string_view id) {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const Entity*> ConceptualModel::entities_of(
+    std::string_view class_name) const {
+  std::vector<const Entity*> out;
+  for (const Entity* e : order_) {
+    if (e->conceptual_class().name == class_name) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace navsep::hypermedia

@@ -1,0 +1,145 @@
+// The conceptual model: OOHDM's first design layer.
+//
+// A ConceptualSchema declares classes, their attributes and the
+// relationships between classes; a ConceptualModel holds instances
+// (entities) conforming to that schema. The museum example instantiates
+// Painter, Painting and Movement classes here; the navigational layer
+// (navigational.hpp) then derives node/link views from these objects.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace navsep::hypermedia {
+
+enum class Cardinality { One, Many };
+
+struct AttributeDef {
+  std::string name;
+  bool required = false;
+};
+
+struct RelationshipDef {
+  std::string name;           // e.g. "painted"
+  std::string source_class;   // "Painter"
+  std::string target_class;   // "Painting"
+  Cardinality cardinality = Cardinality::Many;
+  std::string inverse;        // e.g. "painted-by" ("" = no inverse)
+};
+
+struct ClassDef {
+  std::string name;
+  std::vector<AttributeDef> attributes;
+
+  [[nodiscard]] bool has_attribute(std::string_view attr) const noexcept;
+};
+
+/// Schema: classes + relationships, with lookup and validation.
+class ConceptualSchema {
+ public:
+  ClassDef& add_class(std::string name,
+                      std::vector<AttributeDef> attributes = {});
+  RelationshipDef& add_relationship(std::string name, std::string source,
+                                    std::string target,
+                                    Cardinality cardinality = Cardinality::Many,
+                                    std::string inverse = "");
+
+  [[nodiscard]] const ClassDef* find_class(std::string_view name) const;
+  [[nodiscard]] const RelationshipDef* find_relationship(
+      std::string_view name) const;
+  /// Stored in deques so ClassDef/RelationshipDef addresses stay stable
+  /// while entities hold pointers into them.
+  [[nodiscard]] const std::deque<ClassDef>& classes() const noexcept {
+    return classes_;
+  }
+  [[nodiscard]] const std::deque<RelationshipDef>& relationships() const
+      noexcept {
+    return relationships_;
+  }
+
+ private:
+  std::deque<ClassDef> classes_;
+  std::deque<RelationshipDef> relationships_;
+};
+
+/// One conceptual object.
+class Entity {
+ public:
+  Entity(std::string id, const ClassDef& cls) : id_(std::move(id)), cls_(&cls) {}
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+  [[nodiscard]] const ClassDef& conceptual_class() const noexcept {
+    return *cls_;
+  }
+
+  [[nodiscard]] std::optional<std::string_view> attribute(
+      std::string_view name) const;
+  [[nodiscard]] std::string attribute_or(std::string_view name,
+                                         std::string_view fallback) const;
+  void set_attribute(std::string_view name, std::string value);
+
+  /// Related entities through a named relationship, in insertion order.
+  [[nodiscard]] const std::vector<const Entity*>& related(
+      std::string_view relationship) const;
+
+ private:
+  friend class ConceptualModel;
+  std::string id_;
+  const ClassDef* cls_;
+  std::map<std::string, std::string, std::less<>> attributes_;
+  std::map<std::string, std::vector<const Entity*>, std::less<>> related_;
+};
+
+/// The instance store. Owns entities; enforces the schema on creation,
+/// attribute writes and relationship additions.
+class ConceptualModel {
+ public:
+  explicit ConceptualModel(const ConceptualSchema& schema)
+      : schema_(&schema) {}
+
+  ConceptualModel(const ConceptualModel&) = delete;
+  ConceptualModel& operator=(const ConceptualModel&) = delete;
+  ConceptualModel(ConceptualModel&&) = default;
+  ConceptualModel& operator=(ConceptualModel&&) = default;
+
+  [[nodiscard]] const ConceptualSchema& schema() const noexcept {
+    return *schema_;
+  }
+
+  /// Create an entity. Throws navsep::SemanticError for unknown classes or
+  /// duplicate ids.
+  Entity& create(std::string_view class_name, std::string id);
+
+  /// Link `source` to `target` through `relationship` (and through its
+  /// inverse when the schema declares one). Throws on class mismatches and
+  /// cardinality violations.
+  void relate(Entity& source, std::string_view relationship, Entity& target);
+
+  [[nodiscard]] const Entity* find(std::string_view id) const;
+  [[nodiscard]] Entity* find(std::string_view id);
+
+  /// All entities of one class, in creation order.
+  [[nodiscard]] std::vector<const Entity*> entities_of(
+      std::string_view class_name) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return order_.size(); }
+
+  /// Every entity in creation order.
+  [[nodiscard]] const std::vector<Entity*>& entities() const noexcept {
+    return order_;
+  }
+
+ private:
+  const ConceptualSchema* schema_;
+  std::map<std::string, std::unique_ptr<Entity>, std::less<>> by_id_;
+  std::vector<Entity*> order_;
+};
+
+}  // namespace navsep::hypermedia

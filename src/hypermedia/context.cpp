@@ -1,0 +1,102 @@
+#include "hypermedia/context.hpp"
+
+#include <map>
+
+namespace navsep::hypermedia {
+
+std::optional<std::size_t> NavigationalContext::position_of(
+    std::string_view node_id) const {
+  for (std::size_t i = 0; i < node_ids_.size(); ++i) {
+    if (node_ids_[i] == node_id) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> NavigationalContext::next_of(
+    std::string_view node_id) const {
+  auto pos = position_of(node_id);
+  if (!pos.has_value() || *pos + 1 >= node_ids_.size()) return std::nullopt;
+  return node_ids_[*pos + 1];
+}
+
+std::optional<std::string> NavigationalContext::prev_of(
+    std::string_view node_id) const {
+  auto pos = position_of(node_id);
+  if (!pos.has_value() || *pos == 0) return std::nullopt;
+  return node_ids_[*pos - 1];
+}
+
+const NavigationalContext* ContextFamily::find(std::string_view name) const {
+  for (const auto& c : contexts_) {
+    if (c.name() == name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const NavigationalContext*> ContextFamily::containing(
+    std::string_view node_id) const {
+  std::vector<const NavigationalContext*> out;
+  for (const auto& c : contexts_) {
+    if (c.contains(node_id)) out.push_back(&c);
+  }
+  return out;
+}
+
+ContextFamily ContextFamily::group_by_attribute(const NavigationalModel& model,
+                                                std::string_view node_class,
+                                                std::string_view attribute,
+                                                std::string family_name) {
+  // Preserve first-seen order of attribute values so context order is
+  // deterministic and matches the model.
+  std::vector<std::string> value_order;
+  std::map<std::string, std::vector<std::string>, std::less<>> groups;
+  for (const NavNode* n : model.nodes_of(node_class)) {
+    auto v = n->entity().attribute(attribute);
+    if (!v.has_value()) continue;
+    auto it = groups.find(*v);
+    if (it == groups.end()) {
+      value_order.emplace_back(*v);
+      it = groups.emplace(std::string(*v), std::vector<std::string>{}).first;
+    }
+    it->second.push_back(n->id());
+  }
+  std::vector<NavigationalContext> contexts;
+  contexts.reserve(value_order.size());
+  for (const std::string& value : value_order) {
+    contexts.emplace_back(family_name, value, groups[value]);
+  }
+  return ContextFamily(std::move(family_name), std::move(contexts));
+}
+
+ContextFamily ContextFamily::group_by_relation(const NavigationalModel& model,
+                                               std::string_view owner_class,
+                                               std::string_view relationship,
+                                               std::string family_name) {
+  std::vector<NavigationalContext> contexts;
+  for (const NavNode* owner : model.nodes_of(owner_class)) {
+    std::vector<std::string> member_ids;
+    for (const Entity* related : owner->entity().related(relationship)) {
+      if (model.node(related->id()) != nullptr) {
+        member_ids.push_back(related->id());
+      }
+    }
+    if (!member_ids.empty()) {
+      contexts.emplace_back(family_name, owner->id(), std::move(member_ids));
+    }
+  }
+  return ContextFamily(std::move(family_name), std::move(contexts));
+}
+
+ContextFamily ContextFamily::all_of_class(const NavigationalModel& model,
+                                          std::string_view node_class,
+                                          std::string family_name) {
+  std::vector<std::string> ids;
+  for (const NavNode* n : model.nodes_of(node_class)) {
+    ids.push_back(n->id());
+  }
+  std::vector<NavigationalContext> contexts;
+  contexts.emplace_back(family_name, "all", std::move(ids));
+  return ContextFamily(std::move(family_name), std::move(contexts));
+}
+
+}  // namespace navsep::hypermedia

@@ -1,0 +1,122 @@
+#include "hypermedia/navigational.hpp"
+
+namespace navsep::hypermedia {
+
+NodeClassDef& NavigationalSchema::add_node_class(NodeClassDef def) {
+  if (find_node_class(def.name) != nullptr) {
+    throw SemanticError("node class '" + def.name + "' already declared");
+  }
+  node_classes_.push_back(std::move(def));
+  return node_classes_.back();
+}
+
+LinkClassDef& NavigationalSchema::add_link_class(LinkClassDef def) {
+  link_classes_.push_back(std::move(def));
+  return link_classes_.back();
+}
+
+const NodeClassDef* NavigationalSchema::find_node_class(
+    std::string_view name) const {
+  for (const auto& nc : node_classes_) {
+    if (nc.name == name) return &nc;
+  }
+  return nullptr;
+}
+
+const NodeClassDef* NavigationalSchema::node_class_for(
+    std::string_view conceptual_class) const {
+  for (const auto& nc : node_classes_) {
+    if (nc.conceptual_class == conceptual_class) return &nc;
+  }
+  return nullptr;
+}
+
+std::string NavNode::title() const {
+  if (!cls_->title_attribute.empty()) {
+    if (auto v = entity_->attribute(cls_->title_attribute)) {
+      return std::string(*v);
+    }
+  }
+  return entity_->id();
+}
+
+std::vector<std::pair<std::string, std::string>> NavNode::visible_attributes()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const std::string& name : cls_->shown_attributes) {
+    if (auto v = entity_->attribute(name)) {
+      out.emplace_back(name, std::string(*v));
+    }
+  }
+  return out;
+}
+
+NavigationalModel NavigationalModel::derive(const ConceptualModel& conceptual,
+                                            const NavigationalSchema& schema) {
+  NavigationalModel out;
+
+  // Nodes first: one per entity of each viewed class, in entity order.
+  for (const NodeClassDef& nc : schema.node_classes()) {
+    if (conceptual.schema().find_class(nc.conceptual_class) == nullptr) {
+      throw SemanticError("node class '" + nc.name +
+                          "' views unknown conceptual class '" +
+                          nc.conceptual_class + "'");
+    }
+  }
+  for (const Entity* e : conceptual.entities()) {
+    const NodeClassDef* nc =
+        schema.node_class_for(e->conceptual_class().name);
+    if (nc == nullptr) continue;  // class not part of this navigation design
+    out.index_.emplace(e->id(), out.nodes_.size());
+    out.nodes_.emplace_back(*e, *nc);
+  }
+
+  // Links: one per related pair under each viewed relationship.
+  for (const LinkClassDef& lc : schema.link_classes()) {
+    if (conceptual.schema().find_relationship(lc.relationship) == nullptr) {
+      throw SemanticError("link class '" + lc.name +
+                          "' views unknown relationship '" + lc.relationship +
+                          "'");
+    }
+    for (const NavNode& source : out.nodes_) {
+      if (source.node_class().name != lc.source_node_class) continue;
+      for (const Entity* target_entity :
+           source.entity().related(lc.relationship)) {
+        const NavNode* target = out.node(target_entity->id());
+        if (target == nullptr ||
+            target->node_class().name != lc.target_node_class) {
+          continue;
+        }
+        out.links_.push_back(NavLink{&source, target, &lc});
+      }
+    }
+  }
+  return out;
+}
+
+const NavNode* NavigationalModel::node(std::string_view id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &nodes_[it->second];
+}
+
+std::vector<const NavNode*> NavigationalModel::nodes_of(
+    std::string_view node_class) const {
+  std::vector<const NavNode*> out;
+  for (const NavNode& n : nodes_) {
+    if (n.node_class().name == node_class) out.push_back(&n);
+  }
+  return out;
+}
+
+std::vector<const NavLink*> NavigationalModel::links_from(
+    std::string_view node_id, std::string_view link_class) const {
+  std::vector<const NavLink*> out;
+  for (const NavLink& l : links_) {
+    if (l.source->id() != node_id) continue;
+    if (!link_class.empty() && l.link_class->name != link_class) continue;
+    out.push_back(&l);
+  }
+  return out;
+}
+
+}  // namespace navsep::hypermedia

@@ -1,0 +1,124 @@
+// The navigational model: OOHDM's second design layer.
+//
+// Node classes are *views* over conceptual classes (a choice of visible
+// attributes and a title), link classes are views over relationships.
+// Deriving a NavigationalModel from a ConceptualModel instantiates one nav
+// node per entity of a viewed class and one nav link per related pair —
+// this is exactly the step OOHDM calls "defining the navigational schema
+// over the conceptual schema", and it is what lets the same conceptual
+// model serve different navigation designs.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hypermedia/conceptual.hpp"
+
+namespace navsep::hypermedia {
+
+/// A node class: which conceptual class it views and through which
+/// perspective (subset of attributes).
+struct NodeClassDef {
+  std::string name;              // "PaintingNode"
+  std::string conceptual_class;  // "Painting"
+  std::vector<std::string> shown_attributes;
+  std::string title_attribute;   // attribute used as the human title
+};
+
+/// A link class: a relationship lifted into navigation.
+struct LinkClassDef {
+  std::string name;            // "by-same-author"
+  std::string relationship;    // conceptual relationship viewed
+  std::string source_node_class;
+  std::string target_node_class;
+};
+
+class NavigationalSchema {
+ public:
+  NodeClassDef& add_node_class(NodeClassDef def);
+  LinkClassDef& add_link_class(LinkClassDef def);
+
+  [[nodiscard]] const NodeClassDef* find_node_class(std::string_view name) const;
+  [[nodiscard]] const NodeClassDef* node_class_for(
+      std::string_view conceptual_class) const;
+  /// Deques keep def addresses stable; NavNode/NavLink point into them.
+  [[nodiscard]] const std::deque<NodeClassDef>& node_classes() const noexcept {
+    return node_classes_;
+  }
+  [[nodiscard]] const std::deque<LinkClassDef>& link_classes() const noexcept {
+    return link_classes_;
+  }
+
+ private:
+  std::deque<NodeClassDef> node_classes_;
+  std::deque<LinkClassDef> link_classes_;
+};
+
+/// One navigation node: a view of one entity.
+class NavNode {
+ public:
+  NavNode(const Entity& entity, const NodeClassDef& cls)
+      : entity_(&entity), cls_(&cls) {}
+
+  [[nodiscard]] const std::string& id() const noexcept {
+    return entity_->id();
+  }
+  [[nodiscard]] const Entity& entity() const noexcept { return *entity_; }
+  [[nodiscard]] const NodeClassDef& node_class() const noexcept {
+    return *cls_;
+  }
+
+  /// The node's human-readable title (title attribute, falling back to id).
+  [[nodiscard]] std::string title() const;
+
+  /// Only the attributes the perspective exposes, in declared order.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> visible_attributes()
+      const;
+
+ private:
+  const Entity* entity_;
+  const NodeClassDef* cls_;
+};
+
+/// One navigation link instance.
+struct NavLink {
+  const NavNode* source = nullptr;
+  const NavNode* target = nullptr;
+  const LinkClassDef* link_class = nullptr;
+};
+
+/// The instantiated navigational model.
+class NavigationalModel {
+ public:
+  /// Derive nodes and links from conceptual instances. Throws
+  /// navsep::SemanticError when the schema references unknown conceptual
+  /// classes/relationships.
+  [[nodiscard]] static NavigationalModel derive(
+      const ConceptualModel& conceptual, const NavigationalSchema& schema);
+
+  [[nodiscard]] const std::vector<NavNode>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<NavLink>& links() const noexcept {
+    return links_;
+  }
+  [[nodiscard]] const NavNode* node(std::string_view id) const;
+
+  /// Nodes of one node class, in derivation order.
+  [[nodiscard]] std::vector<const NavNode*> nodes_of(
+      std::string_view node_class) const;
+
+  /// Links leaving a node, optionally restricted to one link class.
+  [[nodiscard]] std::vector<const NavLink*> links_from(
+      std::string_view node_id, std::string_view link_class = "") const;
+
+ private:
+  std::vector<NavNode> nodes_;
+  std::vector<NavLink> links_;
+  std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+}  // namespace navsep::hypermedia

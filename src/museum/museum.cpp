@@ -1,0 +1,297 @@
+#include "museum/museum.hpp"
+
+#include "common/rng.hpp"
+#include "xml/serializer.hpp"
+
+namespace navsep::museum {
+
+using hypermedia::AccessStructureKind;
+using hypermedia::Cardinality;
+using hypermedia::ContextFamily;
+using hypermedia::Member;
+using hypermedia::NavigationalModel;
+
+MuseumWorld::MuseumWorld() : model_(schema_) {
+  schema_.add_class("Painter", {{"name", true},
+                                {"born", false},
+                                {"nationality", false}});
+  schema_.add_class("Painting", {{"title", true},
+                                 {"year", false},
+                                 {"technique", false},
+                                 {"movement", false}});
+  schema_.add_class("Movement", {{"title", true}, {"period", false}});
+  schema_.add_relationship("painted", "Painter", "Painting",
+                           Cardinality::Many, "painted-by");
+  schema_.add_relationship("member-of", "Painting", "Movement",
+                           Cardinality::Many, "gathers");
+
+  nav_schema_.add_node_class(hypermedia::NodeClassDef{
+      "PainterNode", "Painter", {"name", "born", "nationality"}, "name"});
+  nav_schema_.add_node_class(hypermedia::NodeClassDef{
+      "PaintingNode",
+      "Painting",
+      {"title", "year", "technique", "movement"},
+      "title"});
+  nav_schema_.add_link_class(hypermedia::LinkClassDef{
+      "works", "painted", "PainterNode", "PaintingNode"});
+  nav_schema_.add_link_class(hypermedia::LinkClassDef{
+      "author", "painted-by", "PaintingNode", "PainterNode"});
+}
+
+std::unique_ptr<MuseumWorld> MuseumWorld::paper_instance() {
+  std::unique_ptr<MuseumWorld> world(new MuseumWorld());
+  auto& m = world->model_;
+
+  auto& cubism = m.create("Movement", "cubism");
+  cubism.set_attribute("title", "Cubism");
+  cubism.set_attribute("period", "1907-1925");
+
+  auto& picasso = m.create("Painter", "picasso");
+  picasso.set_attribute("name", "Pablo Picasso");
+  picasso.set_attribute("born", "1881");
+  picasso.set_attribute("nationality", "Spanish");
+
+  struct P {
+    const char* id;
+    const char* title;
+    const char* year;
+    const char* technique;
+  };
+  // The three paintings of the paper's "paintings by Picasso" context
+  // (Figures 3/4 name Guitar, Guernica and Avignon).
+  for (const P& p : {P{"guitar", "The Guitar", "1913", "oil on canvas"},
+                     P{"guernica", "Guernica", "1937", "oil on canvas"},
+                     P{"avignon", "Les Demoiselles d'Avignon", "1907",
+                       "oil on canvas"}}) {
+    auto& painting = m.create("Painting", p.id);
+    painting.set_attribute("title", p.title);
+    painting.set_attribute("year", p.year);
+    painting.set_attribute("technique", p.technique);
+    painting.set_attribute("movement", "cubism");
+    m.relate(picasso, "painted", painting);
+    m.relate(painting, "member-of", cubism);
+  }
+  return world;
+}
+
+std::unique_ptr<MuseumWorld> MuseumWorld::synthetic(const SyntheticSpec& spec) {
+  std::unique_ptr<MuseumWorld> world(new MuseumWorld());
+  auto& m = world->model_;
+  Rng rng(spec.seed);
+
+  std::vector<hypermedia::Entity*> movements;
+  for (std::size_t i = 0; i < spec.movements; ++i) {
+    auto& mv = m.create("Movement", "movement-" + std::to_string(i));
+    mv.set_attribute("title", "The " + rng.word(7) + " movement");
+    mv.set_attribute("period", std::to_string(1800 + 10 * i) + "-" +
+                                   std::to_string(1810 + 10 * i));
+    movements.push_back(&mv);
+  }
+
+  for (std::size_t p = 0; p < spec.painters; ++p) {
+    std::string pid = "painter-" + std::to_string(p);
+    auto& painter = m.create("Painter", pid);
+    painter.set_attribute("name", rng.word(6) + " " + rng.word(8));
+    painter.set_attribute("born",
+                          std::to_string(rng.between(1700, 1950)));
+    painter.set_attribute("nationality", rng.word(8));
+
+    for (std::size_t w = 0; w < spec.paintings_per_painter; ++w) {
+      std::string wid = pid + "-work-" + std::to_string(w);
+      auto& painting = m.create("Painting", wid);
+      painting.set_attribute("title", "The " + rng.word(5) + " " +
+                                          rng.word(7));
+      painting.set_attribute("year",
+                             std::to_string(rng.between(1720, 1990)));
+      painting.set_attribute("technique",
+                             rng.chance(0.5) ? "oil on canvas" : "tempera");
+      if (!movements.empty()) {
+        hypermedia::Entity* mv =
+            movements[rng.below(movements.size())];
+        painting.set_attribute("movement", mv->id());
+        m.relate(painting, "member-of", *mv);
+      }
+      m.relate(painter, "painted", painting);
+    }
+  }
+  return world;
+}
+
+NavigationalModel MuseumWorld::derive_navigation() const {
+  return NavigationalModel::derive(model_, nav_schema_);
+}
+
+ContextFamily MuseumWorld::by_author(const NavigationalModel& nav) const {
+  return ContextFamily::group_by_relation(nav, "PainterNode", "painted",
+                                          "ByAuthor");
+}
+
+ContextFamily MuseumWorld::by_movement(const NavigationalModel& nav) const {
+  return ContextFamily::group_by_attribute(nav, "PaintingNode", "movement",
+                                           "ByMovement");
+}
+
+namespace {
+
+std::vector<Member> members_for(
+    const NavigationalModel& nav,
+    const std::vector<std::string>& node_ids) {
+  std::vector<Member> out;
+  out.reserve(node_ids.size());
+  for (const std::string& id : node_ids) {
+    const hypermedia::NavNode* node = nav.node(id);
+    out.push_back(Member{id, node != nullptr ? node->title() : id});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<hypermedia::AccessStructure> MuseumWorld::paintings_structure(
+    AccessStructureKind kind, const NavigationalModel& nav,
+    std::string_view painter_id) const {
+  const hypermedia::Entity* painter = model_.find(painter_id);
+  if (painter == nullptr) {
+    throw SemanticError("unknown painter '" + std::string(painter_id) + "'");
+  }
+  std::vector<std::string> ids;
+  for (const hypermedia::Entity* w : painter->related("painted")) {
+    ids.push_back(w->id());
+  }
+  return hypermedia::make_access_structure(
+      kind, "paintings-of-" + std::string(painter_id),
+      members_for(nav, ids));
+}
+
+std::unique_ptr<hypermedia::AccessStructure>
+MuseumWorld::all_paintings_structure(AccessStructureKind kind,
+                                     const NavigationalModel& nav) const {
+  std::vector<std::string> ids;
+  for (const hypermedia::NavNode* n : nav.nodes_of("PaintingNode")) {
+    ids.push_back(n->id());
+  }
+  return hypermedia::make_access_structure(kind, "paintings",
+                                           members_for(nav, ids));
+}
+
+std::unique_ptr<xml::Document> MuseumWorld::painter_document(
+    std::string_view painter_id) const {
+  const hypermedia::Entity* painter = model_.find(painter_id);
+  if (painter == nullptr) {
+    throw SemanticError("unknown painter '" + std::string(painter_id) + "'");
+  }
+  auto doc = std::make_unique<xml::Document>();
+  xml::Element& root = doc->set_root(xml::QName("painter"));
+  root.set_attribute("id", painter->id());
+  for (std::string_view attr : {"name", "born", "nationality"}) {
+    if (auto v = painter->attribute(attr)) {
+      root.append_element(attr).append_text(*v);
+    }
+  }
+  for (const hypermedia::Entity* w : painter->related("painted")) {
+    xml::Element& p = root.append_element("painting");
+    p.set_attribute("id", w->id());
+    p.append_element("title").append_text(w->attribute_or("title", w->id()));
+    if (auto y = w->attribute("year")) {
+      p.append_element("year").append_text(*y);
+    }
+  }
+  return doc;
+}
+
+std::unique_ptr<xml::Document> MuseumWorld::painting_document(
+    std::string_view painting_id) const {
+  const hypermedia::Entity* painting = model_.find(painting_id);
+  if (painting == nullptr) {
+    throw SemanticError("unknown painting '" + std::string(painting_id) +
+                        "'");
+  }
+  auto doc = std::make_unique<xml::Document>();
+  xml::Element& root = doc->set_root(xml::QName("painting"));
+  root.set_attribute("id", painting->id());
+  for (std::string_view attr : {"title", "year", "technique", "movement"}) {
+    if (auto v = painting->attribute(attr)) {
+      root.append_element(attr).append_text(*v);
+    }
+  }
+  const auto& authors = painting->related("painted-by");
+  if (!authors.empty()) {
+    xml::Element& by = root.append_element("painted-by");
+    by.set_attribute("ref", authors.front()->id());
+    by.append_text(authors.front()->attribute_or("name", ""));
+  }
+  return doc;
+}
+
+std::vector<core::Artifact> MuseumWorld::data_artifacts() const {
+  std::vector<core::Artifact> out;
+  xml::WriteOptions pretty{.pretty = true, .indent = "  ", .declaration = true};
+  for (const std::string& pid : painter_ids()) {
+    out.emplace_back("data/" + pid + ".xml",
+                     xml::write(*painter_document(pid), pretty));
+  }
+  for (const std::string& wid : painting_ids()) {
+    out.emplace_back("data/" + wid + ".xml",
+                     xml::write(*painting_document(wid), pretty));
+  }
+  return out;
+}
+
+std::vector<std::string> MuseumWorld::painter_ids() const {
+  std::vector<std::string> out;
+  for (const hypermedia::Entity* e : model_.entities_of("Painter")) {
+    out.push_back(e->id());
+  }
+  return out;
+}
+
+std::vector<std::string> MuseumWorld::painting_ids() const {
+  std::vector<std::string> out;
+  for (const hypermedia::Entity* e : model_.entities_of("Painting")) {
+    out.push_back(e->id());
+  }
+  return out;
+}
+
+std::string MuseumWorld::presentation_xslt() {
+  return R"(<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+  <xsl:template match="/painting">
+    <div class="content">
+      <h1><xsl:value-of select="title"/></h1>
+      <img src="{@id}.jpg" alt="{title}"/>
+      <p><b>year: </b><xsl:value-of select="year"/></p>
+      <p><b>technique: </b><xsl:value-of select="technique"/></p>
+      <xsl:if test="painted-by">
+        <p><b>painter: </b><xsl:value-of select="painted-by"/></p>
+      </xsl:if>
+    </div>
+  </xsl:template>
+  <xsl:template match="/painter">
+    <div class="content">
+      <h1><xsl:value-of select="name"/></h1>
+      <p><b>born: </b><xsl:value-of select="born"/></p>
+      <p><b>nationality: </b><xsl:value-of select="nationality"/></p>
+      <ul class="works">
+        <xsl:for-each select="painting">
+          <li><xsl:value-of select="title"/></li>
+        </xsl:for-each>
+      </ul>
+    </div>
+  </xsl:template>
+</xsl:stylesheet>
+)";
+}
+
+std::string MuseumWorld::site_css() {
+  return R"(body { font-family: serif; color: black; }
+h1 { text-align: center; }
+img { display: block; }
+.navigation { border-top: 1px solid; margin-top: 1em; }
+.navigation a { margin-right: 1em; }
+.nav-index { list-style-type: square; }
+.nav-next { font-weight: bold; }
+.nav-prev { font-weight: bold; }
+)";
+}
+
+}  // namespace navsep::museum

@@ -1,0 +1,72 @@
+#include "site/browser.hpp"
+
+#include "uri/uri.hpp"
+
+namespace navsep::site {
+
+Browser::Browser(const HypermediaServer& server,
+                 const xlink::TraversalGraph& graph)
+    : server_(&server), graph_(&graph) {}
+
+bool Browser::load(const std::string& uri) {
+  Response r = server_->get(uri);
+  if (!r.ok()) return false;
+  location_ = uri;
+  page_ = r.body;
+  ++visits_;
+  return true;
+}
+
+bool Browser::navigate(std::string_view uri_ref) {
+  std::string absolute;
+  if (uri_ref.find("://") != std::string_view::npos) {
+    absolute = std::string(uri_ref);
+  } else {
+    const std::string& base =
+        location_.empty() ? server_->base() : location_;
+    absolute = uri::resolve(base, uri_ref);
+  }
+  if (!load(absolute)) return false;
+  // Truncate any forward entries, then push.
+  history_.resize(history_pos_);
+  history_.push_back(location_);
+  history_pos_ = history_.size();
+  return true;
+}
+
+std::vector<const xlink::Arc*> Browser::links() const {
+  if (location_.empty()) return {};
+  return graph_->outgoing(location_);
+}
+
+bool Browser::follow(const xlink::Arc& arc) {
+  if (arc.show == xlink::Show::None || arc.actuate == xlink::Actuate::None) {
+    return false;  // the linkbase forbids traversal
+  }
+  return navigate(arc.to.uri);
+}
+
+bool Browser::follow_role(std::string_view role) {
+  std::string bare(role);
+  std::string prefixed = "nav:" + bare;
+  for (const xlink::Arc* arc : links()) {
+    if (arc->arcrole == bare || arc->arcrole == prefixed) {
+      return follow(*arc);
+    }
+  }
+  return false;
+}
+
+bool Browser::back() {
+  if (history_pos_ <= 1) return false;
+  --history_pos_;
+  return load(history_[history_pos_ - 1]);
+}
+
+bool Browser::forward() {
+  if (history_pos_ >= history_.size()) return false;
+  ++history_pos_;
+  return load(history_[history_pos_ - 1]);
+}
+
+}  // namespace navsep::site

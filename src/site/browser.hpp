@@ -1,0 +1,61 @@
+// A browser simulator that actually consumes XLink: it fetches pages from
+// the in-process server, consults the linkbase traversal graph for the
+// arcs leaving the current resource, and actuates them (xlink:show/actuate
+// aware) — the demonstration the paper could not give in 2002 browsers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "site/server.hpp"
+#include "xlink/traversal.hpp"
+
+namespace navsep::site {
+
+class Browser {
+ public:
+  Browser(const HypermediaServer& server, const xlink::TraversalGraph& graph);
+
+  /// Fetch a URI (absolute, or resolved against the current location /
+  /// server base). Pushes onto history on success. `false` on 404.
+  bool navigate(std::string_view uri_ref);
+
+  [[nodiscard]] const std::string& location() const noexcept {
+    return location_;
+  }
+  [[nodiscard]] const std::string* page() const noexcept { return page_; }
+
+  /// Arcs leaving the current resource (linkbase order).
+  [[nodiscard]] std::vector<const xlink::Arc*> links() const;
+
+  /// Actuate one arc (must be an onRequest-style arc; show=none arcs are
+  /// refused). Returns false when the target 404s.
+  bool follow(const xlink::Arc& arc);
+
+  /// Follow the first outgoing arc whose arcrole is `role` (with or
+  /// without the "nav:" prefix). False when there is none.
+  bool follow_role(std::string_view role);
+
+  bool back();
+  bool forward();
+  [[nodiscard]] const std::vector<std::string>& history() const noexcept {
+    return history_;
+  }
+
+  [[nodiscard]] std::size_t pages_visited() const noexcept { return visits_; }
+
+ private:
+  bool load(const std::string& uri);
+
+  const HypermediaServer* server_;
+  const xlink::TraversalGraph* graph_;
+  std::string location_;
+  const std::string* page_ = nullptr;
+  std::vector<std::string> history_;
+  std::size_t history_pos_ = 0;  // points one past the current entry
+  std::size_t visits_ = 0;
+};
+
+}  // namespace navsep::site

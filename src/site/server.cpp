@@ -1,0 +1,58 @@
+#include "site/server.hpp"
+
+#include "uri/uri.hpp"
+
+namespace navsep::site {
+
+std::string_view content_type_for(std::string_view path) noexcept {
+  auto ends_with = [&](std::string_view suffix) {
+    return path.size() >= suffix.size() &&
+           path.substr(path.size() - suffix.size()) == suffix;
+  };
+  if (ends_with(".html") || ends_with(".htm")) return "text/html";
+  if (ends_with(".xml") || ends_with(".xsl")) return "text/xml";
+  if (ends_with(".css")) return "text/css";
+  return "application/octet-stream";
+}
+
+HypermediaServer::HypermediaServer(const VirtualSite& site, std::string base)
+    : site_(&site), base_(std::move(base)) {
+  if (!base_.empty() && base_.back() != '/') base_ += '/';
+}
+
+std::string HypermediaServer::uri_of(std::string_view path) const {
+  return base_ + std::string(path);
+}
+
+Response HypermediaServer::get(std::string_view uri_or_path) const {
+  ++requests_;
+  std::string path;
+  if (uri_or_path.find("://") != std::string_view::npos) {
+    // Absolute: must live under our base.
+    std::string normalized =
+        uri::normalize(uri::parse(uri_or_path)).to_string();
+    if (std::size_t hash = normalized.find('#');
+        hash != std::string::npos) {
+      normalized.resize(hash);
+    }
+    std::string norm_base = uri::normalize(uri::parse(base_)).to_string();
+    if (normalized.rfind(norm_base, 0) != 0) {
+      ++misses_;
+      return Response{404, "", nullptr};
+    }
+    path = normalized.substr(norm_base.size());
+  } else {
+    path = std::string(uri_or_path);
+    if (std::size_t hash = path.find('#'); hash != std::string::npos) {
+      path.resize(hash);
+    }
+  }
+  const std::string* body = site_->get(path);
+  if (body == nullptr) {
+    ++misses_;
+    return Response{404, "", nullptr};
+  }
+  return Response{200, std::string(content_type_for(path)), body};
+}
+
+}  // namespace navsep::site

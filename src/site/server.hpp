@@ -1,0 +1,50 @@
+// An in-process hypermedia server over a VirtualSite.
+//
+// Deliberately minimal HTTP semantics: GET by absolute URI or
+// site-relative path, 200/404 statuses, content types inferred from the
+// extension, and request counters. Enough for the browser and the
+// benchmarks; no sockets (see DESIGN.md non-goals).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "site/virtual_site.hpp"
+
+namespace navsep::site {
+
+struct Response {
+  int status = 404;
+  std::string content_type;
+  const std::string* body = nullptr;  // into the VirtualSite; may be null
+
+  [[nodiscard]] bool ok() const noexcept { return status == 200; }
+};
+
+class HypermediaServer {
+ public:
+  /// Serve `site` under `base` (e.g. "http://museum.example/site/").
+  HypermediaServer(const VirtualSite& site, std::string base);
+
+  /// GET by absolute URI (fragment ignored) or site-relative path.
+  [[nodiscard]] Response get(std::string_view uri_or_path) const;
+
+  [[nodiscard]] const std::string& base() const noexcept { return base_; }
+  [[nodiscard]] std::size_t requests() const noexcept { return requests_; }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+
+  /// Absolute URI of a site path.
+  [[nodiscard]] std::string uri_of(std::string_view path) const;
+
+ private:
+  const VirtualSite* site_;
+  std::string base_;
+  mutable std::size_t requests_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+/// "text/html", "text/xml", "text/css" or "application/octet-stream".
+[[nodiscard]] std::string_view content_type_for(std::string_view path) noexcept;
+
+}  // namespace navsep::site

@@ -1,0 +1,114 @@
+#include "site/session.hpp"
+
+namespace navsep::site {
+
+NavigationSession::NavigationSession(
+    const hypermedia::NavigationalModel& model,
+    std::vector<const hypermedia::ContextFamily*> families,
+    aop::Weaver* weaver)
+    : model_(&model), families_(std::move(families)), weaver_(weaver) {}
+
+std::string NavigationSession::context_tag() const {
+  return context_ == nullptr ? std::string() : context_->qualified_name();
+}
+
+void NavigationSession::announce_traversal(std::string_view from,
+                                           std::string_view to,
+                                           std::string_view role) {
+  if (weaver_ == nullptr) return;
+  aop::JoinPoint jp;
+  jp.kind = aop::JoinPointKind::LinkTraversal;
+  jp.subject = std::string(from);
+  jp.instance = std::string(to);
+  jp.tags.emplace(std::string(aop::tags::kRole), std::string(role));
+  std::string tag = context_tag();
+  if (!tag.empty()) {
+    jp.tags.emplace(std::string(aop::tags::kContext), tag);
+  }
+  weaver_->execute(jp, [] {});
+}
+
+void NavigationSession::announce_context(aop::JoinPointKind kind) {
+  if (weaver_ == nullptr || context_ == nullptr) return;
+  aop::JoinPoint jp;
+  jp.kind = kind;
+  jp.subject = context_->family();
+  jp.instance = context_->name();
+  weaver_->execute(jp, [] {});
+}
+
+bool NavigationSession::move_to(std::string_view node_id,
+                                std::string_view role) {
+  const hypermedia::NavNode* node = model_->node(node_id);
+  if (node == nullptr) return false;
+  std::string from = current_ != nullptr ? current_->id() : "";
+  current_ = node;
+  trail_.emplace_back(node->id());
+  announce_traversal(from, node_id, role);
+  return true;
+}
+
+bool NavigationSession::visit(std::string_view node_id) {
+  return move_to(node_id, "visit");
+}
+
+bool NavigationSession::enter_context(std::string_view family,
+                                      std::string_view context,
+                                      std::string_view node_id) {
+  for (const hypermedia::ContextFamily* f : families_) {
+    if (f->name() != family) continue;
+    const hypermedia::NavigationalContext* ctx = f->find(context);
+    if (ctx == nullptr || !ctx->contains(node_id)) return false;
+    if (!move_to(node_id, "enter-context")) return false;
+    if (context_ != nullptr) announce_context(aop::JoinPointKind::ContextExit);
+    context_ = ctx;
+    announce_context(aop::JoinPointKind::ContextEnter);
+    return true;
+  }
+  return false;
+}
+
+bool NavigationSession::through(std::string_view family) {
+  if (current_ == nullptr) return false;
+  for (const hypermedia::ContextFamily* f : families_) {
+    if (f->name() != family) continue;
+    auto hits = f->containing(current_->id());
+    if (hits.empty()) return false;
+    if (context_ != nullptr) announce_context(aop::JoinPointKind::ContextExit);
+    context_ = hits.front();
+    announce_context(aop::JoinPointKind::ContextEnter);
+    return true;
+  }
+  return false;
+}
+
+void NavigationSession::leave_context() {
+  if (context_ != nullptr) {
+    announce_context(aop::JoinPointKind::ContextExit);
+    context_ = nullptr;
+  }
+}
+
+bool NavigationSession::next() {
+  if (current_ == nullptr || context_ == nullptr) return false;
+  auto n = context_->next_of(current_->id());
+  if (!n.has_value()) return false;
+  return move_to(*n, "next");
+}
+
+bool NavigationSession::prev() {
+  if (current_ == nullptr || context_ == nullptr) return false;
+  auto p = context_->prev_of(current_->id());
+  if (!p.has_value()) return false;
+  return move_to(*p, "prev");
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> NavigationSession::position()
+    const {
+  if (current_ == nullptr || context_ == nullptr) return std::nullopt;
+  auto pos = context_->position_of(current_->id());
+  if (!pos.has_value()) return std::nullopt;
+  return std::make_pair(*pos + 1, context_->size());
+}
+
+}  // namespace navsep::site

@@ -1,0 +1,83 @@
+// Context-aware navigation sessions (the paper's §2 scenario).
+//
+// A NavigationSession tracks WHERE the user is and HOW they got there: the
+// active navigational context determines what "next" means. Reaching
+// Guernica through ByAuthor:picasso and pressing next gives the next
+// Picasso; reaching it through ByMovement:cubism gives the next cubist
+// work — same node, different successor. Sessions also announce
+// ContextEnter/ContextExit and LinkTraversal join points so aspects (e.g.
+// a history/audit aspect) can observe navigation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "aop/weaver.hpp"
+#include "hypermedia/context.hpp"
+#include "hypermedia/navigational.hpp"
+
+namespace navsep::site {
+
+class NavigationSession {
+ public:
+  /// `weaver` may be null (no join points announced).
+  NavigationSession(const hypermedia::NavigationalModel& model,
+                    std::vector<const hypermedia::ContextFamily*> families,
+                    aop::Weaver* weaver = nullptr);
+
+  /// Jump straight to a node (no context). False for unknown ids.
+  bool visit(std::string_view node_id);
+
+  /// Enter `family:context` at `node_id` (must be a member).
+  bool enter_context(std::string_view family, std::string_view context,
+                     std::string_view node_id);
+
+  /// Enter the context of `family` that contains the current node (the
+  /// "reached through" operation: visit(guernica) then
+  /// through("ByMovement") puts the session in ByMovement:cubism).
+  bool through(std::string_view family);
+
+  /// Leave the active context (stays on the node).
+  void leave_context();
+
+  /// Context-dependent motion. False at the ends or without a context.
+  bool next();
+  bool prev();
+
+  [[nodiscard]] const hypermedia::NavNode* current() const noexcept {
+    return current_;
+  }
+  [[nodiscard]] const hypermedia::NavigationalContext* context() const
+      noexcept {
+    return context_;
+  }
+
+  /// "family:name" of the active context ("" when none).
+  [[nodiscard]] std::string context_tag() const;
+
+  /// 1-based position within the context ("3 of 7"), nullopt outside.
+  [[nodiscard]] std::optional<std::pair<std::size_t, std::size_t>>
+  position() const;
+
+  /// Every node id visited, in order.
+  [[nodiscard]] const std::vector<std::string>& trail() const noexcept {
+    return trail_;
+  }
+
+ private:
+  void announce_traversal(std::string_view from, std::string_view to,
+                          std::string_view role);
+  void announce_context(aop::JoinPointKind kind);
+  bool move_to(std::string_view node_id, std::string_view role);
+
+  const hypermedia::NavigationalModel* model_;
+  std::vector<const hypermedia::ContextFamily*> families_;
+  aop::Weaver* weaver_;
+  const hypermedia::NavNode* current_ = nullptr;
+  const hypermedia::NavigationalContext* context_ = nullptr;
+  std::vector<std::string> trail_;
+};
+
+}  // namespace navsep::site

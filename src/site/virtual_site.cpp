@@ -1,0 +1,89 @@
+#include "site/virtual_site.hpp"
+
+#include "aop/weaver.hpp"
+#include "core/navigation_aspect.hpp"
+#include "xml/serializer.hpp"
+
+namespace navsep::site {
+
+void VirtualSite::put(std::string path, std::string content) {
+  files_[std::move(path)] = std::move(content);
+}
+
+const std::string* VirtualSite::get(std::string_view path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+std::size_t VirtualSite::total_bytes() const noexcept {
+  std::size_t out = 0;
+  for (const auto& [_, content] : files_) out += content.size();
+  return out;
+}
+
+std::vector<std::string> VirtualSite::paths() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, _] : files_) out.push_back(path);
+  return out;
+}
+
+std::vector<core::Artifact> VirtualSite::artifacts() const {
+  std::vector<core::Artifact> out;
+  out.reserve(files_.size());
+  for (const auto& [path, content] : files_) out.emplace_back(path, content);
+  return out;
+}
+
+VirtualSite build_separated_site(const museum::MuseumWorld& world,
+                                 const hypermedia::AccessStructure& structure,
+                                 const SiteBuildOptions& options) {
+  VirtualSite out;
+
+  // Authored: data documents, presentation, css.
+  for (auto& [path, content] : world.data_artifacts()) {
+    out.put(path, content);
+  }
+  out.put("presentation.xsl", museum::MuseumWorld::presentation_xslt());
+  out.put("museum.css", museum::MuseumWorld::site_css());
+
+  // Authored: the linkbase. Site-level navigation runs between the
+  // *rendered pages*, so locators point at the HTML resources.
+  core::LinkbaseOptions lb;
+  lb.base_uri = options.site_base + "links.xml";
+  lb.data_href = [](std::string_view id) {
+    return core::default_href_for(id);
+  };
+  lb.structure_href = [](std::string_view id) {
+    return core::default_href_for(id);
+  };
+  auto linkbase = core::build_linkbase(structure, lb);
+  out.put("links.xml", xml::write(*linkbase, {.pretty = true}));
+
+  // Derived: the woven pages.
+  hypermedia::NavigationalModel nav = world.derive_navigation();
+  aop::Weaver weaver;
+  weaver.register_aspect(core::NavigationAspect::from_linkbase(
+      core::load_linkbase(*linkbase), {}));
+  core::SeparatedComposer composer(weaver);
+  for (auto& page : composer.compose_site(nav, structure)) {
+    out.put(std::move(page.path), std::move(page.content));
+  }
+  return out;
+}
+
+VirtualSite build_tangled_site(const museum::MuseumWorld& world,
+                               const hypermedia::AccessStructure& structure,
+                               const SiteBuildOptions& options) {
+  (void)options;
+  VirtualSite out;
+  out.put("museum.css", museum::MuseumWorld::site_css());
+  hypermedia::NavigationalModel nav = world.derive_navigation();
+  core::TangledRenderer renderer(nav, structure);
+  for (auto& page : renderer.render_site()) {
+    out.put(std::move(page.path), std::move(page.content));
+  }
+  return out;
+}
+
+}  // namespace navsep::site

@@ -1,0 +1,61 @@
+// VirtualSite: the artifact store a built museum site lives in, and the
+// builders that produce it both ways (tangled vs separated).
+//
+// Substitution 2 from DESIGN.md: 2002 browsers could not process XLink, so
+// the paper could not demonstrate the woven result. We build the whole
+// consumer chain in-process — site → server → browser — which keeps the
+// experiments deterministic and network-free.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/migration.hpp"
+#include "hypermedia/access.hpp"
+#include "museum/museum.hpp"
+
+namespace navsep::site {
+
+class VirtualSite {
+ public:
+  void put(std::string path, std::string content);
+  [[nodiscard]] const std::string* get(std::string_view path) const;
+  [[nodiscard]] bool contains(std::string_view path) const {
+    return get(path) != nullptr;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return files_.size(); }
+  [[nodiscard]] std::size_t total_bytes() const noexcept;
+  [[nodiscard]] std::vector<std::string> paths() const;
+
+  /// Sorted (path, content) pairs — the diffable artifact set.
+  [[nodiscard]] std::vector<core::Artifact> artifacts() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> files_;
+};
+
+struct SiteBuildOptions {
+  /// Absolute base the site is served under; linkbase hrefs resolve
+  /// against `<site_base>links.xml`.
+  std::string site_base = "http://museum.example/site/";
+};
+
+/// Build the separated museum site for one access structure: authored
+/// artifacts (data XML per entity, links.xml, presentation.xsl,
+/// museum.css) plus the woven HTML pages.
+[[nodiscard]] VirtualSite build_separated_site(
+    const museum::MuseumWorld& world,
+    const hypermedia::AccessStructure& structure,
+    const SiteBuildOptions& options = {});
+
+/// Build the tangled museum site: HTML pages with embedded navigation
+/// (and the css). There are no separated artifacts to author.
+[[nodiscard]] VirtualSite build_tangled_site(
+    const museum::MuseumWorld& world,
+    const hypermedia::AccessStructure& structure,
+    const SiteBuildOptions& options = {});
+
+}  // namespace navsep::site

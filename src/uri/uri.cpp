@@ -1,0 +1,253 @@
+#include "uri/uri.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace navsep::uri {
+
+namespace {
+
+bool is_unreserved(char c) noexcept {
+  return strings::is_alnum(c) || c == '-' || c == '.' || c == '_' || c == '~';
+}
+
+bool is_hex(char c) noexcept {
+  return strings::is_digit(c) || (c >= 'a' && c <= 'f') ||
+         (c >= 'A' && c <= 'F');
+}
+
+int hex_value(char c) noexcept {
+  if (strings::is_digit(c)) return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return c - 'A' + 10;
+}
+
+char hex_digit(int v) noexcept {
+  return v < 10 ? static_cast<char>('0' + v) : static_cast<char>('A' + v - 10);
+}
+
+bool valid_scheme(std::string_view s) noexcept {
+  if (s.empty() || !strings::is_alpha(s[0])) return false;
+  for (char c : s) {
+    if (!strings::is_alnum(c) && c != '+' && c != '-' && c != '.') return false;
+  }
+  return true;
+}
+
+/// Merge a relative path with the base path (RFC 3986 §5.2.3).
+std::string merge_paths(const Uri& base, std::string_view ref_path) {
+  if (base.authority && base.path.empty()) {
+    return "/" + std::string(ref_path);
+  }
+  std::size_t slash = base.path.rfind('/');
+  if (slash == std::string::npos) return std::string(ref_path);
+  return base.path.substr(0, slash + 1) + std::string(ref_path);
+}
+
+}  // namespace
+
+Uri parse(std::string_view text) {
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (strings::is_space(c) || c == '<' || c == '>' || c == '"') {
+      throw ParseError("illegal character in URI reference",
+                       Position{1, i + 1, i});
+    }
+  }
+
+  Uri out;
+  // Fragment first: everything after the first '#'.
+  if (std::size_t hash = text.find('#'); hash != std::string_view::npos) {
+    out.fragment = std::string(text.substr(hash + 1));
+    text = text.substr(0, hash);
+  }
+  // Scheme: up to the first ':' provided it precedes any '/', '?'.
+  if (std::size_t colon = text.find(':'); colon != std::string_view::npos) {
+    std::string_view candidate = text.substr(0, colon);
+    bool before_delims = text.substr(0, colon).find('/') ==
+                             std::string_view::npos &&
+                         text.substr(0, colon).find('?') ==
+                             std::string_view::npos;
+    if (before_delims && valid_scheme(candidate)) {
+      out.scheme = strings::to_lower(candidate);
+      text = text.substr(colon + 1);
+    }
+  }
+  // Query: everything after the first '?'.
+  if (std::size_t q = text.find('?'); q != std::string_view::npos) {
+    out.query = std::string(text.substr(q + 1));
+    text = text.substr(0, q);
+  }
+  // Authority: "//" up to the next '/' (or end).
+  if (text.substr(0, 2) == "//") {
+    text = text.substr(2);
+    std::size_t slash = text.find('/');
+    if (slash == std::string_view::npos) {
+      out.authority = std::string(text);
+      text = {};
+    } else {
+      out.authority = std::string(text.substr(0, slash));
+      text = text.substr(slash);
+    }
+  }
+  out.path = std::string(text);
+  return out;
+}
+
+std::string Uri::to_string() const {
+  std::string out;
+  if (scheme) {
+    out += *scheme;
+    out += ':';
+  }
+  if (authority) {
+    out += "//";
+    out += *authority;
+  }
+  out += path;
+  if (query) {
+    out += '?';
+    out += *query;
+  }
+  if (fragment) {
+    out += '#';
+    out += *fragment;
+  }
+  return out;
+}
+
+std::string remove_dot_segments(std::string_view path) {
+  std::string input(path);
+  std::string output;
+  while (!input.empty()) {
+    if (input.rfind("../", 0) == 0) {
+      input.erase(0, 3);
+    } else if (input.rfind("./", 0) == 0) {
+      input.erase(0, 2);
+    } else if (input.rfind("/./", 0) == 0) {
+      input.replace(0, 3, "/");
+    } else if (input == "/.") {
+      input = "/";
+    } else if (input.rfind("/../", 0) == 0 || input == "/..") {
+      input.replace(0, input == "/.." ? 3 : 4, "/");
+      std::size_t slash = output.rfind('/');
+      output.erase(slash == std::string::npos ? 0 : slash);
+    } else if (input == "." || input == "..") {
+      input.clear();
+    } else {
+      std::size_t start = input[0] == '/' ? 1 : 0;
+      std::size_t slash = input.find('/', start);
+      std::size_t seg_end = slash == std::string::npos ? input.size() : slash;
+      output.append(input, 0, seg_end);
+      input.erase(0, seg_end);
+    }
+  }
+  return output;
+}
+
+Uri resolve(const Uri& base, const Uri& reference) {
+  Uri target;
+  if (reference.scheme) {
+    target.scheme = reference.scheme;
+    target.authority = reference.authority;
+    target.path = remove_dot_segments(reference.path);
+    target.query = reference.query;
+  } else {
+    if (reference.authority) {
+      target.authority = reference.authority;
+      target.path = remove_dot_segments(reference.path);
+      target.query = reference.query;
+    } else {
+      if (reference.path.empty()) {
+        target.path = base.path;
+        target.query = reference.query ? reference.query : base.query;
+      } else {
+        if (reference.path[0] == '/') {
+          target.path = remove_dot_segments(reference.path);
+        } else {
+          target.path = remove_dot_segments(merge_paths(base, reference.path));
+        }
+        target.query = reference.query;
+      }
+      target.authority = base.authority;
+    }
+    target.scheme = base.scheme;
+  }
+  target.fragment = reference.fragment;
+  return target;
+}
+
+std::string resolve(std::string_view base, std::string_view reference) {
+  return resolve(parse(base), parse(reference)).to_string();
+}
+
+Uri normalize(const Uri& u) {
+  Uri out = u;
+  if (out.scheme) out.scheme = strings::to_lower(*out.scheme);
+  if (out.authority) {
+    // Host is case-insensitive; userinfo and port are not touched beyond
+    // percent-normalization below.
+    out.authority = strings::to_lower(*out.authority);
+  }
+  auto renorm = [](std::string_view s) {
+    std::string decoded;
+    decoded.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] == '%' && i + 2 < s.size() && is_hex(s[i + 1]) &&
+          is_hex(s[i + 2])) {
+        int v = hex_value(s[i + 1]) * 16 + hex_value(s[i + 2]);
+        char c = static_cast<char>(v);
+        if (is_unreserved(c)) {
+          decoded.push_back(c);
+        } else {
+          decoded.push_back('%');
+          decoded.push_back(hex_digit(v / 16));
+          decoded.push_back(hex_digit(v % 16));
+        }
+        i += 2;
+      } else {
+        decoded.push_back(s[i]);
+      }
+    }
+    return decoded;
+  };
+  out.path = remove_dot_segments(renorm(out.path));
+  if (out.query) out.query = renorm(*out.query);
+  if (out.fragment) out.fragment = renorm(*out.fragment);
+  if (out.authority) out.authority = renorm(*out.authority);
+  return out;
+}
+
+std::string percent_encode(std::string_view s, std::string_view keep) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (is_unreserved(c) || keep.find(c) != std::string_view::npos) {
+      out.push_back(c);
+    } else {
+      auto b = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(hex_digit(b / 16));
+      out.push_back(hex_digit(b % 16));
+    }
+  }
+  return out;
+}
+
+std::string percent_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size() && is_hex(s[i + 1]) &&
+        is_hex(s[i + 2])) {
+      out.push_back(
+          static_cast<char>(hex_value(s[i + 1]) * 16 + hex_value(s[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace navsep::uri

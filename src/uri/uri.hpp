@@ -1,0 +1,70 @@
+// RFC 3986 URI references: parsing, recomposition, relative-reference
+// resolution and normalization.
+//
+// XLink locators carry URI references whose fragment part is an XPointer;
+// this module splits a reference into components, resolves it against the
+// base URI of the containing linkbase, and normalizes the result so that
+// the document registry can use normalized URIs as lookup keys.
+//
+// Coverage: the full generic syntax (scheme/authority/path/query/fragment),
+// dot-segment removal, percent-encoding, and the complete resolution
+// algorithm of RFC 3986 §5.3. Not covered: IRIs (non-ASCII is passed
+// through opaquely) and scheme-specific semantics.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace navsep::uri {
+
+/// A parsed URI reference. Absent components are distinguished from empty
+/// ones (e.g. "http://h" has no query; "http://h?" has an empty query) —
+/// the distinction matters for recomposition and resolution.
+struct Uri {
+  std::optional<std::string> scheme;     // without ':'
+  std::optional<std::string> authority;  // without '//'
+  std::string path;                      // possibly empty
+  std::optional<std::string> query;     // without '?'
+  std::optional<std::string> fragment;  // without '#'
+
+  [[nodiscard]] bool is_absolute() const noexcept { return scheme.has_value(); }
+
+  /// True for a same-document reference (only a fragment, RFC 3986 §4.4).
+  [[nodiscard]] bool is_same_document() const noexcept {
+    return !scheme && !authority && path.empty() && !query;
+  }
+
+  /// Recompose the textual form (RFC 3986 §5.3).
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Uri&, const Uri&) = default;
+};
+
+/// Parse a URI reference. Throws navsep::ParseError on characters that can
+/// never appear in a URI (whitespace, '<', '>', '"').
+[[nodiscard]] Uri parse(std::string_view text);
+
+/// Resolve `reference` against `base` (RFC 3986 §5.2.2, strict mode).
+[[nodiscard]] Uri resolve(const Uri& base, const Uri& reference);
+
+/// Convenience overload: parse then resolve then recompose.
+[[nodiscard]] std::string resolve(std::string_view base,
+                                  std::string_view reference);
+
+/// Remove "." and ".." segments from a path (RFC 3986 §5.2.4).
+[[nodiscard]] std::string remove_dot_segments(std::string_view path);
+
+/// Syntax-based normalization (RFC 3986 §6.2.2): lowercases scheme and
+/// host, uppercases percent-encoding hex digits, decodes unreserved
+/// percent-escapes, removes dot segments.
+[[nodiscard]] Uri normalize(const Uri& u);
+
+/// Percent-encode every byte not in `keep` and not unreserved.
+[[nodiscard]] std::string percent_encode(std::string_view s,
+                                         std::string_view keep = "");
+
+/// Decode %XX escapes; malformed escapes are left untouched.
+[[nodiscard]] std::string percent_decode(std::string_view s);
+
+}  // namespace navsep::uri

@@ -1,0 +1,80 @@
+#include "xlink/model.hpp"
+
+namespace navsep::xlink {
+
+LinkType link_type_from(std::string_view v) noexcept {
+  if (v == "simple") return LinkType::Simple;
+  if (v == "extended") return LinkType::Extended;
+  if (v == "locator") return LinkType::Locator;
+  if (v == "arc") return LinkType::Arc;
+  if (v == "resource") return LinkType::Resource;
+  if (v == "title") return LinkType::Title;
+  return LinkType::None;
+}
+
+Show show_from(std::string_view v) noexcept {
+  if (v == "new") return Show::New;
+  if (v == "replace") return Show::Replace;
+  if (v == "embed") return Show::Embed;
+  if (v == "other") return Show::Other;
+  if (v == "none") return Show::None;
+  return Show::Unspecified;
+}
+
+Actuate actuate_from(std::string_view v) noexcept {
+  if (v == "onLoad") return Actuate::OnLoad;
+  if (v == "onRequest") return Actuate::OnRequest;
+  if (v == "other") return Actuate::Other;
+  if (v == "none") return Actuate::None;
+  return Actuate::Unspecified;
+}
+
+std::string_view to_string(LinkType t) noexcept {
+  switch (t) {
+    case LinkType::None: return "none";
+    case LinkType::Simple: return "simple";
+    case LinkType::Extended: return "extended";
+    case LinkType::Locator: return "locator";
+    case LinkType::Arc: return "arc";
+    case LinkType::Resource: return "resource";
+    case LinkType::Title: return "title";
+  }
+  return "?";
+}
+
+std::string_view to_string(Show s) noexcept {
+  switch (s) {
+    case Show::Unspecified: return "";
+    case Show::New: return "new";
+    case Show::Replace: return "replace";
+    case Show::Embed: return "embed";
+    case Show::Other: return "other";
+    case Show::None: return "none";
+  }
+  return "?";
+}
+
+std::string_view to_string(Actuate a) noexcept {
+  switch (a) {
+    case Actuate::Unspecified: return "";
+    case Actuate::OnLoad: return "onLoad";
+    case Actuate::OnRequest: return "onRequest";
+    case Actuate::Other: return "other";
+    case Actuate::None: return "none";
+  }
+  return "?";
+}
+
+std::vector<const xml::Element*> ExtendedLink::endpoints_with_label(
+    std::string_view label) const {
+  std::vector<const xml::Element*> out;
+  for (const auto& l : locators) {
+    if (l.label == label) out.push_back(l.element);
+  }
+  for (const auto& r : resources) {
+    if (r.label == label) out.push_back(r.element);
+  }
+  return out;
+}
+
+}  // namespace navsep::xlink

@@ -1,0 +1,118 @@
+// The XLink 1.0 data model: what an XLink processor recognizes in markup.
+//
+// XLink is attribute-based: any element becomes a linking element by
+// carrying attributes from the http://www.w3.org/1999/xlink namespace.
+// The paper's links.xml is an extended link whose locators point into the
+// data documents (picasso.xml, avignon.xml) and whose arcs encode the
+// access structure (Index, Guided Tour, ...). Keeping those arcs in one
+// file *is* the separation of the navigational concern.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/dom.hpp"
+
+namespace navsep::xlink {
+
+/// The XLink namespace URI.
+inline constexpr std::string_view kNamespace = "http://www.w3.org/1999/xlink";
+
+/// xlink:type values.
+enum class LinkType {
+  None,
+  Simple,
+  Extended,
+  Locator,
+  Arc,
+  Resource,
+  Title,
+};
+
+/// xlink:show — requested presentation of the traversal target.
+enum class Show { Unspecified, New, Replace, Embed, Other, None };
+
+/// xlink:actuate — when traversal fires.
+enum class Actuate { Unspecified, OnLoad, OnRequest, Other, None };
+
+[[nodiscard]] LinkType link_type_from(std::string_view v) noexcept;
+[[nodiscard]] Show show_from(std::string_view v) noexcept;
+[[nodiscard]] Actuate actuate_from(std::string_view v) noexcept;
+[[nodiscard]] std::string_view to_string(LinkType t) noexcept;
+[[nodiscard]] std::string_view to_string(Show s) noexcept;
+[[nodiscard]] std::string_view to_string(Actuate a) noexcept;
+
+/// A simple link: one element, one outbound arc to `href`.
+struct SimpleLink {
+  const xml::Element* element = nullptr;
+  std::string href;
+  std::string role;
+  std::string arcrole;
+  std::string title;
+  Show show = Show::Unspecified;
+  Actuate actuate = Actuate::Unspecified;
+};
+
+/// locator-type element inside an extended link (remote resource).
+struct Locator {
+  const xml::Element* element = nullptr;
+  std::string href;
+  std::string label;
+  std::string role;
+  std::string title;
+};
+
+/// resource-type element inside an extended link (local resource).
+struct LocalResource {
+  const xml::Element* element = nullptr;
+  std::string label;
+  std::string role;
+  std::string title;
+};
+
+/// arc-type element: traversal rules between labeled endpoints.
+struct ArcSpec {
+  const xml::Element* element = nullptr;
+  std::string from;  // empty = every labeled endpoint
+  std::string to;    // empty = every labeled endpoint
+  std::string arcrole;
+  std::string title;
+  Show show = Show::Unspecified;
+  Actuate actuate = Actuate::Unspecified;
+};
+
+/// An extended link: labeled endpoints plus arcs between the labels.
+struct ExtendedLink {
+  const xml::Element* element = nullptr;
+  std::string role;
+  std::string title;
+  std::vector<Locator> locators;
+  std::vector<LocalResource> resources;
+  std::vector<ArcSpec> arcs;
+
+  /// All endpoints carrying `label`, locators first.
+  [[nodiscard]] std::vector<const xml::Element*> endpoints_with_label(
+      std::string_view label) const;
+};
+
+/// Every linking element found in one document.
+struct LinkCollection {
+  std::vector<SimpleLink> simple;
+  std::vector<ExtendedLink> extended;
+
+  [[nodiscard]] std::size_t total_links() const noexcept {
+    return simple.size() + extended.size();
+  }
+};
+
+/// A problem detected while processing XLink markup (the processor keeps
+/// going and reports; only structurally fatal input throws).
+struct Issue {
+  enum class Severity { Warning, Error };
+  Severity severity = Severity::Warning;
+  std::string message;
+  const xml::Element* element = nullptr;
+};
+
+}  // namespace navsep::xlink

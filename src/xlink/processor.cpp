@@ -1,0 +1,175 @@
+#include "xlink/processor.hpp"
+
+#include <set>
+
+namespace navsep::xlink {
+
+namespace {
+
+std::string xattr(const xml::Element& e, std::string_view local) {
+  return std::string(e.attribute_ns(kNamespace, local).value_or(""));
+}
+
+LinkType type_of(const xml::Element& e) {
+  return link_type_from(xattr(e, "type"));
+}
+
+void note(std::vector<Issue>* issues, Issue::Severity sev, std::string msg,
+          const xml::Element* where) {
+  if (issues == nullptr) return;
+  issues->push_back(Issue{sev, std::move(msg), where});
+}
+
+SimpleLink read_simple(const xml::Element& e) {
+  SimpleLink s;
+  s.element = &e;
+  s.href = xattr(e, "href");
+  s.role = xattr(e, "role");
+  s.arcrole = xattr(e, "arcrole");
+  s.title = xattr(e, "title");
+  s.show = show_from(xattr(e, "show"));
+  s.actuate = actuate_from(xattr(e, "actuate"));
+  return s;
+}
+
+ExtendedLink read_extended(const xml::Element& e,
+                           std::vector<Issue>* issues) {
+  ExtendedLink x;
+  x.element = &e;
+  x.role = xattr(e, "role");
+  x.title = xattr(e, "title");
+  for (const xml::Element* child : e.child_elements()) {
+    switch (type_of(*child)) {
+      case LinkType::Locator: {
+        Locator l;
+        l.element = child;
+        l.href = xattr(*child, "href");
+        l.label = xattr(*child, "label");
+        l.role = xattr(*child, "role");
+        l.title = xattr(*child, "title");
+        if (l.href.empty()) {
+          note(issues, Issue::Severity::Error,
+               "locator-type element lacks xlink:href", child);
+        }
+        x.locators.push_back(std::move(l));
+        break;
+      }
+      case LinkType::Resource: {
+        LocalResource r;
+        r.element = child;
+        r.label = xattr(*child, "label");
+        r.role = xattr(*child, "role");
+        r.title = xattr(*child, "title");
+        x.resources.push_back(std::move(r));
+        break;
+      }
+      case LinkType::Arc: {
+        ArcSpec a;
+        a.element = child;
+        a.from = xattr(*child, "from");
+        a.to = xattr(*child, "to");
+        a.arcrole = xattr(*child, "arcrole");
+        a.title = xattr(*child, "title");
+        a.show = show_from(xattr(*child, "show"));
+        a.actuate = actuate_from(xattr(*child, "actuate"));
+        x.arcs.push_back(std::move(a));
+        break;
+      }
+      case LinkType::Title:
+        if (x.title.empty()) x.title = child->string_value();
+        break;
+      case LinkType::Extended:
+        note(issues, Issue::Severity::Warning,
+             "extended link nested inside an extended link is ignored",
+             child);
+        break;
+      case LinkType::Simple:
+        note(issues, Issue::Severity::Warning,
+             "simple link inside an extended link is ignored as an endpoint",
+             child);
+        break;
+      case LinkType::None:
+        break;  // ordinary content
+    }
+  }
+  return x;
+}
+
+void scan(const xml::Element& e, LinkCollection& out,
+          std::vector<Issue>* issues) {
+  switch (type_of(e)) {
+    case LinkType::Simple:
+      out.simple.push_back(read_simple(e));
+      break;
+    case LinkType::Extended:
+      out.extended.push_back(read_extended(e, issues));
+      return;  // children of an extended link are its constituents
+    case LinkType::Locator:
+    case LinkType::Arc:
+    case LinkType::Resource:
+    case LinkType::Title:
+      note(issues, Issue::Severity::Warning,
+           std::string(to_string(type_of(e))) +
+               "-type element outside an extended link has no XLink meaning",
+           &e);
+      break;
+    case LinkType::None:
+      break;
+  }
+  for (const xml::Element* child : e.child_elements()) {
+    scan(*child, out, issues);
+  }
+}
+
+}  // namespace
+
+LinkCollection extract(const xml::Document& doc, std::vector<Issue>* issues) {
+  LinkCollection out;
+  if (const xml::Element* root = doc.root()) {
+    scan(*root, out, issues);
+  }
+  return out;
+}
+
+std::vector<Issue> validate(const LinkCollection& links) {
+  std::vector<Issue> issues;
+  for (const auto& s : links.simple) {
+    if (s.href.empty()) {
+      issues.push_back(Issue{Issue::Severity::Warning,
+                             "simple link without xlink:href is untraversable",
+                             s.element});
+    }
+  }
+  for (const auto& x : links.extended) {
+    std::set<std::string> labels;
+    for (const auto& l : x.locators) {
+      if (!l.label.empty()) labels.insert(l.label);
+      if (l.href.empty()) {
+        issues.push_back(Issue{Issue::Severity::Error,
+                               "locator lacks xlink:href", l.element});
+      }
+    }
+    for (const auto& r : x.resources) {
+      if (!r.label.empty()) labels.insert(r.label);
+    }
+    for (const auto& a : x.arcs) {
+      for (const std::string* lbl : {&a.from, &a.to}) {
+        if (!lbl->empty() && labels.find(*lbl) == labels.end()) {
+          issues.push_back(Issue{
+              Issue::Severity::Error,
+              "arc references label '" + *lbl +
+                  "' but no locator or resource carries it",
+              a.element});
+        }
+      }
+    }
+    if (x.arcs.empty() && !x.locators.empty()) {
+      issues.push_back(Issue{Issue::Severity::Warning,
+                             "extended link has locators but no arcs",
+                             x.element});
+    }
+  }
+  return issues;
+}
+
+}  // namespace navsep::xlink

@@ -1,0 +1,23 @@
+// The XLink processor: recognizes linking elements in a parsed document and
+// checks the constraints of the XLink 1.0 recommendation.
+#pragma once
+
+#include <vector>
+
+#include "xlink/model.hpp"
+
+namespace navsep::xlink {
+
+/// Scan a document for XLink markup. Nested extended links are not
+/// recognized inside each other (per spec, extended links do not nest);
+/// issues encountered during extraction are appended to `issues` when the
+/// pointer is non-null.
+[[nodiscard]] LinkCollection extract(const xml::Document& doc,
+                                     std::vector<Issue>* issues = nullptr);
+
+/// Validate a collection against the recommendation's constraints:
+/// locators need hrefs, arcs should reference labels that exist, simple
+/// links without hrefs are untraversable, and so on.
+[[nodiscard]] std::vector<Issue> validate(const LinkCollection& links);
+
+}  // namespace navsep::xlink

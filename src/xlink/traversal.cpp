@@ -1,0 +1,253 @@
+#include "xlink/traversal.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "uri/uri.hpp"
+#include "xlink/processor.hpp"
+#include "xpointer/xpointer.hpp"
+
+namespace navsep::xlink {
+
+namespace {
+
+/// Every endpoint of the link, locators first (document order within kind).
+std::vector<Endpoint> all_endpoints(const ExtendedLink& link,
+                                    std::string_view base_uri) {
+  std::vector<Endpoint> out;
+  for (const auto& l : link.locators) {
+    Endpoint e;
+    e.is_local = false;
+    e.element = l.element;
+    e.uri = l.href.empty()
+                ? std::string()
+                : uri::resolve(std::string(base_uri), l.href);
+    e.label = l.label;
+    e.role = l.role;
+    e.title = l.title;
+    out.push_back(std::move(e));
+  }
+  for (const auto& r : link.resources) {
+    Endpoint e;
+    e.is_local = true;
+    e.element = r.element;
+    e.label = r.label;
+    e.role = r.role;
+    e.title = r.title;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<const Endpoint*> with_label(const std::vector<Endpoint>& eps,
+                                        std::string_view label) {
+  std::vector<const Endpoint*> out;
+  for (const auto& e : eps) {
+    if (label.empty() || e.label == label) out.push_back(&e);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Arc> expand_arcs(const ExtendedLink& link,
+                             std::string_view base_uri) {
+  std::vector<Arc> out;
+  std::vector<Endpoint> eps = all_endpoints(link, base_uri);
+  for (const auto& spec : link.arcs) {
+    std::vector<const Endpoint*> froms = with_label(eps, spec.from);
+    std::vector<const Endpoint*> tos = with_label(eps, spec.to);
+    for (const Endpoint* f : froms) {
+      for (const Endpoint* t : tos) {
+        if (f == t) continue;  // an arc from a resource to itself is inert
+        Arc a;
+        a.from = *f;
+        a.to = *t;
+        a.arcrole = spec.arcrole;
+        a.title = spec.title;
+        a.show = spec.show;
+        a.actuate = spec.actuate;
+        a.origin = spec.element;
+        out.push_back(std::move(a));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Arc> expand_arcs(const LinkCollection& links,
+                             std::string_view base_uri) {
+  std::vector<Arc> out;
+  for (const auto& s : links.simple) {
+    if (s.href.empty()) continue;
+    Arc a;
+    a.from.is_local = true;
+    a.from.element = s.element;
+    a.from.uri = std::string(base_uri);
+    a.to.is_local = false;
+    a.to.uri = uri::resolve(std::string(base_uri), s.href);
+    a.to.role = s.role;
+    a.to.title = s.title;
+    a.arcrole = s.arcrole;
+    a.title = s.title;
+    a.show = s.show;
+    a.actuate = s.actuate;
+    a.origin = s.element;
+    out.push_back(std::move(a));
+  }
+  for (const auto& x : links.extended) {
+    std::vector<Arc> expanded = expand_arcs(x, base_uri);
+    out.insert(out.end(), std::make_move_iterator(expanded.begin()),
+               std::make_move_iterator(expanded.end()));
+  }
+  return out;
+}
+
+// --- DocumentRegistry --------------------------------------------------------
+
+std::string normalize_document_uri(std::string_view u) {
+  uri::Uri parsed = uri::parse(u);
+  parsed.fragment.reset();
+  return uri::normalize(parsed).to_string();
+}
+
+std::string normalize_ref(std::string_view u) {
+  return uri::normalize(uri::parse(u)).to_string();
+}
+
+void DocumentRegistry::add(const xml::Document& doc) {
+  add(doc.base_uri(), doc);
+}
+
+void DocumentRegistry::add(std::string_view u, const xml::Document& doc) {
+  docs_[normalize_document_uri(u)] = &doc;
+}
+
+const xml::Document* DocumentRegistry::find(std::string_view u) const {
+  auto it = docs_.find(normalize_document_uri(u));
+  return it == docs_.end() ? nullptr : it->second;
+}
+
+const xml::Element* DocumentRegistry::resolve(std::string_view u) const {
+  const xml::Document* doc = find(u);
+  if (doc == nullptr) return nullptr;
+  uri::Uri parsed = uri::parse(u);
+  if (!parsed.fragment || parsed.fragment->empty()) {
+    return doc->root();
+  }
+  return xpointer::resolve_element(*parsed.fragment, *doc);
+}
+
+// --- TraversalGraph ----------------------------------------------------------
+
+TraversalGraph::TraversalGraph(std::vector<Arc> arcs)
+    : arcs_(std::move(arcs)) {
+  for (std::size_t i = 0; i < arcs_.size(); ++i) index_arc(i);
+}
+
+void TraversalGraph::index_arc(std::size_t i) {
+  const Arc& a = arcs_[i];
+  if (!a.from.uri.empty()) {
+    by_from_.emplace(normalize_ref(a.from.uri), i);
+  }
+  if (!a.to.uri.empty()) {
+    by_to_.emplace(normalize_ref(a.to.uri), i);
+  }
+}
+
+TraversalGraph TraversalGraph::from_linkbase(const xml::Document& doc) {
+  LinkCollection links = extract(doc);
+  return TraversalGraph(expand_arcs(links, doc.base_uri()));
+}
+
+std::vector<const Arc*> TraversalGraph::outgoing(std::string_view u) const {
+  std::vector<const Arc*> out;
+  auto [lo, hi] = by_from_.equal_range(normalize_ref(u));
+  for (auto it = lo; it != hi; ++it) out.push_back(&arcs_[it->second]);
+  std::sort(out.begin(), out.end(),
+            [this](const Arc* a, const Arc* b) { return a < b; });
+  return out;
+}
+
+std::vector<const Arc*> TraversalGraph::incoming(std::string_view u) const {
+  std::vector<const Arc*> out;
+  auto [lo, hi] = by_to_.equal_range(normalize_ref(u));
+  for (auto it = lo; it != hi; ++it) out.push_back(&arcs_[it->second]);
+  std::sort(out.begin(), out.end(),
+            [this](const Arc* a, const Arc* b) { return a < b; });
+  return out;
+}
+
+std::vector<std::string> TraversalGraph::resource_uris() const {
+  std::set<std::string> seen;
+  for (const auto& a : arcs_) {
+    if (!a.from.uri.empty()) seen.insert(normalize_ref(a.from.uri));
+    if (!a.to.uri.empty()) seen.insert(normalize_ref(a.to.uri));
+  }
+  return {seen.begin(), seen.end()};
+}
+
+std::vector<const Arc*> TraversalGraph::outgoing_with_role(
+    std::string_view u, std::string_view arcrole) const {
+  std::vector<const Arc*> out;
+  for (const Arc* a : outgoing(u)) {
+    if (a->arcrole == arcrole) out.push_back(a);
+  }
+  return out;
+}
+
+void TraversalGraph::merge(TraversalGraph other) {
+  const std::size_t offset = arcs_.size();
+  arcs_.insert(arcs_.end(), std::make_move_iterator(other.arcs_.begin()),
+               std::make_move_iterator(other.arcs_.end()));
+  for (std::size_t i = offset; i < arcs_.size(); ++i) index_arc(i);
+}
+
+// --- linkbase discovery --------------------------------------------------------
+
+std::vector<std::string> find_linkbase_references(const xml::Document& doc) {
+  std::vector<std::string> out;
+  LinkCollection links = extract(doc);
+  auto add = [&](std::string_view href) {
+    if (href.empty()) return;
+    out.push_back(uri::resolve(doc.base_uri(), href));
+  };
+  for (const auto& s : links.simple) {
+    if (s.arcrole == kLinkbaseArcrole) add(s.href);
+  }
+  for (const auto& x : links.extended) {
+    for (const auto& arc_spec : x.arcs) {
+      if (arc_spec.arcrole != kLinkbaseArcrole) continue;
+      // The to-side locators carry the linkbase URIs.
+      for (const auto& loc : x.locators) {
+        if (arc_spec.to.empty() || loc.label == arc_spec.to) add(loc.href);
+      }
+    }
+  }
+  return out;
+}
+
+TraversalGraph load_with_linkbases(
+    const xml::Document& doc,
+    const std::function<const xml::Document*(std::string_view uri)>& fetch) {
+  TraversalGraph graph = TraversalGraph::from_linkbase(doc);
+  std::set<std::string> loaded;
+  loaded.insert(normalize_document_uri(doc.base_uri()));
+
+  std::vector<const xml::Document*> frontier{&doc};
+  while (!frontier.empty()) {
+    const xml::Document* current = frontier.back();
+    frontier.pop_back();
+    for (const std::string& ref : find_linkbase_references(*current)) {
+      std::string key = normalize_document_uri(ref);
+      if (!loaded.insert(std::move(key)).second) continue;
+      const xml::Document* next = fetch ? fetch(ref) : nullptr;
+      if (next == nullptr) continue;
+      graph.merge(TraversalGraph::from_linkbase(*next));
+      frontier.push_back(next);
+    }
+  }
+  return graph;
+}
+
+}  // namespace navsep::xlink

@@ -1,0 +1,425 @@
+#include "xml/dom.hpp"
+
+#include <algorithm>
+
+namespace navsep::xml {
+
+// --- Node -----------------------------------------------------------------
+
+const Element* Node::as_element() const noexcept {
+  return type_ == NodeType::Element ? static_cast<const Element*>(this)
+                                    : nullptr;
+}
+
+Element* Node::as_element() noexcept {
+  return type_ == NodeType::Element ? static_cast<Element*>(this) : nullptr;
+}
+
+const Document* Node::owner_document() const noexcept {
+  const Node* n = this;
+  while (n->parent_ != nullptr) n = n->parent_;
+  return n->type_ == NodeType::Document ? static_cast<const Document*>(n)
+                                        : nullptr;
+}
+
+namespace {
+void collect_text(const Node& node, std::string& out) {
+  switch (node.type()) {
+    case NodeType::Text:
+      out += static_cast<const Text&>(node).data();
+      break;
+    case NodeType::Element:
+      for (const auto& child : static_cast<const Element&>(node).children()) {
+        collect_text(*child, out);
+      }
+      break;
+    case NodeType::Document:
+      for (const auto& child :
+           static_cast<const Document&>(node).children()) {
+        collect_text(*child, out);
+      }
+      break;
+    case NodeType::Comment:
+    case NodeType::ProcessingInstruction:
+    case NodeType::Attribute:
+      break;
+  }
+}
+}  // namespace
+
+std::string Node::string_value() const {
+  switch (type_) {
+    case NodeType::Text:
+      return static_cast<const Text*>(this)->data();
+    case NodeType::Comment:
+      return static_cast<const Comment*>(this)->data();
+    case NodeType::ProcessingInstruction:
+      return static_cast<const ProcessingInstruction*>(this)->data();
+    case NodeType::Attribute:
+      return static_cast<const AttrNode*>(this)->value();
+    case NodeType::Element:
+    case NodeType::Document: {
+      std::string out;
+      collect_text(*this, out);
+      return out;
+    }
+  }
+  return {};
+}
+
+// --- AttrNode ---------------------------------------------------------------
+
+AttrNode::AttrNode(const Element& owner, std::size_t index) noexcept
+    : Node(NodeType::Attribute), owner_(&owner), index_(index) {
+  parent_ = const_cast<Element*>(&owner);
+}
+
+const QName& AttrNode::name() const noexcept {
+  return owner_->attributes()[index_].name;
+}
+
+const std::string& AttrNode::value() const noexcept {
+  return owner_->attributes()[index_].value;
+}
+
+std::size_t Node::sibling_index() const noexcept {
+  if (parent_ == nullptr) return static_cast<std::size_t>(-1);
+  const std::vector<std::unique_ptr<Node>>* siblings = nullptr;
+  if (const Element* e = parent_->as_element()) {
+    siblings = &e->children();
+  } else if (parent_->type() == NodeType::Document) {
+    siblings = &static_cast<const Document*>(parent_)->children();
+  }
+  if (siblings == nullptr) return static_cast<std::size_t>(-1);
+  for (std::size_t i = 0; i < siblings->size(); ++i) {
+    if ((*siblings)[i].get() == this) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+bool Node::contains(const Node& other) const noexcept {
+  for (const Node* n = &other; n != nullptr; n = n->parent()) {
+    if (n == this) return true;
+  }
+  return false;
+}
+
+// --- Element ----------------------------------------------------------------
+
+std::optional<std::string_view> Element::attribute(
+    std::string_view qualified_name) const noexcept {
+  for (const auto& a : attrs_) {
+    if (a.name.qualified() == qualified_name) return std::string_view(a.value);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string_view> Element::attribute_ns(
+    std::string_view ns_uri, std::string_view local) const noexcept {
+  for (const auto& a : attrs_) {
+    if (a.name.ns_uri == ns_uri && a.name.local == local) {
+      return std::string_view(a.value);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string Element::attribute_or(std::string_view qualified_name,
+                                  std::string_view fallback) const {
+  auto v = attribute(qualified_name);
+  return std::string(v.value_or(fallback));
+}
+
+Element& Element::set_attribute(std::string_view qualified_name,
+                                std::string_view value) {
+  for (auto& a : attrs_) {
+    if (a.name.qualified() == qualified_name) {
+      a.value = std::string(value);
+      return *this;
+    }
+  }
+  QName name;
+  std::size_t colon = qualified_name.find(':');
+  if (colon == std::string_view::npos) {
+    name.local = std::string(qualified_name);
+  } else {
+    name.prefix = std::string(qualified_name.substr(0, colon));
+    name.local = std::string(qualified_name.substr(colon + 1));
+  }
+  attrs_.push_back(Attribute{std::move(name), std::string(value)});
+  return *this;
+}
+
+Element& Element::set_attribute_ns(QName name, std::string_view value) {
+  for (auto& a : attrs_) {
+    if (a.name.ns_uri == name.ns_uri && a.name.local == name.local) {
+      a.value = std::string(value);
+      return *this;
+    }
+  }
+  attrs_.push_back(Attribute{std::move(name), std::string(value)});
+  return *this;
+}
+
+void Element::remove_attribute(std::string_view qualified_name) {
+  std::erase_if(attrs_, [&](const Attribute& a) {
+    return a.name.qualified() == qualified_name;
+  });
+}
+
+Node& Element::append(std::unique_ptr<Node> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+Element& Element::append_element(QName name) {
+  return static_cast<Element&>(
+      append(std::make_unique<Element>(std::move(name))));
+}
+
+Text& Element::append_text(std::string_view data) {
+  return static_cast<Text&>(
+      append(std::make_unique<Text>(std::string(data))));
+}
+
+Comment& Element::append_comment(std::string_view data) {
+  return static_cast<Comment&>(
+      append(std::make_unique<Comment>(std::string(data))));
+}
+
+Node& Element::insert(std::size_t index, std::unique_ptr<Node> child) {
+  child->parent_ = this;
+  index = std::min(index, children_.size());
+  auto it = children_.insert(
+      children_.begin() + static_cast<std::ptrdiff_t>(index),
+      std::move(child));
+  return **it;
+}
+
+std::unique_ptr<Node> Element::remove_child(std::size_t index) {
+  auto it = children_.begin() + static_cast<std::ptrdiff_t>(index);
+  std::unique_ptr<Node> out = std::move(*it);
+  children_.erase(it);
+  out->parent_ = nullptr;
+  return out;
+}
+
+const Element* Element::first_child_element() const noexcept {
+  for (const auto& c : children_) {
+    if (const Element* e = c->as_element()) return e;
+  }
+  return nullptr;
+}
+
+const Element* Element::child(std::string_view local_name) const noexcept {
+  for (const auto& c : children_) {
+    if (const Element* e = c->as_element()) {
+      if (e->name().local == local_name) return e;
+    }
+  }
+  return nullptr;
+}
+
+Element* Element::child(std::string_view local_name) noexcept {
+  return const_cast<Element*>(
+      static_cast<const Element*>(this)->child(local_name));
+}
+
+std::vector<const Element*> Element::children_named(
+    std::string_view local_name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (const Element* e = c->as_element()) {
+      if (e->name().local == local_name) out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<const Element*> Element::child_elements() const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (const Element* e = c->as_element()) out.push_back(e);
+  }
+  return out;
+}
+
+std::string Element::own_text() const {
+  std::string out;
+  for (const auto& c : children_) {
+    if (c->is_text()) out += static_cast<const Text&>(*c).data();
+  }
+  return out;
+}
+
+std::optional<std::string> Element::resolve_prefix(
+    std::string_view prefix) const {
+  if (prefix == "xml") return "http://www.w3.org/XML/1998/namespace";
+  if (prefix == "xmlns") return "http://www.w3.org/2000/xmlns/";
+  for (const Node* n = this; n != nullptr; n = n->parent()) {
+    const Element* e = n->as_element();
+    if (e == nullptr) break;
+    for (const auto& a : e->attributes()) {
+      if (prefix.empty()) {
+        if (a.name.prefix.empty() && a.name.local == "xmlns") return a.value;
+      } else {
+        if (a.name.prefix == "xmlns" && a.name.local == prefix) {
+          return a.value;
+        }
+      }
+    }
+  }
+  if (prefix.empty()) return "";  // no default namespace declared
+  return std::nullopt;
+}
+
+void Element::walk(const std::function<void(const Element&)>& fn) const {
+  fn(*this);
+  for (const auto& c : children_) {
+    if (const Element* e = c->as_element()) e->walk(fn);
+  }
+}
+
+void Element::walk(const std::function<void(Element&)>& fn) {
+  fn(*this);
+  for (auto& c : children_) {
+    if (Element* e = c->as_element()) e->walk(fn);
+  }
+}
+
+namespace {
+std::unique_ptr<Node> clone_node(const Node& node) {
+  switch (node.type()) {
+    case NodeType::Text:
+      return std::make_unique<Text>(static_cast<const Text&>(node).data());
+    case NodeType::Comment:
+      return std::make_unique<Comment>(
+          static_cast<const Comment&>(node).data());
+    case NodeType::ProcessingInstruction: {
+      const auto& pi = static_cast<const ProcessingInstruction&>(node);
+      return std::make_unique<ProcessingInstruction>(pi.target(), pi.data());
+    }
+    case NodeType::Element:
+      return static_cast<const Element&>(node).clone();
+    case NodeType::Document:
+      return static_cast<const Document&>(node).clone();
+    case NodeType::Attribute:
+      break;  // attribute views are never tree children
+  }
+  return nullptr;
+}
+}  // namespace
+
+std::unique_ptr<Element> Element::clone() const {
+  auto out = std::make_unique<Element>(name_);
+  out->attrs_ = attrs_;
+  for (const auto& c : children_) {
+    out->append(clone_node(*c));
+  }
+  return out;
+}
+
+const AttrNode* Element::attribute_node(std::size_t index) const {
+  if (index >= attrs_.size()) return nullptr;
+  if (attr_nodes_.size() < attrs_.size()) {
+    attr_nodes_.resize(attrs_.size());
+  }
+  if (!attr_nodes_[index]) {
+    attr_nodes_[index] = std::make_unique<AttrNode>(*this, index);
+  }
+  return attr_nodes_[index].get();
+}
+
+// --- Document ---------------------------------------------------------------
+
+const Element* Document::root() const noexcept {
+  for (const auto& c : children_) {
+    if (const Element* e = c->as_element()) return e;
+  }
+  return nullptr;
+}
+
+Element* Document::root() noexcept {
+  return const_cast<Element*>(
+      static_cast<const Document*>(this)->root());
+}
+
+Element& Document::set_root(std::unique_ptr<Element> new_root) {
+  std::erase_if(children_,
+                [](const std::unique_ptr<Node>& n) { return n->is_element(); });
+  new_root->parent_ = this;
+  children_.push_back(std::move(new_root));
+  return *children_.back()->as_element();
+}
+
+void Document::append_prolog(std::unique_ptr<Node> node) {
+  node->parent_ = this;
+  children_.push_back(std::move(node));
+}
+
+const Element* Document::element_by_id(std::string_view id) const {
+  const Element* found = nullptr;
+  if (const Element* r = root()) {
+    r->walk([&](const Element& e) {
+      if (found != nullptr) return;
+      auto plain = e.attribute("id");
+      auto xml_id = e.attribute("xml:id");
+      if ((plain && *plain == id) || (xml_id && *xml_id == id)) {
+        found = &e;
+      }
+    });
+  }
+  return found;
+}
+
+std::unique_ptr<Document> Document::clone() const {
+  auto out = std::make_unique<Document>();
+  out->base_uri_ = base_uri_;
+  for (const auto& c : children_) {
+    out->append_prolog(clone_node(*c));
+  }
+  return out;
+}
+
+// --- document order ----------------------------------------------------------
+
+namespace {
+/// Path encoding a node's pre-order position. Child steps are encoded as
+/// sibling_index + 1 and attribute steps as the pair (0, attr_index), which
+/// places attributes after their element (longer path) but before every
+/// child subtree (0 < any child step).
+std::vector<std::size_t> order_path(const Node& n) {
+  std::vector<std::size_t> path;
+  const Node* cur = &n;
+  if (cur->type() == NodeType::Attribute) {
+    const auto& attr = static_cast<const AttrNode&>(n);
+    path.push_back(attr.index());
+    path.push_back(0);
+    cur = cur->parent();
+  }
+  while (cur->parent() != nullptr) {
+    path.push_back(cur->sibling_index() + 1);
+    cur = cur->parent();
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+}  // namespace
+
+bool before_in_document_order(const Node& a, const Node& b) {
+  if (&a == &b) return false;
+  const Document* da = a.owner_document();
+  const Document* db = b.owner_document();
+  if (da != db) return da < db;
+  return order_path(a) < order_path(b);
+}
+
+void sort_document_order(std::vector<const Node*>& nodes) {
+  std::sort(nodes.begin(), nodes.end(), [](const Node* a, const Node* b) {
+    return before_in_document_order(*a, *b);
+  });
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+}
+
+}  // namespace navsep::xml

@@ -1,0 +1,322 @@
+// A compact XML 1.0 DOM.
+//
+// Ownership model: a Document owns its whole node tree through
+// std::unique_ptr children vectors; parent pointers are non-owning. Node
+// identity is pointer identity — XPath node-sets are vectors of
+// `const Node*` into a live Document. Nodes are created through the
+// factory methods on Element/Document so that parent links stay correct.
+//
+// Namespaces: elements and attributes carry a QName whose `ns_uri` was
+// resolved at parse time (or set explicitly when building trees in code).
+// The special `xmlns` / `xmlns:*` attributes remain visible in the
+// attribute list so serialization round-trips.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace navsep::xml {
+
+class Element;
+class Document;
+
+enum class NodeType : std::uint8_t {
+  Document,
+  Element,
+  Text,
+  Comment,
+  ProcessingInstruction,
+  Attribute,  // handed out by Element::attribute_node, never in the tree
+};
+
+/// Qualified name: optional prefix, local part, resolved namespace URI.
+struct QName {
+  std::string prefix;  // "" when unprefixed
+  std::string local;
+  std::string ns_uri;  // "" when in no namespace
+
+  QName() = default;
+  explicit QName(std::string local_part) : local(std::move(local_part)) {}
+  QName(std::string prefix_part, std::string local_part, std::string uri)
+      : prefix(std::move(prefix_part)),
+        local(std::move(local_part)),
+        ns_uri(std::move(uri)) {}
+
+  /// The lexical form: "prefix:local" or plain "local".
+  [[nodiscard]] std::string qualified() const {
+    return prefix.empty() ? local : prefix + ":" + local;
+  }
+
+  friend bool operator==(const QName&, const QName&) = default;
+};
+
+struct Attribute {
+  QName name;
+  std::string value;
+
+  /// True for namespace declarations (xmlns or xmlns:prefix).
+  [[nodiscard]] bool is_namespace_decl() const noexcept {
+    return name.prefix == "xmlns" ||
+           (name.prefix.empty() && name.local == "xmlns");
+  }
+};
+
+/// Base of the node hierarchy.
+class Node {
+ public:
+  explicit Node(NodeType t) noexcept : type_(t) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeType type() const noexcept { return type_; }
+  [[nodiscard]] Node* parent() const noexcept { return parent_; }
+
+  [[nodiscard]] bool is_element() const noexcept {
+    return type_ == NodeType::Element;
+  }
+  [[nodiscard]] bool is_text() const noexcept {
+    return type_ == NodeType::Text;
+  }
+
+  /// Downcasts; return nullptr when the node has a different type.
+  [[nodiscard]] const Element* as_element() const noexcept;
+  [[nodiscard]] Element* as_element() noexcept;
+
+  /// The document this node belongs to (walks to the root). Null for a
+  /// detached subtree that has not been adopted by a Document yet.
+  [[nodiscard]] const Document* owner_document() const noexcept;
+
+  /// XPath string-value of the node (concatenated descendant text for
+  /// elements/documents, data for text/comment/PI nodes).
+  [[nodiscard]] std::string string_value() const;
+
+  /// Zero-based index among the parent's children, or npos for roots.
+  [[nodiscard]] std::size_t sibling_index() const noexcept;
+
+  /// True if `other` is this node or one of its descendants.
+  [[nodiscard]] bool contains(const Node& other) const noexcept;
+
+ private:
+  friend class Element;
+  friend class Document;
+  friend class AttrNode;
+  NodeType type_;
+  Node* parent_ = nullptr;
+};
+
+/// Character data node (text or CDATA content, already unescaped).
+class Text final : public Node {
+ public:
+  explicit Text(std::string data)
+      : Node(NodeType::Text), data_(std::move(data)) {}
+
+  [[nodiscard]] const std::string& data() const noexcept { return data_; }
+  void set_data(std::string d) { data_ = std::move(d); }
+  void append_data(std::string_view d) { data_.append(d); }
+
+ private:
+  std::string data_;
+};
+
+class Comment final : public Node {
+ public:
+  explicit Comment(std::string data)
+      : Node(NodeType::Comment), data_(std::move(data)) {}
+  [[nodiscard]] const std::string& data() const noexcept { return data_; }
+
+ private:
+  std::string data_;
+};
+
+class ProcessingInstruction final : public Node {
+ public:
+  ProcessingInstruction(std::string target, std::string data)
+      : Node(NodeType::ProcessingInstruction),
+        target_(std::move(target)),
+        data_(std::move(data)) {}
+  [[nodiscard]] const std::string& target() const noexcept { return target_; }
+  [[nodiscard]] const std::string& data() const noexcept { return data_; }
+
+ private:
+  std::string target_;
+  std::string data_;
+};
+
+/// A live view of one attribute of an element, usable inside XPath
+/// node-sets. AttrNodes are created lazily by Element::attribute_node and
+/// owned by the element; they read the attribute on demand, so they stay
+/// current across value changes, but removing attributes invalidates them.
+class AttrNode final : public Node {
+ public:
+  AttrNode(const Element& owner, std::size_t index) noexcept;
+
+  [[nodiscard]] const Element& owner() const noexcept { return *owner_; }
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+  [[nodiscard]] const QName& name() const noexcept;
+  [[nodiscard]] const std::string& value() const noexcept;
+
+ private:
+  const Element* owner_;
+  std::size_t index_;
+};
+
+class Element final : public Node {
+ public:
+  explicit Element(QName name)
+      : Node(NodeType::Element), name_(std::move(name)) {}
+
+  [[nodiscard]] const QName& name() const noexcept { return name_; }
+  void set_name(QName n) { name_ = std::move(n); }
+
+  // --- attributes -------------------------------------------------------
+
+  [[nodiscard]] const std::vector<Attribute>& attributes() const noexcept {
+    return attrs_;
+  }
+
+  /// Value of the attribute with the given lexical (qualified) name.
+  [[nodiscard]] std::optional<std::string_view> attribute(
+      std::string_view qualified_name) const noexcept;
+
+  /// Value of the attribute with the given namespace URI + local name.
+  [[nodiscard]] std::optional<std::string_view> attribute_ns(
+      std::string_view ns_uri, std::string_view local) const noexcept;
+
+  /// Attribute value or a fallback.
+  [[nodiscard]] std::string attribute_or(std::string_view qualified_name,
+                                         std::string_view fallback) const;
+
+  [[nodiscard]] bool has_attribute(std::string_view qualified_name) const
+      noexcept {
+    return attribute(qualified_name).has_value();
+  }
+
+  /// Sets (replacing if present) an attribute by lexical name. The name is
+  /// not namespace-resolved; use set_attribute_ns for namespaced attributes.
+  Element& set_attribute(std::string_view qualified_name,
+                         std::string_view value);
+  Element& set_attribute_ns(QName name, std::string_view value);
+  void remove_attribute(std::string_view qualified_name);
+
+  // --- children ---------------------------------------------------------
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Node>>& children() const
+      noexcept {
+    return children_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return children_.empty(); }
+
+  /// Appends a child (adopting it) and returns a reference to it.
+  Node& append(std::unique_ptr<Node> child);
+
+  /// Convenience factories; each returns the newly created node.
+  Element& append_element(QName name);
+  Element& append_element(std::string_view local_name) {
+    return append_element(QName(std::string(local_name)));
+  }
+  Text& append_text(std::string_view data);
+  Comment& append_comment(std::string_view data);
+
+  /// Inserts a child at `index` (clamped to the child count).
+  Node& insert(std::size_t index, std::unique_ptr<Node> child);
+
+  /// Detaches and returns the child at `index`.
+  std::unique_ptr<Node> remove_child(std::size_t index);
+
+  /// Removes every child.
+  void clear_children() noexcept { children_.clear(); }
+
+  /// First/all child elements, optionally filtered by local name
+  /// (namespace-blind; use child_ns for namespace-aware lookup).
+  [[nodiscard]] const Element* first_child_element() const noexcept;
+  [[nodiscard]] const Element* child(std::string_view local_name) const
+      noexcept;
+  [[nodiscard]] Element* child(std::string_view local_name) noexcept;
+  [[nodiscard]] std::vector<const Element*> children_named(
+      std::string_view local_name) const;
+  [[nodiscard]] std::vector<const Element*> child_elements() const;
+
+  /// Concatenated text of *direct* text children only.
+  [[nodiscard]] std::string own_text() const;
+
+  /// Resolve a namespace prefix by scanning xmlns declarations from this
+  /// element up through its ancestors. Empty prefix resolves the default
+  /// namespace. Returns nullopt for undeclared prefixes ("xml" is built in).
+  [[nodiscard]] std::optional<std::string> resolve_prefix(
+      std::string_view prefix) const;
+
+  /// Depth-first pre-order walk over this element and its descendants.
+  void walk(const std::function<void(const Element&)>& fn) const;
+  void walk(const std::function<void(Element&)>& fn);
+
+  /// Deep copy of this element and its subtree.
+  [[nodiscard]] std::unique_ptr<Element> clone() const;
+
+  /// Lazily created node view of the attribute at `index` (for XPath
+  /// node-sets). Valid while the element lives and no attribute is removed.
+  [[nodiscard]] const AttrNode* attribute_node(std::size_t index) const;
+
+ private:
+  QName name_;
+  std::vector<Attribute> attrs_;
+  std::vector<std::unique_ptr<Node>> children_;
+  mutable std::vector<std::unique_ptr<AttrNode>> attr_nodes_;
+};
+
+class Document final : public Node {
+ public:
+  Document() : Node(NodeType::Document) {}
+
+  /// The single root (document) element; null for an empty document.
+  [[nodiscard]] const Element* root() const noexcept;
+  [[nodiscard]] Element* root() noexcept;
+
+  /// Replaces the root element.
+  Element& set_root(std::unique_ptr<Element> root);
+  Element& set_root(QName name) {
+    return set_root(std::make_unique<Element>(std::move(name)));
+  }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Node>>& children() const
+      noexcept {
+    return children_;
+  }
+
+  /// Prolog/epilog comments and processing instructions.
+  void append_prolog(std::unique_ptr<Node> node);
+
+  /// The URI this document was loaded from (used as the base for relative
+  /// XLink hrefs).
+  [[nodiscard]] const std::string& base_uri() const noexcept {
+    return base_uri_;
+  }
+  void set_base_uri(std::string uri) { base_uri_ = std::move(uri); }
+
+  /// Find the unique element with the given `id` or `xml:id` attribute
+  /// value (XPointer shorthand target). Linear scan; null when absent.
+  [[nodiscard]] const Element* element_by_id(std::string_view id) const;
+
+  /// Deep copy.
+  [[nodiscard]] std::unique_ptr<Document> clone() const;
+
+ private:
+  friend class Node;
+  std::vector<std::unique_ptr<Node>> children_;
+  std::string base_uri_;
+};
+
+/// Total order over nodes of one document: document order (pre-order
+/// position). Nodes from different documents compare by document pointer.
+[[nodiscard]] bool before_in_document_order(const Node& a, const Node& b);
+
+/// Sorts a node-set into document order and removes duplicates.
+void sort_document_order(std::vector<const Node*>& nodes);
+
+}  // namespace navsep::xml

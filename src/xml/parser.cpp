@@ -1,0 +1,373 @@
+#include "xml/parser.hpp"
+
+#include <vector>
+
+#include "common/strings.hpp"
+#include "common/text_cursor.hpp"
+
+namespace navsep::xml {
+
+namespace {
+
+bool is_name_start(char c) noexcept {
+  return strings::is_alpha(c) || c == '_' || c == ':' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool is_name_char(char c) noexcept {
+  return is_name_start(c) || strings::is_digit(c) || c == '-' || c == '.';
+}
+
+/// Encode a Unicode code point as UTF-8.
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+/// One in-scope namespace declaration.
+struct NsBinding {
+  std::string prefix;  // "" = default namespace
+  std::string uri;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view text, const ParseOptions& options)
+      : cur_(text), options_(options) {}
+
+  std::unique_ptr<Document> run() {
+    auto doc = std::make_unique<Document>();
+    doc->set_base_uri(options_.base_uri);
+
+    skip_bom();
+    parse_prolog(*doc);
+
+    if (cur_.eof() || cur_.peek() != '<') {
+      cur_.fail("expected root element");
+    }
+    doc->set_root(parse_element());
+
+    // Epilog: only whitespace, comments and PIs may follow the root.
+    while (!cur_.eof()) {
+      cur_.skip_ws();
+      if (cur_.eof()) break;
+      if (cur_.consume("<!--")) {
+        parse_comment_body();
+      } else if (cur_.consume("<?")) {
+        parse_pi_body();
+      } else {
+        cur_.fail("content after document root");
+      }
+    }
+    return doc;
+  }
+
+ private:
+  void skip_bom() { cur_.consume("\xEF\xBB\xBF"); }
+
+  void parse_prolog(Document& doc) {
+    if (cur_.consume("<?xml")) {
+      // Declaration content is validated loosely and otherwise ignored.
+      cur_.take_until("?>");
+      cur_.consume("?>");
+    }
+    for (;;) {
+      cur_.skip_ws();
+      if (cur_.consume("<!--")) {
+        doc.append_prolog(
+            std::make_unique<Comment>(std::string(parse_comment_body())));
+      } else if (cur_.rest().substr(0, 9) == "<!DOCTYPE") {
+        skip_doctype();
+      } else if (cur_.peek() == '<' && cur_.peek(1) == '?') {
+        cur_.advance(2);
+        auto [target, data] = parse_pi_body();
+        doc.append_prolog(std::make_unique<ProcessingInstruction>(
+            std::string(target), std::string(data)));
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_doctype() {
+    cur_.advance(9);  // "<!DOCTYPE"
+    int depth = 1;
+    while (depth > 0) {
+      if (cur_.eof()) cur_.fail("unterminated DOCTYPE");
+      char c = cur_.next();
+      if (c == '<') ++depth;
+      if (c == '>') --depth;
+    }
+  }
+
+  std::string_view parse_name() {
+    if (!is_name_start(cur_.peek())) cur_.fail("expected name");
+    return cur_.take_while(is_name_char);
+  }
+
+  /// Split a lexical QName; namespace resolution happens later.
+  static std::pair<std::string_view, std::string_view> split_qname(
+      std::string_view name) {
+    std::size_t colon = name.find(':');
+    if (colon == std::string_view::npos) return {{}, name};
+    return {name.substr(0, colon), name.substr(colon + 1)};
+  }
+
+  std::string parse_reference() {
+    // Caller consumed '&'.
+    std::string out;
+    if (cur_.consume('#')) {
+      std::uint32_t cp = 0;
+      if (cur_.consume('x') || cur_.consume('X')) {
+        std::string_view digits = cur_.take_while([](char c) {
+          return strings::is_digit(c) || (c >= 'a' && c <= 'f') ||
+                 (c >= 'A' && c <= 'F');
+        });
+        if (digits.empty()) cur_.fail("bad hexadecimal character reference");
+        for (char d : digits) {
+          cp = cp * 16 + static_cast<std::uint32_t>(
+                             strings::is_digit(d) ? d - '0'
+                             : d >= 'a'           ? d - 'a' + 10
+                                                  : d - 'A' + 10);
+        }
+      } else {
+        std::string_view digits = cur_.take_while(strings::is_digit);
+        if (digits.empty()) cur_.fail("bad decimal character reference");
+        for (char d : digits) {
+          cp = cp * 10 + static_cast<std::uint32_t>(d - '0');
+        }
+      }
+      cur_.expect(";", "';' after character reference");
+      append_utf8(out, cp);
+      return out;
+    }
+    std::string_view name = cur_.take_while(is_name_char);
+    cur_.expect(";", "';' after entity reference");
+    if (name == "lt") return "<";
+    if (name == "gt") return ">";
+    if (name == "amp") return "&";
+    if (name == "apos") return "'";
+    if (name == "quot") return "\"";
+    cur_.fail("unknown entity '&" + std::string(name) + ";'");
+  }
+
+  std::string parse_attribute_value() {
+    char quote = cur_.peek();
+    if (quote != '"' && quote != '\'') cur_.fail("expected quoted value");
+    cur_.advance();
+    std::string out;
+    for (;;) {
+      if (cur_.eof()) cur_.fail("unterminated attribute value");
+      char c = cur_.peek();
+      if (c == quote) {
+        cur_.advance();
+        return out;
+      }
+      if (c == '<') cur_.fail("'<' in attribute value");
+      cur_.advance();
+      if (c == '&') {
+        out += parse_reference();
+      } else if (c == '\t' || c == '\n' || c == '\r') {
+        out.push_back(' ');  // attribute-value normalization
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  std::unique_ptr<Element> parse_element() {
+    Position open_pos = cur_.position();
+    cur_.expect("<", "'<'");
+    std::string_view raw_name = parse_name();
+
+    // Raw attribute list; namespace decls take effect for the whole tag,
+    // including the element name itself, so resolve in a second pass.
+    struct RawAttr {
+      std::string_view prefix;
+      std::string_view local;
+      std::string value;
+      Position pos;
+    };
+    std::vector<RawAttr> raw_attrs;
+    std::size_t ns_mark = ns_stack_.size();
+
+    for (;;) {
+      bool had_ws = cur_.skip_ws();
+      char c = cur_.peek();
+      if (c == '>' || c == '/') break;
+      if (!had_ws) cur_.fail("expected whitespace before attribute");
+      Position attr_pos = cur_.position();
+      std::string_view attr_name = parse_name();
+      cur_.skip_ws();
+      cur_.expect("=", "'=' after attribute name");
+      cur_.skip_ws();
+      std::string value = parse_attribute_value();
+      auto [prefix, local] = split_qname(attr_name);
+      if (prefix == "xmlns") {
+        ns_stack_.push_back(NsBinding{std::string(local), value});
+      } else if (prefix.empty() && local == "xmlns") {
+        ns_stack_.push_back(NsBinding{"", value});
+      }
+      raw_attrs.push_back(RawAttr{prefix, local, std::move(value), attr_pos});
+    }
+
+    auto [elem_prefix, elem_local] = split_qname(raw_name);
+    QName name(std::string(elem_prefix), std::string(elem_local),
+               lookup_ns(elem_prefix, /*is_attribute=*/false, open_pos));
+    auto element = std::make_unique<Element>(std::move(name));
+
+    for (const auto& ra : raw_attrs) {
+      QName an(std::string(ra.prefix), std::string(ra.local),
+               lookup_ns(ra.prefix, /*is_attribute=*/true, ra.pos));
+      for (const auto& existing : element->attributes()) {
+        if (existing.name.ns_uri == an.ns_uri &&
+            existing.name.local == an.local &&
+            existing.name.prefix == an.prefix) {
+          throw ParseError("duplicate attribute '" + an.qualified() + "'",
+                           ra.pos);
+        }
+      }
+      element->set_attribute_ns(std::move(an), ra.value);
+    }
+
+    if (cur_.consume("/>")) {
+      ns_stack_.resize(ns_mark);
+      return element;
+    }
+    cur_.expect(">", "'>' to close start tag");
+
+    parse_content(*element);
+
+    // Closing tag.
+    std::string_view close_name = parse_name();
+    if (close_name != raw_name) {
+      throw ParseError("mismatched end tag </" + std::string(close_name) +
+                           ">, expected </" + std::string(raw_name) + ">",
+                       open_pos);
+    }
+    cur_.skip_ws();
+    cur_.expect(">", "'>' to close end tag");
+    ns_stack_.resize(ns_mark);
+    return element;
+  }
+
+  /// Parses element content up to (and consuming) "</".
+  void parse_content(Element& parent) {
+    std::string text;
+    auto flush_text = [&] {
+      if (text.empty()) return;
+      if (!options_.strip_insignificant_whitespace ||
+          !strings::all_space(text)) {
+        parent.append_text(text);
+      }
+      text.clear();
+    };
+
+    for (;;) {
+      if (cur_.eof()) cur_.fail("unexpected end of input inside element");
+      char c = cur_.peek();
+      if (c == '<') {
+        if (cur_.consume("</")) {
+          flush_text();
+          return;
+        }
+        if (cur_.consume("<!--")) {
+          flush_text();
+          parent.append(std::make_unique<Comment>(
+              std::string(parse_comment_body())));
+          continue;
+        }
+        if (cur_.consume("<![CDATA[")) {
+          text += cur_.take_until("]]>");
+          cur_.consume("]]>");
+          continue;
+        }
+        if (cur_.peek(1) == '?') {
+          cur_.advance(2);
+          flush_text();
+          auto [target, data] = parse_pi_body();
+          parent.append(std::make_unique<ProcessingInstruction>(
+              std::string(target), std::string(data)));
+          continue;
+        }
+        flush_text();
+        parent.append(parse_element());
+        continue;
+      }
+      cur_.advance();
+      if (c == '&') {
+        text += parse_reference();
+      } else {
+        text.push_back(c);
+      }
+    }
+  }
+
+  std::string_view parse_comment_body() {
+    // Caller consumed "<!--".
+    std::string_view body = cur_.take_until("--");
+    if (!cur_.consume("-->")) cur_.fail("'--' not allowed inside comment");
+    return body;
+  }
+
+  std::pair<std::string_view, std::string_view> parse_pi_body() {
+    // Caller consumed "<?".
+    std::string_view target = parse_name();
+    if (strings::to_lower(target) == "xml") {
+      cur_.fail("reserved processing-instruction target 'xml'");
+    }
+    cur_.skip_ws();
+    std::string_view data = cur_.take_until("?>");
+    cur_.consume("?>");
+    return {target, data};
+  }
+
+  std::string lookup_ns(std::string_view prefix, bool is_attribute,
+                        Position pos) {
+    if (prefix == "xml") return "http://www.w3.org/XML/1998/namespace";
+    if (prefix == "xmlns") return "http://www.w3.org/2000/xmlns/";
+    if (prefix.empty() && is_attribute) return "";  // no default ns for attrs
+    for (auto it = ns_stack_.rbegin(); it != ns_stack_.rend(); ++it) {
+      if (it->prefix == prefix) return it->uri;
+    }
+    if (prefix.empty()) return "";
+    throw ParseError("undeclared namespace prefix '" + std::string(prefix) +
+                         "'",
+                     pos);
+  }
+
+  TextCursor cur_;
+  ParseOptions options_;
+  std::vector<NsBinding> ns_stack_;
+};
+
+}  // namespace
+
+std::unique_ptr<Document> parse(std::string_view text,
+                                const ParseOptions& options) {
+  return Parser(text, options).run();
+}
+
+std::unique_ptr<Document> try_parse(std::string_view text,
+                                    const ParseOptions& options) noexcept {
+  try {
+    return parse(text, options);
+  } catch (const Error&) {
+    return nullptr;
+  }
+}
+
+}  // namespace navsep::xml

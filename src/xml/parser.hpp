@@ -1,0 +1,40 @@
+// XML 1.0 parser producing the navsep::xml DOM.
+//
+// Coverage: prolog (XML declaration, comments, PIs, DOCTYPE is skipped),
+// elements, attributes, namespaces (xmlns declarations resolved during the
+// parse), character data, CDATA sections, predefined entities and numeric
+// character references (emitted as UTF-8). Well-formedness violations —
+// mismatched tags, duplicate attributes, stray content after the root,
+// bad entity syntax — raise navsep::ParseError with a 1-based line:column.
+//
+// Not covered (documented subset): external DTDs and user-defined
+// entities, xml:space handling, encodings other than UTF-8/ASCII.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "xml/dom.hpp"
+
+namespace navsep::xml {
+
+struct ParseOptions {
+  /// Drop text nodes consisting purely of whitespace between elements.
+  /// Data-oriented documents (everything in this project) want `true`;
+  /// mixed-content documents want `false`.
+  bool strip_insignificant_whitespace = true;
+
+  /// Base URI recorded on the resulting document (used later to resolve
+  /// relative XLink hrefs).
+  std::string base_uri;
+};
+
+/// Parse a complete XML document. Throws navsep::ParseError.
+[[nodiscard]] std::unique_ptr<Document> parse(std::string_view text,
+                                              const ParseOptions& options = {});
+
+/// Parse a document and return nullptr instead of throwing.
+[[nodiscard]] std::unique_ptr<Document> try_parse(
+    std::string_view text, const ParseOptions& options = {}) noexcept;
+
+}  // namespace navsep::xml

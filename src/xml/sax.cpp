@@ -1,0 +1,307 @@
+#include "xml/sax.hpp"
+
+#include <deque>
+#include <string>
+
+#include "common/strings.hpp"
+#include "common/text_cursor.hpp"
+
+namespace navsep::xml::sax {
+
+namespace {
+
+bool is_name_start(char c) noexcept {
+  return strings::is_alpha(c) || c == '_' || c == ':' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool is_name_char(char c) noexcept {
+  return is_name_start(c) || strings::is_digit(c) || c == '-' || c == '.';
+}
+
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+class StreamParser {
+ public:
+  StreamParser(std::string_view text, Handler& handler)
+      : cur_(text), handler_(handler) {}
+
+  void run() {
+    handler_.start_document();
+    cur_.consume("\xEF\xBB\xBF");
+    if (cur_.consume("<?xml")) {
+      cur_.take_until("?>");
+      cur_.consume("?>");
+    }
+    prolog_misc();
+    if (cur_.eof() || cur_.peek() != '<') cur_.fail("expected root element");
+    parse_element();
+    while (!cur_.eof()) {
+      cur_.skip_ws();
+      if (cur_.eof()) break;
+      if (cur_.consume("<!--")) {
+        handler_.comment(comment_body());
+      } else if (cur_.consume("<?")) {
+        pi_body();
+      } else {
+        cur_.fail("content after document root");
+      }
+    }
+    handler_.end_document();
+  }
+
+ private:
+  void prolog_misc() {
+    for (;;) {
+      cur_.skip_ws();
+      if (cur_.consume("<!--")) {
+        handler_.comment(comment_body());
+      } else if (cur_.rest().substr(0, 9) == "<!DOCTYPE") {
+        cur_.advance(9);
+        int depth = 1;
+        while (depth > 0) {
+          if (cur_.eof()) cur_.fail("unterminated DOCTYPE");
+          char c = cur_.next();
+          if (c == '<') ++depth;
+          if (c == '>') --depth;
+        }
+      } else if (cur_.peek() == '<' && cur_.peek(1) == '?') {
+        cur_.advance(2);
+        pi_body();
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string_view name() {
+    if (!is_name_start(cur_.peek())) cur_.fail("expected name");
+    return cur_.take_while(is_name_char);
+  }
+
+  std::string reference() {
+    std::string out;
+    if (cur_.consume('#')) {
+      std::uint32_t cp = 0;
+      if (cur_.consume('x') || cur_.consume('X')) {
+        std::string_view digits = cur_.take_while([](char c) {
+          return strings::is_digit(c) || (c >= 'a' && c <= 'f') ||
+                 (c >= 'A' && c <= 'F');
+        });
+        if (digits.empty()) cur_.fail("bad character reference");
+        for (char d : digits) {
+          cp = cp * 16 + static_cast<std::uint32_t>(
+                             strings::is_digit(d) ? d - '0'
+                             : d >= 'a'           ? d - 'a' + 10
+                                                  : d - 'A' + 10);
+        }
+      } else {
+        std::string_view digits = cur_.take_while(strings::is_digit);
+        if (digits.empty()) cur_.fail("bad character reference");
+        for (char d : digits) cp = cp * 10 + static_cast<std::uint32_t>(d - '0');
+      }
+      cur_.expect(";", "';'");
+      append_utf8(out, cp);
+      return out;
+    }
+    std::string_view n = cur_.take_while(is_name_char);
+    cur_.expect(";", "';'");
+    if (n == "lt") return "<";
+    if (n == "gt") return ">";
+    if (n == "amp") return "&";
+    if (n == "apos") return "'";
+    if (n == "quot") return "\"";
+    cur_.fail("unknown entity '&" + std::string(n) + ";'");
+  }
+
+  std::string_view attribute_value() {
+    char quote = cur_.peek();
+    if (quote != '"' && quote != '\'') cur_.fail("expected quoted value");
+    cur_.advance();
+    // Fast path: no references or normalization-needing characters — the
+    // value is a view into the input.
+    std::size_t start = cur_.offset();
+    bool plain = true;
+    while (!cur_.eof()) {
+      char c = cur_.peek();
+      if (c == quote) break;
+      if (c == '&' || c == '\t' || c == '\n' || c == '\r') {
+        plain = false;
+        break;
+      }
+      if (c == '<') cur_.fail("'<' in attribute value");
+      cur_.advance();
+    }
+    if (plain) {
+      std::string_view out =
+          cur_.input().substr(start, cur_.offset() - start);
+      cur_.expect(std::string_view(&quote, 1), "closing quote");
+      return out;
+    }
+    // Slow path: build into the scratch buffer (stable for the callback).
+    scratch_.emplace_back(cur_.input().substr(start, cur_.offset() - start));
+    std::string& buf = scratch_.back();
+    for (;;) {
+      if (cur_.eof()) cur_.fail("unterminated attribute value");
+      char c = cur_.peek();
+      if (c == quote) {
+        cur_.advance();
+        return buf;
+      }
+      if (c == '<') cur_.fail("'<' in attribute value");
+      cur_.advance();
+      if (c == '&') {
+        buf += reference();
+      } else if (c == '\t' || c == '\n' || c == '\r') {
+        buf.push_back(' ');
+      } else {
+        buf.push_back(c);
+      }
+    }
+  }
+
+  void parse_element() {
+    Position open_pos = cur_.position();
+    cur_.expect("<", "'<'");
+    std::string_view tag = name();
+
+    attrs_.clear();
+    scratch_.clear();
+    for (;;) {
+      bool had_ws = cur_.skip_ws();
+      char c = cur_.peek();
+      if (c == '>' || c == '/') break;
+      if (!had_ws) cur_.fail("expected whitespace before attribute");
+      std::string_view attr_name = name();
+      for (const auto& [existing, _] : attrs_) {
+        if (existing == attr_name) {
+          throw ParseError("duplicate attribute '" + std::string(attr_name) +
+                               "'",
+                           cur_.position());
+        }
+      }
+      cur_.skip_ws();
+      cur_.expect("=", "'='");
+      cur_.skip_ws();
+      attrs_.emplace_back(attr_name, attribute_value());
+    }
+
+    handler_.start_element(tag, attrs_);
+
+    if (cur_.consume("/>")) {
+      handler_.end_element(tag);
+      return;
+    }
+    cur_.expect(">", "'>'");
+    parse_content(tag, open_pos);
+  }
+
+  void parse_content(std::string_view tag, Position open_pos) {
+    for (;;) {
+      if (cur_.eof()) cur_.fail("unexpected end of input inside element");
+      char c = cur_.peek();
+      if (c == '<') {
+        if (cur_.consume("</")) {
+          std::string_view close = name();
+          if (close != tag) {
+            throw ParseError("mismatched end tag </" + std::string(close) +
+                                 ">, expected </" + std::string(tag) + ">",
+                             open_pos);
+          }
+          cur_.skip_ws();
+          cur_.expect(">", "'>'");
+          handler_.end_element(tag);
+          return;
+        }
+        if (cur_.consume("<!--")) {
+          handler_.comment(comment_body());
+          continue;
+        }
+        if (cur_.consume("<![CDATA[")) {
+          handler_.characters(cur_.take_until("]]>"));
+          cur_.consume("]]>");
+          continue;
+        }
+        if (cur_.peek(1) == '?') {
+          cur_.advance(2);
+          pi_body();
+          continue;
+        }
+        parse_element();
+        continue;
+      }
+      // Character run up to the next markup or reference.
+      std::size_t start = cur_.offset();
+      while (!cur_.eof() && cur_.peek() != '<' && cur_.peek() != '&') {
+        cur_.advance();
+      }
+      if (cur_.offset() > start) {
+        handler_.characters(
+            cur_.input().substr(start, cur_.offset() - start));
+      }
+      if (cur_.peek() == '&') {
+        cur_.advance();
+        std::string expanded = reference();
+        handler_.characters(expanded);
+      }
+    }
+  }
+
+  std::string_view comment_body() {
+    std::string_view body = cur_.take_until("--");
+    if (!cur_.consume("-->")) cur_.fail("'--' not allowed inside comment");
+    return body;
+  }
+
+  void pi_body() {
+    std::string_view target = name();
+    if (strings::to_lower(target) == "xml") {
+      cur_.fail("reserved processing-instruction target 'xml'");
+    }
+    cur_.skip_ws();
+    std::string_view data = cur_.take_until("?>");
+    cur_.consume("?>");
+    handler_.processing_instruction(target, data);
+  }
+
+  TextCursor cur_;
+  Handler& handler_;
+  AttributeList attrs_;
+  // Expanded attribute values need addresses that survive further
+  // pushes while the same start tag is parsed; deque keeps them stable.
+  std::deque<std::string> scratch_;
+};
+
+}  // namespace
+
+void parse(std::string_view text, Handler& handler) {
+  StreamParser(text, handler).run();
+}
+
+bool is_well_formed(std::string_view text) noexcept {
+  try {
+    Handler sink;
+    parse(text, sink);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+}  // namespace navsep::xml::sax

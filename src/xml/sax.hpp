@@ -1,0 +1,87 @@
+// Streaming (SAX-style) XML parsing: the non-allocating path.
+//
+// The DOM parser (parser.hpp) builds a full tree; large data documents —
+// the synthetic museum at scale — often only need a single pass (counting,
+// extracting ids, validation). This interface delivers events to a Handler
+// without constructing nodes. Coverage matches the DOM parser (namespaces
+// are NOT resolved here; callers see lexical QNames).
+//
+//   struct CountPaintings : xml::sax::Handler {
+//     std::size_t n = 0;
+//     void start_element(std::string_view name, const AttributeList& a)
+//         override { if (name == "painting") ++n; }
+//   };
+#pragma once
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace navsep::xml::sax {
+
+/// Attribute (lexical-name, unescaped-value) pairs for one start tag.
+/// Views are valid only during the callback.
+using AttributeList =
+    std::vector<std::pair<std::string_view, std::string_view>>;
+
+/// Event receiver; override what you need. Default implementations ignore
+/// the event.
+class Handler {
+ public:
+  virtual ~Handler() = default;
+  virtual void start_document() {}
+  virtual void end_document() {}
+  /// `name` is the lexical QName. Attribute values are the *unescaped*
+  /// text when no entity expansion was needed; values containing
+  /// references are delivered via the `expanded` storage (still a view,
+  /// valid for the callback's duration).
+  virtual void start_element(std::string_view name,
+                             const AttributeList& attributes) {
+    (void)name;
+    (void)attributes;
+  }
+  virtual void end_element(std::string_view name) { (void)name; }
+  /// Raw character data between markup. Entity references are delivered
+  /// as separate characters() calls with the expanded text.
+  virtual void characters(std::string_view text) { (void)text; }
+  virtual void comment(std::string_view text) { (void)text; }
+  virtual void processing_instruction(std::string_view target,
+                                      std::string_view data) {
+    (void)target;
+    (void)data;
+  }
+};
+
+/// Parse `text`, delivering events to `handler`. Throws navsep::ParseError
+/// on malformed input (same well-formedness rules as the DOM parser).
+void parse(std::string_view text, Handler& handler);
+
+/// Convenience handlers -------------------------------------------------------
+
+/// Counts events; doubles as a whole-document well-formedness check.
+class CountingHandler final : public Handler {
+ public:
+  std::size_t elements = 0;
+  std::size_t attributes = 0;
+  std::size_t text_bytes = 0;
+  std::size_t comments = 0;
+  std::size_t pis = 0;
+
+  void start_element(std::string_view,
+                     const AttributeList& attrs) override {
+    ++elements;
+    attributes += attrs.size();
+  }
+  void characters(std::string_view t) override { text_bytes += t.size(); }
+  void comment(std::string_view) override { ++comments; }
+  void processing_instruction(std::string_view, std::string_view) override {
+    ++pis;
+  }
+};
+
+/// True iff `text` parses without error (streaming well-formedness check).
+[[nodiscard]] bool is_well_formed(std::string_view text) noexcept;
+
+}  // namespace navsep::xml::sax

@@ -1,0 +1,129 @@
+#include "xpath/ast.hpp"
+
+namespace navsep::xpath {
+
+const char* axis_name(Axis a) noexcept {
+  switch (a) {
+    case Axis::Child: return "child";
+    case Axis::Descendant: return "descendant";
+    case Axis::Parent: return "parent";
+    case Axis::Ancestor: return "ancestor";
+    case Axis::FollowingSibling: return "following-sibling";
+    case Axis::PrecedingSibling: return "preceding-sibling";
+    case Axis::Following: return "following";
+    case Axis::Preceding: return "preceding";
+    case Axis::Attribute: return "attribute";
+    case Axis::Self: return "self";
+    case Axis::DescendantOrSelf: return "descendant-or-self";
+    case Axis::AncestorOrSelf: return "ancestor-or-self";
+  }
+  return "?";
+}
+
+std::string NodeTest::to_string() const {
+  switch (kind) {
+    case Kind::AnyName:
+      return prefix.empty() ? "*" : prefix + ":*";
+    case Kind::Name:
+      return prefix.empty() ? local : prefix + ":" + local;
+    case Kind::Text: return "text()";
+    case Kind::Comment: return "comment()";
+    case Kind::AnyNode: return "node()";
+    case Kind::Pi:
+      return local.empty() ? "processing-instruction()"
+                           : "processing-instruction('" + local + "')";
+  }
+  return "?";
+}
+
+namespace {
+const char* op_text(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Or: return " or ";
+    case BinaryOp::And: return " and ";
+    case BinaryOp::Equal: return " = ";
+    case BinaryOp::NotEqual: return " != ";
+    case BinaryOp::Less: return " < ";
+    case BinaryOp::LessEqual: return " <= ";
+    case BinaryOp::Greater: return " > ";
+    case BinaryOp::GreaterEqual: return " >= ";
+    case BinaryOp::Add: return " + ";
+    case BinaryOp::Subtract: return " - ";
+    case BinaryOp::Multiply: return " * ";
+    case BinaryOp::Divide: return " div ";
+    case BinaryOp::Modulo: return " mod ";
+    case BinaryOp::Union: return " | ";
+  }
+  return " ? ";
+}
+
+std::string steps_to_string(const std::vector<Step>& steps) {
+  std::string out;
+  bool first = true;
+  for (const auto& s : steps) {
+    if (!first) out += '/';
+    first = false;
+    out += axis_name(s.axis);
+    out += "::";
+    out += s.test.to_string();
+    for (const auto& p : s.predicates) {
+      out += '[';
+      out += p->to_string();
+      out += ']';
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string Expr::to_string() const {
+  switch (kind) {
+    case Kind::LocationPath:
+      return (absolute ? "/" : "") + steps_to_string(steps);
+    case Kind::Filter: {
+      std::string out = "(" + primary->to_string() + ")";
+      for (const auto& p : predicates) {
+        out += '[';
+        out += p->to_string();
+        out += ']';
+      }
+      if (!steps.empty()) {
+        out += '/';
+        out += steps_to_string(steps);
+      }
+      return out;
+    }
+    case Kind::Binary:
+      return "(" + lhs->to_string() + op_text(op) + rhs->to_string() + ")";
+    case Kind::Negate:
+      return "-(" + lhs->to_string() + ")";
+    case Kind::Literal:
+      return "'" + string_value + "'";
+    case Kind::Number: {
+      std::string s = std::to_string(number_value);
+      // trim trailing zeros for readability
+      while (s.find('.') != std::string::npos &&
+             (s.back() == '0' || s.back() == '.')) {
+        bool dot = s.back() == '.';
+        s.pop_back();
+        if (dot) break;
+      }
+      return s;
+    }
+    case Kind::Variable:
+      return "$" + string_value;
+    case Kind::FunctionCall: {
+      std::string out = string_value + "(";
+      bool first = true;
+      for (const auto& a : args) {
+        if (!first) out += ", ";
+        first = false;
+        out += a->to_string();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace navsep::xpath

@@ -1,0 +1,109 @@
+// Abstract syntax for the XPath 1.0 subset.
+//
+// The AST is an immutable tree of unique_ptr-owned Expr nodes produced by
+// xpath::parse_expression and consumed by the evaluator. to_string() gives
+// a normalized rendering used in tests and error messages.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace navsep::xpath {
+
+enum class Axis {
+  Child,
+  Descendant,
+  Parent,
+  Ancestor,
+  FollowingSibling,
+  PrecedingSibling,
+  Following,
+  Preceding,
+  Attribute,
+  Self,
+  DescendantOrSelf,
+  AncestorOrSelf,
+};
+
+[[nodiscard]] const char* axis_name(Axis a) noexcept;
+
+/// What a step selects on its axis.
+struct NodeTest {
+  enum class Kind {
+    Name,     // QName or NCName
+    AnyName,  // *
+    Text,     // text()
+    Comment,  // comment()
+    Pi,       // processing-instruction()
+    AnyNode,  // node()
+  };
+  Kind kind = Kind::AnyName;
+  std::string prefix;  // for Kind::Name; resolved via the eval context
+  std::string local;   // for Kind::Name, or PI target for Kind::Pi
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Step {
+  Axis axis = Axis::Child;
+  NodeTest test;
+  std::vector<ExprPtr> predicates;
+};
+
+enum class BinaryOp {
+  Or,
+  And,
+  Equal,
+  NotEqual,
+  Less,
+  LessEqual,
+  Greater,
+  GreaterEqual,
+  Add,
+  Subtract,
+  Multiply,
+  Divide,
+  Modulo,
+  Union,
+};
+
+struct Expr {
+  enum class Kind {
+    LocationPath,  // steps (+ absolute flag)
+    Filter,        // primary expr + predicates + optional trailing steps
+    Binary,
+    Negate,        // unary minus
+    Literal,       // string literal
+    Number,
+    Variable,
+    FunctionCall,
+  };
+
+  Kind kind;
+
+  // LocationPath / Filter
+  bool absolute = false;
+  std::vector<Step> steps;
+  ExprPtr primary;                  // Filter
+  std::vector<ExprPtr> predicates;  // Filter
+
+  // Binary / Negate
+  BinaryOp op = BinaryOp::Or;
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  // Literal / Number / Variable / FunctionCall
+  std::string string_value;
+  double number_value = 0;
+  std::vector<ExprPtr> args;
+
+  explicit Expr(Kind k) : kind(k) {}
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace navsep::xpath

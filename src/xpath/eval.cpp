@@ -1,0 +1,400 @@
+#include "xpath/eval.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "xpath/functions.hpp"
+#include "xpath/parser.hpp"
+
+namespace navsep::xpath {
+
+namespace {
+
+bool is_reverse_axis(Axis a) noexcept {
+  switch (a) {
+    case Axis::Ancestor:
+    case Axis::AncestorOrSelf:
+    case Axis::Preceding:
+    case Axis::PrecedingSibling:
+    case Axis::Parent:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Children list of a node (elements and documents only).
+const std::vector<std::unique_ptr<xml::Node>>* children_of(
+    const xml::Node& n) {
+  if (const auto* e = n.as_element()) return &e->children();
+  if (n.type() == xml::NodeType::Document) {
+    return &static_cast<const xml::Document&>(n).children();
+  }
+  return nullptr;
+}
+
+void collect_descendants(const xml::Node& n, NodeSet& out) {
+  if (const auto* kids = children_of(n)) {
+    for (const auto& c : *kids) {
+      out.push_back(c.get());
+      collect_descendants(*c, out);
+    }
+  }
+}
+
+class Evaluator {
+ public:
+  Value eval(const Expr& e, const EvalContext& ctx) {
+    switch (e.kind) {
+      case Expr::Kind::Literal:
+        return Value(e.string_value);
+      case Expr::Kind::Number:
+        return Value(e.number_value);
+      case Expr::Kind::Variable: {
+        auto it = ctx.env->variables.find(e.string_value);
+        if (it == ctx.env->variables.end()) {
+          throw SemanticError("unbound XPath variable $" + e.string_value);
+        }
+        return it->second;
+      }
+      case Expr::Kind::Negate:
+        return Value(-eval(*e.lhs, ctx).to_number());
+      case Expr::Kind::Binary:
+        return eval_binary(e, ctx);
+      case Expr::Kind::FunctionCall:
+        return eval_function(e, ctx);
+      case Expr::Kind::LocationPath:
+        return Value(eval_path(e, ctx));
+      case Expr::Kind::Filter:
+        return eval_filter(e, ctx);
+    }
+    throw SemanticError("unreachable XPath expression kind");
+  }
+
+ private:
+  Value eval_binary(const Expr& e, const EvalContext& ctx) {
+    switch (e.op) {
+      case BinaryOp::Or:
+        return Value(eval(*e.lhs, ctx).to_boolean() ||
+                     eval(*e.rhs, ctx).to_boolean());
+      case BinaryOp::And:
+        return Value(eval(*e.lhs, ctx).to_boolean() &&
+                     eval(*e.rhs, ctx).to_boolean());
+      default:
+        break;
+    }
+    Value a = eval(*e.lhs, ctx);
+    Value b = eval(*e.rhs, ctx);
+    switch (e.op) {
+      case BinaryOp::Equal:
+        return Value(Value::compare_equal(a, b, false));
+      case BinaryOp::NotEqual:
+        return Value(Value::compare_equal(a, b, true));
+      case BinaryOp::Less:
+        return Value(Value::compare_relational(a, b, '<'));
+      case BinaryOp::LessEqual:
+        return Value(Value::compare_relational(a, b, 'l'));
+      case BinaryOp::Greater:
+        return Value(Value::compare_relational(a, b, '>'));
+      case BinaryOp::GreaterEqual:
+        return Value(Value::compare_relational(a, b, 'g'));
+      case BinaryOp::Add:
+        return Value(a.to_number() + b.to_number());
+      case BinaryOp::Subtract:
+        return Value(a.to_number() - b.to_number());
+      case BinaryOp::Multiply:
+        return Value(a.to_number() * b.to_number());
+      case BinaryOp::Divide:
+        return Value(a.to_number() / b.to_number());
+      case BinaryOp::Modulo:
+        return Value(std::fmod(a.to_number(), b.to_number()));
+      case BinaryOp::Union: {
+        NodeSet out = a.node_set();
+        const NodeSet& more = b.node_set();
+        out.insert(out.end(), more.begin(), more.end());
+        xml::sort_document_order(out);
+        return Value(std::move(out));
+      }
+      case BinaryOp::Or:
+      case BinaryOp::And:
+        break;
+    }
+    throw SemanticError("unreachable XPath binary operator");
+  }
+
+  Value eval_function(const Expr& e, const EvalContext& ctx) {
+    std::vector<Value> args;
+    args.reserve(e.args.size());
+    for (const auto& a : e.args) args.push_back(eval(*a, ctx));
+    if (auto v = call_core_function(e.string_value, args, ctx)) {
+      return std::move(*v);
+    }
+    auto it = ctx.env->functions.find(e.string_value);
+    if (it == ctx.env->functions.end()) {
+      throw SemanticError("unknown XPath function " + e.string_value + "()");
+    }
+    return it->second(args, ctx);
+  }
+
+  NodeSet eval_path(const Expr& e, const EvalContext& ctx) {
+    NodeSet start;
+    if (e.absolute) {
+      const xml::Document* doc = ctx.node->owner_document();
+      if (doc == nullptr && ctx.node->type() == xml::NodeType::Document) {
+        doc = static_cast<const xml::Document*>(ctx.node);
+      }
+      if (doc == nullptr) {
+        throw SemanticError(
+            "absolute XPath evaluated on a node with no document");
+      }
+      start.push_back(doc);
+    } else {
+      start.push_back(ctx.node);
+    }
+    return apply_steps(std::move(start), e.steps, *ctx.env);
+  }
+
+  Value eval_filter(const Expr& e, const EvalContext& ctx) {
+    Value primary = eval(*e.primary, ctx);
+    if (e.predicates.empty() && e.steps.empty()) return primary;
+
+    NodeSet nodes = primary.node_set();  // throws for non-node-sets
+    for (const auto& pred : e.predicates) {
+      nodes = filter_nodes(std::move(nodes), *pred, *ctx.env,
+                           /*reverse=*/false);
+    }
+    if (!e.steps.empty()) {
+      nodes = apply_steps(std::move(nodes), e.steps, *ctx.env);
+    }
+    return Value(std::move(nodes));
+  }
+
+  NodeSet apply_steps(NodeSet current, const std::vector<Step>& steps,
+                      const Environment& env) {
+    for (const auto& step : steps) {
+      NodeSet next;
+      for (const auto* node : current) {
+        NodeSet candidates = axis_nodes(*node, step.axis);
+        // Drop candidates failing the node test before predicates so that
+        // position() counts only test-passing nodes (XPath semantics).
+        NodeSet tested;
+        for (const auto* cand : candidates) {
+          if (matches_test(*cand, step, env)) tested.push_back(cand);
+        }
+        for (const auto& pred : step.predicates) {
+          tested = filter_nodes(std::move(tested), *pred, env,
+                                is_reverse_axis(step.axis));
+        }
+        next.insert(next.end(), tested.begin(), tested.end());
+      }
+      xml::sort_document_order(next);
+      current = std::move(next);
+    }
+    return current;
+  }
+
+  /// Candidate nodes on `axis` from `origin`, in axis order (reverse axes
+  /// yield reverse document order, which is what predicate numbering needs).
+  NodeSet axis_nodes(const xml::Node& origin, Axis axis) {
+    NodeSet out;
+    switch (axis) {
+      case Axis::Self:
+        out.push_back(&origin);
+        break;
+      case Axis::Child:
+        if (const auto* kids = children_of(origin)) {
+          for (const auto& c : *kids) out.push_back(c.get());
+        }
+        break;
+      case Axis::Descendant:
+        collect_descendants(origin, out);
+        break;
+      case Axis::DescendantOrSelf:
+        out.push_back(&origin);
+        collect_descendants(origin, out);
+        break;
+      case Axis::Parent:
+        if (origin.parent() != nullptr) out.push_back(origin.parent());
+        break;
+      case Axis::Ancestor:
+        for (const xml::Node* p = origin.parent(); p != nullptr;
+             p = p->parent()) {
+          out.push_back(p);
+        }
+        break;
+      case Axis::AncestorOrSelf:
+        for (const xml::Node* p = &origin; p != nullptr; p = p->parent()) {
+          out.push_back(p);
+        }
+        break;
+      case Axis::FollowingSibling:
+      case Axis::PrecedingSibling: {
+        if (origin.parent() == nullptr ||
+            origin.type() == xml::NodeType::Attribute) {
+          break;
+        }
+        const auto* sibs = children_of(*origin.parent());
+        if (sibs == nullptr) break;
+        std::size_t self_index = origin.sibling_index();
+        if (axis == Axis::FollowingSibling) {
+          for (std::size_t i = self_index + 1; i < sibs->size(); ++i) {
+            out.push_back((*sibs)[i].get());
+          }
+        } else {
+          for (std::size_t i = self_index; i-- > 0;) {
+            out.push_back((*sibs)[i].get());
+          }
+        }
+        break;
+      }
+      case Axis::Following:
+      case Axis::Preceding: {
+        // Walk the whole document in order and keep what lies on the axis.
+        const xml::Document* doc = origin.owner_document();
+        if (doc == nullptr) break;
+        NodeSet all;
+        collect_descendants(*doc, all);
+        const xml::Node* anchor =
+            origin.type() == xml::NodeType::Attribute
+                ? origin.parent()
+                : &origin;
+        bool after = false;
+        NodeSet following;
+        NodeSet preceding;
+        for (const auto* n : all) {
+          if (n == anchor) {
+            after = true;
+            continue;
+          }
+          if (!after) {
+            if (!n->contains(*anchor)) preceding.push_back(n);
+          } else {
+            if (!anchor->contains(*n)) following.push_back(n);
+          }
+        }
+        if (axis == Axis::Following) {
+          out = std::move(following);
+        } else {
+          out.assign(preceding.rbegin(), preceding.rend());
+        }
+        break;
+      }
+      case Axis::Attribute: {
+        const auto* e = origin.as_element();
+        if (e == nullptr) break;
+        for (std::size_t i = 0; i < e->attributes().size(); ++i) {
+          if (e->attributes()[i].is_namespace_decl()) continue;
+          out.push_back(e->attribute_node(i));
+        }
+        break;
+      }
+    }
+    return out;
+  }
+
+  bool matches_test(const xml::Node& n, const Step& step,
+                    const Environment& env) {
+    const bool principal_is_attribute = step.axis == Axis::Attribute;
+    switch (step.test.kind) {
+      case NodeTest::Kind::AnyNode:
+        return true;
+      case NodeTest::Kind::Text:
+        return n.type() == xml::NodeType::Text;
+      case NodeTest::Kind::Comment:
+        return n.type() == xml::NodeType::Comment;
+      case NodeTest::Kind::Pi: {
+        if (n.type() != xml::NodeType::ProcessingInstruction) return false;
+        if (step.test.local.empty()) return true;
+        return static_cast<const xml::ProcessingInstruction&>(n).target() ==
+               step.test.local;
+      }
+      case NodeTest::Kind::AnyName:
+      case NodeTest::Kind::Name: {
+        const xml::QName* qn = nullptr;
+        if (principal_is_attribute) {
+          if (n.type() != xml::NodeType::Attribute) return false;
+          qn = &static_cast<const xml::AttrNode&>(n).name();
+        } else {
+          const auto* e = n.as_element();
+          if (e == nullptr) return false;
+          qn = &e->name();
+        }
+        std::string wanted_ns;
+        if (!step.test.prefix.empty()) {
+          auto it = env.namespaces.find(step.test.prefix);
+          if (it == env.namespaces.end()) {
+            throw SemanticError("undeclared XPath namespace prefix '" +
+                                step.test.prefix + "'");
+          }
+          wanted_ns = it->second;
+        }
+        if (step.test.kind == NodeTest::Kind::AnyName) {
+          return step.test.prefix.empty() || qn->ns_uri == wanted_ns;
+        }
+        return qn->local == step.test.local && qn->ns_uri == wanted_ns;
+      }
+    }
+    return false;
+  }
+
+  NodeSet filter_nodes(NodeSet nodes, const Expr& predicate,
+                       const Environment& env, bool reverse) {
+    NodeSet out;
+    const std::size_t size = nodes.size();
+    for (std::size_t i = 0; i < size; ++i) {
+      EvalContext ctx;
+      ctx.node = nodes[i];
+      ctx.position = i + 1;
+      ctx.size = size;
+      ctx.env = &env;
+      Value v = eval(predicate, ctx);
+      bool keep = v.is_number()
+                      ? v.to_number() == static_cast<double>(ctx.position)
+                      : v.to_boolean();
+      if (keep) out.push_back(nodes[i]);
+    }
+    // `reverse` is already encoded in the candidate order handed to us;
+    // results keep that order for subsequent predicates.
+    (void)reverse;
+    return out;
+  }
+};
+
+}  // namespace
+
+Value evaluate(const Expr& expr, const EvalContext& ctx) {
+  if (ctx.node == nullptr || ctx.env == nullptr) {
+    throw SemanticError("XPath evaluation needs a context node and env");
+  }
+  return Evaluator().eval(expr, ctx);
+}
+
+Value evaluate(std::string_view expr, const xml::Node& node,
+               const Environment& env) {
+  ExprPtr parsed = parse_expression(expr);
+  EvalContext ctx;
+  ctx.node = &node;
+  ctx.env = &env;
+  return evaluate(*parsed, ctx);
+}
+
+NodeSet select(const Expr& expr, const xml::Node& node,
+               const Environment& env) {
+  EvalContext ctx;
+  ctx.node = &node;
+  ctx.env = &env;
+  return evaluate(expr, ctx).node_set();
+}
+
+NodeSet select(std::string_view expr, const xml::Node& node,
+               const Environment& env) {
+  return evaluate(expr, node, env).node_set();
+}
+
+const xml::Node* select_first(std::string_view expr, const xml::Node& node,
+                              const Environment& env) {
+  NodeSet ns = select(expr, node, env);
+  return ns.empty() ? nullptr : ns.front();
+}
+
+}  // namespace navsep::xpath

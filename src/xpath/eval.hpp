@@ -1,0 +1,65 @@
+// XPath evaluation over the navsep::xml DOM.
+//
+// Usage:
+//   auto expr = xpath::parse_expression("//painting[@artist='picasso']");
+//   xpath::Environment env;
+//   xpath::NodeSet hits = xpath::select(*expr, *doc.root(), env);
+//
+// The Environment supplies variable bindings, namespace-prefix bindings for
+// name tests, and extension functions. The full XPath 1.0 core function
+// library is built in (see functions.cpp).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpath/ast.hpp"
+#include "xpath/value.hpp"
+
+namespace navsep::xpath {
+
+struct EvalContext;
+
+/// Extension function: receives already-evaluated arguments.
+using ExtensionFunction =
+    std::function<Value(const std::vector<Value>&, const EvalContext&)>;
+
+/// Static evaluation environment shared by a whole evaluation.
+struct Environment {
+  std::map<std::string, Value, std::less<>> variables;
+  std::map<std::string, std::string, std::less<>> namespaces;
+  std::map<std::string, ExtensionFunction, std::less<>> functions;
+};
+
+/// Dynamic context: the context node plus position()/last() within the
+/// current node list.
+struct EvalContext {
+  const xml::Node* node = nullptr;
+  std::size_t position = 1;
+  std::size_t size = 1;
+  const Environment* env = nullptr;
+};
+
+/// Evaluate a parsed expression. Throws navsep::SemanticError for unknown
+/// variables/functions and for type errors.
+[[nodiscard]] Value evaluate(const Expr& expr, const EvalContext& ctx);
+
+/// Convenience: parse + evaluate with `node` as the context node.
+[[nodiscard]] Value evaluate(std::string_view expr, const xml::Node& node,
+                             const Environment& env = {});
+
+/// Convenience: evaluate and require a node-set result.
+[[nodiscard]] NodeSet select(const Expr& expr, const xml::Node& node,
+                             const Environment& env = {});
+[[nodiscard]] NodeSet select(std::string_view expr, const xml::Node& node,
+                             const Environment& env = {});
+
+/// First node of select(), or nullptr.
+[[nodiscard]] const xml::Node* select_first(std::string_view expr,
+                                            const xml::Node& node,
+                                            const Environment& env = {});
+
+}  // namespace navsep::xpath

@@ -1,0 +1,265 @@
+#include "xpath/functions.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace navsep::xpath {
+
+namespace {
+
+void require_arity(std::string_view name, const std::vector<Value>& args,
+                   std::size_t min, std::size_t max) {
+  if (args.size() < min || args.size() > max) {
+    throw SemanticError("wrong number of arguments to " + std::string(name) +
+                        "(): got " + std::to_string(args.size()));
+  }
+}
+
+/// The context node as a singleton node-set (for zero-argument string(),
+/// number(), name(), ...).
+Value context_node_value(const EvalContext& ctx) {
+  return Value(NodeSet{ctx.node});
+}
+
+std::string node_name(const xml::Node& n) {
+  switch (n.type()) {
+    case xml::NodeType::Element:
+      return static_cast<const xml::Element&>(n).name().qualified();
+    case xml::NodeType::Attribute:
+      return static_cast<const xml::AttrNode&>(n).name().qualified();
+    case xml::NodeType::ProcessingInstruction:
+      return static_cast<const xml::ProcessingInstruction&>(n).target();
+    default:
+      return {};
+  }
+}
+
+std::string node_local_name(const xml::Node& n) {
+  switch (n.type()) {
+    case xml::NodeType::Element:
+      return static_cast<const xml::Element&>(n).name().local;
+    case xml::NodeType::Attribute:
+      return static_cast<const xml::AttrNode&>(n).name().local;
+    case xml::NodeType::ProcessingInstruction:
+      return static_cast<const xml::ProcessingInstruction&>(n).target();
+    default:
+      return {};
+  }
+}
+
+std::string node_namespace_uri(const xml::Node& n) {
+  switch (n.type()) {
+    case xml::NodeType::Element:
+      return static_cast<const xml::Element&>(n).name().ns_uri;
+    case xml::NodeType::Attribute:
+      return static_cast<const xml::AttrNode&>(n).name().ns_uri;
+    default:
+      return {};
+  }
+}
+
+Value fn_id(const std::vector<Value>& args, const EvalContext& ctx) {
+  const xml::Document* doc = ctx.node->owner_document();
+  if (doc == nullptr && ctx.node->type() == xml::NodeType::Document) {
+    doc = static_cast<const xml::Document*>(ctx.node);
+  }
+  NodeSet out;
+  if (doc == nullptr) return Value(out);
+  auto add_ids = [&](std::string_view text) {
+    for (std::string_view id : strings::split_ws(text)) {
+      if (const xml::Element* e = doc->element_by_id(id)) out.push_back(e);
+    }
+  };
+  if (args[0].is_node_set()) {
+    for (const auto* n : args[0].node_set()) add_ids(n->string_value());
+  } else {
+    add_ids(args[0].to_string());
+  }
+  xml::sort_document_order(out);
+  return Value(std::move(out));
+}
+
+Value fn_substring(const std::vector<Value>& args) {
+  // XPath substring() uses 1-based positions and round()s its arguments;
+  // the edge cases (NaN, infinities) follow §4.2 exactly.
+  std::string s = args[0].to_string();
+  double start = std::floor(args[1].to_number() + 0.5);
+  double length = args.size() == 3
+                      ? std::floor(args[2].to_number() + 0.5)
+                      : std::numeric_limits<double>::infinity();
+  if (std::isnan(start) || std::isnan(length)) return Value(std::string());
+  double end = start + length;
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    double pos = static_cast<double>(i) + 1;
+    if (pos >= start && pos < end) out.push_back(s[i]);
+  }
+  return Value(std::move(out));
+}
+
+Value fn_translate(const std::vector<Value>& args) {
+  std::string s = args[0].to_string();
+  std::string from = args[1].to_string();
+  std::string to = args[2].to_string();
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    std::size_t i = from.find(c);
+    if (i == std::string::npos) {
+      out.push_back(c);
+    } else if (i < to.size()) {
+      out.push_back(to[i]);
+    }  // else: removed
+  }
+  return Value(std::move(out));
+}
+
+Value fn_round(double d) {
+  if (std::isnan(d) || std::isinf(d)) return Value(d);
+  return Value(std::floor(d + 0.5));
+}
+
+}  // namespace
+
+std::optional<Value> call_core_function(std::string_view name,
+                                        const std::vector<Value>& args,
+                                        const EvalContext& ctx) {
+  // --- node-set functions -----------------------------------------------
+  if (name == "last") {
+    require_arity(name, args, 0, 0);
+    return Value(static_cast<double>(ctx.size));
+  }
+  if (name == "position") {
+    require_arity(name, args, 0, 0);
+    return Value(static_cast<double>(ctx.position));
+  }
+  if (name == "count") {
+    require_arity(name, args, 1, 1);
+    return Value(static_cast<double>(args[0].node_set().size()));
+  }
+  if (name == "id") {
+    require_arity(name, args, 1, 1);
+    return fn_id(args, ctx);
+  }
+  if (name == "local-name" || name == "name" || name == "namespace-uri") {
+    require_arity(name, args, 0, 1);
+    const xml::Node* n = ctx.node;
+    if (!args.empty()) {
+      const NodeSet& ns = args[0].node_set();
+      if (ns.empty()) return Value(std::string());
+      n = ns[0];
+    }
+    if (name == "local-name") return Value(node_local_name(*n));
+    if (name == "name") return Value(node_name(*n));
+    return Value(node_namespace_uri(*n));
+  }
+
+  // --- string functions ---------------------------------------------------
+  if (name == "string") {
+    require_arity(name, args, 0, 1);
+    return Value(args.empty() ? context_node_value(ctx).to_string()
+                              : args[0].to_string());
+  }
+  if (name == "concat") {
+    if (args.size() < 2) {
+      throw SemanticError("concat() needs at least two arguments");
+    }
+    std::string out;
+    for (const auto& a : args) out += a.to_string();
+    return Value(std::move(out));
+  }
+  if (name == "starts-with") {
+    require_arity(name, args, 2, 2);
+    return Value(args[0].to_string().starts_with(args[1].to_string()));
+  }
+  if (name == "contains") {
+    require_arity(name, args, 2, 2);
+    return Value(args[0].to_string().find(args[1].to_string()) !=
+                 std::string::npos);
+  }
+  if (name == "substring-before") {
+    require_arity(name, args, 2, 2);
+    std::string s = args[0].to_string();
+    std::size_t i = s.find(args[1].to_string());
+    return Value(i == std::string::npos ? std::string() : s.substr(0, i));
+  }
+  if (name == "substring-after") {
+    require_arity(name, args, 2, 2);
+    std::string s = args[0].to_string();
+    std::string t = args[1].to_string();
+    std::size_t i = s.find(t);
+    return Value(i == std::string::npos ? std::string()
+                                        : s.substr(i + t.size()));
+  }
+  if (name == "substring") {
+    require_arity(name, args, 2, 3);
+    return fn_substring(args);
+  }
+  if (name == "string-length") {
+    require_arity(name, args, 0, 1);
+    std::string s = args.empty() ? context_node_value(ctx).to_string()
+                                 : args[0].to_string();
+    return Value(static_cast<double>(s.size()));
+  }
+  if (name == "normalize-space") {
+    require_arity(name, args, 0, 1);
+    std::string s = args.empty() ? context_node_value(ctx).to_string()
+                                 : args[0].to_string();
+    return Value(strings::normalize_space(s));
+  }
+  if (name == "translate") {
+    require_arity(name, args, 3, 3);
+    return fn_translate(args);
+  }
+
+  // --- boolean functions ---------------------------------------------------
+  if (name == "boolean") {
+    require_arity(name, args, 1, 1);
+    return Value(args[0].to_boolean());
+  }
+  if (name == "not") {
+    require_arity(name, args, 1, 1);
+    return Value(!args[0].to_boolean());
+  }
+  if (name == "true") {
+    require_arity(name, args, 0, 0);
+    return Value(true);
+  }
+  if (name == "false") {
+    require_arity(name, args, 0, 0);
+    return Value(false);
+  }
+
+  // --- number functions ----------------------------------------------------
+  if (name == "number") {
+    require_arity(name, args, 0, 1);
+    return Value(args.empty() ? context_node_value(ctx).to_number()
+                              : args[0].to_number());
+  }
+  if (name == "sum") {
+    require_arity(name, args, 1, 1);
+    double total = 0;
+    for (const auto* n : args[0].node_set()) {
+      total += string_to_number(n->string_value());
+    }
+    return Value(total);
+  }
+  if (name == "floor") {
+    require_arity(name, args, 1, 1);
+    return Value(std::floor(args[0].to_number()));
+  }
+  if (name == "ceiling") {
+    require_arity(name, args, 1, 1);
+    return Value(std::ceil(args[0].to_number()));
+  }
+  if (name == "round") {
+    require_arity(name, args, 1, 1);
+    return fn_round(args[0].to_number());
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace navsep::xpath

@@ -1,0 +1,20 @@
+// The XPath 1.0 core function library (§4).
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "xpath/eval.hpp"
+#include "xpath/value.hpp"
+
+namespace navsep::xpath {
+
+/// Invoke a core library function by name. Returns nullopt when the name is
+/// not a core function (the evaluator then consults Environment::functions).
+/// Throws navsep::SemanticError on arity mismatches.
+[[nodiscard]] std::optional<Value> call_core_function(
+    std::string_view name, const std::vector<Value>& args,
+    const EvalContext& ctx);
+
+}  // namespace navsep::xpath

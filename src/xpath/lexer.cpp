@@ -1,0 +1,193 @@
+#include "xpath/lexer.hpp"
+
+#include "common/strings.hpp"
+#include "common/text_cursor.hpp"
+
+namespace navsep::xpath {
+
+namespace {
+
+bool is_ncname_start(char c) noexcept {
+  return strings::is_alpha(c) || c == '_' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool is_ncname_char(char c) noexcept {
+  return is_ncname_start(c) || strings::is_digit(c) || c == '-' || c == '.';
+}
+
+/// Does the previous token force the next '*' / name to be an operator?
+/// Per XPath 1.0 §3.7: if there is a preceding token and it is not one of
+/// @, ::, (, [, an Operator, or ',', then '*' is MultiplyOperator and a
+/// name is an OperatorName.
+bool operator_context(const std::vector<Token>& tokens) noexcept {
+  if (tokens.empty()) return false;
+  switch (tokens.back().type) {
+    case TokenType::At:
+    case TokenType::ColonColon:
+    case TokenType::LParen:
+    case TokenType::LBracket:
+    case TokenType::Comma:
+    case TokenType::Operator:
+    case TokenType::Slash:
+    case TokenType::DoubleSlash:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view expr) {
+  std::vector<Token> out;
+  TextCursor cur(expr);
+
+  for (;;) {
+    cur.skip_ws();
+    Position pos = cur.position();
+    if (cur.eof()) {
+      out.push_back(Token{TokenType::End, "", 0, pos});
+      return out;
+    }
+    char c = cur.peek();
+
+    // Literals.
+    if (c == '\'' || c == '"') {
+      cur.advance();
+      std::string_view body = cur.take_until(std::string_view(&c, 1));
+      cur.advance();  // closing quote
+      out.push_back(Token{TokenType::Literal, std::string(body), 0, pos});
+      continue;
+    }
+
+    // Numbers: digits, or '.' followed by a digit.
+    if (strings::is_digit(c) ||
+        (c == '.' && strings::is_digit(cur.peek(1)))) {
+      std::string text;
+      text += std::string(cur.take_while(strings::is_digit));
+      if (cur.peek() == '.' && strings::is_digit(cur.peek(1))) {
+        cur.advance();
+        text += '.';
+        text += std::string(cur.take_while(strings::is_digit));
+      } else if (cur.peek() == '.' && text.empty()) {
+        // ".5" — leading dot already detected above.
+      }
+      if (text.empty() && cur.consume('.')) {
+        text = "0.";
+        text += std::string(cur.take_while(strings::is_digit));
+      }
+      out.push_back(
+          Token{TokenType::Number, text, std::stod(text), pos});
+      continue;
+    }
+
+    // Variables.
+    if (c == '$') {
+      cur.advance();
+      if (!is_ncname_start(cur.peek())) cur.fail("expected variable name");
+      std::string name(cur.take_while(is_ncname_char));
+      if (cur.peek() == ':' && cur.peek(1) != ':') {
+        cur.advance();
+        name += ':';
+        name += std::string(cur.take_while(is_ncname_char));
+      }
+      out.push_back(Token{TokenType::Variable, name, 0, pos});
+      continue;
+    }
+
+    // Names (possibly qualified), which may turn into operator names,
+    // axis names or function names depending on what follows.
+    if (is_ncname_start(c)) {
+      std::string name(cur.take_while(is_ncname_char));
+      bool op_ctx = operator_context(out);
+      if (op_ctx &&
+          (name == "and" || name == "or" || name == "div" || name == "mod")) {
+        out.push_back(Token{TokenType::Operator, name, 0, pos});
+        continue;
+      }
+      // QName continuation: "prefix:local" or "prefix:*".
+      if (cur.peek() == ':' && cur.peek(1) != ':') {
+        cur.advance();
+        if (cur.peek() == '*') {
+          cur.advance();
+          out.push_back(Token{TokenType::Name, name + ":*", 0, pos});
+          continue;
+        }
+        if (!is_ncname_start(cur.peek())) cur.fail("expected local name");
+        name += ':';
+        name += std::string(cur.take_while(is_ncname_char));
+      }
+      cur.skip_ws();
+      if (cur.peek() == ':' && cur.peek(1) == ':') {
+        out.push_back(Token{TokenType::AxisName, name, 0, pos});
+        continue;
+      }
+      if (cur.peek() == '(') {
+        out.push_back(Token{TokenType::FunctionName, name, 0, pos});
+        continue;
+      }
+      out.push_back(Token{TokenType::Name, name, 0, pos});
+      continue;
+    }
+
+    // Symbols.
+    cur.advance();
+    switch (c) {
+      case '(': out.push_back(Token{TokenType::LParen, "(", 0, pos}); break;
+      case ')': out.push_back(Token{TokenType::RParen, ")", 0, pos}); break;
+      case '[': out.push_back(Token{TokenType::LBracket, "[", 0, pos}); break;
+      case ']': out.push_back(Token{TokenType::RBracket, "]", 0, pos}); break;
+      case ',': out.push_back(Token{TokenType::Comma, ",", 0, pos}); break;
+      case '@': out.push_back(Token{TokenType::At, "@", 0, pos}); break;
+      case '|': out.push_back(Token{TokenType::Operator, "|", 0, pos}); break;
+      case '+': out.push_back(Token{TokenType::Operator, "+", 0, pos}); break;
+      case '-': out.push_back(Token{TokenType::Operator, "-", 0, pos}); break;
+      case '=': out.push_back(Token{TokenType::Operator, "=", 0, pos}); break;
+      case '*':
+        if (operator_context(out)) {
+          out.push_back(Token{TokenType::Operator, "*", 0, pos});
+        } else {
+          out.push_back(Token{TokenType::Star, "*", 0, pos});
+        }
+        break;
+      case '/':
+        if (cur.consume('/')) {
+          out.push_back(Token{TokenType::DoubleSlash, "//", 0, pos});
+        } else {
+          out.push_back(Token{TokenType::Slash, "/", 0, pos});
+        }
+        break;
+      case '!':
+        if (!cur.consume('=')) {
+          throw ParseError("stray '!' (did you mean '!=' ?)", pos);
+        }
+        out.push_back(Token{TokenType::Operator, "!=", 0, pos});
+        break;
+      case '<':
+        out.push_back(Token{TokenType::Operator,
+                            cur.consume('=') ? "<=" : "<", 0, pos});
+        break;
+      case '>':
+        out.push_back(Token{TokenType::Operator,
+                            cur.consume('=') ? ">=" : ">", 0, pos});
+        break;
+      case ':':
+        if (!cur.consume(':')) throw ParseError("stray ':'", pos);
+        out.push_back(Token{TokenType::ColonColon, "::", 0, pos});
+        break;
+      case '.':
+        if (cur.consume('.')) {
+          out.push_back(Token{TokenType::DotDot, "..", 0, pos});
+        } else {
+          out.push_back(Token{TokenType::Dot, ".", 0, pos});
+        }
+        break;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'",
+                         pos);
+    }
+  }
+}
+
+}  // namespace navsep::xpath

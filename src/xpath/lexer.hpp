@@ -1,0 +1,52 @@
+// Tokenizer for XPath 1.0 expressions.
+//
+// Implements the lexical disambiguation rules of XPath 1.0 §3.7: `*` is the
+// multiply operator only when the preceding token admits an operator, and
+// the words and/or/div/mod are operator names in the same positions;
+// a name followed by '(' is a function name; a name followed by '::' is an
+// axis name.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace navsep::xpath {
+
+enum class TokenType {
+  End,
+  Number,      // 12, 12.5, .5
+  Literal,     // '...' or "..."
+  Name,        // NCName or QName (prefix:local)
+  Variable,    // $name
+  FunctionName,  // name followed by '('
+  AxisName,    // name followed by '::'
+  Star,        // * as a wildcard
+  Operator,    // named operators and/or/div/mod and symbols = != < <= > >= + - * / // |
+  Slash,       // /
+  DoubleSlash, // //
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Dot,
+  DotDot,
+  At,
+  Comma,
+  ColonColon,
+};
+
+struct Token {
+  TokenType type = TokenType::End;
+  std::string text;
+  double number = 0;
+  Position pos;
+};
+
+/// Tokenize a complete expression. Throws navsep::ParseError on lexical
+/// errors (unterminated literal, stray characters).
+[[nodiscard]] std::vector<Token> tokenize(std::string_view expr);
+
+}  // namespace navsep::xpath

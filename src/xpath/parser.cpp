@@ -1,0 +1,363 @@
+#include "xpath/parser.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "xpath/lexer.hpp"
+
+namespace navsep::xpath {
+
+namespace {
+
+Axis axis_from_name(std::string_view name, Position pos) {
+  if (name == "child") return Axis::Child;
+  if (name == "descendant") return Axis::Descendant;
+  if (name == "parent") return Axis::Parent;
+  if (name == "ancestor") return Axis::Ancestor;
+  if (name == "following-sibling") return Axis::FollowingSibling;
+  if (name == "preceding-sibling") return Axis::PrecedingSibling;
+  if (name == "following") return Axis::Following;
+  if (name == "preceding") return Axis::Preceding;
+  if (name == "attribute") return Axis::Attribute;
+  if (name == "self") return Axis::Self;
+  if (name == "descendant-or-self") return Axis::DescendantOrSelf;
+  if (name == "ancestor-or-self") return Axis::AncestorOrSelf;
+  throw ParseError("unknown axis '" + std::string(name) + "'", pos);
+}
+
+bool is_node_type_name(std::string_view name) noexcept {
+  return name == "text" || name == "comment" || name == "node" ||
+         name == "processing-instruction";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : tokens_(tokenize(text)) {}
+
+  ExprPtr run() {
+    ExprPtr e = parse_or();
+    expect(TokenType::End, "end of expression");
+    return e;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    std::size_t i = index_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() { return tokens_[index_++]; }
+  bool check(TokenType t) const { return peek().type == t; }
+  bool check_op(std::string_view text) const {
+    return peek().type == TokenType::Operator && peek().text == text;
+  }
+  bool match(TokenType t) {
+    if (!check(t)) return false;
+    ++index_;
+    return true;
+  }
+  bool match_op(std::string_view text) {
+    if (!check_op(text)) return false;
+    ++index_;
+    return true;
+  }
+  void expect(TokenType t, std::string_view what) {
+    if (!match(t)) {
+      throw ParseError("expected " + std::string(what) + ", found '" +
+                           peek().text + "'",
+                       peek().pos);
+    }
+  }
+
+  ExprPtr binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+    auto e = std::make_unique<Expr>(Expr::Kind::Binary);
+    e->op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+  }
+
+  ExprPtr parse_or() {
+    ExprPtr e = parse_and();
+    while (match_op("or")) e = binary(BinaryOp::Or, std::move(e), parse_and());
+    return e;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr e = parse_equality();
+    while (match_op("and")) {
+      e = binary(BinaryOp::And, std::move(e), parse_equality());
+    }
+    return e;
+  }
+
+  ExprPtr parse_equality() {
+    ExprPtr e = parse_relational();
+    for (;;) {
+      if (match_op("=")) {
+        e = binary(BinaryOp::Equal, std::move(e), parse_relational());
+      } else if (match_op("!=")) {
+        e = binary(BinaryOp::NotEqual, std::move(e), parse_relational());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parse_relational() {
+    ExprPtr e = parse_additive();
+    for (;;) {
+      if (match_op("<")) {
+        e = binary(BinaryOp::Less, std::move(e), parse_additive());
+      } else if (match_op("<=")) {
+        e = binary(BinaryOp::LessEqual, std::move(e), parse_additive());
+      } else if (match_op(">")) {
+        e = binary(BinaryOp::Greater, std::move(e), parse_additive());
+      } else if (match_op(">=")) {
+        e = binary(BinaryOp::GreaterEqual, std::move(e), parse_additive());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr e = parse_multiplicative();
+    for (;;) {
+      if (match_op("+")) {
+        e = binary(BinaryOp::Add, std::move(e), parse_multiplicative());
+      } else if (match_op("-")) {
+        e = binary(BinaryOp::Subtract, std::move(e), parse_multiplicative());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr e = parse_unary();
+    for (;;) {
+      if (match_op("*")) {
+        e = binary(BinaryOp::Multiply, std::move(e), parse_unary());
+      } else if (match_op("div")) {
+        e = binary(BinaryOp::Divide, std::move(e), parse_unary());
+      } else if (match_op("mod")) {
+        e = binary(BinaryOp::Modulo, std::move(e), parse_unary());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parse_unary() {
+    if (match_op("-")) {
+      auto e = std::make_unique<Expr>(Expr::Kind::Negate);
+      e->lhs = parse_unary();
+      return e;
+    }
+    return parse_union();
+  }
+
+  ExprPtr parse_union() {
+    ExprPtr e = parse_path();
+    while (match_op("|")) {
+      e = binary(BinaryOp::Union, std::move(e), parse_path());
+    }
+    return e;
+  }
+
+  /// Is the current token the start of a location-path step?
+  bool at_step_start() const {
+    switch (peek().type) {
+      case TokenType::Name:
+      case TokenType::Star:
+      case TokenType::At:
+      case TokenType::Dot:
+      case TokenType::DotDot:
+      case TokenType::AxisName:
+        return true;
+      case TokenType::FunctionName:
+        return is_node_type_name(peek().text);
+      default:
+        return false;
+    }
+  }
+
+  ExprPtr parse_path() {
+    // Absolute location paths.
+    if (check(TokenType::Slash) || check(TokenType::DoubleSlash)) {
+      auto e = std::make_unique<Expr>(Expr::Kind::LocationPath);
+      e->absolute = true;
+      if (match(TokenType::Slash)) {
+        if (at_step_start()) parse_relative_path(e->steps);
+      } else {
+        advance();  // //
+        e->steps.push_back(descendant_or_self_step());
+        parse_relative_path(e->steps);
+      }
+      return e;
+    }
+    // Relative location path?
+    if (at_step_start()) {
+      auto e = std::make_unique<Expr>(Expr::Kind::LocationPath);
+      parse_relative_path(e->steps);
+      return e;
+    }
+    // Filter expression with optional trailing path.
+    auto e = std::make_unique<Expr>(Expr::Kind::Filter);
+    e->primary = parse_primary();
+    while (check(TokenType::LBracket)) {
+      e->predicates.push_back(parse_predicate());
+    }
+    if (match(TokenType::Slash)) {
+      parse_relative_path(e->steps);
+    } else if (match(TokenType::DoubleSlash)) {
+      e->steps.push_back(descendant_or_self_step());
+      parse_relative_path(e->steps);
+    }
+    // A filter with no predicates and no trailing path is just its primary.
+    if (e->predicates.empty() && e->steps.empty()) {
+      return std::move(e->primary);
+    }
+    return e;
+  }
+
+  static Step descendant_or_self_step() {
+    Step s;
+    s.axis = Axis::DescendantOrSelf;
+    s.test.kind = NodeTest::Kind::AnyNode;
+    return s;
+  }
+
+  void parse_relative_path(std::vector<Step>& steps) {
+    steps.push_back(parse_step());
+    for (;;) {
+      if (match(TokenType::Slash)) {
+        steps.push_back(parse_step());
+      } else if (match(TokenType::DoubleSlash)) {
+        steps.push_back(descendant_or_self_step());
+        steps.push_back(parse_step());
+      } else {
+        return;
+      }
+    }
+  }
+
+  Step parse_step() {
+    Step s;
+    if (match(TokenType::Dot)) {
+      s.axis = Axis::Self;
+      s.test.kind = NodeTest::Kind::AnyNode;
+      return s;
+    }
+    if (match(TokenType::DotDot)) {
+      s.axis = Axis::Parent;
+      s.test.kind = NodeTest::Kind::AnyNode;
+      return s;
+    }
+    if (check(TokenType::AxisName)) {
+      const Token& t = advance();
+      s.axis = axis_from_name(t.text, t.pos);
+      expect(TokenType::ColonColon, "'::' after axis name");
+    } else if (match(TokenType::At)) {
+      s.axis = Axis::Attribute;
+    }
+    s.test = parse_node_test();
+    while (check(TokenType::LBracket)) {
+      s.predicates.push_back(parse_predicate());
+    }
+    return s;
+  }
+
+  NodeTest parse_node_test() {
+    NodeTest t;
+    if (match(TokenType::Star)) {
+      t.kind = NodeTest::Kind::AnyName;
+      return t;
+    }
+    if (check(TokenType::FunctionName) && is_node_type_name(peek().text)) {
+      const Token& tok = advance();
+      expect(TokenType::LParen, "'('");
+      if (tok.text == "text") {
+        t.kind = NodeTest::Kind::Text;
+      } else if (tok.text == "comment") {
+        t.kind = NodeTest::Kind::Comment;
+      } else if (tok.text == "node") {
+        t.kind = NodeTest::Kind::AnyNode;
+      } else {
+        t.kind = NodeTest::Kind::Pi;
+        if (check(TokenType::Literal)) t.local = advance().text;
+      }
+      expect(TokenType::RParen, "')'");
+      return t;
+    }
+    if (check(TokenType::Name)) {
+      const Token& tok = advance();
+      t.kind = NodeTest::Kind::Name;
+      std::size_t colon = tok.text.find(':');
+      if (colon == std::string::npos) {
+        t.local = tok.text;
+      } else {
+        t.prefix = tok.text.substr(0, colon);
+        t.local = tok.text.substr(colon + 1);
+        if (t.local == "*") {
+          t.kind = NodeTest::Kind::AnyName;  // prefix:* keeps the prefix
+        }
+      }
+      return t;
+    }
+    throw ParseError("expected node test, found '" + peek().text + "'",
+                     peek().pos);
+  }
+
+  ExprPtr parse_predicate() {
+    expect(TokenType::LBracket, "'['");
+    ExprPtr e = parse_or();
+    expect(TokenType::RBracket, "']'");
+    return e;
+  }
+
+  ExprPtr parse_primary() {
+    if (check(TokenType::Variable)) {
+      auto e = std::make_unique<Expr>(Expr::Kind::Variable);
+      e->string_value = advance().text;
+      return e;
+    }
+    if (match(TokenType::LParen)) {
+      ExprPtr inner = parse_or();
+      expect(TokenType::RParen, "')'");
+      return inner;
+    }
+    if (check(TokenType::Literal)) {
+      auto e = std::make_unique<Expr>(Expr::Kind::Literal);
+      e->string_value = advance().text;
+      return e;
+    }
+    if (check(TokenType::Number)) {
+      auto e = std::make_unique<Expr>(Expr::Kind::Number);
+      e->number_value = advance().number;
+      return e;
+    }
+    if (check(TokenType::FunctionName)) {
+      auto e = std::make_unique<Expr>(Expr::Kind::FunctionCall);
+      e->string_value = advance().text;
+      expect(TokenType::LParen, "'('");
+      if (!check(TokenType::RParen)) {
+        e->args.push_back(parse_or());
+        while (match(TokenType::Comma)) e->args.push_back(parse_or());
+      }
+      expect(TokenType::RParen, "')'");
+      return e;
+    }
+    throw ParseError("expected expression, found '" + peek().text + "'",
+                     peek().pos);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+ExprPtr parse_expression(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace navsep::xpath

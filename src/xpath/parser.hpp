@@ -1,0 +1,14 @@
+// Recursive-descent parser for the XPath 1.0 subset, producing xpath::Expr.
+#pragma once
+
+#include <string_view>
+
+#include "xpath/ast.hpp"
+
+namespace navsep::xpath {
+
+/// Parse a complete expression. Throws navsep::ParseError on syntax errors
+/// and on unknown axis names.
+[[nodiscard]] ExprPtr parse_expression(std::string_view text);
+
+}  // namespace navsep::xpath

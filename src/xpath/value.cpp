@@ -1,0 +1,160 @@
+#include "xpath/value.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace navsep::xpath {
+
+std::string number_to_string(double d) {
+  if (std::isnan(d)) return "NaN";
+  if (std::isinf(d)) return d > 0 ? "Infinity" : "-Infinity";
+  if (d == 0) return "0";  // covers -0 as well
+  if (d == static_cast<long long>(d)) {
+    return std::to_string(static_cast<long long>(d));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", d);
+  return buf;
+}
+
+double string_to_number(std::string_view s) {
+  std::string trimmed(strings::trim(s));
+  if (trimmed.empty()) return std::nan("");
+  // XPath numbers: optional '-', digits, optional fraction. Reject any
+  // trailing garbage that strtod would accept (hex, exponents are not in
+  // the XPath 1.0 grammar but we accept them as a benign extension).
+  char* end = nullptr;
+  double v = std::strtod(trimmed.c_str(), &end);
+  if (end != trimmed.c_str() + trimmed.size()) return std::nan("");
+  return v;
+}
+
+const NodeSet& Value::node_set() const {
+  if (const auto* ns = std::get_if<NodeSet>(&data_)) return *ns;
+  throw SemanticError("cannot convert a non-node-set XPath value to a node-set");
+}
+
+bool Value::to_boolean() const {
+  if (const auto* ns = std::get_if<NodeSet>(&data_)) return !ns->empty();
+  if (const auto* b = std::get_if<bool>(&data_)) return *b;
+  if (const auto* d = std::get_if<double>(&data_)) {
+    return *d != 0 && !std::isnan(*d);
+  }
+  return !std::get<std::string>(data_).empty();
+}
+
+double Value::to_number() const {
+  if (const auto* b = std::get_if<bool>(&data_)) return *b ? 1.0 : 0.0;
+  if (const auto* d = std::get_if<double>(&data_)) return *d;
+  return string_to_number(to_string());
+}
+
+std::string Value::to_string() const {
+  if (const auto* ns = std::get_if<NodeSet>(&data_)) {
+    return ns->empty() ? std::string() : (*ns)[0]->string_value();
+  }
+  if (const auto* b = std::get_if<bool>(&data_)) return *b ? "true" : "false";
+  if (const auto* d = std::get_if<double>(&data_)) return number_to_string(*d);
+  return std::get<std::string>(data_);
+}
+
+namespace {
+
+/// String-values of every node in the set.
+std::vector<std::string> node_strings(const NodeSet& ns) {
+  std::vector<std::string> out;
+  out.reserve(ns.size());
+  for (const auto* n : ns) out.push_back(n->string_value());
+  return out;
+}
+
+bool number_equal(double a, double b) { return a == b; }  // NaN != NaN holds
+
+}  // namespace
+
+bool Value::compare_equal(const Value& a, const Value& b, bool negate) {
+  // Node-set vs node-set: exists (x, y) with string(x) == string(y).
+  if (a.is_node_set() && b.is_node_set()) {
+    auto sa = node_strings(a.node_set());
+    auto sb = node_strings(b.node_set());
+    for (const auto& x : sa) {
+      for (const auto& y : sb) {
+        if ((x == y) != negate) return true;
+      }
+    }
+    return false;
+  }
+  // Node-set vs scalar: exists node satisfying the scalar comparison.
+  if (a.is_node_set() || b.is_node_set()) {
+    const Value& set = a.is_node_set() ? a : b;
+    const Value& scalar = a.is_node_set() ? b : a;
+    for (const auto* n : set.node_set()) {
+      std::string sv = n->string_value();
+      bool eq;
+      if (scalar.is_number()) {
+        eq = number_equal(string_to_number(sv), scalar.to_number());
+      } else if (scalar.is_boolean()) {
+        eq = Value(NodeSet{n}).to_boolean() == scalar.to_boolean();
+      } else {
+        eq = sv == scalar.to_string();
+      }
+      if (eq != negate) return true;
+    }
+    return false;
+  }
+  // Scalar vs scalar: boolean > number > string priority.
+  bool eq;
+  if (a.is_boolean() || b.is_boolean()) {
+    eq = a.to_boolean() == b.to_boolean();
+  } else if (a.is_number() || b.is_number()) {
+    eq = number_equal(a.to_number(), b.to_number());
+  } else {
+    eq = a.to_string() == b.to_string();
+  }
+  return eq != negate;
+}
+
+namespace {
+bool relate(double x, double y, char op) {
+  switch (op) {
+    case '<': return x < y;
+    case '>': return x > y;
+    case 'l': return x <= y;
+    case 'g': return x >= y;
+  }
+  return false;
+}
+}  // namespace
+
+bool Value::compare_relational(const Value& a, const Value& b, char op) {
+  if (a.is_node_set() && b.is_node_set()) {
+    for (const auto* x : a.node_set()) {
+      double xv = string_to_number(x->string_value());
+      for (const auto* y : b.node_set()) {
+        if (relate(xv, string_to_number(y->string_value()), op)) return true;
+      }
+    }
+    return false;
+  }
+  if (a.is_node_set()) {
+    double yv = b.to_number();
+    for (const auto* x : a.node_set()) {
+      if (relate(string_to_number(x->string_value()), yv, op)) return true;
+    }
+    return false;
+  }
+  if (b.is_node_set()) {
+    double xv = a.to_number();
+    for (const auto* y : b.node_set()) {
+      if (relate(xv, string_to_number(y->string_value()), op)) return true;
+    }
+    return false;
+  }
+  return relate(a.to_number(), b.to_number(), op);
+}
+
+}  // namespace navsep::xpath

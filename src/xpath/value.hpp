@@ -1,0 +1,70 @@
+// The XPath 1.0 value model: node-set, boolean, number, string, plus the
+// standard conversion rules between them (XPath 1.0 §3.2–§4.3).
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "xml/dom.hpp"
+
+namespace navsep::xpath {
+
+/// A node-set: unique nodes in document order.
+using NodeSet = std::vector<const xml::Node*>;
+
+class Value {
+ public:
+  Value() : data_(NodeSet{}) {}
+  explicit Value(NodeSet nodes) : data_(std::move(nodes)) {}
+  explicit Value(bool b) : data_(b) {}
+  explicit Value(double d) : data_(d) {}
+  explicit Value(std::string s) : data_(std::move(s)) {}
+  explicit Value(const char* s) : data_(std::string(s)) {}
+
+  [[nodiscard]] bool is_node_set() const noexcept {
+    return std::holds_alternative<NodeSet>(data_);
+  }
+  [[nodiscard]] bool is_boolean() const noexcept {
+    return std::holds_alternative<bool>(data_);
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return std::holds_alternative<double>(data_);
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(data_);
+  }
+
+  /// The underlying node-set; throws navsep::SemanticError for other types
+  /// (XPath forbids converting non-node-sets to node-sets).
+  [[nodiscard]] const NodeSet& node_set() const;
+
+  /// XPath boolean() conversion.
+  [[nodiscard]] bool to_boolean() const;
+
+  /// XPath number() conversion (NaN on unparseable strings).
+  [[nodiscard]] double to_number() const;
+
+  /// XPath string() conversion (first node's string-value for node-sets,
+  /// -0/NaN/Infinity formatting rules for numbers).
+  [[nodiscard]] std::string to_string() const;
+
+  /// XPath = / != / < comparison semantics, which are existential over
+  /// node-sets (any pair of nodes satisfying the comparison).
+  [[nodiscard]] static bool compare_equal(const Value& a, const Value& b,
+                                          bool negate);
+  /// op is one of '<', '>', 'l' (<=), 'g' (>=).
+  [[nodiscard]] static bool compare_relational(const Value& a, const Value& b,
+                                               char op);
+
+ private:
+  std::variant<NodeSet, bool, double, std::string> data_;
+};
+
+/// XPath number→string (5 -> "5", 5.5 -> "5.5", NaN -> "NaN").
+[[nodiscard]] std::string number_to_string(double d);
+
+/// XPath string→number (whitespace-trimmed decimal, else NaN).
+[[nodiscard]] double string_to_number(std::string_view s);
+
+}  // namespace navsep::xpath

@@ -1,0 +1,7 @@
+// Umbrella header for the XPath engine.
+#pragma once
+
+#include "xpath/ast.hpp"     // IWYU pragma: export
+#include "xpath/eval.hpp"    // IWYU pragma: export
+#include "xpath/parser.hpp"  // IWYU pragma: export
+#include "xpath/value.hpp"   // IWYU pragma: export

@@ -1,0 +1,197 @@
+#include "xpointer/xpointer.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/text_cursor.hpp"
+#include "xpath/eval.hpp"
+
+namespace navsep::xpointer {
+
+namespace {
+
+bool is_ncname_start(char c) noexcept {
+  return strings::is_alpha(c) || c == '_' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool is_ncname_char(char c) noexcept {
+  return is_ncname_start(c) || strings::is_digit(c) || c == '-' || c == '.';
+}
+
+/// Scheme data runs to the balancing ')'; ^( ^) ^^ are escapes.
+std::string parse_scheme_data(TextCursor& cur) {
+  std::string out;
+  int depth = 1;
+  for (;;) {
+    if (cur.eof()) cur.fail("unbalanced parentheses in pointer part");
+    char c = cur.next();
+    if (c == '^') {
+      if (cur.eof()) cur.fail("dangling '^' escape in pointer part");
+      char esc = cur.next();
+      if (esc != '(' && esc != ')' && esc != '^') {
+        cur.fail("invalid '^' escape in pointer part");
+      }
+      out.push_back(esc);
+      continue;
+    }
+    if (c == '(') ++depth;
+    if (c == ')') {
+      --depth;
+      if (depth == 0) return out;
+    }
+    out.push_back(c);
+  }
+}
+
+std::string escape_scheme_data(std::string_view data) {
+  std::string out;
+  for (char c : data) {
+    if (c == '(' || c == ')' || c == '^') out.push_back('^');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// element() scheme: [NCName] ("/" digits)*.
+xpath::NodeSet resolve_element_scheme(std::string_view data,
+                                      const xml::Document& doc) {
+  TextCursor cur(data);
+  const xml::Element* current = nullptr;
+  if (is_ncname_start(cur.peek())) {
+    std::string_view id = cur.take_while(is_ncname_char);
+    current = doc.element_by_id(id);
+    if (current == nullptr) return {};
+  }
+  while (!cur.eof()) {
+    if (!cur.consume('/')) {
+      cur.fail("expected '/' in element() child sequence");
+    }
+    std::string_view digits = cur.take_while(strings::is_digit);
+    if (digits.empty()) cur.fail("expected child index in element() scheme");
+    std::size_t index = 0;
+    for (char d : digits) index = index * 10 + static_cast<std::size_t>(d - '0');
+    if (index == 0) cur.fail("element() child indexes are 1-based");
+
+    std::vector<const xml::Element*> kids;
+    if (current == nullptr) {
+      if (const xml::Element* root = doc.root()) kids.push_back(root);
+    } else {
+      kids = current->child_elements();
+    }
+    if (index > kids.size()) return {};
+    current = kids[index - 1];
+  }
+  if (current == nullptr) return {};
+  return xpath::NodeSet{current};
+}
+
+}  // namespace
+
+std::string Pointer::to_string() const {
+  if (shorthand) return shorthand_id;
+  std::string out;
+  for (const auto& p : parts) {
+    out += p.scheme;
+    out += '(';
+    out += escape_scheme_data(p.data);
+    out += ')';
+  }
+  return out;
+}
+
+Pointer parse(std::string_view fragment) {
+  Pointer out;
+  TextCursor cur(fragment);
+  if (cur.eof()) {
+    throw ParseError("empty XPointer", cur.position());
+  }
+
+  // Shorthand: a bare NCName with nothing after it.
+  if (is_ncname_start(cur.peek())) {
+    std::size_t mark = cur.offset();
+    std::string_view name = cur.take_while(is_ncname_char);
+    if (cur.eof()) {
+      out.shorthand = true;
+      out.shorthand_id = std::string(name);
+      return out;
+    }
+    // Not shorthand after all — rewind by re-scanning as scheme parts.
+    cur = TextCursor(fragment);
+    cur.advance(mark);
+  }
+
+  while (!cur.eof()) {
+    cur.skip_ws();
+    if (cur.eof()) break;
+    if (!is_ncname_start(cur.peek())) {
+      cur.fail("expected scheme name in pointer part");
+    }
+    std::string scheme(cur.take_while([](char c) {
+      return is_ncname_char(c) || c == ':';
+    }));
+    if (!cur.consume('(')) {
+      cur.fail("expected '(' after scheme name '" + scheme + "'");
+    }
+    std::string data = parse_scheme_data(cur);
+    out.parts.push_back(PointerPart{std::move(scheme), std::move(data)});
+  }
+  if (out.parts.empty()) {
+    throw ParseError("no pointer parts found", Position{});
+  }
+  return out;
+}
+
+xpath::NodeSet resolve(const Pointer& pointer, const xml::Document& doc) {
+  if (pointer.shorthand) {
+    if (const xml::Element* e = doc.element_by_id(pointer.shorthand_id)) {
+      return xpath::NodeSet{e};
+    }
+    return {};
+  }
+
+  xpath::Environment env;  // accumulates xmlns() bindings across parts
+  for (const auto& part : pointer.parts) {
+    if (part.scheme == "xmlns") {
+      std::size_t eq = part.data.find('=');
+      if (eq == std::string::npos) {
+        throw ParseError("xmlns() part needs 'prefix=uri'", Position{});
+      }
+      std::string prefix(strings::trim(part.data.substr(0, eq)));
+      std::string uri(strings::trim(part.data.substr(eq + 1)));
+      env.namespaces[prefix] = uri;
+      continue;
+    }
+    if (part.scheme == "element") {
+      xpath::NodeSet hits = resolve_element_scheme(part.data, doc);
+      if (!hits.empty()) return hits;
+      continue;
+    }
+    if (part.scheme == "xpointer") {
+      // Errors inside one part make that part fail, not the whole pointer
+      // (XPointer framework semantics) — but a part that *parses* and
+      // returns nothing simply falls through to the next part.
+      try {
+        xpath::NodeSet hits = xpath::select(part.data, doc, env);
+        if (!hits.empty()) return hits;
+      } catch (const Error&) {
+        // fall through to the next part
+      }
+      continue;
+    }
+    // Unknown scheme: skip (framework-conformant).
+  }
+  return {};
+}
+
+xpath::NodeSet resolve(std::string_view fragment, const xml::Document& doc) {
+  return resolve(parse(fragment), doc);
+}
+
+const xml::Element* resolve_element(std::string_view fragment,
+                                    const xml::Document& doc) {
+  xpath::NodeSet hits = resolve(fragment, doc);
+  if (hits.empty()) return nullptr;
+  return hits.front()->as_element();
+}
+
+}  // namespace navsep::xpointer

@@ -1,0 +1,63 @@
+// XPointer: fragment identifiers for XML documents.
+//
+// The paper pairs XLink (which document) with XPointer (where in the
+// document). We implement the XPointer Framework plus the three schemes
+// the linkbase needs:
+//
+//   * shorthand pointers     — `#guitar` finds the element with that id;
+//   * the element() scheme   — `#element(guitar/2)` / `#element(/1/3)`
+//                              walks 1-based child-element sequences;
+//   * the xmlns() scheme     — binds namespace prefixes for later parts;
+//   * the xpointer() scheme  — full XPath via navsep::xpath.
+//
+// A pointer may carry several parts; per the framework, parts are tried
+// left to right and the first one that resolves to a non-empty result wins
+// (xmlns() parts contribute bindings instead of results).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/dom.hpp"
+#include "xpath/value.hpp"
+
+namespace navsep::xpointer {
+
+/// One scheme-qualified pointer part, e.g. xpointer(//painting[1]).
+struct PointerPart {
+  std::string scheme;  // "element", "xpointer", "xmlns", ...
+  std::string data;    // unescaped scheme data
+};
+
+/// A parsed pointer: either a shorthand id or a list of parts.
+struct Pointer {
+  bool shorthand = false;
+  std::string shorthand_id;
+  std::vector<PointerPart> parts;
+
+  /// Re-render the textual form (for diagnostics and serialization).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parse the fragment text (without the leading '#').
+/// Throws navsep::ParseError on unbalanced parentheses or bad escaping.
+[[nodiscard]] Pointer parse(std::string_view fragment);
+
+/// Resolve a parsed pointer against a document. Returns the selected nodes
+/// (empty when nothing matches). Unknown schemes are skipped per the
+/// XPointer framework; an unknown scheme as the *only* part resolves to an
+/// empty set. Throws navsep::ParseError for malformed scheme data.
+[[nodiscard]] xpath::NodeSet resolve(const Pointer& pointer,
+                                     const xml::Document& doc);
+
+/// Convenience: parse + resolve.
+[[nodiscard]] xpath::NodeSet resolve(std::string_view fragment,
+                                     const xml::Document& doc);
+
+/// Convenience: resolve and return the single target element, or nullptr
+/// when the pointer selects nothing or selects a non-element first.
+[[nodiscard]] const xml::Element* resolve_element(std::string_view fragment,
+                                                  const xml::Document& doc);
+
+}  // namespace navsep::xpointer

@@ -1,0 +1,389 @@
+#include "xslt/xslt.hpp"
+
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "xml/parser.hpp"
+#include "xpath/parser.hpp"
+
+namespace navsep::xslt {
+
+namespace {
+
+bool is_xsl(const xml::Element& e) { return e.name().ns_uri == kNamespace; }
+
+bool is_xsl(const xml::Element& e, std::string_view local) {
+  return is_xsl(e) && e.name().local == local;
+}
+
+/// Default priority per XSLT 1.0 §5.5 (simplified to our pattern subset):
+/// bare name → 0, `*` → -0.5, text()/node() → -0.5, anything with more
+/// structure (slashes, predicates) → 0.5.
+double default_priority(std::string_view pattern) {
+  if (pattern.find('/') != std::string_view::npos ||
+      pattern.find('[') != std::string_view::npos) {
+    return 0.5;
+  }
+  if (pattern == "*" || pattern == "text()" || pattern == "node()") {
+    return -0.5;
+  }
+  return 0;
+}
+
+/// Expand a match pattern into an absolute XPath whose result set contains
+/// exactly the nodes matching the pattern. "painting" matches any painting
+/// element anywhere, i.e. //painting; "/" matches the root.
+std::string pattern_to_xpath(std::string_view pattern) {
+  std::string p(strings::trim(pattern));
+  if (p == "/") return "/";
+  if (p.rfind('/', 0) == 0) return p;  // already absolute (covers // too)
+  return "//" + p;
+}
+
+}  // namespace
+
+Stylesheet Stylesheet::compile(const xml::Document& doc) {
+  Stylesheet out;
+  out.owned_ = std::shared_ptr<const xml::Document>(doc.clone().release());
+  const xml::Element* root = out.owned_->root();
+  if (root == nullptr || !is_xsl(*root, "stylesheet")) {
+    throw SemanticError("not an xsl:stylesheet document");
+  }
+  for (const xml::Element* child : root->child_elements()) {
+    if (!is_xsl(*child, "template")) {
+      if (is_xsl(*child)) continue;  // xsl:output etc. are ignored
+      throw SemanticError("unexpected top-level element '" +
+                          child->name().qualified() + "' in stylesheet");
+    }
+    Template t;
+    t.match = child->attribute_or("match", "");
+    t.name = child->attribute_or("name", "");
+    if (t.match.empty() && t.name.empty()) {
+      throw SemanticError("xsl:template needs a match or name attribute");
+    }
+    if (auto p = child->attribute("priority")) {
+      t.priority = xpath::string_to_number(*p);
+    } else {
+      t.priority = default_priority(t.match);
+    }
+    t.body = child;
+    t.order = out.templates_.size();
+    out.templates_.push_back(std::move(t));
+  }
+  return out;
+}
+
+Stylesheet Stylesheet::compile_text(std::string_view text) {
+  auto doc = xml::parse(text);
+  return compile(*doc);
+}
+
+/// One transformation run: holds the input document, the match caches and
+/// the output under construction.
+class TransformRun {
+ public:
+  TransformRun(const Stylesheet& sheet, const xml::Document& input,
+               const xpath::Environment& env)
+      : sheet_(sheet), input_(input), env_(env) {}
+
+  std::unique_ptr<xml::Document> run() {
+    auto out = std::make_unique<xml::Document>();
+    auto holder = std::make_unique<xml::Element>(xml::QName("result"));
+    apply_templates({&input_}, *holder);
+    // Unwrap: the first element child becomes the document element; any
+    // top-level text is dropped (documents cannot hold bare text).
+    for (auto& child : holder->children()) {
+      if (child->is_element()) {
+        out->set_root(
+            std::unique_ptr<xml::Element>(child->as_element()->clone()));
+        break;
+      }
+    }
+    return out;
+  }
+
+ private:
+  // --- template selection ---------------------------------------------------
+
+  /// Nodes matching `pattern` in the input document (cached per pattern).
+  const std::set<const xml::Node*>& matches_of(const std::string& pattern) {
+    auto it = match_cache_.find(pattern);
+    if (it != match_cache_.end()) return it->second;
+    std::set<const xml::Node*> hits;
+    try {
+      xpath::NodeSet ns =
+          xpath::select(pattern_to_xpath(pattern), input_, env_);
+      hits.insert(ns.begin(), ns.end());
+      if (pattern == "/") hits.insert(&input_);
+    } catch (const Error&) {
+      // An unmatchable pattern matches nothing.
+    }
+    return match_cache_.emplace(pattern, std::move(hits)).first->second;
+  }
+
+  const Stylesheet::Template* best_template(const xml::Node& node) {
+    const Stylesheet::Template* best = nullptr;
+    for (const auto& t : sheet_.templates_) {
+      if (t.match.empty()) continue;
+      if (!matches_of(t.match).contains(&node)) continue;
+      if (best == nullptr || t.priority > best->priority ||
+          (t.priority == best->priority && t.order > best->order)) {
+        best = &t;
+      }
+    }
+    return best;
+  }
+
+  // --- instruction execution ------------------------------------------------
+
+  void apply_templates(const xpath::NodeSet& nodes, xml::Element& out) {
+    const std::size_t size = nodes.size();
+    for (std::size_t i = 0; i < size; ++i) {
+      const Stylesheet::Template* t = best_template(*nodes[i]);
+      if (t != nullptr) {
+        instantiate(*t->body, *nodes[i], i + 1, size, out);
+      } else {
+        builtin_rule(*nodes[i], out);
+      }
+    }
+  }
+
+  /// XSLT built-in rules: recurse into children for roots/elements, copy
+  /// text through, drop comments/PIs/attributes.
+  void builtin_rule(const xml::Node& node, xml::Element& out) {
+    switch (node.type()) {
+      case xml::NodeType::Document:
+      case xml::NodeType::Element: {
+        xpath::NodeSet kids;
+        const auto& children =
+            node.type() == xml::NodeType::Document
+                ? static_cast<const xml::Document&>(node).children()
+                : static_cast<const xml::Element&>(node).children();
+        for (const auto& c : children) kids.push_back(c.get());
+        apply_templates(kids, out);
+        break;
+      }
+      case xml::NodeType::Text:
+        out.append_text(static_cast<const xml::Text&>(node).data());
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// Execute the children of `body` with `node` as the current node.
+  void instantiate(const xml::Element& body, const xml::Node& node,
+                   std::size_t position, std::size_t size,
+                   xml::Element& out) {
+    for (const auto& child : body.children()) {
+      if (child->is_text()) {
+        out.append_text(static_cast<const xml::Text&>(*child).data());
+        continue;
+      }
+      const xml::Element* e = child->as_element();
+      if (e == nullptr) continue;  // comments/PIs in templates are dropped
+      if (is_xsl(*e)) {
+        execute_instruction(*e, node, position, size, out);
+      } else {
+        literal_element(*e, node, position, size, out);
+      }
+    }
+  }
+
+  void execute_instruction(const xml::Element& e, const xml::Node& node,
+                           std::size_t position, std::size_t size,
+                           xml::Element& out) {
+    const std::string& op = e.name().local;
+    if (op == "apply-templates") {
+      std::string select = e.attribute_or("select", "child::node()");
+      apply_templates(eval_nodes(select, node, position, size), out);
+      return;
+    }
+    if (op == "value-of") {
+      out.append_text(
+          eval(require_attr(e, "select"), node, position, size).to_string());
+      return;
+    }
+    if (op == "for-each") {
+      xpath::NodeSet selected =
+          eval_nodes(require_attr(e, "select"), node, position, size);
+      for (std::size_t i = 0; i < selected.size(); ++i) {
+        instantiate(e, *selected[i], i + 1, selected.size(), out);
+      }
+      return;
+    }
+    if (op == "if") {
+      if (eval(require_attr(e, "test"), node, position, size).to_boolean()) {
+        instantiate(e, node, position, size, out);
+      }
+      return;
+    }
+    if (op == "choose") {
+      for (const xml::Element* branch : e.child_elements()) {
+        if (is_xsl(*branch, "when")) {
+          if (eval(require_attr(*branch, "test"), node, position, size)
+                  .to_boolean()) {
+            instantiate(*branch, node, position, size, out);
+            return;
+          }
+        } else if (is_xsl(*branch, "otherwise")) {
+          instantiate(*branch, node, position, size, out);
+          return;
+        }
+      }
+      return;
+    }
+    if (op == "text") {
+      out.append_text(e.own_text());
+      return;
+    }
+    if (op == "element") {
+      std::string name = avt(require_attr(e, "name"), node, position, size);
+      xml::Element& created = out.append_element(xml::QName(name));
+      instantiate(e, node, position, size, created);
+      return;
+    }
+    if (op == "attribute") {
+      std::string name = avt(require_attr(e, "name"), node, position, size);
+      // Value = instantiated content, flattened to text.
+      xml::Element scratch{xml::QName("scratch")};
+      instantiate(e, node, position, size, scratch);
+      out.set_attribute(name, scratch.string_value());
+      return;
+    }
+    if (op == "copy-of") {
+      xpath::Value v =
+          eval(require_attr(e, "select"), node, position, size);
+      if (v.is_node_set()) {
+        for (const xml::Node* n : v.node_set()) copy_node(*n, out);
+      } else {
+        out.append_text(v.to_string());
+      }
+      return;
+    }
+    if (op == "call-template") {
+      std::string name = require_attr(e, "name");
+      for (const auto& t : sheet_.templates_) {
+        if (t.name == name) {
+          instantiate(*t.body, node, position, size, out);
+          return;
+        }
+      }
+      throw SemanticError("xsl:call-template: no template named '" + name +
+                          "'");
+    }
+    if (op == "comment" || op == "message") return;  // benign no-ops
+    throw SemanticError("unsupported XSLT instruction xsl:" + op);
+  }
+
+  void literal_element(const xml::Element& e, const xml::Node& node,
+                       std::size_t position, std::size_t size,
+                       xml::Element& out) {
+    xml::Element& created = out.append_element(e.name());
+    for (const auto& a : e.attributes()) {
+      if (a.is_namespace_decl()) continue;
+      created.set_attribute_ns(a.name, avt(a.value, node, position, size));
+    }
+    instantiate(e, node, position, size, created);
+  }
+
+  static void copy_node(const xml::Node& n, xml::Element& out) {
+    switch (n.type()) {
+      case xml::NodeType::Element:
+        out.append(static_cast<const xml::Element&>(n).clone());
+        break;
+      case xml::NodeType::Text:
+        out.append_text(static_cast<const xml::Text&>(n).data());
+        break;
+      case xml::NodeType::Attribute: {
+        const auto& a = static_cast<const xml::AttrNode&>(n);
+        out.set_attribute_ns(a.name(), a.value());
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // --- expression helpers ------------------------------------------------------
+
+  xpath::Value eval(std::string_view expr, const xml::Node& node,
+                    std::size_t position, std::size_t size) {
+    xpath::EvalContext ctx;
+    ctx.node = &node;
+    ctx.position = position;
+    ctx.size = size;
+    ctx.env = &env_;
+    return xpath::evaluate(*parsed(expr), ctx);
+  }
+
+  xpath::NodeSet eval_nodes(std::string_view expr, const xml::Node& node,
+                            std::size_t position, std::size_t size) {
+    return eval(expr, node, position, size).node_set();
+  }
+
+  /// Attribute value template: {expr} substitution, {{ and }} escapes.
+  std::string avt(std::string_view text, const xml::Node& node,
+                  std::size_t position, std::size_t size) {
+    std::string out;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      char c = text[i];
+      if (c == '{') {
+        if (i + 1 < text.size() && text[i + 1] == '{') {
+          out.push_back('{');
+          ++i;
+          continue;
+        }
+        std::size_t close = text.find('}', i);
+        if (close == std::string_view::npos) {
+          throw SemanticError("unterminated '{' in attribute value template");
+        }
+        out += eval(text.substr(i + 1, close - i - 1), node, position, size)
+                   .to_string();
+        i = close;
+        continue;
+      }
+      if (c == '}' && i + 1 < text.size() && text[i + 1] == '}') {
+        out.push_back('}');
+        ++i;
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  const xpath::Expr* parsed(std::string_view expr) {
+    auto it = expr_cache_.find(std::string(expr));
+    if (it != expr_cache_.end()) return it->second.get();
+    auto parsed_expr = xpath::parse_expression(expr);
+    return expr_cache_.emplace(std::string(expr), std::move(parsed_expr))
+        .first->second.get();
+  }
+
+  static std::string require_attr(const xml::Element& e,
+                                  std::string_view name) {
+    auto v = e.attribute(name);
+    if (!v.has_value()) {
+      throw SemanticError("xsl:" + e.name().local + " requires a '" +
+                          std::string(name) + "' attribute");
+    }
+    return std::string(*v);
+  }
+
+  const Stylesheet& sheet_;
+  const xml::Document& input_;
+  const xpath::Environment& env_;
+  std::map<std::string, std::set<const xml::Node*>> match_cache_;
+  std::map<std::string, xpath::ExprPtr> expr_cache_;
+};
+
+std::unique_ptr<xml::Document> Stylesheet::transform(
+    const xml::Document& input, const xpath::Environment& env) const {
+  TransformRun run(*this, input, env);
+  return run.run();
+}
+
+}  // namespace navsep::xslt

@@ -1,0 +1,66 @@
+// An XSL-T subset: template-driven transformation of data XML into
+// presentation markup (the paper's XSL half of the data/presentation
+// split; the museum pipeline uses it to turn painting documents into HTML
+// before the navigation aspect is woven in).
+//
+// Supported instruction set:
+//   xsl:template (match/name/priority), xsl:apply-templates (select),
+//   xsl:call-template, xsl:value-of, xsl:for-each, xsl:if,
+//   xsl:choose/when/otherwise, xsl:text, xsl:element, xsl:attribute,
+//   xsl:copy-of, literal result elements, and {xpath} attribute value
+//   templates.
+//
+// Match patterns are the XSLT 1.0 pattern subset expressible as location
+// paths (names, *, text(), predicates, / and //). Template conflict
+// resolution follows priority then document order; the XSLT built-in
+// rules (walk children, copy text) apply when nothing matches.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xml/dom.hpp"
+#include "xpath/eval.hpp"
+
+namespace navsep::xslt {
+
+/// The XSLT namespace URI.
+inline constexpr std::string_view kNamespace =
+    "http://www.w3.org/1999/XSL/Transform";
+
+class Stylesheet {
+ public:
+  /// Compile from a parsed <xsl:stylesheet> document.
+  /// Throws navsep::SemanticError for unknown instructions or missing
+  /// required attributes.
+  [[nodiscard]] static Stylesheet compile(const xml::Document& doc);
+
+  /// Convenience: parse then compile.
+  [[nodiscard]] static Stylesheet compile_text(std::string_view text);
+
+  /// Transform an input document. Extension functions/variables may be
+  /// provided through `env` (the transformer adds nothing to it).
+  [[nodiscard]] std::unique_ptr<xml::Document> transform(
+      const xml::Document& input, const xpath::Environment& env = {}) const;
+
+  [[nodiscard]] std::size_t template_count() const noexcept {
+    return templates_.size();
+  }
+
+ private:
+  struct Template {
+    std::string match;    // pattern text ("" for named-only templates)
+    std::string name;     // xsl:call-template target ("" if none)
+    double priority = 0;  // explicit or derived default
+    const xml::Element* body = nullptr;  // children are the instructions
+    std::size_t order = 0;
+  };
+
+  friend class TransformRun;
+  // Keeps the compiled stylesheet document alive (templates point into it).
+  std::shared_ptr<const xml::Document> owned_;
+  std::vector<Template> templates_;
+};
+
+}  // namespace navsep::xslt

@@ -1,0 +1,337 @@
+// Unit tests for the AOP mechanism: join points, the pointcut DSL,
+// advice ordering and the weaver's match cache.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "aop/weaver.hpp"
+#include "common/error.hpp"
+
+namespace aop = navsep::aop;
+
+namespace {
+
+aop::JoinPoint jp(aop::JoinPointKind kind, std::string subject,
+                  std::string instance = "",
+                  std::map<std::string, std::string> tags = {}) {
+  aop::JoinPoint out;
+  out.kind = kind;
+  out.subject = std::move(subject);
+  out.instance = std::move(instance);
+  for (auto& [k, v] : tags) out.tags.emplace(k, v);
+  return out;
+}
+
+}  // namespace
+
+// --- pointcut parsing -----------------------------------------------------------
+
+TEST(Pointcut, DesignatorMatchesKindAndSubject) {
+  aop::Pointcut pc = aop::Pointcut::parse("compose(PaintingNode)");
+  EXPECT_TRUE(
+      pc.matches(jp(aop::JoinPointKind::PageCompose, "PaintingNode")));
+  EXPECT_FALSE(
+      pc.matches(jp(aop::JoinPointKind::NodeRender, "PaintingNode")));
+  EXPECT_FALSE(
+      pc.matches(jp(aop::JoinPointKind::PageCompose, "PainterNode")));
+}
+
+TEST(Pointcut, WildcardSubjects) {
+  aop::Pointcut pc = aop::Pointcut::parse("render(Paint*)");
+  EXPECT_TRUE(pc.matches(jp(aop::JoinPointKind::NodeRender, "PaintingNode")));
+  EXPECT_TRUE(pc.matches(jp(aop::JoinPointKind::NodeRender, "PainterNode")));
+  EXPECT_FALSE(pc.matches(jp(aop::JoinPointKind::NodeRender, "Movement")));
+}
+
+TEST(Pointcut, InstancePattern) {
+  aop::Pointcut pc = aop::Pointcut::parse("compose(*, guernica)");
+  EXPECT_TRUE(pc.matches(
+      jp(aop::JoinPointKind::PageCompose, "PaintingNode", "guernica")));
+  EXPECT_FALSE(pc.matches(
+      jp(aop::JoinPointKind::PageCompose, "PaintingNode", "guitar")));
+}
+
+TEST(Pointcut, WithinMatchesContextTag) {
+  aop::Pointcut pc = aop::Pointcut::parse("within(ByAuthor:*)");
+  EXPECT_TRUE(pc.matches(jp(aop::JoinPointKind::PageCompose, "X", "",
+                            {{"context", "ByAuthor:picasso"}})));
+  EXPECT_FALSE(pc.matches(jp(aop::JoinPointKind::PageCompose, "X", "",
+                             {{"context", "ByMovement:cubism"}})));
+  EXPECT_FALSE(pc.matches(jp(aop::JoinPointKind::PageCompose, "X")));
+}
+
+TEST(Pointcut, TagMatchesArbitraryTags) {
+  aop::Pointcut pc = aop::Pointcut::parse("tag(role, next)");
+  EXPECT_TRUE(pc.matches(jp(aop::JoinPointKind::LinkTraversal, "a", "b",
+                            {{"role", "next"}})));
+  EXPECT_FALSE(pc.matches(jp(aop::JoinPointKind::LinkTraversal, "a", "b",
+                             {{"role", "prev"}})));
+}
+
+TEST(Pointcut, BooleanOperatorsAndPrecedence) {
+  aop::Pointcut pc =
+      aop::Pointcut::parse("render(A) || compose(B) && within(C:*)");
+  // && binds tighter than ||.
+  EXPECT_TRUE(pc.matches(jp(aop::JoinPointKind::NodeRender, "A")));
+  EXPECT_FALSE(pc.matches(jp(aop::JoinPointKind::PageCompose, "B")));
+  EXPECT_TRUE(pc.matches(jp(aop::JoinPointKind::PageCompose, "B", "",
+                            {{"context", "C:1"}})));
+}
+
+TEST(Pointcut, NegationAndParens) {
+  aop::Pointcut pc = aop::Pointcut::parse("!(render(A) || render(B))");
+  EXPECT_FALSE(pc.matches(jp(aop::JoinPointKind::NodeRender, "A")));
+  EXPECT_TRUE(pc.matches(jp(aop::JoinPointKind::NodeRender, "C")));
+}
+
+TEST(Pointcut, SubjectAndInstanceDesignators) {
+  aop::Pointcut pc = aop::Pointcut::parse("subject(P*) && instance(g*)");
+  EXPECT_TRUE(pc.matches(
+      jp(aop::JoinPointKind::LinkTraversal, "PaintingNode", "guitar")));
+  EXPECT_FALSE(pc.matches(
+      jp(aop::JoinPointKind::LinkTraversal, "PaintingNode", "avignon")));
+}
+
+TEST(Pointcut, AnyMatchesEverything) {
+  aop::Pointcut pc = aop::Pointcut::parse("any()");
+  EXPECT_TRUE(pc.matches(jp(aop::JoinPointKind::Custom, "x")));
+  EXPECT_TRUE(pc.matches(jp(aop::JoinPointKind::IndexBuild, "", "")));
+}
+
+TEST(Pointcut, QuotedPatternsAllowSpaces) {
+  aop::Pointcut pc = aop::Pointcut::parse("compose('The *')");
+  EXPECT_TRUE(pc.matches(jp(aop::JoinPointKind::PageCompose, "The Guitar")));
+}
+
+TEST(Pointcut, DeMorganProperty) {
+  // !(a || b) == !a && !b over a sample of join points.
+  aop::Pointcut lhs = aop::Pointcut::parse("!(render(A*) || within(B:*))");
+  aop::Pointcut rhs = aop::Pointcut::parse("!render(A*) && !within(B:*)");
+  std::vector<aop::JoinPoint> samples = {
+      jp(aop::JoinPointKind::NodeRender, "Abc"),
+      jp(aop::JoinPointKind::NodeRender, "Xyz"),
+      jp(aop::JoinPointKind::PageCompose, "Abc", "", {{"context", "B:1"}}),
+      jp(aop::JoinPointKind::PageCompose, "Q", "", {{"context", "C:1"}}),
+      jp(aop::JoinPointKind::Custom, ""),
+  };
+  for (const auto& sample : samples) {
+    EXPECT_EQ(lhs.matches(sample), rhs.matches(sample)) << sample.to_string();
+  }
+}
+
+TEST(Pointcut, ParseErrors) {
+  EXPECT_THROW(aop::Pointcut::parse(""), navsep::ParseError);
+  EXPECT_THROW(aop::Pointcut::parse("frobnicate(x)"), navsep::ParseError);
+  EXPECT_THROW(aop::Pointcut::parse("render("), navsep::ParseError);
+  EXPECT_THROW(aop::Pointcut::parse("render(a) &&"), navsep::ParseError);
+  EXPECT_THROW(aop::Pointcut::parse("render(a) render(b)"),
+               navsep::ParseError);
+  EXPECT_THROW(aop::Pointcut::parse("tag(only-key)"), navsep::ParseError);
+}
+
+TEST(Pointcut, ToStringIsReparsable) {
+  for (const char* text :
+       {"compose(PaintingNode)", "render(A) && !within(B:*)",
+        "traverse(*, guitar) || tag(role, next)"}) {
+    aop::Pointcut pc = aop::Pointcut::parse(text);
+    aop::Pointcut again = aop::Pointcut::parse(pc.to_string());
+    EXPECT_EQ(again.to_string(), pc.to_string()) << text;
+  }
+}
+
+TEST(Pointcut, CopySemantics) {
+  aop::Pointcut a = aop::Pointcut::parse("render(X)");
+  aop::Pointcut b = a;  // deep copy
+  EXPECT_TRUE(b.matches(jp(aop::JoinPointKind::NodeRender, "X")));
+  aop::Pointcut c = aop::Pointcut::parse("render(Y)");
+  c = a;
+  EXPECT_TRUE(c.matches(jp(aop::JoinPointKind::NodeRender, "X")));
+}
+
+// --- join point ---------------------------------------------------------------------
+
+TEST(JoinPoint, ToStringFormat) {
+  auto point = jp(aop::JoinPointKind::PageCompose, "PaintingNode", "guitar",
+                  {{"context", "ByAuthor:picasso"}});
+  EXPECT_EQ(point.to_string(),
+            "compose(PaintingNode, guitar){context=ByAuthor:picasso}");
+}
+
+TEST(JoinPoint, TagLookup) {
+  auto point = jp(aop::JoinPointKind::Custom, "s", "i", {{"k", "v"}});
+  EXPECT_EQ(point.tag("k"), "v");
+  EXPECT_EQ(point.tag("missing"), "");
+}
+
+// --- weaver ---------------------------------------------------------------------------
+
+class WeaverTest : public ::testing::Test {
+ protected:
+  aop::Weaver weaver_;
+  std::vector<std::string> log_;
+
+  aop::AdviceFn logger(std::string label) {
+    return [this, label = std::move(label)](aop::JoinPointContext&) {
+      log_.push_back(label);
+    };
+  }
+};
+
+TEST_F(WeaverTest, BaseRunsWithoutAspects) {
+  bool ran = false;
+  weaver_.execute(jp(aop::JoinPointKind::Custom, "x"), [&] { ran = true; });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(weaver_.stats().join_points_executed, 1u);
+  EXPECT_EQ(weaver_.stats().advice_invocations, 0u);
+}
+
+TEST_F(WeaverTest, BeforeAndAfterSurroundBase) {
+  auto aspect = std::make_shared<aop::Aspect>("t");
+  aspect->before("custom(*)", logger("before"));
+  aspect->after("custom(*)", logger("after"));
+  weaver_.register_aspect(aspect);
+  weaver_.execute(jp(aop::JoinPointKind::Custom, "x"),
+                  [&] { log_.push_back("base"); });
+  EXPECT_EQ(log_, (std::vector<std::string>{"before", "base", "after"}));
+}
+
+TEST_F(WeaverTest, AroundWrapsAndMustProceed) {
+  auto aspect = std::make_shared<aop::Aspect>("t");
+  aspect->around("custom(*)", [this](aop::JoinPointContext& ctx) {
+    log_.push_back("pre");
+    ctx.proceed();
+    log_.push_back("post");
+  });
+  weaver_.register_aspect(aspect);
+  weaver_.execute(jp(aop::JoinPointKind::Custom, "x"),
+                  [&] { log_.push_back("base"); });
+  EXPECT_EQ(log_, (std::vector<std::string>{"pre", "base", "post"}));
+}
+
+TEST_F(WeaverTest, AroundWithoutProceedSuppressesBase) {
+  auto aspect = std::make_shared<aop::Aspect>("t");
+  aspect->around("custom(*)",
+                 [this](aop::JoinPointContext&) { log_.push_back("around"); });
+  weaver_.register_aspect(aspect);
+  bool base_ran = false;
+  weaver_.execute(jp(aop::JoinPointKind::Custom, "x"),
+                  [&] { base_ran = true; });
+  EXPECT_FALSE(base_ran);
+  EXPECT_EQ(log_, (std::vector<std::string>{"around"}));
+}
+
+TEST_F(WeaverTest, DoubleProceedThrows) {
+  auto aspect = std::make_shared<aop::Aspect>("t");
+  aspect->around("custom(*)", [](aop::JoinPointContext& ctx) {
+    ctx.proceed();
+    ctx.proceed();
+  });
+  weaver_.register_aspect(aspect);
+  EXPECT_THROW(weaver_.execute(jp(aop::JoinPointKind::Custom, "x"), [] {}),
+               navsep::SemanticError);
+}
+
+TEST_F(WeaverTest, PrecedenceOrdersAdvice) {
+  auto low = std::make_shared<aop::Aspect>("low", 1);
+  low->before("custom(*)", logger("low-before"));
+  low->after("custom(*)", logger("low-after"));
+  auto high = std::make_shared<aop::Aspect>("high", 10);
+  high->before("custom(*)", logger("high-before"));
+  high->after("custom(*)", logger("high-after"));
+  weaver_.register_aspect(low);
+  weaver_.register_aspect(high);
+  weaver_.execute(jp(aop::JoinPointKind::Custom, "x"),
+                  [&] { log_.push_back("base"); });
+  // Higher precedence is outermost: first before, last after.
+  EXPECT_EQ(log_, (std::vector<std::string>{"high-before", "low-before",
+                                            "base", "low-after",
+                                            "high-after"}));
+}
+
+TEST_F(WeaverTest, AroundNestingFollowsPrecedence) {
+  auto outer = std::make_shared<aop::Aspect>("outer", 10);
+  outer->around("custom(*)", [this](aop::JoinPointContext& ctx) {
+    log_.push_back("outer-in");
+    ctx.proceed();
+    log_.push_back("outer-out");
+  });
+  auto inner = std::make_shared<aop::Aspect>("inner", 1);
+  inner->around("custom(*)", [this](aop::JoinPointContext& ctx) {
+    log_.push_back("inner-in");
+    ctx.proceed();
+    log_.push_back("inner-out");
+  });
+  weaver_.register_aspect(inner);
+  weaver_.register_aspect(outer);
+  weaver_.execute(jp(aop::JoinPointKind::Custom, "x"),
+                  [&] { log_.push_back("base"); });
+  EXPECT_EQ(log_, (std::vector<std::string>{"outer-in", "inner-in", "base",
+                                            "inner-out", "outer-out"}));
+}
+
+TEST_F(WeaverTest, DisableAndEnableAspects) {
+  auto aspect = std::make_shared<aop::Aspect>("nav");
+  aspect->before("custom(*)", logger("advice"));
+  weaver_.register_aspect(aspect);
+  EXPECT_TRUE(weaver_.set_enabled("nav", false));
+  weaver_.execute(jp(aop::JoinPointKind::Custom, "x"), [] {});
+  EXPECT_TRUE(log_.empty());
+  EXPECT_TRUE(weaver_.set_enabled("nav", true));
+  weaver_.execute(jp(aop::JoinPointKind::Custom, "x"), [] {});
+  EXPECT_EQ(log_.size(), 1u);
+  EXPECT_FALSE(weaver_.set_enabled("ghost", true));
+}
+
+TEST_F(WeaverTest, PayloadReachesAdvice) {
+  auto aspect = std::make_shared<aop::Aspect>("t");
+  aspect->after("custom(*)", [](aop::JoinPointContext& ctx) {
+    auto* value = std::any_cast<int>(&ctx.payload());
+    ASSERT_NE(value, nullptr);
+    *value += 1;
+  });
+  weaver_.register_aspect(aspect);
+  std::any payload = 41;
+  weaver_.execute(jp(aop::JoinPointKind::Custom, "x"), &payload, [] {});
+  EXPECT_EQ(std::any_cast<int>(payload), 42);
+}
+
+TEST_F(WeaverTest, MatchCacheHitsOnRepeatedShapes) {
+  auto aspect = std::make_shared<aop::Aspect>("t");
+  aspect->before("compose(*)", logger("x"));
+  weaver_.register_aspect(aspect);
+  auto point = jp(aop::JoinPointKind::PageCompose, "P", "n1");
+  weaver_.execute(point, [] {});
+  weaver_.execute(point, [] {});
+  weaver_.execute(point, [] {});
+  EXPECT_EQ(weaver_.stats().match_cache_misses, 1u);
+  EXPECT_EQ(weaver_.stats().match_cache_hits, 2u);
+}
+
+TEST_F(WeaverTest, CacheInvalidatedOnAspectChange) {
+  auto a1 = std::make_shared<aop::Aspect>("a1");
+  a1->before("custom(*)", logger("a1"));
+  weaver_.register_aspect(a1);
+  weaver_.execute(jp(aop::JoinPointKind::Custom, "x"), [] {});
+  auto a2 = std::make_shared<aop::Aspect>("a2");
+  a2->before("custom(*)", logger("a2"));
+  weaver_.register_aspect(a2);  // invalidates
+  weaver_.execute(jp(aop::JoinPointKind::Custom, "x"), [] {});
+  EXPECT_EQ(log_, (std::vector<std::string>{"a1", "a1", "a2"}));
+}
+
+TEST_F(WeaverTest, RuleOrderWithinAspectIsStable) {
+  auto aspect = std::make_shared<aop::Aspect>("t");
+  aspect->before("custom(*)", logger("first"));
+  aspect->before("custom(*)", logger("second"));
+  weaver_.register_aspect(aspect);
+  weaver_.execute(jp(aop::JoinPointKind::Custom, "x"), [] {});
+  EXPECT_EQ(log_, (std::vector<std::string>{"first", "second"}));
+}
+
+TEST_F(WeaverTest, AspectNamesListed) {
+  weaver_.register_aspect(std::make_shared<aop::Aspect>("one"));
+  weaver_.register_aspect(std::make_shared<aop::Aspect>("two"));
+  EXPECT_EQ(weaver_.aspect_names(),
+            (std::vector<std::string>{"one", "two"}));
+  EXPECT_TRUE(weaver_.is_enabled("one"));
+}

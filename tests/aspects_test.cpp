@@ -1,0 +1,267 @@
+// Tests for the extension aspects (personalization, trail), linkbase
+// discovery, and the weaver cache ablation switch.
+#include <gtest/gtest.h>
+
+#include "aop/weaver.hpp"
+#include "core/navigation_aspect.hpp"
+#include "core/personalization.hpp"
+#include "core/renderer.hpp"
+#include "core/trail.hpp"
+#include "museum/museum.hpp"
+#include "site/session.hpp"
+#include "xlink/traversal.hpp"
+#include "xml/parser.hpp"
+
+namespace core = navsep::core;
+namespace hm = navsep::hypermedia;
+using navsep::museum::MuseumWorld;
+
+namespace {
+
+class AspectsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = MuseumWorld::paper_instance();
+    nav_ = std::make_unique<hm::NavigationalModel>(world_->derive_navigation());
+    igt_ = world_->paintings_structure(
+        hm::AccessStructureKind::IndexedGuidedTour, *nav_, "picasso");
+    weaver_.register_aspect(core::NavigationAspect::from_arcs(igt_->arcs()));
+  }
+
+  std::string compose(const char* id) {
+    core::SeparatedComposer composer(weaver_);
+    return composer.compose_node_page(*nav_->node(id));
+  }
+
+  std::unique_ptr<MuseumWorld> world_;
+  std::unique_ptr<hm::NavigationalModel> nav_;
+  std::unique_ptr<hm::AccessStructure> igt_;
+  navsep::aop::Weaver weaver_;
+};
+
+}  // namespace
+
+// --- personalization -------------------------------------------------------
+
+TEST_F(AspectsTest, GreetingPrepended) {
+  core::UserProfile profile;
+  profile.name = "Ada";
+  profile.greet = true;
+  weaver_.register_aspect(core::PersonalizationAspect::for_profile(profile));
+  std::string page = compose("guitar");
+  EXPECT_NE(page.find("Welcome, Ada"), std::string::npos);
+  // Greeting is the body's first rendered child.
+  EXPECT_LT(page.find("Welcome, Ada"), page.find("<h1>"));
+}
+
+TEST_F(AspectsTest, CompactDetailDropsSecondaryAttributes) {
+  core::UserProfile profile;
+  profile.detail = core::UserProfile::Detail::Compact;
+  weaver_.register_aspect(core::PersonalizationAspect::for_profile(profile));
+  std::string page = compose("guitar");
+  EXPECT_NE(page.find("title: "), std::string::npos);     // first kept
+  EXPECT_EQ(page.find("technique: "), std::string::npos);  // rest dropped
+  EXPECT_EQ(page.find("movement: "), std::string::npos);
+}
+
+TEST_F(AspectsTest, ImageSuppression) {
+  core::UserProfile profile;
+  profile.show_images = false;
+  weaver_.register_aspect(core::PersonalizationAspect::for_profile(profile));
+  std::string page = compose("guitar");
+  EXPECT_EQ(page.find("<img"), std::string::npos);
+}
+
+TEST_F(AspectsTest, TourSuppressionRemovesOnlyTourAnchors) {
+  core::UserProfile profile;
+  profile.suppress_tours = true;
+  weaver_.register_aspect(core::PersonalizationAspect::for_profile(profile));
+  std::string page = compose("guernica");
+  EXPECT_EQ(page.find("nav-next"), std::string::npos);
+  EXPECT_EQ(page.find("nav-prev"), std::string::npos);
+  EXPECT_NE(page.find("nav-up"), std::string::npos);  // index nav kept
+}
+
+TEST_F(AspectsTest, DefaultProfileChangesNothing) {
+  std::string before = compose("guernica");
+  weaver_.register_aspect(
+      core::PersonalizationAspect::for_profile(core::UserProfile{}));
+  std::string after = compose("guernica");
+  EXPECT_EQ(before, after);
+}
+
+TEST_F(AspectsTest, ProfilesComposeWithNavigationByPrecedence) {
+  core::UserProfile profile;
+  profile.suppress_tours = true;
+  // Precedence BELOW navigation (10): personalization's after-advice runs
+  // BEFORE navigation's, so the tour anchors are not yet there to remove.
+  weaver_.register_aspect(
+      core::PersonalizationAspect::for_profile(profile, /*precedence=*/1));
+  std::string page = compose("guernica");
+  EXPECT_NE(page.find("nav-next"), std::string::npos);
+}
+
+// --- trail -------------------------------------------------------------------
+
+TEST_F(AspectsTest, TrailRecordsSessionTraversals) {
+  core::Trail trail;
+  weaver_.register_aspect(
+      core::TrailAspect::create(trail, /*render_breadcrumbs=*/false));
+
+  hm::ContextFamily by_author = world_->by_author(*nav_);
+  navsep::site::NavigationSession session(*nav_, {&by_author}, &weaver_);
+  session.enter_context("ByAuthor", "picasso", "guitar");
+  session.next();
+  session.next();
+
+  ASSERT_EQ(trail.size(), 3u);
+  EXPECT_EQ(trail.steps()[0].node_id, "guitar");
+  EXPECT_EQ(trail.steps()[0].role, "enter-context");
+  EXPECT_EQ(trail.steps()[1].role, "next");
+  EXPECT_EQ(trail.steps()[2].node_id, "avignon");
+  EXPECT_EQ(trail.steps()[2].context, "ByAuthor:picasso");
+}
+
+TEST_F(AspectsTest, TrailBreadcrumbsRenderedIntoPages) {
+  core::Trail trail;
+  weaver_.register_aspect(core::TrailAspect::create(trail));
+
+  hm::ContextFamily by_author = world_->by_author(*nav_);
+  navsep::site::NavigationSession session(*nav_, {&by_author}, &weaver_);
+  session.enter_context("ByAuthor", "picasso", "guitar");
+  session.next();
+
+  std::string page = compose("guernica");
+  EXPECT_NE(page.find("class=\"trail\""), std::string::npos);
+  EXPECT_NE(page.find("guitar \xE2\x86\x92 guernica"), std::string::npos);
+}
+
+TEST_F(AspectsTest, TrailRecentTruncates) {
+  core::Trail trail;
+  weaver_.register_aspect(
+      core::TrailAspect::create(trail, /*render_breadcrumbs=*/false));
+  hm::ContextFamily by_author = world_->by_author(*nav_);
+  navsep::site::NavigationSession session(*nav_, {&by_author}, &weaver_);
+  session.enter_context("ByAuthor", "picasso", "guitar");
+  session.next();
+  session.next();
+  session.prev();
+  session.prev();
+  auto recent = trail.recent(2);
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0], "guernica");
+  EXPECT_EQ(recent[1], "guitar");
+  trail.clear();
+  EXPECT_EQ(trail.size(), 0u);
+}
+
+// --- linkbase discovery ---------------------------------------------------------
+
+TEST(LinkbaseDiscovery, FindsSimpleLinkAnnouncements) {
+  navsep::xml::ParseOptions opts;
+  opts.base_uri = "http://h/site/page.xml";
+  auto doc = navsep::xml::parse(
+      R"(<page xmlns:xlink="http://www.w3.org/1999/xlink">
+           <lb xlink:type="simple" xlink:href="links.xml"
+               xlink:arcrole="http://www.w3.org/1999/xlink/properties/linkbase"/>
+           <a xlink:type="simple" xlink:href="other.xml"/>
+         </page>)",
+      opts);
+  auto refs = navsep::xlink::find_linkbase_references(*doc);
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0], "http://h/site/links.xml");
+}
+
+TEST(LinkbaseDiscovery, FindsExtendedLinkAnnouncements) {
+  navsep::xml::ParseOptions opts;
+  opts.base_uri = "http://h/site/page.xml";
+  auto doc = navsep::xml::parse(
+      R"(<page xmlns:xlink="http://www.w3.org/1999/xlink">
+           <x xlink:type="extended">
+             <l xlink:type="locator" xlink:href="nav-links.xml" xlink:label="lb"/>
+             <arc xlink:type="arc" xlink:to="lb"
+                  xlink:arcrole="http://www.w3.org/1999/xlink/properties/linkbase"/>
+           </x>
+         </page>)",
+      opts);
+  auto refs = navsep::xlink::find_linkbase_references(*doc);
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0], "http://h/site/nav-links.xml");
+}
+
+TEST(LinkbaseDiscovery, LoadWithLinkbasesMergesAndBreaksCycles) {
+  navsep::xml::ParseOptions a_opts;
+  a_opts.base_uri = "http://h/a.xml";
+  auto a = navsep::xml::parse(
+      R"(<p xmlns:xlink="http://www.w3.org/1999/xlink">
+           <lb xlink:type="simple" xlink:href="b.xml"
+               xlink:arcrole="http://www.w3.org/1999/xlink/properties/linkbase"/>
+           <go xlink:type="simple" xlink:href="x.html"/>
+         </p>)",
+      a_opts);
+  navsep::xml::ParseOptions b_opts;
+  b_opts.base_uri = "http://h/b.xml";
+  auto b = navsep::xml::parse(
+      R"(<p xmlns:xlink="http://www.w3.org/1999/xlink">
+           <lb xlink:type="simple" xlink:href="a.xml"
+               xlink:arcrole="http://www.w3.org/1999/xlink/properties/linkbase"/>
+           <go xlink:type="simple" xlink:href="y.html"/>
+         </p>)",
+      b_opts);
+
+  int fetches = 0;
+  auto graph = navsep::xlink::load_with_linkbases(
+      *a, [&](std::string_view uri) -> const navsep::xml::Document* {
+        ++fetches;
+        if (uri.find("b.xml") != std::string_view::npos) return b.get();
+        if (uri.find("a.xml") != std::string_view::npos) return a.get();
+        return nullptr;
+      });
+  // a announces b; b announces a (already loaded -> not fetched again).
+  EXPECT_EQ(fetches, 1);
+  // Arcs from both documents present (2 simple 'go' + 2 linkbase arcs).
+  EXPECT_EQ(graph.arcs().size(), 4u);
+}
+
+TEST(LinkbaseDiscovery, MissingLinkbaseSkipped) {
+  navsep::xml::ParseOptions opts;
+  opts.base_uri = "http://h/a.xml";
+  auto a = navsep::xml::parse(
+      R"(<p xmlns:xlink="http://www.w3.org/1999/xlink">
+           <lb xlink:type="simple" xlink:href="gone.xml"
+               xlink:arcrole="http://www.w3.org/1999/xlink/properties/linkbase"/>
+         </p>)",
+      opts);
+  auto graph = navsep::xlink::load_with_linkbases(
+      *a, [](std::string_view) { return nullptr; });
+  EXPECT_EQ(graph.arcs().size(), 1u);  // just the announcement arc itself
+}
+
+// --- weaver cache ablation ---------------------------------------------------------
+
+TEST(WeaverCache, DisablingCacheKeepsSemantics) {
+  navsep::aop::Weaver weaver;
+  auto aspect = std::make_shared<navsep::aop::Aspect>("t");
+  int calls = 0;
+  aspect->before("custom(*)",
+                 [&](navsep::aop::JoinPointContext&) { ++calls; });
+  weaver.register_aspect(aspect);
+
+  navsep::aop::JoinPoint jp;
+  jp.kind = navsep::aop::JoinPointKind::Custom;
+  jp.subject = "x";
+
+  weaver.set_cache_enabled(false);
+  EXPECT_FALSE(weaver.cache_enabled());
+  weaver.execute(jp, [] {});
+  weaver.execute(jp, [] {});
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(weaver.stats().match_cache_hits, 0u);
+  EXPECT_EQ(weaver.stats().match_cache_misses, 2u);
+
+  weaver.set_cache_enabled(true);
+  weaver.execute(jp, [] {});
+  weaver.execute(jp, [] {});
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(weaver.stats().match_cache_hits, 1u);
+}

@@ -1,0 +1,262 @@
+// Unit tests for the CSS2-subset engine: selector matching, specificity,
+// cascade and inheritance.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "css/css.hpp"
+#include "xml/parser.hpp"
+
+namespace css = navsep::css;
+namespace xml = navsep::xml;
+
+namespace {
+const char* kPage = R"(<html>
+  <body>
+    <div id="main" class="content wide">
+      <p class="intro">First</p>
+      <p>Second</p>
+      <ul class="nav">
+        <li><a href="a.html" rel="next">A</a></li>
+        <li><a href="b.html">B</a></li>
+      </ul>
+    </div>
+    <div class="sidebar">
+      <p>Aside</p>
+    </div>
+  </body>
+</html>)";
+}  // namespace
+
+class CssTest : public ::testing::Test {
+ protected:
+  void SetUp() override { doc_ = xml::parse(kPage); }
+
+  const xml::Element* find(std::string_view selector_text) {
+    auto sels = css::parse_selector_group(selector_text);
+    const xml::Element* found = nullptr;
+    doc_->root()->walk([&](const xml::Element& e) {
+      if (found == nullptr && sels[0].matches(e)) found = &e;
+    });
+    return found;
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+};
+
+// --- selector parsing --------------------------------------------------------
+
+TEST_F(CssTest, ParseSimpleSelectors) {
+  auto g = css::parse_selector_group("p");
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g[0].compounds.size(), 1u);
+  EXPECT_EQ(g[0].compounds[0].type, "p");
+}
+
+TEST_F(CssTest, ParseGroupedSelectors) {
+  auto g = css::parse_selector_group("h1, h2, .nav > li");
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_EQ(g[2].compounds.size(), 2u);
+  EXPECT_EQ(g[2].combinators[0], css::Selector::Combinator::Child);
+}
+
+TEST_F(CssTest, ParseCompoundSelector) {
+  auto g = css::parse_selector_group("div#main.content.wide[id]");
+  const auto& c = g[0].compounds[0];
+  EXPECT_EQ(c.type, "div");
+  EXPECT_EQ(c.id, "main");
+  EXPECT_EQ(c.classes.size(), 2u);
+  EXPECT_EQ(c.attributes.size(), 1u);
+}
+
+TEST_F(CssTest, ParseAttributeOperators) {
+  auto g = css::parse_selector_group(
+      "a[rel=next], a[class~=x], a[lang|=en], a[href]");
+  EXPECT_EQ(g[0].compounds[0].attributes[0].op,
+            css::AttributeSelector::Op::Equals);
+  EXPECT_EQ(g[1].compounds[0].attributes[0].op,
+            css::AttributeSelector::Op::Includes);
+  EXPECT_EQ(g[2].compounds[0].attributes[0].op,
+            css::AttributeSelector::Op::DashMatch);
+  EXPECT_EQ(g[3].compounds[0].attributes[0].op,
+            css::AttributeSelector::Op::Exists);
+}
+
+TEST_F(CssTest, SelectorToStringRoundTrip) {
+  for (const char* text :
+       {"p", "div#main", ".nav > li", "ul li a", "*[rel=next]"}) {
+    auto g = css::parse_selector_group(text);
+    auto again = css::parse_selector_group(g[0].to_string());
+    EXPECT_EQ(again[0].to_string(), g[0].to_string()) << text;
+  }
+}
+
+TEST_F(CssTest, BadSelectorThrows) {
+  EXPECT_THROW(css::parse_selector_group(""), navsep::ParseError);
+  EXPECT_THROW(css::parse_selector_group("p >"), navsep::ParseError);
+  EXPECT_THROW(css::parse_selector_group("p, "), navsep::ParseError);
+}
+
+// --- matching ---------------------------------------------------------------------
+
+TEST_F(CssTest, TypeAndUniversalMatch) {
+  EXPECT_NE(find("p"), nullptr);
+  EXPECT_NE(find("*"), nullptr);
+  EXPECT_EQ(find("table"), nullptr);
+}
+
+TEST_F(CssTest, ClassMatchRequiresAllClasses) {
+  EXPECT_NE(find(".content.wide"), nullptr);
+  EXPECT_EQ(find(".content.narrow"), nullptr);
+}
+
+TEST_F(CssTest, IdMatch) {
+  const xml::Element* e = find("#main");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->name().local, "div");
+}
+
+TEST_F(CssTest, AttributeMatch) {
+  EXPECT_NE(find("a[rel=next]"), nullptr);
+  EXPECT_EQ(find("a[rel=prev]"), nullptr);
+  EXPECT_NE(find("[class~=sidebar]"), nullptr);
+}
+
+TEST_F(CssTest, DescendantCombinator) {
+  EXPECT_NE(find("div a"), nullptr);
+  EXPECT_NE(find("body ul a"), nullptr);   // skips intermediate li
+  EXPECT_EQ(find(".sidebar a"), nullptr);  // no anchors in the sidebar
+}
+
+TEST_F(CssTest, ChildCombinator) {
+  EXPECT_NE(find("li > a"), nullptr);
+  EXPECT_EQ(find("ul > a"), nullptr);  // a is a grandchild of ul
+}
+
+TEST_F(CssTest, Specificity) {
+  auto spec = [](const char* s) {
+    return css::parse_selector_group(s)[0].specificity();
+  };
+  EXPECT_GT(spec("#main"), spec(".content.wide"));
+  EXPECT_GT(spec(".content"), spec("div"));
+  EXPECT_GT(spec("div.content"), spec(".content"));
+  EXPECT_GT(spec("[rel=next]"), spec("a"));
+  EXPECT_EQ(spec("*"), 0u);
+}
+
+// --- stylesheet parsing -------------------------------------------------------------
+
+TEST(CssParse, RulesAndDeclarations) {
+  css::Stylesheet s = css::parse(R"(
+    /* museum theme */
+    p { color: black; margin: 0 auto; }
+    .nav > li { display: inline; }
+  )");
+  ASSERT_EQ(s.rule_count(), 2u);
+  EXPECT_EQ(s.rules[0].declarations.size(), 2u);
+  EXPECT_EQ(s.rules[0].declarations[0].property, "color");
+  EXPECT_EQ(s.rules[0].declarations[0].value, "black");
+}
+
+TEST(CssParse, ImportantFlag) {
+  css::Stylesheet s = css::parse("p { color: red !important; size: 1; }");
+  EXPECT_TRUE(s.rules[0].declarations[0].important);
+  EXPECT_FALSE(s.rules[0].declarations[1].important);
+  EXPECT_EQ(s.rules[0].declarations[0].value, "red");
+}
+
+TEST(CssParse, MalformedDeclarationIsSkipped) {
+  css::Stylesheet s = css::parse("p { 4oops; color: blue; }");
+  ASSERT_EQ(s.rule_count(), 1u);
+  ASSERT_EQ(s.rules[0].declarations.size(), 1u);
+  EXPECT_EQ(s.rules[0].declarations[0].property, "color");
+}
+
+TEST(CssParse, MalformedSelectorDropsRule) {
+  css::Stylesheet s = css::parse("{ color: red; } p { color: blue; }");
+  ASSERT_EQ(s.rule_count(), 1u);
+  EXPECT_EQ(s.rules[0].selectors[0].to_string(), "p");
+}
+
+TEST(CssParse, AtRulesAreSkipped) {
+  css::Stylesheet s = css::parse(
+      "@import 'x.css'; @media print { p { color: gray; } } "
+      "p { color: blue; }");
+  ASSERT_EQ(s.rule_count(), 1u);
+}
+
+TEST(CssParse, QuotedValuesKeepSemicolonsAndBraces) {
+  css::Stylesheet s = css::parse(R"(p { content: "a;}b"; }")");
+  ASSERT_EQ(s.rules[0].declarations.size(), 1u);
+  EXPECT_EQ(s.rules[0].declarations[0].value, "\"a;}b\"");
+}
+
+// --- cascade -----------------------------------------------------------------------------
+
+class CascadeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { doc_ = xml::parse(kPage); }
+
+  const xml::Element* intro() {
+    const xml::Element* found = nullptr;
+    doc_->root()->walk([&](const xml::Element& e) {
+      auto c = e.attribute("class");
+      if (c && *c == "intro") found = &e;
+    });
+    return found;
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+  css::StyleResolver resolver_;
+};
+
+TEST_F(CascadeTest, SpecificityWins) {
+  resolver_.add_sheet(css::parse("p { color: black; } .intro { color: red; }"));
+  EXPECT_EQ(resolver_.computed(*intro(), "color").value(), "red");
+}
+
+TEST_F(CascadeTest, SourceOrderBreaksTies) {
+  resolver_.add_sheet(css::parse("p { color: black; } p { color: green; }"));
+  EXPECT_EQ(resolver_.computed(*intro(), "color").value(), "green");
+}
+
+TEST_F(CascadeTest, ImportantBeatsSpecificity) {
+  resolver_.add_sheet(css::parse(
+      "p { color: black !important; } #main .intro { color: red; }"));
+  EXPECT_EQ(resolver_.computed(*intro(), "color").value(), "black");
+}
+
+TEST_F(CascadeTest, AuthorBeatsUserAgent) {
+  resolver_.add_sheet(css::parse("p { color: gray; }"),
+                      css::Origin::UserAgent);
+  resolver_.add_sheet(css::parse("p { color: navy; }"), css::Origin::Author);
+  EXPECT_EQ(resolver_.computed(*intro(), "color").value(), "navy");
+}
+
+TEST_F(CascadeTest, InheritedPropertyFlowsDown) {
+  resolver_.add_sheet(css::parse("#main { color: purple; }"));
+  EXPECT_EQ(resolver_.computed(*intro(), "color").value(), "purple");
+}
+
+TEST_F(CascadeTest, NonInheritedPropertyDoesNot) {
+  resolver_.add_sheet(css::parse("#main { border: 1px; }"));
+  EXPECT_FALSE(resolver_.computed(*intro(), "border").has_value());
+}
+
+TEST_F(CascadeTest, ExplicitInheritKeyword) {
+  resolver_.add_sheet(
+      css::parse("#main { border: 1px; } p { border: inherit; }"));
+  EXPECT_EQ(resolver_.computed(*intro(), "border").value(), "1px");
+}
+
+TEST_F(CascadeTest, ComputedStyleAggregatesOwnAndInherited) {
+  resolver_.add_sheet(css::parse(
+      "#main { color: purple; } .intro { font-weight: bold; }"));
+  auto style = resolver_.computed_style(*intro());
+  EXPECT_EQ(style.at("color"), "purple");
+  EXPECT_EQ(style.at("font-weight"), "bold");
+}
+
+TEST_F(CascadeTest, NoMatchYieldsNullopt) {
+  resolver_.add_sheet(css::parse(".missing { color: red; }"));
+  EXPECT_FALSE(resolver_.computed(*intro(), "color").has_value());
+}

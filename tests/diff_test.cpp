@@ -1,0 +1,178 @@
+// Unit + property tests for the Myers diff and site-delta statistics.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "diff/diff.hpp"
+
+namespace diff = navsep::diff;
+
+TEST(DiffSplit, LinesWithAndWithoutTrailingNewline) {
+  EXPECT_EQ(diff::split_lines("a\nb\n").size(), 2u);
+  EXPECT_EQ(diff::split_lines("a\nb").size(), 2u);
+  EXPECT_EQ(diff::split_lines("").size(), 0u);
+  EXPECT_EQ(diff::split_lines("\n").size(), 1u);
+  EXPECT_EQ(diff::split_lines("\n\n").size(), 2u);
+}
+
+TEST(DiffStats, IdenticalInputsAreUnchanged) {
+  diff::Stats s = diff::stats("a\nb\nc\n", "a\nb\nc\n");
+  EXPECT_TRUE(s.unchanged());
+  EXPECT_EQ(s.hunks, 0u);
+}
+
+TEST(DiffStats, PureInsertion) {
+  diff::Stats s = diff::stats("a\nc\n", "a\nb\nc\n");
+  EXPECT_EQ(s.lines_added, 1u);
+  EXPECT_EQ(s.lines_deleted, 0u);
+  EXPECT_EQ(s.hunks, 1u);
+  EXPECT_EQ(s.bytes_added, 2u);  // "b" + newline
+}
+
+TEST(DiffStats, PureDeletion) {
+  diff::Stats s = diff::stats("a\nb\nc\n", "a\nc\n");
+  EXPECT_EQ(s.lines_added, 0u);
+  EXPECT_EQ(s.lines_deleted, 1u);
+}
+
+TEST(DiffStats, Replacement) {
+  diff::Stats s = diff::stats("a\nOLD\nc\n", "a\nNEW\nc\n");
+  EXPECT_EQ(s.lines_added, 1u);
+  EXPECT_EQ(s.lines_deleted, 1u);
+  EXPECT_EQ(s.hunks, 1u);
+}
+
+TEST(DiffStats, TwoSeparatedChangesAreTwoHunks) {
+  diff::Stats s = diff::stats("1\n2\n3\n4\n5\n6\n7\n",
+                              "1\nX\n3\n4\n5\nY\n7\n");
+  EXPECT_EQ(s.hunks, 2u);
+  EXPECT_EQ(s.lines_changed(), 4u);
+}
+
+TEST(DiffStats, FromAndToEmpty) {
+  diff::Stats grow = diff::stats("", "a\nb\n");
+  EXPECT_EQ(grow.lines_added, 2u);
+  diff::Stats shrink = diff::stats("a\nb\n", "");
+  EXPECT_EQ(shrink.lines_deleted, 2u);
+}
+
+TEST(DiffOps, ScriptTransformsAToB) {
+  // Property: applying the edit script to `a` yields `b`.
+  auto apply = [](std::string_view a, std::string_view b) {
+    auto la = diff::split_lines(a);
+    auto lb = diff::split_lines(b);
+    std::vector<std::string_view> result;
+    for (const diff::Op& op : diff::diff_lines(a, b)) {
+      switch (op.kind) {
+        case diff::OpKind::Equal:
+          for (std::size_t i = 0; i < op.count; ++i) {
+            result.push_back(la[op.a_start + i]);
+          }
+          break;
+        case diff::OpKind::Insert:
+          for (std::size_t i = 0; i < op.count; ++i) {
+            result.push_back(lb[op.b_start + i]);
+          }
+          break;
+        case diff::OpKind::Delete:
+          break;
+      }
+    }
+    return result;
+  };
+  const char* a = "alpha\nbeta\ngamma\ndelta\n";
+  const char* b = "alpha\nGAMMA\ngamma\nepsilon\n";
+  EXPECT_EQ(apply(a, b), diff::split_lines(b));
+}
+
+class DiffRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DiffRandomized, ScriptReconstructsTarget) {
+  navsep::Rng rng(GetParam());
+  auto random_doc = [&rng] {
+    std::string out;
+    std::size_t n = rng.below(30);
+    for (std::size_t i = 0; i < n; ++i) {
+      out += rng.word(1 + rng.below(4));
+      out += '\n';
+    }
+    return out;
+  };
+  for (int round = 0; round < 20; ++round) {
+    std::string a = random_doc();
+    std::string b = random_doc();
+    auto la = diff::split_lines(a);
+    auto lb = diff::split_lines(b);
+    std::vector<std::string_view> rebuilt;
+    std::size_t equal = 0;
+    for (const diff::Op& op : diff::diff_lines(a, b)) {
+      if (op.kind == diff::OpKind::Equal) {
+        equal += op.count;
+        for (std::size_t i = 0; i < op.count; ++i) {
+          ASSERT_EQ(la[op.a_start + i], lb[op.b_start + i]);
+          rebuilt.push_back(la[op.a_start + i]);
+        }
+      } else if (op.kind == diff::OpKind::Insert) {
+        for (std::size_t i = 0; i < op.count; ++i) {
+          rebuilt.push_back(lb[op.b_start + i]);
+        }
+      }
+    }
+    ASSERT_EQ(rebuilt, lb) << "seed " << GetParam() << " round " << round;
+    // Sanity: stats count exactly the non-equal lines.
+    diff::Stats s = diff::stats(a, b);
+    EXPECT_EQ(s.lines_added, lb.size() - equal);
+    EXPECT_EQ(s.lines_deleted, la.size() - equal);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffRandomized,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u));
+
+TEST(DiffUnified, RendersHeadersAndHunks) {
+  std::string u = diff::unified("a\nb\nc\nd\ne\n", "a\nb\nX\nd\ne\n",
+                                "before.html", "after.html", 1);
+  EXPECT_NE(u.find("--- before.html"), std::string::npos);
+  EXPECT_NE(u.find("+++ after.html"), std::string::npos);
+  EXPECT_NE(u.find("-c"), std::string::npos);
+  EXPECT_NE(u.find("+X"), std::string::npos);
+  EXPECT_NE(u.find("@@ -2,3 +2,3 @@"), std::string::npos);
+}
+
+TEST(DiffSites, CountsTouchedFiles) {
+  std::vector<std::pair<std::string, std::string>> before{
+      {"guitar.html", "<h1>Guitar</h1>\n<a>index</a>\n"},
+      {"guernica.html", "<h1>Guernica</h1>\n<a>index</a>\n"},
+      {"index.html", "<ul>...</ul>\n"},
+  };
+  std::vector<std::pair<std::string, std::string>> after{
+      {"guitar.html", "<h1>Guitar</h1>\n<a>index</a>\n<a>next</a>\n"},
+      {"guernica.html", "<h1>Guernica</h1>\n<a>index</a>\n<a>next</a>\n"},
+      {"index.html", "<ul>...</ul>\n"},
+  };
+  diff::SiteDelta d = diff::compare_sites(before, after);
+  EXPECT_EQ(d.files_total, 3u);
+  EXPECT_EQ(d.files_touched, 2u);
+  EXPECT_EQ(d.line_stats.lines_added, 2u);
+  ASSERT_EQ(d.touched_paths.size(), 2u);
+  EXPECT_EQ(d.touched_paths[0], "guernica.html");
+}
+
+TEST(DiffSites, AddedAndRemovedFiles) {
+  std::vector<std::pair<std::string, std::string>> before{
+      {"old.html", "x\n"}};
+  std::vector<std::pair<std::string, std::string>> after{
+      {"new.html", "y\ny\n"}};
+  diff::SiteDelta d = diff::compare_sites(before, after);
+  EXPECT_EQ(d.files_total, 2u);
+  EXPECT_EQ(d.files_touched, 2u);
+  EXPECT_EQ(d.line_stats.lines_deleted, 1u);
+  EXPECT_EQ(d.line_stats.lines_added, 2u);
+}
+
+TEST(DiffSites, IdenticalSitesUntouched) {
+  std::vector<std::pair<std::string, std::string>> site{
+      {"a.html", "same\n"}, {"b.html", "same\n"}};
+  diff::SiteDelta d = diff::compare_sites(site, site);
+  EXPECT_EQ(d.files_touched, 0u);
+  EXPECT_TRUE(d.line_stats.unchanged());
+}

@@ -1,0 +1,118 @@
+// Unit tests for HTML page building and serialization.
+#include <gtest/gtest.h>
+
+#include "html/html.hpp"
+#include "xml/parser.hpp"
+
+namespace html = navsep::html;
+namespace xml = navsep::xml;
+
+TEST(HtmlPage, SkeletonHasHeadTitleBody) {
+  html::Page page("The Guitar");
+  std::string out = page.to_string();
+  EXPECT_NE(out.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(out.find("<title>The Guitar</title>"), std::string::npos);
+  EXPECT_NE(out.find("<body>"), std::string::npos);
+}
+
+TEST(HtmlPage, HeadingLevelsClamped) {
+  html::Page page("t");
+  page.heading(1, "one");
+  page.heading(9, "nine");
+  page.heading(0, "zero");
+  std::string out = page.to_string();
+  EXPECT_NE(out.find("<h1>one</h1>"), std::string::npos);
+  EXPECT_NE(out.find("<h6>nine</h6>"), std::string::npos);
+  EXPECT_NE(out.find("<h1>zero</h1>"), std::string::npos);
+}
+
+TEST(HtmlPage, AnchorsCarryHref) {
+  html::Page page("t");
+  page.anchor("guernica.html", "Guernica");
+  EXPECT_NE(page.to_string().find(R"(<a href="guernica.html">Guernica</a>)"),
+            std::string::npos);
+}
+
+TEST(HtmlPage, ListsNest) {
+  html::Page page("t");
+  xml::Element& ul = page.unordered_list();
+  page.anchor("a.html", "A", &page.list_item(ul));
+  page.anchor("b.html", "B", &page.list_item(ul));
+  std::string out = page.to_string();
+  EXPECT_NE(out.find("<ul>"), std::string::npos);
+  EXPECT_NE(out.find(R"(<li><a href="a.html">A</a></li>)"),
+            std::string::npos);
+}
+
+TEST(HtmlPage, StylesheetLinkInHead) {
+  html::Page page("t");
+  page.stylesheet("museum.css");
+  std::string out = page.to_string();
+  std::size_t head_end = out.find("</head>");
+  std::size_t link = out.find(R"(href="museum.css")");
+  ASSERT_NE(link, std::string::npos);
+  EXPECT_LT(link, head_end);
+}
+
+TEST(HtmlWrite, VoidElementsHaveNoEndTag) {
+  html::Page page("t");
+  page.rule();
+  page.line_break();
+  page.image("x.png", "x");
+  std::string out = page.to_string();
+  EXPECT_NE(out.find("<hr>"), std::string::npos);
+  EXPECT_EQ(out.find("</hr>"), std::string::npos);
+  EXPECT_EQ(out.find("</br>"), std::string::npos);
+  EXPECT_EQ(out.find("</img>"), std::string::npos);
+  EXPECT_EQ(out.find("<hr/>"), std::string::npos);
+}
+
+TEST(HtmlWrite, IsVoidElementList) {
+  EXPECT_TRUE(html::is_void_element("br"));
+  EXPECT_TRUE(html::is_void_element("img"));
+  EXPECT_TRUE(html::is_void_element("link"));
+  EXPECT_FALSE(html::is_void_element("div"));
+  EXPECT_FALSE(html::is_void_element("a"));
+}
+
+TEST(HtmlWrite, EscapesTextAndAttributes) {
+  html::Page page("t");
+  page.paragraph("a < b & c");
+  page.anchor("x.html?a=1&b=2", "link");
+  std::string out = page.to_string();
+  EXPECT_NE(out.find("a &lt; b &amp; c"), std::string::npos);
+  EXPECT_NE(out.find("x.html?a=1&amp;b=2"), std::string::npos);
+}
+
+TEST(HtmlWrite, BooleanAttributesMinimized) {
+  xml::Element input{xml::QName("input")};
+  input.set_attribute("disabled", "disabled");
+  input.set_attribute("value", "v");
+  std::string out = html::write(input, /*pretty=*/false);
+  EXPECT_EQ(out, R"(<input disabled value="v">)");
+}
+
+TEST(HtmlWrite, InlineContentStaysOnOneLine) {
+  auto doc = xml::parse("<p>Go to <a href='x'>X</a> now</p>");
+  std::string out = html::write(*doc->root(), /*pretty=*/true);
+  EXPECT_EQ(out, "<p>Go to <a href=\"x\">X</a> now</p>\n");
+}
+
+TEST(HtmlWrite, BlockContentIndents) {
+  auto doc = xml::parse("<div><p>a</p><p>b</p></div>");
+  std::string out = html::write(*doc->root(), /*pretty=*/true);
+  EXPECT_EQ(out, "<div>\n  <p>a</p>\n  <p>b</p>\n</div>\n");
+}
+
+TEST(HtmlWrite, CompactModeHasNoNewlines) {
+  auto doc = xml::parse("<div><p>a</p><p>b</p></div>");
+  std::string out = html::write(*doc->root(), /*pretty=*/false);
+  EXPECT_EQ(out.find('\n'), std::string::npos);
+}
+
+TEST(HtmlWrite, XmlnsDeclarationsDropped) {
+  auto doc = xml::parse(
+      R"(<div xmlns:xlink="http://www.w3.org/1999/xlink"><p>x</p></div>)");
+  std::string out = html::write(*doc->root(), false);
+  EXPECT_EQ(out.find("xmlns"), std::string::npos);
+}

@@ -1,0 +1,408 @@
+// Unit + property tests for the OOHDM-style hypermedia model: conceptual
+// schema/instances, navigational views, access structures, contexts.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hypermedia/access.hpp"
+#include "hypermedia/context.hpp"
+#include "hypermedia/conceptual.hpp"
+#include "hypermedia/navigational.hpp"
+
+namespace hm = navsep::hypermedia;
+
+namespace {
+
+/// A fixture with the museum-shaped schema and a few instances.
+class ModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_.add_class("Painter", {{"name", true}});
+    schema_.add_class("Painting", {{"title", true}, {"movement", false}});
+    schema_.add_relationship("painted", "Painter", "Painting",
+                             hm::Cardinality::Many, "painted-by");
+    model_ = std::make_unique<hm::ConceptualModel>(schema_);
+
+    auto& picasso = model_->create("Painter", "picasso");
+    picasso.set_attribute("name", "Pablo Picasso");
+    auto& dali = model_->create("Painter", "dali");
+    dali.set_attribute("name", "Salvador Dali");
+
+    for (const char* id : {"guitar", "guernica", "avignon"}) {
+      auto& p = model_->create("Painting", id);
+      p.set_attribute("title", id);
+      p.set_attribute("movement", "cubism");
+      model_->relate(picasso, "painted", p);
+    }
+    auto& memory = model_->create("Painting", "memory");
+    memory.set_attribute("title", "The Persistence of Memory");
+    memory.set_attribute("movement", "surrealism");
+    model_->relate(dali, "painted", memory);
+
+    nav_schema_.add_node_class(
+        hm::NodeClassDef{"PainterNode", "Painter", {"name"}, "name"});
+    nav_schema_.add_node_class(
+        hm::NodeClassDef{"PaintingNode", "Painting", {"title", "movement"},
+                         "title"});
+    nav_schema_.add_link_class(
+        hm::LinkClassDef{"works", "painted", "PainterNode", "PaintingNode"});
+  }
+
+  hm::ConceptualSchema schema_;
+  std::unique_ptr<hm::ConceptualModel> model_;
+  hm::NavigationalSchema nav_schema_;
+};
+
+}  // namespace
+
+// --- conceptual model ---------------------------------------------------------
+
+TEST_F(ModelTest, EntitiesStoreAttributes) {
+  const hm::Entity* p = model_->find("picasso");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->attribute("name").value(), "Pablo Picasso");
+  EXPECT_FALSE(p->attribute("missing").has_value());
+  EXPECT_EQ(p->attribute_or("missing", "x"), "x");
+}
+
+TEST_F(ModelTest, SchemaRejectsUnknownAttribute) {
+  hm::Entity* p = model_->find("picasso");
+  EXPECT_THROW(p->set_attribute("height", "1.63"), navsep::SemanticError);
+}
+
+TEST_F(ModelTest, SchemaRejectsUnknownClassAndDuplicateId) {
+  EXPECT_THROW(model_->create("Sculpture", "x"), navsep::SemanticError);
+  EXPECT_THROW(model_->create("Painter", "picasso"), navsep::SemanticError);
+}
+
+TEST_F(ModelTest, RelationshipsAreTypedAndInverted) {
+  const hm::Entity* picasso = model_->find("picasso");
+  EXPECT_EQ(picasso->related("painted").size(), 3u);
+  const hm::Entity* guitar = model_->find("guitar");
+  ASSERT_EQ(guitar->related("painted-by").size(), 1u);
+  EXPECT_EQ(guitar->related("painted-by")[0]->id(), "picasso");
+}
+
+TEST_F(ModelTest, RelateRejectsWrongClasses) {
+  hm::Entity* guitar = model_->find("guitar");
+  hm::Entity* dali = model_->find("dali");
+  EXPECT_THROW(model_->relate(*guitar, "painted", *dali),
+               navsep::SemanticError);
+  EXPECT_THROW(model_->relate(*dali, "nonsense", *guitar),
+               navsep::SemanticError);
+}
+
+TEST_F(ModelTest, RelateIsIdempotent) {
+  hm::Entity* picasso = model_->find("picasso");
+  hm::Entity* guitar = model_->find("guitar");
+  model_->relate(*picasso, "painted", *guitar);
+  EXPECT_EQ(picasso->related("painted").size(), 3u);
+}
+
+TEST_F(ModelTest, ToOneCardinalityEnforced) {
+  hm::ConceptualSchema s;
+  s.add_class("A");
+  s.add_class("B");
+  s.add_relationship("owns", "A", "B", hm::Cardinality::One);
+  hm::ConceptualModel m(s);
+  auto& a = m.create("A", "a");
+  auto& b1 = m.create("B", "b1");
+  auto& b2 = m.create("B", "b2");
+  m.relate(a, "owns", b1);
+  EXPECT_THROW(m.relate(a, "owns", b2), navsep::SemanticError);
+}
+
+TEST_F(ModelTest, EntitiesOfFiltersByClass) {
+  EXPECT_EQ(model_->entities_of("Painter").size(), 2u);
+  EXPECT_EQ(model_->entities_of("Painting").size(), 4u);
+  EXPECT_TRUE(model_->entities_of("Movement").empty());
+}
+
+// --- navigational model ----------------------------------------------------------
+
+TEST_F(ModelTest, DeriveCreatesNodesForViewedClasses) {
+  hm::NavigationalModel nav =
+      hm::NavigationalModel::derive(*model_, nav_schema_);
+  EXPECT_EQ(nav.nodes().size(), 6u);  // 2 painters + 4 paintings
+  EXPECT_EQ(nav.nodes_of("PainterNode").size(), 2u);
+  EXPECT_EQ(nav.nodes_of("PaintingNode").size(), 4u);
+}
+
+TEST_F(ModelTest, DeriveCreatesLinksForViewedRelationships) {
+  hm::NavigationalModel nav =
+      hm::NavigationalModel::derive(*model_, nav_schema_);
+  EXPECT_EQ(nav.links().size(), 4u);  // 3 + 1 painted pairs
+  auto from_picasso = nav.links_from("picasso", "works");
+  EXPECT_EQ(from_picasso.size(), 3u);
+  EXPECT_TRUE(nav.links_from("guitar").empty());  // no reverse link class
+}
+
+TEST_F(ModelTest, NodeTitleUsesTitleAttribute) {
+  hm::NavigationalModel nav =
+      hm::NavigationalModel::derive(*model_, nav_schema_);
+  EXPECT_EQ(nav.node("picasso")->title(), "Pablo Picasso");
+  EXPECT_EQ(nav.node("memory")->title(), "The Persistence of Memory");
+}
+
+TEST_F(ModelTest, VisibleAttributesFollowPerspective) {
+  hm::NavigationalModel nav =
+      hm::NavigationalModel::derive(*model_, nav_schema_);
+  auto attrs = nav.node("guitar")->visible_attributes();
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0].first, "title");
+  EXPECT_EQ(attrs[1].first, "movement");
+}
+
+TEST_F(ModelTest, DeriveRejectsDanglingSchema) {
+  hm::NavigationalSchema bad;
+  bad.add_node_class(hm::NodeClassDef{"X", "Ghost", {}, ""});
+  EXPECT_THROW(hm::NavigationalModel::derive(*model_, bad),
+               navsep::SemanticError);
+}
+
+// --- access structures --------------------------------------------------------------
+
+namespace {
+std::vector<hm::Member> three_members() {
+  return {{"guitar", "The Guitar"},
+          {"guernica", "Guernica"},
+          {"avignon", "Les Demoiselles d'Avignon"}};
+}
+
+std::size_t count_role(const std::vector<hm::AccessArc>& arcs,
+                       std::string_view role) {
+  std::size_t n = 0;
+  for (const auto& a : arcs) {
+    if (a.role == role) ++n;
+  }
+  return n;
+}
+}  // namespace
+
+TEST(AccessIndex, IsAStar) {
+  hm::Index index("paintings", three_members());
+  auto arcs = index.arcs();
+  EXPECT_EQ(arcs.size(), 6u);  // 3 entries + 3 ups
+  EXPECT_EQ(count_role(arcs, hm::roles::kIndexEntry), 3u);
+  EXPECT_EQ(count_role(arcs, hm::roles::kUp), 3u);
+  EXPECT_EQ(index.entry(), "index:paintings");
+  // Every entry arc starts at the index page.
+  for (const auto& a : arcs) {
+    if (a.role == hm::roles::kIndexEntry) {
+      EXPECT_EQ(a.from, index.page_id());
+    }
+    if (a.role == hm::roles::kUp) {
+      EXPECT_EQ(a.to, index.page_id());
+    }
+  }
+}
+
+TEST(AccessGuidedTour, IsAChain) {
+  hm::GuidedTour tour("paintings", three_members());
+  auto arcs = tour.arcs();
+  EXPECT_EQ(arcs.size(), 4u);  // 2 next + 2 prev
+  EXPECT_EQ(count_role(arcs, hm::roles::kNext), 2u);
+  EXPECT_EQ(count_role(arcs, hm::roles::kPrev), 2u);
+  EXPECT_EQ(tour.entry(), "guitar");
+  // Chain covers members in order exactly once.
+  std::vector<std::string> chain;
+  chain.push_back("guitar");
+  std::string cur = "guitar";
+  for (;;) {
+    bool advanced = false;
+    for (const auto& a : arcs) {
+      if (a.role == hm::roles::kNext && a.from == cur) {
+        cur = a.to;
+        chain.push_back(cur);
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;
+  }
+  EXPECT_EQ(chain,
+            (std::vector<std::string>{"guitar", "guernica", "avignon"}));
+}
+
+TEST(AccessGuidedTour, CircularClosesTheRing) {
+  hm::GuidedTour ring("p", three_members(), /*circular=*/true);
+  auto arcs = ring.arcs();
+  EXPECT_EQ(count_role(arcs, hm::roles::kNext), 3u);
+  bool wraps = false;
+  for (const auto& a : arcs) {
+    if (a.role == hm::roles::kNext && a.from == "avignon" &&
+        a.to == "guitar") {
+      wraps = true;
+    }
+  }
+  EXPECT_TRUE(wraps);
+}
+
+TEST(AccessGuidedTour, EmptyTourHasNoEntry) {
+  hm::GuidedTour empty("none", {});
+  EXPECT_TRUE(empty.arcs().empty());
+  EXPECT_THROW((void)empty.entry(), navsep::SemanticError);
+}
+
+TEST(AccessIgt, IsStarPlusChain) {
+  hm::IndexedGuidedTour igt("paintings", three_members());
+  auto arcs = igt.arcs();
+  // 6 star arcs + 4 chain arcs — the paper's Figure 2(b).
+  EXPECT_EQ(arcs.size(), 10u);
+  EXPECT_EQ(count_role(arcs, hm::roles::kIndexEntry), 3u);
+  EXPECT_EQ(count_role(arcs, hm::roles::kUp), 3u);
+  EXPECT_EQ(count_role(arcs, hm::roles::kNext), 2u);
+  EXPECT_EQ(count_role(arcs, hm::roles::kPrev), 2u);
+}
+
+TEST(AccessMenu, LinksSubStructureEntries) {
+  std::vector<std::unique_ptr<hm::AccessStructure>> subs;
+  subs.push_back(std::make_unique<hm::Index>(
+      "cubism", std::vector<hm::Member>{{"guitar", "g"}}));
+  subs.push_back(std::make_unique<hm::GuidedTour>(
+      "surrealism", std::vector<hm::Member>{{"memory", "m"}}));
+  hm::Menu menu("movements", std::move(subs));
+  auto arcs = menu.arcs();
+  EXPECT_EQ(count_role(arcs, hm::roles::kMenuEntry), 2u);
+  // Sub-structure arcs are included.
+  EXPECT_EQ(count_role(arcs, hm::roles::kIndexEntry), 1u);
+  EXPECT_EQ(menu.members().size(), 2u);
+  EXPECT_EQ(menu.members()[0].node_id, "index:cubism");
+}
+
+TEST(AccessFactory, BuildsRequestedKinds) {
+  auto idx = hm::make_access_structure(hm::AccessStructureKind::Index, "x",
+                                       three_members());
+  EXPECT_EQ(idx->kind(), hm::AccessStructureKind::Index);
+  auto igt = hm::make_access_structure(
+      hm::AccessStructureKind::IndexedGuidedTour, "x", three_members());
+  EXPECT_EQ(igt->kind(), hm::AccessStructureKind::IndexedGuidedTour);
+  EXPECT_THROW(hm::make_access_structure(hm::AccessStructureKind::Menu, "x",
+                                         three_members()),
+               navsep::SemanticError);
+}
+
+// Property sweep: structural invariants at many sizes.
+class AccessInvariants : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AccessInvariants, ArcCountsScaleWithMembers) {
+  const std::size_t n = GetParam();
+  std::vector<hm::Member> members;
+  for (std::size_t i = 0; i < n; ++i) {
+    members.push_back({"node-" + std::to_string(i), "N" + std::to_string(i)});
+  }
+  hm::Index index("s", members);
+  EXPECT_EQ(index.arcs().size(), 2 * n);
+  hm::GuidedTour tour("s", members);
+  EXPECT_EQ(tour.arcs().size(), n < 2 ? 0 : 2 * (n - 1));
+  hm::IndexedGuidedTour igt("s", members);
+  EXPECT_EQ(igt.arcs().size(), 2 * n + (n < 2 ? 0 : 2 * (n - 1)));
+
+  // Tour chain is a path covering all members exactly once.
+  if (n >= 2) {
+    auto arcs = tour.arcs();
+    std::set<std::string> visited;
+    std::string cur = tour.entry();
+    visited.insert(cur);
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (const auto& a : arcs) {
+        if (a.role == hm::roles::kNext && a.from == cur) {
+          cur = a.to;
+          EXPECT_TRUE(visited.insert(cur).second) << "revisited " << cur;
+          moved = true;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(visited.size(), n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AccessInvariants,
+                         ::testing::Values(0u, 1u, 2u, 3u, 7u, 20u, 100u));
+
+// --- contexts -----------------------------------------------------------------------
+
+TEST_F(ModelTest, GroupByAttributeFormsFamilies) {
+  hm::NavigationalModel nav =
+      hm::NavigationalModel::derive(*model_, nav_schema_);
+  hm::ContextFamily fam = hm::ContextFamily::group_by_attribute(
+      nav, "PaintingNode", "movement", "ByMovement");
+  ASSERT_EQ(fam.contexts().size(), 2u);
+  const hm::NavigationalContext* cubism = fam.find("cubism");
+  ASSERT_NE(cubism, nullptr);
+  EXPECT_EQ(cubism->size(), 3u);
+  EXPECT_EQ(fam.find("surrealism")->size(), 1u);
+  EXPECT_EQ(cubism->qualified_name(), "ByMovement:cubism");
+}
+
+TEST_F(ModelTest, GroupByRelationFormsPerOwnerContexts) {
+  hm::NavigationalModel nav =
+      hm::NavigationalModel::derive(*model_, nav_schema_);
+  hm::ContextFamily fam = hm::ContextFamily::group_by_relation(
+      nav, "PainterNode", "painted", "ByAuthor");
+  ASSERT_EQ(fam.contexts().size(), 2u);
+  EXPECT_EQ(fam.find("picasso")->size(), 3u);
+  EXPECT_EQ(fam.find("dali")->size(), 1u);
+}
+
+TEST_F(ModelTest, ContextNextPrevRespectOrder) {
+  hm::NavigationalModel nav =
+      hm::NavigationalModel::derive(*model_, nav_schema_);
+  hm::ContextFamily fam = hm::ContextFamily::group_by_relation(
+      nav, "PainterNode", "painted", "ByAuthor");
+  const hm::NavigationalContext* ctx = fam.find("picasso");
+  EXPECT_EQ(ctx->next_of("guitar").value(), "guernica");
+  EXPECT_EQ(ctx->next_of("guernica").value(), "avignon");
+  EXPECT_FALSE(ctx->next_of("avignon").has_value());
+  EXPECT_EQ(ctx->prev_of("avignon").value(), "guernica");
+  EXPECT_FALSE(ctx->prev_of("guitar").has_value());
+  EXPECT_FALSE(ctx->next_of("memory").has_value());  // not in context
+}
+
+TEST_F(ModelTest, ContainingFindsContextsOfANode) {
+  hm::NavigationalModel nav =
+      hm::NavigationalModel::derive(*model_, nav_schema_);
+  hm::ContextFamily fam = hm::ContextFamily::group_by_attribute(
+      nav, "PaintingNode", "movement", "ByMovement");
+  auto hits = fam.containing("guitar");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->name(), "cubism");
+  EXPECT_TRUE(fam.containing("nobody").empty());
+}
+
+TEST_F(ModelTest, AllOfClassContext) {
+  hm::NavigationalModel nav =
+      hm::NavigationalModel::derive(*model_, nav_schema_);
+  hm::ContextFamily fam =
+      hm::ContextFamily::all_of_class(nav, "PaintingNode", "All");
+  ASSERT_EQ(fam.contexts().size(), 1u);
+  EXPECT_EQ(fam.contexts()[0].size(), 4u);
+}
+
+// The paper's §2 scenario as a direct assertion: the same node has
+// different successors in different contexts.
+TEST_F(ModelTest, SameNodeDifferentNextInDifferentContexts) {
+  // Add a braque cubist painting after dali's so the by-movement order
+  // differs from the by-author order.
+  auto& braque = model_->create("Painter", "braque");
+  braque.set_attribute("name", "Georges Braque");
+  auto& violin = model_->create("Painting", "violin");
+  violin.set_attribute("title", "Violin and Candlestick");
+  violin.set_attribute("movement", "cubism");
+  model_->relate(braque, "painted", violin);
+
+  hm::NavigationalModel nav =
+      hm::NavigationalModel::derive(*model_, nav_schema_);
+  hm::ContextFamily by_author = hm::ContextFamily::group_by_relation(
+      nav, "PainterNode", "painted", "ByAuthor");
+  hm::ContextFamily by_movement = hm::ContextFamily::group_by_attribute(
+      nav, "PaintingNode", "movement", "ByMovement");
+
+  // Through the author: after avignon there is nothing (last Picasso).
+  EXPECT_FALSE(by_author.find("picasso")->next_of("avignon").has_value());
+  // Through the movement: after avignon comes braque's violin.
+  EXPECT_EQ(by_movement.find("cubism")->next_of("avignon").value(), "violin");
+}

@@ -1,0 +1,185 @@
+// Whole-pipeline integration and property tests: synthetic museum →
+// separated site → server → browser, equivalences between the two
+// pipelines, and migration invariants swept over site sizes.
+#include <gtest/gtest.h>
+
+#include "aop/weaver.hpp"
+#include "core/migration.hpp"
+#include "core/navigation_aspect.hpp"
+#include "core/personalization.hpp"
+#include "museum/museum.hpp"
+#include "site/browser.hpp"
+#include "site/server.hpp"
+#include "site/virtual_site.hpp"
+#include "xml/parser.hpp"
+#include "xml/sax.hpp"
+
+namespace core = navsep::core;
+namespace hm = navsep::hypermedia;
+namespace site = navsep::site;
+using navsep::museum::MuseumWorld;
+
+namespace {
+constexpr const char* kBase = "http://museum.example/site/";
+}
+
+// --- full-tour browsing property over site sizes -------------------------------
+
+class FullTour : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FullTour, BrowserWalksEveryPaintingExactlyOnce) {
+  const std::size_t n = GetParam();
+  auto world = MuseumWorld::synthetic(
+      {.painters = 1, .paintings_per_painter = n, .movements = 2, .seed = 47});
+  auto nav = world->derive_navigation();
+  auto igt = world->paintings_structure(
+      hm::AccessStructureKind::IndexedGuidedTour, nav, "painter-0");
+  site::VirtualSite built = site::build_separated_site(*world, *igt);
+
+  navsep::xml::ParseOptions opts;
+  opts.base_uri = std::string(kBase) + "links.xml";
+  auto linkbase = navsep::xml::parse(*built.get("links.xml"), opts);
+  auto graph = navsep::xlink::TraversalGraph::from_linkbase(*linkbase);
+
+  site::HypermediaServer server(built, kBase);
+  site::Browser browser(server, graph);
+
+  // Enter through the index, take the first entry, then ride `next` to
+  // the end of the tour.
+  ASSERT_TRUE(
+      browser.navigate("index-paintings-of-painter-0.html"));
+  ASSERT_TRUE(browser.follow_role("index-entry"));
+  std::size_t visited = 1;
+  while (browser.follow_role("next")) ++visited;
+  EXPECT_EQ(visited, n);
+  // `up` works from the last stop.
+  EXPECT_TRUE(browser.follow_role("up"));
+  // History replays the whole walk.
+  EXPECT_EQ(browser.history().size(), n + 2);  // index + n stops + up
+  EXPECT_EQ(server.misses(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FullTour,
+                         ::testing::Values(1u, 2u, 3u, 8u, 25u));
+
+// --- pipeline equivalence property ------------------------------------------------
+
+class PipelineEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PipelineEquivalence, TangledAndSeparatedPagesAreByteIdentical) {
+  const std::size_t n = GetParam();
+  auto world = MuseumWorld::synthetic(
+      {.painters = 2, .paintings_per_painter = n, .movements = 2, .seed = 3});
+  auto nav = world->derive_navigation();
+  auto structure = world->all_paintings_structure(
+      hm::AccessStructureKind::IndexedGuidedTour, nav);
+
+  site::VirtualSite tangled = site::build_tangled_site(*world, *structure);
+  site::VirtualSite separated = site::build_separated_site(*world, *structure);
+
+  for (const std::string& path : tangled.paths()) {
+    if (path == "museum.css") continue;
+    ASSERT_TRUE(separated.contains(path)) << path;
+    EXPECT_EQ(*tangled.get(path), *separated.get(path)) << path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PipelineEquivalence,
+                         ::testing::Values(1u, 3u, 10u));
+
+// --- migration invariants ------------------------------------------------------------
+
+class MigrationInvariants : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MigrationInvariants, SeparatedAlwaysTouchesExactlyLinksXml) {
+  const std::size_t n = GetParam();
+  auto world = MuseumWorld::synthetic(
+      {.painters = 1, .paintings_per_painter = n, .movements = 2, .seed = 9});
+  auto nav = world->derive_navigation();
+  auto index =
+      world->paintings_structure(hm::AccessStructureKind::Index, nav,
+                                 "painter-0");
+  auto igt = world->paintings_structure(
+      hm::AccessStructureKind::IndexedGuidedTour, nav, "painter-0");
+  core::MigrationOptions options;
+  options.separated_fixed_artifacts = world->data_artifacts();
+  core::MigrationReport r =
+      core::measure_migration(nav, *index, *igt, options);
+
+  // The linkbase always changes (at minimum its xlink:role records the new
+  // structure kind), and it is always the ONLY separated change.
+  EXPECT_EQ(r.separated_authored.files_touched, 1u);
+  EXPECT_EQ(r.separated_authored.touched_paths.at(0), "links.xml");
+  // A one-member tour has no chain, so the rendered pages only change for
+  // n >= 2 — in the tangled style that means n page rewrites.
+  const std::size_t expected_pages = n >= 2 ? n : 0;
+  EXPECT_EQ(r.tangled_authored.files_touched, expected_pages);
+  EXPECT_EQ(r.separated_rendered.files_touched, expected_pages);
+  if (n >= 2) {
+    EXPECT_GT(r.tangled_authored.line_stats.lines_changed(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MigrationInvariants,
+                         ::testing::Values(1u, 2u, 5u, 12u, 40u));
+
+// --- GuidedTour-only migration (no index page at all) -------------------------------
+
+TEST(MigrationVariants, IndexToGuidedTourDropsTheIndexPage) {
+  auto world = MuseumWorld::synthetic(
+      {.painters = 1, .paintings_per_painter = 4, .movements = 2, .seed = 9});
+  auto nav = world->derive_navigation();
+  auto index = world->paintings_structure(hm::AccessStructureKind::Index,
+                                          nav, "painter-0");
+  auto tour = world->paintings_structure(hm::AccessStructureKind::GuidedTour,
+                                         nav, "painter-0");
+  core::MigrationOptions options;
+  options.separated_fixed_artifacts = world->data_artifacts();
+  core::MigrationReport r =
+      core::measure_migration(nav, *index, *tour, options);
+  // Tangled: all 4 member pages change AND the index page disappears.
+  EXPECT_EQ(r.tangled_authored.files_touched, 5u);
+  EXPECT_EQ(r.separated_authored.files_touched, 1u);
+}
+
+// --- personalized site end-to-end ------------------------------------------------------
+
+TEST(PersonalizedPipeline, KioskProfileSiteWide) {
+  auto world = MuseumWorld::paper_instance();
+  auto nav = world->derive_navigation();
+  auto igt = world->paintings_structure(
+      hm::AccessStructureKind::IndexedGuidedTour, nav, "picasso");
+
+  navsep::aop::Weaver weaver;
+  weaver.register_aspect(core::NavigationAspect::from_arcs(igt->arcs()));
+  core::UserProfile kiosk;
+  kiosk.name = "kiosk";
+  kiosk.suppress_tours = true;
+  kiosk.show_images = false;
+  weaver.register_aspect(core::PersonalizationAspect::for_profile(kiosk));
+
+  core::SeparatedComposer composer(weaver);
+  for (auto& page : composer.compose_site(nav, *igt)) {
+    EXPECT_EQ(page.content.find("nav-next"), std::string::npos) << page.path;
+    EXPECT_EQ(page.content.find("<img"), std::string::npos) << page.path;
+  }
+}
+
+// --- every produced XML artifact is well-formed (SAX sweep) -----------------------------
+
+TEST(ArtifactHygiene, AllSiteXmlArtifactsAreWellFormed) {
+  auto world = MuseumWorld::synthetic(
+      {.painters = 3, .paintings_per_painter = 4, .movements = 2, .seed = 12});
+  auto nav = world->derive_navigation();
+  auto igt = world->all_paintings_structure(
+      hm::AccessStructureKind::IndexedGuidedTour, nav);
+  site::VirtualSite built = site::build_separated_site(*world, *igt);
+  std::size_t checked = 0;
+  for (const auto& [path, content] : built.artifacts()) {
+    if (path.size() > 4 && (path.ends_with(".xml") || path.ends_with(".xsl"))) {
+      EXPECT_TRUE(navsep::xml::sax::is_well_formed(content)) << path;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 12u);  // data docs + links.xml + presentation.xsl
+}

@@ -1,0 +1,131 @@
+// Tests for renderer/aspect configuration points: custom href mappings,
+// stylesheet-less pages, Menu structures through the full pipeline, and
+// the default id↔href mappings' invertibility.
+#include <gtest/gtest.h>
+
+#include "aop/weaver.hpp"
+#include "core/linkbase.hpp"
+#include "core/navigation_aspect.hpp"
+#include "core/renderer.hpp"
+#include "museum/museum.hpp"
+
+namespace core = navsep::core;
+namespace hm = navsep::hypermedia;
+using navsep::museum::MuseumWorld;
+
+namespace {
+
+class RendererOptionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = MuseumWorld::paper_instance();
+    nav_ = std::make_unique<hm::NavigationalModel>(world_->derive_navigation());
+    index_ = world_->paintings_structure(hm::AccessStructureKind::Index,
+                                         *nav_, "picasso");
+  }
+  std::unique_ptr<MuseumWorld> world_;
+  std::unique_ptr<hm::NavigationalModel> nav_;
+  std::unique_ptr<hm::AccessStructure> index_;
+};
+
+}  // namespace
+
+TEST_F(RendererOptionsTest, DefaultHrefForIsStable) {
+  EXPECT_EQ(core::default_href_for("guitar"), "guitar.html");
+  EXPECT_EQ(core::default_href_for("index:paintings"),
+            "index-paintings.html");
+}
+
+TEST_F(RendererOptionsTest, CustomHrefForFlowsThroughBothPipelines) {
+  core::RenderOptions options;
+  options.href_for = [](std::string_view id) {
+    return "pages/" + std::string(id) + ".htm";
+  };
+  core::NavigationAspectOptions nav_options;
+  nav_options.href_for = options.href_for;
+
+  core::TangledRenderer tangled(*nav_, *index_, options);
+  navsep::aop::Weaver weaver;
+  weaver.register_aspect(
+      core::NavigationAspect::from_arcs(index_->arcs(), nav_options));
+  core::SeparatedComposer composer(weaver, options);
+
+  std::string t = tangled.render_node_page(*nav_->node("guitar"));
+  std::string s = composer.compose_node_page(*nav_->node("guitar"));
+  EXPECT_EQ(t, s);
+  EXPECT_NE(t.find("href=\"pages/index:paintings-of-picasso.htm\""),
+            std::string::npos);
+
+  auto site = tangled.render_site();
+  EXPECT_EQ(site[0].path, "pages/guitar.htm");
+}
+
+TEST_F(RendererOptionsTest, StylesheetCanBeDisabled) {
+  core::RenderOptions options;
+  options.stylesheet_href.clear();
+  core::TangledRenderer renderer(*nav_, *index_, options);
+  std::string page = renderer.render_node_page(*nav_->node("guitar"));
+  EXPECT_EQ(page.find("stylesheet"), std::string::npos);
+  EXPECT_EQ(page.find("<link"), std::string::npos);
+}
+
+TEST_F(RendererOptionsTest, MenuStructureRendersEndToEnd) {
+  // A menu of two per-painter indexes over a two-painter museum.
+  auto world = MuseumWorld::synthetic(
+      {.painters = 2, .paintings_per_painter = 2, .movements = 1, .seed = 1});
+  auto nav = world->derive_navigation();
+  std::vector<std::unique_ptr<hm::AccessStructure>> subs;
+  subs.push_back(world->paintings_structure(hm::AccessStructureKind::Index,
+                                            nav, "painter-0"));
+  subs.push_back(world->paintings_structure(hm::AccessStructureKind::Index,
+                                            nav, "painter-1"));
+  hm::Menu menu("museum", std::move(subs));
+
+  navsep::aop::Weaver weaver;
+  weaver.register_aspect(core::NavigationAspect::from_arcs(menu.arcs()));
+  core::SeparatedComposer composer(weaver);
+
+  // The menu page links to both sub-index entry pages.
+  std::string menu_page =
+      composer.compose_structure_page(menu.page_id(), "Museum");
+  EXPECT_NE(menu_page.find("index-paintings-of-painter-0.html"),
+            std::string::npos);
+  EXPECT_NE(menu_page.find("index-paintings-of-painter-1.html"),
+            std::string::npos);
+
+  // A sub-index page keeps its own entries plus an `up` to the menu.
+  std::string sub_page = composer.compose_structure_page(
+      "index:paintings-of-painter-0", "Painter 0");
+  EXPECT_NE(sub_page.find("painter-0-work-0.html"), std::string::npos);
+  EXPECT_NE(sub_page.find("index-museum.html"), std::string::npos);
+  EXPECT_NE(sub_page.find("nav-up"), std::string::npos);
+
+  // And the linkbase built from the menu validates + round-trips.
+  auto doc = core::build_linkbase(menu);
+  auto arcs = core::arcs_from_graph(core::load_linkbase(*doc));
+  EXPECT_EQ(arcs.size(), menu.arcs().size());
+}
+
+TEST_F(RendererOptionsTest, ContainerClassIsConfigurable) {
+  core::NavigationAspectOptions options;
+  options.container_class = "site-nav";
+  navsep::aop::Weaver weaver;
+  weaver.register_aspect(
+      core::NavigationAspect::from_arcs(index_->arcs(), options));
+  core::SeparatedComposer composer(weaver);
+  std::string page = composer.compose_node_page(*nav_->node("guitar"));
+  EXPECT_NE(page.find("class=\"site-nav\""), std::string::npos);
+  EXPECT_EQ(page.find("class=\"navigation\""), std::string::npos);
+}
+
+TEST_F(RendererOptionsTest, NodesAbsentFromModelAreSkippedInSites) {
+  // An access structure can reference ids the model does not know (e.g. a
+  // stale linkbase); site rendering skips them rather than crashing.
+  std::vector<hm::Member> members = {{"guitar", "The Guitar"},
+                                     {"ghost", "Not There"}};
+  hm::Index structure("partial", std::move(members));
+  core::TangledRenderer renderer(*nav_, structure);
+  auto site = renderer.render_site();
+  EXPECT_EQ(site.size(), 2u);  // guitar + the index page; ghost skipped
+  EXPECT_EQ(site[0].path, "guitar.html");
+}

@@ -1,0 +1,143 @@
+// Unit tests for the streaming (SAX) XML parser.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "xml/sax.hpp"
+
+namespace sax = navsep::xml::sax;
+
+namespace {
+
+/// Records every event as a readable line for order-sensitive assertions.
+class RecordingHandler final : public sax::Handler {
+ public:
+  std::vector<std::string> events;
+
+  void start_document() override { events.push_back("start-doc"); }
+  void end_document() override { events.push_back("end-doc"); }
+  void start_element(std::string_view name,
+                     const sax::AttributeList& attrs) override {
+    std::string line = "<" + std::string(name);
+    for (const auto& [k, v] : attrs) {
+      line += " " + std::string(k) + "=" + std::string(v);
+    }
+    events.push_back(line + ">");
+  }
+  void end_element(std::string_view name) override {
+    events.push_back("</" + std::string(name) + ">");
+  }
+  void characters(std::string_view text) override {
+    events.push_back("text:" + std::string(text));
+  }
+  void comment(std::string_view text) override {
+    events.push_back("comment:" + std::string(text));
+  }
+  void processing_instruction(std::string_view target,
+                              std::string_view data) override {
+    events.push_back("pi:" + std::string(target) + ":" + std::string(data));
+  }
+};
+
+}  // namespace
+
+TEST(Sax, EventOrderIsDocumentOrder) {
+  RecordingHandler h;
+  sax::parse("<a x='1'><b>hi</b><c/></a>", h);
+  EXPECT_EQ(h.events, (std::vector<std::string>{
+                          "start-doc", "<a x=1>", "<b>", "text:hi", "</b>",
+                          "<c>", "</c>", "</a>", "end-doc"}));
+}
+
+TEST(Sax, EntityReferencesSplitCharacterRuns) {
+  RecordingHandler h;
+  sax::parse("<t>a&amp;b</t>", h);
+  EXPECT_EQ(h.events, (std::vector<std::string>{"start-doc", "<t>", "text:a",
+                                                "text:&", "text:b", "</t>",
+                                                "end-doc"}));
+}
+
+TEST(Sax, NumericReferencesExpand) {
+  RecordingHandler h;
+  sax::parse("<t>&#65;&#x42;</t>", h);
+  ASSERT_GE(h.events.size(), 4u);
+  EXPECT_EQ(h.events[2], "text:A");
+  EXPECT_EQ(h.events[3], "text:B");
+}
+
+TEST(Sax, AttributeValuesWithReferencesAndNormalization) {
+  RecordingHandler h;
+  sax::parse("<t a='x&lt;y' b='tab\there'/>", h);
+  EXPECT_EQ(h.events[1], "<t a=x<y b=tab here>");
+}
+
+TEST(Sax, ManyExpandedAttributesKeepStableViews) {
+  // Each expanded value lives in scratch storage; pushing more must not
+  // invalidate earlier views (regression guard for SSO/realloc bugs).
+  std::string doc = "<t";
+  for (int i = 0; i < 40; ++i) {
+    doc += " a" + std::to_string(i) + "='v&amp;" + std::to_string(i) + "'";
+  }
+  doc += "/>";
+  RecordingHandler h;
+  sax::parse(doc, h);
+  EXPECT_NE(h.events[1].find("a0=v&0"), std::string::npos);
+  EXPECT_NE(h.events[1].find("a39=v&39"), std::string::npos);
+}
+
+TEST(Sax, CdataIsCharacters) {
+  RecordingHandler h;
+  sax::parse("<t><![CDATA[<raw> & text]]></t>", h);
+  EXPECT_EQ(h.events[2], "text:<raw> & text");
+}
+
+TEST(Sax, CommentsAndPisDelivered) {
+  RecordingHandler h;
+  sax::parse("<?xml version='1.0'?><!-- head --><t><?go fast?></t>", h);
+  EXPECT_EQ(h.events[1], "comment: head ");
+  EXPECT_EQ(h.events[3], "pi:go:fast");
+}
+
+TEST(Sax, DoctypeSkipped) {
+  RecordingHandler h;
+  sax::parse("<!DOCTYPE t [<!ENTITY junk 'x'>]><t/>", h);
+  EXPECT_EQ(h.events[1], "<t>");
+}
+
+TEST(Sax, WellFormednessErrors) {
+  sax::Handler sink;
+  EXPECT_THROW(sax::parse("<a><b></a></b>", sink), navsep::ParseError);
+  EXPECT_THROW(sax::parse("<a x='1' x='2'/>", sink), navsep::ParseError);
+  EXPECT_THROW(sax::parse("<a/><b/>", sink), navsep::ParseError);
+  EXPECT_THROW(sax::parse("<a>&bogus;</a>", sink), navsep::ParseError);
+  EXPECT_THROW(sax::parse("", sink), navsep::ParseError);
+}
+
+TEST(Sax, IsWellFormedPredicate) {
+  EXPECT_TRUE(sax::is_well_formed("<a><b/>text</a>"));
+  EXPECT_FALSE(sax::is_well_formed("<a>"));
+  EXPECT_FALSE(sax::is_well_formed("not xml"));
+}
+
+TEST(Sax, CountingHandlerTallies) {
+  sax::CountingHandler h;
+  sax::parse("<r a='1'><x b='2' c='3'>hello</x><!--c--><?p d?></r>", h);
+  EXPECT_EQ(h.elements, 2u);
+  EXPECT_EQ(h.attributes, 3u);
+  EXPECT_EQ(h.text_bytes, 5u);
+  EXPECT_EQ(h.comments, 1u);
+  EXPECT_EQ(h.pis, 1u);
+}
+
+TEST(Sax, AgreesWithDomParserOnEventCounts) {
+  const char* doc =
+      "<museum><painter id='p'><painting id='g'><title>T&amp;t</title>"
+      "</painting></painter><!--note--></museum>";
+  sax::CountingHandler h;
+  sax::parse(doc, h);
+  EXPECT_EQ(h.elements, 4u);
+  EXPECT_EQ(h.attributes, 2u);
+  EXPECT_EQ(h.comments, 1u);
+}

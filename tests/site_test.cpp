@@ -1,0 +1,276 @@
+// Integration tests for the site layer: virtual site building, the
+// in-process server, the XLink-consuming browser, and context-aware
+// navigation sessions.
+#include <gtest/gtest.h>
+
+#include "core/linkbase.hpp"
+#include "museum/museum.hpp"
+#include "site/browser.hpp"
+#include "site/server.hpp"
+#include "site/session.hpp"
+#include "site/virtual_site.hpp"
+#include "xlink/processor.hpp"
+#include "xml/parser.hpp"
+
+namespace hm = navsep::hypermedia;
+namespace site = navsep::site;
+using navsep::museum::MuseumWorld;
+
+namespace {
+
+class SiteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = MuseumWorld::paper_instance();
+    nav_ = std::make_unique<hm::NavigationalModel>(world_->derive_navigation());
+    igt_ = world_->paintings_structure(
+        hm::AccessStructureKind::IndexedGuidedTour, *nav_, "picasso");
+    built_ = site::build_separated_site(*world_, *igt_);
+  }
+
+  std::unique_ptr<MuseumWorld> world_;
+  std::unique_ptr<hm::NavigationalModel> nav_;
+  std::unique_ptr<hm::AccessStructure> igt_;
+  site::VirtualSite built_;
+};
+
+}  // namespace
+
+// --- virtual site -------------------------------------------------------------
+
+TEST_F(SiteTest, SeparatedSiteContainsAllArtifactKinds) {
+  EXPECT_TRUE(built_.contains("links.xml"));
+  EXPECT_TRUE(built_.contains("presentation.xsl"));
+  EXPECT_TRUE(built_.contains("museum.css"));
+  EXPECT_TRUE(built_.contains("data/picasso.xml"));
+  EXPECT_TRUE(built_.contains("data/avignon.xml"));
+  EXPECT_TRUE(built_.contains("guitar.html"));
+  EXPECT_TRUE(built_.contains("index-paintings-of-picasso.html"));
+}
+
+TEST_F(SiteTest, TangledSiteHasOnlyPagesAndCss) {
+  site::VirtualSite tangled = site::build_tangled_site(*world_, *igt_);
+  EXPECT_TRUE(tangled.contains("guitar.html"));
+  EXPECT_FALSE(tangled.contains("links.xml"));
+  EXPECT_FALSE(tangled.contains("data/picasso.xml"));
+  EXPECT_EQ(tangled.size(), 5u);  // 3 paintings + index page + css
+}
+
+TEST_F(SiteTest, WovenPagesCarryNavigation) {
+  const std::string* guernica = built_.get("guernica.html");
+  ASSERT_NE(guernica, nullptr);
+  EXPECT_NE(guernica->find("nav-next"), std::string::npos);
+  EXPECT_NE(guernica->find("nav-prev"), std::string::npos);
+  EXPECT_NE(guernica->find("nav-up"), std::string::npos);
+}
+
+TEST_F(SiteTest, SiteLinkbaseParsesAndValidates) {
+  auto doc = navsep::xml::parse(*built_.get("links.xml"));
+  auto links = navsep::xlink::extract(*doc);
+  EXPECT_EQ(links.extended.size(), 1u);
+  for (const auto& issue : navsep::xlink::validate(links)) {
+    EXPECT_NE(issue.severity, navsep::xlink::Issue::Severity::Error)
+        << issue.message;
+  }
+}
+
+TEST_F(SiteTest, VirtualSiteBookkeeping) {
+  site::VirtualSite vs;
+  vs.put("a.html", "hello");
+  vs.put("b.html", "world!");
+  vs.put("a.html", "hi");  // overwrite
+  EXPECT_EQ(vs.size(), 2u);
+  EXPECT_EQ(vs.total_bytes(), 2u + 6u);
+  EXPECT_EQ(*vs.get("a.html"), "hi");
+  EXPECT_EQ(vs.get("zzz"), nullptr);
+  EXPECT_EQ(vs.paths().size(), 2u);
+}
+
+// --- server --------------------------------------------------------------------
+
+TEST_F(SiteTest, ServerServesByPathAndUri) {
+  site::HypermediaServer server(built_, "http://museum.example/site/");
+  EXPECT_TRUE(server.get("guitar.html").ok());
+  EXPECT_TRUE(server.get("http://museum.example/site/guitar.html").ok());
+  EXPECT_EQ(server.get("http://museum.example/site/guitar.html").content_type,
+            "text/html");
+  EXPECT_EQ(server.get("links.xml").content_type, "text/xml");
+  EXPECT_EQ(server.get("museum.css").content_type, "text/css");
+}
+
+TEST_F(SiteTest, ServerFragmentsIgnoredAndMissesCounted) {
+  site::HypermediaServer server(built_, "http://museum.example/site/");
+  EXPECT_TRUE(server.get("guitar.html#anchor").ok());
+  EXPECT_FALSE(server.get("ghost.html").ok());
+  EXPECT_FALSE(server.get("http://elsewhere.example/guitar.html").ok());
+  EXPECT_EQ(server.misses(), 2u);
+  EXPECT_EQ(server.requests(), 3u);
+}
+
+// --- browser ---------------------------------------------------------------------
+
+class BrowserTest : public SiteTest {
+ protected:
+  void SetUp() override {
+    SiteTest::SetUp();
+    auto doc = navsep::xml::parse(*built_.get("links.xml"));
+    doc->set_base_uri("http://museum.example/site/links.xml");
+    graph_ = navsep::xlink::TraversalGraph::from_linkbase(*doc);
+    server_ = std::make_unique<site::HypermediaServer>(
+        built_, "http://museum.example/site/");
+    browser_ = std::make_unique<site::Browser>(*server_, graph_);
+  }
+
+  navsep::xlink::TraversalGraph graph_;
+  std::unique_ptr<site::HypermediaServer> server_;
+  std::unique_ptr<site::Browser> browser_;
+};
+
+TEST_F(BrowserTest, NavigateAndReadPage) {
+  ASSERT_TRUE(browser_->navigate("guitar.html"));
+  ASSERT_NE(browser_->page(), nullptr);
+  EXPECT_NE(browser_->page()->find("<h1>The Guitar</h1>"),
+            std::string::npos);
+  EXPECT_FALSE(browser_->navigate("ghost.html"));
+}
+
+TEST_F(BrowserTest, LinksComeFromTheLinkbase) {
+  ASSERT_TRUE(browser_->navigate("guernica.html"));
+  auto links = browser_->links();
+  // IGT middle node: up + next + prev.
+  EXPECT_EQ(links.size(), 3u);
+}
+
+TEST_F(BrowserTest, FollowRoleWalksTheTour) {
+  ASSERT_TRUE(browser_->navigate("guitar.html"));
+  ASSERT_TRUE(browser_->follow_role("next"));
+  EXPECT_NE(browser_->location().find("guernica.html"), std::string::npos);
+  ASSERT_TRUE(browser_->follow_role("next"));
+  EXPECT_NE(browser_->location().find("avignon.html"), std::string::npos);
+  EXPECT_FALSE(browser_->follow_role("next"));  // end of tour
+  ASSERT_TRUE(browser_->follow_role("up"));
+  EXPECT_NE(browser_->location().find("index-paintings-of-picasso.html"),
+            std::string::npos);
+}
+
+TEST_F(BrowserTest, BackAndForward) {
+  ASSERT_TRUE(browser_->navigate("guitar.html"));
+  ASSERT_TRUE(browser_->follow_role("next"));
+  ASSERT_TRUE(browser_->back());
+  EXPECT_NE(browser_->location().find("guitar.html"), std::string::npos);
+  ASSERT_TRUE(browser_->forward());
+  EXPECT_NE(browser_->location().find("guernica.html"), std::string::npos);
+  EXPECT_FALSE(browser_->forward());
+  ASSERT_TRUE(browser_->back());
+  EXPECT_FALSE(browser_->back());  // at the start
+}
+
+TEST_F(BrowserTest, NavigationTruncatesForwardHistory) {
+  ASSERT_TRUE(browser_->navigate("guitar.html"));
+  ASSERT_TRUE(browser_->follow_role("next"));
+  ASSERT_TRUE(browser_->back());
+  ASSERT_TRUE(browser_->navigate("avignon.html"));
+  EXPECT_FALSE(browser_->forward());
+  EXPECT_EQ(browser_->history().size(), 2u);
+}
+
+// --- navigation session (paper §2) --------------------------------------------------
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two painters sharing a movement so by-author and by-movement orders
+    // genuinely differ (museum-wide contexts).
+    world_ = MuseumWorld::synthetic({.painters = 2,
+                                     .paintings_per_painter = 3,
+                                     .movements = 1,
+                                     .seed = 5});
+    nav_ = std::make_unique<hm::NavigationalModel>(world_->derive_navigation());
+    by_author_ = std::make_unique<hm::ContextFamily>(world_->by_author(*nav_));
+    by_movement_ =
+        std::make_unique<hm::ContextFamily>(world_->by_movement(*nav_));
+  }
+
+  std::unique_ptr<MuseumWorld> world_;
+  std::unique_ptr<hm::NavigationalModel> nav_;
+  std::unique_ptr<hm::ContextFamily> by_author_;
+  std::unique_ptr<hm::ContextFamily> by_movement_;
+};
+
+TEST_F(SessionTest, NextIsContextDependent) {
+  site::NavigationSession session(*nav_,
+                                  {by_author_.get(), by_movement_.get()});
+  // Last painting of painter-0.
+  ASSERT_TRUE(session.enter_context("ByAuthor", "painter-0",
+                                    "painter-0-work-2"));
+  EXPECT_FALSE(session.next());  // end of the author's works
+
+  // Same node reached through the movement: next exists (painter-1's work).
+  ASSERT_TRUE(session.visit("painter-0-work-2"));
+  ASSERT_TRUE(session.through("ByMovement"));
+  ASSERT_TRUE(session.next());
+  EXPECT_EQ(session.current()->id(), "painter-1-work-0");
+}
+
+TEST_F(SessionTest, PositionReportsOneBased) {
+  site::NavigationSession session(*nav_, {by_author_.get()});
+  ASSERT_TRUE(session.enter_context("ByAuthor", "painter-0",
+                                    "painter-0-work-1"));
+  auto pos = session.position();
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_EQ(pos->first, 2u);
+  EXPECT_EQ(pos->second, 3u);
+}
+
+TEST_F(SessionTest, PrevAndTrail) {
+  site::NavigationSession session(*nav_, {by_author_.get()});
+  ASSERT_TRUE(session.enter_context("ByAuthor", "painter-0",
+                                    "painter-0-work-2"));
+  ASSERT_TRUE(session.prev());
+  ASSERT_TRUE(session.prev());
+  EXPECT_FALSE(session.prev());
+  EXPECT_EQ(session.current()->id(), "painter-0-work-0");
+  EXPECT_EQ(session.trail().size(), 3u);
+}
+
+TEST_F(SessionTest, LeaveContextDisablesMotion) {
+  site::NavigationSession session(*nav_, {by_author_.get()});
+  ASSERT_TRUE(session.enter_context("ByAuthor", "painter-0",
+                                    "painter-0-work-0"));
+  session.leave_context();
+  EXPECT_FALSE(session.next());
+  EXPECT_EQ(session.context(), nullptr);
+  EXPECT_EQ(session.context_tag(), "");
+}
+
+TEST_F(SessionTest, EnterContextValidatesMembership) {
+  site::NavigationSession session(*nav_, {by_author_.get()});
+  EXPECT_FALSE(session.enter_context("ByAuthor", "painter-0",
+                                     "painter-1-work-0"));
+  EXPECT_FALSE(session.enter_context("Nope", "painter-0",
+                                     "painter-0-work-0"));
+  EXPECT_FALSE(session.visit("ghost"));
+}
+
+TEST_F(SessionTest, JoinPointsAnnouncedToWeaver) {
+  navsep::aop::Weaver weaver;
+  std::vector<std::string> seen;
+  auto audit = std::make_shared<navsep::aop::Aspect>("audit");
+  audit->before("traverse(*)", [&](navsep::aop::JoinPointContext& ctx) {
+    seen.push_back("traverse:" + ctx.join_point().instance + ":" +
+                   std::string(ctx.join_point().tag("role")));
+  });
+  audit->before("enterContext(*)", [&](navsep::aop::JoinPointContext& ctx) {
+    seen.push_back("enter:" + ctx.join_point().instance);
+  });
+  weaver.register_aspect(audit);
+
+  site::NavigationSession session(*nav_, {by_author_.get()}, &weaver);
+  ASSERT_TRUE(session.enter_context("ByAuthor", "painter-0",
+                                    "painter-0-work-0"));
+  ASSERT_TRUE(session.next());
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], "traverse:painter-0-work-0:enter-context");
+  EXPECT_EQ(seen[1], "enter:painter-0");
+  EXPECT_EQ(seen[2], "traverse:painter-0-work-1:next");
+}

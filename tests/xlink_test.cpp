@@ -1,0 +1,357 @@
+// Unit tests for the XLink processor: recognition, arc expansion,
+// validation, the document registry and the traversal graph.
+#include <gtest/gtest.h>
+
+#include "xlink/processor.hpp"
+#include "xlink/traversal.hpp"
+#include "xml/parser.hpp"
+
+namespace xml = navsep::xml;
+namespace xl = navsep::xlink;
+
+namespace {
+
+std::unique_ptr<xml::Document> parse_at(std::string_view text,
+                                        std::string base) {
+  xml::ParseOptions o;
+  o.base_uri = std::move(base);
+  return xml::parse(text, o);
+}
+
+// The paper's links.xml (Figure 9), modernized to real XLink 1.0 syntax:
+// one extended link holding locators for the three paintings plus index
+// page, and arcs wiring up an Index access structure.
+const char* kLinksXml = R"(<links xmlns:xlink="http://www.w3.org/1999/xlink">
+  <context xlink:type="extended" xlink:role="paintings-by-picasso"
+           xlink:title="Paintings by Picasso">
+    <loc xlink:type="locator" xlink:href="picasso.xml#guitar"
+         xlink:label="guitar" xlink:title="The Guitar"/>
+    <loc xlink:type="locator" xlink:href="picasso.xml#guernica"
+         xlink:label="guernica" xlink:title="Guernica"/>
+    <loc xlink:type="locator" xlink:href="avignon.xml#avignon"
+         xlink:label="avignon" xlink:title="Les Demoiselles d'Avignon"/>
+    <loc xlink:type="locator" xlink:href="index.xml"
+         xlink:label="index" xlink:title="Index of paintings"/>
+    <go xlink:type="arc" xlink:from="index" xlink:to="guitar"
+        xlink:arcrole="nav:index-entry" xlink:show="replace"
+        xlink:actuate="onRequest"/>
+    <go xlink:type="arc" xlink:from="index" xlink:to="guernica"
+        xlink:arcrole="nav:index-entry"/>
+    <go xlink:type="arc" xlink:from="index" xlink:to="avignon"
+        xlink:arcrole="nav:index-entry"/>
+    <go xlink:type="arc" xlink:from="guitar" xlink:to="index"
+        xlink:arcrole="nav:up"/>
+    <go xlink:type="arc" xlink:from="guernica" xlink:to="index"
+        xlink:arcrole="nav:up"/>
+    <go xlink:type="arc" xlink:from="avignon" xlink:to="index"
+        xlink:arcrole="nav:up"/>
+  </context>
+</links>)";
+
+const char* kBase = "http://museum.example/data/links.xml";
+
+}  // namespace
+
+// --- recognition --------------------------------------------------------------
+
+TEST(XLinkExtract, SimpleLink) {
+  auto doc = parse_at(
+      R"(<p xmlns:xlink="http://www.w3.org/1999/xlink">
+           <a xlink:type="simple" xlink:href="other.xml" xlink:title="Other"
+              xlink:show="replace" xlink:actuate="onRequest"/>
+         </p>)",
+      "http://h/page.xml");
+  xl::LinkCollection links = xl::extract(*doc);
+  ASSERT_EQ(links.simple.size(), 1u);
+  EXPECT_EQ(links.simple[0].href, "other.xml");
+  EXPECT_EQ(links.simple[0].title, "Other");
+  EXPECT_EQ(links.simple[0].show, xl::Show::Replace);
+  EXPECT_EQ(links.simple[0].actuate, xl::Actuate::OnRequest);
+  EXPECT_TRUE(links.extended.empty());
+}
+
+TEST(XLinkExtract, ExtendedLinkConstituents) {
+  auto doc = parse_at(kLinksXml, kBase);
+  xl::LinkCollection links = xl::extract(*doc);
+  ASSERT_EQ(links.extended.size(), 1u);
+  const xl::ExtendedLink& x = links.extended[0];
+  EXPECT_EQ(x.role, "paintings-by-picasso");
+  EXPECT_EQ(x.locators.size(), 4u);
+  EXPECT_EQ(x.arcs.size(), 6u);
+  EXPECT_TRUE(x.resources.empty());
+  EXPECT_EQ(x.locators[0].label, "guitar");
+  EXPECT_EQ(x.arcs[0].arcrole, "nav:index-entry");
+}
+
+TEST(XLinkExtract, ResourceTypeElements) {
+  auto doc = parse_at(
+      R"(<x xmlns:xlink="http://www.w3.org/1999/xlink" xlink:type="extended">
+           <here xlink:type="resource" xlink:label="home" xlink:title="Home"/>
+           <there xlink:type="locator" xlink:href="a.xml" xlink:label="a"/>
+           <arc xlink:type="arc" xlink:from="home" xlink:to="a"/>
+         </x>)",
+      "http://h/x.xml");
+  xl::LinkCollection links = xl::extract(*doc);
+  ASSERT_EQ(links.extended.size(), 1u);
+  EXPECT_EQ(links.extended[0].resources.size(), 1u);
+  EXPECT_EQ(links.extended[0].resources[0].label, "home");
+  auto eps = links.extended[0].endpoints_with_label("home");
+  EXPECT_EQ(eps.size(), 1u);
+}
+
+TEST(XLinkExtract, TitleElementFillsMissingTitle) {
+  auto doc = parse_at(
+      R"(<x xmlns:xlink="http://www.w3.org/1999/xlink" xlink:type="extended">
+           <t xlink:type="title">A readable title</t>
+         </x>)",
+      "http://h/x.xml");
+  xl::LinkCollection links = xl::extract(*doc);
+  ASSERT_EQ(links.extended.size(), 1u);
+  EXPECT_EQ(links.extended[0].title, "A readable title");
+}
+
+TEST(XLinkExtract, OrphanConstituentsReportIssues) {
+  auto doc = parse_at(
+      R"(<p xmlns:xlink="http://www.w3.org/1999/xlink">
+           <l xlink:type="locator" xlink:href="x.xml"/>
+         </p>)",
+      "http://h/p.xml");
+  std::vector<xl::Issue> issues;
+  (void)xl::extract(*doc, &issues);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].severity, xl::Issue::Severity::Warning);
+}
+
+TEST(XLinkExtract, NonXlinkDocumentYieldsNothing) {
+  auto doc = parse_at("<data><item href='x'/></data>", "http://h/d.xml");
+  xl::LinkCollection links = xl::extract(*doc);
+  EXPECT_EQ(links.total_links(), 0u);
+}
+
+// --- validation ----------------------------------------------------------------
+
+TEST(XLinkValidate, DanglingArcLabelIsError) {
+  auto doc = parse_at(
+      R"(<x xmlns:xlink="http://www.w3.org/1999/xlink" xlink:type="extended">
+           <l xlink:type="locator" xlink:href="a.xml" xlink:label="a"/>
+           <arc xlink:type="arc" xlink:from="a" xlink:to="ghost"/>
+         </x>)",
+      "http://h/x.xml");
+  auto issues = xl::validate(xl::extract(*doc));
+  ASSERT_FALSE(issues.empty());
+  bool found = false;
+  for (const auto& i : issues) {
+    if (i.severity == xl::Issue::Severity::Error &&
+        i.message.find("ghost") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(XLinkValidate, LocatorWithoutHrefIsError) {
+  auto doc = parse_at(
+      R"(<x xmlns:xlink="http://www.w3.org/1999/xlink" xlink:type="extended">
+           <l xlink:type="locator" xlink:label="a"/>
+         </x>)",
+      "http://h/x.xml");
+  auto issues = xl::validate(xl::extract(*doc));
+  bool has_error = false;
+  for (const auto& i : issues) {
+    if (i.severity == xl::Issue::Severity::Error) has_error = true;
+  }
+  EXPECT_TRUE(has_error);
+}
+
+TEST(XLinkValidate, CleanLinkbaseHasNoErrors) {
+  auto doc = parse_at(kLinksXml, kBase);
+  for (const auto& i : xl::validate(xl::extract(*doc))) {
+    EXPECT_NE(i.severity, xl::Issue::Severity::Error) << i.message;
+  }
+}
+
+// --- arc expansion ---------------------------------------------------------------
+
+TEST(XLinkExpand, ExplicitFromToPairs) {
+  auto doc = parse_at(kLinksXml, kBase);
+  auto arcs = xl::expand_arcs(xl::extract(*doc), kBase);
+  ASSERT_EQ(arcs.size(), 6u);
+  EXPECT_EQ(arcs[0].from.uri, "http://museum.example/data/index.xml");
+  EXPECT_EQ(arcs[0].to.uri, "http://museum.example/data/picasso.xml#guitar");
+  EXPECT_EQ(arcs[0].show, xl::Show::Replace);
+  EXPECT_EQ(arcs[0].actuate, xl::Actuate::OnRequest);
+}
+
+TEST(XLinkExpand, MissingFromMeansEveryEndpoint) {
+  auto doc = parse_at(
+      R"(<x xmlns:xlink="http://www.w3.org/1999/xlink" xlink:type="extended">
+           <l xlink:type="locator" xlink:href="a.xml" xlink:label="a"/>
+           <l xlink:type="locator" xlink:href="b.xml" xlink:label="b"/>
+           <l xlink:type="locator" xlink:href="c.xml" xlink:label="c"/>
+           <arc xlink:type="arc" xlink:to="c"/>
+         </x>)",
+      "http://h/x.xml");
+  auto arcs = xl::expand_arcs(xl::extract(*doc), "http://h/x.xml");
+  // from ∈ {a, b, c}, to = c, minus the self-pair c→c.
+  ASSERT_EQ(arcs.size(), 2u);
+  EXPECT_EQ(arcs[0].from.uri, "http://h/a.xml");
+  EXPECT_EQ(arcs[1].from.uri, "http://h/b.xml");
+}
+
+TEST(XLinkExpand, MissingBothMeansFullCrossProduct) {
+  auto doc = parse_at(
+      R"(<x xmlns:xlink="http://www.w3.org/1999/xlink" xlink:type="extended">
+           <l xlink:type="locator" xlink:href="a.xml" xlink:label="a"/>
+           <l xlink:type="locator" xlink:href="b.xml" xlink:label="b"/>
+           <arc xlink:type="arc"/>
+         </x>)",
+      "http://h/x.xml");
+  auto arcs = xl::expand_arcs(xl::extract(*doc), "http://h/x.xml");
+  EXPECT_EQ(arcs.size(), 2u);  // a→b and b→a
+}
+
+TEST(XLinkExpand, SharedLabelFansOut) {
+  auto doc = parse_at(
+      R"(<x xmlns:xlink="http://www.w3.org/1999/xlink" xlink:type="extended">
+           <l xlink:type="locator" xlink:href="p1.xml" xlink:label="painting"/>
+           <l xlink:type="locator" xlink:href="p2.xml" xlink:label="painting"/>
+           <l xlink:type="locator" xlink:href="idx.xml" xlink:label="index"/>
+           <arc xlink:type="arc" xlink:from="index" xlink:to="painting"/>
+         </x>)",
+      "http://h/x.xml");
+  auto arcs = xl::expand_arcs(xl::extract(*doc), "http://h/x.xml");
+  EXPECT_EQ(arcs.size(), 2u);
+}
+
+TEST(XLinkExpand, SimpleLinkBecomesOneArc) {
+  auto doc = parse_at(
+      R"(<p xmlns:xlink="http://www.w3.org/1999/xlink">
+           <a xlink:type="simple" xlink:href="next.xml"/>
+         </p>)",
+      "http://h/here.xml");
+  auto arcs = xl::expand_arcs(xl::extract(*doc), "http://h/here.xml");
+  ASSERT_EQ(arcs.size(), 1u);
+  EXPECT_EQ(arcs[0].from.uri, "http://h/here.xml");
+  EXPECT_EQ(arcs[0].to.uri, "http://h/next.xml");
+}
+
+TEST(XLinkExpand, HrefsResolveAgainstBase) {
+  auto doc = parse_at(
+      R"(<x xmlns:xlink="http://www.w3.org/1999/xlink" xlink:type="extended">
+           <l xlink:type="locator" xlink:href="../other/a.xml" xlink:label="a"/>
+           <l xlink:type="locator" xlink:href="#frag" xlink:label="b"/>
+           <arc xlink:type="arc" xlink:from="a" xlink:to="b"/>
+         </x>)",
+      "http://h/data/x.xml");
+  auto arcs = xl::expand_arcs(xl::extract(*doc), "http://h/data/x.xml");
+  ASSERT_EQ(arcs.size(), 1u);
+  EXPECT_EQ(arcs[0].from.uri, "http://h/other/a.xml");
+  EXPECT_EQ(arcs[0].to.uri, "http://h/data/x.xml#frag");
+}
+
+// --- registry ---------------------------------------------------------------------
+
+TEST(DocumentRegistry, FindIgnoresFragmentAndCase) {
+  auto doc = parse_at("<r><a id='x'/></r>", "http://H/Doc.xml");
+  xl::DocumentRegistry reg;
+  reg.add(*doc);
+  EXPECT_NE(reg.find("http://h/Doc.xml"), nullptr);
+  EXPECT_NE(reg.find("http://h/Doc.xml#x"), nullptr);
+  EXPECT_EQ(reg.find("http://h/Other.xml"), nullptr);
+}
+
+TEST(DocumentRegistry, ResolveFragmentViaXPointer) {
+  auto doc = parse_at("<r><a id='x'><b id='y'/></a></r>", "http://h/d.xml");
+  xl::DocumentRegistry reg;
+  reg.add(*doc);
+  const xml::Element* y = reg.resolve("http://h/d.xml#y");
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(y->name().local, "b");
+  const xml::Element* root = reg.resolve("http://h/d.xml");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->name().local, "r");
+  EXPECT_EQ(reg.resolve("http://h/d.xml#none"), nullptr);
+  EXPECT_EQ(reg.resolve("http://h/unknown.xml"), nullptr);
+}
+
+TEST(DocumentRegistry, ResolveSchemePointers) {
+  auto doc = parse_at("<r><a/><b><c id='tgt'/></b></r>", "http://h/d.xml");
+  xl::DocumentRegistry reg;
+  reg.add(*doc);
+  const xml::Element* c = reg.resolve("http://h/d.xml#element(/1/2/1)");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->attribute("id").value(), "tgt");
+  const xml::Element* via_xp =
+      reg.resolve("http://h/d.xml#xpointer(//c)");
+  EXPECT_EQ(via_xp, c);
+}
+
+// --- traversal graph -------------------------------------------------------------------
+
+class TraversalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = parse_at(kLinksXml, kBase);
+    graph_ = xl::TraversalGraph::from_linkbase(*doc_);
+  }
+  std::unique_ptr<xml::Document> doc_;
+  xl::TraversalGraph graph_;
+};
+
+TEST_F(TraversalTest, OutgoingFromIndex) {
+  auto out = graph_.outgoing("http://museum.example/data/index.xml");
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST_F(TraversalTest, OutgoingFromPainting) {
+  auto out = graph_.outgoing("http://museum.example/data/picasso.xml#guitar");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->arcrole, "nav:up");
+}
+
+TEST_F(TraversalTest, IncomingToIndex) {
+  EXPECT_EQ(graph_.incoming("http://museum.example/data/index.xml").size(),
+            3u);
+}
+
+TEST_F(TraversalTest, LookupNormalizesUris) {
+  auto out = graph_.outgoing("HTTP://museum.example/data/../data/index.xml");
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST_F(TraversalTest, OutgoingWithRoleFilters) {
+  auto out = graph_.outgoing_with_role(
+      "http://museum.example/data/index.xml", "nav:index-entry");
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_TRUE(graph_
+                  .outgoing_with_role("http://museum.example/data/index.xml",
+                                      "nav:up")
+                  .empty());
+}
+
+TEST_F(TraversalTest, ResourceUrisAreDistinctAndSorted) {
+  auto uris = graph_.resource_uris();
+  EXPECT_EQ(uris.size(), 4u);  // index + three paintings
+  EXPECT_TRUE(std::is_sorted(uris.begin(), uris.end()));
+}
+
+TEST_F(TraversalTest, UnknownUriHasNoArcs) {
+  EXPECT_TRUE(graph_.outgoing("http://elsewhere/x.xml").empty());
+}
+
+TEST_F(TraversalTest, MergeCombinesLinkbases) {
+  auto extra = parse_at(
+      R"(<links xmlns:xlink="http://www.w3.org/1999/xlink">
+           <x xlink:type="extended">
+             <l xlink:type="locator" xlink:href="index.xml" xlink:label="i"/>
+             <l xlink:type="locator" xlink:href="museum.xml" xlink:label="m"/>
+             <arc xlink:type="arc" xlink:from="i" xlink:to="m"
+                  xlink:arcrole="nav:home"/>
+           </x>
+         </links>)",
+      kBase);
+  xl::TraversalGraph more = xl::TraversalGraph::from_linkbase(*extra);
+  graph_.merge(std::move(more));
+  auto out = graph_.outgoing("http://museum.example/data/index.xml");
+  EXPECT_EQ(out.size(), 4u);
+}

@@ -1,0 +1,182 @@
+// Edge-case and robustness tests for the XML substrate beyond the basics
+// in xml_test.cpp: deep nesting, attribute-value normalization, unusual
+// but legal documents, and hostile inputs that must fail cleanly.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "xml/dom.hpp"
+#include "xml/parser.hpp"
+#include "xml/serializer.hpp"
+
+namespace xml = navsep::xml;
+
+TEST(XmlEdge, DeeplyNestedDocument) {
+  constexpr int kDepth = 2000;
+  std::string text;
+  for (int i = 0; i < kDepth; ++i) text += "<d>";
+  text += "x";
+  for (int i = 0; i < kDepth; ++i) text += "</d>";
+  auto doc = xml::parse(text);
+  EXPECT_EQ(doc->root()->string_value(), "x");
+  // Round-trips without blowing the stack.
+  std::string out = xml::write(*doc, {.declaration = false});
+  EXPECT_EQ(out.size(), text.size());
+}
+
+TEST(XmlEdge, ManySiblings) {
+  std::string text = "<r>";
+  for (int i = 0; i < 10000; ++i) text += "<c/>";
+  text += "</r>";
+  auto doc = xml::parse(text);
+  EXPECT_EQ(doc->root()->children().size(), 10000u);
+}
+
+TEST(XmlEdge, AttributeWhitespaceNormalization) {
+  // Tab/CR/LF inside attribute values normalize to spaces (XML 1.0 §3.3.3).
+  auto doc = xml::parse("<a v='one\ttwo\nthree\rfour'/>");
+  EXPECT_EQ(doc->root()->attribute("v").value(), "one two three four");
+}
+
+TEST(XmlEdge, WhitespaceAroundEqualsInAttributes) {
+  auto doc = xml::parse("<a x =  '1' y\t=\n'2'/>");
+  EXPECT_EQ(doc->root()->attribute("x").value(), "1");
+  EXPECT_EQ(doc->root()->attribute("y").value(), "2");
+}
+
+TEST(XmlEdge, MixedQuotesInsideValues) {
+  auto doc = xml::parse(R"(<a d="it's" s='say "hi"'/>)");
+  EXPECT_EQ(doc->root()->attribute("d").value(), "it's");
+  EXPECT_EQ(doc->root()->attribute("s").value(), "say \"hi\"");
+}
+
+TEST(XmlEdge, UnicodeNamesAndContent) {
+  auto doc = xml::parse("<caf\xC3\xA9 na\xC3\xAFve='oui'>d\xC3\xA9j\xC3\xA0</caf\xC3\xA9>");
+  EXPECT_EQ(doc->root()->name().local, "caf\xC3\xA9");
+  EXPECT_EQ(doc->root()->own_text(), "d\xC3\xA9j\xC3\xA0");
+}
+
+TEST(XmlEdge, SupplementaryPlaneCharacterReference) {
+  auto doc = xml::parse("<t>&#x1F3A8;</t>");  // artist palette emoji
+  EXPECT_EQ(doc->root()->own_text(), "\xF0\x9F\x8E\xA8");
+}
+
+TEST(XmlEdge, CdataWithBracketTeases) {
+  auto doc = xml::parse("<t><![CDATA[a]]b ]> c]]></t>");
+  EXPECT_EQ(doc->root()->own_text(), "a]]b ]> c");
+}
+
+TEST(XmlEdge, AdjacentCdataAndTextMerge) {
+  auto doc = xml::parse("<t>one<![CDATA[ two ]]>three</t>");
+  ASSERT_EQ(doc->root()->children().size(), 1u);  // merged into one Text
+  EXPECT_EQ(doc->root()->own_text(), "one two three");
+}
+
+TEST(XmlEdge, CommentsMayContainMarkup) {
+  auto doc = xml::parse("<t><!-- <not><parsed> &nor; this --></t>");
+  ASSERT_EQ(doc->root()->children().size(), 1u);
+  EXPECT_EQ(doc->root()->children()[0]->type(), xml::NodeType::Comment);
+}
+
+TEST(XmlEdge, DoubleHyphenInCommentRejected) {
+  EXPECT_THROW(xml::parse("<t><!-- a -- b --></t>"), navsep::ParseError);
+}
+
+TEST(XmlEdge, SelfClosingWithSpace) {
+  auto doc = xml::parse("<a ><b x='1' /></a >");
+  EXPECT_NE(doc->root()->child("b"), nullptr);
+}
+
+TEST(XmlEdge, RejectsGarbage) {
+  for (const char* bad :
+       {"", "   ", "no tags", "<", "<>", "<a", "<a/", "<1tag/>", "<a b/>",
+        "<a 'v'/>", "<a b=>", "<a></b>", "&amp;", "<a>&#xZZ;</a>",
+        "<a>&#;</a>", "<a>]]></a><b/>"}) {
+    EXPECT_THROW((void)xml::parse(bad), navsep::ParseError) << bad;
+  }
+}
+
+TEST(XmlEdge, TryParseNeverThrows) {
+  EXPECT_EQ(xml::try_parse("<broken"), nullptr);
+  EXPECT_NE(xml::try_parse("<fine/>"), nullptr);
+}
+
+TEST(XmlEdge, BomAccepted) {
+  auto doc = xml::parse("\xEF\xBB\xBF<r/>");
+  EXPECT_EQ(doc->root()->name().local, "r");
+}
+
+TEST(XmlEdge, ProcessingInstructionEdge) {
+  auto doc = xml::parse("<r><?target?><?t2 data with ?stuff?></r>");
+  ASSERT_EQ(doc->root()->children().size(), 2u);
+  const auto* pi1 = static_cast<const xml::ProcessingInstruction*>(
+      doc->root()->children()[0].get());
+  EXPECT_EQ(pi1->target(), "target");
+  EXPECT_EQ(pi1->data(), "");
+  const auto* pi2 = static_cast<const xml::ProcessingInstruction*>(
+      doc->root()->children()[1].get());
+  EXPECT_EQ(pi2->data(), "data with ?stuff");
+}
+
+TEST(XmlEdge, ReservedPiTargetRejected) {
+  EXPECT_THROW(xml::parse("<r><?xml nope?></r>"), navsep::ParseError);
+  EXPECT_THROW(xml::parse("<r><?XML nope?></r>"), navsep::ParseError);
+}
+
+TEST(XmlEdge, LongAttributeValue) {
+  std::string big(100000, 'x');
+  auto doc = xml::parse("<a v='" + big + "'/>");
+  EXPECT_EQ(doc->root()->attribute("v")->size(), big.size());
+}
+
+TEST(XmlEdge, SerializerControlCharactersInAttributes) {
+  xml::Document doc;
+  doc.set_root(xml::QName("r")).set_attribute("v", "a\tb\nc");
+  std::string out = xml::write(doc, {.declaration = false});
+  EXPECT_EQ(out, "<r v=\"a&#9;b&#10;c\"/>");
+  // And the round trip preserves the exact bytes.
+  auto again = xml::parse(out);
+  EXPECT_EQ(again->root()->attribute("v").value(), "a\tb\nc");
+}
+
+TEST(XmlEdge, RandomizedTreeRoundTrip) {
+  // Property: build random trees programmatically, serialize, reparse,
+  // compare structure (node counts + string values).
+  navsep::Rng rng(77);
+  for (int round = 0; round < 25; ++round) {
+    xml::Document doc;
+    xml::Element& root = doc.set_root(xml::QName("r"));
+    std::vector<xml::Element*> pool{&root};
+    const int ops = 30;
+    for (int i = 0; i < ops; ++i) {
+      xml::Element* target =
+          pool[static_cast<std::size_t>(rng.below(pool.size()))];
+      switch (rng.below(3)) {
+        case 0: {
+          xml::Element& child =
+              target->append_element(rng.word(1 + rng.below(6)));
+          pool.push_back(&child);
+          break;
+        }
+        case 1:
+          target->append_text(rng.word(rng.below(8)));
+          break;
+        default:
+          target->set_attribute(rng.word(1 + rng.below(4)),
+                                rng.word(rng.below(10)));
+      }
+    }
+    std::string text = xml::write(doc, {});
+    xml::ParseOptions keep;
+    keep.strip_insignificant_whitespace = false;
+    auto reparsed = xml::parse(text, keep);
+    EXPECT_EQ(reparsed->root()->string_value(), doc.root()->string_value())
+        << "round " << round;
+    std::size_t count_a = 0, count_b = 0;
+    doc.root()->walk([&](const xml::Element&) { ++count_a; });
+    reparsed->root()->walk([&](const xml::Element&) { ++count_b; });
+    EXPECT_EQ(count_a, count_b) << "round " << round;
+  }
+}

@@ -1,0 +1,306 @@
+// Unit + property tests for the XML DOM, parser and serializer.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "xml/dom.hpp"
+#include "xml/parser.hpp"
+#include "xml/serializer.hpp"
+
+namespace xml = navsep::xml;
+
+namespace {
+xml::ParseOptions keep_ws() {
+  xml::ParseOptions o;
+  o.strip_insignificant_whitespace = false;
+  return o;
+}
+}  // namespace
+
+TEST(XmlParse, MinimalDocument) {
+  auto doc = xml::parse("<root/>");
+  ASSERT_NE(doc->root(), nullptr);
+  EXPECT_EQ(doc->root()->name().local, "root");
+  EXPECT_TRUE(doc->root()->children().empty());
+}
+
+TEST(XmlParse, NestedElementsAndText) {
+  auto doc = xml::parse("<a><b>hello</b><c>world</c></a>");
+  const xml::Element* a = doc->root();
+  ASSERT_EQ(a->child_elements().size(), 2u);
+  EXPECT_EQ(a->child("b")->own_text(), "hello");
+  EXPECT_EQ(a->child("c")->own_text(), "world");
+  EXPECT_EQ(a->string_value(), "helloworld");
+}
+
+TEST(XmlParse, AttributesWithBothQuoteStyles) {
+  auto doc = xml::parse(R"(<p a="1" b='two'/>)");
+  EXPECT_EQ(doc->root()->attribute("a").value(), "1");
+  EXPECT_EQ(doc->root()->attribute("b").value(), "two");
+  EXPECT_FALSE(doc->root()->attribute("missing").has_value());
+}
+
+TEST(XmlParse, PredefinedEntitiesExpand) {
+  auto doc = xml::parse("<t a='&lt;&amp;&gt;'>&quot;&apos;</t>");
+  EXPECT_EQ(doc->root()->attribute("a").value(), "<&>");
+  EXPECT_EQ(doc->root()->own_text(), "\"'");
+}
+
+TEST(XmlParse, NumericCharacterReferences) {
+  auto doc = xml::parse("<t>&#65;&#x42;&#xE9;</t>");
+  EXPECT_EQ(doc->root()->own_text(), "AB\xC3\xA9");  // 'A', 'B', e-acute UTF-8
+}
+
+TEST(XmlParse, UnknownEntityIsAnError) {
+  EXPECT_THROW(xml::parse("<t>&nbsp;</t>"), navsep::ParseError);
+}
+
+TEST(XmlParse, CdataIsLiteralText) {
+  auto doc = xml::parse("<t><![CDATA[<not-a-tag> & friends]]></t>");
+  EXPECT_EQ(doc->root()->own_text(), "<not-a-tag> & friends");
+}
+
+TEST(XmlParse, CommentsAndPis) {
+  auto doc = xml::parse(
+      "<?xml version=\"1.0\"?><!-- head --><?style sheet?><r><!-- in --></r>",
+      keep_ws());
+  // Prolog: comment + PI before the root.
+  EXPECT_EQ(doc->children().size(), 3u);
+  const xml::Element* r = doc->root();
+  ASSERT_EQ(r->children().size(), 1u);
+  EXPECT_EQ(r->children()[0]->type(), xml::NodeType::Comment);
+}
+
+TEST(XmlParse, DoctypeIsSkipped) {
+  auto doc = xml::parse("<!DOCTYPE html [<!ENTITY x 'y'>]><r/>");
+  EXPECT_EQ(doc->root()->name().local, "r");
+}
+
+TEST(XmlParse, MismatchedTagsThrow) {
+  EXPECT_THROW(xml::parse("<a><b></a></b>"), navsep::ParseError);
+}
+
+TEST(XmlParse, DuplicateAttributeThrows) {
+  EXPECT_THROW(xml::parse("<a x='1' x='2'/>"), navsep::ParseError);
+}
+
+TEST(XmlParse, ContentAfterRootThrows) {
+  EXPECT_THROW(xml::parse("<a/><b/>"), navsep::ParseError);
+  EXPECT_NO_THROW(xml::parse("<a/><!-- trailing comment -->"));
+}
+
+TEST(XmlParse, UnterminatedElementThrows) {
+  EXPECT_THROW(xml::parse("<a><b>"), navsep::ParseError);
+}
+
+TEST(XmlParse, ErrorsCarryLineAndColumn) {
+  try {
+    (void)xml::parse("<a>\n  <b x='1' x='2'/>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const navsep::ParseError& e) {
+    EXPECT_EQ(e.position().line, 2u);
+  }
+}
+
+TEST(XmlParse, WhitespaceStrippingIsOptional) {
+  const char* text = "<a>\n  <b/>\n</a>";
+  auto stripped = xml::parse(text);
+  EXPECT_EQ(stripped->root()->children().size(), 1u);
+  auto kept = xml::parse(text, keep_ws());
+  EXPECT_EQ(kept->root()->children().size(), 3u);
+}
+
+TEST(XmlNamespaces, DefaultAndPrefixed) {
+  auto doc = xml::parse(
+      R"(<r xmlns="urn:default" xmlns:x="urn:x"><x:a/><b/></r>)");
+  const xml::Element* r = doc->root();
+  EXPECT_EQ(r->name().ns_uri, "urn:default");
+  EXPECT_EQ(r->child("a")->name().ns_uri, "urn:x");
+  EXPECT_EQ(r->child("b")->name().ns_uri, "urn:default");
+}
+
+TEST(XmlNamespaces, AttributesDoNotInheritDefaultNamespace) {
+  auto doc = xml::parse(R"(<r xmlns="urn:d" a="1" />)");
+  EXPECT_EQ(doc->root()->attributes()[1].name.ns_uri, "");
+}
+
+TEST(XmlNamespaces, PrefixedAttributeResolves) {
+  auto doc = xml::parse(
+      R"(<r xmlns:xlink="http://www.w3.org/1999/xlink" xlink:href="a.xml"/>)");
+  auto href =
+      doc->root()->attribute_ns("http://www.w3.org/1999/xlink", "href");
+  ASSERT_TRUE(href.has_value());
+  EXPECT_EQ(*href, "a.xml");
+}
+
+TEST(XmlNamespaces, UndeclaredPrefixThrows) {
+  EXPECT_THROW(xml::parse("<x:a/>"), navsep::ParseError);
+}
+
+TEST(XmlNamespaces, DeclarationScopeEnds) {
+  auto doc = xml::parse("<r><a xmlns:p='urn:p'><p:i/></a></r>");
+  EXPECT_EQ(doc->root()
+                ->child("a")
+                ->child("i")
+                ->name()
+                .ns_uri,
+            "urn:p");
+  // Outside <a>, prefix p is gone:
+  EXPECT_THROW(xml::parse("<r><a xmlns:p='urn:p'/><p:i/></r>"),
+               navsep::ParseError);
+}
+
+TEST(XmlNamespaces, ResolvePrefixWalksAncestors) {
+  auto doc = xml::parse("<r xmlns:p='urn:p'><a><b/></a></r>");
+  const xml::Element* b = doc->root()->child("a")->child("b");
+  EXPECT_EQ(b->resolve_prefix("p").value(), "urn:p");
+  EXPECT_FALSE(b->resolve_prefix("q").has_value());
+  EXPECT_EQ(b->resolve_prefix("xml").value(),
+            "http://www.w3.org/XML/1998/namespace");
+}
+
+TEST(XmlDom, BuildTreeProgrammatically) {
+  xml::Document doc;
+  xml::Element& root = doc.set_root(xml::QName("museum"));
+  xml::Element& p = root.append_element("painting");
+  p.set_attribute("id", "guitar");
+  p.append_text("The Guitar");
+  EXPECT_EQ(doc.root()->child("painting")->attribute("id").value(), "guitar");
+  EXPECT_EQ(doc.root()->string_value(), "The Guitar");
+}
+
+TEST(XmlDom, SetAttributeReplacesValue) {
+  xml::Element e{xml::QName("x")};
+  e.set_attribute("a", "1");
+  e.set_attribute("a", "2");
+  EXPECT_EQ(e.attributes().size(), 1u);
+  EXPECT_EQ(e.attribute("a").value(), "2");
+}
+
+TEST(XmlDom, RemoveAttribute) {
+  xml::Element e{xml::QName("x")};
+  e.set_attribute("a", "1");
+  e.remove_attribute("a");
+  EXPECT_FALSE(e.attribute("a").has_value());
+}
+
+TEST(XmlDom, InsertAndRemoveChildren) {
+  xml::Element e{xml::QName("list")};
+  e.append_element("c");
+  e.insert(0, std::make_unique<xml::Element>(xml::QName("a")));
+  e.insert(1, std::make_unique<xml::Element>(xml::QName("b")));
+  auto kids = e.child_elements();
+  ASSERT_EQ(kids.size(), 3u);
+  EXPECT_EQ(kids[0]->name().local, "a");
+  EXPECT_EQ(kids[1]->name().local, "b");
+  auto removed = e.remove_child(1);
+  EXPECT_EQ(removed->as_element()->name().local, "b");
+  EXPECT_EQ(removed->parent(), nullptr);
+  EXPECT_EQ(e.child_elements().size(), 2u);
+}
+
+TEST(XmlDom, CloneIsDeepAndDetached) {
+  auto doc = xml::parse("<a x='1'><b><c>t</c></b></a>");
+  auto copy = doc->root()->clone();
+  EXPECT_EQ(copy->parent(), nullptr);
+  EXPECT_EQ(copy->attribute("x").value(), "1");
+  EXPECT_EQ(copy->child("b")->child("c")->own_text(), "t");
+  // Mutating the copy leaves the original alone.
+  copy->child("b")->clear_children();
+  EXPECT_EQ(doc->root()->child("b")->child_elements().size(), 1u);
+}
+
+TEST(XmlDom, ElementByIdFindsPlainAndXmlId) {
+  auto doc = xml::parse("<r><a id='one'/><b xml:id='two'/></r>");
+  ASSERT_NE(doc->element_by_id("one"), nullptr);
+  EXPECT_EQ(doc->element_by_id("one")->name().local, "a");
+  ASSERT_NE(doc->element_by_id("two"), nullptr);
+  EXPECT_EQ(doc->element_by_id("two")->name().local, "b");
+  EXPECT_EQ(doc->element_by_id("three"), nullptr);
+}
+
+TEST(XmlDom, ContainsAndSiblingIndex) {
+  auto doc = xml::parse("<a><b/><c><d/></c></a>");
+  const xml::Element* a = doc->root();
+  const xml::Element* c = a->child("c");
+  const xml::Element* d = c->child("d");
+  EXPECT_TRUE(a->contains(*d));
+  EXPECT_FALSE(d->contains(*a));
+  EXPECT_TRUE(d->contains(*d));
+  EXPECT_EQ(c->sibling_index(), 1u);
+}
+
+TEST(XmlDom, DocumentOrderPrecedesDepthFirst) {
+  auto doc = xml::parse("<a><b><c/></b><d/></a>");
+  const xml::Node* a = doc->root();
+  const xml::Node* b = doc->root()->child("b");
+  const xml::Node* c = doc->root()->child("b")->child("c");
+  const xml::Node* d = doc->root()->child("d");
+  EXPECT_TRUE(xml::before_in_document_order(*a, *b));
+  EXPECT_TRUE(xml::before_in_document_order(*b, *c));
+  EXPECT_TRUE(xml::before_in_document_order(*c, *d));
+  EXPECT_FALSE(xml::before_in_document_order(*d, *a));
+}
+
+TEST(XmlDom, AttributeNodesOrderBetweenElementAndChildren) {
+  auto doc = xml::parse("<a x='1' y='2'><b/></a>");
+  const xml::Element* a = doc->root();
+  const xml::Node* ax = a->attribute_node(0);
+  const xml::Node* ay = a->attribute_node(1);
+  const xml::Node* b = a->child("b");
+  EXPECT_TRUE(xml::before_in_document_order(*a, *ax));
+  EXPECT_TRUE(xml::before_in_document_order(*ax, *ay));
+  EXPECT_TRUE(xml::before_in_document_order(*ay, *b));
+}
+
+TEST(XmlDom, SortDocumentOrderDeduplicates) {
+  auto doc = xml::parse("<a><b/><c/></a>");
+  const xml::Node* b = doc->root()->child("b");
+  const xml::Node* c = doc->root()->child("c");
+  std::vector<const xml::Node*> v{c, b, c, b};
+  xml::sort_document_order(v);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], b);
+  EXPECT_EQ(v[1], c);
+}
+
+TEST(XmlSerialize, EscapesSpecials) {
+  xml::Document doc;
+  auto& r = doc.set_root(xml::QName("r"));
+  r.set_attribute("a", "x\"<&>");
+  r.append_text("a<b&c>d");
+  std::string out = xml::write(doc, {.pretty = false, .declaration = false});
+  EXPECT_EQ(out, "<r a=\"x&quot;&lt;&amp;>\">a&lt;b&amp;c&gt;d</r>");
+}
+
+TEST(XmlSerialize, PrettyPrintsNestedElements) {
+  auto doc = xml::parse("<a><b>t</b><c/></a>");
+  std::string out = xml::write(*doc, {.pretty = true, .declaration = false});
+  EXPECT_EQ(out, "<a>\n  <b>t</b>\n  <c/>\n</a>\n");
+}
+
+// Round-trip property over a corpus of documents.
+class XmlRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XmlRoundTrip, ParseSerializeParseIsStable) {
+  xml::ParseOptions opts;
+  opts.strip_insignificant_whitespace = false;
+  auto doc1 = xml::parse(GetParam(), opts);
+  std::string text1 = xml::write(*doc1, {.pretty = false});
+  auto doc2 = xml::parse(text1, opts);
+  std::string text2 = xml::write(*doc2, {.pretty = false});
+  EXPECT_EQ(text1, text2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, XmlRoundTrip,
+    ::testing::Values(
+        "<a/>",
+        "<a b='1' c='2'/>",
+        "<a>text</a>",
+        "<a><b/>middle<c/></a>",
+        "<a>&lt;escaped&amp;&gt;</a>",
+        "<r xmlns='urn:d' xmlns:p='urn:p'><p:x a='v'/></r>",
+        "<a><!-- comment --><?pi data?></a>",
+        "<museum><painter id='picasso'><painting id='guitar'>Guitar"
+        "</painting></painter></museum>",
+        "<t a=\"quote&quot;here\">mixed <b>bold</b> tail</t>"));

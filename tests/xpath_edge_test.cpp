@@ -1,0 +1,170 @@
+// Edge-case tests for the XPath engine beyond xpath_test.cpp: IEEE
+// arithmetic semantics, attribute-node contexts, parse/eval round-trips,
+// and corner-case axis behavior.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xml/parser.hpp"
+#include "xpath/xpath.hpp"
+
+namespace xml = navsep::xml;
+namespace xp = navsep::xpath;
+
+namespace {
+
+class XPathEdge : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = xml::parse(R"(<shop>
+      <item id="a" price="10" qty="2"/>
+      <item id="b" price="2.5" qty="4"/>
+      <item id="c" qty="0"/>
+    </shop>)");
+  }
+  xp::Value ev(std::string_view expr) {
+    return xp::evaluate(expr, *doc_, env_);
+  }
+  std::unique_ptr<xml::Document> doc_;
+  xp::Environment env_;
+};
+
+}  // namespace
+
+TEST_F(XPathEdge, DivisionByZeroGivesInfinity) {
+  EXPECT_TRUE(std::isinf(ev("1 div 0").to_number()));
+  EXPECT_TRUE(std::isinf(ev("-1 div 0").to_number()));
+  EXPECT_LT(ev("-1 div 0").to_number(), 0);
+  EXPECT_TRUE(std::isnan(ev("0 div 0").to_number()));
+}
+
+TEST_F(XPathEdge, NanPropagation) {
+  EXPECT_TRUE(std::isnan(ev("number('x') + 1").to_number()));
+  EXPECT_FALSE(ev("number('x') = number('x')").to_boolean());
+  EXPECT_FALSE(ev("number('x') < 1").to_boolean());
+  EXPECT_FALSE(ev("number('x') > 1").to_boolean());
+}
+
+TEST_F(XPathEdge, InfinityStringForms) {
+  EXPECT_EQ(ev("string(1 div 0)").to_string(), "Infinity");
+  EXPECT_EQ(ev("string(-1 div 0)").to_string(), "-Infinity");
+  EXPECT_EQ(ev("string(0 div 0)").to_string(), "NaN");
+}
+
+TEST_F(XPathEdge, ModSemanticsMatchFmod) {
+  EXPECT_DOUBLE_EQ(ev("5 mod 2").to_number(), 1.0);
+  EXPECT_DOUBLE_EQ(ev("5 mod -2").to_number(), 1.0);
+  EXPECT_DOUBLE_EQ(ev("-5 mod 2").to_number(), -1.0);
+  EXPECT_DOUBLE_EQ(ev("1.5 mod 0.5").to_number(), 0.0);
+}
+
+TEST_F(XPathEdge, SumOverAttributes) {
+  EXPECT_DOUBLE_EQ(ev("sum(//item/@price)").to_number(), 12.5);
+  // An item without the attribute contributes nothing (not NaN) because
+  // the attribute node simply is not in the set.
+  EXPECT_DOUBLE_EQ(ev("count(//item/@price)").to_number(), 2.0);
+}
+
+TEST_F(XPathEdge, ArithmeticOverNodeSetsCoercesFirstNode) {
+  EXPECT_DOUBLE_EQ(
+      ev("//item[@id='a']/@price * //item[@id='a']/@qty").to_number(), 20.0);
+}
+
+TEST_F(XPathEdge, AttributeNodeAsContext) {
+  // Navigate from an attribute node: parent is the owning element.
+  xp::NodeSet attrs = xp::select("//item[@id='b']/@price", *doc_, env_);
+  ASSERT_EQ(attrs.size(), 1u);
+  xp::EvalContext ctx{attrs[0], 1, 1, &env_};
+  auto parsed = xp::parse_expression("..");
+  xp::Value v = xp::evaluate(*parsed, ctx);
+  ASSERT_EQ(v.node_set().size(), 1u);
+  EXPECT_EQ(v.node_set()[0]->as_element()->attribute("id").value(), "b");
+}
+
+TEST_F(XPathEdge, AbsolutePathFromNestedContext) {
+  xp::NodeSet items = xp::select("//item", *doc_, env_);
+  xp::EvalContext ctx{items[2], 3, 3, &env_};
+  auto parsed = xp::parse_expression("/shop/item[1]/@id");
+  EXPECT_EQ(xp::evaluate(*parsed, ctx).to_string(), "a");
+}
+
+TEST_F(XPathEdge, UnionOfElementsAndAttributes) {
+  xp::NodeSet mixed = xp::select("//item | //item/@id", *doc_, env_);
+  // 3 elements + 3 attribute nodes, attributes right after their elements.
+  ASSERT_EQ(mixed.size(), 6u);
+  EXPECT_EQ(mixed[0]->type(), xml::NodeType::Element);
+  EXPECT_EQ(mixed[1]->type(), xml::NodeType::Attribute);
+}
+
+TEST_F(XPathEdge, PredicateOverUnionPosition) {
+  EXPECT_EQ(ev("(//item/@id)[2]").to_string(), "b");
+  EXPECT_EQ(ev("(//item/@id)[last()]").to_string(), "c");
+}
+
+TEST_F(XPathEdge, BooleanOfZeroAndNan) {
+  EXPECT_FALSE(ev("boolean(0)").to_boolean());
+  EXPECT_FALSE(ev("boolean(0 div 0)").to_boolean());
+  EXPECT_TRUE(ev("boolean(-1)").to_boolean());
+  EXPECT_TRUE(ev("boolean(1 div 0)").to_boolean());
+}
+
+TEST_F(XPathEdge, EmptyNodeSetConversions) {
+  EXPECT_EQ(ev("//ghost").to_string(), "");
+  EXPECT_FALSE(ev("//ghost").to_boolean());
+  EXPECT_TRUE(std::isnan(ev("number(//ghost)").to_number()));
+  EXPECT_FALSE(ev("//ghost = ''").to_boolean());   // existential: no node
+  EXPECT_FALSE(ev("//ghost != ''").to_boolean());  // also false!
+}
+
+TEST_F(XPathEdge, ComparisonsAgainstEmptySetAreFalseBothWays) {
+  EXPECT_FALSE(ev("//ghost < 5").to_boolean());
+  EXPECT_FALSE(ev("//ghost >= 0").to_boolean());
+}
+
+TEST_F(XPathEdge, DocumentNodeAxes) {
+  // The document node's child axis holds the root element.
+  EXPECT_DOUBLE_EQ(ev("count(/*)").to_number(), 1.0);
+  EXPECT_EQ(ev("name(/*)").to_string(), "shop");
+  // Parent of the root element is the document, which has no name.
+  EXPECT_EQ(ev("name(/shop/..)").to_string(), "");
+}
+
+TEST_F(XPathEdge, ParseEvalRoundTripAgreesOnResults) {
+  for (const char* expr :
+       {"//item[@price > 3]/@id", "count(//item) * 2 - 1",
+        "concat(//item[1]/@id, '-', //item[last()]/@id)",
+        "sum(//item/@qty) mod 4", "//item[position() != 2]/@id"}) {
+    xp::ExprPtr direct = xp::parse_expression(expr);
+    xp::ExprPtr round = xp::parse_expression(direct->to_string());
+    xp::EvalContext ctx{doc_.get(), 1, 1, &env_};
+    EXPECT_EQ(xp::evaluate(*direct, ctx).to_string(),
+              xp::evaluate(*round, ctx).to_string())
+        << expr << " vs " << direct->to_string();
+  }
+}
+
+TEST_F(XPathEdge, WhitespaceInsensitiveParsing) {
+  EXPECT_DOUBLE_EQ(ev("  count(  //item  )  ").to_number(), 3.0);
+  EXPECT_DOUBLE_EQ(ev("count( // item )").to_number(), 3.0);
+}
+
+TEST_F(XPathEdge, RelationalCoercionOfBooleans) {
+  EXPECT_TRUE(ev("true() > false()").to_boolean());
+  EXPECT_TRUE(ev("true() >= 1").to_boolean());
+  EXPECT_FALSE(ev("false() > 0").to_boolean());
+}
+
+TEST_F(XPathEdge, StringValueOfWholeDocument) {
+  auto text_doc = xml::parse("<a>1<b>2<c>3</c></b>4</a>");
+  xp::Environment env;
+  EXPECT_EQ(xp::evaluate("string(/)", *text_doc, env).to_string(), "1234");
+}
+
+TEST_F(XPathEdge, VariablesOfEveryType) {
+  env_.variables.emplace("s", xp::Value(std::string("b")));
+  env_.variables.emplace("n", xp::Value(2.5));
+  env_.variables.emplace("t", xp::Value(true));
+  EXPECT_EQ(ev("//item[@id = $s]/@qty").to_string(), "4");
+  EXPECT_DOUBLE_EQ(ev("$n * 2").to_number(), 5.0);
+  EXPECT_TRUE(ev("$t and true()").to_boolean());
+}

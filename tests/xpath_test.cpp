@@ -1,0 +1,381 @@
+// Unit tests for the XPath 1.0 engine: lexing, parsing, axes, predicates,
+// the core function library and value conversions.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "xml/parser.hpp"
+#include "xpath/xpath.hpp"
+
+namespace xml = navsep::xml;
+namespace xp = navsep::xpath;
+
+namespace {
+
+// A museum-shaped fixture document shared by most tests.
+const char* kMuseum = R"(<museum>
+  <painter id="picasso" movement="cubism">
+    <name>Pablo Picasso</name>
+    <painting id="guitar" year="1913"><title>The Guitar</title></painting>
+    <painting id="guernica" year="1937"><title>Guernica</title></painting>
+    <painting id="avignon" year="1907"><title>Les Demoiselles d'Avignon</title></painting>
+  </painter>
+  <painter id="braque" movement="cubism">
+    <name>Georges Braque</name>
+    <painting id="violin" year="1910"><title>Violin and Candlestick</title></painting>
+  </painter>
+  <painter id="dali" movement="surrealism">
+    <name>Salvador Dali</name>
+    <painting id="memory" year="1931"><title>The Persistence of Memory</title></painting>
+  </painter>
+</museum>)";
+
+class XPathMuseum : public ::testing::Test {
+ protected:
+  void SetUp() override { doc_ = xml::parse(kMuseum); }
+
+  xp::NodeSet sel(std::string_view expr) {
+    return xp::select(expr, *doc_, env_);
+  }
+  xp::Value ev(std::string_view expr) {
+    return xp::evaluate(expr, *doc_, env_);
+  }
+  std::string str(std::string_view expr) { return ev(expr).to_string(); }
+  double num(std::string_view expr) { return ev(expr).to_number(); }
+  bool boolean(std::string_view expr) { return ev(expr).to_boolean(); }
+
+  std::unique_ptr<xml::Document> doc_;
+  xp::Environment env_;
+};
+
+}  // namespace
+
+// --- location paths ---------------------------------------------------------
+
+TEST_F(XPathMuseum, AbsoluteChildPath) {
+  EXPECT_EQ(sel("/museum/painter").size(), 3u);
+  EXPECT_EQ(sel("/museum/painter/painting").size(), 5u);
+}
+
+TEST_F(XPathMuseum, DescendantOrSelfShortcut) {
+  EXPECT_EQ(sel("//painting").size(), 5u);
+  EXPECT_EQ(sel("//title").size(), 5u);
+  EXPECT_EQ(sel("//painter//title").size(), 5u);
+}
+
+TEST_F(XPathMuseum, WildcardSelectsAllElements) {
+  EXPECT_EQ(sel("/museum/*").size(), 3u);
+  EXPECT_EQ(sel("/museum/painter/*").size(), 8u);  // 3 names + 5 paintings
+}
+
+TEST_F(XPathMuseum, AttributeAxis) {
+  EXPECT_EQ(sel("//painting/@id").size(), 5u);
+  EXPECT_EQ(sel("//@movement").size(), 3u);
+  EXPECT_EQ(str("/museum/painter[1]/@id"), "picasso");
+}
+
+TEST_F(XPathMuseum, ParentAndDotDot) {
+  EXPECT_EQ(sel("//painting[@id='guitar']/..")[0],
+            sel("/museum/painter[1]")[0]);
+  EXPECT_EQ(sel("//title/../..").size(), 3u);  // painters, deduplicated
+}
+
+TEST_F(XPathMuseum, SelfAxisAndDot) {
+  EXPECT_EQ(sel("/museum/.").size(), 1u);
+  EXPECT_EQ(sel("//painting/self::painting").size(), 5u);
+  EXPECT_TRUE(sel("//painting/self::painter").empty());
+}
+
+TEST_F(XPathMuseum, AncestorAxis) {
+  EXPECT_EQ(sel("//title/ancestor::painter").size(), 3u);
+  EXPECT_EQ(sel("//title/ancestor-or-self::*").size(),
+            1u + 3u + 5u + 5u);  // museum + painters + paintings + titles
+}
+
+TEST_F(XPathMuseum, SiblingAxes) {
+  EXPECT_EQ(sel("//painting[@id='guitar']/following-sibling::painting").size(),
+            2u);
+  EXPECT_EQ(
+      sel("//painting[@id='avignon']/preceding-sibling::painting").size(),
+      2u);
+  EXPECT_EQ(str("//painting[@id='guernica']/preceding-sibling::*[1]/@id"),
+            "guitar");
+}
+
+TEST_F(XPathMuseum, FollowingAndPrecedingAxes) {
+  // following: everything after the subtree of guernica.
+  xp::NodeSet f = sel("//painting[@id='guernica']/following::painting");
+  ASSERT_EQ(f.size(), 3u);  // avignon, violin, memory
+  EXPECT_EQ(sel("//painting[@id='violin']/preceding::painting").size(), 3u);
+}
+
+TEST_F(XPathMuseum, DescendantAxisExplicit) {
+  EXPECT_EQ(sel("/museum/descendant::painting").size(), 5u);
+  EXPECT_EQ(sel("/museum/descendant-or-self::museum").size(), 1u);
+}
+
+TEST_F(XPathMuseum, TextNodeTest) {
+  EXPECT_EQ(sel("//name/text()").size(), 3u);
+  EXPECT_EQ(sel("//name/text()")[0]->string_value(), "Pablo Picasso");
+}
+
+TEST_F(XPathMuseum, NodeTestMatchesEverything) {
+  EXPECT_EQ(sel("/museum/painter[1]/node()").size(), 4u);
+}
+
+// --- predicates ---------------------------------------------------------------
+
+TEST_F(XPathMuseum, NumericPredicateIsPosition) {
+  EXPECT_EQ(str("/museum/painter[2]/@id"), "braque");
+  EXPECT_EQ(str("//painting[1]/@id"), "guitar");  // first per painter, merged
+  EXPECT_EQ(sel("//painting[1]").size(), 3u);
+}
+
+TEST_F(XPathMuseum, PositionAndLastFunctions) {
+  EXPECT_EQ(str("/museum/painter[last()]/@id"), "dali");
+  EXPECT_EQ(str("/museum/painter[position()=2]/@id"), "braque");
+  EXPECT_EQ(sel("/museum/painter[position()>1]").size(), 2u);
+}
+
+TEST_F(XPathMuseum, AttributeEqualityPredicate) {
+  EXPECT_EQ(sel("//painter[@movement='cubism']").size(), 2u);
+  EXPECT_EQ(str("//painting[@year='1937']/@id"), "guernica");
+}
+
+TEST_F(XPathMuseum, PredicateOnStringValue) {
+  EXPECT_EQ(sel("//painter[name='Salvador Dali']/@id").size(), 1u);
+  EXPECT_EQ(str("//painter[name='Salvador Dali']/@id"), "dali");
+}
+
+TEST_F(XPathMuseum, ChainedPredicates) {
+  EXPECT_EQ(str("//painter[@movement='cubism'][2]/@id"), "braque");
+  EXPECT_EQ(sel("//painting[@year>'1910'][@year<'1935']").size(), 2u);
+}
+
+TEST_F(XPathMuseum, PredicateOnReverseAxisCountsBackwards) {
+  // preceding-sibling positions count from nearest to farthest.
+  EXPECT_EQ(str("//painting[@id='avignon']/preceding-sibling::painting[1]/@id"),
+            "guernica");
+  EXPECT_EQ(str("//painting[@id='avignon']/preceding-sibling::painting[2]/@id"),
+            "guitar");
+}
+
+TEST_F(XPathMuseum, ExistencePredicate) {
+  EXPECT_EQ(sel("//painter[painting]").size(), 3u);
+  EXPECT_TRUE(sel("//painter[sculpture]").empty());
+}
+
+// --- operators -----------------------------------------------------------------
+
+TEST_F(XPathMuseum, ArithmeticOperators) {
+  EXPECT_DOUBLE_EQ(num("1+2*3"), 7.0);
+  EXPECT_DOUBLE_EQ(num("(1+2)*3"), 9.0);
+  EXPECT_DOUBLE_EQ(num("10 div 4"), 2.5);
+  EXPECT_DOUBLE_EQ(num("10 mod 3"), 1.0);
+  EXPECT_DOUBLE_EQ(num("-3 + 1"), -2.0);
+}
+
+TEST_F(XPathMuseum, BooleanOperatorsShortCircuit) {
+  EXPECT_TRUE(boolean("true() or unknown-will-not-run-oops = 1"));
+  EXPECT_TRUE(boolean("1=1 and 2=2"));
+  EXPECT_FALSE(boolean("1=1 and 2=3"));
+}
+
+TEST_F(XPathMuseum, ComparisonCoercion) {
+  EXPECT_TRUE(boolean("'7' = 7"));
+  EXPECT_TRUE(boolean("'  7 ' < 8"));
+  EXPECT_TRUE(boolean("true() = 1"));
+  EXPECT_FALSE(boolean("'abc' = 7"));
+}
+
+TEST_F(XPathMuseum, NodeSetComparisonsAreExistential) {
+  EXPECT_TRUE(boolean("//painting/@year = '1937'"));
+  EXPECT_TRUE(boolean("//painting/@year != '1937'"));  // some other year too
+  EXPECT_FALSE(boolean("//painting/@year = '1800'"));
+  EXPECT_TRUE(boolean("//painting/@year > 1930"));
+}
+
+TEST_F(XPathMuseum, UnionMergesAndSortsDocumentOrder) {
+  xp::NodeSet u = sel("//painting[@id='memory'] | //painting[@id='guitar']");
+  ASSERT_EQ(u.size(), 2u);
+  EXPECT_EQ(u[0]->as_element()->attribute("id").value(), "guitar");
+  EXPECT_EQ(u[1]->as_element()->attribute("id").value(), "memory");
+}
+
+TEST_F(XPathMuseum, StarIsMultiplyAfterOperand) {
+  EXPECT_DOUBLE_EQ(num("count(//painting) * 2"), 10.0);
+}
+
+// --- core functions -------------------------------------------------------------
+
+TEST_F(XPathMuseum, CountAndSum) {
+  EXPECT_DOUBLE_EQ(num("count(//painting)"), 5.0);
+  EXPECT_DOUBLE_EQ(num("sum(//painting/@year)"),
+                   1913 + 1937 + 1907 + 1910 + 1931);
+}
+
+TEST_F(XPathMuseum, IdFunction) {
+  EXPECT_EQ(sel("id('guitar')").size(), 1u);
+  EXPECT_EQ(str("id('guitar')/title"), "The Guitar");
+  EXPECT_EQ(sel("id('guitar avignon')").size(), 2u);
+  EXPECT_TRUE(sel("id('nope')").empty());
+}
+
+TEST_F(XPathMuseum, NameFunctions) {
+  EXPECT_EQ(str("name(/museum)"), "museum");
+  EXPECT_EQ(str("local-name(//painting[1])"), "painting");
+  EXPECT_EQ(str("name(//@movement)"), "movement");
+}
+
+TEST_F(XPathMuseum, StringFunctions) {
+  EXPECT_EQ(str("concat('a', 'b', 'c')"), "abc");
+  EXPECT_TRUE(boolean("starts-with('picasso', 'pic')"));
+  EXPECT_TRUE(boolean("contains('guernica', 'ern')"));
+  EXPECT_EQ(str("substring-before('1907-06', '-')"), "1907");
+  EXPECT_EQ(str("substring-after('1907-06', '-')"), "06");
+  EXPECT_EQ(str("substring('12345', 2, 3)"), "234");
+  EXPECT_EQ(str("substring('12345', 0)"), "12345");
+  EXPECT_DOUBLE_EQ(num("string-length('hello')"), 5.0);
+  EXPECT_EQ(str("normalize-space('  a  b ')"), "a b");
+  EXPECT_EQ(str("translate('bar', 'abc', 'ABC')"), "BAr");
+  EXPECT_EQ(str("translate('-abc-', '-', '')"), "abc");
+}
+
+TEST_F(XPathMuseum, SubstringEdgeCasesFromSpec) {
+  EXPECT_EQ(str("substring('12345', 1.5, 2.6)"), "234");
+  EXPECT_EQ(str("substring('12345', 0, 3)"), "12");
+  EXPECT_EQ(str("substring('12345', 0 div 0, 3)"), "");
+}
+
+TEST_F(XPathMuseum, NumberFunctions) {
+  EXPECT_DOUBLE_EQ(num("floor(2.7)"), 2.0);
+  EXPECT_DOUBLE_EQ(num("ceiling(2.1)"), 3.0);
+  EXPECT_DOUBLE_EQ(num("round(2.5)"), 3.0);
+  EXPECT_DOUBLE_EQ(num("round(-2.5)"), -2.0);  // round() ties toward +inf
+  EXPECT_DOUBLE_EQ(num("number('12')"), 12.0);
+  EXPECT_TRUE(std::isnan(num("number('abc')")));
+}
+
+TEST_F(XPathMuseum, BooleanFunctions) {
+  EXPECT_TRUE(boolean("not(false())"));
+  EXPECT_FALSE(boolean("not(//painting)"));
+  EXPECT_TRUE(boolean("boolean('x')"));
+  EXPECT_FALSE(boolean("boolean('')"));
+  EXPECT_FALSE(boolean("boolean(0)"));
+}
+
+TEST_F(XPathMuseum, StringOfNodeSetIsFirstNode) {
+  EXPECT_EQ(str("string(//name)"), "Pablo Picasso");
+  EXPECT_EQ(str("//name"), "Pablo Picasso");
+}
+
+// --- environment ------------------------------------------------------------------
+
+TEST_F(XPathMuseum, VariablesResolve) {
+  env_.variables.emplace("who", xp::Value(std::string("braque")));
+  EXPECT_EQ(sel("//painter[@id=$who]/painting").size(), 1u);
+}
+
+TEST_F(XPathMuseum, UnboundVariableThrows) {
+  EXPECT_THROW(ev("$nope"), navsep::SemanticError);
+}
+
+TEST_F(XPathMuseum, ExtensionFunctionsCallable) {
+  env_.functions.emplace(
+      "double", [](const std::vector<xp::Value>& args,
+                   const xp::EvalContext&) {
+        return xp::Value(args.at(0).to_number() * 2);
+      });
+  EXPECT_DOUBLE_EQ(num("double(21)"), 42.0);
+}
+
+TEST_F(XPathMuseum, UnknownFunctionThrows) {
+  EXPECT_THROW(ev("frobnicate()"), navsep::SemanticError);
+}
+
+TEST_F(XPathMuseum, WrongArityThrows) {
+  EXPECT_THROW(ev("count()"), navsep::SemanticError);
+  EXPECT_THROW(ev("concat('one')"), navsep::SemanticError);
+  EXPECT_THROW(ev("not(1, 2)"), navsep::SemanticError);
+}
+
+TEST_F(XPathMuseum, NamespacePrefixInNameTest) {
+  auto nsdoc = xml::parse(
+      R"(<r xmlns:k="urn:k"><k:item/><item/></r>)");
+  xp::Environment env;
+  env.namespaces.emplace("k", "urn:k");
+  EXPECT_EQ(xp::select("//k:item", *nsdoc, env).size(), 1u);
+  EXPECT_EQ(xp::select("//item", *nsdoc, env).size(), 1u);  // null-ns only
+  EXPECT_THROW(xp::select("//unknown:item", *nsdoc, env),
+               navsep::SemanticError);
+}
+
+// --- filter expressions -----------------------------------------------------------
+
+TEST_F(XPathMuseum, FilterExpressionWithTrailingPath) {
+  EXPECT_EQ(str("(//painter)[2]/@id"), "braque");
+  EXPECT_EQ(sel("(//painting)[position()<=2]").size(), 2u);
+  EXPECT_EQ(str("id('picasso')/painting[2]/@id"), "guernica");
+}
+
+TEST_F(XPathMuseum, ConvertingScalarToNodeSetThrows) {
+  EXPECT_THROW(sel("'text'"), navsep::SemanticError);
+  EXPECT_THROW(sel("1+1"), navsep::SemanticError);
+}
+
+// --- parse errors -------------------------------------------------------------------
+
+TEST(XPathParse, SyntaxErrors) {
+  EXPECT_THROW(xp::parse_expression("//painting["), navsep::ParseError);
+  EXPECT_THROW(xp::parse_expression("foo::bar"), navsep::ParseError);
+  EXPECT_THROW(xp::parse_expression("1 +"), navsep::ParseError);
+  EXPECT_THROW(xp::parse_expression("!"), navsep::ParseError);
+  EXPECT_THROW(xp::parse_expression("a b"), navsep::ParseError);
+  EXPECT_THROW(xp::parse_expression(""), navsep::ParseError);
+}
+
+TEST(XPathParse, ToStringRendersNormalizedForm) {
+  auto e = xp::parse_expression("//painting[@id='x']");
+  EXPECT_EQ(e->to_string(),
+            "/descendant-or-self::node()/child::painting"
+            "[(attribute::id = 'x')]");
+}
+
+TEST(XPathParse, NumberLexing) {
+  auto e = xp::parse_expression("1.5 + .25");
+  xml::Document doc;
+  doc.set_root(xml::QName("r"));
+  xp::Environment env;
+  EXPECT_DOUBLE_EQ(xp::evaluate(*e, {.node = &doc,
+                                     .position = 1,
+                                     .size = 1,
+                                     .env = &env})
+                       .to_number(),
+                   1.75);
+}
+
+// --- value conversions ----------------------------------------------------------------
+
+TEST(XPathValue, NumberToStringFormatting) {
+  EXPECT_EQ(xp::number_to_string(5), "5");
+  EXPECT_EQ(xp::number_to_string(5.5), "5.5");
+  EXPECT_EQ(xp::number_to_string(-0.0), "0");
+  EXPECT_EQ(xp::number_to_string(std::nan("")), "NaN");
+  EXPECT_EQ(xp::number_to_string(INFINITY), "Infinity");
+  EXPECT_EQ(xp::number_to_string(-INFINITY), "-Infinity");
+}
+
+TEST(XPathValue, StringToNumberTrimsAndRejects) {
+  EXPECT_DOUBLE_EQ(xp::string_to_number("  42 "), 42.0);
+  EXPECT_DOUBLE_EQ(xp::string_to_number("-1.5"), -1.5);
+  EXPECT_TRUE(std::isnan(xp::string_to_number("")));
+  EXPECT_TRUE(std::isnan(xp::string_to_number("12abc")));
+}
+
+TEST(XPathValue, NaNComparesUnequalToItself) {
+  xp::Value nan1(std::nan(""));
+  xp::Value nan2(std::nan(""));
+  EXPECT_FALSE(xp::Value::compare_equal(nan1, nan2, false));
+}

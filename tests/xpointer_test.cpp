@@ -1,0 +1,174 @@
+// Unit tests for the XPointer framework and its schemes.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "xml/parser.hpp"
+#include "xpointer/xpointer.hpp"
+
+namespace xml = navsep::xml;
+namespace xptr = navsep::xpointer;
+
+namespace {
+const char* kDoc = R"(<catalog>
+  <painter id="picasso">
+    <painting id="guitar"><title>The Guitar</title></painting>
+    <painting id="guernica"><title>Guernica</title></painting>
+  </painter>
+  <painter id="dali">
+    <painting id="memory"><title>Memory</title></painting>
+  </painter>
+</catalog>)";
+}  // namespace
+
+class XPointerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { doc_ = xml::parse(kDoc); }
+  std::unique_ptr<xml::Document> doc_;
+};
+
+// --- parsing -------------------------------------------------------------
+
+TEST_F(XPointerTest, ParseShorthand) {
+  xptr::Pointer p = xptr::parse("guitar");
+  EXPECT_TRUE(p.shorthand);
+  EXPECT_EQ(p.shorthand_id, "guitar");
+}
+
+TEST_F(XPointerTest, ParseSchemeParts) {
+  xptr::Pointer p = xptr::parse("element(/1/2)xpointer(//painting)");
+  ASSERT_EQ(p.parts.size(), 2u);
+  EXPECT_EQ(p.parts[0].scheme, "element");
+  EXPECT_EQ(p.parts[0].data, "/1/2");
+  EXPECT_EQ(p.parts[1].scheme, "xpointer");
+  EXPECT_EQ(p.parts[1].data, "//painting");
+}
+
+TEST_F(XPointerTest, ParseNestedParensInSchemeData) {
+  xptr::Pointer p = xptr::parse("xpointer(//painting[contains(title,'G')])");
+  ASSERT_EQ(p.parts.size(), 1u);
+  EXPECT_EQ(p.parts[0].data, "//painting[contains(title,'G')]");
+}
+
+TEST_F(XPointerTest, CaretEscapes) {
+  // ^( -> (   '  -> '   ^) -> )   ^^ -> ^
+  xptr::Pointer p = xptr::parse("xpointer(^('^)^^)");
+  ASSERT_EQ(p.parts.size(), 1u);
+  EXPECT_EQ(p.parts[0].data, "(')^");
+}
+
+TEST_F(XPointerTest, ParseErrors) {
+  EXPECT_THROW(xptr::parse(""), navsep::ParseError);
+  EXPECT_THROW(xptr::parse("xpointer(//a"), navsep::ParseError);
+  EXPECT_THROW(xptr::parse("xpointer(//a)^"), navsep::ParseError);
+  EXPECT_THROW(xptr::parse("123abc"), navsep::ParseError);
+}
+
+TEST_F(XPointerTest, ToStringRoundTripsEscapes) {
+  xptr::Pointer p = xptr::parse("xpointer(a^(b^)c)");
+  EXPECT_EQ(p.parts[0].data, "a(b)c");
+  EXPECT_EQ(p.to_string(), "xpointer(a^(b^)c)");
+  xptr::Pointer again = xptr::parse(p.to_string());
+  EXPECT_EQ(again.parts[0].data, "a(b)c");
+}
+
+// --- shorthand resolution ---------------------------------------------------
+
+TEST_F(XPointerTest, ShorthandFindsById) {
+  auto hits = xptr::resolve("guernica", *doc_);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->as_element()->child("title")->own_text(), "Guernica");
+}
+
+TEST_F(XPointerTest, ShorthandMissYieldsEmpty) {
+  EXPECT_TRUE(xptr::resolve("nothere", *doc_).empty());
+}
+
+// --- element() scheme ---------------------------------------------------------
+
+TEST_F(XPointerTest, ElementSchemeWithIdOnly) {
+  auto hits = xptr::resolve("element(guitar)", *doc_);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->as_element()->attribute("id").value(), "guitar");
+}
+
+TEST_F(XPointerTest, ElementSchemeAbsoluteChildSequence) {
+  // /1 = catalog, /1/2 = second painter, /1/2/1 = memory painting.
+  auto hits = xptr::resolve("element(/1/2/1)", *doc_);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->as_element()->attribute("id").value(), "memory");
+}
+
+TEST_F(XPointerTest, ElementSchemeIdPlusChildSequence) {
+  auto hits = xptr::resolve("element(picasso/2)", *doc_);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->as_element()->attribute("id").value(), "guernica");
+}
+
+TEST_F(XPointerTest, ElementSchemeOutOfRangeIsEmpty) {
+  EXPECT_TRUE(xptr::resolve("element(/1/9)", *doc_).empty());
+  EXPECT_TRUE(xptr::resolve("element(nope/1)", *doc_).empty());
+}
+
+TEST_F(XPointerTest, ElementSchemeRejectsZeroIndex) {
+  EXPECT_THROW(xptr::resolve("element(/0)", *doc_), navsep::ParseError);
+}
+
+TEST_F(XPointerTest, ElementSchemeRejectsGarbage) {
+  EXPECT_THROW(xptr::resolve("element(/1/x)", *doc_), navsep::ParseError);
+}
+
+// --- xpointer() scheme -----------------------------------------------------------
+
+TEST_F(XPointerTest, XPointerSchemeRunsXPath) {
+  auto hits = xptr::resolve("xpointer(//painting[title='Guernica'])", *doc_);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->as_element()->attribute("id").value(), "guernica");
+}
+
+TEST_F(XPointerTest, XPointerSchemeMultipleResults) {
+  auto hits = xptr::resolve("xpointer(//painting)", *doc_);
+  EXPECT_EQ(hits.size(), 3u);
+}
+
+// --- multi-part fallback ------------------------------------------------------------
+
+TEST_F(XPointerTest, FirstNonEmptyPartWins) {
+  auto hits = xptr::resolve(
+      "xpointer(//sculpture)element(picasso/1)xpointer(//painting)", *doc_);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->as_element()->attribute("id").value(), "guitar");
+}
+
+TEST_F(XPointerTest, BrokenPartFallsThroughToNext) {
+  // First part has an XPath type error; the framework skips it.
+  auto hits =
+      xptr::resolve("xpointer(1 div 0)element(dali)", *doc_);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->as_element()->attribute("id").value(), "dali");
+}
+
+TEST_F(XPointerTest, UnknownSchemeIsSkipped) {
+  auto hits = xptr::resolve("madeup(whatever)element(guitar)", *doc_);
+  ASSERT_EQ(hits.size(), 1u);
+}
+
+TEST_F(XPointerTest, XmlnsPartBindsPrefixForLaterParts) {
+  auto nsdoc = xml::parse(R"(<r xmlns:m="urn:m"><m:thing/><thing/></r>)");
+  auto hits = xptr::resolve("xmlns(m=urn:m)xpointer(//m:thing)", *nsdoc);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->as_element()->name().ns_uri, "urn:m");
+}
+
+TEST_F(XPointerTest, MalformedXmlnsThrows) {
+  EXPECT_THROW(xptr::resolve("xmlns(nope)element(guitar)", *doc_),
+               navsep::ParseError);
+}
+
+// --- resolve_element helper ------------------------------------------------------------
+
+TEST_F(XPointerTest, ResolveElementReturnsFirstElement) {
+  const xml::Element* e = xptr::resolve_element("xpointer(//painter)", *doc_);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->attribute("id").value(), "picasso");
+  EXPECT_EQ(xptr::resolve_element("missing", *doc_), nullptr);
+}

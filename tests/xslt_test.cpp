@@ -1,0 +1,292 @@
+// Unit tests for the XSLT-lite transformer.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "xml/parser.hpp"
+#include "xml/serializer.hpp"
+#include "xslt/xslt.hpp"
+
+namespace xml = navsep::xml;
+namespace xslt = navsep::xslt;
+
+namespace {
+
+const char* kPainterXml = R"(<painter id="picasso">
+  <name>Pablo Picasso</name>
+  <painting id="guitar" year="1913"><title>The Guitar</title></painting>
+  <painting id="guernica" year="1937"><title>Guernica</title></painting>
+</painter>)";
+
+std::string transform(std::string_view sheet_text, std::string_view input) {
+  xslt::Stylesheet sheet = xslt::Stylesheet::compile_text(sheet_text);
+  auto in = xml::parse(input);
+  auto out = sheet.transform(*in);
+  if (out->root() == nullptr) return "";
+  return xml::write(*out->root(), {.pretty = false, .declaration = false});
+}
+
+constexpr const char* kXsl =
+    R"(xmlns:xsl="http://www.w3.org/1999/XSL/Transform")";
+
+}  // namespace
+
+TEST(Xslt, ValueOfExtractsText) {
+  std::string out = transform(
+      std::string("<xsl:stylesheet ") + kXsl + R"(>
+        <xsl:template match="/">
+          <out><xsl:value-of select="//name"/></out>
+        </xsl:template>
+      </xsl:stylesheet>)",
+      kPainterXml);
+  EXPECT_EQ(out, "<out>Pablo Picasso</out>");
+}
+
+TEST(Xslt, ApplyTemplatesWithMatchRules) {
+  std::string out = transform(
+      std::string("<xsl:stylesheet ") + kXsl + R"(>
+        <xsl:template match="/">
+          <ul><xsl:apply-templates select="//painting"/></ul>
+        </xsl:template>
+        <xsl:template match="painting">
+          <li><xsl:value-of select="title"/></li>
+        </xsl:template>
+      </xsl:stylesheet>)",
+      kPainterXml);
+  EXPECT_EQ(out, "<ul><li>The Guitar</li><li>Guernica</li></ul>");
+}
+
+TEST(Xslt, ForEachIteratesInOrder) {
+  std::string out = transform(
+      std::string("<xsl:stylesheet ") + kXsl + R"(>
+        <xsl:template match="/">
+          <r><xsl:for-each select="//painting">
+            <y><xsl:value-of select="@year"/></y>
+          </xsl:for-each></r>
+        </xsl:template>
+      </xsl:stylesheet>)",
+      kPainterXml);
+  EXPECT_EQ(out, "<r><y>1913</y><y>1937</y></r>");
+}
+
+TEST(Xslt, IfConditionals) {
+  std::string out = transform(
+      std::string("<xsl:stylesheet ") + kXsl + R"(>
+        <xsl:template match="/">
+          <r><xsl:for-each select="//painting">
+            <xsl:if test="@year > 1920"><old/></xsl:if>
+          </xsl:for-each></r>
+        </xsl:template>
+      </xsl:stylesheet>)",
+      kPainterXml);
+  EXPECT_EQ(out, "<r><old/></r>");
+}
+
+TEST(Xslt, ChooseTakesFirstTrueBranch) {
+  std::string out = transform(
+      std::string("<xsl:stylesheet ") + kXsl + R"(>
+        <xsl:template match="/">
+          <r><xsl:for-each select="//painting">
+            <xsl:choose>
+              <xsl:when test="@year &lt; 1920"><early/></xsl:when>
+              <xsl:otherwise><late/></xsl:otherwise>
+            </xsl:choose>
+          </xsl:for-each></r>
+        </xsl:template>
+      </xsl:stylesheet>)",
+      kPainterXml);
+  EXPECT_EQ(out, "<r><early/><late/></r>");
+}
+
+TEST(Xslt, AttributeValueTemplates) {
+  std::string out = transform(
+      std::string("<xsl:stylesheet ") + kXsl + R"(>
+        <xsl:template match="/">
+          <r><xsl:for-each select="//painting">
+            <a href="{@id}.html" n="{position()}"/>
+          </xsl:for-each></r>
+        </xsl:template>
+      </xsl:stylesheet>)",
+      kPainterXml);
+  EXPECT_EQ(out,
+            R"(<r><a href="guitar.html" n="1"/><a href="guernica.html" n="2"/></r>)");
+}
+
+TEST(Xslt, AvtBraceEscapes) {
+  std::string out = transform(
+      std::string("<xsl:stylesheet ") + kXsl + R"(>
+        <xsl:template match="/"><r a="{{literal}}"/></xsl:template>
+      </xsl:stylesheet>)",
+      kPainterXml);
+  EXPECT_EQ(out, R"(<r a="{literal}"/>)");
+}
+
+TEST(Xslt, ElementAndAttributeInstructions) {
+  std::string out = transform(
+      std::string("<xsl:stylesheet ") + kXsl + R"(>
+        <xsl:template match="/">
+          <r>
+            <xsl:element name="dynamic">
+              <xsl:attribute name="who"><xsl:value-of select="//@id"/></xsl:attribute>
+            </xsl:element>
+          </r>
+        </xsl:template>
+      </xsl:stylesheet>)",
+      kPainterXml);
+  EXPECT_EQ(out, R"(<r><dynamic who="picasso"/></r>)");
+}
+
+TEST(Xslt, CopyOfClonesSubtree) {
+  std::string out = transform(
+      std::string("<xsl:stylesheet ") + kXsl + R"(>
+        <xsl:template match="/">
+          <r><xsl:copy-of select="//painting[@id='guitar']/title"/></r>
+        </xsl:template>
+      </xsl:stylesheet>)",
+      kPainterXml);
+  EXPECT_EQ(out, "<r><title>The Guitar</title></r>");
+}
+
+TEST(Xslt, CallTemplateByName) {
+  std::string out = transform(
+      std::string("<xsl:stylesheet ") + kXsl + R"(>
+        <xsl:template match="/">
+          <r><xsl:call-template name="footer"/></r>
+        </xsl:template>
+        <xsl:template name="footer"><foot/></xsl:template>
+      </xsl:stylesheet>)",
+      kPainterXml);
+  EXPECT_EQ(out, "<r><foot/></r>");
+}
+
+TEST(Xslt, PriorityBreaksConflicts) {
+  std::string out = transform(
+      std::string("<xsl:stylesheet ") + kXsl + R"(>
+        <xsl:template match="/">
+          <r><xsl:apply-templates select="//painting[1]"/></r>
+        </xsl:template>
+        <xsl:template match="painting" priority="2"><hi/></xsl:template>
+        <xsl:template match="painting" priority="1"><lo/></xsl:template>
+      </xsl:stylesheet>)",
+      kPainterXml);
+  EXPECT_EQ(out, "<r><hi/></r>");
+}
+
+TEST(Xslt, LaterTemplateWinsEqualPriority) {
+  std::string out = transform(
+      std::string("<xsl:stylesheet ") + kXsl + R"(>
+        <xsl:template match="/">
+          <r><xsl:apply-templates select="//painting[1]"/></r>
+        </xsl:template>
+        <xsl:template match="painting"><first/></xsl:template>
+        <xsl:template match="painting"><second/></xsl:template>
+      </xsl:stylesheet>)",
+      kPainterXml);
+  EXPECT_EQ(out, "<r><second/></r>");
+}
+
+TEST(Xslt, MoreSpecificPatternWinsByDefaultPriority) {
+  // painting[@id='guitar'] (0.5) beats painting (0).
+  std::string out = transform(
+      std::string("<xsl:stylesheet ") + kXsl + R"(>
+        <xsl:template match="/">
+          <r><xsl:apply-templates select="//painting"/></r>
+        </xsl:template>
+        <xsl:template match="painting"><plain/></xsl:template>
+        <xsl:template match="painting[@id='guitar']"><special/></xsl:template>
+      </xsl:stylesheet>)",
+      kPainterXml);
+  EXPECT_EQ(out, "<r><special/><plain/></r>");
+}
+
+TEST(Xslt, BuiltinRulesWalkTreeAndCopyText) {
+  // No templates at all: built-ins reduce the document to its text.
+  std::string out = transform(
+      std::string("<xsl:stylesheet ") + kXsl + R"(>
+        <xsl:template match="name"><got><xsl:value-of select="."/></got></xsl:template>
+      </xsl:stylesheet>)",
+      "<r><name>X</name></r>");
+  EXPECT_EQ(out, "<got>X</got>");
+}
+
+TEST(Xslt, TextInstruction) {
+  std::string out = transform(
+      std::string("<xsl:stylesheet ") + kXsl + R"(>
+        <xsl:template match="/">
+          <r><xsl:text>  kept  </xsl:text></r>
+        </xsl:template>
+      </xsl:stylesheet>)",
+      kPainterXml);
+  EXPECT_EQ(out, "<r>  kept  </r>");
+}
+
+TEST(Xslt, CompileErrors) {
+  EXPECT_THROW(xslt::Stylesheet::compile_text("<notxsl/>"),
+               navsep::SemanticError);
+  EXPECT_THROW(xslt::Stylesheet::compile_text(
+                   std::string("<xsl:stylesheet ") + kXsl +
+                   "><xsl:template/></xsl:stylesheet>"),
+               navsep::SemanticError);
+}
+
+TEST(Xslt, UnknownInstructionThrows) {
+  auto sheet = xslt::Stylesheet::compile_text(
+      std::string("<xsl:stylesheet ") + kXsl + R"(>
+        <xsl:template match="/"><xsl:frobnicate/></xsl:template>
+      </xsl:stylesheet>)");
+  auto in = xml::parse("<r/>");
+  EXPECT_THROW((void)sheet.transform(*in), navsep::SemanticError);
+}
+
+TEST(Xslt, MissingRequiredAttributeThrows) {
+  auto sheet = xslt::Stylesheet::compile_text(
+      std::string("<xsl:stylesheet ") + kXsl + R"(>
+        <xsl:template match="/"><xsl:value-of/></xsl:template>
+      </xsl:stylesheet>)");
+  auto in = xml::parse("<r/>");
+  EXPECT_THROW((void)sheet.transform(*in), navsep::SemanticError);
+}
+
+TEST(Xslt, CallUnknownTemplateThrows) {
+  auto sheet = xslt::Stylesheet::compile_text(
+      std::string("<xsl:stylesheet ") + kXsl + R"(>
+        <xsl:template match="/"><xsl:call-template name="ghost"/></xsl:template>
+      </xsl:stylesheet>)");
+  auto in = xml::parse("<r/>");
+  EXPECT_THROW((void)sheet.transform(*in), navsep::SemanticError);
+}
+
+TEST(Xslt, TransformIsReusableAcrossInputs) {
+  auto sheet = xslt::Stylesheet::compile_text(
+      std::string("<xsl:stylesheet ") + kXsl + R"x(>
+        <xsl:template match="/"><n><xsl:value-of select="count(//painting)"/></n></xsl:template>
+      </xsl:stylesheet>)x");
+  auto one = xml::parse("<r><painting/></r>");
+  auto three = xml::parse("<r><painting/><painting/><painting/></r>");
+  EXPECT_EQ(sheet.transform(*one)->root()->string_value(), "1");
+  EXPECT_EQ(sheet.transform(*three)->root()->string_value(), "3");
+}
+
+TEST(Xslt, MuseumPageEndToEnd) {
+  // A miniature of the real presentation pipeline: painter XML -> HTML.
+  std::string out = transform(
+      std::string("<xsl:stylesheet ") + kXsl + R"(>
+        <xsl:template match="/painter">
+          <html>
+            <body>
+              <h1><xsl:value-of select="name"/></h1>
+              <ul>
+                <xsl:for-each select="painting">
+                  <li><a href="{@id}.html"><xsl:value-of select="title"/></a></li>
+                </xsl:for-each>
+              </ul>
+            </body>
+          </html>
+        </xsl:template>
+      </xsl:stylesheet>)",
+      kPainterXml);
+  EXPECT_NE(out.find("<h1>Pablo Picasso</h1>"), std::string::npos);
+  EXPECT_NE(out.find(R"(<a href="guitar.html">The Guitar</a>)"),
+            std::string::npos);
+  EXPECT_NE(out.find(R"(<a href="guernica.html">Guernica</a>)"),
+            std::string::npos);
+}
