@@ -8,6 +8,9 @@
 //   separated — exactly one authored artifact changes (links.xml),
 //               regardless of N.
 //
+// The "before" site comes out of nav::SitePipeline; the "after" structure
+// is derived from the same engine-owned world and model.
+//
 // Counters reported per run:
 //   files_touched  — authored artifacts with any diff
 //   files_total    — authored artifacts in the site
@@ -17,35 +20,36 @@
 #include <benchmark/benchmark.h>
 
 #include "core/migration.hpp"
-#include "museum/museum.hpp"
+#include "nav/pipeline.hpp"
 
 namespace {
 
 using navsep::core::MigrationOptions;
 using navsep::core::MigrationReport;
 using navsep::hypermedia::AccessStructureKind;
-using navsep::museum::MuseumWorld;
+namespace nav = navsep::nav;
 
 struct Setup {
-  std::unique_ptr<MuseumWorld> world;
-  navsep::hypermedia::NavigationalModel nav;
-  std::unique_ptr<navsep::hypermedia::AccessStructure> index;
+  std::unique_ptr<nav::Engine> engine;  // owns world/model/Index structure
   std::unique_ptr<navsep::hypermedia::AccessStructure> igt;
   MigrationOptions options;
 };
 
 Setup make_setup(std::size_t paintings) {
-  auto world = MuseumWorld::synthetic({.painters = 1,
-                                       .paintings_per_painter = paintings,
-                                       .movements = 3,
-                                       .seed = 42});
-  auto nav = world->derive_navigation();
-  Setup s{std::move(world), std::move(nav), nullptr, nullptr, {}};
-  s.index = s.world->paintings_structure(AccessStructureKind::Index, s.nav,
-                                         "painter-0");
-  s.igt = s.world->paintings_structure(AccessStructureKind::IndexedGuidedTour,
-                                       s.nav, "painter-0");
-  s.options.separated_fixed_artifacts = s.world->data_artifacts();
+  Setup s;
+  s.engine = nav::SitePipeline()
+                 .conceptual(navsep::museum::SyntheticSpec{
+                     .painters = 1,
+                     .paintings_per_painter = paintings,
+                     .movements = 3,
+                     .seed = 42})
+                 .access(AccessStructureKind::Index, "painter-0")
+                 .weave()
+                 .serve();
+  s.igt = s.engine->world().paintings_structure(
+      AccessStructureKind::IndexedGuidedTour, s.engine->navigation(),
+      "painter-0");
+  s.options.separated_fixed_artifacts = s.engine->world().data_artifacts();
   return s;
 }
 
@@ -70,7 +74,8 @@ void BM_ChangeImpact(benchmark::State& state) {
   Setup s = make_setup(static_cast<std::size_t>(state.range(0)));
   MigrationReport last{};
   for (auto _ : state) {
-    last = navsep::core::measure_migration(s.nav, *s.index, *s.igt,
+    last = navsep::core::measure_migration(s.engine->navigation(),
+                                           s.engine->structure(), *s.igt,
                                            s.options);
     benchmark::DoNotOptimize(last);
   }

@@ -1,13 +1,16 @@
 // E2 — context-dependent navigation (paper §2).
 //
 // The museum scenario: the successor of a painting depends on how it was
-// reached. This bench drives NavigationSession through
+// reached. The fixture engine (nav::SitePipeline with both context
+// families) drives NavigationSession through
 //
 //   BM_TourWalk         — next() across a whole by-author context
+//                         (raw traversal: session without a weaver)
 //   BM_ContextSwitch    — visit + through(family) re-contextualization
 //   BM_MixedSession     — a realistic browse: enter, walk, switch family,
-//                         walk, leave — with join points announced to a
-//                         weaver carrying an audit aspect
+//                         walk, leave — sessions opened on the engine, so
+//                         join points reach its weaver (audit aspect
+//                         registered through EngineInternals)
 //
 // Expected shape: per-step cost linear in context size (contexts are
 // ordered scans), constant-ish context switches.
@@ -15,41 +18,34 @@
 
 #include <memory>
 
-#include "aop/weaver.hpp"
-#include "museum/museum.hpp"
-#include "site/session.hpp"
+#include "nav/pipeline.hpp"
 
 namespace {
 
-using navsep::museum::MuseumWorld;
+using navsep::hypermedia::AccessStructureKind;
+namespace nav = navsep::nav;
 
-struct Fixture {
-  std::unique_ptr<MuseumWorld> world;
-  navsep::hypermedia::NavigationalModel nav;
-  navsep::hypermedia::ContextFamily by_author;
-  navsep::hypermedia::ContextFamily by_movement;
-};
-
-std::unique_ptr<Fixture> make_fixture(std::size_t painters,
-                                      std::size_t paintings) {
-  auto world = MuseumWorld::synthetic({.painters = painters,
-                                       .paintings_per_painter = paintings,
-                                       .movements = 4,
-                                       .seed = 13});
-  auto nav = world->derive_navigation();
-  auto by_author = world->by_author(nav);
-  auto by_movement = world->by_movement(nav);
-  return std::unique_ptr<Fixture>(new Fixture{std::move(world),
-                                              std::move(nav),
-                                              std::move(by_author),
-                                              std::move(by_movement)});
+std::unique_ptr<nav::Engine> make_engine(std::size_t painters,
+                                         std::size_t paintings) {
+  return nav::SitePipeline()
+      .conceptual(navsep::museum::SyntheticSpec{.painters = painters,
+                                                .paintings_per_painter =
+                                                    paintings,
+                                                .movements = 4,
+                                                .seed = 13})
+      .access(AccessStructureKind::IndexedGuidedTour)
+      .contexts({"ByAuthor", "ByMovement"})
+      .weave()
+      .serve();
 }
 
 void BM_TourWalk(benchmark::State& state) {
-  auto f = make_fixture(1, static_cast<std::size_t>(state.range(0)));
+  auto engine = make_engine(1, static_cast<std::size_t>(state.range(0)));
+  const auto& by_author = engine->context_families()[0];
   std::size_t steps = 0;
   for (auto _ : state) {
-    navsep::site::NavigationSession session(f->nav, {&f->by_author});
+    navsep::site::NavigationSession session(engine->navigation(),
+                                            {&by_author});
     session.enter_context("ByAuthor", "painter-0", "painter-0-work-0");
     steps = 0;
     while (session.next()) ++steps;
@@ -61,9 +57,8 @@ void BM_TourWalk(benchmark::State& state) {
 }
 
 void BM_ContextSwitch(benchmark::State& state) {
-  auto f = make_fixture(static_cast<std::size_t>(state.range(0)), 5);
-  navsep::site::NavigationSession session(
-      f->nav, {&f->by_author, &f->by_movement});
+  auto engine = make_engine(static_cast<std::size_t>(state.range(0)), 5);
+  navsep::site::NavigationSession session = engine->open_session();
   session.visit("painter-0-work-0");
   bool flip = false;
   for (auto _ : state) {
@@ -74,18 +69,16 @@ void BM_ContextSwitch(benchmark::State& state) {
 }
 
 void BM_MixedSession(benchmark::State& state) {
-  auto f = make_fixture(static_cast<std::size_t>(state.range(0)), 5);
-  navsep::aop::Weaver weaver;
+  auto engine = make_engine(static_cast<std::size_t>(state.range(0)), 5);
   auto audit = std::make_shared<navsep::aop::Aspect>("audit");
   std::size_t traversals = 0;
   audit->before("traverse(*)", [&](navsep::aop::JoinPointContext&) {
     ++traversals;
   });
-  weaver.register_aspect(audit);
+  engine->internals().weaver().register_aspect(audit);
 
   for (auto _ : state) {
-    navsep::site::NavigationSession session(
-        f->nav, {&f->by_author, &f->by_movement}, &weaver);
+    navsep::site::NavigationSession session = engine->open_session();
     session.enter_context("ByAuthor", "painter-0", "painter-0-work-0");
     session.next();
     session.next();

@@ -8,15 +8,54 @@
 //   IndexedGuidedTour — star + chain: 2N + 2(N-1) arcs
 //   Menu              — two-level index over sqrt(N) sub-indexes
 //
-// Measured: arc materialization time. Expected shape: all linear in N;
-// IGT ≈ Index + GuidedTour.
+// Fixtures come out of nav::SitePipeline (the canonical way to get from a
+// conceptual model to a structure); the measured operation is pure arc
+// materialization. Expected shape: all linear in N; IGT ≈ Index +
+// GuidedTour.
 #include <benchmark/benchmark.h>
 
-#include "hypermedia/access.hpp"
+#include "nav/pipeline.hpp"
 
 namespace {
 
 using namespace navsep::hypermedia;
+namespace nav = navsep::nav;
+
+std::unique_ptr<nav::Engine> engine_of(std::size_t n,
+                                       AccessStructureKind kind) {
+  return nav::SitePipeline()
+      .conceptual(navsep::museum::SyntheticSpec{.painters = 1,
+                                                .paintings_per_painter = n,
+                                                .movements = 2,
+                                                .seed = 11})
+      .access(kind, "painter-0")
+      .weave()
+      .serve();
+}
+
+void run(benchmark::State& state, AccessStructureKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto engine = engine_of(n, kind);
+  const AccessStructure& structure = engine->structure();
+  std::size_t arc_count = 0;
+  for (auto _ : state) {
+    auto arcs = structure.arcs();
+    arc_count = arcs.size();
+    benchmark::DoNotOptimize(arcs);
+  }
+  state.counters["arcs"] = static_cast<double>(arc_count);
+  state.counters["members"] = static_cast<double>(n);
+}
+
+void BM_Index(benchmark::State& state) {
+  run(state, AccessStructureKind::Index);
+}
+void BM_GuidedTour(benchmark::State& state) {
+  run(state, AccessStructureKind::GuidedTour);
+}
+void BM_IndexedGuidedTour(benchmark::State& state) {
+  run(state, AccessStructureKind::IndexedGuidedTour);
+}
 
 std::vector<Member> members(std::size_t n) {
   std::vector<Member> out;
@@ -28,26 +67,8 @@ std::vector<Member> members(std::size_t n) {
   return out;
 }
 
-template <typename Structure>
-void run(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Structure structure("paintings", members(n));
-  std::size_t arc_count = 0;
-  for (auto _ : state) {
-    auto arcs = structure.arcs();
-    arc_count = arcs.size();
-    benchmark::DoNotOptimize(arcs);
-  }
-  state.counters["arcs"] = static_cast<double>(arc_count);
-  state.counters["members"] = static_cast<double>(n);
-}
-
-void BM_Index(benchmark::State& state) { run<Index>(state); }
-void BM_GuidedTour(benchmark::State& state) { run<GuidedTour>(state); }
-void BM_IndexedGuidedTour(benchmark::State& state) {
-  run<IndexedGuidedTour>(state);
-}
-
+// Menu needs sub-structures, which the pipeline's kind factory does not
+// produce — built directly.
 void BM_Menu(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const std::size_t groups = std::max<std::size_t>(1, n / 10);

@@ -3,42 +3,39 @@
 //
 // Regenerates the figure's page (checked for shape in core_test) and
 // measures tangled rendering: one member page, the index page, and the
-// whole site, as the context grows. Expected shape: member-page cost is
-// O(1) in context size (Index pages carry one "up" anchor); index-page and
-// site cost grow linearly.
+// whole site, as the context grows. The fixture comes out of
+// nav::SitePipeline in .tangled() mode. Expected shape: member-page cost
+// is O(1) in context size (Index pages carry one "up" anchor); index-page
+// and site cost grow linearly.
 #include <benchmark/benchmark.h>
 
 #include "core/renderer.hpp"
-#include "museum/museum.hpp"
+#include "nav/pipeline.hpp"
 
 namespace {
 
 using navsep::core::TangledRenderer;
 using navsep::hypermedia::AccessStructureKind;
-using navsep::museum::MuseumWorld;
+namespace nav = navsep::nav;
 
-struct Site {
-  std::unique_ptr<MuseumWorld> world;
-  navsep::hypermedia::NavigationalModel nav;
-  std::unique_ptr<navsep::hypermedia::AccessStructure> structure;
-};
-
-Site make_site(std::size_t paintings, AccessStructureKind kind) {
-  auto world = MuseumWorld::synthetic({.painters = 1,
-                                       .paintings_per_painter = paintings,
-                                       .movements = 2,
-                                       .seed = 11});
-  auto nav = world->derive_navigation();
-  Site s{std::move(world), std::move(nav), nullptr};
-  s.structure = s.world->paintings_structure(kind, s.nav, "painter-0");
-  return s;
+std::unique_ptr<nav::Engine> make_engine(std::size_t paintings,
+                                         AccessStructureKind kind) {
+  return nav::SitePipeline()
+      .conceptual(navsep::museum::SyntheticSpec{.painters = 1,
+                                                .paintings_per_painter =
+                                                    paintings,
+                                                .movements = 2,
+                                                .seed = 11})
+      .access(kind, "painter-0")
+      .tangled()
+      .serve();
 }
 
 void BM_TangledMemberPage(benchmark::State& state) {
-  Site s = make_site(static_cast<std::size_t>(state.range(0)),
-                     AccessStructureKind::Index);
-  TangledRenderer renderer(s.nav, *s.structure);
-  const auto* node = s.nav.node("painter-0-work-0");
+  auto engine = make_engine(static_cast<std::size_t>(state.range(0)),
+                            AccessStructureKind::Index);
+  TangledRenderer renderer(engine->navigation(), engine->structure());
+  const auto* node = engine->navigation().node("painter-0-work-0");
   std::size_t bytes = 0;
   for (auto _ : state) {
     std::string page = renderer.render_node_page(*node);
@@ -49,9 +46,9 @@ void BM_TangledMemberPage(benchmark::State& state) {
 }
 
 void BM_TangledIndexPage(benchmark::State& state) {
-  Site s = make_site(static_cast<std::size_t>(state.range(0)),
-                     AccessStructureKind::Index);
-  TangledRenderer renderer(s.nav, *s.structure);
+  auto engine = make_engine(static_cast<std::size_t>(state.range(0)),
+                            AccessStructureKind::Index);
+  TangledRenderer renderer(engine->navigation(), engine->structure());
   std::size_t bytes = 0;
   for (auto _ : state) {
     std::string page = renderer.render_structure_page();
@@ -62,9 +59,9 @@ void BM_TangledIndexPage(benchmark::State& state) {
 }
 
 void BM_TangledWholeSite(benchmark::State& state) {
-  Site s = make_site(static_cast<std::size_t>(state.range(0)),
-                     AccessStructureKind::Index);
-  TangledRenderer renderer(s.nav, *s.structure);
+  auto engine = make_engine(static_cast<std::size_t>(state.range(0)),
+                            AccessStructureKind::Index);
+  TangledRenderer renderer(engine->navigation(), engine->structure());
   std::size_t pages = 0;
   for (auto _ : state) {
     auto site = renderer.render_site();

@@ -2,7 +2,8 @@
 // Tour — the paper's "only two lines of HTML, but on every page".
 //
 // For each context size N this bench renders a member page under Index
-// and under IGT, diffs them, and reports:
+// and under IGT (the "before" engine comes out of nav::SitePipeline, the
+// "after" structure from the same world), diffs them, and reports:
 //
 //   lines_added_per_page   — the per-page cost the paper calls small
 //   pages_affected         — N (every member of the context)
@@ -13,25 +14,33 @@
 
 #include "core/renderer.hpp"
 #include "diff/diff.hpp"
-#include "museum/museum.hpp"
+#include "nav/pipeline.hpp"
 
 namespace {
 
 using navsep::core::TangledRenderer;
 using navsep::hypermedia::AccessStructureKind;
-using navsep::museum::MuseumWorld;
+namespace nav = navsep::nav;
+
+std::unique_ptr<nav::Engine> make_engine(std::size_t n) {
+  return nav::SitePipeline()
+      .conceptual(navsep::museum::SyntheticSpec{.painters = 1,
+                                                .paintings_per_painter = n,
+                                                .movements = 2,
+                                                .seed = 3})
+      .access(AccessStructureKind::Index, "painter-0")
+      .tangled()
+      .serve();
+}
 
 void BM_IgtMigrationCost(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  auto world = MuseumWorld::synthetic(
-      {.painters = 1, .paintings_per_painter = n, .movements = 2, .seed = 3});
-  auto nav = world->derive_navigation();
-  auto index = world->paintings_structure(AccessStructureKind::Index, nav,
-                                          "painter-0");
-  auto igt = world->paintings_structure(
-      AccessStructureKind::IndexedGuidedTour, nav, "painter-0");
-  TangledRenderer index_renderer(nav, *index);
-  TangledRenderer igt_renderer(nav, *igt);
+  auto engine = make_engine(static_cast<std::size_t>(state.range(0)));
+  const auto& nav_model = engine->navigation();
+  const auto& index = engine->structure();
+  auto igt = engine->world().paintings_structure(
+      AccessStructureKind::IndexedGuidedTour, nav_model, "painter-0");
+  TangledRenderer index_renderer(nav_model, index);
+  TangledRenderer igt_renderer(nav_model, *igt);
 
   std::size_t per_page = 0;
   std::size_t total = 0;
@@ -39,8 +48,8 @@ void BM_IgtMigrationCost(benchmark::State& state) {
   for (auto _ : state) {
     total = 0;
     affected = 0;
-    for (const auto& member : index->members()) {
-      const auto* node = nav.node(member.node_id);
+    for (const auto& member : index.members()) {
+      const auto* node = nav_model.node(member.node_id);
       std::string before = index_renderer.render_node_page(*node);
       std::string after = igt_renderer.render_node_page(*node);
       navsep::diff::Stats s = navsep::diff::stats(before, after);
@@ -58,14 +67,13 @@ void BM_IgtMigrationCost(benchmark::State& state) {
 }
 
 void BM_IgtPageRender(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  auto world = MuseumWorld::synthetic(
-      {.painters = 1, .paintings_per_painter = n, .movements = 2, .seed = 3});
-  auto nav = world->derive_navigation();
-  auto igt = world->paintings_structure(
-      AccessStructureKind::IndexedGuidedTour, nav, "painter-0");
-  TangledRenderer renderer(nav, *igt);
-  const auto* node = nav.node("painter-0-work-1");  // a middle node
+  auto engine = make_engine(static_cast<std::size_t>(state.range(0)));
+  auto igt = engine->world().paintings_structure(
+      AccessStructureKind::IndexedGuidedTour, engine->navigation(),
+      "painter-0");
+  TangledRenderer renderer(engine->navigation(), *igt);
+  const auto* node =
+      engine->navigation().node("painter-0-work-1");  // a middle node
   for (auto _ : state) {
     std::string page = renderer.render_node_page(*node);
     benchmark::DoNotOptimize(page);

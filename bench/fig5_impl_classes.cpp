@@ -10,7 +10,7 @@
 // graph strictly contains the Index graph (same nodes, more arcs).
 #include <benchmark/benchmark.h>
 
-#include "museum/museum.hpp"
+#include "nav/pipeline.hpp"
 
 namespace {
 
@@ -75,9 +75,34 @@ void BM_IgtObjects(benchmark::State& state) {
   BM_StructureObjects<AccessStructureKind::IndexedGuidedTour>(state);
 }
 
+// The whole implementation stack at once: conceptual model -> schema ->
+// access structure -> woven site -> server, through the façade. This is
+// what an application pays for "give me a browsable museum".
+void BM_PipelineServe(benchmark::State& state) {
+  const auto paintings = static_cast<std::size_t>(state.range(0));
+  std::size_t artifacts = 0;
+  for (auto _ : state) {
+    auto engine =
+        navsep::nav::SitePipeline()
+            .conceptual(SyntheticSpec{.painters = 1,
+                                      .paintings_per_painter = paintings,
+                                      .movements = 3,
+                                      .seed = 21})
+            .schema()
+            .access(AccessStructureKind::IndexedGuidedTour, "painter-0")
+            .weave()
+            .serve();
+    artifacts = engine->site().size();
+    benchmark::DoNotOptimize(engine);
+  }
+  state.counters["artifacts"] = static_cast<double>(artifacts);
+}
+
 }  // namespace
 
 BENCHMARK(BM_ConceptualInstantiation)->Arg(10)->Arg(100)->Arg(500);
 BENCHMARK(BM_NavigationalDerivation)->Arg(10)->Arg(100)->Arg(500);
 BENCHMARK(BM_IndexObjects)->Arg(3)->Arg(30)->Arg(300);
 BENCHMARK(BM_IgtObjects)->Arg(3)->Arg(30)->Arg(300);
+BENCHMARK(BM_PipelineServe)->Arg(3)->Arg(30)->Arg(100)
+    ->Unit(benchmark::kMillisecond);

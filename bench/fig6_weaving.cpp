@@ -9,43 +9,47 @@
 //   woven            — content render + PageCompose join point + the
 //                      navigation aspect's advice,
 //
-// and reports the overhead ratio. Both emit byte-identical pages (asserted
-// in core_test), so the delta is pure mechanism cost. Expected shape: a
-// small constant per page that amortizes to noise over whole-site builds.
+// and reports the overhead ratio. Both fixtures come out of
+// nav::SitePipeline (one .tangled(), one .weave()); both emit
+// byte-identical pages (asserted in core_test), so the delta is pure
+// mechanism cost. Expected shape: a small constant per page that
+// amortizes to noise over whole-site builds.
 #include <benchmark/benchmark.h>
 
-#include "aop/weaver.hpp"
-#include "core/navigation_aspect.hpp"
 #include "core/renderer.hpp"
-#include "museum/museum.hpp"
+#include "nav/pipeline.hpp"
 
 namespace {
 
 using navsep::hypermedia::AccessStructureKind;
-using navsep::museum::MuseumWorld;
+namespace nav = navsep::nav;
 
-struct Fixture {
-  std::unique_ptr<MuseumWorld> world;
-  navsep::hypermedia::NavigationalModel nav;
-  std::unique_ptr<navsep::hypermedia::AccessStructure> igt;
-};
-
-Fixture make_fixture(std::size_t paintings) {
-  auto world = MuseumWorld::synthetic({.painters = 1,
-                                       .paintings_per_painter = paintings,
-                                       .movements = 2,
-                                       .seed = 5});
-  auto nav = world->derive_navigation();
-  Fixture f{std::move(world), std::move(nav), nullptr};
-  f.igt = f.world->paintings_structure(AccessStructureKind::IndexedGuidedTour,
-                                       f.nav, "painter-0");
-  return f;
+std::unique_ptr<nav::Engine> make_engine(std::size_t paintings,
+                                         nav::WeaveMode mode) {
+  nav::SitePipeline pipeline;
+  pipeline
+      .conceptual(navsep::museum::SyntheticSpec{.painters = 1,
+                                                .paintings_per_painter =
+                                                    paintings,
+                                                .movements = 2,
+                                                .seed = 5})
+      .access(AccessStructureKind::IndexedGuidedTour, "painter-0");
+  if (mode == nav::WeaveMode::Tangled) {
+    pipeline.tangled();
+  } else {
+    pipeline.weave();
+  }
+  auto engine = pipeline.serve();
+  engine->internals().weaver().reset_stats();  // drop the build-time weave
+  return engine;
 }
 
 void BM_TangledPage(benchmark::State& state) {
-  Fixture f = make_fixture(static_cast<std::size_t>(state.range(0)));
-  navsep::core::TangledRenderer renderer(f.nav, *f.igt);
-  const auto* node = f.nav.node("painter-0-work-1");
+  auto engine = make_engine(static_cast<std::size_t>(state.range(0)),
+                            nav::WeaveMode::Tangled);
+  navsep::core::TangledRenderer renderer(engine->navigation(),
+                                         engine->structure());
+  const auto* node = engine->navigation().node("painter-0-work-1");
   for (auto _ : state) {
     std::string page = renderer.render_node_page(*node);
     benchmark::DoNotOptimize(page);
@@ -53,12 +57,11 @@ void BM_TangledPage(benchmark::State& state) {
 }
 
 void BM_WovenPage(benchmark::State& state) {
-  Fixture f = make_fixture(static_cast<std::size_t>(state.range(0)));
-  navsep::aop::Weaver weaver;
-  weaver.register_aspect(
-      navsep::core::NavigationAspect::from_arcs(f.igt->arcs()));
+  auto engine = make_engine(static_cast<std::size_t>(state.range(0)),
+                            nav::WeaveMode::Separated);
+  navsep::aop::Weaver& weaver = engine->internals().weaver();
   navsep::core::SeparatedComposer composer(weaver);
-  const auto* node = f.nav.node("painter-0-work-1");
+  const auto* node = engine->navigation().node("painter-0-work-1");
   for (auto _ : state) {
     std::string page = composer.compose_node_page(*node);
     benchmark::DoNotOptimize(page);
@@ -69,14 +72,13 @@ void BM_WovenPage(benchmark::State& state) {
 }
 
 void BM_WovenSite(benchmark::State& state) {
-  Fixture f = make_fixture(static_cast<std::size_t>(state.range(0)));
-  navsep::aop::Weaver weaver;
-  weaver.register_aspect(
-      navsep::core::NavigationAspect::from_arcs(f.igt->arcs()));
-  navsep::core::SeparatedComposer composer(weaver);
+  auto engine = make_engine(static_cast<std::size_t>(state.range(0)),
+                            nav::WeaveMode::Separated);
+  navsep::core::SeparatedComposer composer(engine->internals().weaver());
   std::size_t pages = 0;
   for (auto _ : state) {
-    auto site = composer.compose_site(f.nav, *f.igt);
+    auto site = composer.compose_site(engine->navigation(),
+                                      engine->structure());
     pages = site.size();
     benchmark::DoNotOptimize(site);
   }
@@ -84,8 +86,10 @@ void BM_WovenSite(benchmark::State& state) {
 }
 
 void BM_TangledSite(benchmark::State& state) {
-  Fixture f = make_fixture(static_cast<std::size_t>(state.range(0)));
-  navsep::core::TangledRenderer renderer(f.nav, *f.igt);
+  auto engine = make_engine(static_cast<std::size_t>(state.range(0)),
+                            nav::WeaveMode::Tangled);
+  navsep::core::TangledRenderer renderer(engine->navigation(),
+                                         engine->structure());
   std::size_t pages = 0;
   for (auto _ : state) {
     auto site = renderer.render_site();

@@ -6,15 +6,16 @@
 //   BM_EmitDataDocuments  — Figures 7/8: entity → XML serialization
 //   BM_EmitLinkbase       — Figure 9: access structure → XLink linkbase
 //   BM_ConsumeLinkbase    — parse → extract → expand arcs → traversal graph
+//                           (input: the links.xml the pipeline authored)
 //   BM_ResolveEndpoints   — XPointer resolution of every locator into the
 //                           registered data documents
 //
-// Expected shape: everything linear in members; resolution dominated by
-// shorthand-id lookup.
+// Fixtures come out of nav::SitePipeline. Expected shape: everything
+// linear in members; resolution dominated by shorthand-id lookup.
 #include <benchmark/benchmark.h>
 
 #include "core/linkbase.hpp"
-#include "museum/museum.hpp"
+#include "nav/pipeline.hpp"
 #include "xlink/processor.hpp"
 #include "xml/parser.hpp"
 #include "xml/serializer.hpp"
@@ -22,17 +23,36 @@
 namespace {
 
 using navsep::hypermedia::AccessStructureKind;
-using navsep::museum::MuseumWorld;
+namespace nav = navsep::nav;
+
+std::unique_ptr<nav::Engine> wide_engine(std::size_t painters) {
+  return nav::SitePipeline()
+      .conceptual(navsep::museum::SyntheticSpec{.painters = painters,
+                                                .paintings_per_painter = 5,
+                                                .movements = 3,
+                                                .seed = 9})
+      .access(AccessStructureKind::IndexedGuidedTour)
+      .weave()
+      .serve();
+}
+
+std::unique_ptr<nav::Engine> deep_engine(std::size_t paintings) {
+  return nav::SitePipeline()
+      .conceptual(navsep::museum::SyntheticSpec{.painters = 1,
+                                                .paintings_per_painter =
+                                                    paintings,
+                                                .movements = 3,
+                                                .seed = 9})
+      .access(AccessStructureKind::IndexedGuidedTour, "painter-0")
+      .weave()
+      .serve();
+}
 
 void BM_EmitDataDocuments(benchmark::State& state) {
-  auto world = MuseumWorld::synthetic(
-      {.painters = static_cast<std::size_t>(state.range(0)),
-       .paintings_per_painter = 5,
-       .movements = 3,
-       .seed = 9});
+  auto engine = wide_engine(static_cast<std::size_t>(state.range(0)));
   std::size_t files = 0, bytes = 0;
   for (auto _ : state) {
-    auto artifacts = world->data_artifacts();
+    auto artifacts = engine->world().data_artifacts();
     files = artifacts.size();
     bytes = 0;
     for (const auto& [path, content] : artifacts) bytes += content.size();
@@ -43,17 +63,10 @@ void BM_EmitDataDocuments(benchmark::State& state) {
 }
 
 void BM_EmitLinkbase(benchmark::State& state) {
-  auto world = MuseumWorld::synthetic(
-      {.painters = 1,
-       .paintings_per_painter = static_cast<std::size_t>(state.range(0)),
-       .movements = 3,
-       .seed = 9});
-  auto nav = world->derive_navigation();
-  auto igt = world->paintings_structure(AccessStructureKind::IndexedGuidedTour,
-                                        nav, "painter-0");
+  auto engine = deep_engine(static_cast<std::size_t>(state.range(0)));
   std::size_t bytes = 0;
   for (auto _ : state) {
-    auto doc = navsep::core::build_linkbase(*igt);
+    auto doc = navsep::core::build_linkbase(engine->structure());
     std::string text = navsep::xml::write(*doc, {.pretty = true});
     bytes = text.size();
     benchmark::DoNotOptimize(text);
@@ -62,20 +75,12 @@ void BM_EmitLinkbase(benchmark::State& state) {
 }
 
 void BM_ConsumeLinkbase(benchmark::State& state) {
-  auto world = MuseumWorld::synthetic(
-      {.painters = 1,
-       .paintings_per_painter = static_cast<std::size_t>(state.range(0)),
-       .movements = 3,
-       .seed = 9});
-  auto nav = world->derive_navigation();
-  auto igt = world->paintings_structure(AccessStructureKind::IndexedGuidedTour,
-                                        nav, "painter-0");
-  std::string text =
-      navsep::xml::write(*navsep::core::build_linkbase(*igt), {});
+  auto engine = deep_engine(static_cast<std::size_t>(state.range(0)));
+  const std::string& text = *engine->site().get("links.xml");
   std::size_t arcs = 0;
   for (auto _ : state) {
     navsep::xml::ParseOptions opts;
-    opts.base_uri = "http://museum.example/site/links.xml";
+    opts.base_uri = engine->server().uri_of("links.xml");
     auto doc = navsep::xml::parse(text, opts);
     auto graph = navsep::xlink::TraversalGraph::from_linkbase(*doc);
     arcs = graph.arcs().size();
@@ -87,19 +92,15 @@ void BM_ConsumeLinkbase(benchmark::State& state) {
 
 void BM_ResolveEndpoints(benchmark::State& state) {
   // Register every data document, then resolve each painting URI+fragment.
-  auto world = MuseumWorld::synthetic(
-      {.painters = static_cast<std::size_t>(state.range(0)),
-       .paintings_per_painter = 5,
-       .movements = 3,
-       .seed = 9});
+  auto engine = wide_engine(static_cast<std::size_t>(state.range(0)));
   std::vector<std::unique_ptr<navsep::xml::Document>> docs;
   navsep::xlink::DocumentRegistry registry;
   std::vector<std::string> targets;
-  for (const std::string& pid : world->painter_ids()) {
+  for (const std::string& pid : engine->world().painter_ids()) {
     navsep::xml::ParseOptions opts;
-    opts.base_uri = "http://museum.example/site/data/" + pid + ".xml";
+    opts.base_uri = engine->server().uri_of("data/" + pid + ".xml");
     auto doc = navsep::xml::parse(
-        navsep::xml::write(*world->painter_document(pid), {}), opts);
+        navsep::xml::write(*engine->world().painter_document(pid), {}), opts);
     registry.add(*doc);
     for (const navsep::xml::Element* painting :
          doc->root()->children_named("painting")) {

@@ -4,40 +4,47 @@
 //  he decided he also wanted to navigate from one painting to another
 //  painting by the same author."
 //
-// This example performs the Index → IndexedGuidedTour migration on a
-// museum of configurable size and prints, for both implementation styles,
-// which authored artifacts a developer would have to touch — ending with
-// the unified diff of the ONE artifact the separated design changes.
+// The pipeline serves the "before" site (Index); the migration then
+// measures what switching to an IndexedGuidedTour costs each
+// implementation style — ending with the unified diff of the ONE artifact
+// the separated design changes.
 //
 // Usage: build/examples/access_structure_migration [paintings]
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/migration.hpp"
 #include "core/linkbase.hpp"
+#include "core/migration.hpp"
 #include "diff/diff.hpp"
-#include "museum/museum.hpp"
+#include "nav/pipeline.hpp"
 #include "xml/serializer.hpp"
 
 int main(int argc, char** argv) {
   using namespace navsep;
 
   std::size_t paintings = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 3;
-  auto world = museum::MuseumWorld::synthetic({.painters = 1,
-                                               .paintings_per_painter =
-                                                   paintings,
-                                               .movements = 2,
-                                               .seed = 7});
-  hypermedia::NavigationalModel nav = world->derive_navigation();
-  auto index = world->paintings_structure(
-      hypermedia::AccessStructureKind::Index, nav, "painter-0");
-  auto igt = world->paintings_structure(
-      hypermedia::AccessStructureKind::IndexedGuidedTour, nav, "painter-0");
+  auto engine = nav::SitePipeline()
+                    .conceptual(museum::SyntheticSpec{.painters = 1,
+                                                      .paintings_per_painter =
+                                                          paintings,
+                                                      .movements = 2,
+                                                      .seed = 7})
+                    .schema()
+                    .access(hypermedia::AccessStructureKind::Index, "painter-0")
+                    .weave()
+                    .serve();
+
+  // The "before" structure is the engine's; the "after" is the customer's
+  // new request, derived from the same world and model.
+  const hypermedia::AccessStructure& index = engine->structure();
+  auto igt = engine->world().paintings_structure(
+      hypermedia::AccessStructureKind::IndexedGuidedTour, engine->navigation(),
+      "painter-0");
 
   core::MigrationOptions options;
-  options.separated_fixed_artifacts = world->data_artifacts();
-  core::MigrationReport report =
-      core::measure_migration(nav, *index, *igt, options);
+  options.separated_fixed_artifacts = engine->world().data_artifacts();
+  core::MigrationReport report = core::measure_migration(
+      engine->navigation(), index, *igt, options);
 
   std::printf("=== Index -> IndexedGuidedTour on a %zu-painting context ===\n",
               paintings);
@@ -62,7 +69,7 @@ int main(int argc, char** argv) {
 
   // The single separated change, as the developer would see it in review.
   std::string before =
-      xml::write(*core::build_linkbase(*index), {.pretty = true});
+      xml::write(*core::build_linkbase(index), {.pretty = true});
   std::string after =
       xml::write(*core::build_linkbase(*igt), {.pretty = true});
   std::printf("\n=== the one separated diff (links.xml) ===\n%s",

@@ -1,8 +1,9 @@
 // aspect_weaving: the AOP machinery exposed — write your own aspects
 // against the hypermedia join-point model.
 //
-// Three aspects are woven into the same pipeline:
-//   navigation  — the library's own (from the access structure)
+// The pipeline supplies the library's navigation aspect; this example
+// reaches through the framework role (EngineInternals) to weave two more
+// into the same engine:
 //   breadcrumbs — adds a "you are here: 2 of 3" marker, but ONLY on pages
 //                 composed inside a ByAuthor context (within() pointcut)
 //   audit       — counts traversals per arc role from session join points
@@ -11,27 +12,26 @@
 #include <cstdio>
 #include <map>
 
-#include "aop/weaver.hpp"
-#include "core/navigation_aspect.hpp"
-#include "core/renderer.hpp"
-#include "museum/museum.hpp"
-#include "site/session.hpp"
+#include "nav/pipeline.hpp"
 
 int main() {
   using namespace navsep;
 
-  auto world = museum::MuseumWorld::paper_instance();
-  hypermedia::NavigationalModel nav = world->derive_navigation();
-  auto igt = world->paintings_structure(
-      hypermedia::AccessStructureKind::IndexedGuidedTour, nav, "picasso");
-  hypermedia::ContextFamily by_author = world->by_author(nav);
+  auto engine = nav::SitePipeline()
+                    .paper_museum()
+                    .schema()
+                    .access(hypermedia::AccessStructureKind::IndexedGuidedTour,
+                            "picasso")
+                    .contexts({"ByAuthor"})
+                    .weave()
+                    .serve();
 
-  aop::Weaver weaver;
+  // The framework door: custom aspects go through internals(), never
+  // through the end-user navigation surface.
+  aop::Weaver& weaver = engine->internals().weaver();
+  const hypermedia::ContextFamily& by_author = engine->context_families()[0];
 
-  // 1. The library's navigation aspect.
-  weaver.register_aspect(core::NavigationAspect::from_arcs(igt->arcs()));
-
-  // 2. A custom breadcrumb aspect: position marker, by-author pages only.
+  // 1. A custom breadcrumb aspect: position marker, by-author pages only.
   auto breadcrumbs = std::make_shared<aop::Aspect>("breadcrumbs", 5);
   breadcrumbs->after(
       "compose(PaintingNode) && within(ByAuthor:*)",
@@ -53,7 +53,7 @@ int main() {
       "position marker inside by-author contexts");
   weaver.register_aspect(breadcrumbs);
 
-  // 3. An audit aspect observing session traversals.
+  // 2. An audit aspect observing session traversals.
   std::map<std::string, int> role_counts;
   auto audit = std::make_shared<aop::Aspect>("audit");
   audit->before("traverse(*)", [&](aop::JoinPointContext& ctx) {
@@ -61,11 +61,10 @@ int main() {
   });
   weaver.register_aspect(audit);
 
-  // Compose the same page in and out of context.
-  core::SeparatedComposer composer(weaver);
-  std::string plain = composer.compose_node_page(*nav.node("guernica"));
+  // Compose the same page in and out of context, through the engine.
+  std::string plain = engine->compose_page("guernica");
   std::string contextual =
-      composer.compose_node_page(*nav.node("guernica"), "ByAuthor:picasso");
+      engine->compose_page("guernica", "ByAuthor:picasso");
 
   std::printf("=== guernica.html, no context (no breadcrumb) ===\n%s\n",
               plain.c_str());
@@ -73,7 +72,7 @@ int main() {
               contextual.c_str());
 
   // Browse a little so the audit aspect sees traversals.
-  site::NavigationSession session(nav, {&by_author}, &weaver);
+  site::NavigationSession session = engine->open_session();
   session.enter_context("ByAuthor", "picasso", "guitar");
   while (session.next()) {
   }

@@ -5,41 +5,41 @@
 //  author. However, if we got the painting through a pictorial movement,
 //  the result of the navigation will be different."
 //
-// Builds a museum where two painters share a movement, then reaches the
-// SAME painting twice — once through its author, once through the
-// movement — and shows that Next resolves differently. The contextual
-// linkbase carrying both tour families is printed so you can see the
-// whole behavior specified in one XLink artifact.
+// The pipeline builds a museum where two painters share a movement and
+// authors BOTH tour families as contextual linkbases. The session then
+// reaches the SAME painting twice — once through its author, once through
+// the movement — and shows that Next resolves differently.
 //
 // Run: build/examples/context_browse
 #include <cstdio>
 
-#include "core/linkbase.hpp"
-#include "museum/museum.hpp"
-#include "site/session.hpp"
-#include "xml/serializer.hpp"
+#include "nav/pipeline.hpp"
 
 int main() {
   using namespace navsep;
 
-  auto world = museum::MuseumWorld::synthetic(
-      {.painters = 2, .paintings_per_painter = 3, .movements = 1,
-       .seed = 2002});
-  hypermedia::NavigationalModel nav = world->derive_navigation();
-  hypermedia::ContextFamily by_author = world->by_author(nav);
-  hypermedia::ContextFamily by_movement = world->by_movement(nav);
+  auto engine =
+      nav::SitePipeline()
+          .conceptual(museum::SyntheticSpec{.painters = 2,
+                                            .paintings_per_painter = 3,
+                                            .movements = 1,
+                                            .seed = 2002})
+          .schema()
+          .access(hypermedia::AccessStructureKind::IndexedGuidedTour)
+          .contexts({"ByAuthor", "ByMovement"})
+          .weave()
+          .serve();
 
-  // The separated specification of both tour families:
-  auto linkbase = core::build_context_linkbase(by_author, nav);
-  auto movement_lb = core::build_context_linkbase(by_movement, nav);
+  // The separated specification of the by-author tour family, exactly as
+  // authored into the site.
   std::printf("=== contextual linkbase (ByAuthor family) ===\n%s\n",
-              xml::write(*linkbase, {.pretty = true}).c_str());
+              engine->site().get("links-byauthor.xml")->c_str());
 
-  site::NavigationSession session(nav, {&by_author, &by_movement});
+  site::NavigationSession session = engine->open_session();
 
   const char* painting = "painter-0-work-2";  // painter-0's last work
   std::printf("painting under study: %s (\"%s\")\n\n", painting,
-              nav.node(painting)->title().c_str());
+              engine->navigation().node(painting)->title().c_str());
 
   // Route 1: reached through the author.
   session.enter_context("ByAuthor", "painter-0", painting);

@@ -17,7 +17,7 @@
 #include <sstream>
 
 #include "core/linkbase.hpp"
-#include "museum/museum.hpp"
+#include "nav/pipeline.hpp"
 #include "xlink/processor.hpp"
 #include "xlink/traversal.hpp"
 #include "xml/parser.hpp"
@@ -92,25 +92,32 @@ int lint(const navsep::xml::Document& linkbase,
 int lint_demo() {
   using namespace navsep;
   std::printf("(no arguments: linting a generated demo linkbase)\n\n");
-  auto world = museum::MuseumWorld::paper_instance();
-  auto nav = world->derive_navigation();
-  auto igt = world->paintings_structure(
-      hypermedia::AccessStructureKind::IndexedGuidedTour, nav, "picasso");
+  // The façade carries the demo from conceptual model to access
+  // structure; the linter then checks a data-document-targeting linkbase
+  // authored over it.
+  auto engine = nav::SitePipeline()
+                    .paper_museum()
+                    .schema()
+                    .access(hypermedia::AccessStructureKind::IndexedGuidedTour,
+                            "picasso")
+                    .weave()
+                    .serve();
+
   core::LinkbaseOptions options;
-  options.base_uri = "http://museum.example/site/links.xml";
+  options.base_uri = engine->server().uri_of("links.xml");
   options.data_href = [](std::string_view id) {
     return "data/" + std::string(id) + ".xml";
   };
-  auto linkbase = core::build_linkbase(*igt, options);
+  auto linkbase = core::build_linkbase(engine->structure(), options);
 
   // Register the painting documents so endpoint checking has targets.
   std::vector<std::unique_ptr<xml::Document>> docs;
   xlink::DocumentRegistry registry;
-  for (const std::string& id : world->painting_ids()) {
+  for (const std::string& id : engine->world().painting_ids()) {
     xml::ParseOptions popts;
-    popts.base_uri = "http://museum.example/site/data/" + id + ".xml";
+    popts.base_uri = engine->server().uri_of("data/" + id + ".xml");
     docs.push_back(xml::parse(
-        xml::write(*world->painting_document(id), {}), popts));
+        xml::write(*engine->world().painting_document(id), {}), popts));
     registry.add(*docs.back());
   }
   return lint(*linkbase, registry, docs.size());

@@ -5,14 +5,16 @@
 //                            museum.css and the woven *.html pages
 //   museum-site/tangled/     *.html with navigation baked in
 //
+// Both builds run through nav::SitePipeline — same stages, one flipped
+// switch (.weave() vs .tangled()).
+//
 // Usage: build/examples/museum_site [painters] [paintings-per-painter]
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
-#include "museum/museum.hpp"
-#include "site/virtual_site.hpp"
+#include "nav/pipeline.hpp"
 
 namespace {
 
@@ -34,17 +36,18 @@ int main(int argc, char** argv) {
   std::size_t painters = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
   std::size_t paintings = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 5;
 
+  // One conceptual world feeds both pipelines (borrowed, not moved).
   auto world = museum::MuseumWorld::synthetic({.painters = painters,
                                                .paintings_per_painter =
                                                    paintings,
                                                .movements = 3,
                                                .seed = 2026});
-  hypermedia::NavigationalModel nav = world->derive_navigation();
-  auto structure = world->all_paintings_structure(
-      hypermedia::AccessStructureKind::IndexedGuidedTour, nav);
+  constexpr auto kKind = hypermedia::AccessStructureKind::IndexedGuidedTour;
 
-  site::VirtualSite separated = site::build_separated_site(*world, *structure);
-  site::VirtualSite tangled = site::build_tangled_site(*world, *structure);
+  site::VirtualSite separated =
+      nav::SitePipeline().conceptual(*world).access(kKind).weave().build();
+  site::VirtualSite tangled =
+      nav::SitePipeline().conceptual(*world).access(kKind).tangled().build();
 
   write_site(separated, "museum-site/separated");
   write_site(tangled, "museum-site/tangled");

@@ -1,51 +1,51 @@
-// Quickstart: the paper's example in ~60 lines of client code.
+// Quickstart: the paper's example through the navsep::nav façade.
 //
-// Builds the museum of the paper (Picasso: The Guitar / Guernica /
-// Les Demoiselles d'Avignon), separates the navigational aspect as an
-// XLink linkbase, weaves it back at page composition, and prints the
-// woven Guitar page plus the authored links.xml.
+// One fluent pipeline takes the museum of the paper (Picasso: The Guitar
+// / Guernica / Les Demoiselles d'Avignon) from conceptual model to woven,
+// served site: the navigational aspect is authored as an XLink linkbase
+// and woven back at page composition. The browser then actually consumes
+// the XLink arcs — the demonstration 2002 browsers could not give.
 //
 // Run: build/examples/quickstart
 #include <cstdio>
 
-#include "aop/weaver.hpp"
-#include "core/linkbase.hpp"
-#include "core/navigation_aspect.hpp"
-#include "core/renderer.hpp"
-#include "museum/museum.hpp"
-#include "xml/serializer.hpp"
+#include "nav/pipeline.hpp"
 
 int main() {
   using namespace navsep;
 
-  // 1. The conceptual + navigational model (OOHDM layers).
-  auto world = museum::MuseumWorld::paper_instance();
-  hypermedia::NavigationalModel nav = world->derive_navigation();
-
-  // 2. The access structure the customer asked for *after* the change
-  //    request: an Indexed Guided Tour over Picasso's paintings.
-  auto structure = world->paintings_structure(
-      hypermedia::AccessStructureKind::IndexedGuidedTour, nav, "picasso");
-
-  // 3. Separate the navigational aspect: every arc lives in links.xml.
-  auto linkbase = core::build_linkbase(*structure);
-  std::string links_xml = xml::write(*linkbase, {.pretty = true});
-
-  // 4. Weave it back: the page renderer knows nothing about navigation;
-  //    the navigation aspect injects the anchors at PageCompose.
-  aop::Weaver weaver;
-  weaver.register_aspect(
-      core::NavigationAspect::from_linkbase(core::load_linkbase(*linkbase)));
-  core::SeparatedComposer composer(weaver);
-
-  std::string guitar = composer.compose_node_page(*nav.node("guitar"));
+  // Conceptual model -> navigational schema -> access structure ->
+  // weaving -> served site, in one sentence. The access structure is the
+  // one the customer asked for *after* the change request: an Indexed
+  // Guided Tour over Picasso's paintings.
+  auto engine = nav::SitePipeline()
+                    .paper_museum()
+                    .schema()
+                    .access(hypermedia::AccessStructureKind::IndexedGuidedTour,
+                            "picasso")
+                    .weave()
+                    .serve();
 
   std::printf("=== links.xml (the authored navigational aspect) ===\n%s\n",
-              links_xml.c_str());
-  std::printf("=== guitar.html (woven page) ===\n%s\n", guitar.c_str());
+              engine->site().get("links.xml")->c_str());
+  std::printf("=== guitar.html (woven page) ===\n%s\n",
+              engine->site().get("guitar.html")->c_str());
+
+  // Navigate the woven result through the end-user role interface.
+  nav::Navigating& browser = engine->navigator();
+  browser.navigate("guitar.html");
+  browser.follow_role("next");
+  browser.follow_role("next");
+  browser.follow_role("up");
+  std::printf("tour walked: ");
+  for (const std::string& uri : engine->session().history()) {
+    std::printf("%s ", uri.c_str());
+  }
+
+  const aop::WeaverStats& stats = engine->internals().weaver().stats();
   std::printf(
-      "weaver: %zu join points, %zu advice invocations, %zu cache hits\n",
-      weaver.stats().join_points_executed, weaver.stats().advice_invocations,
-      weaver.stats().match_cache_hits);
+      "\nweaver: %zu join points, %zu advice invocations, %zu cache hits\n",
+      stats.join_points_executed, stats.advice_invocations,
+      stats.match_cache_hits);
   return 0;
 }

@@ -1,38 +1,28 @@
 // xlink_tour: drive the browser simulator across the woven site by
 // actuating XLink arcs — the demonstration 2002 browsers couldn't give.
 //
-// Builds the separated site, loads its links.xml into a traversal graph,
-// then walks: index -> first painting -> next -> next -> up, printing the
-// arcs offered at every stop and exercising history (back/forward).
+// The pipeline builds the separated site and serves it; the tour then
+// walks index -> first painting -> next -> next -> up through the
+// role-segregated nav::Navigating interface, printing the arcs offered at
+// every stop and exercising history (back/forward).
 //
 // Run: build/examples/xlink_tour
 #include <cstdio>
 
-#include "museum/museum.hpp"
-#include "site/browser.hpp"
-#include "site/server.hpp"
-#include "site/virtual_site.hpp"
-#include "xml/parser.hpp"
+#include "nav/pipeline.hpp"
 
 int main() {
   using namespace navsep;
 
-  auto world = museum::MuseumWorld::paper_instance();
-  hypermedia::NavigationalModel nav = world->derive_navigation();
-  auto igt = world->paintings_structure(
-      hypermedia::AccessStructureKind::IndexedGuidedTour, nav, "picasso");
+  auto engine = nav::SitePipeline()
+                    .paper_museum()
+                    .schema()
+                    .access(hypermedia::AccessStructureKind::IndexedGuidedTour,
+                            "picasso")
+                    .weave()
+                    .serve();
 
-  const std::string base = "http://museum.example/site/";
-  site::VirtualSite built = site::build_separated_site(*world, *igt);
-
-  xml::ParseOptions opts;
-  opts.base_uri = base + "links.xml";
-  auto linkbase = xml::parse(*built.get("links.xml"), opts);
-  xlink::TraversalGraph graph = xlink::TraversalGraph::from_linkbase(*linkbase);
-
-  site::HypermediaServer server(built, base);
-  site::Browser browser(server, graph);
-
+  nav::Navigating& browser = engine->navigator();
   auto show_stop = [&] {
     std::printf("\n@ %s\n", browser.location().c_str());
     for (const xlink::Arc* arc : browser.links()) {
@@ -43,7 +33,7 @@ int main() {
   };
 
   std::printf("=== touring %zu arcs of the linkbase ===\n",
-              graph.arcs().size());
+              engine->internals().arc_table().arcs().size());
   browser.navigate("index-paintings-of-picasso.html");
   show_stop();
   browser.follow_role("index-entry");
@@ -63,7 +53,10 @@ int main() {
   browser.forward();
   std::printf("forward -> %s\n", browser.location().c_str());
 
-  std::printf("\nvisited %zu pages, server served %zu requests (%zu misses)\n",
-              browser.pages_visited(), server.requests(), server.misses());
+  const nav::SessionView& session = engine->session();
+  std::printf("\nvisited %zu pages, server served %zu requests "
+              "(%zu misses, %zu cache hits)\n",
+              session.pages_visited(), session.requests(), session.misses(),
+              engine->internals().response_cache_hits());
   return 0;
 }

@@ -9,6 +9,20 @@ void Weaver::register_aspect(std::shared_ptr<Aspect> aspect) {
   invalidate_cache();
 }
 
+void Weaver::replace_aspect(std::shared_ptr<Aspect> aspect) {
+  // Swap in place so the aspect keeps its position in the advice
+  // execution order relative to other registered aspects.
+  for (auto& r : aspects_) {
+    if (r.aspect->name() == aspect->name()) {
+      r.aspect = std::move(aspect);
+      r.enabled = true;
+      invalidate_cache();
+      return;
+    }
+  }
+  register_aspect(std::move(aspect));
+}
+
 bool Weaver::set_enabled(std::string_view name, bool enabled) {
   for (auto& r : aspects_) {
     if (r.aspect->name() == name) {

@@ -39,6 +39,11 @@ class Weaver {
   /// Aspects are enabled on registration.
   void register_aspect(std::shared_ptr<Aspect> aspect);
 
+  /// Register `aspect`, first dropping any registered aspect with the
+  /// same name — for concerns that are swapped wholesale, like the
+  /// navigation aspect when the access structure changes.
+  void replace_aspect(std::shared_ptr<Aspect> aspect);
+
   /// Enable/disable by name; returns false for unknown aspects.
   bool set_enabled(std::string_view name, bool enabled);
   [[nodiscard]] bool is_enabled(std::string_view name) const;

@@ -137,4 +137,22 @@ std::shared_ptr<aop::Aspect> NavigationAspect::from_contextual_linkbase(
   return build_aspect(std::move(nav), options);
 }
 
+std::shared_ptr<aop::Aspect> NavigationAspect::combined(
+    const xlink::TraversalGraph& structure_graph,
+    const std::vector<const xlink::TraversalGraph*>& context_graphs,
+    const NavigationAspectOptions& options) {
+  std::vector<NavArc> nav;
+  for (const hypermedia::AccessArc& a : arcs_from_graph(structure_graph)) {
+    nav.push_back(NavArc{a.from, a.to, a.role, a.title, ""});
+  }
+  for (const xlink::TraversalGraph* graph : context_graphs) {
+    if (graph == nullptr) continue;
+    for (const ContextualArc& ca : contextual_arcs_from_graph(*graph)) {
+      nav.push_back(NavArc{ca.arc.from, ca.arc.to, ca.arc.role, ca.arc.title,
+                           ca.context});
+    }
+  }
+  return build_aspect(std::move(nav), options);
+}
+
 }  // namespace navsep::core

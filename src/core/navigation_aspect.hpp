@@ -87,6 +87,15 @@ class NavigationAspect {
   [[nodiscard]] static std::shared_ptr<aop::Aspect> from_contextual_linkbase(
       const xlink::TraversalGraph& graph,
       const NavigationAspectOptions& options = {});
+
+  /// One aspect covering a whole navigation design: the access structure's
+  /// linkbase plus any number of contextual linkbases. Registering a
+  /// single aspect (instead of one per linkbase) keeps all anchors inside
+  /// one container div and one advice invocation per page.
+  [[nodiscard]] static std::shared_ptr<aop::Aspect> combined(
+      const xlink::TraversalGraph& structure_graph,
+      const std::vector<const xlink::TraversalGraph*>& context_graphs,
+      const NavigationAspectOptions& options = {});
 };
 
 }  // namespace navsep::core

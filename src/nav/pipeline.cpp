@@ -1,0 +1,251 @@
+#include "nav/pipeline.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/renderer.hpp"
+#include "xml/parser.hpp"
+
+namespace navsep::nav {
+
+// --- Engine ------------------------------------------------------------------
+
+site::Browser Engine::open_browser() const {
+  return site::Browser(*server_, graph_);
+}
+
+site::NavigationSession Engine::open_session() const {
+  std::vector<const hypermedia::ContextFamily*> families;
+  families.reserve(families_.size());
+  for (const auto& f : families_) families.push_back(&f);
+  return site::NavigationSession(*nav_, std::move(families), &weaver_);
+}
+
+std::string Engine::compose_page(std::string_view node_id,
+                                 std::string_view context_tag) const {
+  const hypermedia::NavNode* node = nav_->node(node_id);
+  if (node == nullptr) {
+    throw ResolutionError("compose_page: unknown node id '" +
+                          std::string(node_id) + "'");
+  }
+  if (mode_ == WeaveMode::Tangled) {
+    return core::TangledRenderer(*nav_, *structure_).render_node_page(*node);
+  }
+  return core::SeparatedComposer(weaver_).compose_node_page(*node,
+                                                            context_tag);
+}
+
+void Engine::rebuild() {
+  if (mode_ == WeaveMode::Tangled) {
+    core::TangledRenderer renderer(*nav_, *structure_);
+    for (auto& page : renderer.render_site()) {
+      site_.put(std::move(page.path), std::move(page.content));
+    }
+  } else {
+    core::SeparatedComposer composer(weaver_);
+    for (auto& page : composer.compose_site(*nav_, *structure_)) {
+      site_.put(std::move(page.path), std::move(page.content));
+    }
+  }
+  server_->clear_cache();
+}
+
+// --- SitePipeline ------------------------------------------------------------
+
+SitePipeline& SitePipeline::conceptual(
+    std::unique_ptr<museum::MuseumWorld> world) {
+  owned_world_ = std::move(world);
+  world_ = owned_world_.get();
+  nav_.reset();  // a model derived from a previous world is invalid now
+  return *this;
+}
+
+SitePipeline& SitePipeline::conceptual(const museum::MuseumWorld& world) {
+  owned_world_.reset();
+  world_ = &world;
+  nav_.reset();
+  return *this;
+}
+
+SitePipeline& SitePipeline::conceptual(const museum::SyntheticSpec& spec) {
+  return conceptual(museum::MuseumWorld::synthetic(spec));
+}
+
+SitePipeline& SitePipeline::paper_museum() {
+  return conceptual(museum::MuseumWorld::paper_instance());
+}
+
+SitePipeline& SitePipeline::schema() {
+  if (world_ == nullptr) {
+    throw SemanticError("SitePipeline::schema(): no conceptual model yet — "
+                        "call conceptual() first");
+  }
+  nav_ = world_->derive_navigation();
+  return *this;
+}
+
+SitePipeline& SitePipeline::schema(hypermedia::NavigationalModel model) {
+  nav_ = std::move(model);
+  return *this;
+}
+
+SitePipeline& SitePipeline::access(hypermedia::AccessStructureKind kind) {
+  kind_ = kind;
+  scope_painter_.reset();
+  structure_.reset();
+  return *this;
+}
+
+SitePipeline& SitePipeline::access(hypermedia::AccessStructureKind kind,
+                                   std::string_view painter_id) {
+  kind_ = kind;
+  scope_painter_ = std::string(painter_id);
+  structure_.reset();
+  return *this;
+}
+
+SitePipeline& SitePipeline::structure(
+    std::unique_ptr<hypermedia::AccessStructure> structure) {
+  structure_ = std::move(structure);
+  kind_.reset();
+  scope_painter_.reset();
+  return *this;
+}
+
+SitePipeline& SitePipeline::contexts(std::vector<std::string> family_names) {
+  family_names_ = std::move(family_names);
+  return *this;
+}
+
+SitePipeline& SitePipeline::weave() {
+  mode_ = WeaveMode::Separated;
+  return *this;
+}
+
+SitePipeline& SitePipeline::tangled() {
+  mode_ = WeaveMode::Tangled;
+  return *this;
+}
+
+SitePipeline::Materialized SitePipeline::materialize() {
+  if (world_ == nullptr) {
+    throw SemanticError(
+        "SitePipeline: no conceptual model — call conceptual(), "
+        "paper_museum() or conceptual(SyntheticSpec) first");
+  }
+  Materialized m;
+  m.owned_world = std::move(owned_world_);
+  m.world = world_;
+  m.nav = nav_ ? std::move(nav_) : std::optional<hypermedia::NavigationalModel>(
+                                       world_->derive_navigation());
+  // The pipeline is consumed: clear the moved-from state so a second
+  // terminal call throws the no-conceptual-model error above instead of
+  // dereferencing a dead world.
+  world_ = nullptr;
+  nav_.reset();
+
+  if (structure_ != nullptr) {
+    m.structure = std::move(structure_);
+  } else if (kind_) {
+    m.structure = scope_painter_
+                      ? m.world->paintings_structure(*kind_, *m.nav,
+                                                     *scope_painter_)
+                      : m.world->all_paintings_structure(*kind_, *m.nav);
+  } else {
+    throw SemanticError(
+        "SitePipeline: no access structure — call access(kind[, painter]) "
+        "or structure(...)");
+  }
+
+  for (const std::string& name : family_names_) {
+    if (name == "ByAuthor") {
+      m.families.push_back(m.world->by_author(*m.nav));
+    } else if (name == "ByMovement") {
+      m.families.push_back(m.world->by_movement(*m.nav));
+    } else {
+      throw SemanticError("SitePipeline: unknown context family '" + name +
+                          "' (known: ByAuthor, ByMovement)");
+    }
+  }
+  return m;
+}
+
+namespace {
+
+/// The server slash-terminates its base; the site builders concatenate
+/// theirs — normalize up front so linkbase URIs and served URIs agree.
+std::string with_trailing_slash(std::string_view base) {
+  std::string out(base);
+  if (!out.empty() && out.back() != '/') out += '/';
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<Engine> SitePipeline::serve(std::string_view base) {
+  Materialized m = materialize();
+
+  // The constructor is private; no make_unique.
+  std::unique_ptr<Engine> engine(new Engine());
+  engine->owned_world_ = std::move(m.owned_world);
+  engine->world_ = m.world;
+  engine->nav_ = std::move(m.nav);
+  engine->structure_ = std::move(m.structure);
+  engine->families_ = std::move(m.families);
+  engine->mode_ = mode_;
+
+  site::SiteBuildOptions options;
+  options.site_base = with_trailing_slash(base);
+  for (const auto& family : engine->families_) {
+    options.context_families.push_back(&family);
+  }
+  options.weaver = &engine->weaver_;
+
+  if (mode_ == WeaveMode::Tangled) {
+    engine->site_ =
+        site::build_tangled_site(*engine->world_, *engine->structure_,
+                                 options);
+  } else {
+    engine->site_ =
+        site::build_separated_site(*engine->world_, *engine->structure_,
+                                   options);
+    // Load every authored linkbase back and merge the arc tables; the
+    // parsed documents stay alive in the engine so graph element
+    // pointers remain valid.
+    auto load = [&](const std::string& path) {
+      const std::string* text = engine->site_.get(path);
+      if (text == nullptr) return;
+      xml::ParseOptions parse_options;
+      parse_options.base_uri = options.site_base + path;
+      auto doc = xml::parse(*text, parse_options);
+      engine->graph_.merge(xlink::TraversalGraph::from_linkbase(*doc));
+      engine->linkbase_docs_.push_back(std::move(doc));
+    };
+    load("links.xml");
+    for (const auto& family : engine->families_) {
+      load(site::context_linkbase_path(family.name()));
+    }
+  }
+
+  engine->server_ = std::make_unique<site::HypermediaServer>(
+      engine->site_, options.site_base);
+  engine->browser_ =
+      std::make_unique<site::Browser>(*engine->server_, engine->graph_);
+  engine->session_ = std::make_unique<BrowserSession>(*engine->browser_,
+                                                      *engine->server_);
+  return engine;
+}
+
+site::VirtualSite SitePipeline::build(std::string_view base) {
+  Materialized m = materialize();
+  site::SiteBuildOptions options;
+  options.site_base = with_trailing_slash(base);
+  for (const auto& family : m.families) {
+    options.context_families.push_back(&family);
+  }
+  return mode_ == WeaveMode::Tangled
+             ? site::build_tangled_site(*m.world, *m.structure, options)
+             : site::build_separated_site(*m.world, *m.structure, options);
+}
+
+}  // namespace navsep::nav

@@ -1,0 +1,241 @@
+// SitePipeline: one fluent API from the conceptual model to a woven,
+// served, browsable site — the pipeline every example used to hand-wire
+// in ~30 lines of object juggling:
+//
+//   auto engine = nav::SitePipeline()
+//                     .conceptual(museum::MuseumWorld::paper_instance())
+//                     .schema()
+//                     .access(AccessStructureKind::IndexedGuidedTour,
+//                             "picasso")
+//                     .contexts({"ByAuthor"})
+//                     .weave()
+//                     .serve("http://museum.example/site/");
+//   engine->navigator().navigate("guitar.html");
+//
+// The returned Engine owns everything the pipeline produced — conceptual
+// world, navigational model, access structure, context families, woven
+// VirtualSite, server, linkbase documents and their traversal graph —
+// with one lifetime instead of five raw-pointer-aliased locals. Callers
+// see it through the role interfaces of roles.hpp: navigator() /
+// session() for applications, internals() for the framework.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "aop/weaver.hpp"
+#include "hypermedia/access.hpp"
+#include "hypermedia/context.hpp"
+#include "hypermedia/navigational.hpp"
+#include "museum/museum.hpp"
+#include "nav/roles.hpp"
+#include "nav/session.hpp"
+#include "site/browser.hpp"
+#include "site/server.hpp"
+#include "site/session.hpp"
+#include "site/virtual_site.hpp"
+#include "xlink/traversal.hpp"
+#include "xml/dom.hpp"
+
+namespace navsep::nav {
+
+/// How the pipeline turns navigation into pages: Separated is the paper's
+/// design (XLink linkbase + weaving); Tangled is the baseline it argues
+/// against (navigation baked into every page), kept for comparisons.
+enum class WeaveMode { Separated, Tangled };
+
+/// The running result of a SitePipeline: site + server + traversal graph
+/// + weaver under one owner. Create through SitePipeline::serve().
+class Engine final : public EngineInternals {
+ public:
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine() override = default;
+
+  // --- role-segregated views --------------------------------------------------
+
+  /// The end-user face (98% of callers need nothing else).
+  [[nodiscard]] Navigating& navigator() noexcept { return *session_; }
+
+  /// Read-only observation of the primary session.
+  [[nodiscard]] const SessionView& session() const noexcept {
+    return *session_;
+  }
+
+  /// The framework door. Applications should not walk through it.
+  [[nodiscard]] EngineInternals& internals() noexcept { return *this; }
+
+  // --- pipeline artifacts (read-only) -----------------------------------------
+
+  [[nodiscard]] const museum::MuseumWorld& world() const noexcept {
+    return *world_;
+  }
+  [[nodiscard]] const hypermedia::NavigationalModel& navigation()
+      const noexcept {
+    return *nav_;
+  }
+  [[nodiscard]] const hypermedia::AccessStructure& structure() const noexcept {
+    return *structure_;
+  }
+  [[nodiscard]] const std::vector<hypermedia::ContextFamily>&
+  context_families() const noexcept {
+    return families_;
+  }
+  [[nodiscard]] const site::VirtualSite& site() const noexcept { return site_; }
+  [[nodiscard]] const site::HypermediaServer& server() const noexcept {
+    return *server_;
+  }
+  [[nodiscard]] WeaveMode mode() const noexcept { return mode_; }
+
+  // --- additional consumers over the same site --------------------------------
+
+  /// An independent XLink browser (own history/location) over the engine's
+  /// server and arc table. The engine must outlive it.
+  [[nodiscard]] site::Browser open_browser() const;
+
+  /// A context-aware navigation session over the engine's families; join
+  /// points are announced through the engine's weaver.
+  [[nodiscard]] site::NavigationSession open_session() const;
+
+  /// Compose one node page on demand, inside an optional navigational
+  /// context tag ("ByAuthor:picasso") — woven through the engine's weaver
+  /// in Separated mode. In Tangled mode the page is rendered inline and
+  /// `context_tag` is ignored: the tangled baseline bakes one fixed arc
+  /// set into pages and has no contextual weaving. Throws
+  /// ResolutionError for unknown node ids.
+  [[nodiscard]] std::string compose_page(
+      std::string_view node_id, std::string_view context_tag = "") const;
+
+  // --- EngineInternals --------------------------------------------------------
+
+  [[nodiscard]] aop::Weaver& weaver() noexcept override { return weaver_; }
+  [[nodiscard]] const xlink::TraversalGraph& arc_table()
+      const noexcept override {
+    return graph_;
+  }
+  void rebuild() override;
+  void clear_response_cache() override { server_->clear_cache(); }
+  [[nodiscard]] std::size_t response_cache_hits() const noexcept override {
+    return server_->cache_hits();
+  }
+
+ private:
+  friend class SitePipeline;
+  Engine() = default;
+
+  // Declaration order is destruction-order-sensitive: everything below
+  // may point into what is above it.
+  std::unique_ptr<museum::MuseumWorld> owned_world_;
+  const museum::MuseumWorld* world_ = nullptr;
+  std::optional<hypermedia::NavigationalModel> nav_;
+  std::unique_ptr<hypermedia::AccessStructure> structure_;
+  std::vector<hypermedia::ContextFamily> families_;
+  WeaveMode mode_ = WeaveMode::Separated;
+  mutable aop::Weaver weaver_;
+  site::VirtualSite site_;
+  std::vector<std::unique_ptr<xml::Document>> linkbase_docs_;
+  xlink::TraversalGraph graph_;
+  std::unique_ptr<site::HypermediaServer> server_;
+  std::unique_ptr<site::Browser> browser_;
+  std::unique_ptr<BrowserSession> session_;
+};
+
+/// Fluent composer of the whole separated-navigation pipeline. Stages may
+/// be set in any order; serve() / build() are terminal and consume the
+/// pipeline (the world moves into the engine). Misconfiguration (no
+/// conceptual model, no access structure, unknown context family) throws
+/// navsep::SemanticError at the terminal call, not midway.
+class SitePipeline {
+ public:
+  SitePipeline() = default;
+  SitePipeline(SitePipeline&&) = default;
+  SitePipeline& operator=(SitePipeline&&) = default;
+
+  // --- stage 1: the conceptual model ------------------------------------------
+
+  /// Own the world (the common case — the engine carries it).
+  SitePipeline& conceptual(std::unique_ptr<museum::MuseumWorld> world);
+
+  /// Borrow a world the caller keeps alive (sharing one across pipelines).
+  SitePipeline& conceptual(const museum::MuseumWorld& world);
+
+  /// Synthesize a deterministic world of the given size.
+  SitePipeline& conceptual(const museum::SyntheticSpec& spec);
+
+  /// The paper's exact museum (Picasso, Figures 3/4/7/8/9).
+  SitePipeline& paper_museum();
+
+  // --- stage 2: the navigational schema/model ---------------------------------
+
+  /// Derive the navigational model from the conceptual one (OOHDM layer
+  /// 2). Implied by serve()/build() when omitted.
+  SitePipeline& schema();
+
+  /// Use a pre-derived model (it must view the pipeline's world).
+  SitePipeline& schema(hypermedia::NavigationalModel model);
+
+  // --- stage 3: the access structure ------------------------------------------
+
+  /// An access structure over every painting of the museum.
+  SitePipeline& access(hypermedia::AccessStructureKind kind);
+
+  /// An access structure over one painter's paintings (the paper's
+  /// running example: "picasso").
+  SitePipeline& access(hypermedia::AccessStructureKind kind,
+                       std::string_view painter_id);
+
+  /// A custom structure built elsewhere.
+  SitePipeline& structure(
+      std::unique_ptr<hypermedia::AccessStructure> structure);
+
+  // --- stage 4: navigational contexts (paper §2) ------------------------------
+
+  /// Context families to author and weave alongside the structure.
+  /// Known names: "ByAuthor", "ByMovement".
+  SitePipeline& contexts(std::vector<std::string> family_names);
+
+  // --- stage 5: weaving mode --------------------------------------------------
+
+  /// Separated (linkbase + woven pages) — the default.
+  SitePipeline& weave();
+
+  /// Tangled baseline (navigation embedded in every page).
+  SitePipeline& tangled();
+
+  // --- terminals --------------------------------------------------------------
+
+  /// Materialize everything and serve it: returns the running Engine.
+  [[nodiscard]] std::unique_ptr<Engine> serve(
+      std::string_view base = kDefaultBase);
+
+  /// Materialize just the artifact set (no server/browser) — for writing
+  /// a site to disk or diffing builds.
+  [[nodiscard]] site::VirtualSite build(std::string_view base = kDefaultBase);
+
+  static constexpr std::string_view kDefaultBase =
+      "http://museum.example/site/";
+
+ private:
+  struct Materialized {
+    std::unique_ptr<museum::MuseumWorld> owned_world;
+    const museum::MuseumWorld* world = nullptr;
+    std::optional<hypermedia::NavigationalModel> nav;
+    std::unique_ptr<hypermedia::AccessStructure> structure;
+    std::vector<hypermedia::ContextFamily> families;
+  };
+  [[nodiscard]] Materialized materialize();
+
+  std::unique_ptr<museum::MuseumWorld> owned_world_;
+  const museum::MuseumWorld* world_ = nullptr;
+  std::optional<hypermedia::NavigationalModel> nav_;
+  std::optional<hypermedia::AccessStructureKind> kind_;
+  std::optional<std::string> scope_painter_;  // nullopt = all paintings
+  std::unique_ptr<hypermedia::AccessStructure> structure_;
+  std::vector<std::string> family_names_;
+  WeaveMode mode_ = WeaveMode::Separated;
+};
+
+}  // namespace navsep::nav

@@ -13,6 +13,7 @@ bool Browser::load(const std::string& uri) {
   if (!r.ok()) return false;
   location_ = uri;
   page_ = r.body;
+  links_ = graph_->outgoing(location_);
   ++visits_;
   return true;
 }
@@ -34,11 +35,6 @@ bool Browser::navigate(std::string_view uri_ref) {
   return true;
 }
 
-std::vector<const xlink::Arc*> Browser::links() const {
-  if (location_.empty()) return {};
-  return graph_->outgoing(location_);
-}
-
 bool Browser::follow(const xlink::Arc& arc) {
   if (arc.show == xlink::Show::None || arc.actuate == xlink::Actuate::None) {
     return false;  // the linkbase forbids traversal
@@ -49,12 +45,15 @@ bool Browser::follow(const xlink::Arc& arc) {
 bool Browser::follow_role(std::string_view role) {
   std::string bare(role);
   std::string prefixed = "nav:" + bare;
-  for (const xlink::Arc* arc : links()) {
+  // Pick the arc before following: follow() reloads and replaces links_.
+  const xlink::Arc* match = nullptr;
+  for (const xlink::Arc* arc : links_) {
     if (arc->arcrole == bare || arc->arcrole == prefixed) {
-      return follow(*arc);
+      match = arc;
+      break;
     }
   }
-  return false;
+  return match != nullptr && follow(*match);
 }
 
 bool Browser::back() {

@@ -27,8 +27,13 @@ class Browser {
   }
   [[nodiscard]] const std::string* page() const noexcept { return page_; }
 
-  /// Arcs leaving the current resource (linkbase order).
-  [[nodiscard]] std::vector<const xlink::Arc*> links() const;
+  /// Arcs leaving the current resource (linkbase order). Computed once
+  /// per location change from the graph's per-source index, then served
+  /// from the cached list — repeated links()/follow_role() calls on the
+  /// same page cost nothing.
+  [[nodiscard]] const std::vector<const xlink::Arc*>& links() const noexcept {
+    return links_;
+  }
 
   /// Actuate one arc (must be an onRequest-style arc; show=none arcs are
   /// refused). Returns false when the target 404s.
@@ -53,6 +58,7 @@ class Browser {
   const xlink::TraversalGraph* graph_;
   std::string location_;
   const std::string* page_ = nullptr;
+  std::vector<const xlink::Arc*> links_;  // outgoing arcs of location_
   std::vector<std::string> history_;
   std::size_t history_pos_ = 0;  // points one past the current entry
   std::size_t visits_ = 0;

@@ -25,7 +25,40 @@ std::string HypermediaServer::uri_of(std::string_view path) const {
 }
 
 Response HypermediaServer::get(std::string_view uri_or_path) const {
-  ++requests_;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  // The fragment never reaches the site lookup, so it stays out of the
+  // cache key; 404s are not cached at all — together this bounds the
+  // cache by the resource aliases actually requested, not by whatever
+  // strings clients probe with.
+  std::string key(uri_or_path.substr(0, uri_or_path.find('#')));
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (auto it = cache_.find(key); it != cache_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  Response r = resolve(uri_or_path);
+  if (!r.ok()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return r;
+  }
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_.emplace(std::move(key), r);
+  return r;
+}
+
+std::size_t HypermediaServer::cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.size();
+}
+
+void HypermediaServer::clear_cache() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_.clear();
+}
+
+Response HypermediaServer::resolve(std::string_view uri_or_path) const {
   std::string path;
   if (uri_or_path.find("://") != std::string_view::npos) {
     // Absolute: must live under our base.
@@ -37,7 +70,6 @@ Response HypermediaServer::get(std::string_view uri_or_path) const {
     }
     std::string norm_base = uri::normalize(uri::parse(base_)).to_string();
     if (normalized.rfind(norm_base, 0) != 0) {
-      ++misses_;
       return Response{404, "", nullptr};
     }
     path = normalized.substr(norm_base.size());
@@ -49,7 +81,6 @@ Response HypermediaServer::get(std::string_view uri_or_path) const {
   }
   const std::string* body = site_->get(path);
   if (body == nullptr) {
-    ++misses_;
     return Response{404, "", nullptr};
   }
   return Response{200, std::string(content_type_for(path)), body};

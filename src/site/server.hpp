@@ -4,11 +4,21 @@
 // site-relative path, 200/404 statuses, content types inferred from the
 // extension, and request counters. Enough for the browser and the
 // benchmarks; no sockets (see DESIGN.md non-goals).
+//
+// Successful responses are memoized (keyed without the fragment; 404s
+// are never cached, so probing strings cannot grow the cache): the first
+// GET for a URI pays URI normalization and site lookup, repeats are one
+// cache probe. The cache and the counters are safe for concurrent
+// readers (the whole surface is const): counters are atomics, the cache
+// is guarded by a mutex.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 #include "site/virtual_site.hpp"
 
@@ -31,17 +41,38 @@ class HypermediaServer {
   [[nodiscard]] Response get(std::string_view uri_or_path) const;
 
   [[nodiscard]] const std::string& base() const noexcept { return base_; }
-  [[nodiscard]] std::size_t requests() const noexcept { return requests_; }
-  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::size_t requests() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+  /// GETs answered from the response cache.
+  [[nodiscard]] std::size_t cache_hits() const noexcept {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+
+  /// Cached responses currently held.
+  [[nodiscard]] std::size_t cache_size() const;
+
+  /// Drop every cached response (framework hook — the engine calls this
+  /// when the underlying site is rebuilt).
+  void clear_cache() const;
 
   /// Absolute URI of a site path.
   [[nodiscard]] std::string uri_of(std::string_view path) const;
 
  private:
+  [[nodiscard]] Response resolve(std::string_view uri_or_path) const;
+
   const VirtualSite* site_;
   std::string base_;
-  mutable std::size_t requests_ = 0;
-  mutable std::size_t misses_ = 0;
+  mutable std::atomic<std::size_t> requests_{0};
+  mutable std::atomic<std::size_t> misses_{0};
+  mutable std::atomic<std::size_t> cache_hits_{0};
+  mutable std::mutex cache_mutex_;
+  mutable std::unordered_map<std::string, Response> cache_;
 };
 
 /// "text/html", "text/xml", "text/css" or "application/octet-stream".

@@ -35,6 +35,15 @@ std::vector<core::Artifact> VirtualSite::artifacts() const {
   return out;
 }
 
+std::string context_linkbase_path(std::string_view family_name) {
+  std::string out = "links-";
+  for (char c : family_name) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    out += c;
+  }
+  return out + ".xml";
+}
+
 VirtualSite build_separated_site(const museum::MuseumWorld& world,
                                  const hypermedia::AccessStructure& structure,
                                  const SiteBuildOptions& options) {
@@ -60,11 +69,34 @@ VirtualSite build_separated_site(const museum::MuseumWorld& world,
   auto linkbase = core::build_linkbase(structure, lb);
   out.put("links.xml", xml::write(*linkbase, {.pretty = true}));
 
-  // Derived: the woven pages.
+  // Authored: one contextual linkbase per requested family. The parsed
+  // documents must outlive the graphs (arc origins point into them) until
+  // the combined aspect below has copied the arcs out.
   hypermedia::NavigationalModel nav = world.derive_navigation();
-  aop::Weaver weaver;
-  weaver.register_aspect(core::NavigationAspect::from_linkbase(
-      core::load_linkbase(*linkbase), {}));
+  std::vector<std::unique_ptr<xml::Document>> context_docs;
+  std::vector<xlink::TraversalGraph> context_graphs;
+  for (const hypermedia::ContextFamily* family : options.context_families) {
+    if (family == nullptr) continue;
+    core::LinkbaseOptions clb = lb;
+    clb.base_uri = options.site_base + context_linkbase_path(family->name());
+    context_docs.push_back(core::build_context_linkbase(*family, nav, clb));
+    context_graphs.push_back(core::load_linkbase(*context_docs.back()));
+    out.put(context_linkbase_path(family->name()),
+            xml::write(*context_docs.back(), {.pretty = true}));
+  }
+
+  // Derived: the woven pages. One combined aspect carries the structure's
+  // arcs plus every context family's tagged tours.
+  aop::Weaver local_weaver;
+  aop::Weaver& weaver = options.weaver ? *options.weaver : local_weaver;
+  std::vector<const xlink::TraversalGraph*> context_graph_ptrs;
+  context_graph_ptrs.reserve(context_graphs.size());
+  for (const auto& g : context_graphs) context_graph_ptrs.push_back(&g);
+  // replace, not register: a caller-supplied weaver may already carry the
+  // navigation aspect of an earlier build (the §5 migration scenario) —
+  // stacking both would weave two anchor sets into every page.
+  weaver.replace_aspect(core::NavigationAspect::combined(
+      core::load_linkbase(*linkbase), context_graph_ptrs, {}));
   core::SeparatedComposer composer(weaver);
   for (auto& page : composer.compose_site(nav, structure)) {
     out.put(std::move(page.path), std::move(page.content));

@@ -15,7 +15,12 @@
 
 #include "core/migration.hpp"
 #include "hypermedia/access.hpp"
+#include "hypermedia/context.hpp"
 #include "museum/museum.hpp"
+
+namespace navsep::aop {
+class Weaver;
+}
 
 namespace navsep::site {
 
@@ -41,7 +46,22 @@ struct SiteBuildOptions {
   /// Absolute base the site is served under; linkbase hrefs resolve
   /// against `<site_base>links.xml`.
   std::string site_base = "http://museum.example/site/";
+
+  /// Context families to author alongside the access structure: each
+  /// becomes its own contextual linkbase artifact
+  /// ("links-<family>.xml") whose tour arcs carry nav:context tags.
+  /// Borrowed; must outlive the call.
+  std::vector<const hypermedia::ContextFamily*> context_families;
+
+  /// Weaver to compose the woven pages through. When null a throwaway
+  /// weaver is used; passing one (the engine does) lets callers keep the
+  /// registered navigation aspect for later re-weaving and extend it with
+  /// their own aspects.
+  aop::Weaver* weaver = nullptr;
 };
+
+/// Site path of a context family's linkbase ("links-byauthor.xml").
+[[nodiscard]] std::string context_linkbase_path(std::string_view family_name);
 
 /// Build the separated museum site for one access structure: authored
 /// artifacts (data XML per entity, links.xml, presentation.xsl,

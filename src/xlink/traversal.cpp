@@ -1,6 +1,5 @@
 #include "xlink/traversal.hpp"
 
-#include <algorithm>
 #include <set>
 
 #include "uri/uri.hpp"
@@ -148,10 +147,10 @@ TraversalGraph::TraversalGraph(std::vector<Arc> arcs)
 void TraversalGraph::index_arc(std::size_t i) {
   const Arc& a = arcs_[i];
   if (!a.from.uri.empty()) {
-    by_from_.emplace(normalize_ref(a.from.uri), i);
+    by_from_[normalize_ref(a.from.uri)].push_back(i);
   }
   if (!a.to.uri.empty()) {
-    by_to_.emplace(normalize_ref(a.to.uri), i);
+    by_to_[normalize_ref(a.to.uri)].push_back(i);
   }
 }
 
@@ -161,21 +160,27 @@ TraversalGraph TraversalGraph::from_linkbase(const xml::Document& doc) {
 }
 
 std::vector<const Arc*> TraversalGraph::outgoing(std::string_view u) const {
+  const std::vector<std::size_t>* indices = outgoing_indices(normalize_ref(u));
+  if (indices == nullptr) return {};
   std::vector<const Arc*> out;
-  auto [lo, hi] = by_from_.equal_range(normalize_ref(u));
-  for (auto it = lo; it != hi; ++it) out.push_back(&arcs_[it->second]);
-  std::sort(out.begin(), out.end(),
-            [this](const Arc* a, const Arc* b) { return a < b; });
+  out.reserve(indices->size());
+  for (std::size_t i : *indices) out.push_back(&arcs_[i]);
   return out;
 }
 
 std::vector<const Arc*> TraversalGraph::incoming(std::string_view u) const {
+  auto it = by_to_.find(normalize_ref(u));
+  if (it == by_to_.end()) return {};
   std::vector<const Arc*> out;
-  auto [lo, hi] = by_to_.equal_range(normalize_ref(u));
-  for (auto it = lo; it != hi; ++it) out.push_back(&arcs_[it->second]);
-  std::sort(out.begin(), out.end(),
-            [this](const Arc* a, const Arc* b) { return a < b; });
+  out.reserve(it->second.size());
+  for (std::size_t i : it->second) out.push_back(&arcs_[i]);
   return out;
+}
+
+const std::vector<std::size_t>* TraversalGraph::outgoing_indices(
+    std::string_view normalized_uri) const {
+  auto it = by_from_.find(normalized_uri);
+  return it == by_from_.end() ? nullptr : &it->second;
 }
 
 std::vector<std::string> TraversalGraph::resource_uris() const {
@@ -189,9 +194,11 @@ std::vector<std::string> TraversalGraph::resource_uris() const {
 
 std::vector<const Arc*> TraversalGraph::outgoing_with_role(
     std::string_view u, std::string_view arcrole) const {
+  const std::vector<std::size_t>* indices = outgoing_indices(normalize_ref(u));
+  if (indices == nullptr) return {};
   std::vector<const Arc*> out;
-  for (const Arc* a : outgoing(u)) {
-    if (a->arcrole == arcrole) out.push_back(a);
+  for (std::size_t i : *indices) {
+    if (arcs_[i].arcrole == arcrole) out.push_back(&arcs_[i]);
   }
   return out;
 }

@@ -78,6 +78,11 @@ class DocumentRegistry {
 [[nodiscard]] std::string normalize_ref(std::string_view uri);
 
 /// The traversal graph over a set of expanded arcs.
+///
+/// Lookups are served by a per-source index: each distinct normalized
+/// endpoint URI maps to the (document-ordered) arc indices departing /
+/// arriving there, so `outgoing()` is one map probe — no full-arc-list
+/// scan and no per-call sort.
 class TraversalGraph {
  public:
   TraversalGraph() = default;
@@ -95,6 +100,12 @@ class TraversalGraph {
   /// Arcs arriving at `uri`.
   [[nodiscard]] std::vector<const Arc*> incoming(std::string_view uri) const;
 
+  /// Arc indices departing the *already normalized* `uri` — the zero-copy
+  /// fast path behind `outgoing()`, for callers that loop over one
+  /// source: normalize once, hold the span. Null when none.
+  [[nodiscard]] const std::vector<std::size_t>* outgoing_indices(
+      std::string_view normalized_uri) const;
+
   /// Every distinct endpoint URI appearing in the graph, sorted.
   [[nodiscard]] std::vector<std::string> resource_uris() const;
 
@@ -109,8 +120,10 @@ class TraversalGraph {
   void index_arc(std::size_t i);
 
   std::vector<Arc> arcs_;
-  std::multimap<std::string, std::size_t, std::less<>> by_from_;
-  std::multimap<std::string, std::size_t, std::less<>> by_to_;
+  // Per-source / per-target index: indices are inserted in increasing
+  // order, so every bucket stays sorted in linkbase document order.
+  std::map<std::string, std::vector<std::size_t>, std::less<>> by_from_;
+  std::map<std::string, std::vector<std::size_t>, std::less<>> by_to_;
 };
 
 /// The arcrole XLink 1.0 §5.1.2 reserves for "load this linkbase too".
