@@ -40,6 +40,7 @@ Aspect& Aspect::add(std::string_view pointcut, AdviceKind kind, AdviceFn body,
                     std::string note) {
   rules_.push_back(AdviceRule{Pointcut::parse(pointcut), kind,
                               std::move(body), std::move(note)});
+  ++revision_;
   return *this;
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <any>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -79,9 +80,18 @@ class Aspect {
   Aspect& around(std::string_view pointcut, AdviceFn body,
                  std::string note = "");
 
-  [[nodiscard]] const std::vector<AdviceRule>& rules() const noexcept {
+  /// Deque, not vector: weavers cache AdviceRule pointers per join-point
+  /// shape, and rules may be appended mid-session — appends must not
+  /// relocate existing rules.
+  [[nodiscard]] const std::deque<AdviceRule>& rules() const noexcept {
     return rules_;
   }
+
+  /// Bumped on every rule addition. Weavers compare this against the
+  /// revision they last matched with, so a rule added to an
+  /// already-registered aspect mid-session invalidates their pointcut
+  /// match caches instead of being silently ignored on cached shapes.
+  [[nodiscard]] std::size_t revision() const noexcept { return revision_; }
 
  private:
   Aspect& add(std::string_view pointcut, AdviceKind kind, AdviceFn body,
@@ -89,7 +99,8 @@ class Aspect {
 
   std::string name_;
   int precedence_;
-  std::vector<AdviceRule> rules_;
+  std::deque<AdviceRule> rules_;
+  std::size_t revision_ = 0;
 };
 
 }  // namespace navsep::aop

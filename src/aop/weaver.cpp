@@ -5,7 +5,8 @@
 namespace navsep::aop {
 
 void Weaver::register_aspect(std::shared_ptr<Aspect> aspect) {
-  aspects_.push_back(Registered{std::move(aspect), true});
+  const std::size_t revision = aspect->revision();
+  aspects_.push_back(Registered{std::move(aspect), true, revision});
   invalidate_cache();
 }
 
@@ -14,6 +15,7 @@ void Weaver::replace_aspect(std::shared_ptr<Aspect> aspect) {
   // execution order relative to other registered aspects.
   for (auto& r : aspects_) {
     if (r.aspect->name() == aspect->name()) {
+      r.seen_revision = aspect->revision();
       r.aspect = std::move(aspect);
       r.enabled = true;
       invalidate_cache();
@@ -21,6 +23,17 @@ void Weaver::replace_aspect(std::shared_ptr<Aspect> aspect) {
     }
   }
   register_aspect(std::move(aspect));
+}
+
+void Weaver::refresh_revisions() {
+  bool drifted = false;
+  for (auto& r : aspects_) {
+    if (r.aspect->revision() != r.seen_revision) {
+      r.seen_revision = r.aspect->revision();
+      drifted = true;
+    }
+  }
+  if (drifted) invalidate_cache();
 }
 
 bool Weaver::set_enabled(std::string_view name, bool enabled) {
@@ -116,9 +129,31 @@ const Weaver::MatchSet& Weaver::match(const JoinPoint& jp) {
   return cache_.emplace(std::move(key), compute_match(jp)).first->second;
 }
 
+/// Bumps/restores the weaver's dispatch depth across advice execution
+/// (advice may throw; the depth must unwind with the stack).
+class DepthGuard {
+ public:
+  explicit DepthGuard(std::size_t& depth) noexcept : depth_(depth) {
+    ++depth_;
+  }
+  ~DepthGuard() { --depth_; }
+  DepthGuard(const DepthGuard&) = delete;
+  DepthGuard& operator=(const DepthGuard&) = delete;
+
+ private:
+  std::size_t& depth_;
+};
+
 void Weaver::execute(const JoinPoint& jp, std::any* payload,
                      const std::function<void()>& base) {
   ++stats_.join_points_executed;
+  // Revision drift (rules added to a registered aspect) is only acted on
+  // between top-level dispatches: a nested execute() reached from advice
+  // must not invalidate the MatchSet its caller is iterating. Rules added
+  // mid-dispatch therefore take effect from the next top-level dispatch —
+  // and never relocate (Aspect stores rules in a deque).
+  if (execute_depth_ == 0) refresh_revisions();
+  DepthGuard guard(execute_depth_);
   // With the cache disabled (ablation mode) every dispatch re-matches all
   // pointcuts into a local set, which stays valid across nested executes.
   MatchSet uncached;

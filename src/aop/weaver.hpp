@@ -79,7 +79,17 @@ class Weaver {
   struct Registered {
     std::shared_ptr<Aspect> aspect;
     bool enabled = true;
+    /// Aspect::revision() when we last (in)validated — aspects are shared
+    /// and callers may keep adding rules after registration; execute()
+    /// compares and drops the match cache on drift.
+    std::size_t seen_revision = 0;
   };
+
+  /// Drop the match cache if any registered aspect gained rules since the
+  /// last dispatch. Only called between top-level dispatches: a nested
+  /// execute() (advice composing another page) must not clear the cached
+  /// MatchSet its caller is still iterating.
+  void refresh_revisions();
 
   /// Advice matched for one join-point shape, pre-sorted for execution.
   struct MatchSet {
@@ -99,6 +109,7 @@ class Weaver {
   std::map<std::string, MatchSet, std::less<>> cache_;
   WeaverStats stats_;
   bool cache_enabled_ = true;
+  std::size_t execute_depth_ = 0;
 };
 
 }  // namespace navsep::aop

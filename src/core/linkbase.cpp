@@ -230,7 +230,9 @@ std::vector<ContextualArc> contextual_arcs_from_graph(
   for (const xlink::Arc& arc : graph.arcs()) {
     if (arc.arcrole.rfind(kNavArcrolePrefix, 0) != 0) continue;
     ContextualArc ca;
+    ca.ordinal = i;
     ca.arc = plain[i++];
+    ca.origin = arc.origin;
     if (arc.origin != nullptr) {
       ca.context = std::string(
           arc.origin->attribute_ns(kNavExtensionNamespace, "context")

@@ -74,6 +74,11 @@ class NavigationInjector {
       a.set_attribute("href", options_.href_for(arc.to));
       a.set_attribute("class", cls);
       a.append_text(arc.title.empty() ? arc.to : arc.title);
+      if (options_.provenance_log != nullptr) {
+        options_.provenance_log->push_back(
+            AnchorProvenance{node_id, std::string(current_context), arc.source,
+                             arc.ordinal, arc.to, arc.role});
+      }
     };
 
     for (const NavArc* arc : ups) anchor(nav, *arc, "nav-up");
@@ -110,7 +115,7 @@ std::shared_ptr<aop::Aspect> NavigationAspect::from_arcs(
   std::vector<NavArc> nav;
   nav.reserve(arcs.size());
   for (const auto& a : arcs) {
-    nav.push_back(NavArc{a.from, a.to, a.role, a.title, ""});
+    nav.push_back(NavArc{a.from, a.to, a.role, a.title, "", "", 0});
   }
   return build_aspect(std::move(nav), options);
 }
@@ -132,7 +137,7 @@ std::shared_ptr<aop::Aspect> NavigationAspect::from_contextual_linkbase(
   std::vector<NavArc> nav;
   for (const ContextualArc& ca : contextual_arcs_from_graph(graph)) {
     nav.push_back(NavArc{ca.arc.from, ca.arc.to, ca.arc.role, ca.arc.title,
-                         ca.context});
+                         ca.context, "", ca.ordinal});
   }
   return build_aspect(std::move(nav), options);
 }
@@ -141,18 +146,25 @@ std::shared_ptr<aop::Aspect> NavigationAspect::combined(
     const xlink::TraversalGraph& structure_graph,
     const std::vector<const xlink::TraversalGraph*>& context_graphs,
     const NavigationAspectOptions& options) {
-  std::vector<NavArc> nav;
-  for (const hypermedia::AccessArc& a : arcs_from_graph(structure_graph)) {
-    nav.push_back(NavArc{a.from, a.to, a.role, a.title, ""});
-  }
+  std::vector<SourcedGraph> sourced;
+  sourced.reserve(context_graphs.size() + 1);
+  sourced.push_back(SourcedGraph{"", &structure_graph});
   for (const xlink::TraversalGraph* graph : context_graphs) {
-    if (graph == nullptr) continue;
-    for (const ContextualArc& ca : contextual_arcs_from_graph(*graph)) {
+    sourced.push_back(SourcedGraph{"", graph});
+  }
+  return build_aspect(combined_nav_arcs(sourced), options);
+}
+
+std::vector<NavArc> combined_nav_arcs(const std::vector<SourcedGraph>& graphs) {
+  std::vector<NavArc> nav;
+  for (const SourcedGraph& sg : graphs) {
+    if (sg.graph == nullptr) continue;
+    for (const ContextualArc& ca : contextual_arcs_from_graph(*sg.graph)) {
       nav.push_back(NavArc{ca.arc.from, ca.arc.to, ca.arc.role, ca.arc.title,
-                           ca.context});
+                           ca.context, sg.source, ca.ordinal});
     }
   }
-  return build_aspect(std::move(nav), options);
+  return nav;
 }
 
 }  // namespace navsep::core

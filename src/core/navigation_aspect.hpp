@@ -30,6 +30,19 @@
 
 namespace navsep::core {
 
+/// Provenance of one woven anchor: which authored linkbase arc produced
+/// which anchor on which page. The incremental rebuild engine
+/// (nav/buildgraph) consumes this to invalidate exactly the pages an arc
+/// edit touches; tests use it to audit the weave.
+struct AnchorProvenance {
+  std::string page_id;   // join-point instance the anchor was woven into
+  std::string context;   // context tag active at compose time ("" = none)
+  std::string source;    // linkbase the arc came from (NavArc::source)
+  std::size_t ordinal = 0;  // arc ordinal within that linkbase
+  std::string to;        // anchor target id
+  std::string role;      // hypermedia::roles::*
+};
+
 struct NavigationAspectOptions {
   /// class attribute of the injected container.
   std::string container_class = "navigation";
@@ -46,6 +59,11 @@ struct NavigationAspectOptions {
   /// next/prev arc is emitted only if its arc context matches. Arcs built
   /// from plain access structures carry no context and always match.
   bool context_sensitive = true;
+
+  /// When set, the injector appends one AnchorProvenance entry per woven
+  /// anchor. Borrowed; must outlive the aspect. The caller owns clearing
+  /// between compositions (the engine drains it per page).
+  std::vector<AnchorProvenance>* provenance_log = nullptr;
 };
 
 /// Default id → href mapping (shared with the renderers).
@@ -58,6 +76,10 @@ struct NavArc {
   std::string role;     // hypermedia::roles::*
   std::string title;
   std::string context;  // qualified context this arc belongs to ("" = any)
+  // Provenance: which authored linkbase this arc came from, and where in
+  // it ("" / 0 for arcs built directly from access structures).
+  std::string source;
+  std::size_t ordinal = 0;
 };
 
 /// Builds the aspect. The returned Aspect is self-contained: it owns a
@@ -97,5 +119,19 @@ class NavigationAspect {
       const std::vector<const xlink::TraversalGraph*>& context_graphs,
       const NavigationAspectOptions& options = {});
 };
+
+/// A traversal graph labeled with the site path of the linkbase it was
+/// loaded from — the provenance unit of the combined arc table.
+struct SourcedGraph {
+  std::string source;  // e.g. "links.xml", "links-byauthor.xml"
+  const xlink::TraversalGraph* graph = nullptr;
+};
+
+/// Materialize the combined NavArc set of several linkbases in order,
+/// tagging every arc with its source linkbase and ordinal. Feeding the
+/// result to NavigationAspect::from_contextual_arcs weaves exactly what
+/// NavigationAspect::combined would, but with provenance attached.
+[[nodiscard]] std::vector<NavArc> combined_nav_arcs(
+    const std::vector<SourcedGraph>& graphs);
 
 }  // namespace navsep::core

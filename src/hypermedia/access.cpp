@@ -91,6 +91,22 @@ std::vector<AccessArc> Menu::arcs() const {
   return out;
 }
 
+std::unique_ptr<MaterializedStructure> MaterializedStructure::snapshot(
+    const AccessStructure& structure) {
+  return std::make_unique<MaterializedStructure>(
+      structure.name(), structure.kind(), structure.members(),
+      structure.arcs(), structure.entry());
+}
+
+void MaterializedStructure::replace_arc(std::size_t index, AccessArc arc) {
+  if (index >= arcs_.size()) {
+    throw SemanticError("MaterializedStructure::replace_arc: index " +
+                        std::to_string(index) + " out of range (have " +
+                        std::to_string(arcs_.size()) + " arcs)");
+  }
+  arcs_[index] = std::move(arc);
+}
+
 std::unique_ptr<AccessStructure> make_access_structure(
     AccessStructureKind kind, std::string name, std::vector<Member> members) {
   switch (kind) {

@@ -152,4 +152,48 @@ class Menu final : public AccessStructure {
 [[nodiscard]] std::unique_ptr<AccessStructure> make_access_structure(
     AccessStructureKind kind, std::string name, std::vector<Member> members);
 
+/// A structure whose arc set is explicit data rather than derived from a
+/// kind: kind, members, arcs and entry are all stored. This is what a
+/// linkbase *is* once authored — and therefore the natural substrate for
+/// runtime navigation edits: snapshot any structure, then replace
+/// individual arcs without inventing a new AccessStructure subclass.
+/// nav::Engine's mutation API keeps its live navigation design in one of
+/// these.
+class MaterializedStructure final : public AccessStructure {
+ public:
+  MaterializedStructure(std::string name, AccessStructureKind kind,
+                        std::vector<Member> members,
+                        std::vector<AccessArc> arcs, std::string entry)
+      : AccessStructure(std::move(name), std::move(members)),
+        kind_(kind),
+        arcs_(std::move(arcs)),
+        entry_(std::move(entry)) {}
+
+  /// Freeze another structure's current members/arcs/entry. Kind-specific
+  /// behavior (Menu sub-structures, tour circularity) is flattened into
+  /// the materialized arc set.
+  [[nodiscard]] static std::unique_ptr<MaterializedStructure> snapshot(
+      const AccessStructure& structure);
+
+  [[nodiscard]] AccessStructureKind kind() const noexcept override {
+    return kind_;
+  }
+  [[nodiscard]] std::vector<AccessArc> arcs() const override { return arcs_; }
+  [[nodiscard]] std::string entry() const override { return entry_; }
+
+  /// The stored arc list (no materialization cost, unlike arcs()).
+  [[nodiscard]] const std::vector<AccessArc>& stored_arcs() const noexcept {
+    return arcs_;
+  }
+
+  /// Replace the arc at `index`. Throws navsep::SemanticError when out of
+  /// range.
+  void replace_arc(std::size_t index, AccessArc arc);
+
+ private:
+  AccessStructureKind kind_;
+  std::vector<AccessArc> arcs_;
+  std::string entry_;
+};
+
 }  // namespace navsep::hypermedia

@@ -1,12 +1,38 @@
 #include "nav/pipeline.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.hpp"
+#include "core/linkbase.hpp"
 #include "core/renderer.hpp"
 #include "xml/parser.hpp"
+#include "xml/serializer.hpp"
 
 namespace navsep::nav {
+
+namespace {
+
+/// Build-graph node ids. Pages/slices append the page id.
+constexpr std::string_view kSpecNode = "nav:spec";
+constexpr std::string_view kArcTableNode = "nav:arcs";
+constexpr std::string_view kServerNode = "site:server";
+
+std::string linkbase_node(std::string_view path) {
+  return "linkbase:" + std::string(path);
+}
+std::string page_node(std::string_view page_id) {
+  return "page:" + std::string(page_id);
+}
+std::string slice_node(std::string_view page_id) {
+  return "arcslice:" + std::string(page_id);
+}
+
+std::uint64_t hash_str(std::uint64_t seed, std::string_view s) {
+  return hash_combine(seed, hash_bytes(s));
+}
+
+}  // namespace
 
 // --- Engine ------------------------------------------------------------------
 
@@ -31,23 +57,366 @@ std::string Engine::compose_page(std::string_view node_id,
   if (mode_ == WeaveMode::Tangled) {
     return core::TangledRenderer(*nav_, *structure_).render_node_page(*node);
   }
-  return core::SeparatedComposer(weaver_).compose_node_page(*node,
-                                                            context_tag);
+  // On-demand composition logs anchors into the same scratch the build
+  // graph uses; keep it from accumulating across calls.
+  provenance_scratch_.clear();
+  std::string page =
+      core::SeparatedComposer(weaver_).compose_node_page(*node, context_tag);
+  provenance_scratch_.clear();
+  return page;
 }
 
 void Engine::rebuild() {
-  if (mode_ == WeaveMode::Tangled) {
-    core::TangledRenderer renderer(*nav_, *structure_);
-    for (auto& page : renderer.render_site()) {
-      site_.put(std::move(page.path), std::move(page.content));
-    }
-  } else {
-    core::SeparatedComposer composer(weaver_);
-    for (auto& page : composer.compose_site(*nav_, *structure_)) {
-      site_.put(std::move(page.path), std::move(page.content));
+  // Blanket invalidation keeps the historical contract: a rebuild() after
+  // registering arbitrary aspects must leave no stale response anywhere.
+  // Clearing BEFORE the run also keeps it cheap — every page the run
+  // replaces would otherwise scan the still-warm cache in invalidate().
+  server_->clear_cache();
+  build_graph_.mark_all_dirty();
+  (void)build_graph_.run();
+  browser_->refresh();
+}
+
+// --- Engine: incremental mutation entry points --------------------------------
+
+RebuildReport Engine::run_graph_after_mutation() {
+  build_graph_.mark_dirty(std::string(kSpecNode));
+  RebuildReport report = build_graph_.run();
+  // The arc table (and with it the Arc storage the browser's cached
+  // links() point into) may have been rebuilt; re-resolve the session.
+  browser_->refresh();
+  return report;
+}
+
+RebuildReport Engine::set_access_structure(
+    std::unique_ptr<hypermedia::AccessStructure> structure) {
+  if (structure == nullptr) {
+    throw SemanticError("Engine::set_access_structure: null structure");
+  }
+  structure_ = hypermedia::MaterializedStructure::snapshot(*structure);
+  return run_graph_after_mutation();
+}
+
+RebuildReport Engine::set_access_structure(
+    hypermedia::AccessStructureKind kind) {
+  return regenerate_structure(kind, structure_->members());
+}
+
+RebuildReport Engine::add_node(std::string_view node_id) {
+  const hypermedia::NavNode* node = nav_->node(node_id);
+  if (node == nullptr) {
+    throw ResolutionError("Engine::add_node: unknown node id '" +
+                          std::string(node_id) + "'");
+  }
+  std::vector<hypermedia::Member> members = structure_->members();
+  for (const auto& m : members) {
+    if (m.node_id == node_id) {
+      throw SemanticError("Engine::add_node: '" + std::string(node_id) +
+                          "' is already a member");
     }
   }
-  server_->clear_cache();
+  members.push_back(hypermedia::Member{std::string(node_id), node->title()});
+  return regenerate_structure(structure_->kind(), std::move(members));
+}
+
+RebuildReport Engine::retitle_node(std::string_view node_id,
+                                   std::string_view title) {
+  std::vector<hypermedia::Member> members = structure_->members();
+  auto it = std::find_if(members.begin(), members.end(), [&](const auto& m) {
+    return m.node_id == node_id;
+  });
+  if (it == members.end()) {
+    throw ResolutionError("Engine::retitle_node: '" + std::string(node_id) +
+                          "' is not a member of the access structure");
+  }
+  it->title = std::string(title);
+  return regenerate_structure(structure_->kind(), std::move(members));
+}
+
+RebuildReport Engine::replace_arc(std::size_t index,
+                                  hypermedia::AccessArc arc) {
+  materialized_spec().replace_arc(index, std::move(arc));
+  return run_graph_after_mutation();
+}
+
+hypermedia::MaterializedStructure& Engine::materialized_spec() {
+  auto* spec =
+      dynamic_cast<hypermedia::MaterializedStructure*>(structure_.get());
+  if (spec == nullptr) {
+    auto snapshot = hypermedia::MaterializedStructure::snapshot(*structure_);
+    spec = snapshot.get();
+    structure_ = std::move(snapshot);
+  }
+  return *spec;
+}
+
+RebuildReport Engine::regenerate_structure(
+    hypermedia::AccessStructureKind kind,
+    std::vector<hypermedia::Member> members) {
+  if (kind == hypermedia::AccessStructureKind::Menu) {
+    // A Menu's arcs derive from its sub-structures, not from a flat
+    // member list, so kind-based regeneration cannot rebuild one.
+    throw SemanticError(
+        "Engine: structural mutations (add_node/retitle_node/"
+        "set_access_structure(kind)) regenerate arcs from the structure "
+        "kind and cannot target Menu; pass a constructed Menu to "
+        "set_access_structure(structure), or edit arcs individually with "
+        "replace_arc");
+  }
+  auto regenerated = hypermedia::make_access_structure(
+      kind, structure_->name(), std::move(members));
+  structure_ = hypermedia::MaterializedStructure::snapshot(*regenerated);
+  return run_graph_after_mutation();
+}
+
+// --- Engine: build-graph wiring -----------------------------------------------
+
+const std::vector<core::AnchorProvenance>* Engine::provenance_for(
+    std::string_view page_id) const {
+  auto it = provenance_.find(page_id);
+  return it == provenance_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Engine::desired_page_ids() const {
+  std::vector<std::string> out;
+  out.reserve(structure_->members().size() + 1);
+  for (const auto& member : structure_->members()) {
+    if (nav_->node(member.node_id) != nullptr) out.push_back(member.node_id);
+  }
+  out.push_back(structure_->page_id());
+  return out;
+}
+
+std::uint64_t Engine::put_if_changed(const std::string& path,
+                                     std::string text) {
+  const std::uint64_t hash = hash_bytes(text);
+  const std::string* current = site_.get(path);
+  if (current == nullptr || *current != text) {
+    site_.put(path, std::move(text));
+    server_->invalidate(path);
+  }
+  return hash;
+}
+
+std::uint64_t Engine::rebuild_spec() {
+  std::uint64_t h = hash_bytes(structure_->name());
+  h = hash_combine(h, static_cast<std::uint64_t>(structure_->kind()));
+  for (const auto& member : structure_->members()) {
+    h = hash_str(h, member.node_id);
+    h = hash_str(h, member.title);
+  }
+  for (const auto& arc : structure_->arcs()) {
+    h = hash_str(h, arc.from);
+    h = hash_str(h, arc.to);
+    h = hash_str(h, arc.role);
+    h = hash_str(h, arc.title);
+  }
+  if (mode_ == WeaveMode::Tangled) {
+    // One renderer per spec revision; every tangled page depends on it
+    // (which is exactly the paper's complaint about tangling).
+    tangled_renderer_ =
+        std::make_unique<core::TangledRenderer>(*nav_, *structure_);
+    sync_pages();
+  }
+  return h;
+}
+
+std::uint64_t Engine::rebuild_structure_linkbase() {
+  site::SiteBuildOptions site_options;
+  site_options.site_base = site_base_;
+  auto doc =
+      core::build_linkbase(*structure_,
+                           site::separated_linkbase_options(site_options));
+  std::string text = xml::write(*doc, {.pretty = true});
+  const std::string* current = site_.get("links.xml");
+  const bool changed = current == nullptr || *current != text;
+  const std::uint64_t hash = hash_bytes(text);
+  if (changed) {
+    site_.put("links.xml", std::move(text));
+    server_->invalidate("links.xml");
+    // The old document must die only after graph_ stops pointing into it;
+    // nothing dereferences graph_ between here and the arc-table rebuild
+    // this change propagates into.
+    structure_linkbase_doc_ = std::move(doc);
+  }
+  return hash;
+}
+
+std::uint64_t Engine::rebuild_context_linkbase(std::size_t index) {
+  ContextLinkbase& entry = context_linkbases_[index];
+  site::SiteBuildOptions site_options;
+  site_options.site_base = site_base_;
+  core::LinkbaseOptions lb = site::separated_linkbase_options(site_options);
+  lb.base_uri = site_base_ + entry.path;
+  auto doc = core::build_context_linkbase(*entry.family, *nav_, lb);
+  std::string text = xml::write(*doc, {.pretty = true});
+  const std::string* current = site_.get(entry.path);
+  const bool changed = current == nullptr || *current != text;
+  const std::uint64_t hash = hash_bytes(text);
+  if (changed) {
+    site_.put(entry.path, std::move(text));
+    server_->invalidate(entry.path);
+    entry.doc = std::move(doc);
+    entry.graph = core::load_linkbase(*entry.doc);
+  }
+  return hash;
+}
+
+std::uint64_t Engine::rebuild_arc_table() {
+  // Merge the browser-facing traversal graph from the cached documents.
+  xlink::TraversalGraph structure_graph =
+      xlink::TraversalGraph::from_linkbase(*structure_linkbase_doc_);
+  xlink::TraversalGraph merged = structure_graph;  // copy; both are kept
+  for (const ContextLinkbase& entry : context_linkbases_) {
+    merged.merge(entry.graph);  // cached per-family graph, copied in
+  }
+  graph_ = std::move(merged);
+
+  // Materialize the combined arc set with provenance and hand it to the
+  // weaver as the (sole) navigation aspect.
+  std::vector<core::SourcedGraph> sourced;
+  sourced.reserve(context_linkbases_.size() + 1);
+  sourced.push_back(core::SourcedGraph{"links.xml", &structure_graph});
+  for (const ContextLinkbase& entry : context_linkbases_) {
+    sourced.push_back(core::SourcedGraph{entry.path, &entry.graph});
+  }
+  std::vector<core::NavArc> arcs = core::combined_nav_arcs(sourced);
+
+  core::NavigationAspectOptions aspect_options;
+  aspect_options.provenance_log = &provenance_scratch_;
+  weaver_.replace_aspect(
+      core::NavigationAspect::from_contextual_arcs(arcs, aspect_options));
+
+  // Publish per-page slice hashes: the arcs a *stored* page can actually
+  // weave are the context-free ones leaving it (contextual tour arcs are
+  // only woven into on-demand compositions carrying their context tag).
+  slice_hashes_.clear();
+  std::uint64_t table_hash = 0xa5a5a5a5a5a5a5a5ull;
+  for (const core::NavArc& arc : arcs) {
+    std::uint64_t a = hash_bytes(arc.from);
+    a = hash_str(a, arc.to);
+    a = hash_str(a, arc.role);
+    a = hash_str(a, arc.title);
+    a = hash_str(a, arc.context);
+    table_hash = hash_combine(table_hash, a);
+    if (arc.context.empty()) {
+      auto [it, inserted] = slice_hashes_.emplace(arc.from, 0xbeefull);
+      it->second = hash_combine(it->second, a);
+    }
+  }
+  sync_pages();
+  return table_hash;
+}
+
+void Engine::sync_pages() {
+  std::vector<std::string> desired = desired_page_ids();
+  std::vector<std::string> sorted_desired = desired;
+  std::sort(sorted_desired.begin(), sorted_desired.end());
+
+  // Retire pages whose member vanished: graph nodes, site artifact,
+  // cached responses, provenance.
+  for (const std::string& id : page_ids_) {
+    if (std::binary_search(sorted_desired.begin(), sorted_desired.end(), id)) {
+      continue;
+    }
+    build_graph_.remove(page_node(id));
+    build_graph_.remove(slice_node(id));
+    const std::string path = core::default_href_for(id);
+    site_.remove(path);
+    server_->invalidate(path);
+    provenance_.erase(id);
+  }
+
+  // Admit new pages (a define() on an existing node would needlessly
+  // dirty it, so only genuinely new ids are defined).
+  const bool tangled = mode_ == WeaveMode::Tangled;
+  for (const std::string& id : desired) {
+    if (build_graph_.contains(page_node(id))) continue;
+    if (tangled) {
+      build_graph_.define(page_node(id), ProductKind::Page,
+                          {std::string(kSpecNode)},
+                          [this, id] { return rebuild_tangled_page(id); });
+    } else {
+      build_graph_.define(slice_node(id), ProductKind::ArcSlice,
+                          {std::string(kArcTableNode)}, [this, id] {
+                            auto it = slice_hashes_.find(id);
+                            return it == slice_hashes_.end() ? 0 : it->second;
+                          });
+      build_graph_.define(page_node(id), ProductKind::Page, {slice_node(id)},
+                          [this, id] { return rebuild_woven_page(id); });
+    }
+  }
+
+  if (page_ids_ != desired) {
+    page_ids_ = std::move(desired);
+    // The served entry set changed shape: re-point the coherence node at
+    // the current page set.
+    std::vector<std::string> deps;
+    deps.reserve(page_ids_.size());
+    for (const std::string& id : page_ids_) deps.push_back(page_node(id));
+    build_graph_.define(
+        std::string(kServerNode), ProductKind::Server, std::move(deps),
+        [this] {
+          std::uint64_t h = 0x5e77e0ull;
+          for (const std::string& id : page_ids_) {
+            h = hash_combine(h, build_graph_.hash_of(page_node(id)));
+          }
+          return h;
+        });
+  }
+}
+
+std::uint64_t Engine::rebuild_woven_page(const std::string& page_id) {
+  provenance_scratch_.clear();
+  core::SeparatedComposer composer(weaver_);
+  std::string text;
+  if (page_id == structure_->page_id()) {
+    text = composer.compose_structure_page(page_id, structure_->name());
+  } else {
+    const hypermedia::NavNode* node = nav_->node(page_id);
+    if (node == nullptr) return 0;  // retired between sync and rebuild
+    text = composer.compose_node_page(*node);
+  }
+  provenance_[page_id] = std::move(provenance_scratch_);
+  provenance_scratch_.clear();
+  return put_if_changed(core::default_href_for(page_id), std::move(text));
+}
+
+std::uint64_t Engine::rebuild_tangled_page(const std::string& page_id) {
+  std::string text;
+  if (page_id == structure_->page_id()) {
+    text = tangled_renderer_->render_structure_page();
+  } else {
+    const hypermedia::NavNode* node = nav_->node(page_id);
+    if (node == nullptr) return 0;
+    text = tangled_renderer_->render_node_page(*node);
+  }
+  return put_if_changed(core::default_href_for(page_id), std::move(text));
+}
+
+void Engine::wire_graph() {
+  build_graph_.define(std::string(kSpecNode), ProductKind::Source, {},
+                      [this] { return rebuild_spec(); });
+  if (mode_ == WeaveMode::Tangled) {
+    // Tangled has no linkbase layer: every page hangs off the spec, so
+    // any navigation edit re-renders the whole site — the asymmetry the
+    // paper measures, reproduced in the report counters.
+    return;
+  }
+  std::vector<std::string> linkbase_nodes;
+  build_graph_.define(linkbase_node("links.xml"), ProductKind::Linkbase,
+                      {std::string(kSpecNode)},
+                      [this] { return rebuild_structure_linkbase(); });
+  linkbase_nodes.push_back(linkbase_node("links.xml"));
+  for (std::size_t i = 0; i < context_linkbases_.size(); ++i) {
+    const std::string node = linkbase_node(context_linkbases_[i].path);
+    build_graph_.define(node, ProductKind::Linkbase, {},
+                        [this, i] { return rebuild_context_linkbase(i); });
+    linkbase_nodes.push_back(node);
+  }
+  build_graph_.define(std::string(kArcTableNode), ProductKind::ArcTable,
+                      std::move(linkbase_nodes),
+                      [this] { return rebuild_arc_table(); });
 }
 
 // --- SitePipeline ------------------------------------------------------------
@@ -193,42 +562,26 @@ std::unique_ptr<Engine> SitePipeline::serve(std::string_view base) {
   engine->structure_ = std::move(m.structure);
   engine->families_ = std::move(m.families);
   engine->mode_ = mode_;
+  engine->site_base_ = with_trailing_slash(base);
 
-  site::SiteBuildOptions options;
-  options.site_base = with_trailing_slash(base);
-  for (const auto& family : engine->families_) {
-    options.context_families.push_back(&family);
-  }
-  options.weaver = &engine->weaver_;
-
+  // Seed the site with the structure-independent authored artifacts; the
+  // build graph owns everything derived (linkbases, arc table, pages) and
+  // the initial run below materializes them all.
   if (mode_ == WeaveMode::Tangled) {
-    engine->site_ =
-        site::build_tangled_site(*engine->world_, *engine->structure_,
-                                 options);
+    engine->site_.put("museum.css", museum::MuseumWorld::site_css());
   } else {
-    engine->site_ =
-        site::build_separated_site(*engine->world_, *engine->structure_,
-                                   options);
-    // Load every authored linkbase back and merge the arc tables; the
-    // parsed documents stay alive in the engine so graph element
-    // pointers remain valid.
-    auto load = [&](const std::string& path) {
-      const std::string* text = engine->site_.get(path);
-      if (text == nullptr) return;
-      xml::ParseOptions parse_options;
-      parse_options.base_uri = options.site_base + path;
-      auto doc = xml::parse(*text, parse_options);
-      engine->graph_.merge(xlink::TraversalGraph::from_linkbase(*doc));
-      engine->linkbase_docs_.push_back(std::move(doc));
-    };
-    load("links.xml");
+    site::author_fixed_artifacts(engine->site_, *engine->world_);
     for (const auto& family : engine->families_) {
-      load(site::context_linkbase_path(family.name()));
+      engine->context_linkbases_.push_back(Engine::ContextLinkbase{
+          site::context_linkbase_path(family.name()), &family, nullptr, {}});
     }
   }
 
   engine->server_ = std::make_unique<site::HypermediaServer>(
-      engine->site_, options.site_base);
+      engine->site_, engine->site_base_);
+  engine->wire_graph();
+  (void)engine->build_graph_.run();
+
   engine->browser_ =
       std::make_unique<site::Browser>(*engine->server_, engine->graph_);
   engine->session_ = std::make_unique<BrowserSession>(*engine->browser_,

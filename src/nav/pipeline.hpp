@@ -26,11 +26,17 @@
 #include <string_view>
 #include <vector>
 
+#include <cstdint>
+#include <map>
+
 #include "aop/weaver.hpp"
+#include "core/navigation_aspect.hpp"
+#include "core/renderer.hpp"
 #include "hypermedia/access.hpp"
 #include "hypermedia/context.hpp"
 #include "hypermedia/navigational.hpp"
 #include "museum/museum.hpp"
+#include "nav/buildgraph.hpp"
 #include "nav/roles.hpp"
 #include "nav/session.hpp"
 #include "site/browser.hpp"
@@ -117,14 +123,68 @@ class Engine final : public EngineInternals {
     return graph_;
   }
   void rebuild() override;
+  RebuildReport set_access_structure(
+      std::unique_ptr<hypermedia::AccessStructure> structure) override;
+  RebuildReport set_access_structure(
+      hypermedia::AccessStructureKind kind) override;
+  RebuildReport add_node(std::string_view node_id) override;
+  RebuildReport retitle_node(std::string_view node_id,
+                             std::string_view title) override;
+  RebuildReport replace_arc(std::size_t index,
+                            hypermedia::AccessArc arc) override;
+  [[nodiscard]] std::vector<hypermedia::AccessArc> authored_arcs()
+      const override {
+    return structure_->arcs();
+  }
+  [[nodiscard]] const BuildGraph& build_graph() const noexcept override {
+    return build_graph_;
+  }
   void clear_response_cache() override { server_->clear_cache(); }
   [[nodiscard]] std::size_t response_cache_hits() const noexcept override {
     return server_->cache_hits();
   }
 
+  // --- weave provenance -------------------------------------------------------
+
+  /// Anchors woven into `page_id` when its page was last (re)composed by
+  /// the build graph, with the authored arc each one came from. Null for
+  /// unknown/never-woven pages (and for all pages in Tangled mode, where
+  /// navigation has no separated provenance — that is the point).
+  [[nodiscard]] const std::vector<core::AnchorProvenance>* provenance_for(
+      std::string_view page_id) const;
+
  private:
   friend class SitePipeline;
   Engine() = default;
+
+  /// The page ids the current structure wants woven: one per member whose
+  /// nav node exists, plus the structure's own page.
+  [[nodiscard]] std::vector<std::string> desired_page_ids() const;
+
+  void wire_graph();
+  void sync_pages();
+  [[nodiscard]] std::uint64_t rebuild_spec();
+  [[nodiscard]] std::uint64_t rebuild_structure_linkbase();
+  [[nodiscard]] std::uint64_t rebuild_context_linkbase(std::size_t index);
+  [[nodiscard]] std::uint64_t rebuild_arc_table();
+  [[nodiscard]] std::uint64_t rebuild_woven_page(const std::string& page_id);
+  [[nodiscard]] std::uint64_t rebuild_tangled_page(const std::string& page_id);
+
+  /// Write `text` at `path` iff it differs, invalidating the server's
+  /// cached responses for the path. Returns the text hash.
+  std::uint64_t put_if_changed(const std::string& path, std::string text);
+
+  /// Snapshot structure_ into a MaterializedStructure (idempotent) so
+  /// arc-level edits have a mutable substrate.
+  hypermedia::MaterializedStructure& materialized_spec();
+
+  /// Regenerate the structure from `kind` over `members`, then run the
+  /// graph — the shared tail of the structural mutations.
+  RebuildReport regenerate_structure(hypermedia::AccessStructureKind kind,
+                                     std::vector<hypermedia::Member> members);
+
+  /// Mark the spec dirty, run the graph, refresh the session browser.
+  RebuildReport run_graph_after_mutation();
 
   // Declaration order is destruction-order-sensitive: everything below
   // may point into what is above it.
@@ -134,13 +194,44 @@ class Engine final : public EngineInternals {
   std::unique_ptr<hypermedia::AccessStructure> structure_;
   std::vector<hypermedia::ContextFamily> families_;
   WeaveMode mode_ = WeaveMode::Separated;
+  std::string site_base_;
   mutable aop::Weaver weaver_;
   site::VirtualSite site_;
-  std::vector<std::unique_ptr<xml::Document>> linkbase_docs_;
+
+  // Parsed linkbases: the arc graphs below point into these documents, so
+  // they are declared first (destroyed last). A document is only replaced
+  // when its serialized text actually changed, which keeps graph element
+  // pointers valid across no-op rebuilds.
+  std::unique_ptr<xml::Document> structure_linkbase_doc_;
+  struct ContextLinkbase {
+    std::string path;                          // site path of the linkbase
+    const hypermedia::ContextFamily* family;   // into families_
+    std::unique_ptr<xml::Document> doc;
+    xlink::TraversalGraph graph;               // points into doc
+  };
+  std::vector<ContextLinkbase> context_linkbases_;
   xlink::TraversalGraph graph_;
+
   std::unique_ptr<site::HypermediaServer> server_;
   std::unique_ptr<site::Browser> browser_;
   std::unique_ptr<BrowserSession> session_;
+
+  // --- incremental rebuild state ---------------------------------------------
+  BuildGraph build_graph_;
+  std::vector<std::string> page_ids_;  // page nodes currently in the graph
+  /// Per-page hash of the arcs that can be woven into the stored page
+  /// (context-free arcs leaving it) — published by the arc-table rebuild,
+  /// read by the per-page ArcSlice nodes.
+  std::map<std::string, std::uint64_t, std::less<>> slice_hashes_;
+  /// Scratch the navigation aspect logs anchors into while one page
+  /// composes (mutable: compose_page() is logically const but the aspect
+  /// writes through its stored pointer).
+  mutable std::vector<core::AnchorProvenance> provenance_scratch_;
+  std::map<std::string, std::vector<core::AnchorProvenance>, std::less<>>
+      provenance_;
+  /// Tangled mode's renderer, rebuilt when the spec changes (arc
+  /// materialization is per-construction; pages share one).
+  std::unique_ptr<core::TangledRenderer> tangled_renderer_;
 };
 
 /// Fluent composer of the whole separated-navigation pipeline. Stages may

@@ -17,9 +17,13 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "hypermedia/access.hpp"
+#include "nav/buildgraph.hpp"
 
 namespace navsep::aop {
 class Weaver;
@@ -93,8 +97,65 @@ class EngineInternals {
       const noexcept = 0;
 
   /// Re-compose every page (after registering extra aspects or mutating
-  /// the site) and drop stale server responses.
+  /// the site) and drop stale server responses. The force-everything
+  /// path — and the correctness oracle of the incremental mutations
+  /// below: their output must be byte-identical to what a rebuild()
+  /// from scratch produces.
   virtual void rebuild() = 0;
+
+  // --- incremental mutations (run the build graph, not a full rebuild) --------
+  //
+  // Each entry point edits the authored navigation design — the paper's
+  // §5 change request, live — marks the affected build-graph nodes dirty
+  // and runs the graph: only linkbases whose text changed are re-authored,
+  // only pages whose arc slice changed are re-woven, and the server's
+  // response cache / the session browser's arc cache are invalidated for
+  // exactly those pages. The returned report says what it cost.
+  //
+  // Mutations are writer-side: callers must externally synchronize them
+  // against concurrent readers of the site/server (same contract as
+  // rebuild()). Browsers obtained from open_browser() must refresh()
+  // after a mutation; the engine's own session is refreshed
+  // automatically.
+
+  /// Swap the whole access structure (Index → IndexedGuidedTour...).
+  virtual RebuildReport set_access_structure(
+      std::unique_ptr<hypermedia::AccessStructure> structure) = 0;
+
+  /// Swap only the *kind*, keeping the current member list — the paper's
+  /// change request verbatim.
+  virtual RebuildReport set_access_structure(
+      hypermedia::AccessStructureKind kind) = 0;
+
+  /// Append a navigational-model node to the member list; its page is
+  /// woven and the structure's arcs regenerate around it. Throws
+  /// ResolutionError for unknown node ids, SemanticError for duplicates.
+  virtual RebuildReport add_node(std::string_view node_id) = 0;
+
+  /// Change a member's navigation label (anchor text). A purely
+  /// navigational edit: only pages with anchors referencing the member
+  /// are re-woven — the member's own content is untouched.
+  virtual RebuildReport retitle_node(std::string_view node_id,
+                                     std::string_view title) = 0;
+
+  /// Replace one authored arc (by index into authored_arcs()). The
+  /// finest-grained edit: typically exactly one page re-weaves.
+  /// NOTE: structural mutations (set_access_structure(kind) / add_node /
+  /// retitle_node) regenerate the arc set from the structure kind and
+  /// discard earlier replace_arc overlays; they throw SemanticError for
+  /// Menu structures, whose arcs derive from sub-structures rather than
+  /// a member list (set_access_structure(structure) and replace_arc
+  /// still work on a Menu).
+  virtual RebuildReport replace_arc(std::size_t index,
+                                    hypermedia::AccessArc arc) = 0;
+
+  /// The authored arc set as currently materialized (index space of
+  /// replace_arc).
+  [[nodiscard]] virtual std::vector<hypermedia::AccessArc> authored_arcs()
+      const = 0;
+
+  /// The dependency graph behind the incremental path (introspection).
+  [[nodiscard]] virtual const BuildGraph& build_graph() const noexcept = 0;
 
   /// Cache control for the response cache under get().
   virtual void clear_response_cache() = 0;

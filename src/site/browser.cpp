@@ -56,6 +56,14 @@ bool Browser::follow_role(std::string_view role) {
   return match != nullptr && follow(*match);
 }
 
+void Browser::refresh() {
+  if (location_.empty()) return;
+  Response r = server_->get(location_);
+  page_ = r.ok() ? r.body : nullptr;
+  links_ = r.ok() ? graph_->outgoing(location_)
+                  : std::vector<const xlink::Arc*>{};
+}
+
 bool Browser::back() {
   if (history_pos_ <= 1) return false;
   --history_pos_;

@@ -43,6 +43,15 @@ class Browser {
   /// without the "nav:" prefix). False when there is none.
   bool follow_role(std::string_view role);
 
+  /// Re-resolve the current page and its cached outgoing-arc list against
+  /// the (possibly mutated) server and traversal graph. The incremental
+  /// rebuild engine calls this after replacing pages or the arc table:
+  /// the cached `links()` pointers point into the graph's arc storage and
+  /// dangle once the graph is rebuilt. If the current page was removed
+  /// from the site, `page()` becomes null and `links()` empties; location
+  /// and history are preserved.
+  void refresh();
+
   bool back();
   bool forward();
   [[nodiscard]] const std::vector<std::string>& history() const noexcept {

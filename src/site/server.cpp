@@ -35,17 +35,32 @@ Response HypermediaServer::get(std::string_view uri_or_path) const {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     if (auto it = cache_.find(key); it != cache_.end()) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      return it->second.response;
     }
   }
-  Response r = resolve(uri_or_path);
+  std::string path;
+  Response r = resolve(uri_or_path, &path);
   if (!r.ok()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return r;
   }
   std::lock_guard<std::mutex> lock(cache_mutex_);
-  cache_.emplace(std::move(key), r);
+  cache_.emplace(std::move(key), CacheEntry{r, std::move(path)});
   return r;
+}
+
+std::size_t HypermediaServer::invalidate(std::string_view path) const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  std::size_t dropped = 0;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->second.path == path) {
+      it = cache_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
 }
 
 std::size_t HypermediaServer::cache_size() const {
@@ -58,7 +73,8 @@ void HypermediaServer::clear_cache() const {
   cache_.clear();
 }
 
-Response HypermediaServer::resolve(std::string_view uri_or_path) const {
+Response HypermediaServer::resolve(std::string_view uri_or_path,
+                                   std::string* resolved_path) const {
   std::string path;
   if (uri_or_path.find("://") != std::string_view::npos) {
     // Absolute: must live under our base.
@@ -83,6 +99,7 @@ Response HypermediaServer::resolve(std::string_view uri_or_path) const {
   if (body == nullptr) {
     return Response{404, "", nullptr};
   }
+  if (resolved_path != nullptr) *resolved_path = path;
   return Response{200, std::string(content_type_for(path)), body};
 }
 

@@ -60,11 +60,27 @@ class HypermediaServer {
   /// when the underlying site is rebuilt).
   void clear_cache() const;
 
+  /// Drop the cached responses of ONE site path, under every URI alias
+  /// that resolved to it — the targeted companion to clear_cache() for
+  /// in-place page replacement. Must be called when a path is removed
+  /// from the site (a cached Response would point at freed content) and
+  /// when its content is replaced. Returns the number of cache entries
+  /// dropped.
+  std::size_t invalidate(std::string_view path) const;
+
   /// Absolute URI of a site path.
   [[nodiscard]] std::string uri_of(std::string_view path) const;
 
  private:
-  [[nodiscard]] Response resolve(std::string_view uri_or_path) const;
+  /// A cached response remembers the site path it resolved to, so
+  /// invalidate(path) can find it under any request alias.
+  struct CacheEntry {
+    Response response;
+    std::string path;
+  };
+
+  [[nodiscard]] Response resolve(std::string_view uri_or_path,
+                                 std::string* resolved_path = nullptr) const;
 
   const VirtualSite* site_;
   std::string base_;
@@ -72,7 +88,7 @@ class HypermediaServer {
   mutable std::atomic<std::size_t> misses_{0};
   mutable std::atomic<std::size_t> cache_hits_{0};
   mutable std::mutex cache_mutex_;
-  mutable std::unordered_map<std::string, Response> cache_;
+  mutable std::unordered_map<std::string, CacheEntry> cache_;
 };
 
 /// "text/html", "text/xml", "text/css" or "application/octet-stream".

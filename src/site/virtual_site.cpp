@@ -2,12 +2,20 @@
 
 #include "aop/weaver.hpp"
 #include "core/navigation_aspect.hpp"
+#include "xml/parser.hpp"
 #include "xml/serializer.hpp"
 
 namespace navsep::site {
 
 void VirtualSite::put(std::string path, std::string content) {
   files_[std::move(path)] = std::move(content);
+}
+
+bool VirtualSite::remove(std::string_view path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return false;
+  files_.erase(it);
+  return true;
 }
 
 const std::string* VirtualSite::get(std::string_view path) const {
@@ -44,20 +52,8 @@ std::string context_linkbase_path(std::string_view family_name) {
   return out + ".xml";
 }
 
-VirtualSite build_separated_site(const museum::MuseumWorld& world,
-                                 const hypermedia::AccessStructure& structure,
-                                 const SiteBuildOptions& options) {
-  VirtualSite out;
-
-  // Authored: data documents, presentation, css.
-  for (auto& [path, content] : world.data_artifacts()) {
-    out.put(path, content);
-  }
-  out.put("presentation.xsl", museum::MuseumWorld::presentation_xslt());
-  out.put("museum.css", museum::MuseumWorld::site_css());
-
-  // Authored: the linkbase. Site-level navigation runs between the
-  // *rendered pages*, so locators point at the HTML resources.
+core::LinkbaseOptions separated_linkbase_options(
+    const SiteBuildOptions& options) {
   core::LinkbaseOptions lb;
   lb.base_uri = options.site_base + "links.xml";
   lb.data_href = [](std::string_view id) {
@@ -66,6 +62,26 @@ VirtualSite build_separated_site(const museum::MuseumWorld& world,
   lb.structure_href = [](std::string_view id) {
     return core::default_href_for(id);
   };
+  return lb;
+}
+
+void author_fixed_artifacts(VirtualSite& out,
+                            const museum::MuseumWorld& world) {
+  for (auto& [path, content] : world.data_artifacts()) {
+    out.put(path, content);
+  }
+  out.put("presentation.xsl", museum::MuseumWorld::presentation_xslt());
+  out.put("museum.css", museum::MuseumWorld::site_css());
+}
+
+VirtualSite build_separated_site(const museum::MuseumWorld& world,
+                                 const hypermedia::AccessStructure& structure,
+                                 const SiteBuildOptions& options) {
+  VirtualSite out;
+  author_fixed_artifacts(out, world);
+
+  // Authored: the linkbase.
+  core::LinkbaseOptions lb = separated_linkbase_options(options);
   auto linkbase = core::build_linkbase(structure, lb);
   out.put("links.xml", xml::write(*linkbase, {.pretty = true}));
 

@@ -27,6 +27,13 @@ namespace navsep::site {
 class VirtualSite {
  public:
   void put(std::string path, std::string content);
+
+  /// Remove one artifact. Returns false when the path was absent. Callers
+  /// serving the site must invalidate their response caches for the path
+  /// (HypermediaServer::invalidate) — a cached Response would otherwise
+  /// point at freed content.
+  bool remove(std::string_view path);
+
   [[nodiscard]] const std::string* get(std::string_view path) const;
   [[nodiscard]] bool contains(std::string_view path) const {
     return get(path) != nullptr;
@@ -62,6 +69,20 @@ struct SiteBuildOptions {
 
 /// Site path of a context family's linkbase ("links-byauthor.xml").
 [[nodiscard]] std::string context_linkbase_path(std::string_view family_name);
+
+/// The linkbase synthesis options the separated builder authors links.xml
+/// with: site-level navigation runs between the *rendered pages*, so
+/// locator hrefs point at the HTML resources. Exposed so the incremental
+/// engine re-authors byte-identical linkbases when it rebuilds one node
+/// of its graph.
+[[nodiscard]] core::LinkbaseOptions separated_linkbase_options(
+    const SiteBuildOptions& options);
+
+/// Put the separated site's navigation-independent authored artifacts —
+/// the data XML documents, presentation.xsl, museum.css — into `out`.
+/// Shared by build_separated_site and the engine's serve() seeding so the
+/// two cannot drift.
+void author_fixed_artifacts(VirtualSite& out, const museum::MuseumWorld& world);
 
 /// Build the separated museum site for one access structure: authored
 /// artifacts (data XML per entity, links.xml, presentation.xsl,

@@ -38,14 +38,32 @@ std::vector<Endpoint> all_endpoints(const ExtendedLink& link,
   return out;
 }
 
-std::vector<const Endpoint*> with_label(const std::vector<Endpoint>& eps,
-                                        std::string_view label) {
-  std::vector<const Endpoint*> out;
-  for (const auto& e : eps) {
-    if (label.empty() || e.label == label) out.push_back(&e);
+/// Endpoints bucketed by label, each bucket in document order. An absent
+/// from/to names every endpoint (XLink 1.0 §5.1.3), served by the `all`
+/// list. Built once per link so expansion is O(arcs + endpoints + output)
+/// instead of re-scanning every endpoint per arc (which made large
+/// linkbases quadratic to expand).
+struct LabelIndex {
+  std::map<std::string_view, std::vector<const Endpoint*>, std::less<>>
+      by_label;
+  std::vector<const Endpoint*> all;
+
+  explicit LabelIndex(const std::vector<Endpoint>& eps) {
+    all.reserve(eps.size());
+    for (const auto& e : eps) {
+      all.push_back(&e);
+      by_label[e.label].push_back(&e);
+    }
   }
-  return out;
-}
+
+  [[nodiscard]] const std::vector<const Endpoint*>& with_label(
+      std::string_view label) const {
+    if (label.empty()) return all;
+    static const std::vector<const Endpoint*> kEmpty;
+    auto it = by_label.find(label);
+    return it == by_label.end() ? kEmpty : it->second;
+  }
+};
 
 }  // namespace
 
@@ -53,9 +71,10 @@ std::vector<Arc> expand_arcs(const ExtendedLink& link,
                              std::string_view base_uri) {
   std::vector<Arc> out;
   std::vector<Endpoint> eps = all_endpoints(link, base_uri);
+  const LabelIndex index(eps);
   for (const auto& spec : link.arcs) {
-    std::vector<const Endpoint*> froms = with_label(eps, spec.from);
-    std::vector<const Endpoint*> tos = with_label(eps, spec.to);
+    const std::vector<const Endpoint*>& froms = index.with_label(spec.from);
+    const std::vector<const Endpoint*>& tos = index.with_label(spec.to);
     for (const Endpoint* f : froms) {
       for (const Endpoint* t : tos) {
         if (f == t) continue;  // an arc from a resource to itself is inert

@@ -328,6 +328,84 @@ TEST_F(WeaverTest, RuleOrderWithinAspectIsStable) {
   EXPECT_EQ(log_, (std::vector<std::string>{"first", "second"}));
 }
 
+TEST_F(WeaverTest, CacheInvalidatedOnReplaceAspect) {
+  // The match cache is keyed by join-point shape; swapping an aspect of
+  // the same name (how the engine swaps navigation designs mid-session)
+  // must not serve the old aspect's advice from cache.
+  auto v1 = std::make_shared<aop::Aspect>("navigation");
+  v1->after("custom(*)", logger("v1"));
+  weaver_.register_aspect(v1);
+  weaver_.execute(jp(aop::JoinPointKind::Custom, "x"), [] {});
+  EXPECT_EQ(log_, (std::vector<std::string>{"v1"}));
+
+  auto v2 = std::make_shared<aop::Aspect>("navigation");
+  v2->after("custom(*)", logger("v2"));
+  weaver_.replace_aspect(v2);
+  weaver_.execute(jp(aop::JoinPointKind::Custom, "x"), [] {});
+  EXPECT_EQ(log_, (std::vector<std::string>{"v1", "v2"}));
+  // Same shape, but the replace forced a re-match.
+  EXPECT_EQ(weaver_.stats().match_cache_misses, 2u);
+}
+
+TEST_F(WeaverTest, CacheInvalidatedWhenRuleAddedMidSession) {
+  // Aspects are shared_ptrs and "callers may keep configuring" them after
+  // registration: a rule added mid-session must reach shapes the cache
+  // has already seen.
+  auto live = std::make_shared<aop::Aspect>("live");
+  live->before("custom(*)", logger("first"));
+  weaver_.register_aspect(live);
+  weaver_.execute(jp(aop::JoinPointKind::Custom, "x"), [] {});
+  EXPECT_EQ(log_, (std::vector<std::string>{"first"}));
+
+  const std::size_t revision_before = live->revision();
+  live->before("custom(*)", logger("second"));  // added AFTER registration
+  EXPECT_EQ(live->revision(), revision_before + 1);
+  weaver_.execute(jp(aop::JoinPointKind::Custom, "x"), [] {});
+  EXPECT_EQ(log_, (std::vector<std::string>{"first", "first", "second"}));
+}
+
+TEST_F(WeaverTest, RuleAdditionInvalidatesOtherAspectsShapesToo) {
+  // Drift detection drops the whole cache, not just the drifting
+  // aspect's shapes: a new rule may match shapes previously cached as
+  // matching only other aspects.
+  auto stable = std::make_shared<aop::Aspect>("stable");
+  stable->before("custom(a)", logger("stable"));
+  auto growing = std::make_shared<aop::Aspect>("growing");
+  weaver_.register_aspect(stable);
+  weaver_.register_aspect(growing);
+  weaver_.execute(jp(aop::JoinPointKind::Custom, "a"), [] {});  // cached
+  growing->before("custom(a)", logger("growing"));
+  weaver_.execute(jp(aop::JoinPointKind::Custom, "a"), [] {});
+  EXPECT_EQ(log_, (std::vector<std::string>{"stable", "stable", "growing"}));
+}
+
+TEST_F(WeaverTest, RuleAddedFromInsideAdviceTakesEffectNextDispatch) {
+  // Advice that mutates its own aspect and triggers a nested dispatch:
+  // the cached match set the outer dispatch is iterating must survive
+  // (invalidation is deferred to the next top-level execute), and the
+  // new rule applies from the next top-level dispatch on.
+  auto self_growing = std::make_shared<aop::Aspect>("self-growing");
+  bool grown = false;
+  self_growing->before("custom(outer)", [&](aop::JoinPointContext&) {
+    log_.push_back("outer");
+    if (!grown) {
+      grown = true;
+      self_growing->before("custom(*)", logger("grown"));
+      // Nested dispatch while the outer match set is live.
+      weaver_.execute(jp(aop::JoinPointKind::Custom, "inner"),
+                      [this] { log_.push_back("inner-base"); });
+    }
+  });
+  weaver_.register_aspect(self_growing);
+  weaver_.execute(jp(aop::JoinPointKind::Custom, "outer"), [] {});
+  // The inner shape was matched fresh (after the rule was added), so the
+  // new rule already fired there; the outer shape ran its original set.
+  EXPECT_EQ(log_, (std::vector<std::string>{"outer", "grown", "inner-base"}));
+  log_.clear();
+  weaver_.execute(jp(aop::JoinPointKind::Custom, "outer"), [] {});
+  EXPECT_EQ(log_, (std::vector<std::string>{"outer", "grown"}));
+}
+
 TEST_F(WeaverTest, AspectNamesListed) {
   weaver_.register_aspect(std::make_shared<aop::Aspect>("one"));
   weaver_.register_aspect(std::make_shared<aop::Aspect>("two"));

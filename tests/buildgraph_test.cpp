@@ -1,0 +1,545 @@
+// The incremental rebuild engine: BuildGraph mechanism tests, the
+// byte-identity property (incremental output == from-scratch build) over
+// randomized edit sequences, change-impact locality, provenance, and the
+// stale-cache regression (navigate → mutate → re-navigate).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nav/buildgraph.hpp"
+#include "nav/pipeline.hpp"
+#include "site/virtual_site.hpp"
+
+namespace hm = navsep::hypermedia;
+namespace nav = navsep::nav;
+namespace site = navsep::site;
+using navsep::museum::MuseumWorld;
+using navsep::museum::SyntheticSpec;
+
+namespace {
+
+// --- BuildGraph mechanism -----------------------------------------------------
+
+TEST(BuildGraphMechanism, RunsDirtyNodesInDependencyOrder) {
+  nav::BuildGraph g;
+  std::vector<std::string> ran;
+  g.define("c", nav::ProductKind::Page, {"b"}, [&] {
+    ran.push_back("c");
+    return nav::hash_bytes("c1");
+  });
+  g.define("a", nav::ProductKind::Source, {}, [&] {
+    ran.push_back("a");
+    return nav::hash_bytes("a1");
+  });
+  g.define("b", nav::ProductKind::Linkbase, {"a"}, [&] {
+    ran.push_back("b");
+    return nav::hash_bytes("b1");
+  });
+  nav::RebuildReport r = g.run();
+  EXPECT_EQ(ran, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(r.nodes_rebuilt, 3u);
+  EXPECT_EQ(r.nodes_changed, 3u);
+  EXPECT_EQ(r.pages_total, 1u);
+  EXPECT_EQ(r.pages_rewoven, 1u);
+
+  // A clean graph runs nothing.
+  ran.clear();
+  r = g.run();
+  EXPECT_TRUE(ran.empty());
+  EXPECT_EQ(r.nodes_dirty, 0u);
+}
+
+TEST(BuildGraphMechanism, EarlyCutoffStopsPropagation) {
+  nav::BuildGraph g;
+  int source_version = 1;
+  std::vector<std::string> ran;
+  g.define("src", nav::ProductKind::Source, {}, [&] {
+    ran.push_back("src");
+    return nav::hash_bytes("stable");  // same product every time
+  });
+  g.define("page", nav::ProductKind::Page, {"src"}, [&] {
+    ran.push_back("page");
+    return nav::hash_bytes("page" + std::to_string(source_version));
+  });
+  (void)g.run();
+  ran.clear();
+
+  // Source re-runs but hashes the same: the page must NOT re-run.
+  g.mark_dirty("src");
+  nav::RebuildReport r = g.run();
+  EXPECT_EQ(ran, (std::vector<std::string>{"src"}));
+  EXPECT_EQ(r.pages_rewoven, 0u);
+  EXPECT_EQ(r.nodes_changed, 0u);
+}
+
+TEST(BuildGraphMechanism, HashChangePropagatesTransitively) {
+  nav::BuildGraph g;
+  int v = 1;
+  std::vector<std::string> ran;
+  g.define("a", nav::ProductKind::Source, {},
+           [&] { return nav::hash_bytes("a" + std::to_string(v)); });
+  g.define("b", nav::ProductKind::ArcTable, {"a"}, [&] {
+    ran.push_back("b");
+    return nav::hash_bytes("b" + std::to_string(v));
+  });
+  g.define("c", nav::ProductKind::Page, {"b"}, [&] {
+    ran.push_back("c");
+    return nav::hash_bytes("c" + std::to_string(v));
+  });
+  (void)g.run();
+  ran.clear();
+  v = 2;
+  g.mark_dirty("a");
+  (void)g.run();
+  EXPECT_EQ(ran, (std::vector<std::string>{"b", "c"}));
+}
+
+TEST(BuildGraphMechanism, NodesDefinedMidRunAreBuiltInTheSameRun) {
+  nav::BuildGraph g;
+  bool expanded = false;
+  int leaf_builds = 0;
+  g.define("root", nav::ProductKind::Source, {}, [&] {
+    if (!expanded) {
+      expanded = true;
+      g.define("leaf", nav::ProductKind::Page, {"root"},
+               [&] { ++leaf_builds; return nav::hash_bytes("leaf"); });
+    }
+    return nav::hash_bytes("root");
+  });
+  nav::RebuildReport r = g.run();
+  EXPECT_EQ(leaf_builds, 1);
+  EXPECT_EQ(r.pages_total, 1u);
+}
+
+TEST(BuildGraphMechanism, RemovedNodesStopBuilding) {
+  nav::BuildGraph g;
+  g.define("a", nav::ProductKind::Source, {},
+           [&] { return nav::hash_bytes("a"); });
+  g.define("b", nav::ProductKind::Page, {"a"},
+           [&] { return nav::hash_bytes("b"); });
+  (void)g.run();
+  EXPECT_TRUE(g.remove("b"));
+  EXPECT_FALSE(g.remove("b"));
+  g.mark_all_dirty();
+  nav::RebuildReport r = g.run();
+  EXPECT_EQ(r.pages_total, 0u);
+  EXPECT_FALSE(g.contains("b"));
+}
+
+TEST(BuildGraphMechanism, NonSettlingGraphThrowsInsteadOfLying) {
+  // A callback that redefines another node every time it runs keeps the
+  // graph dirty forever; the pass backstop must fail loudly rather than
+  // return a normal-looking report over an unsettled site.
+  nav::BuildGraph g;
+  int spin = 0;
+  g.define("restless", nav::ProductKind::Source, {}, [&] {
+    g.define("spun", nav::ProductKind::Page, {},
+             [&] { return nav::hash_bytes("s" + std::to_string(++spin)); });
+    return nav::hash_bytes("restless");
+  });
+  g.define("agitator", nav::ProductKind::Source, {"spun"}, [&] {
+    g.mark_dirty("restless");
+    return nav::hash_bytes("a" + std::to_string(spin));
+  });
+  EXPECT_THROW((void)g.run(), navsep::SemanticError);
+}
+
+TEST(BuildGraphMechanism, CycleThrows) {
+  nav::BuildGraph g;
+  g.define("a", nav::ProductKind::Source, {"b"},
+           [] { return std::uint64_t{1}; });
+  g.define("b", nav::ProductKind::Source, {"a"},
+           [] { return std::uint64_t{2}; });
+  EXPECT_THROW((void)g.run(), navsep::SemanticError);
+}
+
+// --- engine helpers ------------------------------------------------------------
+
+/// From-scratch oracle: author + weave the engine's current navigation
+/// design with the batch builder and demand byte-identical artifacts.
+site::VirtualSite oracle_site(const nav::Engine& engine) {
+  site::SiteBuildOptions options;
+  options.site_base = engine.server().base();
+  for (const auto& family : engine.context_families()) {
+    options.context_families.push_back(&family);
+  }
+  auto snapshot = hm::MaterializedStructure::snapshot(engine.structure());
+  return site::build_separated_site(engine.world(), *snapshot, options);
+}
+
+void expect_sites_identical(const site::VirtualSite& actual,
+                            const site::VirtualSite& expected) {
+  ASSERT_EQ(actual.paths(), expected.paths());
+  for (const auto& [path, content] : expected.artifacts()) {
+    const std::string* got = actual.get(path);
+    ASSERT_NE(got, nullptr) << path;
+    EXPECT_EQ(*got, content) << "artifact diverged: " << path;
+  }
+}
+
+std::unique_ptr<nav::Engine> paper_engine(hm::AccessStructureKind kind) {
+  return nav::SitePipeline()
+      .paper_museum()
+      .access(kind, "picasso")
+      .contexts({"ByAuthor"})
+      .weave()
+      .serve();
+}
+
+std::unique_ptr<nav::Engine> synthetic_engine(std::size_t paintings,
+                                              hm::AccessStructureKind kind) {
+  return nav::SitePipeline()
+      .conceptual(SyntheticSpec{.painters = 2,
+                                .paintings_per_painter = paintings,
+                                .movements = 3,
+                                .seed = 7})
+      .access(kind, "painter-0")
+      .weave()
+      .serve();
+}
+
+// --- incremental == full, single edits -----------------------------------------
+
+TEST(IncrementalEngine, InitialServeMatchesBatchBuild) {
+  auto engine = paper_engine(hm::AccessStructureKind::IndexedGuidedTour);
+  expect_sites_identical(engine->site(), oracle_site(*engine));
+}
+
+TEST(IncrementalEngine, ReplaceArcReweavesExactlyOnePage) {
+  auto engine = synthetic_engine(10, hm::AccessStructureKind::Index);
+  const std::vector<hm::AccessArc> arcs = engine->authored_arcs();
+  // An "up" arc lives on exactly one member page.
+  auto it = std::find_if(arcs.begin(), arcs.end(), [](const hm::AccessArc& a) {
+    return a.role == hm::roles::kUp;
+  });
+  ASSERT_NE(it, arcs.end());
+  hm::AccessArc edited = *it;
+  edited.title = "Back to the collection";
+
+  nav::RebuildReport r = engine->replace_arc(
+      static_cast<std::size_t>(it - arcs.begin()), edited);
+  EXPECT_EQ(r.pages_rewoven, 1u);
+  EXPECT_EQ(r.pages_total, engine->structure().members().size() + 1);
+  EXPECT_EQ(r.linkbases_reauthored, 1u);
+
+  const std::string* page =
+      engine->site().get(navsep::core::default_href_for(edited.from));
+  ASSERT_NE(page, nullptr);
+  EXPECT_NE(page->find("Back to the collection"), std::string::npos);
+  expect_sites_identical(engine->site(), oracle_site(*engine));
+}
+
+TEST(IncrementalEngine, RetitleNodeReweavesOnlyReferencingPages) {
+  auto engine = paper_engine(hm::AccessStructureKind::IndexedGuidedTour);
+  // Retitling the middle member (guernica) changes anchors on: the index
+  // page (entry), guitar (Next: ...), avignon (Previous: ...). Guernica's
+  // own page only carries anchors *to* others and stays untouched —
+  // navigation labels are not content.
+  const std::string* guernica_before = engine->site().get("guernica.html");
+  ASSERT_NE(guernica_before, nullptr);
+  const std::string before_copy = *guernica_before;
+
+  nav::RebuildReport r = engine->retitle_node("guernica", "Guernica (1937)");
+  EXPECT_EQ(r.pages_rewoven, 3u);
+  EXPECT_EQ(r.pages_total, 4u);
+
+  EXPECT_EQ(*engine->site().get("guernica.html"), before_copy);
+  const std::string* guitar = engine->site().get("guitar.html");
+  ASSERT_NE(guitar, nullptr);
+  EXPECT_NE(guitar->find("Guernica (1937)"), std::string::npos);
+  expect_sites_identical(engine->site(), oracle_site(*engine));
+}
+
+TEST(IncrementalEngine, KindSwapLeavesIndexPageAlone) {
+  // The paper's §5 change request: Index → IndexedGuidedTour. The index
+  // star is a subset of the IGT arc set, so the index page's slice is
+  // unchanged — only member pages gain tour anchors.
+  auto engine = synthetic_engine(10, hm::AccessStructureKind::Index);
+  const std::size_t members = engine->structure().members().size();
+  nav::RebuildReport r =
+      engine->set_access_structure(hm::AccessStructureKind::IndexedGuidedTour);
+  EXPECT_EQ(r.pages_rewoven, members);
+  EXPECT_EQ(r.pages_total, members + 1);
+  EXPECT_EQ(engine->structure().kind(),
+            hm::AccessStructureKind::IndexedGuidedTour);
+  expect_sites_identical(engine->site(), oracle_site(*engine));
+}
+
+TEST(IncrementalEngine, AddNodeWeavesTheNewPage) {
+  auto engine = synthetic_engine(5, hm::AccessStructureKind::IndexedGuidedTour);
+  // Pick a painting node that is not yet a member (painter-1's work).
+  std::set<std::string> members;
+  for (const auto& m : engine->structure().members()) members.insert(m.node_id);
+  std::string newcomer;
+  for (const auto* node : engine->navigation().nodes_of("PaintingNode")) {
+    if (members.find(node->id()) == members.end()) {
+      newcomer = node->id();
+      break;
+    }
+  }
+  ASSERT_FALSE(newcomer.empty());
+  const std::string path = navsep::core::default_href_for(newcomer);
+  EXPECT_EQ(engine->site().get(path), nullptr);
+
+  nav::RebuildReport r = engine->add_node(newcomer);
+  EXPECT_NE(engine->site().get(path), nullptr);
+  EXPECT_EQ(r.pages_total, members.size() + 2);
+  // New page + index page (new entry) + old tail (new Next anchor).
+  EXPECT_EQ(r.pages_rewoven, 3u);
+  expect_sites_identical(engine->site(), oracle_site(*engine));
+
+  EXPECT_THROW((void)engine->add_node(newcomer), navsep::SemanticError);
+  EXPECT_THROW((void)engine->add_node("no-such-node"),
+               navsep::ResolutionError);
+}
+
+TEST(IncrementalEngine, ShrinkingTheStructureRetiresPages) {
+  auto engine = synthetic_engine(6, hm::AccessStructureKind::Index);
+  std::vector<hm::Member> members = engine->structure().members();
+  const std::string dropped = members.back().node_id;
+  const std::string dropped_path = navsep::core::default_href_for(dropped);
+
+  // Warm the response cache on the soon-to-vanish page.
+  ASSERT_TRUE(engine->server().get(dropped_path).ok());
+
+  members.pop_back();
+  std::vector<hm::Member> kept = members;
+  nav::RebuildReport r = engine->set_access_structure(
+      hm::make_access_structure(hm::AccessStructureKind::Index,
+                                engine->structure().name(), std::move(kept)));
+  EXPECT_EQ(r.pages_total, members.size() + 1);
+  EXPECT_EQ(engine->site().get(dropped_path), nullptr);
+  // The cached 200 must be gone with the page (it held a pointer into the
+  // removed artifact — ASan guards the dangling case).
+  EXPECT_EQ(engine->server().get(dropped_path).status, 404);
+  expect_sites_identical(engine->site(), oracle_site(*engine));
+}
+
+TEST(IncrementalEngine, MenuStructuresRejectKindRegeneration) {
+  // A Menu can be served and arc-edited, but kind-based regeneration
+  // (add_node/retitle_node/set_access_structure(kind)) cannot rebuild
+  // its sub-structure-derived arcs — the error must say so up front.
+  auto engine = synthetic_engine(4, hm::AccessStructureKind::Index);
+  std::vector<std::unique_ptr<hm::AccessStructure>> subs;
+  subs.push_back(hm::make_access_structure(hm::AccessStructureKind::Index,
+                                           "wing-a",
+                                           engine->structure().members()));
+  auto menu = std::make_unique<hm::Menu>("floors", std::move(subs));
+  (void)engine->set_access_structure(std::move(menu));  // flattened snapshot
+  EXPECT_EQ(engine->structure().kind(), hm::AccessStructureKind::Menu);
+  expect_sites_identical(engine->site(), oracle_site(*engine));
+
+  const std::string menu_member = engine->structure().members()[0].node_id;
+  EXPECT_THROW((void)engine->retitle_node(menu_member, "Wing A"),
+               navsep::SemanticError);
+  EXPECT_THROW(
+      (void)engine->set_access_structure(hm::AccessStructureKind::Menu),
+      navsep::SemanticError);
+
+  // replace_arc still works on the materialized Menu.
+  std::vector<hm::AccessArc> arcs = engine->authored_arcs();
+  ASSERT_FALSE(arcs.empty());
+  arcs[0].title = "Ground floor";
+  (void)engine->replace_arc(0, arcs[0]);
+  expect_sites_identical(engine->site(), oracle_site(*engine));
+}
+
+// --- provenance ----------------------------------------------------------------
+
+TEST(IncrementalEngine, AnchorProvenanceNamesTheAuthoredArc) {
+  auto engine = paper_engine(hm::AccessStructureKind::IndexedGuidedTour);
+  const auto* anchors = engine->provenance_for("guitar");
+  ASSERT_NE(anchors, nullptr);
+  ASSERT_FALSE(anchors->empty());
+  for (const auto& anchor : *anchors) {
+    EXPECT_EQ(anchor.page_id, "guitar");
+    EXPECT_EQ(anchor.source, "links.xml");  // stored pages weave no
+                                            // contextual arcs
+    EXPECT_EQ(anchor.context, "");
+  }
+  // The anchors woven into guitar.html are exactly the context-free arcs
+  // leaving it in the authored linkbase.
+  std::size_t arcs_from_guitar = 0;
+  for (const auto& arc : engine->authored_arcs()) {
+    if (arc.from == "guitar") ++arcs_from_guitar;
+  }
+  EXPECT_EQ(anchors->size(), arcs_from_guitar);
+
+  // Unknown and tangled pages have no provenance.
+  EXPECT_EQ(engine->provenance_for("nope"), nullptr);
+}
+
+TEST(IncrementalEngine, ProvenanceFollowsAnArcEdit) {
+  auto engine = paper_engine(hm::AccessStructureKind::Index);
+  const std::vector<hm::AccessArc> arcs = engine->authored_arcs();
+  auto it = std::find_if(arcs.begin(), arcs.end(), [](const hm::AccessArc& a) {
+    return a.role == hm::roles::kUp && a.from == "guitar";
+  });
+  ASSERT_NE(it, arcs.end());
+  hm::AccessArc edited = *it;
+  edited.to = "guernica";  // retarget guitar's up-link
+  (void)engine->replace_arc(static_cast<std::size_t>(it - arcs.begin()),
+                            edited);
+  const auto* anchors = engine->provenance_for("guitar");
+  ASSERT_NE(anchors, nullptr);
+  const bool retargeted =
+      std::any_of(anchors->begin(), anchors->end(), [](const auto& a) {
+        return a.role == hm::roles::kUp && a.to == "guernica";
+      });
+  EXPECT_TRUE(retargeted);
+  expect_sites_identical(engine->site(), oracle_site(*engine));
+}
+
+// --- stale-cache regression (navigate → mutate → re-navigate) -------------------
+
+TEST(IncrementalEngine, MutationInvalidatesResponseAndArcCachesTogether) {
+  auto engine = paper_engine(hm::AccessStructureKind::IndexedGuidedTour);
+  nav::Navigating& browser = engine->navigator();
+
+  ASSERT_TRUE(browser.navigate("guitar.html"));
+  ASSERT_NE(browser.page(), nullptr);
+  EXPECT_NE(browser.page()->find("Next: Guernica"), std::string::npos);
+  const std::vector<const navsep::xlink::Arc*> links_before = browser.links();
+  ASSERT_FALSE(links_before.empty());
+
+  // Mutate the live site: the linkbase is re-authored, guitar.html is
+  // re-woven, the response cache entry dropped, and the browser's cached
+  // arc list refreshed (the old Arc pointers died with the arc table).
+  (void)engine->retitle_node("guernica", "La Guernica");
+
+  ASSERT_TRUE(browser.navigate("guitar.html"));
+  EXPECT_NE(browser.page()->find("Next: La Guernica"), std::string::npos)
+      << "stale page served after mutation";
+  ASSERT_FALSE(browser.links().empty());
+  EXPECT_TRUE(browser.follow_role("next"));
+  EXPECT_NE(browser.location().find("guernica.html"), std::string::npos);
+}
+
+TEST(IncrementalEngine, RebuildAlsoInvalidatesBothCaches) {
+  // The force-everything path must uphold the same contract as the
+  // incremental one: no stale responses, no dangling arc pointers.
+  auto engine = paper_engine(hm::AccessStructureKind::IndexedGuidedTour);
+  nav::Navigating& browser = engine->navigator();
+  ASSERT_TRUE(browser.navigate("guitar.html"));
+  engine->internals().rebuild();
+  ASSERT_FALSE(browser.links().empty());
+  EXPECT_TRUE(browser.follow_role("next"));
+  EXPECT_TRUE(browser.back());
+  // Whatever got cached was cached *after* the rebuild — the page served
+  // on back() is the freshly woven one.
+  ASSERT_NE(browser.page(), nullptr);
+  EXPECT_NE(browser.page()->find("Next: Guernica"), std::string::npos);
+}
+
+// --- tangled baseline -----------------------------------------------------------
+
+TEST(IncrementalEngine, TangledMutationReweavesTheWholeSite) {
+  // The asymmetry the paper measures, live: with navigation tangled into
+  // every page there is no linkbase layer to localize the edit, so the
+  // cheapest retitle re-renders everything.
+  auto engine = nav::SitePipeline()
+                    .conceptual(SyntheticSpec{.painters = 2,
+                                              .paintings_per_painter = 8,
+                                              .movements = 3,
+                                              .seed = 7})
+                    .access(hm::AccessStructureKind::IndexedGuidedTour,
+                            "painter-0")
+                    .tangled()
+                    .serve();
+  const std::string victim = engine->structure().members()[3].node_id;
+  nav::RebuildReport r = engine->retitle_node(victim, "Renamed");
+  EXPECT_EQ(r.pages_rewoven, r.pages_total);
+  EXPECT_DOUBLE_EQ(r.reweave_ratio(), 1.0);
+  EXPECT_EQ(engine->provenance_for(victim), nullptr);
+}
+
+// --- the acceptance property: randomized edit sequences -------------------------
+
+TEST(IncrementalEngine, RandomizedEditSequenceStaysByteIdentical) {
+  auto engine = nav::SitePipeline()
+                    .conceptual(SyntheticSpec{.painters = 3,
+                                              .paintings_per_painter = 6,
+                                              .movements = 3,
+                                              .seed = 11})
+                    .access(hm::AccessStructureKind::Index, "painter-0")
+                    .contexts({"ByAuthor", "ByMovement"})
+                    .weave()
+                    .serve();
+
+  std::vector<std::string> all_paintings;
+  for (const auto* node : engine->navigation().nodes_of("PaintingNode")) {
+    all_paintings.push_back(node->id());
+  }
+  const hm::AccessStructureKind kinds[] = {
+      hm::AccessStructureKind::Index, hm::AccessStructureKind::GuidedTour,
+      hm::AccessStructureKind::IndexedGuidedTour};
+
+  navsep::Rng rng(2026);
+  for (int step = 0; step < 40; ++step) {
+    const std::uint64_t op = rng.below(4);
+    if (op == 0) {
+      std::vector<hm::AccessArc> arcs = engine->authored_arcs();
+      if (arcs.empty()) continue;
+      const std::size_t index =
+          static_cast<std::size_t>(rng.below(arcs.size()));
+      hm::AccessArc edited = arcs[index];
+      edited.title = "edit-" + rng.word(6);
+      if (rng.chance(0.3)) edited.to = rng.pick(all_paintings);
+      (void)engine->replace_arc(index, edited);
+    } else if (op == 1) {
+      const auto& members = engine->structure().members();
+      const std::string id =
+          members[static_cast<std::size_t>(rng.below(members.size()))].node_id;
+      (void)engine->retitle_node(id, "title-" + rng.word(5));
+    } else if (op == 2) {
+      std::set<std::string> current;
+      for (const auto& m : engine->structure().members()) {
+        current.insert(m.node_id);
+      }
+      std::string candidate;
+      for (const auto& id : all_paintings) {
+        if (current.find(id) == current.end()) {
+          candidate = id;
+          break;
+        }
+      }
+      if (candidate.empty()) continue;
+      (void)engine->add_node(candidate);
+    } else {
+      (void)engine->set_access_structure(
+          kinds[static_cast<std::size_t>(rng.below(3))]);
+    }
+
+    ASSERT_NO_FATAL_FAILURE(
+        expect_sites_identical(engine->site(), oracle_site(*engine)))
+        << "diverged after step " << step;
+  }
+
+  // And the incremental state must be a fixpoint of the force path.
+  std::vector<std::pair<std::string, std::string>> before =
+      engine->site().artifacts();
+  engine->internals().rebuild();
+  EXPECT_EQ(engine->site().artifacts(), before);
+}
+
+// --- build-graph introspection --------------------------------------------------
+
+TEST(IncrementalEngine, GraphShapeMatchesTheSite) {
+  auto engine = paper_engine(hm::AccessStructureKind::IndexedGuidedTour);
+  const nav::BuildGraph& g = engine->build_graph();
+  EXPECT_EQ(g.count(nav::ProductKind::Page), 4u);       // 3 members + index
+  EXPECT_EQ(g.count(nav::ProductKind::ArcSlice), 4u);   // one per page
+  EXPECT_EQ(g.count(nav::ProductKind::Linkbase), 2u);   // links + ByAuthor
+  EXPECT_EQ(g.count(nav::ProductKind::ArcTable), 1u);
+  EXPECT_EQ(g.count(nav::ProductKind::Source), 1u);
+  EXPECT_EQ(g.count(nav::ProductKind::Server), 1u);
+  EXPECT_FALSE(g.is_dirty("nav:spec"));
+  EXPECT_TRUE(g.contains("page:guitar"));
+  EXPECT_TRUE(g.contains("linkbase:links-byauthor.xml"));
+}
+
+}  // namespace
