@@ -54,9 +54,11 @@ int main() {
   std::printf("forward -> %s\n", browser.location().c_str());
 
   const nav::SessionView& session = engine->session();
+  // One coherent counter sample instead of four separately-read atomics.
+  const navsep::site::HypermediaServer::Stats stats = engine->server().stats();
   std::printf("\nvisited %zu pages, server served %zu requests "
-              "(%zu misses, %zu cache hits)\n",
-              session.pages_visited(), session.requests(), session.misses(),
-              engine->internals().response_cache_hits());
+              "(%zu misses, %zu cache hits, %zu cached)\n",
+              session.pages_visited(), stats.requests, stats.misses,
+              stats.cache_hits, stats.cache_size);
   return 0;
 }

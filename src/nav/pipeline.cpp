@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "core/linkbase.hpp"
 #include "core/renderer.hpp"
+#include "serve/concurrent_server.hpp"
 #include "xml/parser.hpp"
 #include "xml/serializer.hpp"
 
@@ -47,6 +48,11 @@ site::NavigationSession Engine::open_session() const {
   return site::NavigationSession(*nav_, std::move(families), &weaver_);
 }
 
+std::unique_ptr<serve::ConcurrentServer> Engine::open_concurrent(
+    std::size_t cache_shards) const {
+  return std::make_unique<serve::ConcurrentServer>(snapshots_, cache_shards);
+}
+
 std::string Engine::compose_page(std::string_view node_id,
                                  std::string_view context_tag) const {
   const hypermedia::NavNode* node = nav_->node(node_id);
@@ -75,6 +81,7 @@ void Engine::rebuild() {
   build_graph_.mark_all_dirty();
   (void)build_graph_.run();
   browser_->refresh();
+  publish_snapshot();
 }
 
 // --- Engine: incremental mutation entry points --------------------------------
@@ -85,7 +92,13 @@ RebuildReport Engine::run_graph_after_mutation() {
   // The arc table (and with it the Arc storage the browser's cached
   // links() point into) may have been rebuilt; re-resolve the session.
   browser_->refresh();
+  publish_snapshot();
   return report;
+}
+
+void Engine::publish_snapshot() {
+  snapshots_.publish(std::make_shared<serve::SiteSnapshot>(
+      site_, graph_, site_base_, snapshots_.epoch() + 1));
 }
 
 RebuildReport Engine::set_access_structure(
@@ -581,6 +594,7 @@ std::unique_ptr<Engine> SitePipeline::serve(std::string_view base) {
       engine->site_, engine->site_base_);
   engine->wire_graph();
   (void)engine->build_graph_.run();
+  engine->publish_snapshot();  // epoch 1: the initially built site
 
   engine->browser_ =
       std::make_unique<site::Browser>(*engine->server_, engine->graph_);

@@ -39,12 +39,17 @@
 #include "nav/buildgraph.hpp"
 #include "nav/roles.hpp"
 #include "nav/session.hpp"
+#include "serve/snapshot.hpp"
 #include "site/browser.hpp"
 #include "site/server.hpp"
 #include "site/session.hpp"
 #include "site/virtual_site.hpp"
 #include "xlink/traversal.hpp"
 #include "xml/dom.hpp"
+
+namespace navsep::serve {
+class ConcurrentServer;
+}
 
 namespace navsep::nav {
 
@@ -106,6 +111,13 @@ class Engine final : public EngineInternals {
   /// points are announced through the engine's weaver.
   [[nodiscard]] site::NavigationSession open_session() const;
 
+  /// A concurrent read server over the engine's published snapshots (see
+  /// snapshots()): safe for any number of reader threads while this
+  /// engine keeps mutating on its (single) writer thread. The engine
+  /// must outlive it.
+  [[nodiscard]] std::unique_ptr<serve::ConcurrentServer> open_concurrent(
+      std::size_t cache_shards = 16) const;
+
   /// Compose one node page on demand, inside an optional navigational
   /// context tag ("ByAuthor:picasso") — woven through the engine's weaver
   /// in Separated mode. In Tangled mode the page is rendered inline and
@@ -142,6 +154,10 @@ class Engine final : public EngineInternals {
   void clear_response_cache() override { server_->clear_cache(); }
   [[nodiscard]] std::size_t response_cache_hits() const noexcept override {
     return server_->cache_hits();
+  }
+  [[nodiscard]] const serve::SnapshotStore& snapshots()
+      const noexcept override {
+    return snapshots_;
   }
 
   // --- weave provenance -------------------------------------------------------
@@ -186,6 +202,12 @@ class Engine final : public EngineInternals {
   /// Mark the spec dirty, run the graph, refresh the session browser.
   RebuildReport run_graph_after_mutation();
 
+  /// Capture site_ + graph_ as the next epoch and install it in
+  /// snapshots_ — the atomic hand-off from this (writer) thread to
+  /// concurrent readers. Runs after every graph run, so readers always
+  /// have a complete, never-torn site to acquire.
+  void publish_snapshot();
+
   // Declaration order is destruction-order-sensitive: everything below
   // may point into what is above it.
   std::unique_ptr<museum::MuseumWorld> owned_world_;
@@ -215,6 +237,10 @@ class Engine final : public EngineInternals {
   std::unique_ptr<site::HypermediaServer> server_;
   std::unique_ptr<site::Browser> browser_;
   std::unique_ptr<BrowserSession> session_;
+
+  /// Published site snapshots (self-contained: shared artifact bytes +
+  /// value-copied arcs, no pointers into the members above).
+  serve::SnapshotStore snapshots_;
 
   // --- incremental rebuild state ---------------------------------------------
   BuildGraph build_graph_;

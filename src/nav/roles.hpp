@@ -28,6 +28,9 @@
 namespace navsep::aop {
 class Weaver;
 }
+namespace navsep::serve {
+class SnapshotStore;
+}
 namespace navsep::xlink {
 struct Arc;
 class TraversalGraph;
@@ -160,6 +163,15 @@ class EngineInternals {
   /// Cache control for the response cache under get().
   virtual void clear_response_cache() = 0;
   [[nodiscard]] virtual std::size_t response_cache_hits() const noexcept = 0;
+
+  /// The epoch-published snapshot store behind concurrent serving: every
+  /// successful mutation (and rebuild()) publishes a new immutable site
+  /// snapshot here. Concurrent readers go through a
+  /// serve::ConcurrentServer over this store — never through the
+  /// writer-side server()/site() — and are wait-free with respect to
+  /// mutations.
+  [[nodiscard]] virtual const serve::SnapshotStore& snapshots()
+      const noexcept = 0;
 };
 
 }  // namespace navsep::nav

@@ -1,0 +1,90 @@
+#include "serve/concurrent_server.hpp"
+
+#include <functional>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace navsep::serve {
+
+ConcurrentServer::ConcurrentServer(const SnapshotStore& store,
+                                   std::size_t shards)
+    : store_(&store), n_shards_(shards == 0 ? 1 : shards) {
+  std::shared_ptr<const SiteSnapshot> current = store.current();
+  if (current == nullptr) {
+    throw SemanticError(
+        "ConcurrentServer: the snapshot store has no published snapshot "
+        "yet (serve the engine first)");
+  }
+  base_ = current->base();
+  shards_ = std::make_unique<Shard[]>(n_shards_);
+}
+
+ConcurrentServer::Shard& ConcurrentServer::shard_for(
+    std::string_view key) const {
+  return shards_[std::hash<std::string_view>{}(key) % n_shards_];
+}
+
+site::Response ConcurrentServer::get(std::string_view uri_or_path) const {
+  // Same cache-key policy as HypermediaServer: fragment stripped, 404s
+  // never cached.
+  std::string key(uri_or_path.substr(0, uri_or_path.find('#')));
+  Shard& shard = shard_for(key);
+  shard.requests.fetch_add(1, std::memory_order_relaxed);
+
+  const std::uint64_t current_epoch = store_->epoch();
+  bool was_stale = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (auto it = shard.cache.find(key); it != shard.cache.end()) {
+      if (it->second.epoch == current_epoch) {
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
+        return it->second.response;
+      }
+      was_stale = true;  // refilled below, outside the lock
+    }
+  }
+
+  // Miss or stale: resolve against the snapshot that is current NOW.
+  // (It may be newer than current_epoch read above — the entry is then
+  // tagged with the newer epoch it was actually resolved from.)
+  std::shared_ptr<const SiteSnapshot> snap = store_->current();
+  site::Response r = snap->respond(key);
+  shard.resolves.fetch_add(1, std::memory_order_relaxed);
+  if (!r.ok()) {
+    shard.not_found.fetch_add(1, std::memory_order_relaxed);
+    if (was_stale) {
+      // The path existed in an older epoch but is gone now: retire the
+      // stale entry rather than serving it forever.
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.cache.erase(key);
+    }
+    return r;
+  }
+  if (was_stale) shard.stale_refills.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.cache[std::move(key)] = Entry{r, snap->epoch()};
+  return r;
+}
+
+ConcurrentServer::Stats ConcurrentServer::stats() const {
+  Stats s;
+  for (std::size_t i = 0; i < n_shards_; ++i) {
+    const Shard& shard = shards_[i];
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      s.cached_entries += shard.cache.size();
+    }
+    // hits/resolves before requests: per shard, requests >= hits +
+    // resolves stays true in the sample.
+    s.cache_hits += shard.hits.load(std::memory_order_relaxed);
+    s.snapshot_resolves += shard.resolves.load(std::memory_order_relaxed);
+    s.stale_refills += shard.stale_refills.load(std::memory_order_relaxed);
+    s.not_found += shard.not_found.load(std::memory_order_relaxed);
+    s.requests += shard.requests.load(std::memory_order_relaxed);
+  }
+  s.epoch = store_->epoch();
+  return s;
+}
+
+}  // namespace navsep::serve

@@ -1,0 +1,108 @@
+// ConcurrentServer: many-reader GET over the current published snapshot.
+//
+// The hot path is: probe one cache shard (one striped mutex, held for a
+// map lookup), and on a hit whose epoch is current, return the shared
+// response. Misses and stale entries acquire the current snapshot (one
+// atomic refcount bump — never a wait on the writer) and resolve against
+// it. The single-site HypermediaServer keeps ONE cache mutex, which is
+// exactly what this replaces for concurrent traffic: N mutex-striped
+// shards, so readers on different shards never contend, with per-shard
+// hit/miss counters aggregated on stats().
+//
+// Invalidation is by epoch, not by path: writers publish a whole new
+// snapshot, every cached entry carries the epoch it was resolved
+// against, and an entry whose epoch lags the store's is refilled on next
+// touch. No publication ever blocks a reader, and no reader can observe
+// a mix of two epochs in one response.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "serve/snapshot.hpp"
+#include "site/server.hpp"
+
+namespace navsep::serve {
+
+class ConcurrentServer final : public site::PageService {
+ public:
+  /// Counters, one coherent-enough sample across shards. requests >=
+  /// cache_hits + snapshot_resolves holds per shard (hits/resolves are
+  /// summed before requests).
+  struct Stats {
+    std::size_t requests = 0;
+    std::size_t cache_hits = 0;         ///< served from a fresh shard entry
+    std::size_t snapshot_resolves = 0;  ///< resolved against the snapshot
+    std::size_t stale_refills = 0;      ///< resolves that replaced an
+                                        ///< entry from an older epoch
+    std::size_t not_found = 0;          ///< 404s
+    std::size_t cached_entries = 0;     ///< live entries across shards
+    std::uint64_t epoch = 0;            ///< store epoch at sample time
+  };
+
+  /// Serve over `store` (which must already have a published snapshot —
+  /// the base URI is captured from it; throws navsep::SemanticError when
+  /// empty) with `shards` cache shards (clamped to at least 1).
+  explicit ConcurrentServer(const SnapshotStore& store,
+                            std::size_t shards = kDefaultShards);
+
+  /// GET against the currently published snapshot. Thread-safe for any
+  /// number of concurrent callers, including while a writer publishes.
+  [[nodiscard]] site::Response get(std::string_view uri_or_path) const override;
+
+  [[nodiscard]] const std::string& base() const noexcept override {
+    return base_;
+  }
+
+  /// Pin the currently published snapshot (for session-long consistency:
+  /// a behavior that wants one coherent site view across many GETs holds
+  /// this and calls snapshot->respond() itself).
+  [[nodiscard]] std::shared_ptr<const SiteSnapshot> snapshot() const {
+    return store_->current();
+  }
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return store_->epoch();
+  }
+  [[nodiscard]] std::size_t shard_count() const noexcept { return n_shards_; }
+
+  /// Aggregate the per-shard counters (locks each shard briefly for its
+  /// entry count; counter loads are ordered per shard, see Stats).
+  [[nodiscard]] Stats stats() const;
+
+  static constexpr std::size_t kDefaultShards = 16;
+
+ private:
+  struct Entry {
+    site::Response response;
+    std::uint64_t epoch = 0;
+  };
+
+  /// One cache stripe. Counters live with the shard so the hot path
+  /// touches exactly one cache line set; alignment keeps shards from
+  /// false-sharing each other.
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Entry> cache;
+    std::atomic<std::size_t> requests{0};
+    std::atomic<std::size_t> hits{0};
+    std::atomic<std::size_t> resolves{0};
+    std::atomic<std::size_t> stale_refills{0};
+    std::atomic<std::size_t> not_found{0};
+  };
+
+  [[nodiscard]] Shard& shard_for(std::string_view key) const;
+
+  const SnapshotStore* store_;
+  std::string base_;
+  std::size_t n_shards_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace navsep::serve

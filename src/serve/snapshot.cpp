@@ -1,0 +1,121 @@
+#include "serve/snapshot.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "uri/uri.hpp"
+#include "xlink/model.hpp"
+
+namespace navsep::serve {
+
+namespace {
+
+const std::vector<SnapshotArc> kNoArcs{};
+
+}  // namespace
+
+SiteSnapshot::SiteSnapshot(const site::VirtualSite& site,
+                           const xlink::TraversalGraph& graph,
+                           std::string base, std::uint64_t epoch)
+    : epoch_(epoch), base_(std::move(base)) {
+  if (!base_.empty() && base_.back() != '/') base_ += '/';
+  normalized_base_ = uri::normalize(uri::parse(base_)).to_string();
+  for (auto& [path, body] : site.shared_artifacts()) {
+    files_.emplace(path, std::move(body));
+  }
+  // Materialize arcs by value, bucketed by (already normalized) source
+  // URI — the graph's own index order is linkbase document order, which
+  // we preserve per bucket.
+  for (const std::string& from : graph.resource_uris()) {
+    std::vector<const xlink::Arc*> outgoing = graph.outgoing(from);
+    if (outgoing.empty()) continue;
+    std::vector<SnapshotArc> bucket;
+    bucket.reserve(outgoing.size());
+    for (const xlink::Arc* arc : outgoing) {
+      SnapshotArc snap;
+      snap.from = xlink::normalize_ref(arc->from.uri);
+      snap.to = xlink::normalize_ref(arc->to.uri);
+      snap.arcrole = arc->arcrole;
+      snap.title = arc->title;
+      snap.traversable = xlink::is_traversable(*arc);
+      bucket.push_back(std::move(snap));
+    }
+    arcs_by_from_.emplace(xlink::normalize_ref(from), std::move(bucket));
+  }
+}
+
+std::vector<std::string> SiteSnapshot::paths() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, _] : files_) out.push_back(path);
+  return out;
+}
+
+std::shared_ptr<const std::string> SiteSnapshot::body(
+    std::string_view path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : it->second;
+}
+
+site::Response SiteSnapshot::respond(std::string_view uri_or_path,
+                                     std::string* resolved_path) const {
+  std::optional<std::string> path =
+      site::site_path_under(uri_or_path, normalized_base_);
+  if (!path) return site::Response{404, "", nullptr};
+  auto it = files_.find(*path);
+  if (it == files_.end()) return site::Response{404, "", nullptr};
+  if (resolved_path != nullptr) *resolved_path = *path;
+  return site::Response{200, std::string(site::content_type_for(*path)),
+                        it->second};
+}
+
+const std::vector<SnapshotArc>& SiteSnapshot::outgoing(
+    std::string_view uri) const {
+  std::string absolute = uri.find("://") != std::string_view::npos
+                             ? std::string(uri)
+                             : base_ + std::string(uri);
+  auto it = arcs_by_from_.find(xlink::normalize_ref(absolute));
+  return it == arcs_by_from_.end() ? kNoArcs : it->second;
+}
+
+const SnapshotArc* SiteSnapshot::outgoing_with_role(
+    std::string_view uri, std::string_view role) const {
+  for (const SnapshotArc& arc : outgoing(uri)) {
+    if (xlink::arcrole_matches(arc.arcrole, role)) return &arc;
+  }
+  return nullptr;
+}
+
+void SnapshotStore::publish(std::shared_ptr<const SiteSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    throw SemanticError("SnapshotStore::publish: null snapshot");
+  }
+  const std::uint64_t next = snapshot->epoch();
+  if (next <= epoch_.load(std::memory_order_relaxed)) {
+    throw SemanticError(
+        "SnapshotStore::publish: epoch must advance (publishing " +
+        std::to_string(next) + " over " +
+        std::to_string(epoch_.load(std::memory_order_relaxed)) + ")");
+  }
+#if defined(__cpp_lib_atomic_shared_ptr)
+  current_.store(std::move(snapshot), std::memory_order_release);
+#else
+  std::atomic_store_explicit(&current_, std::move(snapshot),
+                             std::memory_order_release);
+#endif
+  // The epoch is published AFTER the snapshot: a cache that reads epoch
+  // N is guaranteed current() already returns the epoch-N snapshot (it
+  // may even be newer — harmless, the entry just retires one probe
+  // early... never late).
+  epoch_.store(next, std::memory_order_release);
+}
+
+std::shared_ptr<const SiteSnapshot> SnapshotStore::current() const {
+#if defined(__cpp_lib_atomic_shared_ptr)
+  return current_.load(std::memory_order_acquire);
+#else
+  return std::atomic_load_explicit(&current_, std::memory_order_acquire);
+#endif
+}
+
+}  // namespace navsep::serve

@@ -1,0 +1,132 @@
+// Epoch-published site snapshots — the read side of concurrent serving.
+//
+// The paper's asymmetry is that navigation can be re-authored without
+// touching page content; the serving runtime mirrors it: writers
+// (nav::Engine mutations) produce a NEW immutable SiteSnapshot and
+// publish it atomically, readers acquire whichever snapshot is current
+// and keep it alive by refcount for as long as they read. Nobody blocks:
+// a reader mid-request on epoch N is untouched by the publication of
+// N+1; the last reader to drop N frees it (RCU with shared_ptr as the
+// grace period).
+//
+// A snapshot is fully self-contained: it shares the artifact bytes with
+// the VirtualSite it was taken from (cheap — refcount bumps, no copies)
+// and materializes the traversal graph's arcs as owned strings, so no
+// pointer in a snapshot reaches into engine state a writer might rebuild.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "site/server.hpp"
+#include "site/virtual_site.hpp"
+#include "xlink/traversal.hpp"
+
+namespace navsep::serve {
+
+/// One navigation arc of a snapshot, materialized by value (no pointers
+/// into linkbase DOMs — those are writer-owned and rebuilt under the
+/// readers' feet). URIs are normalized and absolute.
+struct SnapshotArc {
+  std::string from;
+  std::string to;
+  std::string arcrole;  // e.g. "nav:next"
+  std::string title;
+  bool traversable = true;  // false for show=none / actuate=none arcs
+};
+
+/// An immutable, refcounted view of one published site state. Never
+/// mutated after construction — every member function is safe to call
+/// from any number of threads.
+class SiteSnapshot {
+ public:
+  /// Capture `site` + `graph` as published epoch `epoch` under `base`
+  /// (slash-terminated). Artifact bytes are shared, arcs are copied out
+  /// by value.
+  SiteSnapshot(const site::VirtualSite& site, const xlink::TraversalGraph& graph,
+               std::string base, std::uint64_t epoch);
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] const std::string& base() const noexcept { return base_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return files_.size(); }
+  [[nodiscard]] bool contains(std::string_view path) const {
+    return files_.find(path) != files_.end();
+  }
+  [[nodiscard]] std::vector<std::string> paths() const;
+
+  /// Content of one site path (null when absent). The handle keeps the
+  /// bytes alive past this snapshot's retirement.
+  [[nodiscard]] std::shared_ptr<const std::string> body(
+      std::string_view path) const;
+
+  /// GET semantics over the snapshot: absolute URI (under base) or
+  /// site-relative path, fragment ignored; 404 on anything else. When
+  /// `resolved_path` is non-null and the response is 200, receives the
+  /// site path the request resolved to.
+  [[nodiscard]] site::Response respond(
+      std::string_view uri_or_path,
+      std::string* resolved_path = nullptr) const;
+
+  /// Arcs leaving the resource at `uri` (absolute or site-relative;
+  /// normalized before lookup), linkbase document order. Empty when none.
+  [[nodiscard]] const std::vector<SnapshotArc>& outgoing(
+      std::string_view uri) const;
+
+  /// First outgoing arc with the given arcrole ("next" or "nav:next"),
+  /// null when absent.
+  [[nodiscard]] const SnapshotArc* outgoing_with_role(
+      std::string_view uri, std::string_view role) const;
+
+ private:
+  std::uint64_t epoch_;
+  std::string base_;             // slash-terminated, as served
+  std::string normalized_base_;  // uri::normalize(base_)
+  std::map<std::string, std::shared_ptr<const std::string>, std::less<>>
+      files_;
+  std::map<std::string, std::vector<SnapshotArc>, std::less<>> arcs_by_from_;
+};
+
+/// The publication point between one writer and many readers. publish()
+/// installs a new snapshot atomically; current() acquires the installed
+/// one with a single atomic refcount bump — no reader ever waits on a
+/// writer re-weaving the site, and no reader can observe a torn site:
+/// it holds either the old epoch or the new one, never a mix.
+///
+/// Writers must be externally serialized (the engine's single-writer
+/// mutation contract); readers need no synchronization at all.
+class SnapshotStore {
+ public:
+  /// Install `snapshot` as current. Its epoch must exceed the installed
+  /// one (throws navsep::SemanticError otherwise — epochs are the cache
+  /// staleness signal and must move forward).
+  void publish(std::shared_ptr<const SiteSnapshot> snapshot);
+
+  /// Acquire the current snapshot (null before the first publish). The
+  /// returned handle pins the snapshot: it stays valid however many
+  /// epochs are published afterwards.
+  [[nodiscard]] std::shared_ptr<const SiteSnapshot> current() const;
+
+  /// Epoch of the current snapshot without acquiring it (0 before the
+  /// first publish) — the cheap staleness probe response caches use.
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+ private:
+#if defined(__cpp_lib_atomic_shared_ptr)
+  std::atomic<std::shared_ptr<const SiteSnapshot>> current_;
+#else
+  // Pre-C++20-library fallback: the deprecated-but-present free-function
+  // atomics over shared_ptr.
+  std::shared_ptr<const SiteSnapshot> current_;
+#endif
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace navsep::serve

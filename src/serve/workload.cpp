@@ -1,0 +1,378 @@
+#include "serve/workload.hpp"
+
+#include <bit>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "core/navigation_aspect.hpp"
+#include "nav/pipeline.hpp"
+#include "site/session.hpp"
+
+namespace navsep::serve {
+
+std::string_view to_string(Behavior b) noexcept {
+  switch (b) {
+    case Behavior::RandomSurfer: return "random_surfer";
+    case Behavior::GuidedTour: return "guided_tour";
+    case Behavior::ContextSwitcher: return "context_switcher";
+    case Behavior::Kiosk: return "kiosk";
+  }
+  return "unknown";
+}
+
+// --- LatencyHistogram ---------------------------------------------------------
+
+void LatencyHistogram::record(std::uint64_t ns) noexcept {
+  std::size_t bucket = ns == 0 ? 0 : static_cast<std::size_t>(
+                                         std::bit_width(ns) - 1);
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  ++counts_[bucket];
+  ++count_;
+  total_ns_ += ns;
+  if (ns > max_ns_) max_ns_ = ns;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  total_ns_ += other.total_ns_;
+  if (other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+}
+
+std::uint64_t LatencyHistogram::quantile_ns(double q) const noexcept {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen > rank) return std::uint64_t{1} << (i + 1);  // bucket upper bound
+  }
+  return max_ns_;
+}
+
+// --- session behaviors --------------------------------------------------------
+
+namespace {
+
+namespace hm = navsep::hypermedia;
+
+struct SessionOutcome {
+  std::size_t steps = 0;
+  std::size_t requests = 0;
+  std::size_t failures = 0;
+  LatencyHistogram latency;
+};
+
+/// One timed GET; returns ok.
+bool timed_get(const ConcurrentServer& server, std::string_view uri,
+               SessionOutcome& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  site::Response r = server.get(uri);
+  const auto t1 = std::chrono::steady_clock::now();
+  out.latency.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+  ++out.requests;
+  if (!r.ok()) ++out.failures;
+  return r.ok();
+}
+
+/// Per-session cache of a snapshot's .html page list, rebuilt only when
+/// the epoch moves: sessions re-seed from it whenever a mutation retired
+/// the page they stood on, and an O(site) walk must not sit on the
+/// measured request path of every re-seed.
+class PageIndex {
+ public:
+  const std::vector<std::string>& pages(const SiteSnapshot& snap) {
+    if (!filled_ || epoch_ != snap.epoch()) {
+      filled_ = true;
+      epoch_ = snap.epoch();
+      pages_.clear();
+      for (std::string& path : snap.paths()) {
+        if (path.size() > 5 && path.rfind(".html") == path.size() - 5) {
+          pages_.push_back(std::move(path));
+        }
+      }
+    }
+    return pages_;
+  }
+
+ private:
+  bool filled_ = false;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::string> pages_;
+};
+
+/// A random .html path from the current snapshot. Falls back to
+/// `fallback` when the snapshot has none.
+std::string random_page(PageIndex& index, const SiteSnapshot& snap, Rng& rng,
+                        const std::string& fallback) {
+  const std::vector<std::string>& pages = index.pages(snap);
+  return pages.empty() ? fallback : rng.pick(pages);
+}
+
+void run_random_surfer(const ConcurrentServer& server,
+                       const std::string& entry_path, Rng& rng,
+                       std::size_t steps, SessionOutcome& out) {
+  PageIndex index;
+  std::string location = entry_path;
+  for (std::size_t i = 0; i < steps; ++i) {
+    ++out.steps;
+    std::shared_ptr<const SiteSnapshot> snap = server.snapshot();
+    if (!timed_get(server, location, out)) {
+      location = random_page(index, *snap, rng, entry_path);
+      continue;
+    }
+    const std::vector<SnapshotArc>& arcs = snap->outgoing(location);
+    std::vector<const SnapshotArc*> traversable;
+    traversable.reserve(arcs.size());
+    for (const SnapshotArc& arc : arcs) {
+      if (arc.traversable) traversable.push_back(&arc);
+    }
+    location = traversable.empty() ? random_page(index, *snap, rng, entry_path)
+                                   : rng.pick(traversable)->to;
+  }
+}
+
+/// Walk next/prev role arcs out of the published linkbases — the tour as
+/// the served site actually links it. Used by GuidedTour sessions when
+/// the engine has no context families configured.
+void run_arc_tour(const ConcurrentServer& server,
+                  const std::string& entry_path, Rng& rng, std::size_t steps,
+                  SessionOutcome& out) {
+  PageIndex index;
+  std::string location = entry_path;
+  for (std::size_t i = 0; i < steps; ++i) {
+    ++out.steps;
+    std::shared_ptr<const SiteSnapshot> snap = server.snapshot();
+    if (!timed_get(server, location, out)) {
+      location = random_page(index, *snap, rng, entry_path);
+      continue;
+    }
+    const bool forward = !rng.chance(0.2);
+    const SnapshotArc* arc =
+        snap->outgoing_with_role(location, forward ? "next" : "prev");
+    if (arc == nullptr && forward) {
+      arc = snap->outgoing_with_role(location, "up");
+    }
+    location = arc != nullptr ? arc->to
+                              : random_page(index, *snap, rng, entry_path);
+  }
+}
+
+/// Pick a random non-empty context of a random family; enter it at a
+/// random member. Returns false when no family has members.
+bool enter_random_context(
+    site::NavigationSession& session,
+    const std::vector<const hm::ContextFamily*>& families, Rng& rng) {
+  for (std::size_t attempt = 0; attempt < 8; ++attempt) {
+    const hm::ContextFamily* family = rng.pick(families);
+    if (family->contexts().empty()) continue;
+    const hm::NavigationalContext& ctx =
+        family->contexts()[rng.below(family->contexts().size())];
+    if (ctx.node_ids().empty()) continue;
+    const std::string& node = ctx.node_ids()[rng.below(ctx.size())];
+    if (session.enter_context(family->name(), ctx.name(), node)) return true;
+  }
+  return false;
+}
+
+void fetch_current(const ConcurrentServer& server,
+                   const site::NavigationSession& session,
+                   SessionOutcome& out) {
+  if (session.current() == nullptr) return;
+  (void)timed_get(server, core::default_href_for(session.current()->id()),
+                  out);
+}
+
+void run_guided_tour(const ConcurrentServer& server,
+                     const hm::NavigationalModel& model,
+                     const std::vector<const hm::ContextFamily*>& families,
+                     const std::string& entry_path, Rng& rng,
+                     std::size_t steps, SessionOutcome& out) {
+  if (families.empty()) {
+    run_arc_tour(server, entry_path, rng, steps, out);
+    return;
+  }
+  site::NavigationSession session(model, families, /*weaver=*/nullptr);
+  if (!enter_random_context(session, families, rng)) {
+    run_arc_tour(server, entry_path, rng, steps, out);
+    return;
+  }
+  for (std::size_t i = 0; i < steps; ++i) {
+    ++out.steps;
+    fetch_current(server, session, out);
+    const bool forward = !rng.chance(0.2);
+    const bool moved = forward ? session.next() : session.prev();
+    if (!moved) {
+      // Hit an end of the tour: start over in another context.
+      session.leave_context();
+      if (!enter_random_context(session, families, rng)) return;
+    }
+  }
+}
+
+void run_context_switcher(
+    const ConcurrentServer& server, const hm::NavigationalModel& model,
+    const std::vector<const hm::ContextFamily*>& families,
+    const std::string& entry_path, Rng& rng, std::size_t steps,
+    SessionOutcome& out) {
+  if (families.empty()) {
+    run_random_surfer(server, entry_path, rng, steps, out);
+    return;
+  }
+  site::NavigationSession session(model, families, /*weaver=*/nullptr);
+  if (!enter_random_context(session, families, rng)) {
+    run_random_surfer(server, entry_path, rng, steps, out);
+    return;
+  }
+  for (std::size_t i = 0; i < steps; ++i) {
+    ++out.steps;
+    fetch_current(server, session, out);
+    if (rng.chance(0.3)) {
+      // The paper's §2 move: keep the node, re-reach it through another
+      // family — "next" now means something different.
+      const hm::ContextFamily* family = rng.pick(families);
+      if (!session.through(family->name()) &&
+          !enter_random_context(session, families, rng)) {
+        return;
+      }
+      continue;
+    }
+    if (!(rng.chance(0.8) ? session.next() : session.prev()) &&
+        !enter_random_context(session, families, rng)) {
+      return;
+    }
+  }
+}
+
+void run_kiosk(const ConcurrentServer& server,
+               const std::vector<std::string>& seed_nodes,
+               const std::string& entry_path, Rng& rng, std::size_t steps,
+               SessionOutcome& out) {
+  // A kiosk profile is pinned to a short personalized playlist (cf.
+  // core::UserProfile::suppress_tours — it never follows tour arcs).
+  std::vector<std::string> playlist{entry_path};
+  std::vector<std::string> pool = seed_nodes;
+  rng.shuffle(pool);
+  for (std::size_t i = 0; i < pool.size() && playlist.size() < 5; ++i) {
+    playlist.push_back(core::default_href_for(pool[i]));
+  }
+  PageIndex index;
+  for (std::size_t i = 0; i < steps; ++i) {
+    ++out.steps;
+    std::string& slot = playlist[i % playlist.size()];
+    if (!timed_get(server, slot, out)) {
+      // The playlist entry was retired by a mutation: swap in a page
+      // that exists in the current epoch.
+      slot = random_page(index, *server.snapshot(), rng, entry_path);
+    }
+  }
+}
+
+}  // namespace
+
+// --- Workload -----------------------------------------------------------------
+
+Workload::Workload(const nav::Engine& engine) : engine_(&engine) {
+  entry_path_ = core::default_href_for(engine.structure().entry());
+  for (const hm::Member& member : engine.structure().members()) {
+    if (engine.navigation().node(member.node_id) != nullptr) {
+      seed_nodes_.push_back(member.node_id);
+    }
+  }
+}
+
+WorkloadResult Workload::run(const WorkloadOptions& options) {
+  ConcurrentServer server(engine_->snapshots());
+  return run(server, options);
+}
+
+WorkloadResult Workload::run(ConcurrentServer& server,
+                             const WorkloadOptions& options) {
+  static constexpr Behavior kAll[] = {
+      Behavior::RandomSurfer, Behavior::GuidedTour, Behavior::ContextSwitcher,
+      Behavior::Kiosk};
+  std::vector<Behavior> behaviors = options.behaviors;
+  if (behaviors.empty()) behaviors.assign(std::begin(kAll), std::end(kAll));
+
+  std::vector<const hm::ContextFamily*> families;
+  families.reserve(engine_->context_families().size());
+  for (const hm::ContextFamily& f : engine_->context_families()) {
+    families.push_back(&f);
+  }
+
+  const std::size_t threads = options.threads == 0 ? 1 : options.threads;
+  std::vector<SessionOutcome> outcomes(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < threads; ++t) {
+    const Behavior behavior = behaviors[t % behaviors.size()];
+    pool.emplace_back([&, t, behavior] {
+      // Distinct deterministic stream per session: same options, same
+      // per-session request sequence, run to run.
+      Rng rng(options.seed ^ (0x9e3779b97f4a7c15ull * (t + 1)));
+      SessionOutcome& out = outcomes[t];
+      switch (behavior) {
+        case Behavior::RandomSurfer:
+          run_random_surfer(server, entry_path_, rng,
+                            options.steps_per_session, out);
+          break;
+        case Behavior::GuidedTour:
+          run_guided_tour(server, engine_->navigation(), families,
+                          entry_path_, rng, options.steps_per_session, out);
+          break;
+        case Behavior::ContextSwitcher:
+          run_context_switcher(server, engine_->navigation(), families,
+                               entry_path_, rng, options.steps_per_session,
+                               out);
+          break;
+        case Behavior::Kiosk:
+          run_kiosk(server, seed_nodes_, entry_path_, rng,
+                    options.steps_per_session, out);
+          break;
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  WorkloadResult result;
+  result.sessions = threads;
+  result.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+  std::array<BehaviorTally, std::size(kAll)> tallies;
+  for (std::size_t b = 0; b < std::size(kAll); ++b) {
+    tallies[b].behavior = kAll[b];
+  }
+  for (std::size_t t = 0; t < threads; ++t) {
+    const SessionOutcome& out = outcomes[t];
+    result.steps += out.steps;
+    result.requests += out.requests;
+    result.failures += out.failures;
+    result.latency.merge(out.latency);
+    BehaviorTally& tally =
+        tallies[static_cast<std::size_t>(behaviors[t % behaviors.size()])];
+    ++tally.sessions;
+    tally.requests += out.requests;
+    tally.failures += out.failures;
+  }
+  for (const BehaviorTally& tally : tallies) {
+    if (tally.sessions > 0) result.by_behavior.push_back(tally);
+  }
+  result.throughput_rps =
+      result.seconds > 0.0
+          ? static_cast<double>(result.requests) / result.seconds
+          : 0.0;
+  result.server = server.stats();
+  return result;
+}
+
+}  // namespace navsep::serve

@@ -4,15 +4,14 @@
 
 namespace navsep::site {
 
-Browser::Browser(const HypermediaServer& server,
-                 const xlink::TraversalGraph& graph)
+Browser::Browser(const PageService& server, const xlink::TraversalGraph& graph)
     : server_(&server), graph_(&graph) {}
 
 bool Browser::load(const std::string& uri) {
   Response r = server_->get(uri);
   if (!r.ok()) return false;
   location_ = uri;
-  page_ = r.body;
+  page_ = std::move(r.body);
   links_ = graph_->outgoing(location_);
   ++visits_;
   return true;
@@ -36,19 +35,17 @@ bool Browser::navigate(std::string_view uri_ref) {
 }
 
 bool Browser::follow(const xlink::Arc& arc) {
-  if (arc.show == xlink::Show::None || arc.actuate == xlink::Actuate::None) {
+  if (!xlink::is_traversable(arc)) {
     return false;  // the linkbase forbids traversal
   }
   return navigate(arc.to.uri);
 }
 
 bool Browser::follow_role(std::string_view role) {
-  std::string bare(role);
-  std::string prefixed = "nav:" + bare;
   // Pick the arc before following: follow() reloads and replaces links_.
   const xlink::Arc* match = nullptr;
   for (const xlink::Arc* arc : links_) {
-    if (arc->arcrole == bare || arc->arcrole == prefixed) {
+    if (xlink::arcrole_matches(arc->arcrole, role)) {
       match = arc;
       break;
     }
@@ -59,7 +56,7 @@ bool Browser::follow_role(std::string_view role) {
 void Browser::refresh() {
   if (location_.empty()) return;
   Response r = server_->get(location_);
-  page_ = r.ok() ? r.body : nullptr;
+  page_ = r.ok() ? std::move(r.body) : nullptr;
   links_ = r.ok() ? graph_->outgoing(location_)
                   : std::vector<const xlink::Arc*>{};
 }

@@ -4,6 +4,7 @@
 // aware) — the demonstration the paper could not give in 2002 browsers.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -16,7 +17,15 @@ namespace navsep::site {
 
 class Browser {
  public:
-  Browser(const HypermediaServer& server, const xlink::TraversalGraph& graph);
+  /// Works over any page service — the single-site HypermediaServer or a
+  /// serve::ConcurrentServer over published snapshots. Both referents
+  /// must outlive the browser. NOTE: a Browser is a single-session,
+  /// writer-quiescent consumer: it caches raw pointers into `graph`, so
+  /// it must not run concurrently with engine mutations that rebuild the
+  /// arc table (refresh() after each mutation, as before). Concurrent
+  /// traffic under live edits goes through the value-copied
+  /// serve::SiteSnapshot arcs instead (what serve::Workload sessions do).
+  Browser(const PageService& server, const xlink::TraversalGraph& graph);
 
   /// Fetch a URI (absolute, or resolved against the current location /
   /// server base). Pushes onto history on success. `false` on 404.
@@ -25,7 +34,9 @@ class Browser {
   [[nodiscard]] const std::string& location() const noexcept {
     return location_;
   }
-  [[nodiscard]] const std::string* page() const noexcept { return page_; }
+  [[nodiscard]] const std::string* page() const noexcept {
+    return page_.get();
+  }
 
   /// Arcs leaving the current resource (linkbase order). Computed once
   /// per location change from the graph's per-source index, then served
@@ -63,10 +74,12 @@ class Browser {
  private:
   bool load(const std::string& uri);
 
-  const HypermediaServer* server_;
+  const PageService* server_;
   const xlink::TraversalGraph* graph_;
   std::string location_;
-  const std::string* page_ = nullptr;
+  /// Shares ownership with the site/snapshot: the current page's bytes
+  /// cannot be freed under the browser by a concurrent invalidate/remove.
+  std::shared_ptr<const std::string> page_;
   std::vector<const xlink::Arc*> links_;  // outgoing arcs of location_
   std::vector<std::string> history_;
   std::size_t history_pos_ = 0;  // points one past the current entry

@@ -15,9 +15,29 @@ std::string_view content_type_for(std::string_view path) noexcept {
   return "application/octet-stream";
 }
 
+std::optional<std::string> site_path_under(std::string_view uri_or_path,
+                                           std::string_view normalized_base) {
+  if (uri_or_path.find("://") != std::string_view::npos) {
+    // Absolute: must live under the base.
+    std::string normalized =
+        uri::normalize(uri::parse(uri_or_path)).to_string();
+    if (std::size_t hash = normalized.find('#'); hash != std::string::npos) {
+      normalized.resize(hash);
+    }
+    if (normalized.rfind(normalized_base, 0) != 0) return std::nullopt;
+    return normalized.substr(normalized_base.size());
+  }
+  std::string path(uri_or_path);
+  if (std::size_t hash = path.find('#'); hash != std::string::npos) {
+    path.resize(hash);
+  }
+  return path;
+}
+
 HypermediaServer::HypermediaServer(const VirtualSite& site, std::string base)
     : site_(&site), base_(std::move(base)) {
   if (!base_.empty() && base_.back() != '/') base_ += '/';
+  normalized_base_ = uri::normalize(uri::parse(base_)).to_string();
 }
 
 std::string HypermediaServer::uri_of(std::string_view path) const {
@@ -68,6 +88,20 @@ std::size_t HypermediaServer::cache_size() const {
   return cache_.size();
 }
 
+HypermediaServer::Stats HypermediaServer::stats() const {
+  Stats s;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  s.cache_size = cache_.size();
+  // Load requests LAST: a get() bumps requests before it classifies the
+  // outcome, so this order guarantees requests >= cache_hits + misses in
+  // every sample (the reverse order could observe the classification of
+  // a request it has not counted yet).
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  return s;
+}
+
 void HypermediaServer::clear_cache() const {
   std::lock_guard<std::mutex> lock(cache_mutex_);
   cache_.clear();
@@ -75,32 +109,15 @@ void HypermediaServer::clear_cache() const {
 
 Response HypermediaServer::resolve(std::string_view uri_or_path,
                                    std::string* resolved_path) const {
-  std::string path;
-  if (uri_or_path.find("://") != std::string_view::npos) {
-    // Absolute: must live under our base.
-    std::string normalized =
-        uri::normalize(uri::parse(uri_or_path)).to_string();
-    if (std::size_t hash = normalized.find('#');
-        hash != std::string::npos) {
-      normalized.resize(hash);
-    }
-    std::string norm_base = uri::normalize(uri::parse(base_)).to_string();
-    if (normalized.rfind(norm_base, 0) != 0) {
-      return Response{404, "", nullptr};
-    }
-    path = normalized.substr(norm_base.size());
-  } else {
-    path = std::string(uri_or_path);
-    if (std::size_t hash = path.find('#'); hash != std::string::npos) {
-      path.resize(hash);
-    }
-  }
-  const std::string* body = site_->get(path);
+  std::optional<std::string> path = site_path_under(uri_or_path,
+                                                    normalized_base_);
+  if (!path) return Response{404, "", nullptr};
+  std::shared_ptr<const std::string> body = site_->get_shared(*path);
   if (body == nullptr) {
     return Response{404, "", nullptr};
   }
-  if (resolved_path != nullptr) *resolved_path = path;
-  return Response{200, std::string(content_type_for(path)), body};
+  if (resolved_path != nullptr) *resolved_path = *path;
+  return Response{200, std::string(content_type_for(*path)), std::move(body)};
 }
 
 }  // namespace navsep::site

@@ -10,12 +10,16 @@
 // GET for a URI pays URI normalization and site lookup, repeats are one
 // cache probe. The cache and the counters are safe for concurrent
 // readers (the whole surface is const): counters are atomics, the cache
-// is guarded by a mutex.
+// is guarded by a mutex. Response bodies share ownership with the site
+// (std::shared_ptr), so a response handed to a caller stays readable
+// even after the path is removed or replaced and the cache invalidated.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -27,20 +31,63 @@ namespace navsep::site {
 struct Response {
   int status = 404;
   std::string content_type;
-  const std::string* body = nullptr;  // into the VirtualSite; may be null
+  /// Shares ownership of the served content: reading through a held
+  /// Response is safe even if the site entry is concurrently replaced or
+  /// removed (the old bytes stay alive until the last holder lets go).
+  /// Null on 404.
+  std::shared_ptr<const std::string> body;
 
   [[nodiscard]] bool ok() const noexcept { return status == 200; }
 };
 
-class HypermediaServer {
+/// The minimal consumer-facing serving surface: what a browser (or any
+/// other page consumer) needs, implemented both by the single-site
+/// HypermediaServer below and by serve::ConcurrentServer over published
+/// snapshots. Implementations must keep get() safe for concurrent
+/// callers.
+class PageService {
  public:
+  virtual ~PageService() = default;
+
+  /// GET by absolute URI (fragment ignored) or site-relative path.
+  [[nodiscard]] virtual Response get(std::string_view uri_or_path) const = 0;
+
+  /// Slash-terminated base URI the service resolves relative paths under.
+  [[nodiscard]] virtual const std::string& base() const noexcept = 0;
+};
+
+/// Strip `uri_or_path` down to the site path it addresses under
+/// `normalized_base` (a uri::normalize()d, slash-terminated base URI).
+/// Fragments are dropped; absolute URIs outside the base yield nullopt.
+/// Shared by HypermediaServer and the snapshot resolver so the two can
+/// never disagree on what a request means.
+[[nodiscard]] std::optional<std::string> site_path_under(
+    std::string_view uri_or_path, std::string_view normalized_base);
+
+class HypermediaServer final : public PageService {
+ public:
+  /// One consistent sample of the server's counters. The individual
+  /// accessors below are each atomic but mutually unordered; reading
+  /// them one by one while traffic is in flight can show e.g. more
+  /// cache hits than requests. snapshot-style stats() never does:
+  /// hits/misses are loaded before requests, so requests >= cache_hits
+  /// + misses holds for every sample.
+  struct Stats {
+    std::size_t requests = 0;
+    std::size_t misses = 0;      ///< 404s
+    std::size_t cache_hits = 0;  ///< GETs answered from the response cache
+    std::size_t cache_size = 0;  ///< cached responses currently held
+  };
+
   /// Serve `site` under `base` (e.g. "http://museum.example/site/").
   HypermediaServer(const VirtualSite& site, std::string base);
 
   /// GET by absolute URI (fragment ignored) or site-relative path.
-  [[nodiscard]] Response get(std::string_view uri_or_path) const;
+  [[nodiscard]] Response get(std::string_view uri_or_path) const override;
 
-  [[nodiscard]] const std::string& base() const noexcept { return base_; }
+  [[nodiscard]] const std::string& base() const noexcept override {
+    return base_;
+  }
   [[nodiscard]] std::size_t requests() const noexcept {
     return requests_.load(std::memory_order_relaxed);
   }
@@ -56,6 +103,9 @@ class HypermediaServer {
   /// Cached responses currently held.
   [[nodiscard]] std::size_t cache_size() const;
 
+  /// One coherent counter sample (see Stats).
+  [[nodiscard]] Stats stats() const;
+
   /// Drop every cached response (framework hook — the engine calls this
   /// when the underlying site is rebuilt).
   void clear_cache() const;
@@ -63,8 +113,9 @@ class HypermediaServer {
   /// Drop the cached responses of ONE site path, under every URI alias
   /// that resolved to it — the targeted companion to clear_cache() for
   /// in-place page replacement. Must be called when a path is removed
-  /// from the site (a cached Response would point at freed content) and
-  /// when its content is replaced. Returns the number of cache entries
+  /// from the site or its content replaced, so later GETs are not served
+  /// the retired bytes (responses already handed out keep their bytes
+  /// alive via shared ownership). Returns the number of cache entries
   /// dropped.
   std::size_t invalidate(std::string_view path) const;
 
@@ -84,6 +135,7 @@ class HypermediaServer {
 
   const VirtualSite* site_;
   std::string base_;
+  std::string normalized_base_;  // uri::normalize(base_), computed once
   mutable std::atomic<std::size_t> requests_{0};
   mutable std::atomic<std::size_t> misses_{0};
   mutable std::atomic<std::size_t> cache_hits_{0};

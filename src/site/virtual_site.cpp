@@ -8,7 +8,10 @@
 namespace navsep::site {
 
 void VirtualSite::put(std::string path, std::string content) {
-  files_[std::move(path)] = std::move(content);
+  // Swap the slot, never mutate the published string: holders of the old
+  // shared handle keep the old bytes.
+  files_[std::move(path)] =
+      std::make_shared<const std::string>(std::move(content));
 }
 
 bool VirtualSite::remove(std::string_view path) {
@@ -20,12 +23,18 @@ bool VirtualSite::remove(std::string_view path) {
 
 const std::string* VirtualSite::get(std::string_view path) const {
   auto it = files_.find(path);
-  return it == files_.end() ? nullptr : &it->second;
+  return it == files_.end() ? nullptr : it->second.get();
+}
+
+std::shared_ptr<const std::string> VirtualSite::get_shared(
+    std::string_view path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : it->second;
 }
 
 std::size_t VirtualSite::total_bytes() const noexcept {
   std::size_t out = 0;
-  for (const auto& [_, content] : files_) out += content.size();
+  for (const auto& [_, content] : files_) out += content->size();
   return out;
 }
 
@@ -36,10 +45,18 @@ std::vector<std::string> VirtualSite::paths() const {
   return out;
 }
 
+std::vector<std::pair<std::string, std::shared_ptr<const std::string>>>
+VirtualSite::shared_artifacts() const {
+  std::vector<std::pair<std::string, std::shared_ptr<const std::string>>> out;
+  out.reserve(files_.size());
+  for (const auto& [path, content] : files_) out.emplace_back(path, content);
+  return out;
+}
+
 std::vector<core::Artifact> VirtualSite::artifacts() const {
   std::vector<core::Artifact> out;
   out.reserve(files_.size());
-  for (const auto& [path, content] : files_) out.emplace_back(path, content);
+  for (const auto& [path, content] : files_) out.emplace_back(path, *content);
   return out;
 }
 

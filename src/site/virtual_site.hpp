@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -30,11 +31,20 @@ class VirtualSite {
 
   /// Remove one artifact. Returns false when the path was absent. Callers
   /// serving the site must invalidate their response caches for the path
-  /// (HypermediaServer::invalidate) — a cached Response would otherwise
-  /// point at freed content.
+  /// (HypermediaServer::invalidate) so later GETs see the removal;
+  /// responses already handed out stay readable — content is shared, not
+  /// freed, while anyone still holds it.
   bool remove(std::string_view path);
 
   [[nodiscard]] const std::string* get(std::string_view path) const;
+
+  /// Shared-ownership handle on one artifact's content (null when
+  /// absent). put()/remove() never mutate a published string — they swap
+  /// the slot — so a held handle stays byte-stable for its lifetime.
+  /// This is what snapshots and response caches hold.
+  [[nodiscard]] std::shared_ptr<const std::string> get_shared(
+      std::string_view path) const;
+
   [[nodiscard]] bool contains(std::string_view path) const {
     return get(path) != nullptr;
   }
@@ -42,11 +52,19 @@ class VirtualSite {
   [[nodiscard]] std::size_t total_bytes() const noexcept;
   [[nodiscard]] std::vector<std::string> paths() const;
 
+  /// Sorted (path, shared content) pairs in site order — the cheap
+  /// whole-site view a snapshot is built from (bodies are shared, not
+  /// copied).
+  [[nodiscard]] std::vector<
+      std::pair<std::string, std::shared_ptr<const std::string>>>
+  shared_artifacts() const;
+
   /// Sorted (path, content) pairs — the diffable artifact set.
   [[nodiscard]] std::vector<core::Artifact> artifacts() const;
 
  private:
-  std::map<std::string, std::string, std::less<>> files_;
+  std::map<std::string, std::shared_ptr<const std::string>, std::less<>>
+      files_;
 };
 
 struct SiteBuildOptions {

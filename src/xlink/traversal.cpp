@@ -276,4 +276,16 @@ TraversalGraph load_with_linkbases(
   return graph;
 }
 
+bool arcrole_matches(std::string_view arcrole, std::string_view role) {
+  if (arcrole == role) return true;
+  constexpr std::string_view kPrefix = "nav:";
+  return arcrole.size() == kPrefix.size() + role.size() &&
+         arcrole.substr(0, kPrefix.size()) == kPrefix &&
+         arcrole.substr(kPrefix.size()) == role;
+}
+
+bool is_traversable(const Arc& arc) noexcept {
+  return arc.show != Show::None && arc.actuate != Actuate::None;
+}
+
 }  // namespace navsep::xlink

@@ -126,6 +126,18 @@ class TraversalGraph {
   std::map<std::string, std::vector<std::size_t>, std::less<>> by_to_;
 };
 
+/// Does `arcrole` name the navigation role `role`, under the site
+/// convention that roles may be written bare ("next") or prefixed
+/// ("nav:next")? One definition shared by Browser and the serve-layer
+/// snapshots so the two can never disagree on role lookup.
+[[nodiscard]] bool arcrole_matches(std::string_view arcrole,
+                                   std::string_view role);
+
+/// May a consumer actuate this arc? show="none" / actuate="none" forbid
+/// traversal (XLink 1.0 §5.6.1) — the one rule every arc follower
+/// applies.
+[[nodiscard]] bool is_traversable(const Arc& arc) noexcept;
+
 /// The arcrole XLink 1.0 §5.1.2 reserves for "load this linkbase too".
 inline constexpr std::string_view kLinkbaseArcrole =
     "http://www.w3.org/1999/xlink/properties/linkbase";
