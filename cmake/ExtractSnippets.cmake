@@ -1,0 +1,100 @@
+# Doc-tested snippets: extract every ```cpp fence from a markdown file
+# into a compilable translation unit, so the documentation cannot rot —
+# each snippet builds against the current headers and runs as a ctest.
+#
+# Rules the snippets must follow (all current README/DESIGN fences do):
+#   * tagged ```cpp (bare ``` and other languages are ignored);
+#   * no backtick characters inside the code;
+#   * either a self-contained program (defines int main) or a fragment of
+#     statements valid inside a main() body, assuming `using namespace
+#     navsep` and the prelude includes below;
+#   * #include lines anywhere in a fragment are hoisted to file scope.
+#
+# Usage:
+#   navsep_extract_snippets(<markdown-path> <output-dir> <out-var>)
+# appends the generated .cpp paths to <out-var> in the caller's scope.
+
+set(NAVSEP_SNIPPET_PRELUDE
+"#include <algorithm>
+#include <cstddef>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include \"hypermedia/access.hpp\"
+#include \"hypermedia/context.hpp\"
+#include \"nav/pipeline.hpp\"
+#include \"serve/concurrent_server.hpp\"
+#include \"serve/workload.hpp\"
+")
+
+function(navsep_extract_snippets markdown_path output_dir out_var)
+  get_filename_component(doc_stem ${markdown_path} NAME_WE)
+  string(TOLOWER "${doc_stem}" doc_stem)
+  file(READ ${markdown_path} content)
+
+  # Re-extract whenever the document changes.
+  set_property(DIRECTORY ${CMAKE_CURRENT_SOURCE_DIR} APPEND PROPERTY
+    CMAKE_CONFIGURE_DEPENDS ${markdown_path})
+
+  # Scan fences with FIND/SUBSTRING: C++ code is full of semicolons, so
+  # it must never pass through CMake list semantics (a REGEX MATCHALL
+  # result would splinter at every ';').
+  set(generated)
+  set(index 0)
+  set(rest "${content}")
+  while(TRUE)
+    string(FIND "${rest}" "```cpp\n" open)
+    if(open EQUAL -1)
+      break()
+    endif()
+    math(EXPR code_start "${open} + 7")
+    string(SUBSTRING "${rest}" ${code_start} -1 rest)
+    string(FIND "${rest}" "```" close)
+    if(close EQUAL -1)
+      break()
+    endif()
+    string(SUBSTRING "${rest}" 0 ${close} code)
+    math(EXPR fence_end "${close} + 3")
+    string(SUBSTRING "${rest}" ${fence_end} -1 rest)
+
+    # Hoist #include lines to file scope (fragments may carry them).
+    string(REGEX MATCHALL "#include [^\n]*" hoisted "${code}")
+    string(REGEX REPLACE "#include [^\n]*\n?" "" code "${code}")
+    string(REPLACE ";" "\n" hoisted "${hoisted}")
+
+    set(unit "// Generated from ${markdown_path} (cpp fence ${index})\n")
+    string(APPEND unit "// by cmake/ExtractSnippets.cmake — edit the doc, "
+                       "not this file.\n")
+    string(APPEND unit "${NAVSEP_SNIPPET_PRELUDE}")
+    if(NOT hoisted STREQUAL "")
+      string(APPEND unit "${hoisted}\n")
+    endif()
+    string(APPEND unit "\nusing namespace navsep;\n")
+    string(APPEND unit "using navsep::hypermedia::AccessStructureKind;\n\n")
+    string(FIND "${code}" "int main(" has_main)
+    if(has_main GREATER -1)
+      string(APPEND unit "${code}")
+    else()
+      string(APPEND unit "int main() {\n${code}\nreturn 0;\n}\n")
+    endif()
+
+    set(snippet_path ${output_dir}/${doc_stem}_${index}.cpp)
+    # Write only on change so an untouched doc does not trigger rebuilds.
+    if(EXISTS ${snippet_path})
+      file(READ ${snippet_path} previous)
+    else()
+      set(previous "")
+    endif()
+    if(NOT previous STREQUAL unit)
+      file(WRITE ${snippet_path} "${unit}")
+    endif()
+    list(APPEND generated ${snippet_path})
+    math(EXPR index "${index} + 1")
+  endwhile()
+
+  list(APPEND ${out_var} ${generated})
+  set(${out_var} "${${out_var}}" PARENT_SCOPE)
+endfunction()

@@ -1,5 +1,8 @@
 #include "core/navigation_aspect.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/strings.hpp"
 #include "core/linkbase.hpp"
 
@@ -17,6 +20,12 @@ using hypermedia::roles::kMenuEntry;
 using hypermedia::roles::kNext;
 using hypermedia::roles::kPrev;
 using hypermedia::roles::kUp;
+
+/// Family part of a qualified context tag ("ByAuthor:picasso" →
+/// "ByAuthor"; an unqualified tag is its own family).
+std::string_view context_family(std::string_view context) noexcept {
+  return context.substr(0, context.find(':'));
+}
 
 /// The advice body: inject navigation for `node_id` into the page body.
 class NavigationInjector {
@@ -40,63 +49,118 @@ class NavigationInjector {
     auto it = by_from_.find(node_id);
     if (it == by_from_.end()) return;
 
-    const std::string_view current_context =
-        ctx.join_point().tag(aop::tags::kContext);
-
-    // Partition the node's arcs by role, honoring context sensitivity.
-    std::vector<const NavArc*> ups, prevs, nexts, entries;
-    for (const NavArc& arc : it->second) {
-      const bool tour_arc = arc.role == kNext || arc.role == kPrev;
-      if (options_.context_sensitive && tour_arc && !arc.context.empty() &&
-          arc.context != current_context) {
-        continue;
-      }
-      if (arc.role == kUp) {
-        ups.push_back(&arc);
-      } else if (arc.role == kPrev) {
-        prevs.push_back(&arc);
-      } else if (arc.role == kNext) {
-        nexts.push_back(&arc);
-      } else if (arc.role == kIndexEntry || arc.role == kMenuEntry) {
-        entries.push_back(&arc);
-      }
-    }
-    if (ups.empty() && prevs.empty() && nexts.empty() && entries.empty()) {
-      return;
-    }
-
-    xml::Element& nav = body.append_element("div");
-    nav.set_attribute("class", options_.container_class);
-
-    auto anchor = [&](xml::Element& parent, const NavArc& arc,
-                      std::string_view cls) {
-      xml::Element& a = parent.append_element("a");
-      a.set_attribute("href", options_.href_for(arc.to));
-      a.set_attribute("class", cls);
-      a.append_text(arc.title.empty() ? arc.to : arc.title);
-      if (options_.provenance_log != nullptr) {
-        options_.provenance_log->push_back(
-            AnchorProvenance{node_id, std::string(current_context), arc.source,
-                             arc.ordinal, arc.to, arc.role});
-      }
-    };
-
-    for (const NavArc* arc : ups) anchor(nav, *arc, "nav-up");
-    for (const NavArc* arc : prevs) anchor(nav, *arc, "nav-prev");
-    for (const NavArc* arc : nexts) anchor(nav, *arc, "nav-next");
-    if (!entries.empty()) {
-      xml::Element& ul = nav.append_element("ul");
-      ul.set_attribute("class", "nav-index");
-      for (const NavArc* arc : entries) {
-        anchor(ul.append_element("li"), *arc, "nav-entry");
-      }
-    }
+    std::vector<const NavArc*> arcs;
+    arcs.reserve(it->second.size());
+    for (const NavArc& arc : it->second) arcs.push_back(&arc);
+    render_navigation(body, node_id, ctx.join_point().tag(aop::tags::kContext),
+                      arcs, options_);
   }
 
  private:
   NavigationAspectOptions options_;
   std::map<std::string, std::vector<NavArc>, std::less<>> by_from_;
 };
+
+}  // namespace
+
+xml::Element* render_navigation(xml::Element& parent,
+                                std::string_view page_instance,
+                                std::string_view current_context,
+                                const std::vector<const NavArc*>& arcs,
+                                const NavigationAspectOptions& options) {
+  const auto href_for = [&](std::string_view id) {
+    return options.href_for ? options.href_for(id) : default_href_for(id);
+  };
+
+  // Partition the page's arcs by role, honoring context sensitivity: an
+  // out-of-context tour arc is dropped unless its family is in
+  // woven_context_families, in which case it renders inside a labeled
+  // per-context tour group (first-appearance order).
+  std::vector<const NavArc*> ups, prevs, nexts, entries;
+  std::vector<std::pair<std::string_view, std::vector<const NavArc*>>> tours;
+  for (const NavArc* arc : arcs) {
+    const bool tour_arc = arc->role == kNext || arc->role == kPrev;
+    if (options.context_sensitive && tour_arc && !arc->context.empty() &&
+        arc->context != current_context) {
+      const std::string_view family = context_family(arc->context);
+      const bool woven =
+          std::find(options.woven_context_families.begin(),
+                    options.woven_context_families.end(),
+                    family) != options.woven_context_families.end();
+      if (!woven) continue;
+      auto group = std::find_if(
+          tours.begin(), tours.end(),
+          [&](const auto& t) { return t.first == arc->context; });
+      if (group == tours.end()) {
+        tours.emplace_back(arc->context, std::vector<const NavArc*>{});
+        group = std::prev(tours.end());
+      }
+      group->second.push_back(arc);
+      continue;
+    }
+    if (arc->role == kUp) {
+      ups.push_back(arc);
+    } else if (arc->role == kPrev) {
+      prevs.push_back(arc);
+    } else if (arc->role == kNext) {
+      nexts.push_back(arc);
+    } else if (arc->role == kIndexEntry || arc->role == kMenuEntry) {
+      entries.push_back(arc);
+    }
+  }
+  if (ups.empty() && prevs.empty() && nexts.empty() && entries.empty() &&
+      tours.empty()) {
+    return nullptr;
+  }
+
+  xml::Element& nav = parent.append_element("div");
+  nav.set_attribute("class", options.container_class);
+
+  auto anchor = [&](xml::Element& anchor_parent, const NavArc& arc,
+                    std::string_view cls, std::string_view log_context) {
+    xml::Element& a = anchor_parent.append_element("a");
+    a.set_attribute("href", href_for(arc.to));
+    a.set_attribute("class", cls);
+    a.append_text(arc.title.empty() ? arc.to : arc.title);
+    if (options.provenance_log != nullptr) {
+      options.provenance_log->push_back(AnchorProvenance{
+          std::string(page_instance), std::string(log_context), arc.source,
+          arc.ordinal, arc.to, arc.role});
+    }
+  };
+
+  for (const NavArc* arc : ups) anchor(nav, *arc, "nav-up", current_context);
+  for (const NavArc* arc : prevs) {
+    anchor(nav, *arc, "nav-prev", current_context);
+  }
+  for (const NavArc* arc : nexts) {
+    anchor(nav, *arc, "nav-next", current_context);
+  }
+  if (!entries.empty()) {
+    xml::Element& ul = nav.append_element("ul");
+    ul.set_attribute("class", "nav-index");
+    for (const NavArc* arc : entries) {
+      anchor(ul.append_element("li"), *arc, "nav-entry", current_context);
+    }
+  }
+  for (const auto& [context, group] : tours) {
+    xml::Element& tour = nav.append_element("div");
+    tour.set_attribute("class", "nav-tour");
+    tour.set_attribute("data-context", context);
+    xml::Element& label = tour.append_element("span");
+    label.set_attribute("class", "nav-tour-label");
+    label.append_text(context);
+    for (const NavArc* arc : group) {
+      // Out-of-context anchors log the context they belong to, not the
+      // (different) one the page was composed in.
+      anchor(tour, *arc, arc->role == kPrev ? "nav-prev" : "nav-next",
+             arc->context);
+    }
+  }
+  return &nav;
+}
+
+namespace {
 
 std::shared_ptr<aop::Aspect> build_aspect(std::vector<NavArc> arcs,
                                           const NavigationAspectOptions& o) {

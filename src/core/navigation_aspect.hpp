@@ -43,9 +43,15 @@ struct AnchorProvenance {
   std::string role;      // hypermedia::roles::*
 };
 
+/// Default class attribute of the injected navigation container — shared
+/// with the serve-time overlay splicer, which locates the woven block by
+/// this class (a drift would make it miss the block and append a second
+/// one).
+inline constexpr std::string_view kDefaultNavContainerClass = "navigation";
+
 struct NavigationAspectOptions {
   /// class attribute of the injected container.
-  std::string container_class = "navigation";
+  std::string container_class{kDefaultNavContainerClass};
 
   /// Maps node/page ids to hrefs in the rendered site.
   /// Default: "<id>.html" with ':' replaced by '-' for structure pages.
@@ -64,10 +70,39 @@ struct NavigationAspectOptions {
   /// anchor. Borrowed; must outlive the aspect. The caller owns clearing
   /// between compositions (the engine drains it per page).
   std::vector<AnchorProvenance>* provenance_log = nullptr;
+
+  /// Families whose context-tagged tour arcs are woven even when the page
+  /// is composed OUTSIDE their context: each such context renders as a
+  /// labeled tour group (`<div class="nav-tour" data-context="...">`)
+  /// after the index entries. This is how a profile-scoped weave makes its
+  /// families' tours visible on stored pages (nav::Profile;
+  /// serve-time overlays must byte-match a build using the same list).
+  /// Empty (the default) keeps the classic behavior: out-of-context tour
+  /// arcs are not woven at all.
+  std::vector<std::string> woven_context_families;
 };
 
 /// Default id → href mapping (shared with the renderers).
 [[nodiscard]] std::string default_href_for(std::string_view id);
+
+// Forward declaration (defined below) — render_navigation consumes it.
+struct NavArc;
+
+/// Render the navigation container for one page into `parent` from the
+/// arcs leaving it (`arcs`, in combined linkbase order), honoring the
+/// same context/role partition rules the NavigationAspect weaves with.
+/// Returns the appended <div class="navigation"> (or nullptr when no arc
+/// applies and nothing was appended).
+///
+/// This is THE navigation markup producer: the aspect's advice calls it
+/// at weave time and the serve-time overlay path (serve/SiteSnapshot)
+/// calls it per (page, profile) — one code path, so a late-composed
+/// navigation block is byte-identical to a woven one by construction.
+xml::Element* render_navigation(xml::Element& parent,
+                                std::string_view page_instance,
+                                std::string_view current_context,
+                                const std::vector<const NavArc*>& arcs,
+                                const NavigationAspectOptions& options);
 
 /// One navigation arc as the aspect consumes it.
 struct NavArc {

@@ -198,4 +198,10 @@ std::string write(const xml::Element& element, bool pretty) {
   return out;
 }
 
+std::string write_at_depth(const xml::Element& element, int depth) {
+  HtmlWriter w(/*pretty=*/true);
+  w.node(element, depth);
+  return std::move(w).take();
+}
+
 }  // namespace navsep::html

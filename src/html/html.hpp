@@ -65,4 +65,13 @@ class Page {
 [[nodiscard]] std::string write(const xml::Element& element,
                                 bool pretty = true);
 
+/// Serialize one element exactly as the pretty document writer would
+/// render it nested `depth` levels deep (its children indent from there),
+/// with no trailing newline. This is the splice primitive of the serve-
+/// time navigation overlays: a block rendered off-page must be
+/// byte-identical to the same block woven in-page, so it must be written
+/// at the page's depth, not at zero.
+[[nodiscard]] std::string write_at_depth(const xml::Element& element,
+                                         int depth);
+
 }  // namespace navsep::html

@@ -11,6 +11,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "hypermedia/navigational.hpp"
@@ -74,6 +75,14 @@ class ContextFamily {
   }
 
   [[nodiscard]] const NavigationalContext* find(std::string_view name) const;
+
+  /// Replace the family's context set — the editing primitive behind
+  /// nav::EngineInternals::edit_context_family (re-author the family's
+  /// contextual linkbase without touching anything else). Callers
+  /// typically copy contexts(), adjust, and pass the result back.
+  void replace_contexts(std::vector<NavigationalContext> contexts) {
+    contexts_ = std::move(contexts);
+  }
 
   /// Contexts of this family containing the node.
   [[nodiscard]] std::vector<const NavigationalContext*> containing(

@@ -19,6 +19,12 @@ constexpr std::string_view kSpecNode = "nav:spec";
 constexpr std::string_view kArcTableNode = "nav:arcs";
 constexpr std::string_view kServerNode = "site:server";
 
+/// The structure linkbase's site path — also the NavArc::source tag of
+/// its arcs and the snapshot's structure_source (one shared constant:
+/// a drift would silently drop every structure arc from overlays).
+constexpr std::string_view kStructureLinkbasePath =
+    site::kStructureLinkbasePath;
+
 std::string linkbase_node(std::string_view path) {
   return "linkbase:" + std::string(path);
 }
@@ -97,8 +103,110 @@ RebuildReport Engine::run_graph_after_mutation() {
 }
 
 void Engine::publish_snapshot() {
+  serve::SnapshotOverlayInputs overlays;
+  overlays.arcs = combined_arcs_;  // null in Tangled mode: no overlays
+  overlays.structure_source = std::string(kStructureLinkbasePath);
+  overlays.families.reserve(context_linkbases_.size());
+  for (const ContextLinkbase& entry : context_linkbases_) {
+    overlays.families.push_back(
+        serve::SnapshotOverlayInputs::Family{entry.family->name(),
+                                             entry.path});
+  }
+  overlays.profiles = profiles_;
   snapshots_.publish(std::make_shared<serve::SiteSnapshot>(
-      site_, graph_, site_base_, snapshots_.epoch() + 1));
+      site_, graph_, site_base_, snapshots_.epoch() + 1,
+      std::move(overlays)));
+}
+
+void Engine::register_profile(Profile profile) {
+  if (profile.name.empty() ||
+      profile.name.find('\n') != std::string::npos) {
+    throw SemanticError(
+        "Engine::register_profile: profile names must be non-empty and "
+        "newline-free (they key the overlay cache)");
+  }
+  if (mode_ == WeaveMode::Tangled && !profile.families.empty()) {
+    throw SemanticError(
+        "Engine::register_profile: the tangled baseline has no separated "
+        "navigation to scope — only empty-family profiles are meaningful");
+  }
+  for (std::size_t i = 0; i < profile.families.size(); ++i) {
+    const std::string& name = profile.families[i];
+    const bool known = std::any_of(
+        families_.begin(), families_.end(),
+        [&](const hypermedia::ContextFamily& f) { return f.name() == name; });
+    if (!known) {
+      throw SemanticError("Engine::register_profile: unknown context family '" +
+                          name + "' (configure it via SitePipeline::contexts)");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (profile.families[j] == name) {
+        throw SemanticError(
+            "Engine::register_profile: family '" + name +
+            "' listed twice — a family weaves once per profile");
+      }
+    }
+  }
+  auto existing = std::find_if(
+      profiles_.begin(), profiles_.end(),
+      [&](const Profile& p) { return p.name == profile.name; });
+  if (existing != profiles_.end()) {
+    *existing = std::move(profile);
+  } else {
+    profiles_.push_back(std::move(profile));
+  }
+  // Nothing re-weaves: the next epoch differs only in its profile table.
+  publish_snapshot();
+}
+
+RebuildReport Engine::edit_context_family(
+    std::string_view family_name,
+    const std::function<void(hypermedia::ContextFamily&)>& edit) {
+  if (mode_ == WeaveMode::Tangled) {
+    throw SemanticError(
+        "Engine::edit_context_family: the tangled baseline has no "
+        "contextual linkbases to edit");
+  }
+  auto family = std::find_if(
+      families_.begin(), families_.end(),
+      [&](const hypermedia::ContextFamily& f) {
+        return f.name() == family_name;
+      });
+  if (family == families_.end()) {
+    throw ResolutionError("Engine::edit_context_family: unknown family '" +
+                          std::string(family_name) + "'");
+  }
+  // Dirty exactly that family's linkbase node: the graph re-authors it,
+  // the arc table re-merges, and — because context-tagged tour arcs are
+  // in no stored page's slice — zero pages re-weave. The propagation
+  // runs even when the edit callback throws: it may already have
+  // mutated the family, and an un-propagated mutation would leave the
+  // authored linkbase (and every later snapshot) silently inconsistent
+  // with the in-memory model.
+  auto propagate = [&] {
+    for (const ContextLinkbase& entry : context_linkbases_) {
+      if (entry.family == &*family) {
+        build_graph_.mark_dirty(linkbase_node(entry.path));
+        break;
+      }
+    }
+    RebuildReport report = build_graph_.run();
+    browser_->refresh();
+    publish_snapshot();
+    return report;
+  };
+  try {
+    edit(*family);
+  } catch (...) {
+    try {
+      (void)propagate();
+    } catch (...) {
+      // Best-effort only: a half-mutated family may not even re-author.
+      // The caller's own exception is the one worth reporting.
+    }
+    throw;
+  }
+  return propagate();
 }
 
 RebuildReport Engine::set_access_structure(
@@ -241,12 +349,12 @@ std::uint64_t Engine::rebuild_structure_linkbase() {
       core::build_linkbase(*structure_,
                            site::separated_linkbase_options(site_options));
   std::string text = xml::write(*doc, {.pretty = true});
-  const std::string* current = site_.get("links.xml");
+  const std::string* current = site_.get(kStructureLinkbasePath);
   const bool changed = current == nullptr || *current != text;
   const std::uint64_t hash = hash_bytes(text);
   if (changed) {
-    site_.put("links.xml", std::move(text));
-    server_->invalidate("links.xml");
+    site_.put(std::string(kStructureLinkbasePath), std::move(text));
+    server_->invalidate(kStructureLinkbasePath);
     // The old document must die only after graph_ stops pointing into it;
     // nothing dereferences graph_ between here and the arc-table rebuild
     // this change propagates into.
@@ -289,7 +397,8 @@ std::uint64_t Engine::rebuild_arc_table() {
   // weaver as the (sole) navigation aspect.
   std::vector<core::SourcedGraph> sourced;
   sourced.reserve(context_linkbases_.size() + 1);
-  sourced.push_back(core::SourcedGraph{"links.xml", &structure_graph});
+  sourced.push_back(
+      core::SourcedGraph{std::string(kStructureLinkbasePath), &structure_graph});
   for (const ContextLinkbase& entry : context_linkbases_) {
     sourced.push_back(core::SourcedGraph{entry.path, &entry.graph});
   }
@@ -317,6 +426,10 @@ std::uint64_t Engine::rebuild_arc_table() {
       it->second = hash_combine(it->second, a);
     }
   }
+  // Publish the combined set for snapshots (shared, never mutated: the
+  // next rebuild swaps in a fresh vector, it does not touch this one).
+  combined_arcs_ =
+      std::make_shared<const std::vector<core::NavArc>>(std::move(arcs));
   sync_pages();
   return table_hash;
 }
@@ -417,10 +530,11 @@ void Engine::wire_graph() {
     return;
   }
   std::vector<std::string> linkbase_nodes;
-  build_graph_.define(linkbase_node("links.xml"), ProductKind::Linkbase,
+  build_graph_.define(linkbase_node(kStructureLinkbasePath),
+                      ProductKind::Linkbase,
                       {std::string(kSpecNode)},
                       [this] { return rebuild_structure_linkbase(); });
-  linkbase_nodes.push_back(linkbase_node("links.xml"));
+  linkbase_nodes.push_back(linkbase_node(kStructureLinkbasePath));
   for (std::size_t i = 0; i < context_linkbases_.size(); ++i) {
     const std::string node = linkbase_node(context_linkbases_[i].path);
     build_graph_.define(node, ProductKind::Linkbase, {},

@@ -81,24 +81,32 @@ class Engine final : public EngineInternals {
 
   // --- pipeline artifacts (read-only) -----------------------------------------
 
+  /// The conceptual model (OOHDM layer 1) the pipeline started from.
   [[nodiscard]] const museum::MuseumWorld& world() const noexcept {
     return *world_;
   }
+  /// The derived navigational model (OOHDM layer 2).
   [[nodiscard]] const hypermedia::NavigationalModel& navigation()
       const noexcept {
     return *nav_;
   }
+  /// The access structure currently served (mutations replace it).
   [[nodiscard]] const hypermedia::AccessStructure& structure() const noexcept {
     return *structure_;
   }
+  /// The configured context families (paper §2), in weave order.
   [[nodiscard]] const std::vector<hypermedia::ContextFamily>&
   context_families() const noexcept {
     return families_;
   }
+  /// The woven artifact store (writer-side view).
   [[nodiscard]] const site::VirtualSite& site() const noexcept { return site_; }
+  /// The single-site server over site() (writer-side; concurrent readers
+  /// use open_concurrent() instead).
   [[nodiscard]] const site::HypermediaServer& server() const noexcept {
     return *server_;
   }
+  /// Separated (the paper's design) or Tangled (the baseline).
   [[nodiscard]] WeaveMode mode() const noexcept { return mode_; }
 
   // --- additional consumers over the same site --------------------------------
@@ -159,6 +167,14 @@ class Engine final : public EngineInternals {
       const noexcept override {
     return snapshots_;
   }
+  void register_profile(Profile profile) override;
+  [[nodiscard]] const std::vector<Profile>& profiles()
+      const noexcept override {
+    return profiles_;
+  }
+  RebuildReport edit_context_family(
+      std::string_view family_name,
+      const std::function<void(hypermedia::ContextFamily&)>& edit) override;
 
   // --- weave provenance -------------------------------------------------------
 
@@ -233,6 +249,15 @@ class Engine final : public EngineInternals {
   };
   std::vector<ContextLinkbase> context_linkbases_;
   xlink::TraversalGraph graph_;
+
+  /// The combined authored arc set (structure + families, weave order,
+  /// with per-linkbase provenance) as last materialized by the arc-table
+  /// rebuild — shared into every published snapshot, which slices it per
+  /// (linkbase, page) for profile overlays.
+  std::shared_ptr<const std::vector<core::NavArc>> combined_arcs_;
+
+  /// Registered serving profiles (see register_profile()).
+  std::vector<Profile> profiles_;
 
   std::unique_ptr<site::HypermediaServer> server_;
   std::unique_ptr<site::Browser> browser_;

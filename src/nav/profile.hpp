@@ -1,0 +1,41 @@
+// nav::Profile — a named selection of contextual linkbase families.
+//
+// The paper separates navigation from content so navigation can vary
+// without touching pages; a Profile is that variation made first-class
+// for the serving path. Each profile names the subset of the engine's
+// contextual linkbase families its audience navigates with — a
+// guided-tour visitor sees the ByAuthor tours, a curator the ByMovement
+// ones, a kiosk none — and the serving runtime composes exactly that
+// subset's arcs onto the once-woven base pages, late, per request
+// (serve/ConcurrentServer::get(uri, profile)).
+//
+// A profile never changes page content: two profiles over the same epoch
+// differ only in the navigation block of each page and in which
+// contextual linkbase artifacts are visible. The correctness contract is
+// byte-level: the overlaid response for profile P must equal the page a
+// full single-threaded build would weave with only P's families
+// (site::SiteBuildOptions::weave_context_tours — asserted in
+// tests/overlay_test.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace navsep::nav {
+
+/// One serving profile: a name (the cache/request key) plus the context
+/// families whose navigation it sees, in weave order. The order is
+/// significant — it is the order the families' arcs compose into the
+/// navigation block, and must match the order a full build would weave
+/// them in. An empty family list is valid: such a profile sees only the
+/// access structure's own navigation (the kiosk case).
+struct Profile {
+  std::string name;
+  std::vector<std::string> families;
+
+  friend bool operator==(const Profile& a, const Profile& b) {
+    return a.name == b.name && a.families == b.families;
+  }
+};
+
+}  // namespace navsep::nav

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -24,9 +25,13 @@
 
 #include "hypermedia/access.hpp"
 #include "nav/buildgraph.hpp"
+#include "nav/profile.hpp"
 
 namespace navsep::aop {
 class Weaver;
+}
+namespace navsep::hypermedia {
+class ContextFamily;
 }
 namespace navsep::serve {
 class SnapshotStore;
@@ -172,6 +177,41 @@ class EngineInternals {
   /// mutations.
   [[nodiscard]] virtual const serve::SnapshotStore& snapshots()
       const noexcept = 0;
+
+  // --- serving profiles -------------------------------------------------------
+  //
+  // A Profile names the subset of the engine's context families its
+  // audience navigates with; the concurrent serving path composes that
+  // subset's tours onto base pages late, per request (see nav/profile.hpp
+  // and serve::ConcurrentServer::get(uri, profile)). Registration is a
+  // writer-side operation like every mutation.
+
+  /// Register (or, by name, replace) a serving profile and publish a new
+  /// snapshot carrying it. Throws navsep::SemanticError for an empty or
+  /// newline-containing name, a family name the engine doesn't have, a
+  /// duplicated family within the profile, or any non-empty family list
+  /// in Tangled mode (the tangled baseline has no separated navigation
+  /// to scope). No page is re-woven: profiles only select among already
+  /// authored linkbases.
+  virtual void register_profile(Profile profile) = 0;
+
+  /// The registered profiles, in registration order.
+  [[nodiscard]] virtual const std::vector<Profile>& profiles()
+      const noexcept = 0;
+
+  /// Edit one context family in place (the callback receives it mutable)
+  /// and propagate: ONLY that family's contextual linkbase re-authors,
+  /// no base page re-weaves (context-tagged tour arcs are not part of
+  /// any stored page's arc slice), and on the serving side only overlay
+  /// cache entries of profiles that include the family retire. Throws
+  /// navsep::ResolutionError for an unknown family and
+  /// navsep::SemanticError in Tangled mode. Writer-side; additionally,
+  /// NavigationSessions over the engine's families must be quiesced
+  /// (snapshot-based readers — ConcurrentServer, profile overlays — are
+  /// unaffected).
+  virtual RebuildReport edit_context_family(
+      std::string_view family_name,
+      const std::function<void(hypermedia::ContextFamily&)>& edit) = 0;
 };
 
 }  // namespace navsep::nav

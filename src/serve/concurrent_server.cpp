@@ -18,11 +18,17 @@ ConcurrentServer::ConcurrentServer(const SnapshotStore& store,
   }
   base_ = current->base();
   shards_ = std::make_unique<Shard[]>(n_shards_);
+  overlay_shards_ = std::make_unique<OverlayShard[]>(n_shards_);
 }
 
 ConcurrentServer::Shard& ConcurrentServer::shard_for(
     std::string_view key) const {
   return shards_[std::hash<std::string_view>{}(key) % n_shards_];
+}
+
+ConcurrentServer::OverlayShard& ConcurrentServer::overlay_shard_for(
+    std::string_view key) const {
+  return overlay_shards_[std::hash<std::string_view>{}(key) % n_shards_];
 }
 
 site::Response ConcurrentServer::get(std::string_view uri_or_path) const {
@@ -67,6 +73,73 @@ site::Response ConcurrentServer::get(std::string_view uri_or_path) const {
   return r;
 }
 
+site::Response ConcurrentServer::get(std::string_view uri_or_path,
+                                     std::string_view profile) const {
+  // Overlay keys are (profile, fragment-stripped request); profile names
+  // cannot contain '\n' (enforced at registration), so the join is
+  // unambiguous.
+  std::string request(uri_or_path.substr(0, uri_or_path.find('#')));
+  std::string key = std::string(profile) + '\n' + request;
+  OverlayShard& shard = overlay_shard_for(key);
+  shard.requests.fetch_add(1, std::memory_order_relaxed);
+
+  // Acquire the snapshot FIRST: the entry must be validated against the
+  // same site state a refill would be composed from.
+  std::shared_ptr<const SiteSnapshot> snap = store_->current();
+  const nav::Profile* resolved = snap->find_profile(profile);
+  if (resolved == nullptr) {
+    throw SemanticError("ConcurrentServer: unknown profile '" +
+                        std::string(profile) +
+                        "' (register it on the engine first)");
+  }
+
+  // Copy the entry out under the lock; validate OUTSIDE it — the
+  // validity probe does snapshot lookups and allocates, and holding the
+  // shard mutex across that would serialize every request hashing here.
+  bool had_entry = false;
+  OverlayEntry cached;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (auto it = shard.cache.find(key); it != shard.cache.end()) {
+      cached = it->second;
+      had_entry = true;
+    }
+  }
+  OverlayValidity checked;  // current validity for the cached entry's path
+  if (had_entry) {
+    checked = snap->overlay_validity(*resolved, cached.path);
+    if (checked.same_content(cached.validity)) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      return cached.response;
+    }
+    // Invalidated: re-render below.
+  }
+
+  std::string path;
+  site::Response r = snap->respond_as(*resolved, request, &path);
+  if (!r.ok()) {
+    shard.not_found.fetch_add(1, std::memory_order_relaxed);
+    if (had_entry) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.cache.erase(key);
+    }
+    return r;
+  }
+  shard.renders.fetch_add(1, std::memory_order_relaxed);
+  if (had_entry) {
+    shard.stale_renders.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The stale path already computed this entry's validity (requests
+  // almost always resolve to the same site path as before).
+  OverlayEntry entry{r, path,
+                     had_entry && cached.path == path
+                         ? std::move(checked)
+                         : snap->overlay_validity(*resolved, path)};
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.cache[std::move(key)] = std::move(entry);
+  return r;
+}
+
 ConcurrentServer::Stats ConcurrentServer::stats() const {
   Stats s;
   for (std::size_t i = 0; i < n_shards_; ++i) {
@@ -82,6 +155,19 @@ ConcurrentServer::Stats ConcurrentServer::stats() const {
     s.stale_refills += shard.stale_refills.load(std::memory_order_relaxed);
     s.not_found += shard.not_found.load(std::memory_order_relaxed);
     s.requests += shard.requests.load(std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < n_shards_; ++i) {
+    const OverlayShard& shard = overlay_shards_[i];
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      s.overlay_entries += shard.cache.size();
+    }
+    s.overlay_hits += shard.hits.load(std::memory_order_relaxed);
+    s.overlay_renders += shard.renders.load(std::memory_order_relaxed);
+    s.overlay_stale_renders +=
+        shard.stale_renders.load(std::memory_order_relaxed);
+    s.overlay_not_found += shard.not_found.load(std::memory_order_relaxed);
+    s.overlay_requests += shard.requests.load(std::memory_order_relaxed);
   }
   s.epoch = store_->epoch();
   return s;

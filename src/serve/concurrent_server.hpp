@@ -24,7 +24,9 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
+#include "nav/profile.hpp"
 #include "serve/snapshot.hpp"
 #include "site/server.hpp"
 
@@ -34,7 +36,10 @@ class ConcurrentServer final : public site::PageService {
  public:
   /// Counters, one coherent-enough sample across shards. requests >=
   /// cache_hits + snapshot_resolves holds per shard (hits/resolves are
-  /// summed before requests).
+  /// summed before requests). The overlay_* counters cover the
+  /// profile-scoped layer (get(uri, profile)); its entries retire by
+  /// content-handle validity, not by epoch, so a publication that leaves
+  /// a profile's inputs untouched costs it nothing.
   struct Stats {
     std::size_t requests = 0;
     std::size_t cache_hits = 0;         ///< served from a fresh shard entry
@@ -44,6 +49,14 @@ class ConcurrentServer final : public site::PageService {
     std::size_t not_found = 0;          ///< 404s
     std::size_t cached_entries = 0;     ///< live entries across shards
     std::uint64_t epoch = 0;            ///< store epoch at sample time
+
+    std::size_t overlay_requests = 0;
+    std::size_t overlay_hits = 0;     ///< entry valid, served as cached
+    std::size_t overlay_renders = 0;  ///< overlay composed from the snapshot
+    std::size_t overlay_stale_renders = 0;  ///< renders that replaced an
+                                            ///< invalidated entry
+    std::size_t overlay_not_found = 0;      ///< profile-scoped 404s
+    std::size_t overlay_entries = 0;        ///< live overlay entries
   };
 
   /// Serve over `store` (which must already have a published snapshot —
@@ -55,6 +68,25 @@ class ConcurrentServer final : public site::PageService {
   /// GET against the currently published snapshot. Thread-safe for any
   /// number of concurrent callers, including while a writer publishes.
   [[nodiscard]] site::Response get(std::string_view uri_or_path) const override;
+
+  /// GET as `profile` sees the site (SiteSnapshot::respond_as): the base
+  /// page with that profile's navigation block composed late, cached in a
+  /// separate striped overlay layer keyed by (profile, request).
+  /// Overlay entries are validated by content handles
+  /// (serve::OverlayValidity) rather than epoch: an entry survives any
+  /// number of publications until its page's base bytes, the structure
+  /// linkbase, or one of ITS profile's family linkbases actually change —
+  /// so a single family edit retires only the entries of profiles that
+  /// include that family. Thread-safe like get(). Throws
+  /// navsep::SemanticError for an unregistered profile name.
+  [[nodiscard]] site::Response get(std::string_view uri_or_path,
+                                   std::string_view profile) const;
+
+  /// Profiles the currently published snapshot carries.
+  [[nodiscard]] std::vector<nav::Profile> profiles() const {
+    std::shared_ptr<const SiteSnapshot> snap = store_->current();
+    return snap == nullptr ? std::vector<nav::Profile>{} : snap->profiles();
+  }
 
   [[nodiscard]] const std::string& base() const noexcept override {
     return base_;
@@ -84,6 +116,17 @@ class ConcurrentServer final : public site::PageService {
     std::uint64_t epoch = 0;
   };
 
+  /// One profile-scoped cached response: what was served, the site path
+  /// the request resolved to, and the content handles it was composed
+  /// from. Valid while the current snapshot reports pointer-identical
+  /// handles for (profile, path); the held handles pin the old bytes, so
+  /// the pointer comparison can never hit recycled addresses.
+  struct OverlayEntry {
+    site::Response response;
+    std::string path;
+    OverlayValidity validity;
+  };
+
   /// One cache stripe. Counters live with the shard so the hot path
   /// touches exactly one cache line set; alignment keeps shards from
   /// false-sharing each other.
@@ -97,12 +140,25 @@ class ConcurrentServer final : public site::PageService {
     std::atomic<std::size_t> not_found{0};
   };
 
+  /// One overlay stripe — same layout, keyed by (profile, request).
+  struct alignas(64) OverlayShard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, OverlayEntry> cache;
+    std::atomic<std::size_t> requests{0};
+    std::atomic<std::size_t> hits{0};
+    std::atomic<std::size_t> renders{0};
+    std::atomic<std::size_t> stale_renders{0};
+    std::atomic<std::size_t> not_found{0};
+  };
+
   [[nodiscard]] Shard& shard_for(std::string_view key) const;
+  [[nodiscard]] OverlayShard& overlay_shard_for(std::string_view key) const;
 
   const SnapshotStore* store_;
   std::string base_;
   std::size_t n_shards_;
   std::unique_ptr<Shard[]> shards_;
+  std::unique_ptr<OverlayShard[]> overlay_shards_;
 };
 
 }  // namespace navsep::serve

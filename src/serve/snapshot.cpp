@@ -1,10 +1,13 @@
 #include "serve/snapshot.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.hpp"
+#include "html/html.hpp"
 #include "uri/uri.hpp"
 #include "xlink/model.hpp"
+#include "xml/dom.hpp"
 
 namespace navsep::serve {
 
@@ -12,11 +15,55 @@ namespace {
 
 const std::vector<SnapshotArc> kNoArcs{};
 
+/// The woven navigation container's opening tag, byte-exact as the HTML
+/// writer emits it (class is its only attribute) — derived from the
+/// shared default class so the weave and the splice cannot drift.
+const std::string kNavOpen =
+    "<div class=\"" + std::string(core::kDefaultNavContainerClass) + "\">";
+constexpr std::string_view kDivOpen = "<div";
+constexpr std::string_view kDivClose = "</div>";
+
+/// [begin, end) byte range of the woven navigation container inside a
+/// serialized page, balancing nested `<div>`s; npos/npos when absent.
+std::pair<std::size_t, std::size_t> navigation_block_range(
+    const std::string& page) {
+  const std::size_t begin = page.find(kNavOpen);
+  if (begin == std::string::npos) return {std::string::npos, std::string::npos};
+  std::size_t pos = begin + kNavOpen.size();
+  std::size_t depth = 1;
+  while (depth > 0) {
+    const std::size_t open = page.find(kDivOpen, pos);
+    const std::size_t close = page.find(kDivClose, pos);
+    if (close == std::string::npos) {
+      // Unbalanced markup cannot come out of the HTML writer; treat the
+      // page as having no spliceable block rather than corrupting it.
+      return {std::string::npos, std::string::npos};
+    }
+    // "</div>" starts with "</", so a "<div" hit is always a genuine
+    // nested open, never the close's prefix.
+    if (open != std::string::npos && open < close) {
+      ++depth;
+      pos = open + kDivOpen.size();
+    } else {
+      --depth;
+      pos = close + kDivClose.size();
+    }
+  }
+  return {begin, pos};
+}
+
 }  // namespace
 
 SiteSnapshot::SiteSnapshot(const site::VirtualSite& site,
                            const xlink::TraversalGraph& graph,
                            std::string base, std::uint64_t epoch)
+    : SiteSnapshot(site, graph, std::move(base), epoch,
+                   SnapshotOverlayInputs{}) {}
+
+SiteSnapshot::SiteSnapshot(const site::VirtualSite& site,
+                           const xlink::TraversalGraph& graph,
+                           std::string base, std::uint64_t epoch,
+                           SnapshotOverlayInputs overlays)
     : epoch_(epoch), base_(std::move(base)) {
   if (!base_.empty() && base_.back() != '/') base_ += '/';
   normalized_base_ = uri::normalize(uri::parse(base_)).to_string();
@@ -42,6 +89,166 @@ SiteSnapshot::SiteSnapshot(const site::VirtualSite& site,
     }
     arcs_by_from_.emplace(xlink::normalize_ref(from), std::move(bucket));
   }
+
+  // Overlay inputs: bucket the combined arc set per (linkbase, page) and
+  // resolve each linkbase's content handle — the cache-validity tokens.
+  profiles_ = std::move(overlays.profiles);
+  if (overlays.arcs == nullptr) return;
+  overlay_arcs_ = std::move(overlays.arcs);
+  structure_linkbase_ = body(overlays.structure_source);
+  families_.reserve(overlays.families.size());
+  for (SnapshotOverlayInputs::Family& family : overlays.families) {
+    families_.push_back(FamilySlice{std::move(family.name),
+                                    family.source,
+                                    body(family.source),
+                                    {}});
+  }
+  for (const core::NavArc& arc : *overlay_arcs_) {
+    ArcSlice* slice = nullptr;
+    if (arc.source == overlays.structure_source) {
+      slice = &structure_arcs_by_page_;
+    } else {
+      auto it = std::find_if(
+          families_.begin(), families_.end(),
+          [&](const FamilySlice& f) { return f.source == arc.source; });
+      if (it == families_.end()) continue;  // unknown source: not servable
+      slice = &it->arcs_by_page;
+    }
+    (*slice)[core::default_href_for(arc.from)].push_back(&arc);
+  }
+}
+
+const nav::Profile* SiteSnapshot::find_profile(
+    std::string_view name) const noexcept {
+  for (const nav::Profile& profile : profiles_) {
+    if (profile.name == name) return &profile;
+  }
+  return nullptr;
+}
+
+std::vector<const core::NavArc*> SiteSnapshot::profile_arcs(
+    std::string_view path, const nav::Profile& profile) const {
+  std::vector<const core::NavArc*> out;
+  if (auto it = structure_arcs_by_page_.find(path);
+      it != structure_arcs_by_page_.end()) {
+    out = it->second;
+  }
+  for (const std::string& family_name : profile.families) {
+    for (const FamilySlice& family : families_) {
+      if (family.name != family_name) continue;
+      if (auto it = family.arcs_by_page.find(path);
+          it != family.arcs_by_page.end()) {
+        out.insert(out.end(), it->second.begin(), it->second.end());
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+OverlayValidity SiteSnapshot::overlay_validity(const nav::Profile& profile,
+                                               std::string_view path) const {
+  OverlayValidity validity;
+  validity.base_body = body(path);
+  validity.linkbases.reserve(profile.families.size() + 1);
+  validity.linkbases.push_back(structure_linkbase_);
+  for (const std::string& family_name : profile.families) {
+    auto it = std::find_if(
+        families_.begin(), families_.end(),
+        [&](const FamilySlice& f) { return f.name == family_name; });
+    validity.linkbases.push_back(it == families_.end() ? nullptr
+                                                       : it->linkbase);
+  }
+  return validity;
+}
+
+std::shared_ptr<const std::string> SiteSnapshot::overlay_body(
+    std::string_view path, const std::shared_ptr<const std::string>& base,
+    const nav::Profile& profile) const {
+  const std::vector<const core::NavArc*> arcs = profile_arcs(path, profile);
+
+  // Late-compose the navigation block through the same renderer the
+  // weave uses — identical code path, identical bytes.
+  xml::Element scratch{xml::QName("body")};
+  core::NavigationAspectOptions options;
+  options.woven_context_families = profile.families;
+  const xml::Element* block = arcs.empty()
+                                  ? nullptr
+                                  : core::render_navigation(
+                                        scratch, /*page_instance=*/path,
+                                        /*current_context=*/"", arcs, options);
+  if (block == nullptr) {
+    // No arc applies under this profile; a full per-profile weave would
+    // have produced no block either (base pages with a block always have
+    // structure arcs, which every profile sees).
+    return base;
+  }
+  const auto [begin, end] = navigation_block_range(*base);
+
+  // The block sits two levels deep (html > body > div); serialize it at
+  // that depth so the splice is byte-exact.
+  const std::string fragment = html::write_at_depth(*block, 2);
+  std::string spliced;
+  if (begin != std::string::npos) {
+    spliced.reserve(base->size() - (end - begin) + fragment.size());
+    spliced.append(*base, 0, begin);
+    spliced.append(fragment);
+    spliced.append(*base, end, base->size() - end);
+  } else {
+    // The base page wove no block (no context-free arcs leave it): the
+    // full weave appends it as the last child of <body>.
+    static constexpr std::string_view kBodyClose = "\n  </body>";
+    const std::size_t at = base->rfind(kBodyClose);
+    if (at == std::string::npos) return base;  // not a page shape we weave
+    spliced.reserve(base->size() + fragment.size() + 5);
+    spliced.append(*base, 0, at);
+    spliced.append("\n    ");
+    spliced.append(fragment);
+    spliced.append(*base, at, base->size() - at);
+  }
+  if (spliced == *base) return base;  // e.g. an empty-family profile
+  return std::make_shared<const std::string>(std::move(spliced));
+}
+
+site::Response SiteSnapshot::respond_as(std::string_view profile_name,
+                                        std::string_view uri_or_path,
+                                        std::string* resolved_path) const {
+  const nav::Profile* profile = find_profile(profile_name);
+  if (profile == nullptr) {
+    throw SemanticError("SiteSnapshot::respond_as: unknown profile '" +
+                        std::string(profile_name) +
+                        "' (register it on the engine first)");
+  }
+  return respond_as(*profile, uri_or_path, resolved_path);
+}
+
+site::Response SiteSnapshot::respond_as(const nav::Profile& profile,
+                                        std::string_view uri_or_path,
+                                        std::string* resolved_path) const {
+  if (!overlays_enabled()) return respond(uri_or_path, resolved_path);
+
+  // One resolution path for plain and profile-scoped serving: delegate,
+  // then apply the profile view on top of the resolved response.
+  std::string path;
+  site::Response r = respond(uri_or_path, &path);
+  if (!r.ok()) return r;
+
+  // A contextual linkbase outside the profile is not part of the
+  // profile's site: a full build over only its families would never
+  // author it.
+  for (const FamilySlice& family : families_) {
+    if (family.source != path) continue;
+    if (std::find(profile.families.begin(), profile.families.end(),
+                  family.name) == profile.families.end()) {
+      return site::Response{404, "", nullptr};
+    }
+  }
+
+  if (resolved_path != nullptr) *resolved_path = path;
+  if (r.content_type == "text/html") {
+    r.body = overlay_body(path, r.body, profile);
+  }
+  return r;
 }
 
 std::vector<std::string> SiteSnapshot::paths() const {
@@ -97,7 +304,7 @@ void SnapshotStore::publish(std::shared_ptr<const SiteSnapshot> snapshot) {
         std::to_string(next) + " over " +
         std::to_string(epoch_.load(std::memory_order_relaxed)) + ")");
   }
-#if defined(__cpp_lib_atomic_shared_ptr)
+#if NAVSEP_ATOMIC_SHARED_PTR
   current_.store(std::move(snapshot), std::memory_order_release);
 #else
   std::atomic_store_explicit(&current_, std::move(snapshot),
@@ -111,7 +318,7 @@ void SnapshotStore::publish(std::shared_ptr<const SiteSnapshot> snapshot) {
 }
 
 std::shared_ptr<const SiteSnapshot> SnapshotStore::current() const {
-#if defined(__cpp_lib_atomic_shared_ptr)
+#if NAVSEP_ATOMIC_SHARED_PTR
   return current_.load(std::memory_order_acquire);
 #else
   return std::atomic_load_explicit(&current_, std::memory_order_acquire);

@@ -23,9 +23,28 @@
 #include <string_view>
 #include <vector>
 
+#include "core/navigation_aspect.hpp"
+#include "nav/profile.hpp"
 #include "site/server.hpp"
 #include "site/virtual_site.hpp"
 #include "xlink/traversal.hpp"
+
+/// Whether SnapshotStore may use std::atomic<std::shared_ptr> (see the
+/// member declaration for why ThreadSanitizer builds must not).
+#if defined(__SANITIZE_THREAD__)
+#define NAVSEP_ATOMIC_SHARED_PTR 0
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define NAVSEP_ATOMIC_SHARED_PTR 0
+#endif
+#endif
+#ifndef NAVSEP_ATOMIC_SHARED_PTR
+#if defined(__cpp_lib_atomic_shared_ptr)
+#define NAVSEP_ATOMIC_SHARED_PTR 1
+#else
+#define NAVSEP_ATOMIC_SHARED_PTR 0
+#endif
+#endif
 
 namespace navsep::serve {
 
@@ -40,6 +59,46 @@ struct SnapshotArc {
   bool traversable = true;  // false for show=none / actuate=none arcs
 };
 
+/// The navigation-overlay inputs a snapshot carries beyond the site
+/// bytes: the combined authored arc set (with per-linkbase provenance in
+/// NavArc::source), which linkbase belongs to which context family, and
+/// the registered serving profiles. The engine fills this at publish
+/// time; a snapshot built without it (the 4-argument constructor, and
+/// Tangled mode) serves every profile the base bytes.
+struct SnapshotOverlayInputs {
+  /// Combined arc set in weave order (structure linkbase first, then each
+  /// family linkbase) — shared with the engine's arc table, immutable
+  /// once published.
+  std::shared_ptr<const std::vector<core::NavArc>> arcs;
+
+  /// NavArc::source value of the access structure's own linkbase.
+  std::string structure_source{site::kStructureLinkbasePath};
+
+  struct Family {
+    std::string name;    ///< context family name ("ByAuthor")
+    std::string source;  ///< its linkbase's site path / NavArc::source
+  };
+  std::vector<Family> families;  ///< in engine (weave) order
+
+  std::vector<nav::Profile> profiles;  ///< registered at capture time
+};
+
+/// What one cached overlay response depends on, as shared content
+/// handles: the page's base bytes, then the structure linkbase and the
+/// profile's family linkbases (in profile order). Site artifacts are
+/// swapped — never mutated — on change, so pointer equality of every
+/// member guarantees byte-identical overlay output; holding the handles
+/// pins the old bytes, which keeps the comparison ABA-safe.
+struct OverlayValidity {
+  std::shared_ptr<const std::string> base_body;
+  std::vector<std::shared_ptr<const std::string>> linkbases;
+
+  [[nodiscard]] bool same_content(const OverlayValidity& other) const {
+    // shared_ptr equality is pointer identity — exactly the semantics.
+    return base_body == other.base_body && linkbases == other.linkbases;
+  }
+};
+
 /// An immutable, refcounted view of one published site state. Never
 /// mutated after construction — every member function is safe to call
 /// from any number of threads.
@@ -50,6 +109,13 @@ class SiteSnapshot {
   /// by value.
   SiteSnapshot(const site::VirtualSite& site, const xlink::TraversalGraph& graph,
                std::string base, std::uint64_t epoch);
+
+  /// As above, additionally carrying the per-family arc slices and the
+  /// profile table that make respond_as() compose profile-scoped
+  /// navigation overlays.
+  SiteSnapshot(const site::VirtualSite& site, const xlink::TraversalGraph& graph,
+               std::string base, std::uint64_t epoch,
+               SnapshotOverlayInputs overlays);
 
   [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
   [[nodiscard]] const std::string& base() const noexcept { return base_; }
@@ -83,13 +149,88 @@ class SiteSnapshot {
   [[nodiscard]] const SnapshotArc* outgoing_with_role(
       std::string_view uri, std::string_view role) const;
 
+  // --- profile-scoped navigation overlays -------------------------------------
+
+  /// True when this snapshot carries overlay inputs (combined arcs +
+  /// family slices). Without them respond_as() serves base bytes.
+  [[nodiscard]] bool overlays_enabled() const noexcept {
+    return overlay_arcs_ != nullptr;
+  }
+
+  /// Profiles registered when this snapshot was captured.
+  [[nodiscard]] const std::vector<nav::Profile>& profiles() const noexcept {
+    return profiles_;
+  }
+
+  /// Profile by name, null when unknown.
+  [[nodiscard]] const nav::Profile* find_profile(
+      std::string_view name) const noexcept;
+
+  /// GET as `profile` sees the site: page responses carry that profile's
+  /// navigation block (the access structure's arcs plus the profile
+  /// families' labeled tour groups) composed late onto the once-woven
+  /// base page; contextual linkbases outside the profile 404 (a full
+  /// build for the profile would not author them). Byte-identical to a
+  /// full single-threaded build with SiteBuildOptions{context_families =
+  /// profile.families, weave_context_tours = true}. Throws
+  /// navsep::SemanticError for a profile name this snapshot doesn't know.
+  [[nodiscard]] site::Response respond_as(
+      std::string_view profile_name, std::string_view uri_or_path,
+      std::string* resolved_path = nullptr) const;
+
+  /// As above with the profile already resolved (via find_profile) —
+  /// the serving hot path uses this to avoid a second name lookup.
+  /// `profile` must be one of this snapshot's profiles().
+  [[nodiscard]] site::Response respond_as(
+      const nav::Profile& profile, std::string_view uri_or_path,
+      std::string* resolved_path = nullptr) const;
+
+  /// The arcs `profile` composes onto the page at `path` (a site path):
+  /// structure arcs first, then each profile family's slice, in profile
+  /// order — pointers into the shared combined arc set. Empty when none.
+  [[nodiscard]] std::vector<const core::NavArc*> profile_arcs(
+      std::string_view path, const nav::Profile& profile) const;
+
+  /// The content handles an overlay response for (profile, path) is
+  /// composed from — the cache-validity token of ConcurrentServer's
+  /// overlay layer. Null base_body when the path is absent.
+  [[nodiscard]] OverlayValidity overlay_validity(const nav::Profile& profile,
+                                                 std::string_view path) const;
+
  private:
+  /// Per-linkbase slice: the arcs of one source, bucketed by the site
+  /// path of the page they leave (core::default_href_for(from)).
+  using ArcSlice =
+      std::map<std::string, std::vector<const core::NavArc*>, std::less<>>;
+
+  struct FamilySlice {
+    std::string name;    // family name ("ByAuthor")
+    std::string source;  // linkbase site path ("links-byauthor.xml")
+    std::shared_ptr<const std::string> linkbase;  // its bytes (identity token)
+    ArcSlice arcs_by_page;
+  };
+
+  /// Compose the overlay response body for a 200 page under `profile`
+  /// (the splice of the late-rendered navigation block into the base
+  /// bytes). Returns the base handle itself when the overlay output is
+  /// byte-identical to it.
+  [[nodiscard]] std::shared_ptr<const std::string> overlay_body(
+      std::string_view path, const std::shared_ptr<const std::string>& base,
+      const nav::Profile& profile) const;
+
   std::uint64_t epoch_;
   std::string base_;             // slash-terminated, as served
   std::string normalized_base_;  // uri::normalize(base_)
   std::map<std::string, std::shared_ptr<const std::string>, std::less<>>
       files_;
   std::map<std::string, std::vector<SnapshotArc>, std::less<>> arcs_by_from_;
+
+  // Overlay state (empty without SnapshotOverlayInputs).
+  std::shared_ptr<const std::vector<core::NavArc>> overlay_arcs_;
+  std::shared_ptr<const std::string> structure_linkbase_;
+  ArcSlice structure_arcs_by_page_;
+  std::vector<FamilySlice> families_;
+  std::vector<nav::Profile> profiles_;
 };
 
 /// The publication point between one writer and many readers. publish()
@@ -119,11 +260,15 @@ class SnapshotStore {
   }
 
  private:
-#if defined(__cpp_lib_atomic_shared_ptr)
+#if NAVSEP_ATOMIC_SHARED_PTR
   std::atomic<std::shared_ptr<const SiteSnapshot>> current_;
 #else
-  // Pre-C++20-library fallback: the deprecated-but-present free-function
-  // atomics over shared_ptr.
+  // Fallback: the deprecated-but-present free-function atomics over
+  // shared_ptr (a pooled-mutex implementation). Taken pre-C++20-library,
+  // and under ThreadSanitizer: libstdc++'s lock-free atomic<shared_ptr>
+  // guards its pointer with an embedded spin bit TSan does not model as
+  // a lock, so the lock-free branch reports phantom races on
+  // publish/current pairs. Same semantics either way.
   std::shared_ptr<const SiteSnapshot> current_;
 #endif
   std::atomic<std::uint64_t> epoch_{0};

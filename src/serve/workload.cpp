@@ -18,6 +18,7 @@ std::string_view to_string(Behavior b) noexcept {
     case Behavior::GuidedTour: return "guided_tour";
     case Behavior::ContextSwitcher: return "context_switcher";
     case Behavior::Kiosk: return "kiosk";
+    case Behavior::ProfileMix: return "profile_mix";
   }
   return "unknown";
 }
@@ -250,6 +251,47 @@ void run_context_switcher(
   }
 }
 
+/// One timed profile-scoped GET; returns ok.
+bool timed_profile_get(const ConcurrentServer& server, std::string_view uri,
+                       const std::string& profile, SessionOutcome& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  site::Response r = server.get(uri, profile);
+  const auto t1 = std::chrono::steady_clock::now();
+  out.latency.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+  ++out.requests;
+  if (!r.ok()) ++out.failures;
+  return r.ok();
+}
+
+/// The profile-pinned session: every fetch goes through the overlay
+/// layer as `profile_name`, and movement follows the arcs that profile
+/// actually sees — the structure's plus its families' tours.
+void run_profile_mix(const ConcurrentServer& server,
+                     const std::string& profile_name,
+                     const std::string& entry_path, Rng& rng,
+                     std::size_t steps, SessionOutcome& out) {
+  PageIndex index;
+  std::string location = entry_path;
+  for (std::size_t i = 0; i < steps; ++i) {
+    ++out.steps;
+    std::shared_ptr<const SiteSnapshot> snap = server.snapshot();
+    if (!timed_profile_get(server, location, profile_name, out)) {
+      location = random_page(index, *snap, rng, entry_path);
+      continue;
+    }
+    // The profile is always present: profile_names came from a snapshot
+    // no newer than `snap`, and profiles are never removed (the get()
+    // above would already have thrown otherwise).
+    const navsep::nav::Profile* profile = snap->find_profile(profile_name);
+    std::vector<const core::NavArc*> arcs =
+        snap->profile_arcs(location, *profile);
+    location = arcs.empty()
+                   ? random_page(index, *snap, rng, entry_path)
+                   : core::default_href_for(rng.pick(arcs)->to);
+  }
+}
+
 void run_kiosk(const ConcurrentServer& server,
                const std::vector<std::string>& seed_nodes,
                const std::string& entry_path, Rng& rng, std::size_t steps,
@@ -296,9 +338,23 @@ WorkloadResult Workload::run(ConcurrentServer& server,
                              const WorkloadOptions& options) {
   static constexpr Behavior kAll[] = {
       Behavior::RandomSurfer, Behavior::GuidedTour, Behavior::ContextSwitcher,
+      Behavior::Kiosk, Behavior::ProfileMix};
+  // The behavior default stays the four profile-less models: ProfileMix
+  // is opt-in (it needs registered profiles to mean anything).
+  static constexpr Behavior kDefaults[] = {
+      Behavior::RandomSurfer, Behavior::GuidedTour, Behavior::ContextSwitcher,
       Behavior::Kiosk};
   std::vector<Behavior> behaviors = options.behaviors;
-  if (behaviors.empty()) behaviors.assign(std::begin(kAll), std::end(kAll));
+  if (behaviors.empty()) {
+    behaviors.assign(std::begin(kDefaults), std::end(kDefaults));
+  }
+
+  // Profile assignment for ProfileMix sessions: round-robin over the
+  // profile table of the snapshot current at launch.
+  std::vector<std::string> profile_names;
+  for (const navsep::nav::Profile& p : server.profiles()) {
+    profile_names.push_back(p.name);
+  }
 
   std::vector<const hm::ContextFamily*> families;
   families.reserve(engine_->context_families().size());
@@ -336,6 +392,22 @@ WorkloadResult Workload::run(ConcurrentServer& server,
         case Behavior::Kiosk:
           run_kiosk(server, seed_nodes_, entry_path_, rng,
                     options.steps_per_session, out);
+          break;
+        case Behavior::ProfileMix:
+          if (profile_names.empty()) {
+            run_random_surfer(server, entry_path_, rng,
+                              options.steps_per_session, out);
+          } else {
+            // Round-robin over the ProfileMix sessions themselves (they
+            // are every behaviors.size()-th t), not the global thread
+            // index — t % profiles would correlate with the behavior
+            // slot and starve profiles in mixed-behavior runs.
+            run_profile_mix(server,
+                            profile_names[(t / behaviors.size()) %
+                                          profile_names.size()],
+                            entry_path_, rng, options.steps_per_session,
+                            out);
+          }
           break;
       }
     });

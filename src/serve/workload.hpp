@@ -43,7 +43,19 @@ class Engine;
 
 namespace navsep::serve {
 
-enum class Behavior { RandomSurfer, GuidedTour, ContextSwitcher, Kiosk };
+enum class Behavior {
+  RandomSurfer,
+  GuidedTour,
+  ContextSwitcher,
+  Kiosk,
+  /// Profile-scoped traffic: each session pins one registered
+  /// nav::Profile (round-robin over the snapshot's profile table) and
+  /// fetches every page through ConcurrentServer::get(uri, profile),
+  /// walking the structure's arcs plus the profile families' tour arcs —
+  /// the overlay cache under multi-audience load. Falls back to
+  /// RandomSurfer when no profile is registered.
+  ProfileMix,
+};
 
 [[nodiscard]] std::string_view to_string(Behavior b) noexcept;
 

@@ -72,7 +72,7 @@ std::string context_linkbase_path(std::string_view family_name) {
 core::LinkbaseOptions separated_linkbase_options(
     const SiteBuildOptions& options) {
   core::LinkbaseOptions lb;
-  lb.base_uri = options.site_base + "links.xml";
+  lb.base_uri = options.site_base + std::string(kStructureLinkbasePath);
   lb.data_href = [](std::string_view id) {
     return core::default_href_for(id);
   };
@@ -100,7 +100,8 @@ VirtualSite build_separated_site(const museum::MuseumWorld& world,
   // Authored: the linkbase.
   core::LinkbaseOptions lb = separated_linkbase_options(options);
   auto linkbase = core::build_linkbase(structure, lb);
-  out.put("links.xml", xml::write(*linkbase, {.pretty = true}));
+  out.put(std::string(kStructureLinkbasePath),
+          xml::write(*linkbase, {.pretty = true}));
 
   // Authored: one contextual linkbase per requested family. The parsed
   // documents must outlive the graphs (arc origins point into them) until
@@ -125,11 +126,19 @@ VirtualSite build_separated_site(const museum::MuseumWorld& world,
   std::vector<const xlink::TraversalGraph*> context_graph_ptrs;
   context_graph_ptrs.reserve(context_graphs.size());
   for (const auto& g : context_graphs) context_graph_ptrs.push_back(&g);
+  core::NavigationAspectOptions aspect_options;
+  if (options.weave_context_tours) {
+    for (const hypermedia::ContextFamily* family : options.context_families) {
+      if (family != nullptr) {
+        aspect_options.woven_context_families.push_back(family->name());
+      }
+    }
+  }
   // replace, not register: a caller-supplied weaver may already carry the
   // navigation aspect of an earlier build (the §5 migration scenario) —
   // stacking both would weave two anchor sets into every page.
   weaver.replace_aspect(core::NavigationAspect::combined(
-      core::load_linkbase(*linkbase), context_graph_ptrs, {}));
+      core::load_linkbase(*linkbase), context_graph_ptrs, aspect_options));
   core::SeparatedComposer composer(weaver);
   for (auto& page : composer.compose_site(nav, structure)) {
     out.put(std::move(page.path), std::move(page.content));

@@ -83,7 +83,24 @@ struct SiteBuildOptions {
   /// registered navigation aspect for later re-weaving and extend it with
   /// their own aspects.
   aop::Weaver* weaver = nullptr;
+
+  /// Weave every context family's tours into the stored pages as labeled
+  /// per-context tour groups (core::NavigationAspectOptions::
+  /// woven_context_families = each family in context_families), instead
+  /// of reserving them for in-context on-demand composition. This is the
+  /// profile-scoped full build — the single-threaded oracle the
+  /// serve-time navigation overlays are byte-compared against
+  /// (tests/overlay_test.cpp): build with exactly one nav::Profile's
+  /// families and this flag on, and the result is what that profile must
+  /// be served.
+  bool weave_context_tours = false;
 };
+
+/// Site path of the access structure's own linkbase. The single source
+/// of truth shared by the builder, the engine's arc provenance tags, and
+/// the snapshot's overlay slice partition — which silently loses every
+/// structure arc if the spellings drift.
+inline constexpr std::string_view kStructureLinkbasePath = "links.xml";
 
 /// Site path of a context family's linkbase ("links-byauthor.xml").
 [[nodiscard]] std::string context_linkbase_path(std::string_view family_name);

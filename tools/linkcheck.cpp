@@ -1,0 +1,192 @@
+// linkcheck — validate intra-repo markdown links and anchors.
+//
+// The docs satellite of the profile-overlay PR: README/DESIGN grew over
+// four PRs and their cross-references (file paths, #section anchors) had
+// no checker, so renames silently strand readers. This tool walks every
+// inline [text](target) link of the given markdown files and verifies:
+//
+//   * relative file targets exist (resolved against the document's dir);
+//   * "#anchor" targets match a heading slug of the same document;
+//   * "file.md#anchor" targets match a heading slug of that document.
+//
+// External links (http/https/mailto) are skipped — determinism over
+// coverage; CI must not depend on the network. Heading slugs follow the
+// GitHub algorithm closely enough for ASCII docs: lowercase, spaces to
+// hyphens, punctuation dropped, -N suffixes for duplicates.
+//
+// Usage: linkcheck FILE.md [FILE.md ...]   (exits 1 on any broken link)
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slugify(const std::string& heading) {
+  std::string slug;
+  for (unsigned char c : heading) {
+    if (std::isalnum(c)) {
+      slug += static_cast<char>(std::tolower(c));
+    } else if (c == ' ' || c == '-' || c == '_') {
+      slug += c == '_' ? '_' : '-';
+    }
+    // Everything else (punctuation, non-ASCII bytes) is dropped.
+  }
+  return slug;
+}
+
+/// Heading anchors of one markdown file, with GitHub's -N dedup.
+std::set<std::string> collect_anchors(const std::string& path) {
+  std::set<std::string> anchors;
+  std::map<std::string, int> seen;
+  std::ifstream in(path);
+  std::string line;
+  bool in_fence = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("```", 0) == 0) {
+      in_fence = !in_fence;
+      continue;
+    }
+    if (in_fence) continue;
+    std::size_t hashes = 0;
+    while (hashes < line.size() && line[hashes] == '#') ++hashes;
+    if (hashes == 0 || hashes > 6 || hashes >= line.size() ||
+        line[hashes] != ' ') {
+      continue;
+    }
+    std::string slug = slugify(line.substr(hashes + 1));
+    int& count = seen[slug];
+    anchors.insert(count == 0 ? slug : slug + "-" + std::to_string(count));
+    ++count;
+  }
+  return anchors;
+}
+
+struct Link {
+  std::string target;
+  std::size_t line = 0;
+};
+
+/// Blank out `inline code spans` so a [x](y)-shaped pattern quoted as
+/// code is not mistaken for a link (column positions are preserved).
+std::string without_code_spans(std::string line) {
+  bool in_span = false;
+  for (char& c : line) {
+    if (c == '`') {
+      in_span = !in_span;
+      c = ' ';
+    } else if (in_span) {
+      c = ' ';
+    }
+  }
+  return line;
+}
+
+/// Inline [text](target) links outside code fences/spans.
+std::vector<Link> collect_links(const std::string& path) {
+  std::vector<Link> links;
+  std::ifstream in(path);
+  std::string line;
+  std::size_t line_no = 0;
+  bool in_fence = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.rfind("```", 0) == 0) {
+      in_fence = !in_fence;
+      continue;
+    }
+    if (in_fence) continue;
+    const std::string scannable = without_code_spans(line);
+    std::size_t pos = 0;
+    while ((pos = scannable.find("](", pos)) != std::string::npos) {
+      const std::size_t end = scannable.find(')', pos + 2);
+      if (end == std::string::npos) break;
+      links.push_back(
+          Link{scannable.substr(pos + 2, end - pos - 2), line_no});
+      pos = end + 1;
+    }
+  }
+  return links;
+}
+
+bool is_external(const std::string& target) {
+  return target.rfind("http://", 0) == 0 ||
+         target.rfind("https://", 0) == 0 ||
+         target.rfind("mailto:", 0) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: linkcheck FILE.md [FILE.md ...]\n";
+    return 2;
+  }
+  std::map<std::string, std::set<std::string>> anchor_cache;
+  auto anchors_of = [&](const std::string& path)
+      -> const std::set<std::string>& {
+    auto it = anchor_cache.find(path);
+    if (it == anchor_cache.end()) {
+      it = anchor_cache.emplace(path, collect_anchors(path)).first;
+    }
+    return it->second;
+  };
+
+  std::size_t broken = 0;
+  std::size_t checked = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string doc = argv[i];
+    if (!fs::exists(doc)) {
+      std::cerr << "linkcheck: no such file: " << doc << "\n";
+      ++broken;
+      continue;
+    }
+    const fs::path base = fs::path(doc).parent_path();
+    for (const Link& link : collect_links(doc)) {
+      if (is_external(link.target) || link.target.empty()) continue;
+      ++checked;
+      std::string file_part = link.target;
+      std::string anchor;
+      if (const std::size_t hash = link.target.find('#');
+          hash != std::string::npos) {
+        file_part = link.target.substr(0, hash);
+        anchor = link.target.substr(hash + 1);
+      }
+      std::string resolved = doc;
+      if (!file_part.empty()) {
+        resolved = (base / file_part).lexically_normal().string();
+        if (!fs::exists(resolved)) {
+          std::cerr << doc << ":" << link.line << ": broken link target '"
+                    << link.target << "' (no such file " << resolved
+                    << ")\n";
+          ++broken;
+          continue;
+        }
+      }
+      if (!anchor.empty()) {
+        if (!fs::is_regular_file(resolved)) {
+          std::cerr << doc << ":" << link.line << ": anchor into non-file '"
+                    << link.target << "'\n";
+          ++broken;
+          continue;
+        }
+        const std::set<std::string>& anchors = anchors_of(resolved);
+        if (anchors.find(anchor) == anchors.end()) {
+          std::cerr << doc << ":" << link.line << ": broken anchor '#"
+                    << anchor << "' in " << resolved << "\n";
+          ++broken;
+        }
+      }
+    }
+  }
+  std::cout << "linkcheck: " << checked << " intra-repo links checked, "
+            << broken << " broken\n";
+  return broken == 0 ? 0 : 1;
+}
