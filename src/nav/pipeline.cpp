@@ -59,6 +59,12 @@ std::unique_ptr<serve::ConcurrentServer> Engine::open_concurrent(
   return std::make_unique<serve::ConcurrentServer>(snapshots_, cache_shards);
 }
 
+std::unique_ptr<serve::ConcurrentServer> Engine::open_concurrent(
+    std::size_t cache_shards, serve::CacheLimits limits) const {
+  return std::make_unique<serve::ConcurrentServer>(snapshots_, cache_shards,
+                                                   limits);
+}
+
 std::string Engine::compose_page(std::string_view node_id,
                                  std::string_view context_tag) const {
   const hypermedia::NavNode* node = nav_->node(node_id);
@@ -113,6 +119,7 @@ void Engine::publish_snapshot() {
                                              entry.path});
   }
   overlays.profiles = profiles_;
+  overlays.slice_hashes = overlay_slice_hashes_;
   snapshots_.publish(std::make_shared<serve::SiteSnapshot>(
       site_, graph_, site_base_, snapshots_.epoch() + 1,
       std::move(overlays)));
@@ -412,7 +419,11 @@ std::uint64_t Engine::rebuild_arc_table() {
   // Publish per-page slice hashes: the arcs a *stored* page can actually
   // weave are the context-free ones leaving it (contextual tour arcs are
   // only woven into on-demand compositions carrying their context tag).
+  // Alongside, per-(linkbase, page) slice hashes over ALL arcs — tour
+  // arcs included, since overlays render them — for the serve-side
+  // overlay validity tokens.
   slice_hashes_.clear();
+  auto overlay_hashes = std::make_shared<serve::SourceSliceHashes>();
   std::uint64_t table_hash = 0xa5a5a5a5a5a5a5a5ull;
   for (const core::NavArc& arc : arcs) {
     std::uint64_t a = hash_bytes(arc.from);
@@ -425,7 +436,11 @@ std::uint64_t Engine::rebuild_arc_table() {
       auto [it, inserted] = slice_hashes_.emplace(arc.from, 0xbeefull);
       it->second = hash_combine(it->second, a);
     }
+    auto [slice, first] = (*overlay_hashes)[arc.source].emplace(
+        core::default_href_for(arc.from), serve::kEmptySliceHash);
+    slice->second = serve::combine_arc_slice(slice->second, arc);
   }
+  overlay_slice_hashes_ = std::move(overlay_hashes);
   // Publish the combined set for snapshots (shared, never mutated: the
   // next rebuild swaps in a fresh vector, it does not touch this one).
   combined_arcs_ =

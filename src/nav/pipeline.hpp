@@ -49,7 +49,8 @@
 
 namespace navsep::serve {
 class ConcurrentServer;
-}
+struct CacheLimits;
+}  // namespace navsep::serve
 
 namespace navsep::nav {
 
@@ -125,6 +126,12 @@ class Engine final : public EngineInternals {
   /// must outlive it.
   [[nodiscard]] std::unique_ptr<serve::ConcurrentServer> open_concurrent(
       std::size_t cache_shards = 16) const;
+
+  /// As above with bounded cache layers: `limits` caps the entries each
+  /// of the server's shards may hold (LRU eviction past the cap; zero
+  /// degenerates to pass-through). See serve::CacheLimits.
+  [[nodiscard]] std::unique_ptr<serve::ConcurrentServer> open_concurrent(
+      std::size_t cache_shards, serve::CacheLimits limits) const;
 
   /// Compose one node page on demand, inside an optional navigational
   /// context tag ("ByAuthor:picasso") — woven through the engine's weaver
@@ -255,6 +262,12 @@ class Engine final : public EngineInternals {
   /// rebuild — shared into every published snapshot, which slices it per
   /// (linkbase, page) for profile overlays.
   std::shared_ptr<const std::vector<core::NavArc>> combined_arcs_;
+
+  /// Per-(linkbase, page) slice content hashes over combined_arcs_,
+  /// computed by the same arc-table rebuild — the slice-precise validity
+  /// tokens of the serve-side overlay cache (serve::OverlayValidity),
+  /// shared into every published snapshot alongside the arcs.
+  std::shared_ptr<const serve::SourceSliceHashes> overlay_slice_hashes_;
 
   /// Registered serving profiles (see register_profile()).
   std::vector<Profile> profiles_;

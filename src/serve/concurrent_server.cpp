@@ -7,9 +7,58 @@
 
 namespace navsep::serve {
 
+template <typename V>
+bool ConcurrentServer::Shard<V>::lookup(const std::string& key, V& out) {
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(std::string_view(key));
+  if (it == cache.end()) return false;
+  // Touch: survival under a cap is decided by recency of use.
+  recency.splice(recency.begin(), recency, it->second.pos);
+  out = it->second.value;
+  return true;
+}
+
+template <typename V>
+void ConcurrentServer::Shard<V>::store(std::string key, V value,
+                                       std::size_t cap) {
+  if (cap == 0) return;  // pass-through: nothing retained, nothing counted
+  std::lock_guard<std::mutex> lock(mutex);
+  if (auto it = cache.find(std::string_view(key)); it != cache.end()) {
+    // Refresh in place (e.g. a stale refill): neither an insertion nor
+    // an eviction in the residency ledger.
+    it->second.value = std::move(value);
+    recency.splice(recency.begin(), recency, it->second.pos);
+    return;
+  }
+  recency.push_front(std::move(key));
+  // The map key views the list node's string; list nodes are stable
+  // across splices, so the view lives exactly as long as the slot.
+  cache.emplace(std::string_view(recency.front()),
+                Slot{std::move(value), recency.begin()});
+  ++inserted;
+  while (cache.size() > cap) {
+    auto victim = std::prev(recency.end());
+    cache.erase(std::string_view(*victim));  // before the node dies
+    recency.erase(victim);
+    ++evicted;
+  }
+}
+
+template <typename V>
+bool ConcurrentServer::Shard<V>::drop(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(std::string_view(key));
+  if (it == cache.end()) return false;
+  auto pos = it->second.pos;
+  cache.erase(it);  // before the node dies (the key views into it)
+  recency.erase(pos);
+  ++evicted;
+  return true;
+}
+
 ConcurrentServer::ConcurrentServer(const SnapshotStore& store,
-                                   std::size_t shards)
-    : store_(&store), n_shards_(shards == 0 ? 1 : shards) {
+                                   std::size_t shards, CacheLimits limits)
+    : store_(&store), n_shards_(shards == 0 ? 1 : shards), limits_(limits) {
   std::shared_ptr<const SiteSnapshot> current = store.current();
   if (current == nullptr) {
     throw SemanticError(
@@ -17,11 +66,11 @@ ConcurrentServer::ConcurrentServer(const SnapshotStore& store,
         "yet (serve the engine first)");
   }
   base_ = current->base();
-  shards_ = std::make_unique<Shard[]>(n_shards_);
+  shards_ = std::make_unique<BaseShard[]>(n_shards_);
   overlay_shards_ = std::make_unique<OverlayShard[]>(n_shards_);
 }
 
-ConcurrentServer::Shard& ConcurrentServer::shard_for(
+ConcurrentServer::BaseShard& ConcurrentServer::shard_for(
     std::string_view key) const {
   return shards_[std::hash<std::string_view>{}(key) % n_shards_];
 }
@@ -35,20 +84,18 @@ site::Response ConcurrentServer::get(std::string_view uri_or_path) const {
   // Same cache-key policy as HypermediaServer: fragment stripped, 404s
   // never cached.
   std::string key(uri_or_path.substr(0, uri_or_path.find('#')));
-  Shard& shard = shard_for(key);
+  BaseShard& shard = shard_for(key);
   shard.requests.fetch_add(1, std::memory_order_relaxed);
 
   const std::uint64_t current_epoch = store_->epoch();
   bool was_stale = false;
-  {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    if (auto it = shard.cache.find(key); it != shard.cache.end()) {
-      if (it->second.epoch == current_epoch) {
-        shard.hits.fetch_add(1, std::memory_order_relaxed);
-        return it->second.response;
-      }
-      was_stale = true;  // refilled below, outside the lock
+  Entry cached;
+  if (shard.lookup(key, cached)) {
+    if (cached.epoch == current_epoch) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      return cached.response;
     }
+    was_stale = true;  // refilled below, outside the lock
   }
 
   // Miss or stale: resolve against the snapshot that is current NOW.
@@ -62,14 +109,13 @@ site::Response ConcurrentServer::get(std::string_view uri_or_path) const {
     if (was_stale) {
       // The path existed in an older epoch but is gone now: retire the
       // stale entry rather than serving it forever.
-      std::lock_guard<std::mutex> lock(shard.mutex);
-      shard.cache.erase(key);
+      (void)shard.drop(key);
     }
     return r;
   }
   if (was_stale) shard.stale_refills.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  shard.cache[std::move(key)] = Entry{r, snap->epoch()};
+  shard.store(std::move(key), Entry{r, snap->epoch()},
+              limits_.base_entries_per_shard);
   return r;
 }
 
@@ -96,15 +142,8 @@ site::Response ConcurrentServer::get(std::string_view uri_or_path,
   // Copy the entry out under the lock; validate OUTSIDE it — the
   // validity probe does snapshot lookups and allocates, and holding the
   // shard mutex across that would serialize every request hashing here.
-  bool had_entry = false;
   OverlayEntry cached;
-  {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    if (auto it = shard.cache.find(key); it != shard.cache.end()) {
-      cached = it->second;
-      had_entry = true;
-    }
-  }
+  const bool had_entry = shard.lookup(key, cached);
   OverlayValidity checked;  // current validity for the cached entry's path
   if (had_entry) {
     checked = snap->overlay_validity(*resolved, cached.path);
@@ -119,15 +158,12 @@ site::Response ConcurrentServer::get(std::string_view uri_or_path,
   site::Response r = snap->respond_as(*resolved, request, &path);
   if (!r.ok()) {
     shard.not_found.fetch_add(1, std::memory_order_relaxed);
-    if (had_entry) {
-      std::lock_guard<std::mutex> lock(shard.mutex);
-      shard.cache.erase(key);
-    }
+    if (had_entry) (void)shard.drop(key);
     return r;
   }
-  shard.renders.fetch_add(1, std::memory_order_relaxed);
+  shard.resolves.fetch_add(1, std::memory_order_relaxed);
   if (had_entry) {
-    shard.stale_renders.fetch_add(1, std::memory_order_relaxed);
+    shard.stale_refills.fetch_add(1, std::memory_order_relaxed);
   }
   // The stale path already computed this entry's validity (requests
   // almost always resolve to the same site path as before).
@@ -135,18 +171,24 @@ site::Response ConcurrentServer::get(std::string_view uri_or_path,
                      had_entry && cached.path == path
                          ? std::move(checked)
                          : snap->overlay_validity(*resolved, path)};
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  shard.cache[std::move(key)] = std::move(entry);
+  shard.store(std::move(key), std::move(entry),
+              limits_.overlay_entries_per_shard);
   return r;
 }
 
 ConcurrentServer::Stats ConcurrentServer::stats() const {
   Stats s;
+  s.base_cap_per_shard = limits_.base_entries_per_shard;
+  s.overlay_cap_per_shard = limits_.overlay_entries_per_shard;
   for (std::size_t i = 0; i < n_shards_; ++i) {
-    const Shard& shard = shards_[i];
+    const BaseShard& shard = shards_[i];
     {
+      // One lock per shard samples the residency ledger coherently:
+      // inserted == entries + evicted holds in the aggregate too.
       std::lock_guard<std::mutex> lock(shard.mutex);
       s.cached_entries += shard.cache.size();
+      s.cache_inserted += shard.inserted;
+      s.cache_evicted += shard.evicted;
     }
     // hits/resolves before requests: per shard, requests >= hits +
     // resolves stays true in the sample.
@@ -161,11 +203,13 @@ ConcurrentServer::Stats ConcurrentServer::stats() const {
     {
       std::lock_guard<std::mutex> lock(shard.mutex);
       s.overlay_entries += shard.cache.size();
+      s.overlay_inserted += shard.inserted;
+      s.overlay_evicted += shard.evicted;
     }
     s.overlay_hits += shard.hits.load(std::memory_order_relaxed);
-    s.overlay_renders += shard.renders.load(std::memory_order_relaxed);
+    s.overlay_renders += shard.resolves.load(std::memory_order_relaxed);
     s.overlay_stale_renders +=
-        shard.stale_renders.load(std::memory_order_relaxed);
+        shard.stale_refills.load(std::memory_order_relaxed);
     s.overlay_not_found += shard.not_found.load(std::memory_order_relaxed);
     s.overlay_requests += shard.requests.load(std::memory_order_relaxed);
   }

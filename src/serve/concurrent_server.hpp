@@ -1,24 +1,33 @@
 // ConcurrentServer: many-reader GET over the current published snapshot.
 //
 // The hot path is: probe one cache shard (one striped mutex, held for a
-// map lookup), and on a hit whose epoch is current, return the shared
-// response. Misses and stale entries acquire the current snapshot (one
-// atomic refcount bump — never a wait on the writer) and resolve against
-// it. The single-site HypermediaServer keeps ONE cache mutex, which is
-// exactly what this replaces for concurrent traffic: N mutex-striped
-// shards, so readers on different shards never contend, with per-shard
-// hit/miss counters aggregated on stats().
+// map lookup + an LRU splice), and on a hit whose epoch is current,
+// return the shared response. Misses and stale entries acquire the
+// current snapshot (one atomic refcount bump — never a wait on the
+// writer) and resolve against it. The single-site HypermediaServer keeps
+// ONE cache mutex, which is exactly what this replaces for concurrent
+// traffic: N mutex-striped shards, so readers on different shards never
+// contend, with per-shard hit/miss counters aggregated on stats().
 //
 // Invalidation is by epoch, not by path: writers publish a whole new
 // snapshot, every cached entry carries the epoch it was resolved
 // against, and an entry whose epoch lags the store's is refilled on next
 // touch. No publication ever blocks a reader, and no reader can observe
 // a mix of two epochs in one response.
+//
+// Both cache layers are bounded: CacheLimits caps the entries each
+// shard may hold, evicting least-recently-touched entries past the cap
+// (a zero cap degenerates to pass-through — every request resolves
+// against the snapshot, nothing is retained). The ROADMAP's
+// heavy-traffic north star is why: the overlay layer is keyed by
+// (profile, request) and would otherwise grow as profiles × pages.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -32,14 +41,35 @@
 
 namespace navsep::serve {
 
+/// Per-shard entry caps for the two cache layers. kUnbounded (the
+/// default) disables eviction; 0 disables caching entirely
+/// (pass-through: correct, just never warm). A server with S shards
+/// holds at most S × cap entries per layer.
+struct CacheLimits {
+  static constexpr std::size_t kUnbounded =
+      std::numeric_limits<std::size_t>::max();
+
+  std::size_t base_entries_per_shard = kUnbounded;
+  std::size_t overlay_entries_per_shard = kUnbounded;
+};
+
 class ConcurrentServer final : public site::PageService {
  public:
   /// Counters, one coherent-enough sample across shards. requests >=
   /// cache_hits + snapshot_resolves holds per shard (hits/resolves are
   /// summed before requests). The overlay_* counters cover the
   /// profile-scoped layer (get(uri, profile)); its entries retire by
-  /// content-handle validity, not by epoch, so a publication that leaves
-  /// a profile's inputs untouched costs it nothing.
+  /// slice-precise content validity (serve::OverlayValidity), not by
+  /// epoch, so a publication that leaves a profile's inputs untouched
+  /// costs it nothing.
+  ///
+  /// The residency ledger reconciles exactly: per layer,
+  /// `inserted == entries + evicted` — inserted counts first-time key
+  /// insertions, evicted counts every removal (LRU-capacity eviction
+  /// AND staleness retirement of a path that 404s in the current
+  /// snapshot); refreshing an existing key in place is neither.
+  /// inserted/evicted/entries are sampled under each shard's lock, so
+  /// the ledger balances even while traffic runs.
   struct Stats {
     std::size_t requests = 0;
     std::size_t cache_hits = 0;         ///< served from a fresh shard entry
@@ -48,6 +78,8 @@ class ConcurrentServer final : public site::PageService {
                                         ///< entry from an older epoch
     std::size_t not_found = 0;          ///< 404s
     std::size_t cached_entries = 0;     ///< live entries across shards
+    std::size_t cache_inserted = 0;     ///< entries ever added
+    std::size_t cache_evicted = 0;      ///< entries ever removed
     std::uint64_t epoch = 0;            ///< store epoch at sample time
 
     std::size_t overlay_requests = 0;
@@ -57,13 +89,21 @@ class ConcurrentServer final : public site::PageService {
                                             ///< invalidated entry
     std::size_t overlay_not_found = 0;      ///< profile-scoped 404s
     std::size_t overlay_entries = 0;        ///< live overlay entries
+    std::size_t overlay_inserted = 0;       ///< overlay entries ever added
+    std::size_t overlay_evicted = 0;        ///< overlay entries ever removed
+
+    /// The configured caps, echoed for dashboards (kUnbounded when off).
+    std::size_t base_cap_per_shard = CacheLimits::kUnbounded;
+    std::size_t overlay_cap_per_shard = CacheLimits::kUnbounded;
   };
 
   /// Serve over `store` (which must already have a published snapshot —
   /// the base URI is captured from it; throws navsep::SemanticError when
-  /// empty) with `shards` cache shards (clamped to at least 1).
+  /// empty) with `shards` cache shards (clamped to at least 1), each
+  /// bounded by `limits`.
   explicit ConcurrentServer(const SnapshotStore& store,
-                            std::size_t shards = kDefaultShards);
+                            std::size_t shards = kDefaultShards,
+                            CacheLimits limits = CacheLimits{});
 
   /// GET against the currently published snapshot. Thread-safe for any
   /// number of concurrent callers, including while a writer publishes.
@@ -72,13 +112,14 @@ class ConcurrentServer final : public site::PageService {
   /// GET as `profile` sees the site (SiteSnapshot::respond_as): the base
   /// page with that profile's navigation block composed late, cached in a
   /// separate striped overlay layer keyed by (profile, request).
-  /// Overlay entries are validated by content handles
-  /// (serve::OverlayValidity) rather than epoch: an entry survives any
-  /// number of publications until its page's base bytes, the structure
-  /// linkbase, or one of ITS profile's family linkbases actually change —
-  /// so a single family edit retires only the entries of profiles that
-  /// include that family. Thread-safe like get(). Throws
-  /// navsep::SemanticError for an unregistered profile name.
+  /// Overlay entries are validated slice-precisely
+  /// (serve::OverlayValidity: base-bytes handle + per-(page, family)
+  /// slice hashes) rather than by epoch: an entry survives any number of
+  /// publications until its page's base bytes or one of ITS profile's
+  /// arc slices FOR THAT PAGE actually change — so a single family edit
+  /// retires only the entries of including profiles on pages the edit
+  /// touched. Thread-safe like get(). Throws navsep::SemanticError for
+  /// an unregistered profile name.
   [[nodiscard]] site::Response get(std::string_view uri_or_path,
                                    std::string_view profile) const;
 
@@ -103,9 +144,10 @@ class ConcurrentServer final : public site::PageService {
     return store_->epoch();
   }
   [[nodiscard]] std::size_t shard_count() const noexcept { return n_shards_; }
+  [[nodiscard]] const CacheLimits& limits() const noexcept { return limits_; }
 
   /// Aggregate the per-shard counters (locks each shard briefly for its
-  /// entry count; counter loads are ordered per shard, see Stats).
+  /// residency ledger; counter loads are ordered per shard, see Stats).
   [[nodiscard]] Stats stats() const;
 
   static constexpr std::size_t kDefaultShards = 16;
@@ -117,47 +159,61 @@ class ConcurrentServer final : public site::PageService {
   };
 
   /// One profile-scoped cached response: what was served, the site path
-  /// the request resolved to, and the content handles it was composed
-  /// from. Valid while the current snapshot reports pointer-identical
-  /// handles for (profile, path); the held handles pin the old bytes, so
-  /// the pointer comparison can never hit recycled addresses.
+  /// the request resolved to, and the validity token it was composed
+  /// under (base-bytes handle + slice hashes — see OverlayValidity).
   struct OverlayEntry {
     site::Response response;
     std::string path;
     OverlayValidity validity;
   };
 
-  /// One cache stripe. Counters live with the shard so the hot path
-  /// touches exactly one cache line set; alignment keeps shards from
-  /// false-sharing each other.
+  /// One bounded LRU cache stripe. Counters live with the shard so the
+  /// hot path touches exactly one cache line set; alignment keeps shards
+  /// from false-sharing each other. The recency list and the residency
+  /// ledger (inserted/evicted) mutate only under the mutex; the traffic
+  /// counters are atomics bumped outside it.
+  template <typename V>
   struct alignas(64) Shard {
     mutable std::mutex mutex;
-    std::unordered_map<std::string, Entry> cache;
+    /// Keys, most-recently-touched first; map values point into it.
+    std::list<std::string> recency;
+    struct Slot {
+      V value;
+      std::list<std::string>::iterator pos;
+    };
+    std::unordered_map<std::string_view, Slot> cache;
+    std::size_t inserted = 0;  // guarded by mutex
+    std::size_t evicted = 0;   // guarded by mutex
     std::atomic<std::size_t> requests{0};
     std::atomic<std::size_t> hits{0};
     std::atomic<std::size_t> resolves{0};
     std::atomic<std::size_t> stale_refills{0};
     std::atomic<std::size_t> not_found{0};
+
+    /// Copy the entry for `key` out (touching it to the recency front);
+    /// false on miss.
+    bool lookup(const std::string& key, V& out);
+
+    /// Insert or refresh `key` under `cap` (evicting the LRU tail past
+    /// it; cap 0 = pass-through, nothing retained).
+    void store(std::string key, V value, std::size_t cap);
+
+    /// Drop `key` (counted as an eviction — the ledger's "removed for
+    /// any reason" side). False when absent.
+    bool drop(const std::string& key);
   };
 
-  /// One overlay stripe — same layout, keyed by (profile, request).
-  struct alignas(64) OverlayShard {
-    mutable std::mutex mutex;
-    std::unordered_map<std::string, OverlayEntry> cache;
-    std::atomic<std::size_t> requests{0};
-    std::atomic<std::size_t> hits{0};
-    std::atomic<std::size_t> renders{0};
-    std::atomic<std::size_t> stale_renders{0};
-    std::atomic<std::size_t> not_found{0};
-  };
+  using BaseShard = Shard<Entry>;
+  using OverlayShard = Shard<OverlayEntry>;
 
-  [[nodiscard]] Shard& shard_for(std::string_view key) const;
+  [[nodiscard]] BaseShard& shard_for(std::string_view key) const;
   [[nodiscard]] OverlayShard& overlay_shard_for(std::string_view key) const;
 
   const SnapshotStore* store_;
   std::string base_;
   std::size_t n_shards_;
-  std::unique_ptr<Shard[]> shards_;
+  CacheLimits limits_;
+  std::unique_ptr<BaseShard[]> shards_;
   std::unique_ptr<OverlayShard[]> overlay_shards_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "html/html.hpp"
+#include "nav/buildgraph.hpp"
 #include "uri/uri.hpp"
 #include "xlink/model.hpp"
 #include "xml/dom.hpp"
@@ -14,6 +15,25 @@ namespace navsep::serve {
 namespace {
 
 const std::vector<SnapshotArc> kNoArcs{};
+
+/// Hash of a profile's family-name list (order-sensitive — family order
+/// is compose order).
+std::uint64_t profile_token(const nav::Profile& profile) {
+  std::uint64_t token = 0x70f17e5ull;
+  for (const std::string& name : profile.families) {
+    token = nav::hash_combine(token, nav::hash_bytes(name));
+  }
+  return token;
+}
+
+/// Slice hash of `path` within one source's per-page table (null table =
+/// the source authored no arcs; missing page = empty slice).
+std::uint64_t slice_hash_for(const PageSliceHashes* hashes,
+                             std::string_view path) {
+  if (hashes == nullptr) return kEmptySliceHash;
+  auto it = hashes->find(path);
+  return it == hashes->end() ? kEmptySliceHash : it->second;
+}
 
 /// The woven navigation container's opening tag, byte-exact as the HTML
 /// writer emits it (class is its only attribute) — derived from the
@@ -53,6 +73,16 @@ std::pair<std::size_t, std::size_t> navigation_block_range(
 }
 
 }  // namespace
+
+std::uint64_t combine_arc_slice(std::uint64_t slice,
+                                const core::NavArc& arc) noexcept {
+  std::uint64_t a = nav::hash_bytes(arc.from);
+  a = nav::hash_combine(a, nav::hash_bytes(arc.to));
+  a = nav::hash_combine(a, nav::hash_bytes(arc.role));
+  a = nav::hash_combine(a, nav::hash_bytes(arc.title));
+  a = nav::hash_combine(a, nav::hash_bytes(arc.context));
+  return nav::hash_combine(slice, a);
+}
 
 SiteSnapshot::SiteSnapshot(const site::VirtualSite& site,
                            const xlink::TraversalGraph& graph,
@@ -95,13 +125,10 @@ SiteSnapshot::SiteSnapshot(const site::VirtualSite& site,
   profiles_ = std::move(overlays.profiles);
   if (overlays.arcs == nullptr) return;
   overlay_arcs_ = std::move(overlays.arcs);
-  structure_linkbase_ = body(overlays.structure_source);
   families_.reserve(overlays.families.size());
   for (SnapshotOverlayInputs::Family& family : overlays.families) {
-    families_.push_back(FamilySlice{std::move(family.name),
-                                    family.source,
-                                    body(family.source),
-                                    {}});
+    families_.push_back(
+        FamilySlice{std::move(family.name), family.source, {}, nullptr});
   }
   for (const core::NavArc& arc : *overlay_arcs_) {
     ArcSlice* slice = nullptr;
@@ -115,6 +142,29 @@ SiteSnapshot::SiteSnapshot(const site::VirtualSite& site,
       slice = &it->arcs_by_page;
     }
     (*slice)[core::default_href_for(arc.from)].push_back(&arc);
+  }
+
+  // Slice hashes: normally threaded from the engine's arc-table rebuild;
+  // a snapshot built without them (direct construction) derives its own
+  // through the same combine_arc_slice fold.
+  if (overlays.slice_hashes != nullptr) {
+    slice_hashes_ = std::move(overlays.slice_hashes);
+  } else {
+    auto derived = std::make_shared<SourceSliceHashes>();
+    for (const core::NavArc& arc : *overlay_arcs_) {
+      auto [it, inserted] = (*derived)[arc.source].emplace(
+          core::default_href_for(arc.from), kEmptySliceHash);
+      it->second = combine_arc_slice(it->second, arc);
+    }
+    slice_hashes_ = std::move(derived);
+  }
+  auto find_hashes = [&](std::string_view source) -> const PageSliceHashes* {
+    auto it = slice_hashes_->find(source);
+    return it == slice_hashes_->end() ? nullptr : &it->second;
+  };
+  structure_hashes_ = find_hashes(overlays.structure_source);
+  for (FamilySlice& family : families_) {
+    family.hashes = find_hashes(family.source);
   }
 }
 
@@ -150,14 +200,16 @@ OverlayValidity SiteSnapshot::overlay_validity(const nav::Profile& profile,
                                                std::string_view path) const {
   OverlayValidity validity;
   validity.base_body = body(path);
-  validity.linkbases.reserve(profile.families.size() + 1);
-  validity.linkbases.push_back(structure_linkbase_);
+  validity.profile_token = profile_token(profile);
+  validity.structure_slice = slice_hash_for(structure_hashes_, path);
+  validity.family_slices.reserve(profile.families.size());
   for (const std::string& family_name : profile.families) {
     auto it = std::find_if(
         families_.begin(), families_.end(),
         [&](const FamilySlice& f) { return f.name == family_name; });
-    validity.linkbases.push_back(it == families_.end() ? nullptr
-                                                       : it->linkbase);
+    validity.family_slices.push_back(
+        it == families_.end() ? kUnknownSliceHash
+                              : slice_hash_for(it->hashes, path));
   }
   return validity;
 }

@@ -59,6 +59,33 @@ struct SnapshotArc {
   bool traversable = true;  // false for show=none / actuate=none arcs
 };
 
+/// Per-page content hashes of one linkbase's arc slice: site path of the
+/// page the arcs leave → hash of those arcs' rendered-relevant fields
+/// (from/to/role/title/context, in slice order). Absent pages have an
+/// empty slice (kEmptySliceHash).
+using PageSliceHashes = std::map<std::string, std::uint64_t, std::less<>>;
+
+/// Slice hashes for every linkbase source: NavArc::source → per-page
+/// hashes. Produced by the engine's arc-table rebuild (the same pass
+/// that feeds the build graph's per-page slice nodes) and shared into
+/// every published snapshot.
+using SourceSliceHashes = std::map<std::string, PageSliceHashes, std::less<>>;
+
+/// Hash of a slice no arc contributes to (a page the linkbase never
+/// mentions). Distinct from kUnknownSliceHash so "family exists, page
+/// has no arcs" never aliases "family unknown to this snapshot".
+inline constexpr std::uint64_t kEmptySliceHash = 0x9e3779b97f4a7c15ull;
+
+/// Hash standing in for a linkbase/family this snapshot doesn't know.
+inline constexpr std::uint64_t kUnknownSliceHash = 0xc2b2ae3d27d4eb4full;
+
+/// Fold one arc into a slice hash (order-sensitive — slice order is
+/// render order). THE slice-hash producer: the engine's arc-table
+/// rebuild and the snapshot's fallback both call it, so the two sides
+/// can never drift.
+[[nodiscard]] std::uint64_t combine_arc_slice(std::uint64_t slice,
+                                              const core::NavArc& arc) noexcept;
+
 /// The navigation-overlay inputs a snapshot carries beyond the site
 /// bytes: the combined authored arc set (with per-linkbase provenance in
 /// NavArc::source), which linkbase belongs to which context family, and
@@ -81,21 +108,39 @@ struct SnapshotOverlayInputs {
   std::vector<Family> families;  ///< in engine (weave) order
 
   std::vector<nav::Profile> profiles;  ///< registered at capture time
+
+  /// Per-(linkbase, page) slice hashes, threaded from the engine's
+  /// arc-table rebuild. When null the snapshot derives them itself from
+  /// `arcs` (same combine_arc_slice fold, so the result is identical).
+  std::shared_ptr<const SourceSliceHashes> slice_hashes;
 };
 
-/// What one cached overlay response depends on, as shared content
-/// handles: the page's base bytes, then the structure linkbase and the
-/// profile's family linkbases (in profile order). Site artifacts are
-/// swapped — never mutated — on change, so pointer equality of every
-/// member guarantees byte-identical overlay output; holding the handles
-/// pins the old bytes, which keeps the comparison ABA-safe.
+/// What one cached overlay response depends on, slice-precise: the
+/// page's base bytes (a shared content handle — artifacts are swapped,
+/// never mutated, so pointer identity is content identity), plus content
+/// hashes of exactly the arc slices the overlay composes from — the
+/// structure's arcs leaving THIS page and each profile family's arcs
+/// leaving THIS page, in profile order. A family edit therefore retires
+/// only entries whose rendered navigation actually changed: pages whose
+/// (page, family) slice the edit never touched keep hitting, as do all
+/// entries of profiles excluding the family. profile_token pins the
+/// profile's family list itself, so replacing a profile by name can
+/// never revalidate an entry composed under the old definition.
+///
+/// Hash equality stands in for content equality — the same convention
+/// (and the same 2⁻⁶⁴ collision budget) as the build graph's early
+/// cutoff, which already gates page re-weaves on these hashes.
 struct OverlayValidity {
   std::shared_ptr<const std::string> base_body;
-  std::vector<std::shared_ptr<const std::string>> linkbases;
+  std::uint64_t profile_token = 0;    ///< hash of the profile's family list
+  std::uint64_t structure_slice = 0;  ///< structure arcs leaving the page
+  std::vector<std::uint64_t> family_slices;  ///< per profile family
 
   [[nodiscard]] bool same_content(const OverlayValidity& other) const {
-    // shared_ptr equality is pointer identity — exactly the semantics.
-    return base_body == other.base_body && linkbases == other.linkbases;
+    return base_body == other.base_body &&
+           profile_token == other.profile_token &&
+           structure_slice == other.structure_slice &&
+           family_slices == other.family_slices;
   }
 };
 
@@ -191,9 +236,9 @@ class SiteSnapshot {
   [[nodiscard]] std::vector<const core::NavArc*> profile_arcs(
       std::string_view path, const nav::Profile& profile) const;
 
-  /// The content handles an overlay response for (profile, path) is
-  /// composed from — the cache-validity token of ConcurrentServer's
-  /// overlay layer. Null base_body when the path is absent.
+  /// The validity token of an overlay response for (profile, path): the
+  /// base-bytes handle plus the slice hashes the response composes from
+  /// (see OverlayValidity). Null base_body when the path is absent.
   [[nodiscard]] OverlayValidity overlay_validity(const nav::Profile& profile,
                                                  std::string_view path) const;
 
@@ -206,8 +251,10 @@ class SiteSnapshot {
   struct FamilySlice {
     std::string name;    // family name ("ByAuthor")
     std::string source;  // linkbase site path ("links-byauthor.xml")
-    std::shared_ptr<const std::string> linkbase;  // its bytes (identity token)
     ArcSlice arcs_by_page;
+    /// This source's per-page slice hashes (into slice_hashes_, which
+    /// pins them); null when the source authored no arcs at all.
+    const PageSliceHashes* hashes = nullptr;
   };
 
   /// Compose the overlay response body for a 200 page under `profile`
@@ -227,7 +274,8 @@ class SiteSnapshot {
 
   // Overlay state (empty without SnapshotOverlayInputs).
   std::shared_ptr<const std::vector<core::NavArc>> overlay_arcs_;
-  std::shared_ptr<const std::string> structure_linkbase_;
+  std::shared_ptr<const SourceSliceHashes> slice_hashes_;
+  const PageSliceHashes* structure_hashes_ = nullptr;  // into slice_hashes_
   ArcSlice structure_arcs_by_page_;
   std::vector<FamilySlice> families_;
   std::vector<nav::Profile> profiles_;

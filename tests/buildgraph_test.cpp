@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "nav/buildgraph.hpp"
 #include "nav/pipeline.hpp"
+#include "oracle.hpp"
 #include "site/virtual_site.hpp"
 
 namespace hm = navsep::hypermedia;
@@ -19,6 +20,8 @@ namespace nav = navsep::nav;
 namespace site = navsep::site;
 using navsep::museum::MuseumWorld;
 using navsep::museum::SyntheticSpec;
+using navsep::testing::expect_sites_identical;
+using navsep::testing::full_build_oracle;
 
 namespace {
 
@@ -158,28 +161,9 @@ TEST(BuildGraphMechanism, CycleThrows) {
 }
 
 // --- engine helpers ------------------------------------------------------------
-
-/// From-scratch oracle: author + weave the engine's current navigation
-/// design with the batch builder and demand byte-identical artifacts.
-site::VirtualSite oracle_site(const nav::Engine& engine) {
-  site::SiteBuildOptions options;
-  options.site_base = engine.server().base();
-  for (const auto& family : engine.context_families()) {
-    options.context_families.push_back(&family);
-  }
-  auto snapshot = hm::MaterializedStructure::snapshot(engine.structure());
-  return site::build_separated_site(engine.world(), *snapshot, options);
-}
-
-void expect_sites_identical(const site::VirtualSite& actual,
-                            const site::VirtualSite& expected) {
-  ASSERT_EQ(actual.paths(), expected.paths());
-  for (const auto& [path, content] : expected.artifacts()) {
-    const std::string* got = actual.get(path);
-    ASSERT_NE(got, nullptr) << path;
-    EXPECT_EQ(*got, content) << "artifact diverged: " << path;
-  }
-}
+//
+// The from-scratch oracle and the byte-identity assertion live in
+// tests/oracle.{hpp,cpp}, shared with overlay_test and stress_test.
 
 std::unique_ptr<nav::Engine> paper_engine(hm::AccessStructureKind kind) {
   return nav::SitePipeline()
@@ -206,7 +190,7 @@ std::unique_ptr<nav::Engine> synthetic_engine(std::size_t paintings,
 
 TEST(IncrementalEngine, InitialServeMatchesBatchBuild) {
   auto engine = paper_engine(hm::AccessStructureKind::IndexedGuidedTour);
-  expect_sites_identical(engine->site(), oracle_site(*engine));
+  expect_sites_identical(engine->site(), full_build_oracle(*engine));
 }
 
 TEST(IncrementalEngine, ReplaceArcReweavesExactlyOnePage) {
@@ -230,7 +214,7 @@ TEST(IncrementalEngine, ReplaceArcReweavesExactlyOnePage) {
       engine->site().get(navsep::core::default_href_for(edited.from));
   ASSERT_NE(page, nullptr);
   EXPECT_NE(page->find("Back to the collection"), std::string::npos);
-  expect_sites_identical(engine->site(), oracle_site(*engine));
+  expect_sites_identical(engine->site(), full_build_oracle(*engine));
 }
 
 TEST(IncrementalEngine, RetitleNodeReweavesOnlyReferencingPages) {
@@ -251,7 +235,7 @@ TEST(IncrementalEngine, RetitleNodeReweavesOnlyReferencingPages) {
   const std::string* guitar = engine->site().get("guitar.html");
   ASSERT_NE(guitar, nullptr);
   EXPECT_NE(guitar->find("Guernica (1937)"), std::string::npos);
-  expect_sites_identical(engine->site(), oracle_site(*engine));
+  expect_sites_identical(engine->site(), full_build_oracle(*engine));
 }
 
 TEST(IncrementalEngine, KindSwapLeavesIndexPageAlone) {
@@ -266,7 +250,7 @@ TEST(IncrementalEngine, KindSwapLeavesIndexPageAlone) {
   EXPECT_EQ(r.pages_total, members + 1);
   EXPECT_EQ(engine->structure().kind(),
             hm::AccessStructureKind::IndexedGuidedTour);
-  expect_sites_identical(engine->site(), oracle_site(*engine));
+  expect_sites_identical(engine->site(), full_build_oracle(*engine));
 }
 
 TEST(IncrementalEngine, AddNodeWeavesTheNewPage) {
@@ -290,7 +274,7 @@ TEST(IncrementalEngine, AddNodeWeavesTheNewPage) {
   EXPECT_EQ(r.pages_total, members.size() + 2);
   // New page + index page (new entry) + old tail (new Next anchor).
   EXPECT_EQ(r.pages_rewoven, 3u);
-  expect_sites_identical(engine->site(), oracle_site(*engine));
+  expect_sites_identical(engine->site(), full_build_oracle(*engine));
 
   EXPECT_THROW((void)engine->add_node(newcomer), navsep::SemanticError);
   EXPECT_THROW((void)engine->add_node("no-such-node"),
@@ -316,7 +300,7 @@ TEST(IncrementalEngine, ShrinkingTheStructureRetiresPages) {
   // The cached 200 must be gone with the page (it held a pointer into the
   // removed artifact — ASan guards the dangling case).
   EXPECT_EQ(engine->server().get(dropped_path).status, 404);
-  expect_sites_identical(engine->site(), oracle_site(*engine));
+  expect_sites_identical(engine->site(), full_build_oracle(*engine));
 }
 
 TEST(IncrementalEngine, MenuStructuresRejectKindRegeneration) {
@@ -331,7 +315,7 @@ TEST(IncrementalEngine, MenuStructuresRejectKindRegeneration) {
   auto menu = std::make_unique<hm::Menu>("floors", std::move(subs));
   (void)engine->set_access_structure(std::move(menu));  // flattened snapshot
   EXPECT_EQ(engine->structure().kind(), hm::AccessStructureKind::Menu);
-  expect_sites_identical(engine->site(), oracle_site(*engine));
+  expect_sites_identical(engine->site(), full_build_oracle(*engine));
 
   const std::string menu_member = engine->structure().members()[0].node_id;
   EXPECT_THROW((void)engine->retitle_node(menu_member, "Wing A"),
@@ -345,7 +329,7 @@ TEST(IncrementalEngine, MenuStructuresRejectKindRegeneration) {
   ASSERT_FALSE(arcs.empty());
   arcs[0].title = "Ground floor";
   (void)engine->replace_arc(0, arcs[0]);
-  expect_sites_identical(engine->site(), oracle_site(*engine));
+  expect_sites_identical(engine->site(), full_build_oracle(*engine));
 }
 
 // --- provenance ----------------------------------------------------------------
@@ -391,7 +375,7 @@ TEST(IncrementalEngine, ProvenanceFollowsAnArcEdit) {
         return a.role == hm::roles::kUp && a.to == "guernica";
       });
   EXPECT_TRUE(retargeted);
-  expect_sites_identical(engine->site(), oracle_site(*engine));
+  expect_sites_identical(engine->site(), full_build_oracle(*engine));
 }
 
 // --- stale-cache regression (navigate → mutate → re-navigate) -------------------
@@ -515,7 +499,7 @@ TEST(IncrementalEngine, RandomizedEditSequenceStaysByteIdentical) {
     }
 
     ASSERT_NO_FATAL_FAILURE(
-        expect_sites_identical(engine->site(), oracle_site(*engine)))
+        expect_sites_identical(engine->site(), full_build_oracle(*engine)))
         << "diverged after step " << step;
   }
 

@@ -1,0 +1,220 @@
+// Bounded serve caches: LRU order, the residency ledger
+// (inserted == resident + evicted), cap enforcement under churn, and the
+// zero-cap pass-through degeneration — over both layers of
+// serve::ConcurrentServer (the base epoch-validated shards and the
+// slice-validated overlay shards).
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/navigation_aspect.hpp"
+#include "hypermedia/access.hpp"
+#include "nav/pipeline.hpp"
+#include "oracle.hpp"
+#include "serve/concurrent_server.hpp"
+#include "site/virtual_site.hpp"
+
+namespace {
+
+using navsep::hypermedia::AccessStructureKind;
+namespace hm = navsep::hypermedia;
+namespace nav = navsep::nav;
+namespace serve = navsep::serve;
+namespace site = navsep::site;
+using navsep::testing::html_pages;
+using navsep::testing::profile_oracle;
+
+std::unique_ptr<nav::Engine> synthetic_engine(std::size_t paintings) {
+  return nav::SitePipeline()
+      .conceptual(navsep::museum::SyntheticSpec{.painters = 2,
+                                                .paintings_per_painter =
+                                                    paintings,
+                                                .movements = 2,
+                                                .seed = 5})
+      .access(AccessStructureKind::IndexedGuidedTour)
+      .contexts({"ByAuthor"})
+      .weave()
+      .serve();
+}
+
+/// The residency ledger must balance on BOTH layers whenever sampled at
+/// rest: every entry ever added is either still resident or was removed.
+void expect_ledger_balances(const serve::ConcurrentServer::Stats& s) {
+  EXPECT_EQ(s.cache_inserted, s.cached_entries + s.cache_evicted);
+  EXPECT_EQ(s.overlay_inserted, s.overlay_entries + s.overlay_evicted);
+}
+
+// --- LRU order ----------------------------------------------------------------
+
+TEST(CacheBounds, LruEvictsTheColdestAndTouchKeepsAlive) {
+  auto engine = synthetic_engine(4);
+  auto server = engine->open_concurrent(
+      1, serve::CacheLimits{.base_entries_per_shard = 2,
+                            .overlay_entries_per_shard = 2});
+  std::vector<std::string> pages = html_pages(*engine);
+  ASSERT_GE(pages.size(), 3u);
+  const std::string &a = pages[0], &b = pages[1], &c = pages[2];
+
+  ASSERT_TRUE(server->get(a).ok());
+  ASSERT_TRUE(server->get(b).ok());
+  ASSERT_TRUE(server->get(a).ok());  // touch: a is now the most recent
+  ASSERT_TRUE(server->get(c).ok());  // cap 2: evicts b, the coldest
+  serve::ConcurrentServer::Stats s = server->stats();
+  EXPECT_EQ(s.cached_entries, 2u);
+  EXPECT_EQ(s.cache_inserted, 3u);
+  EXPECT_EQ(s.cache_evicted, 1u);
+  expect_ledger_balances(s);
+
+  // The re-touched entry survived (hit), the evicted one re-resolves.
+  const std::size_t resolves_before = s.snapshot_resolves;
+  ASSERT_TRUE(server->get(a).ok());
+  EXPECT_EQ(server->stats().snapshot_resolves, resolves_before);
+  ASSERT_TRUE(server->get(b).ok());
+  EXPECT_EQ(server->stats().snapshot_resolves, resolves_before + 1);
+}
+
+TEST(CacheBounds, OverlayLayerEvictsLruToo) {
+  auto engine = synthetic_engine(4);
+  engine->internals().register_profile({"tour", {"ByAuthor"}});
+  auto server = engine->open_concurrent(
+      1, serve::CacheLimits{.overlay_entries_per_shard = 2});
+  std::vector<std::string> pages = html_pages(*engine);
+  ASSERT_GE(pages.size(), 3u);
+
+  ASSERT_TRUE(server->get(pages[0], "tour").ok());
+  ASSERT_TRUE(server->get(pages[1], "tour").ok());
+  ASSERT_TRUE(server->get(pages[0], "tour").ok());  // touch
+  ASSERT_TRUE(server->get(pages[2], "tour").ok());  // evicts pages[1]
+  serve::ConcurrentServer::Stats s = server->stats();
+  EXPECT_EQ(s.overlay_entries, 2u);
+  EXPECT_EQ(s.overlay_inserted, 3u);
+  EXPECT_EQ(s.overlay_evicted, 1u);
+  expect_ledger_balances(s);
+
+  const std::size_t renders_before = s.overlay_renders;
+  ASSERT_TRUE(server->get(pages[0], "tour").ok());  // survived
+  EXPECT_EQ(server->stats().overlay_renders, renders_before);
+  ASSERT_TRUE(server->get(pages[1], "tour").ok());  // was evicted
+  EXPECT_EQ(server->stats().overlay_renders, renders_before + 1);
+}
+
+// --- churn stays under the cap, bytes stay right --------------------------------
+
+TEST(CacheBounds, ChurnHoldsTheCapOnBothLayersAndServesOracleBytes) {
+  auto engine = synthetic_engine(6);
+  engine->internals().register_profile({"tour", {"ByAuthor"}});
+  engine->internals().register_profile({"kiosk", {}});
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kCap = 2;
+  auto server = engine->open_concurrent(
+      kShards, serve::CacheLimits{.base_entries_per_shard = kCap,
+                                  .overlay_entries_per_shard = kCap});
+
+  const std::map<std::string, std::string> tour_oracle =
+      profile_oracle(*engine, {"tour", {"ByAuthor"}});
+  const std::vector<std::string> pages = html_pages(*engine);
+  ASSERT_GT(pages.size(), kShards * kCap)
+      << "museum too small to overflow the capped layers";
+
+  for (int round = 0; round < 5; ++round) {
+    for (const std::string& page : pages) {
+      site::Response base = server->get(page);
+      ASSERT_TRUE(base.ok()) << page;
+      EXPECT_EQ(*base.body, *engine->site().get(page)) << page;
+      site::Response overlaid = server->get(page, "tour");
+      ASSERT_TRUE(overlaid.ok()) << page;
+      EXPECT_EQ(*overlaid.body, tour_oracle.at(page)) << page;
+    }
+    serve::ConcurrentServer::Stats s = server->stats();
+    EXPECT_LE(s.cached_entries, kShards * kCap);
+    EXPECT_LE(s.overlay_entries, kShards * kCap);
+    expect_ledger_balances(s);
+    EXPECT_GT(s.cache_evicted, 0u);  // the cap is actually being hit
+  }
+}
+
+// --- zero cap = pass-through ----------------------------------------------------
+
+TEST(CacheBounds, ZeroCapDegeneratesToPassThrough) {
+  auto engine = synthetic_engine(3);
+  engine->internals().register_profile({"tour", {"ByAuthor"}});
+  auto server = engine->open_concurrent(
+      2, serve::CacheLimits{.base_entries_per_shard = 0,
+                            .overlay_entries_per_shard = 0});
+  const std::vector<std::string> pages = html_pages(*engine);
+
+  // Every request resolves, nothing is ever retained, no hit, no
+  // deadlock — twice over the same paths to prove nothing warmed.
+  for (int round = 0; round < 2; ++round) {
+    for (const std::string& page : pages) {
+      ASSERT_TRUE(server->get(page).ok()) << page;
+      ASSERT_TRUE(server->get(page, "tour").ok()) << page;
+    }
+  }
+  serve::ConcurrentServer::Stats s = server->stats();
+  EXPECT_EQ(s.cached_entries, 0u);
+  EXPECT_EQ(s.cache_inserted, 0u);
+  EXPECT_EQ(s.cache_evicted, 0u);
+  EXPECT_EQ(s.cache_hits, 0u);
+  EXPECT_EQ(s.snapshot_resolves, 2 * pages.size());
+  EXPECT_EQ(s.overlay_entries, 0u);
+  EXPECT_EQ(s.overlay_inserted, 0u);
+  EXPECT_EQ(s.overlay_hits, 0u);
+  EXPECT_EQ(s.overlay_renders, 2 * pages.size());
+
+  // Still correct across a mutation (no stale state exists to serve).
+  (void)engine->internals().retitle_node(
+      engine->structure().members().front().node_id, "Renamed (v2)");
+  const std::string page =
+      navsep::core::default_href_for(engine->structure().members()[1].node_id);
+  EXPECT_EQ(*server->get(page).body, *engine->site().get(page));
+}
+
+// --- staleness retirement is ledgered -------------------------------------------
+
+TEST(CacheBounds, RetiredPathCountsAsEvicted) {
+  auto engine = synthetic_engine(3);
+  engine->internals().register_profile({"tour", {"ByAuthor"}});
+  auto server = engine->open_concurrent(1);
+
+  const std::string victim_node = engine->structure().members().back().node_id;
+  const std::string victim = navsep::core::default_href_for(victim_node);
+  ASSERT_TRUE(server->get(victim).ok());
+  ASSERT_TRUE(server->get(victim, "tour").ok());
+
+  std::vector<hm::Member> members = engine->structure().members();
+  members.pop_back();
+  (void)engine->internals().set_access_structure(
+      hm::make_access_structure(AccessStructureKind::Index,
+                                engine->structure().name(), members));
+  EXPECT_FALSE(server->get(victim).ok());
+  EXPECT_FALSE(server->get(victim, "tour").ok());
+  serve::ConcurrentServer::Stats s = server->stats();
+  EXPECT_GE(s.cache_evicted, 1u);
+  EXPECT_GE(s.overlay_evicted, 1u);
+  expect_ledger_balances(s);
+}
+
+// --- limits are introspectable --------------------------------------------------
+
+TEST(CacheBounds, StatsEchoTheConfiguredCaps) {
+  auto engine = synthetic_engine(2);
+  auto bounded = engine->open_concurrent(
+      2, serve::CacheLimits{.base_entries_per_shard = 7,
+                            .overlay_entries_per_shard = 3});
+  serve::ConcurrentServer::Stats s = bounded->stats();
+  EXPECT_EQ(s.base_cap_per_shard, 7u);
+  EXPECT_EQ(s.overlay_cap_per_shard, 3u);
+
+  auto unbounded = engine->open_concurrent();
+  EXPECT_EQ(unbounded->stats().base_cap_per_shard,
+            serve::CacheLimits::kUnbounded);
+  EXPECT_EQ(unbounded->limits().overlay_entries_per_shard,
+            serve::CacheLimits::kUnbounded);
+}
+
+}  // namespace

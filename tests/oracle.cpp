@@ -1,0 +1,74 @@
+#include "oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hypermedia/access.hpp"
+#include "hypermedia/context.hpp"
+
+namespace navsep::testing {
+
+site::VirtualSite full_build_oracle(const nav::Engine& engine) {
+  site::SiteBuildOptions options;
+  options.site_base = engine.server().base();
+  for (const auto& family : engine.context_families()) {
+    options.context_families.push_back(&family);
+  }
+  auto snapshot = hypermedia::MaterializedStructure::snapshot(engine.structure());
+  return site::build_separated_site(engine.world(), *snapshot, options);
+}
+
+std::map<std::string, std::string> profile_oracle(const nav::Engine& engine,
+                                                  const nav::Profile& profile) {
+  site::SiteBuildOptions options;
+  options.site_base = engine.server().base();
+  options.weave_context_tours = true;
+  for (const std::string& name : profile.families) {
+    for (const hypermedia::ContextFamily& family : engine.context_families()) {
+      if (family.name() == name) options.context_families.push_back(&family);
+    }
+  }
+  site::VirtualSite built =
+      site::build_separated_site(engine.world(), engine.structure(), options);
+  std::map<std::string, std::string> out;
+  for (auto& [path, content] : built.artifacts()) out.emplace(path, content);
+  return out;
+}
+
+void expect_sites_identical(const site::VirtualSite& actual,
+                            const site::VirtualSite& expected) {
+  ASSERT_EQ(actual.paths(), expected.paths());
+  for (const auto& [path, content] : expected.artifacts()) {
+    const std::string* got = actual.get(path);
+    ASSERT_NE(got, nullptr) << path;
+    EXPECT_EQ(*got, content) << "artifact diverged: " << path;
+  }
+}
+
+void expect_profile_matches_oracle(const nav::Engine& engine,
+                                   const serve::ConcurrentServer& server,
+                                   const nav::Profile& profile) {
+  const std::map<std::string, std::string> oracle =
+      profile_oracle(engine, profile);
+  for (const auto& [path, bytes] : oracle) {
+    site::Response r = server.get(path, profile.name);
+    ASSERT_TRUE(r.ok()) << profile.name << " " << path;
+    EXPECT_EQ(*r.body, bytes) << profile.name << " " << path;
+  }
+  for (const std::string& path : engine.site().paths()) {
+    if (oracle.find(path) != oracle.end()) continue;
+    EXPECT_FALSE(server.get(path, profile.name).ok())
+        << profile.name << " must not see " << path;
+  }
+}
+
+std::vector<std::string> html_pages(const nav::Engine& engine) {
+  std::vector<std::string> pages;
+  for (const std::string& path : engine.site().paths()) {
+    if (path.size() > 5 && path.rfind(".html") == path.size() - 5) {
+      pages.push_back(path);
+    }
+  }
+  return pages;
+}
+
+}  // namespace navsep::testing

@@ -1,0 +1,49 @@
+// The byte-identity oracles shared by the incremental/serving test
+// suites (buildgraph_test, overlay_test, stress_test).
+//
+// The repo's correctness contract is byte-level: whatever the
+// incremental build graph, the epoch-published snapshots or the
+// profile-overlay compositor serve must equal what a full
+// single-threaded build_separated_site would produce for the same
+// authored state. These helpers build that oracle from a live engine
+// and assert the identity, so every suite checks the same property
+// through the same code path.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "nav/pipeline.hpp"
+#include "nav/profile.hpp"
+#include "serve/concurrent_server.hpp"
+#include "site/virtual_site.hpp"
+
+namespace navsep::testing {
+
+/// From-scratch oracle: author + weave the engine's current navigation
+/// design (ALL context families) with the batch builder. The engine's
+/// incremental site() must be byte-identical to this.
+[[nodiscard]] site::VirtualSite full_build_oracle(const nav::Engine& engine);
+
+/// Per-profile oracle: a full single-threaded build weaving ONLY
+/// `profile`'s families (weave_context_tours), as path → bytes. The
+/// overlay-serving path must be byte-identical to this.
+[[nodiscard]] std::map<std::string, std::string> profile_oracle(
+    const nav::Engine& engine, const nav::Profile& profile);
+
+/// Assert `actual` and `expected` hold the same paths with the same
+/// bytes (gtest fatal on path-set mismatch, per-path EXPECT otherwise).
+void expect_sites_identical(const site::VirtualSite& actual,
+                            const site::VirtualSite& expected);
+
+/// Assert the profile-scoped server agrees with profile_oracle() on
+/// EVERY path: oracle paths byte-identical, engine-site paths outside
+/// the oracle (other families' linkbases) 404.
+void expect_profile_matches_oracle(const nav::Engine& engine,
+                                   const serve::ConcurrentServer& server,
+                                   const nav::Profile& profile);
+
+/// The engine's served .html page paths (the overlay-cacheable set).
+[[nodiscard]] std::vector<std::string> html_pages(const nav::Engine& engine);
+
+}  // namespace navsep::testing

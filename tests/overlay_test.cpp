@@ -22,6 +22,7 @@
 #include "hypermedia/context.hpp"
 #include "nav/pipeline.hpp"
 #include "nav/profile.hpp"
+#include "oracle.hpp"
 #include "serve/concurrent_server.hpp"
 #include "serve/snapshot.hpp"
 #include "serve/workload.hpp"
@@ -34,6 +35,9 @@ namespace hm = navsep::hypermedia;
 namespace nav = navsep::nav;
 namespace serve = navsep::serve;
 namespace site = navsep::site;
+using navsep::testing::expect_profile_matches_oracle;
+using navsep::testing::html_pages;
+using navsep::testing::profile_oracle;
 
 std::unique_ptr<nav::Engine> paper_engine() {
   return nav::SitePipeline()
@@ -71,44 +75,9 @@ std::vector<nav::Profile> register_standard_profiles(nav::Engine& engine) {
   return profiles;
 }
 
-/// The oracle: a full single-threaded build weaving only `profile`'s
-/// families, as path → bytes.
-std::map<std::string, std::string> oracle_site(const nav::Engine& engine,
-                                               const nav::Profile& profile) {
-  site::SiteBuildOptions options;
-  options.site_base = engine.server().base();
-  options.weave_context_tours = true;
-  for (const std::string& name : profile.families) {
-    for (const hm::ContextFamily& family : engine.context_families()) {
-      if (family.name() == name) options.context_families.push_back(&family);
-    }
-  }
-  site::VirtualSite built = site::build_separated_site(
-      engine.world(), engine.structure(), options);
-  std::map<std::string, std::string> out;
-  for (auto& [path, content] : built.artifacts()) out.emplace(path, content);
-  return out;
-}
-
-/// Assert the profile-scoped server agrees with the oracle on EVERY
-/// path: oracle paths byte-identical, engine-site paths outside the
-/// oracle (other families' linkbases) 404.
-void expect_profile_matches_oracle(const nav::Engine& engine,
-                                   const serve::ConcurrentServer& server,
-                                   const nav::Profile& profile) {
-  const std::map<std::string, std::string> oracle =
-      oracle_site(engine, profile);
-  for (const auto& [path, bytes] : oracle) {
-    site::Response r = server.get(path, profile.name);
-    ASSERT_TRUE(r.ok()) << profile.name << " " << path;
-    EXPECT_EQ(*r.body, bytes) << profile.name << " " << path;
-  }
-  for (const std::string& path : engine.site().paths()) {
-    if (oracle.find(path) != oracle.end()) continue;
-    EXPECT_FALSE(server.get(path, profile.name).ok())
-        << profile.name << " must not see " << path;
-  }
-}
+// The per-profile oracle and the every-path assertion live in
+// tests/oracle.{hpp,cpp} (profile_oracle / expect_profile_matches_oracle),
+// shared with stress_test.
 
 // --- the byte-identity oracle -------------------------------------------------
 
@@ -308,28 +277,31 @@ TEST(OverlayCache, HitsAreSharedBytesAcrossRepeats) {
   EXPECT_EQ(s.overlay_entries, 1u);
 }
 
-TEST(OverlayCache, FamilyEditRetiresOnlyThatFamilysEntries) {
+TEST(OverlayCache, FamilyEditRetiresOnlyTouchedSlices) {
+  // The slice-precision property, end to end: ONE family edit retires
+  // overlay entries only for pages whose (page, family) arc slice the
+  // edit actually changed — pages of other contexts in the SAME family
+  // keep hitting, as does every entry of a profile excluding the family.
   auto engine = synthetic_engine(4);
   engine->internals().register_profile({"tour", {"ByAuthor"}});
   engine->internals().register_profile({"curator", {"ByMovement"}});
   auto server = engine->open_concurrent();
 
-  // Warm every page for both profiles.
-  std::vector<std::string> pages;
-  for (const std::string& path : engine->site().paths()) {
-    if (path.size() > 5 && path.rfind(".html") == path.size() - 5) {
-      pages.push_back(path);
-    }
-  }
+  // Warm every page for both profiles, keeping the tour bodies so the
+  // touched set can be computed from what actually changed.
+  const std::vector<std::string> pages = html_pages(*engine);
+  std::map<std::string, std::string> tour_before;
   for (const std::string& page : pages) {
-    ASSERT_TRUE(server->get(page, "tour").ok()) << page;
+    site::Response r = server->get(page, "tour");
+    ASSERT_TRUE(r.ok()) << page;
+    tour_before.emplace(page, *r.body);
     ASSERT_TRUE(server->get(page, "curator").ok()) << page;
   }
   const serve::ConcurrentServer::Stats warmed = server->stats();
   EXPECT_EQ(warmed.overlay_renders, 2 * pages.size());
 
-  // One family edit: zero base pages re-woven, one linkbase re-authored,
-  // a new epoch published.
+  // One family edit touching ONE context (the first painter's tour):
+  // zero base pages re-woven, one linkbase re-authored, a new epoch.
   nav::RebuildReport report = engine->internals().edit_context_family(
       "ByAuthor", [](hm::ContextFamily& family) {
         std::vector<hm::NavigationalContext> contexts = family.contexts();
@@ -343,7 +315,7 @@ TEST(OverlayCache, FamilyEditRetiresOnlyThatFamilysEntries) {
   EXPECT_EQ(report.pages_rewoven, 0u);
   EXPECT_EQ(report.linkbases_reauthored, 1u);
 
-  // The untouched profile still hits every entry...
+  // The profile excluding the family still hits every entry...
   for (const std::string& page : pages) {
     ASSERT_TRUE(server->get(page, "curator").ok());
   }
@@ -353,14 +325,112 @@ TEST(OverlayCache, FamilyEditRetiresOnlyThatFamilysEntries) {
             warmed.overlay_hits + pages.size());
   EXPECT_EQ(after_curator.overlay_stale_renders, 0u);
 
-  // ...while the edited family's profile re-renders (stale, not miss).
+  // ...and the including profile re-renders EXACTLY the pages whose
+  // served bytes changed (the edited context's members) — the other
+  // painters' pages keep their entries across the edit.
+  std::size_t touched = 0;
   for (const std::string& page : pages) {
-    ASSERT_TRUE(server->get(page, "tour").ok());
+    site::Response r = server->get(page, "tour");
+    ASSERT_TRUE(r.ok()) << page;
+    if (*r.body != tour_before.at(page)) ++touched;
   }
+  ASSERT_GT(touched, 0u);
+  ASSERT_LT(touched, pages.size())
+      << "the edit touched every page — no untouched slice to keep alive";
   serve::ConcurrentServer::Stats after_tour = server->stats();
-  EXPECT_EQ(after_tour.overlay_stale_renders, pages.size());
+  EXPECT_EQ(after_tour.overlay_stale_renders, touched);
   EXPECT_EQ(after_tour.overlay_renders,
-            after_curator.overlay_renders + pages.size());
+            after_curator.overlay_renders + touched);
+  EXPECT_EQ(after_tour.overlay_hits, after_curator.overlay_hits +
+                                         (pages.size() - touched));
+}
+
+TEST(OverlayCache, UntouchedSliceEntriesSurviveByHash) {
+  // The slice-hash mechanism directly: after a one-context family edit,
+  // overlay_validity for an untouched page is same_content() with the
+  // pre-edit token, while a touched page's is not — and only the edited
+  // family's slot moved.
+  auto engine = synthetic_engine(3);
+  engine->internals().register_profile({"tour", {"ByAuthor"}});
+  const nav::Profile profile{"tour", {"ByAuthor"}};
+
+  std::shared_ptr<const serve::SiteSnapshot> before =
+      engine->snapshots().current();
+  std::vector<std::string> first_context_ids;
+  for (const hm::ContextFamily& family : engine->context_families()) {
+    if (family.name() == "ByAuthor") {
+      first_context_ids = family.contexts().front().node_ids();
+    }
+  }
+  ASSERT_GE(first_context_ids.size(), 2u);
+  const std::string touched_page =
+      navsep::core::default_href_for(first_context_ids.front());
+  // A page of another painter: its ByAuthor slice is a different context.
+  std::string untouched_page;
+  for (const std::string& page : html_pages(*engine)) {
+    if (std::none_of(first_context_ids.begin(), first_context_ids.end(),
+                     [&](const std::string& id) {
+                       return navsep::core::default_href_for(id) == page;
+                     })) {
+      untouched_page = page;
+      break;
+    }
+  }
+  ASSERT_FALSE(untouched_page.empty());
+
+  (void)engine->internals().edit_context_family(
+      "ByAuthor", [](hm::ContextFamily& family) {
+        std::vector<hm::NavigationalContext> contexts = family.contexts();
+        std::vector<std::string> ids = contexts.front().node_ids();
+        std::reverse(ids.begin(), ids.end());
+        contexts.front() = hm::NavigationalContext(
+            contexts.front().family(), contexts.front().name(),
+            std::move(ids));
+        family.replace_contexts(std::move(contexts));
+      });
+  std::shared_ptr<const serve::SiteSnapshot> after =
+      engine->snapshots().current();
+  ASSERT_NE(before.get(), after.get());
+
+  const serve::OverlayValidity untouched_before =
+      before->overlay_validity(profile, untouched_page);
+  const serve::OverlayValidity untouched_after =
+      after->overlay_validity(profile, untouched_page);
+  EXPECT_TRUE(untouched_after.same_content(untouched_before));
+
+  const serve::OverlayValidity touched_before =
+      before->overlay_validity(profile, touched_page);
+  const serve::OverlayValidity touched_after =
+      after->overlay_validity(profile, touched_page);
+  EXPECT_FALSE(touched_after.same_content(touched_before));
+  // Precisely the family slice moved: base bytes, profile token and the
+  // structure slice are all unchanged by a family edit.
+  EXPECT_EQ(touched_after.base_body.get(), touched_before.base_body.get());
+  EXPECT_EQ(touched_after.profile_token, touched_before.profile_token);
+  EXPECT_EQ(touched_after.structure_slice, touched_before.structure_slice);
+  EXPECT_NE(touched_after.family_slices, touched_before.family_slices);
+}
+
+TEST(OverlayCache, ReplacingAProfileByNameInvalidatesItsEntries) {
+  // Same name, different family list: the cached entry's profile token
+  // no longer matches, so the old composition can never be served under
+  // the new definition — even though every slice hash is unchanged.
+  auto engine = synthetic_engine(3);
+  engine->internals().register_profile({"tour", {"ByAuthor"}});
+  auto server = engine->open_concurrent();
+  const std::string page =
+      navsep::core::default_href_for(engine->structure().members().front().node_id);
+  ASSERT_TRUE(server->get(page, "tour").ok());
+  const serve::ConcurrentServer::Stats warmed = server->stats();
+
+  engine->internals().register_profile({"tour", {"ByMovement"}});
+  site::Response swapped = server->get(page, "tour");
+  ASSERT_TRUE(swapped.ok());
+  serve::ConcurrentServer::Stats after = server->stats();
+  EXPECT_EQ(after.overlay_hits, warmed.overlay_hits);
+  EXPECT_EQ(after.overlay_stale_renders, warmed.overlay_stale_renders + 1);
+  EXPECT_EQ(*swapped.body,
+            profile_oracle(*engine, {"tour", {"ByMovement"}}).at(page));
 }
 
 TEST(OverlayCache, ProfileRegistrationAloneInvalidatesNothing) {
@@ -470,7 +540,7 @@ TEST(OverlayStress, ProfiledReadersSeeOnlyOracleBytesUnderFamilyEdits) {
   auto capture = [&] {
     ProfileBytes out;
     for (const nav::Profile& profile : profiles) {
-      out[profile.name] = oracle_site(*engine, profile);
+      out[profile.name] = profile_oracle(*engine, profile);
     }
     return out;
   };
@@ -536,6 +606,75 @@ TEST(OverlayStress, ProfiledReadersSeeOnlyOracleBytesUnderFamilyEdits) {
       EXPECT_EQ(*resp.body, bytes) << profile.name << " " << path;
     }
   }
+}
+
+// Invalidation precision under a concurrent editing writer (TSan-watched
+// like the stress above): readers pinned to a profile EXCLUDING the
+// edited family hammer profile-scoped GETs while the writer ping-pongs
+// that family. Not one of their cached entries may retire — every body
+// is the single pre-captured oracle, and overlay_stale_renders stays 0
+// across every epoch the writer publishes.
+TEST(OverlayStress, ExcludedProfileNeverLosesEntriesUnderFamilyEdits) {
+  auto engine = synthetic_engine(3);
+  engine->internals().register_profile({"curator", {"ByMovement"}});
+  const nav::Profile curator{"curator", {"ByMovement"}};
+  const std::map<std::string, std::string> oracle =
+      profile_oracle(*engine, curator);
+  auto server = engine->open_concurrent(8);
+
+  std::vector<std::string> paths = html_pages(*engine);
+  // Warm every entry before the writer starts so the run measures
+  // survival, not first-touch renders.
+  for (const std::string& path : paths) {
+    ASSERT_TRUE(server->get(path, "curator").ok()) << path;
+  }
+  const serve::ConcurrentServer::Stats warmed = server->stats();
+  EXPECT_EQ(warmed.overlay_renders, paths.size());
+
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> torn{0};
+  constexpr std::size_t kReaders = 4;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::size_t i = r;
+      while (!done.load(std::memory_order_acquire)) {
+        const std::string& path = paths[i++ % paths.size()];
+        site::Response resp = server->get(path, "curator");
+        if (!resp.ok() || *resp.body != oracle.at(path)) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  auto flip = [](hm::ContextFamily& family) {
+    std::vector<hm::NavigationalContext> contexts = family.contexts();
+    std::vector<std::string> ids = contexts.front().node_ids();
+    std::reverse(ids.begin(), ids.end());
+    contexts.front() = hm::NavigationalContext(
+        contexts.front().family(), contexts.front().name(), std::move(ids));
+    family.replace_contexts(std::move(contexts));
+  };
+  constexpr std::size_t kWrites = 24;
+  for (std::size_t w = 0; w < kWrites; ++w) {
+    nav::RebuildReport report =
+        engine->internals().edit_context_family("ByAuthor", flip);
+    EXPECT_EQ(report.pages_rewoven, 0u);
+    std::this_thread::yield();
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  serve::ConcurrentServer::Stats after = server->stats();
+  EXPECT_GT(after.epoch, warmed.epoch);
+  // Zero retirements: every read after warm-up was a hit on the entry
+  // composed before the writer ever ran.
+  EXPECT_EQ(after.overlay_stale_renders, 0u);
+  EXPECT_EQ(after.overlay_renders, warmed.overlay_renders);
+  EXPECT_EQ(after.overlay_evicted, 0u);
 }
 
 }  // namespace

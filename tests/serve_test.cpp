@@ -515,4 +515,101 @@ TEST(ServeStress, WorkloadSurvivesConcurrentLinkbaseEdits) {
   EXPECT_GT(engine->snapshots().epoch(), 1u);  // the writer really published
 }
 
+// --- Menu structures: failed mutations leave the served site coherent -----------
+
+// Menu arcs derive from sub-structures, not a member list, so the
+// kind-based mutation paths (set_access_structure(kind) / add_node /
+// retitle_node) refuse them with SemanticError (noted in the build-graph
+// PR). The contract under test: the refusal is an exception, not a
+// crash; it happens BEFORE any engine state moves, so no epoch is
+// published and a live ConcurrentServer keeps serving the exact
+// pre-mutation bytes — even with readers in flight — and the engine
+// accepts further (valid) mutations afterwards.
+TEST(MenuMutations, FailedKindMutationsPublishNoEpochAndReadersStayCoherent) {
+  auto engine = nav::SitePipeline()
+                    .conceptual(navsep::museum::SyntheticSpec{
+                        .painters = 2,
+                        .paintings_per_painter = 3,
+                        .movements = 2,
+                        .seed = 13})
+                    .access(AccessStructureKind::Index, "painter-0")
+                    .contexts({"ByAuthor"})
+                    .weave()
+                    .serve();
+  std::vector<std::unique_ptr<hm::AccessStructure>> subs;
+  subs.push_back(hm::make_access_structure(AccessStructureKind::Index,
+                                           "wing-a",
+                                           engine->structure().members()));
+  (void)engine->internals().set_access_structure(
+      std::make_unique<hm::Menu>("floors", std::move(subs)));
+  ASSERT_EQ(engine->structure().kind(), AccessStructureKind::Menu);
+
+  auto server = engine->open_concurrent();
+  const std::uint64_t epoch_before = server->epoch();
+  const std::map<std::string, std::string> before = site_bytes(*engine);
+
+  // A painting that is not a member (painter-1's work), for add_node.
+  std::string newcomer;
+  for (const auto* node : engine->navigation().nodes_of("PaintingNode")) {
+    const auto& members = engine->structure().members();
+    if (std::none_of(members.begin(), members.end(), [&](const auto& m) {
+          return m.node_id == node->id();
+        })) {
+      newcomer = node->id();
+      break;
+    }
+  }
+  ASSERT_FALSE(newcomer.empty());
+
+  // Readers keep traversing the live server while the writer's
+  // mutations fail; every body they see must be the pre-mutation bytes.
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> torn{0};
+  std::thread reader([&] {
+    std::size_t i = 0;
+    std::vector<std::string> paths;
+    for (const auto& [path, _] : before) paths.push_back(path);
+    while (!done.load(std::memory_order_acquire)) {
+      const std::string& path = paths[i++ % paths.size()];
+      site::Response r = server->get(path);
+      if (!r.ok() || *r.body != before.at(path)) {
+        torn.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  const std::string member = engine->structure().members().front().node_id;
+  EXPECT_THROW((void)engine->internals().retitle_node(member, "Wing A"),
+               navsep::SemanticError);
+  EXPECT_THROW((void)engine->internals().add_node(newcomer),
+               navsep::SemanticError);
+  EXPECT_THROW((void)engine->internals().set_access_structure(
+                   AccessStructureKind::Menu),
+               navsep::SemanticError);
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(server->epoch(), epoch_before);
+  EXPECT_EQ(site_bytes(*engine), before);
+  for (const auto& [path, bytes] : before) {
+    site::Response r = server->get(path);
+    ASSERT_TRUE(r.ok()) << path;
+    EXPECT_EQ(*r.body, bytes) << path;
+  }
+
+  // The engine is not wedged: arc-level edits still work on a Menu and
+  // publish a fresh epoch the server picks up.
+  std::vector<hm::AccessArc> arcs = engine->internals().authored_arcs();
+  ASSERT_FALSE(arcs.empty());
+  arcs[0].title = "Ground floor";
+  (void)engine->internals().replace_arc(0, arcs[0]);
+  EXPECT_GT(server->epoch(), epoch_before);
+  const std::string entry_page =
+      navsep::core::default_href_for(arcs[0].from);
+  site::Response after = server->get(entry_page);
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(after.body->find("Ground floor"), std::string::npos);
+}
+
 }  // namespace

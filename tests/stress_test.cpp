@@ -1,0 +1,269 @@
+// The randomized differential stress harness: one engine, a mixed
+// 100+ step mutation sequence (structure mutations, context-family
+// edits, profile (re)registration, blanket rebuilds, cache-cap churn),
+// and after EVERY step a differential check of every served body — base
+// and per-profile, through ConcurrentServers with unbounded, tightly
+// capped and zero-cap (pass-through) cache layers — against the full
+// single-threaded build oracle (tests/oracle.{hpp,cpp}).
+//
+// This is the property the whole serving stack hangs off: no sequence
+// of writer operations, and no cache-layer configuration, may ever make
+// a served byte diverge from what a from-scratch build of the current
+// authored state would produce.
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/navigation_aspect.hpp"
+#include "hypermedia/access.hpp"
+#include "hypermedia/context.hpp"
+#include "nav/pipeline.hpp"
+#include "oracle.hpp"
+#include "serve/concurrent_server.hpp"
+#include "site/virtual_site.hpp"
+
+namespace {
+
+using navsep::Rng;
+using navsep::hypermedia::AccessStructureKind;
+namespace hm = navsep::hypermedia;
+namespace nav = navsep::nav;
+namespace serve = navsep::serve;
+namespace site = navsep::site;
+using navsep::testing::expect_sites_identical;
+using navsep::testing::full_build_oracle;
+using navsep::testing::profile_oracle;
+
+/// One server under test: a ConcurrentServer plus the limits it was
+/// opened with (for the per-step cap assertions).
+struct ServerUnderTest {
+  std::string label;
+  serve::CacheLimits limits;
+  std::size_t shards = 4;
+  std::unique_ptr<serve::ConcurrentServer> server;
+};
+
+/// Every served body of `server` must equal the oracle: base paths the
+/// engine's (already oracle-checked) site bytes, profile paths the
+/// per-profile build, excluded linkbases 404.
+void expect_server_differential(
+    const ServerUnderTest& sut,
+    const std::map<std::string, std::string>& base_bytes,
+    const std::vector<std::pair<nav::Profile, std::map<std::string, std::string>>>&
+        profile_bytes,
+    int step) {
+  for (const auto& [path, bytes] : base_bytes) {
+    site::Response r = sut.server->get(path);
+    ASSERT_TRUE(r.ok()) << sut.label << " step " << step << " " << path;
+    ASSERT_EQ(*r.body, bytes) << sut.label << " step " << step << " " << path;
+  }
+  for (const auto& [profile, oracle] : profile_bytes) {
+    for (const auto& [path, bytes] : oracle) {
+      site::Response r = sut.server->get(path, profile.name);
+      ASSERT_TRUE(r.ok()) << sut.label << " step " << step << " "
+                          << profile.name << " " << path;
+      ASSERT_EQ(*r.body, bytes) << sut.label << " step " << step << " "
+                                << profile.name << " " << path;
+    }
+    for (const auto& [path, bytes] : base_bytes) {
+      if (oracle.find(path) != oracle.end()) continue;
+      ASSERT_FALSE(sut.server->get(path, profile.name).ok())
+          << sut.label << " step " << step << " " << profile.name
+          << " must not see " << path;
+    }
+  }
+  // The bounded layers must actually be bounded, and the residency
+  // ledger must balance, at every step of the churn.
+  serve::ConcurrentServer::Stats s = sut.server->stats();
+  if (sut.limits.base_entries_per_shard != serve::CacheLimits::kUnbounded) {
+    ASSERT_LE(s.cached_entries,
+              sut.limits.base_entries_per_shard * sut.shards)
+        << sut.label << " step " << step;
+  }
+  if (sut.limits.overlay_entries_per_shard != serve::CacheLimits::kUnbounded) {
+    ASSERT_LE(s.overlay_entries,
+              sut.limits.overlay_entries_per_shard * sut.shards)
+        << sut.label << " step " << step;
+  }
+  ASSERT_EQ(s.cache_inserted, s.cached_entries + s.cache_evicted)
+      << sut.label << " step " << step;
+  ASSERT_EQ(s.overlay_inserted, s.overlay_entries + s.overlay_evicted)
+      << sut.label << " step " << step;
+}
+
+TEST(DifferentialStress, MixedMutationSequenceServesOnlyOracleBytes) {
+  auto engine = nav::SitePipeline()
+                    .conceptual(navsep::museum::SyntheticSpec{
+                        .painters = 3,
+                        .paintings_per_painter = 3,
+                        .movements = 2,
+                        .seed = 17})
+                    .access(AccessStructureKind::Index, "painter-0")
+                    .contexts({"ByAuthor", "ByMovement"})
+                    .weave()
+                    .serve();
+
+  // The profile table under churn: three fixed names whose family lists
+  // get re-registered mid-sequence (order matters — it is weave order).
+  const std::vector<std::vector<std::string>> family_subsets{
+      {}, {"ByAuthor"}, {"ByMovement"}, {"ByAuthor", "ByMovement"},
+      {"ByMovement", "ByAuthor"}};
+  std::vector<nav::Profile> profiles{
+      {"kiosk", {}},
+      {"tour", {"ByAuthor"}},
+      {"everything", {"ByAuthor", "ByMovement"}},
+  };
+  for (const nav::Profile& p : profiles) {
+    engine->internals().register_profile(p);
+  }
+
+  std::vector<ServerUnderTest> servers;
+  servers.push_back({"unbounded", serve::CacheLimits{}, 4, nullptr});
+  servers.push_back({"capped",
+                     serve::CacheLimits{.base_entries_per_shard = 2,
+                                        .overlay_entries_per_shard = 2},
+                     4, nullptr});
+  servers.push_back({"passthrough",
+                     serve::CacheLimits{.base_entries_per_shard = 0,
+                                        .overlay_entries_per_shard = 0},
+                     4, nullptr});
+  for (ServerUnderTest& sut : servers) {
+    sut.server = engine->open_concurrent(sut.shards, sut.limits);
+  }
+
+  std::vector<std::string> all_paintings;
+  for (const auto* node : engine->navigation().nodes_of("PaintingNode")) {
+    all_paintings.push_back(node->id());
+  }
+  const AccessStructureKind kinds[] = {AccessStructureKind::Index,
+                                       AccessStructureKind::GuidedTour,
+                                       AccessStructureKind::IndexedGuidedTour};
+  const std::vector<std::string> family_names{"ByAuthor", "ByMovement"};
+
+  Rng rng(20260729);
+  for (int step = 0; step < 110; ++step) {
+    const std::uint64_t op = rng.below(8);
+    if (op == 0) {
+      // Arc edit: the finest-grained structural mutation.
+      std::vector<hm::AccessArc> arcs = engine->internals().authored_arcs();
+      if (arcs.empty()) continue;
+      const std::size_t index =
+          static_cast<std::size_t>(rng.below(arcs.size()));
+      hm::AccessArc edited = arcs[index];
+      edited.title = "edit-" + rng.word(6);
+      if (rng.chance(0.3)) edited.to = rng.pick(all_paintings);
+      (void)engine->internals().replace_arc(index, edited);
+    } else if (op == 1) {
+      const auto& members = engine->structure().members();
+      const std::string id =
+          members[static_cast<std::size_t>(rng.below(members.size()))]
+              .node_id;
+      (void)engine->internals().retitle_node(id, "title-" + rng.word(5));
+    } else if (op == 2) {
+      // Grow or shrink the member set (pages appear and retire).
+      if (rng.chance(0.5)) {
+        std::set<std::string> current;
+        for (const auto& m : engine->structure().members()) {
+          current.insert(m.node_id);
+        }
+        std::string candidate;
+        for (const auto& id : all_paintings) {
+          if (current.find(id) == current.end()) {
+            candidate = id;
+            break;
+          }
+        }
+        if (candidate.empty()) continue;
+        (void)engine->internals().add_node(candidate);
+      } else {
+        std::vector<hm::Member> members = engine->structure().members();
+        if (members.size() < 3) continue;
+        members.erase(members.begin() +
+                      static_cast<std::ptrdiff_t>(rng.below(members.size())));
+        (void)engine->internals().set_access_structure(
+            hm::make_access_structure(engine->structure().kind(),
+                                      engine->structure().name(),
+                                      std::move(members)));
+      }
+    } else if (op == 3) {
+      (void)engine->internals().set_access_structure(
+          kinds[static_cast<std::size_t>(rng.below(3))]);
+    } else if (op == 4) {
+      // Context-family edit: one context's tour order moves.
+      const std::string& family_name = rng.pick(family_names);
+      (void)engine->internals().edit_context_family(
+          family_name, [&](hm::ContextFamily& family) {
+            std::vector<hm::NavigationalContext> contexts =
+                family.contexts();
+            if (contexts.empty()) return;
+            auto& context = contexts[static_cast<std::size_t>(
+                rng.below(contexts.size()))];
+            std::vector<std::string> ids = context.node_ids();
+            if (ids.size() < 2) return;
+            if (rng.chance(0.5)) {
+              std::reverse(ids.begin(), ids.end());
+            } else {
+              std::rotate(ids.begin(), ids.begin() + 1, ids.end());
+            }
+            context = hm::NavigationalContext(context.family(),
+                                              context.name(),
+                                              std::move(ids));
+            family.replace_contexts(std::move(contexts));
+          });
+    } else if (op == 5) {
+      // Re-register a profile with a different family list.
+      nav::Profile& victim = profiles[static_cast<std::size_t>(
+          rng.below(profiles.size()))];
+      victim.families = rng.pick(family_subsets);
+      engine->internals().register_profile(victim);
+    } else if (op == 6) {
+      engine->internals().rebuild();
+    } else {
+      // Cache-cap churn: tear one server down and reopen it with fresh
+      // random caps (0 = pass-through stays in rotation).
+      ServerUnderTest& sut = servers[static_cast<std::size_t>(
+          rng.below(servers.size()))];
+      const std::size_t cap = rng.below(4);  // 0..3 entries per shard
+      sut.limits = serve::CacheLimits{.base_entries_per_shard = cap,
+                                      .overlay_entries_per_shard = cap};
+      sut.shards = 1 + static_cast<std::size_t>(rng.below(4));
+      sut.server = engine->open_concurrent(sut.shards, sut.limits);
+      sut.label = "churned@" + std::to_string(step);
+    }
+
+    // The differential check, every step: the incremental site equals
+    // the from-scratch build, and every server serves exactly it.
+    ASSERT_NO_FATAL_FAILURE(expect_sites_identical(
+        engine->site(), full_build_oracle(*engine)))
+        << "site diverged after step " << step;
+    std::map<std::string, std::string> base_bytes;
+    for (auto& [path, content] : engine->site().artifacts()) {
+      base_bytes.emplace(path, content);
+    }
+    std::vector<std::pair<nav::Profile, std::map<std::string, std::string>>>
+        profile_bytes;
+    profile_bytes.reserve(profiles.size());
+    for (const nav::Profile& profile : profiles) {
+      profile_bytes.emplace_back(profile, profile_oracle(*engine, profile));
+    }
+    for (const ServerUnderTest& sut : servers) {
+      ASSERT_NO_FATAL_FAILURE(expect_server_differential(
+          sut, base_bytes, profile_bytes, step));
+    }
+  }
+
+  // The incremental end state must be a fixpoint of the force path.
+  std::vector<std::pair<std::string, std::string>> final_state =
+      engine->site().artifacts();
+  engine->internals().rebuild();
+  EXPECT_EQ(engine->site().artifacts(), final_state);
+}
+
+}  // namespace
