@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "core/linkbase.hpp"
 #include "core/renderer.hpp"
+#include "repl/publisher.hpp"
 #include "serve/concurrent_server.hpp"
 #include "xml/parser.hpp"
 #include "xml/serializer.hpp"
@@ -63,6 +64,18 @@ std::unique_ptr<serve::ConcurrentServer> Engine::open_concurrent(
     std::size_t cache_shards, serve::CacheLimits limits) const {
   return std::make_unique<serve::ConcurrentServer>(snapshots_, cache_shards,
                                                    limits);
+}
+
+std::unique_ptr<repl::Publisher> Engine::open_publisher(
+    const repl::Endpoint& endpoint) const {
+  return open_publisher(endpoint, repl::PublisherOptions{});
+}
+
+std::unique_ptr<repl::Publisher> Engine::open_publisher(
+    const repl::Endpoint& endpoint,
+    const repl::PublisherOptions& options) const {
+  return std::make_unique<repl::Publisher>(snapshots_,
+                                           repl::Listener(endpoint), options);
 }
 
 std::string Engine::compose_page(std::string_view node_id,

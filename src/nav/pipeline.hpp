@@ -52,6 +52,12 @@ class ConcurrentServer;
 struct CacheLimits;
 }  // namespace navsep::serve
 
+namespace navsep::repl {
+class Publisher;
+struct PublisherOptions;
+struct Endpoint;
+}  // namespace navsep::repl
+
 namespace navsep::nav {
 
 /// How the pipeline turns navigation into pages: Separated is the paper's
@@ -132,6 +138,17 @@ class Engine final : public EngineInternals {
   /// degenerates to pass-through). See serve::CacheLimits.
   [[nodiscard]] std::unique_ptr<serve::ConcurrentServer> open_concurrent(
       std::size_t cache_shards, serve::CacheLimits limits) const;
+
+  /// A replication publisher streaming this engine's published epochs to
+  /// remote replicas at `endpoint` (repl::Endpoint::tcp / unix_socket /
+  /// parse). It reads snapshots() exactly like a concurrent server —
+  /// wait-free against this writer thread — so attaching replicas costs
+  /// the mutation path nothing. The engine must outlive the publisher.
+  [[nodiscard]] std::unique_ptr<repl::Publisher> open_publisher(
+      const repl::Endpoint& endpoint) const;
+  [[nodiscard]] std::unique_ptr<repl::Publisher> open_publisher(
+      const repl::Endpoint& endpoint,
+      const repl::PublisherOptions& options) const;
 
   /// Compose one node page on demand, inside an optional navigational
   /// context tag ("ByAuthor:picasso") — woven through the engine's weaver

@@ -1,0 +1,132 @@
+#include "repl/publisher.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace navsep::repl {
+
+Publisher::Publisher(const serve::SnapshotStore& store, Listener listener,
+                     PublisherOptions options)
+    : store_(&store),
+      listener_(std::move(listener)),
+      endpoint_(listener_.endpoint()),
+      options_(options) {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+Publisher::~Publisher() { stop(); }
+
+void Publisher::stop() {
+  if (stopping_.exchange(true)) {
+    // Second caller still has to wait for the joins below, but they are
+    // only performed once (threads become unjoinable after the first).
+  }
+  // The accept loop polls with accept_timeout_ms and rechecks the stop
+  // flag each round, so it exits on its own within one timeout. Join it
+  // BEFORE touching the listener: close() writes the fd the accept
+  // thread is still reading.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  std::vector<std::unique_ptr<Subscriber>> drained;
+  {
+    std::lock_guard<std::mutex> lock(subscribers_mutex_);
+    drained.swap(subscribers_);
+  }
+  for (auto& subscriber : drained) {
+    subscriber->conn.shutdown();
+    if (subscriber->thread.joinable()) subscriber->thread.join();
+  }
+}
+
+Publisher::Stats Publisher::stats() const {
+  Stats s;
+  s.subscribers_accepted = accepted_.load(std::memory_order_relaxed);
+  s.full_frames = full_frames_.load(std::memory_order_relaxed);
+  s.delta_frames = delta_frames_.load(std::memory_order_relaxed);
+  s.resync_fulls = resync_fulls_.load(std::memory_order_relaxed);
+  s.full_bytes = full_bytes_.load(std::memory_order_relaxed);
+  s.delta_bytes = delta_bytes_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(subscribers_mutex_);
+  for (const auto& subscriber : subscribers_) {
+    if (!subscriber->done.load(std::memory_order_acquire)) {
+      ++s.subscribers_active;
+    }
+  }
+  return s;
+}
+
+void Publisher::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::optional<Connection> conn;
+    try {
+      conn = listener_.accept(options_.accept_timeout_ms);
+    } catch (const TransportError&) {
+      break;  // listener torn down under us — stop() is in progress
+    }
+    if (!conn) continue;
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto subscriber = std::make_unique<Subscriber>();
+    subscriber->conn = std::move(*conn);
+    Subscriber* raw = subscriber.get();
+    {
+      std::lock_guard<std::mutex> lock(subscribers_mutex_);
+      // Reap subscribers whose stream already ended so a long-lived
+      // publisher does not accumulate dead threads.
+      for (auto it = subscribers_.begin(); it != subscribers_.end();) {
+        if ((*it)->done.load(std::memory_order_acquire)) {
+          if ((*it)->thread.joinable()) (*it)->thread.join();
+          it = subscribers_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      subscribers_.push_back(std::move(subscriber));
+    }
+    raw->thread = std::thread([this, raw] { stream_to(*raw); });
+  }
+}
+
+void Publisher::stream_to(Subscriber& subscriber) {
+  const auto poll_interval =
+      std::chrono::milliseconds(options_.poll_interval_ms);
+  std::shared_ptr<const serve::SiteSnapshot> last_sent;
+  try {
+    while (!stopping_.load(std::memory_order_acquire)) {
+      auto current = store_->current();
+      if (!current ||
+          (last_sent && current->epoch() == last_sent->epoch())) {
+        std::this_thread::sleep_for(poll_interval);
+        continue;
+      }
+      std::string frame_bytes;
+      if (!last_sent) {
+        // Mid-stream connect: the subscriber starts from a FULL frame.
+        frame_bytes = encode_frame(FrameType::Full, encode_full(*current));
+        full_frames_.fetch_add(1, std::memory_order_relaxed);
+        full_bytes_.fetch_add(frame_bytes.size(), std::memory_order_relaxed);
+      } else if (current->epoch() - last_sent->epoch() >
+                 options_.max_delta_gap) {
+        // Resync-on-gap: a delta chain this long would outweigh the
+        // site; start the subscriber over from the current epoch.
+        frame_bytes = encode_frame(FrameType::Full, encode_full(*current));
+        full_frames_.fetch_add(1, std::memory_order_relaxed);
+        resync_fulls_.fetch_add(1, std::memory_order_relaxed);
+        full_bytes_.fetch_add(frame_bytes.size(), std::memory_order_relaxed);
+      } else {
+        frame_bytes = encode_frame(FrameType::Delta,
+                                   encode_delta(*last_sent, *current));
+        delta_frames_.fetch_add(1, std::memory_order_relaxed);
+        delta_bytes_.fetch_add(frame_bytes.size(),
+                               std::memory_order_relaxed);
+      }
+      subscriber.conn.write_frame(frame_bytes);
+      last_sent = std::move(current);
+    }
+  } catch (const TransportError&) {
+    // Subscriber hung up (or stop() shut the socket down) — this
+    // stream is over; other subscribers are unaffected.
+  }
+  subscriber.done.store(true, std::memory_order_release);
+}
+
+}  // namespace navsep::repl

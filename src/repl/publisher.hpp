@@ -1,0 +1,110 @@
+// repl::Publisher — streams a SnapshotStore's published epochs to
+// subscribed replicas.
+//
+// The origin engine keeps its single-writer contract untouched: the
+// publisher only ever READS the store (current()/epoch() — wait-free
+// against the writer, like any other reader), so attaching one to a
+// live engine costs the mutation path nothing. Each accepted subscriber
+// gets its own streaming thread that:
+//
+//   1. sends a FULL frame of the currently published snapshot (the
+//      mid-stream-connect resync — a replica can join at any epoch),
+//   2. then watches the store and, on every epoch advance, sends the
+//      change as a DELTA computed from the LAST FRAME THAT SUBSCRIBER
+//      was sent to the now-current snapshot — per-subscriber state, so
+//      a slow replica coalesces a burst of epochs into one delta,
+//   3. unless the subscriber lags by more than max_delta_gap epochs, in
+//      which case it falls back to a fresh FULL frame (the resync-on-
+//      gap rule: past K epochs a delta chain is likely bigger — and
+//      slower to apply — than the site itself).
+//
+// Frames a subscriber can no longer receive (broken pipe) end that
+// subscriber's thread; everyone else streams on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "repl/transport.hpp"
+#include "serve/snapshot.hpp"
+
+namespace navsep::repl {
+
+struct PublisherOptions {
+  /// Epoch gap beyond which a lagging subscriber is resynced with a
+  /// FULL frame instead of a delta.
+  std::uint64_t max_delta_gap = 8;
+
+  /// How often a streaming thread re-probes the store's epoch (one
+  /// relaxed atomic load per probe).
+  int poll_interval_ms = 1;
+
+  /// How long the accept loop waits per poll before re-checking the
+  /// stop flag.
+  int accept_timeout_ms = 50;
+};
+
+class Publisher {
+ public:
+  /// Serve `store`'s epochs on `listener`. The store must outlive the
+  /// publisher; it needs no published snapshot yet — subscribers wait
+  /// for the first epoch.
+  Publisher(const serve::SnapshotStore& store, Listener listener,
+            PublisherOptions options = {});
+  ~Publisher();
+  Publisher(const Publisher&) = delete;
+  Publisher& operator=(const Publisher&) = delete;
+
+  /// The endpoint subscribers connect to (TCP: with the resolved port).
+  [[nodiscard]] const Endpoint& endpoint() const noexcept {
+    return endpoint_;
+  }
+
+  /// Stop accepting, disconnect every subscriber, join all threads.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  struct Stats {
+    std::size_t subscribers_accepted = 0;
+    std::size_t subscribers_active = 0;
+    std::size_t full_frames = 0;   ///< FULL frames sent (incl. resyncs)
+    std::size_t delta_frames = 0;  ///< DELTA frames sent
+    std::size_t resync_fulls = 0;  ///< FULLs forced by gap > max_delta_gap
+    std::uint64_t full_bytes = 0;  ///< wire bytes of FULL frames
+    std::uint64_t delta_bytes = 0; ///< wire bytes of DELTA frames
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Subscriber {
+    Connection conn;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void stream_to(Subscriber& subscriber);
+
+  const serve::SnapshotStore* store_;
+  Listener listener_;
+  Endpoint endpoint_;
+  PublisherOptions options_;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex subscribers_mutex_;
+  std::vector<std::unique_ptr<Subscriber>> subscribers_;
+  std::thread accept_thread_;
+
+  std::atomic<std::size_t> accepted_{0};
+  std::atomic<std::size_t> full_frames_{0};
+  std::atomic<std::size_t> delta_frames_{0};
+  std::atomic<std::size_t> resync_fulls_{0};
+  std::atomic<std::uint64_t> full_bytes_{0};
+  std::atomic<std::uint64_t> delta_bytes_{0};
+};
+
+}  // namespace navsep::repl

@@ -1,0 +1,82 @@
+#include "repl/replica.hpp"
+
+#include <utility>
+
+namespace navsep::repl {
+
+bool Replica::apply_next() {
+  Frame frame;
+  if (!conn_.read_frame(frame)) return false;
+  auto next = apply_frame(frame, current_);
+  // Count the frame BEFORE publishing: wait_for_epoch() wakes on the
+  // store's epoch, so the stats a waiter reads afterwards must already
+  // include the frame that advanced it.
+  bytes_received_.fetch_add(kFrameHeaderSize + frame.payload.size(),
+                            std::memory_order_relaxed);
+  if (frame.type == FrameType::Full) {
+    fulls_applied_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    deltas_applied_.fetch_add(1, std::memory_order_relaxed);
+  }
+  frames_applied_.fetch_add(1, std::memory_order_relaxed);
+  // Publish BEFORE updating current_: if the store rejects the epoch
+  // (it never should — the publisher only moves forward), the replica's
+  // frame chain stays consistent with what readers can see.
+  store_.publish(next);
+  current_ = std::move(next);
+  return true;
+}
+
+std::size_t Replica::run() {
+  std::size_t applied = 0;
+  try {
+    while (!stopping_.load(std::memory_order_acquire) && apply_next()) {
+      ++applied;
+    }
+  } catch (const Error& e) {
+    if (!stopping_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      error_ = e.what();
+    }
+    // When stop() shut the socket down under us the failure is the
+    // expected wakeup, not an error worth recording.
+  }
+  return applied;
+}
+
+void Replica::start() {
+  thread_ = std::thread([this] { (void)run(); });
+}
+
+void Replica::stop() {
+  stopping_.store(true, std::memory_order_release);
+  conn_.shutdown();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool Replica::wait_for_epoch(std::uint64_t epoch,
+                             std::chrono::milliseconds timeout) const {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (store_.epoch() < epoch) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
+ReplicaStats Replica::stats() const {
+  ReplicaStats s;
+  s.frames_applied = frames_applied_.load(std::memory_order_relaxed);
+  s.fulls_applied = fulls_applied_.load(std::memory_order_relaxed);
+  s.deltas_applied = deltas_applied_.load(std::memory_order_relaxed);
+  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  s.epoch = store_.epoch();
+  return s;
+}
+
+std::string Replica::error() const {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  return error_;
+}
+
+}  // namespace navsep::repl

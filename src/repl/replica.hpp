@@ -1,0 +1,102 @@
+// repl::Replica — a read-fleet member: consumes a publisher's frame
+// stream and republishes each decoded snapshot into its OWN
+// SnapshotStore, from which an unmodified serve::ConcurrentServer (or
+// anything else that reads a store) serves bytes identical to the
+// origin's.
+//
+// The replica is intentionally dumb: it never asks for anything, it
+// just applies what arrives. FULL frames replace its state wholesale
+// (that is both the initial sync and the resync-on-gap path — the
+// publisher decides when to send one); DELTA frames apply against the
+// exact snapshot the previous frame produced, and any mismatch is a
+// WireError, never a silently wrong site. Because the store publishes
+// each applied snapshot atomically, readers on this process see the
+// same epoch semantics they would at the origin: complete snapshots,
+// monotonic epochs, no torn state.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "repl/transport.hpp"
+#include "serve/snapshot.hpp"
+
+namespace navsep::repl {
+
+struct ReplicaStats {
+  std::size_t frames_applied = 0;
+  std::size_t fulls_applied = 0;
+  std::size_t deltas_applied = 0;
+  std::uint64_t bytes_received = 0;  ///< wire bytes (headers + payloads)
+  std::uint64_t epoch = 0;           ///< last applied epoch (0 = none yet)
+};
+
+class Replica {
+ public:
+  /// Adopt an already-connected stream (e.g. from Connection::connect
+  /// or a Listener in tests).
+  explicit Replica(Connection conn) : conn_(std::move(conn)) {}
+
+  /// Connect to a publisher's endpoint.
+  [[nodiscard]] static Replica connect(const Endpoint& endpoint) {
+    return Replica(Connection::connect(endpoint));
+  }
+
+  ~Replica() { stop(); }
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  /// The store this replica publishes into. Attach servers here.
+  [[nodiscard]] serve::SnapshotStore& store() noexcept { return store_; }
+  [[nodiscard]] const serve::SnapshotStore& store() const noexcept {
+    return store_;
+  }
+
+  /// Read and apply exactly one frame. Returns false on clean EOF (the
+  /// publisher closed the stream); throws WireError / TransportError on
+  /// malformed or failed input. Not for use while start() is running.
+  bool apply_next();
+
+  /// Apply frames until EOF or stop(); returns the number applied.
+  std::size_t run();
+
+  /// Run() on a background thread. stop() (or destruction) ends it.
+  void start();
+
+  /// Shut the stream down and join the background thread, if any.
+  /// Idempotent.
+  void stop();
+
+  /// Wait until the replica has applied `epoch` (or beyond). Returns
+  /// false on timeout — including when the stream died first.
+  [[nodiscard]] bool wait_for_epoch(std::uint64_t epoch,
+                                    std::chrono::milliseconds timeout) const;
+
+  [[nodiscard]] ReplicaStats stats() const;
+
+  /// Empty while the stream is healthy; after run()/start() ends on an
+  /// error, holds that error's message (EOF is not an error).
+  [[nodiscard]] std::string error() const;
+
+ private:
+  Connection conn_;
+  serve::SnapshotStore store_;
+  std::shared_ptr<const serve::SiteSnapshot> current_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<std::size_t> frames_applied_{0};
+  std::atomic<std::size_t> fulls_applied_{0};
+  std::atomic<std::size_t> deltas_applied_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+
+  mutable std::mutex error_mutex_;
+  std::string error_;
+};
+
+}  // namespace navsep::repl

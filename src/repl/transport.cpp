@@ -1,0 +1,311 @@
+#include "repl/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+namespace navsep::repl {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw TransportError("transport: " + what + ": " +
+                       std::strerror(errno));
+}
+
+/// A write to a closed peer raises SIGPIPE by default, which would kill
+/// the process instead of surfacing TransportError. Sent flag-less on
+/// every send(); for the rare plain write() paths we ignore the signal
+/// process-wide once.
+void ignore_sigpipe_once() {
+  static const int ignored = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return 0;
+  }();
+  (void)ignored;
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw TransportError("transport: unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcp_address(const Endpoint& endpoint) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  if (inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+    throw TransportError("transport: not a numeric IPv4 host: " +
+                         endpoint.host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+// --- Endpoint -----------------------------------------------------------------
+
+Endpoint Endpoint::unix_socket(std::string path) {
+  Endpoint e;
+  e.kind = Kind::Unix;
+  e.path = std::move(path);
+  return e;
+}
+
+Endpoint Endpoint::tcp(std::string host, std::uint16_t port) {
+  Endpoint e;
+  e.kind = Kind::Tcp;
+  e.host = std::move(host);
+  e.port = port;
+  return e;
+}
+
+Endpoint Endpoint::parse(std::string_view spec) {
+  if (spec.rfind("unix:", 0) == 0) {
+    std::string path(spec.substr(5));
+    if (path.empty()) {
+      throw TransportError("transport: empty unix socket path in '" +
+                           std::string(spec) + "'");
+    }
+    return unix_socket(std::move(path));
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    std::string_view rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string_view::npos || colon == 0 ||
+        colon + 1 == rest.size()) {
+      throw TransportError("transport: expected tcp:HOST:PORT, got '" +
+                           std::string(spec) + "'");
+    }
+    unsigned long port = 0;
+    for (char c : rest.substr(colon + 1)) {
+      if (c < '0' || c > '9') {
+        throw TransportError("transport: non-numeric port in '" +
+                             std::string(spec) + "'");
+      }
+      port = port * 10 + static_cast<unsigned long>(c - '0');
+      if (port > 65535) {
+        throw TransportError("transport: port out of range in '" +
+                             std::string(spec) + "'");
+      }
+    }
+    return tcp(std::string(rest.substr(0, colon)),
+               static_cast<std::uint16_t>(port));
+  }
+  throw TransportError(
+      "transport: endpoint must be unix:/path or tcp:HOST:PORT, got '" +
+      std::string(spec) + "'");
+}
+
+std::string Endpoint::to_string() const {
+  return kind == Kind::Unix ? "unix:" + path
+                            : "tcp:" + host + ":" + std::to_string(port);
+}
+
+// --- Connection ---------------------------------------------------------------
+
+Connection::Connection(Connection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+Connection& Connection::operator=(Connection&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Connection::~Connection() { close(); }
+
+Connection Connection::connect(const Endpoint& endpoint) {
+  ignore_sigpipe_once();
+  const int domain = endpoint.kind == Endpoint::Kind::Unix ? AF_UNIX : AF_INET;
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  Connection conn(fd);
+  int rc;
+  if (endpoint.kind == Endpoint::Kind::Unix) {
+    sockaddr_un addr = unix_address(endpoint.path);
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } else {
+    sockaddr_in addr = tcp_address(endpoint);
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  }
+  if (rc != 0) fail("connect to " + endpoint.to_string());
+  if (endpoint.kind == Endpoint::Kind::Tcp) {
+    // Frames are written whole; Nagle only adds latency between them.
+    int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return conn;
+}
+
+void Connection::write_all(const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t written = ::send(fd_, data, n, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      fail("send");
+    }
+    data += written;
+    n -= static_cast<std::size_t>(written);
+  }
+}
+
+std::size_t Connection::read_some(char* data, std::size_t n) {
+  while (true) {
+    const ssize_t got = ::recv(fd_, data, n, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      fail("recv");
+    }
+    return static_cast<std::size_t>(got);
+  }
+}
+
+void Connection::write_frame(std::string_view frame_bytes) {
+  if (!valid()) throw TransportError("transport: write on closed connection");
+  write_all(frame_bytes.data(), frame_bytes.size());
+}
+
+bool Connection::read_frame(Frame& out) {
+  if (!valid()) throw TransportError("transport: read on closed connection");
+  char header[kFrameHeaderSize];
+  std::size_t have = 0;
+  while (have < kFrameHeaderSize) {
+    const std::size_t got = read_some(header + have, kFrameHeaderSize - have);
+    if (got == 0) {
+      if (have == 0) return false;  // clean EOF between frames
+      throw WireError("wire: stream ended inside a frame header");
+    }
+    have += got;
+  }
+  const FrameHeader decoded =
+      decode_frame_header(std::string_view(header, kFrameHeaderSize));
+  std::string payload(decoded.payload_size, '\0');
+  have = 0;
+  while (have < payload.size()) {
+    const std::size_t got = read_some(payload.data() + have,
+                                      payload.size() - have);
+    if (got == 0) {
+      throw WireError("wire: stream ended inside a frame payload");
+    }
+    have += got;
+  }
+  verify_payload(decoded, payload);
+  out.type = decoded.type;
+  out.payload = std::move(payload);
+  return true;
+}
+
+void Connection::shutdown() noexcept {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+void Connection::close() noexcept {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// --- Listener -----------------------------------------------------------------
+
+Listener::Listener(const Endpoint& endpoint) : endpoint_(endpoint) {
+  ignore_sigpipe_once();
+  const int domain =
+      endpoint.kind == Endpoint::Kind::Unix ? AF_UNIX : AF_INET;
+  fd_ = ::socket(domain, SOCK_STREAM, 0);
+  if (fd_ < 0) fail("socket");
+  if (endpoint.kind == Endpoint::Kind::Unix) {
+    // A previous run's socket file would make bind fail; it is dead by
+    // construction (we hold no other listener on it).
+    (void)::unlink(endpoint.path.c_str());
+    sockaddr_un addr = unix_address(endpoint.path);
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const int saved = errno;
+      (void)::close(fd_);
+      errno = saved;
+      fail("bind " + endpoint.to_string());
+    }
+    unlink_on_close_ = true;
+  } else {
+    int one = 1;
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = tcp_address(endpoint);
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const int saved = errno;
+      (void)::close(fd_);
+      errno = saved;
+      fail("bind " + endpoint.to_string());
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+      endpoint_.port = ntohs(addr.sin_port);
+    }
+  }
+  if (::listen(fd_, 16) != 0) {
+    const int saved = errno;
+    close();
+    errno = saved;
+    fail("listen " + endpoint.to_string());
+  }
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      endpoint_(std::move(other.endpoint_)),
+      unlink_on_close_(std::exchange(other.unlink_on_close_, false)) {}
+
+Listener::~Listener() { close(); }
+
+std::optional<Connection> Listener::accept(int timeout_ms) {
+  if (fd_ < 0) return std::nullopt;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return std::nullopt;
+    fail("poll");
+  }
+  if (ready == 0) return std::nullopt;
+  const int conn_fd = ::accept(fd_, nullptr, nullptr);
+  if (conn_fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED || errno == EINVAL ||
+        errno == EBADF) {
+      return std::nullopt;  // racing a close(): report "nothing accepted"
+    }
+    fail("accept");
+  }
+  if (endpoint_.kind == Endpoint::Kind::Tcp) {
+    int one = 1;
+    (void)::setsockopt(conn_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return Connection(conn_fd);
+}
+
+void Listener::close() noexcept {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+  if (unlink_on_close_) {
+    (void)::unlink(endpoint_.path.c_str());
+    unlink_on_close_ = false;
+  }
+}
+
+}  // namespace navsep::repl

@@ -1,0 +1,129 @@
+// Socket transport for snapshot replication frames.
+//
+// This deliberately retires the DESIGN.md "no sockets" non-goal: the
+// replication subsystem exists to move published epochs BETWEEN
+// processes, which in-process maps cannot do. The transport stays as
+// small as the repo's needs: blocking, stream-oriented, Unix-domain or
+// loopback/LAN TCP, with frame boundaries supplied by the wire format's
+// length-prefixed header — no protocol negotiation, no TLS, no partial
+// writes surfacing to callers.
+//
+// Endpoints parse from the CLI-friendly specs
+//   unix:/path/to/socket.sock
+//   tcp:HOST:PORT            (PORT 0 binds an ephemeral port; the
+//                             Listener reports the one it got)
+//
+// Every failure throws repl::TransportError; a clean peer close
+// surfaces as read_frame() returning false — the replica's signal that
+// the origin is gone.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "repl/wire.hpp"
+
+namespace navsep::repl {
+
+/// Socket-layer failure (bind, connect, accept, read, write).
+class TransportError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Where a publisher listens / a replica connects.
+struct Endpoint {
+  enum class Kind { Unix, Tcp };
+
+  Kind kind = Kind::Tcp;
+  std::string path;  ///< Unix: filesystem path of the socket
+  std::string host;  ///< TCP: numeric or resolvable host ("127.0.0.1")
+  std::uint16_t port = 0;  ///< TCP: 0 = ephemeral (Listener reports it)
+
+  [[nodiscard]] static Endpoint unix_socket(std::string path);
+  [[nodiscard]] static Endpoint tcp(std::string host, std::uint16_t port);
+
+  /// Parse "unix:/path" or "tcp:host:port"; throws TransportError on
+  /// anything else.
+  [[nodiscard]] static Endpoint parse(std::string_view spec);
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One connected, blocking, bidirectional byte stream (RAII over the
+/// fd). Move-only. Frame-level IO lives here so publisher and replica
+/// share one read/write path.
+class Connection {
+ public:
+  Connection() = default;
+  explicit Connection(int fd) noexcept : fd_(fd) {}
+  Connection(Connection&& other) noexcept;
+  Connection& operator=(Connection&& other) noexcept;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+  ~Connection();
+
+  [[nodiscard]] static Connection connect(const Endpoint& endpoint);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Write one complete wire frame (header + payload as produced by
+  /// encode_frame). Throws TransportError when the peer is gone.
+  void write_frame(std::string_view frame_bytes);
+
+  /// Read one complete frame: header, validation, payload, checksum.
+  /// Returns false on clean EOF at a frame boundary; throws
+  /// TransportError on socket errors and WireError on malformed frames
+  /// (including EOF mid-frame).
+  [[nodiscard]] bool read_frame(Frame& out);
+
+  /// Shut the socket down both ways, waking any thread blocked in
+  /// read/write on it (their calls fail or report EOF). Safe to call
+  /// from another thread; idempotent.
+  void shutdown() noexcept;
+
+  void close() noexcept;
+
+ private:
+  void write_all(const char* data, std::size_t n);
+  [[nodiscard]] std::size_t read_some(char* data, std::size_t n);
+
+  int fd_ = -1;
+};
+
+/// A bound, listening socket. For TCP with port 0 the bound ephemeral
+/// port is reflected in endpoint(). Unix sockets unlink a stale path on
+/// bind and unlink their own on close.
+class Listener {
+ public:
+  explicit Listener(const Endpoint& endpoint);
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&&) = delete;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  ~Listener();
+
+  /// The endpoint actually bound (TCP: with the resolved port).
+  [[nodiscard]] const Endpoint& endpoint() const noexcept {
+    return endpoint_;
+  }
+
+  /// Wait up to `timeout_ms` for an inbound connection. Returns an
+  /// empty optional on timeout or after close(); throws TransportError
+  /// on socket errors. A bounded wait (rather than a plain blocking
+  /// accept) is what lets the publisher's accept loop observe its stop
+  /// flag without platform-specific wakeup tricks.
+  [[nodiscard]] std::optional<Connection> accept(int timeout_ms);
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  Endpoint endpoint_;
+  bool unlink_on_close_ = false;
+};
+
+}  // namespace navsep::repl

@@ -7,6 +7,17 @@
 
 namespace navsep::serve {
 
+namespace {
+
+/// What an entry is charged against the byte cap: its response body
+/// (the dominant term; keys, paths, and validity tokens are not).
+template <typename V>
+std::size_t entry_bytes(const V& value) {
+  return value.response.body == nullptr ? 0 : value.response.body->size();
+}
+
+}  // namespace
+
 template <typename V>
 bool ConcurrentServer::Shard<V>::lookup(const std::string& key, V& out) {
   std::lock_guard<std::mutex> lock(mutex);
@@ -20,25 +31,36 @@ bool ConcurrentServer::Shard<V>::lookup(const std::string& key, V& out) {
 
 template <typename V>
 void ConcurrentServer::Shard<V>::store(std::string key, V value,
-                                       std::size_t cap) {
-  if (cap == 0) return;  // pass-through: nothing retained, nothing counted
+                                       std::size_t cap,
+                                       std::size_t byte_cap) {
+  if (cap == 0 || byte_cap == 0) {
+    return;  // pass-through: nothing retained, nothing counted
+  }
   std::lock_guard<std::mutex> lock(mutex);
   if (auto it = cache.find(std::string_view(key)); it != cache.end()) {
     // Refresh in place (e.g. a stale refill): neither an insertion nor
-    // an eviction in the residency ledger.
+    // an eviction in the residency ledger — but the byte ledger moves
+    // by the size difference, and a grown entry can push the shard over
+    // its byte cap (handled by the shared eviction loop below).
+    resident_bytes -= entry_bytes(it->second.value);
+    resident_bytes += entry_bytes(value);
     it->second.value = std::move(value);
     recency.splice(recency.begin(), recency, it->second.pos);
-    return;
+  } else {
+    resident_bytes += entry_bytes(value);
+    recency.push_front(std::move(key));
+    // The map key views the list node's string; list nodes are stable
+    // across splices, so the view lives exactly as long as the slot.
+    cache.emplace(std::string_view(recency.front()),
+                  Slot{std::move(value), recency.begin()});
+    ++inserted;
   }
-  recency.push_front(std::move(key));
-  // The map key views the list node's string; list nodes are stable
-  // across splices, so the view lives exactly as long as the slot.
-  cache.emplace(std::string_view(recency.front()),
-                Slot{std::move(value), recency.begin()});
-  ++inserted;
-  while (cache.size() > cap) {
+  while ((cache.size() > cap || resident_bytes > byte_cap) &&
+         !cache.empty()) {
     auto victim = std::prev(recency.end());
-    cache.erase(std::string_view(*victim));  // before the node dies
+    auto victim_it = cache.find(std::string_view(*victim));
+    resident_bytes -= entry_bytes(victim_it->second.value);
+    cache.erase(victim_it);  // before the node dies
     recency.erase(victim);
     ++evicted;
   }
@@ -50,6 +72,7 @@ bool ConcurrentServer::Shard<V>::drop(const std::string& key) {
   auto it = cache.find(std::string_view(key));
   if (it == cache.end()) return false;
   auto pos = it->second.pos;
+  resident_bytes -= entry_bytes(it->second.value);
   cache.erase(it);  // before the node dies (the key views into it)
   recency.erase(pos);
   ++evicted;
@@ -115,7 +138,7 @@ site::Response ConcurrentServer::get(std::string_view uri_or_path) const {
   }
   if (was_stale) shard.stale_refills.fetch_add(1, std::memory_order_relaxed);
   shard.store(std::move(key), Entry{r, snap->epoch()},
-              limits_.base_entries_per_shard);
+              limits_.base_entries_per_shard, limits_.base_bytes_per_shard);
   return r;
 }
 
@@ -172,7 +195,8 @@ site::Response ConcurrentServer::get(std::string_view uri_or_path,
                          ? std::move(checked)
                          : snap->overlay_validity(*resolved, path)};
   shard.store(std::move(key), std::move(entry),
-              limits_.overlay_entries_per_shard);
+              limits_.overlay_entries_per_shard,
+              limits_.overlay_bytes_per_shard);
   return r;
 }
 
@@ -180,6 +204,8 @@ ConcurrentServer::Stats ConcurrentServer::stats() const {
   Stats s;
   s.base_cap_per_shard = limits_.base_entries_per_shard;
   s.overlay_cap_per_shard = limits_.overlay_entries_per_shard;
+  s.base_byte_cap_per_shard = limits_.base_bytes_per_shard;
+  s.overlay_byte_cap_per_shard = limits_.overlay_bytes_per_shard;
   for (std::size_t i = 0; i < n_shards_; ++i) {
     const BaseShard& shard = shards_[i];
     {
@@ -189,6 +215,7 @@ ConcurrentServer::Stats ConcurrentServer::stats() const {
       s.cached_entries += shard.cache.size();
       s.cache_inserted += shard.inserted;
       s.cache_evicted += shard.evicted;
+      s.cached_bytes += shard.resident_bytes;
     }
     // hits/resolves before requests: per shard, requests >= hits +
     // resolves stays true in the sample.
@@ -205,6 +232,7 @@ ConcurrentServer::Stats ConcurrentServer::stats() const {
       s.overlay_entries += shard.cache.size();
       s.overlay_inserted += shard.inserted;
       s.overlay_evicted += shard.evicted;
+      s.overlay_bytes += shard.resident_bytes;
     }
     s.overlay_hits += shard.hits.load(std::memory_order_relaxed);
     s.overlay_renders += shard.resolves.load(std::memory_order_relaxed);

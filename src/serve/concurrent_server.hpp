@@ -41,16 +41,20 @@
 
 namespace navsep::serve {
 
-/// Per-shard entry caps for the two cache layers. kUnbounded (the
-/// default) disables eviction; 0 disables caching entirely
-/// (pass-through: correct, just never warm). A server with S shards
-/// holds at most S × cap entries per layer.
+/// Per-shard caps for the two cache layers, by entry count AND by
+/// resident body bytes. kUnbounded (the default) disables that cap; 0
+/// disables caching entirely (pass-through: correct, just never warm).
+/// A server with S shards holds at most S × cap entries and S ×
+/// byte-cap body bytes per layer; an entry's size is its response body
+/// (the dominant term — keys and validity tokens are not charged).
 struct CacheLimits {
   static constexpr std::size_t kUnbounded =
       std::numeric_limits<std::size_t>::max();
 
   std::size_t base_entries_per_shard = kUnbounded;
   std::size_t overlay_entries_per_shard = kUnbounded;
+  std::size_t base_bytes_per_shard = kUnbounded;
+  std::size_t overlay_bytes_per_shard = kUnbounded;
 };
 
 class ConcurrentServer final : public site::PageService {
@@ -92,9 +96,16 @@ class ConcurrentServer final : public site::PageService {
     std::size_t overlay_inserted = 0;       ///< overlay entries ever added
     std::size_t overlay_evicted = 0;        ///< overlay entries ever removed
 
+    /// Resident body bytes per layer, sampled under the same shard locks
+    /// as the entry counts (so bytes and entries describe one moment).
+    std::size_t cached_bytes = 0;   ///< base-layer resident body bytes
+    std::size_t overlay_bytes = 0;  ///< overlay-layer resident body bytes
+
     /// The configured caps, echoed for dashboards (kUnbounded when off).
     std::size_t base_cap_per_shard = CacheLimits::kUnbounded;
     std::size_t overlay_cap_per_shard = CacheLimits::kUnbounded;
+    std::size_t base_byte_cap_per_shard = CacheLimits::kUnbounded;
+    std::size_t overlay_byte_cap_per_shard = CacheLimits::kUnbounded;
   };
 
   /// Serve over `store` (which must already have a published snapshot —
@@ -182,8 +193,9 @@ class ConcurrentServer final : public site::PageService {
       std::list<std::string>::iterator pos;
     };
     std::unordered_map<std::string_view, Slot> cache;
-    std::size_t inserted = 0;  // guarded by mutex
-    std::size_t evicted = 0;   // guarded by mutex
+    std::size_t inserted = 0;        // guarded by mutex
+    std::size_t evicted = 0;         // guarded by mutex
+    std::size_t resident_bytes = 0;  // guarded by mutex; Σ entry bodies
     std::atomic<std::size_t> requests{0};
     std::atomic<std::size_t> hits{0};
     std::atomic<std::size_t> resolves{0};
@@ -194,9 +206,13 @@ class ConcurrentServer final : public site::PageService {
     /// false on miss.
     bool lookup(const std::string& key, V& out);
 
-    /// Insert or refresh `key` under `cap` (evicting the LRU tail past
-    /// it; cap 0 = pass-through, nothing retained).
-    void store(std::string key, V value, std::size_t cap);
+    /// Insert or refresh `key` under `cap` entries / `byte_cap` resident
+    /// body bytes (evicting the LRU tail while either cap is exceeded;
+    /// a zero cap = pass-through, nothing retained). An entry bigger
+    /// than `byte_cap` on its own is inserted then immediately evicted —
+    /// the ledger still balances.
+    void store(std::string key, V value, std::size_t cap,
+               std::size_t byte_cap);
 
     /// Drop `key` (counted as an eviction — the ledger's "removed for
     /// any reason" side). False when absent.

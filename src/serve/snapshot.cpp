@@ -120,9 +120,34 @@ SiteSnapshot::SiteSnapshot(const site::VirtualSite& site,
     arcs_by_from_.emplace(xlink::normalize_ref(from), std::move(bucket));
   }
 
+  init_overlays(std::move(overlays));
+}
+
+SiteSnapshot::SiteSnapshot(SnapshotState state)
+    : epoch_(state.epoch), base_(std::move(state.base)) {
+  if (!base_.empty() && base_.back() != '/') base_ += '/';
+  normalized_base_ = uri::normalize(uri::parse(base_)).to_string();
+  files_ = std::move(state.files);
+  arcs_by_from_ = std::move(state.arcs_by_from);
+  init_overlays(std::move(state.overlays));
+}
+
+std::shared_ptr<const SourceSliceHashes> SiteSnapshot::derive_slice_hashes(
+    const std::vector<core::NavArc>& arcs) {
+  auto derived = std::make_shared<SourceSliceHashes>();
+  for (const core::NavArc& arc : arcs) {
+    auto [it, inserted] = (*derived)[arc.source].emplace(
+        core::default_href_for(arc.from), kEmptySliceHash);
+    it->second = combine_arc_slice(it->second, arc);
+  }
+  return derived;
+}
+
+void SiteSnapshot::init_overlays(SnapshotOverlayInputs overlays) {
   // Overlay inputs: bucket the combined arc set per (linkbase, page) and
   // resolve each linkbase's content handle — the cache-validity tokens.
   profiles_ = std::move(overlays.profiles);
+  structure_source_ = overlays.structure_source;
   if (overlays.arcs == nullptr) return;
   overlay_arcs_ = std::move(overlays.arcs);
   families_.reserve(overlays.families.size());
@@ -145,19 +170,12 @@ SiteSnapshot::SiteSnapshot(const site::VirtualSite& site,
   }
 
   // Slice hashes: normally threaded from the engine's arc-table rebuild;
-  // a snapshot built without them (direct construction) derives its own
-  // through the same combine_arc_slice fold.
-  if (overlays.slice_hashes != nullptr) {
-    slice_hashes_ = std::move(overlays.slice_hashes);
-  } else {
-    auto derived = std::make_shared<SourceSliceHashes>();
-    for (const core::NavArc& arc : *overlay_arcs_) {
-      auto [it, inserted] = (*derived)[arc.source].emplace(
-          core::default_href_for(arc.from), kEmptySliceHash);
-      it->second = combine_arc_slice(it->second, arc);
-    }
-    slice_hashes_ = std::move(derived);
-  }
+  // a snapshot built without them (direct construction, and decoded wire
+  // frames — which never ship hashes) derives its own through the same
+  // combine_arc_slice fold, so the tables cannot drift.
+  slice_hashes_ = overlays.slice_hashes != nullptr
+                      ? std::move(overlays.slice_hashes)
+                      : derive_slice_hashes(*overlay_arcs_);
   auto find_hashes = [&](std::string_view source) -> const PageSliceHashes* {
     auto it = slice_hashes_->find(source);
     return it == slice_hashes_->end() ? nullptr : &it->second;
@@ -166,6 +184,16 @@ SiteSnapshot::SiteSnapshot(const site::VirtualSite& site,
   for (FamilySlice& family : families_) {
     family.hashes = find_hashes(family.source);
   }
+}
+
+std::vector<SnapshotOverlayInputs::Family> SiteSnapshot::overlay_families()
+    const {
+  std::vector<SnapshotOverlayInputs::Family> out;
+  out.reserve(families_.size());
+  for (const FamilySlice& family : families_) {
+    out.push_back(SnapshotOverlayInputs::Family{family.name, family.source});
+  }
+  return out;
 }
 
 const nav::Profile* SiteSnapshot::find_profile(

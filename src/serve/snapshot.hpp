@@ -57,6 +57,8 @@ struct SnapshotArc {
   std::string arcrole;  // e.g. "nav:next"
   std::string title;
   bool traversable = true;  // false for show=none / actuate=none arcs
+
+  friend bool operator==(const SnapshotArc&, const SnapshotArc&) = default;
 };
 
 /// Per-page content hashes of one linkbase's arc slice: site path of the
@@ -144,6 +146,22 @@ struct OverlayValidity {
   }
 };
 
+/// A snapshot's logical content as plain data — what the replication
+/// wire format carries and a replica reconstructs a SiteSnapshot from
+/// without ever holding the origin's VirtualSite or TraversalGraph.
+/// Also the introspection shape the encoder reads (SiteSnapshot::
+/// files() / traversal_arcs() / overlay accessors return views of
+/// exactly these members).
+struct SnapshotState {
+  std::string base;
+  std::uint64_t epoch = 0;
+  std::map<std::string, std::shared_ptr<const std::string>, std::less<>> files;
+  std::map<std::string, std::vector<SnapshotArc>, std::less<>> arcs_by_from;
+  /// Overlay inputs; a null `arcs` member means no overlays (base-only
+  /// serving, as with the 4-argument capture constructor).
+  SnapshotOverlayInputs overlays;
+};
+
 /// An immutable, refcounted view of one published site state. Never
 /// mutated after construction — every member function is safe to call
 /// from any number of threads.
@@ -161,6 +179,22 @@ class SiteSnapshot {
   SiteSnapshot(const site::VirtualSite& site, const xlink::TraversalGraph& graph,
                std::string base, std::uint64_t epoch,
                SnapshotOverlayInputs overlays);
+
+  /// Reconstruct a snapshot from decoded wire state (the replica path —
+  /// see src/repl/). Behaves exactly like a captured snapshot: when
+  /// `state.overlays.slice_hashes` is null the hashes are derived here
+  /// via derive_slice_hashes(), so a decoded snapshot always carries
+  /// slice hashes regardless of what the origin threaded.
+  explicit SiteSnapshot(SnapshotState state);
+
+  /// THE derive-when-absent path, explicit: fold every arc into its
+  /// (source, page) slice through combine_arc_slice — the same fold the
+  /// engine's arc-table rebuild uses to thread hashes into snapshots, so
+  /// origin-threaded and locally-derived tables can never drift
+  /// (asserted in tests/repl_test.cpp). Used whenever
+  /// SnapshotOverlayInputs.slice_hashes is null.
+  [[nodiscard]] static std::shared_ptr<const SourceSliceHashes>
+  derive_slice_hashes(const std::vector<core::NavArc>& arcs);
 
   [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
   [[nodiscard]] const std::string& base() const noexcept { return base_; }
@@ -242,6 +276,48 @@ class SiteSnapshot {
   [[nodiscard]] OverlayValidity overlay_validity(const nav::Profile& profile,
                                                  std::string_view path) const;
 
+  // --- introspection (the replication encoder's view) -------------------------
+
+  /// Every artifact as (site path → shared bytes) — the map respond()
+  /// serves from.
+  [[nodiscard]] const std::map<std::string, std::shared_ptr<const std::string>,
+                               std::less<>>&
+  files() const noexcept {
+    return files_;
+  }
+
+  /// The materialized traversal arcs, bucketed by normalized source URI
+  /// in linkbase document order — the map outgoing() reads.
+  [[nodiscard]] const std::map<std::string, std::vector<SnapshotArc>,
+                               std::less<>>&
+  traversal_arcs() const noexcept {
+    return arcs_by_from_;
+  }
+
+  /// The combined authored arc set (weave order, NavArc::source
+  /// provenance); null when overlays are disabled.
+  [[nodiscard]] const std::shared_ptr<const std::vector<core::NavArc>>&
+  overlay_arcs() const noexcept {
+    return overlay_arcs_;
+  }
+
+  /// NavArc::source of the access structure's own linkbase.
+  [[nodiscard]] const std::string& structure_source() const noexcept {
+    return structure_source_;
+  }
+
+  /// The context families this snapshot partitions overlay arcs by
+  /// (name + linkbase source), in weave order.
+  [[nodiscard]] std::vector<SnapshotOverlayInputs::Family> overlay_families()
+      const;
+
+  /// The per-(linkbase, page) slice hash table — always non-null when
+  /// overlays_enabled(), whether threaded from the engine or derived.
+  [[nodiscard]] const std::shared_ptr<const SourceSliceHashes>& slice_hashes()
+      const noexcept {
+    return slice_hashes_;
+  }
+
  private:
   /// Per-linkbase slice: the arcs of one source, bucketed by the site
   /// path of the page they leave (core::default_href_for(from)).
@@ -265,6 +341,11 @@ class SiteSnapshot {
       std::string_view path, const std::shared_ptr<const std::string>& base,
       const nav::Profile& profile) const;
 
+  /// The shared tail of every constructor: bucket the combined arc set
+  /// per (linkbase, page), resolve (or derive) the slice-hash table, and
+  /// wire the per-family hash pointers.
+  void init_overlays(SnapshotOverlayInputs overlays);
+
   std::uint64_t epoch_;
   std::string base_;             // slash-terminated, as served
   std::string normalized_base_;  // uri::normalize(base_)
@@ -273,6 +354,7 @@ class SiteSnapshot {
   std::map<std::string, std::vector<SnapshotArc>, std::less<>> arcs_by_from_;
 
   // Overlay state (empty without SnapshotOverlayInputs).
+  std::string structure_source_{site::kStructureLinkbasePath};
   std::shared_ptr<const std::vector<core::NavArc>> overlay_arcs_;
   std::shared_ptr<const SourceSliceHashes> slice_hashes_;
   const PageSliceHashes* structure_hashes_ = nullptr;  // into slice_hashes_

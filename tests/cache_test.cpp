@@ -215,6 +215,129 @@ TEST(CacheBounds, StatsEchoTheConfiguredCaps) {
             serve::CacheLimits::kUnbounded);
   EXPECT_EQ(unbounded->limits().overlay_entries_per_shard,
             serve::CacheLimits::kUnbounded);
+  EXPECT_EQ(unbounded->stats().base_byte_cap_per_shard,
+            serve::CacheLimits::kUnbounded);
+  EXPECT_EQ(unbounded->stats().overlay_byte_cap_per_shard,
+            serve::CacheLimits::kUnbounded);
+}
+
+// --- byte accounting ----------------------------------------------------------
+
+TEST(CacheBytes, ResidentBytesTrackTheCachedBodies) {
+  auto engine = synthetic_engine(3);
+  engine->internals().register_profile({"tour", {"ByAuthor"}});
+  auto server = engine->open_concurrent(1);
+
+  std::vector<std::string> pages = html_pages(*engine);
+  std::size_t expected_base = 0, expected_overlay = 0;
+  for (const std::string& page : pages) {
+    site::Response base = server->get(page);
+    ASSERT_TRUE(base.ok()) << page;
+    expected_base += base.body->size();
+    site::Response overlay = server->get(page, "tour");
+    ASSERT_TRUE(overlay.ok()) << page;
+    expected_overlay += overlay.body->size();
+  }
+
+  // The byte ledger equals the sum of exactly the bodies held.
+  serve::ConcurrentServer::Stats s = server->stats();
+  EXPECT_EQ(s.cached_bytes, expected_base);
+  EXPECT_EQ(s.overlay_bytes, expected_overlay);
+  EXPECT_EQ(s.cached_entries, pages.size());
+  EXPECT_EQ(s.overlay_entries, pages.size());
+
+  // Re-serving is all hits: bytes must not move.
+  for (const std::string& page : pages) {
+    (void)server->get(page);
+    (void)server->get(page, "tour");
+  }
+  s = server->stats();
+  EXPECT_EQ(s.cached_bytes, expected_base);
+  EXPECT_EQ(s.overlay_bytes, expected_overlay);
+}
+
+TEST(CacheBytes, ByteCapEvictsAndHoldsUnderChurn) {
+  auto engine = synthetic_engine(4);
+  engine->internals().register_profile({"tour", {"ByAuthor"}});
+  std::vector<std::string> pages = html_pages(*engine);
+  ASSERT_GE(pages.size(), 3u);
+
+  // A byte cap sized to roughly one page: the shard can never hold two
+  // full bodies, so cycling pages must evict, and the resident bytes
+  // must stay under the cap at every sample.
+  const std::size_t one_page = engine->site().get(pages[0])->size();
+  const serve::CacheLimits limits{
+      .base_bytes_per_shard = one_page + one_page / 2,
+      .overlay_bytes_per_shard = one_page + one_page / 2};
+  auto server = engine->open_concurrent(1, limits);
+
+  for (int round = 0; round < 3; ++round) {
+    for (const std::string& page : pages) {
+      ASSERT_TRUE(server->get(page).ok()) << page;
+      ASSERT_TRUE(server->get(page, "tour").ok()) << page;
+      serve::ConcurrentServer::Stats s = server->stats();
+      EXPECT_LE(s.cached_bytes, limits.base_bytes_per_shard);
+      EXPECT_LE(s.overlay_bytes, limits.overlay_bytes_per_shard);
+      EXPECT_EQ(s.cache_inserted, s.cached_entries + s.cache_evicted);
+      EXPECT_EQ(s.overlay_inserted, s.overlay_entries + s.overlay_evicted);
+    }
+  }
+  serve::ConcurrentServer::Stats s = server->stats();
+  EXPECT_GE(s.cache_evicted, 1u);
+  EXPECT_GE(s.overlay_evicted, 1u);
+  EXPECT_EQ(s.base_byte_cap_per_shard, limits.base_bytes_per_shard);
+  EXPECT_EQ(s.overlay_byte_cap_per_shard, limits.overlay_bytes_per_shard);
+}
+
+TEST(CacheBytes, ZeroByteCapDegeneratesToPassThrough) {
+  auto engine = synthetic_engine(2);
+  engine->internals().register_profile({"tour", {"ByAuthor"}});
+  auto server = engine->open_concurrent(
+      1, serve::CacheLimits{.base_bytes_per_shard = 0,
+                            .overlay_bytes_per_shard = 0});
+  std::vector<std::string> pages = html_pages(*engine);
+  for (int round = 0; round < 2; ++round) {
+    for (const std::string& page : pages) {
+      ASSERT_TRUE(server->get(page).ok());
+      ASSERT_TRUE(server->get(page, "tour").ok());
+    }
+  }
+  serve::ConcurrentServer::Stats s = server->stats();
+  EXPECT_EQ(s.cached_entries, 0u);
+  EXPECT_EQ(s.overlay_entries, 0u);
+  EXPECT_EQ(s.cached_bytes, 0u);
+  EXPECT_EQ(s.overlay_bytes, 0u);
+  EXPECT_EQ(s.cache_hits, 0u);
+  EXPECT_EQ(s.overlay_hits, 0u);
+}
+
+TEST(CacheBytes, StaleRefillMovesTheByteLedgerByTheSizeDelta) {
+  auto engine = synthetic_engine(3);
+  auto server = engine->open_concurrent(1);
+  std::vector<std::string> pages = html_pages(*engine);
+  std::size_t total = 0;
+  for (const std::string& page : pages) {
+    site::Response r = server->get(page);
+    ASSERT_TRUE(r.ok());
+    total += r.body->size();
+  }
+  ASSERT_EQ(server->stats().cached_bytes, total);
+
+  // Retitle one member page: its body grows/shrinks; after the stale
+  // refill the ledger must equal the NEW sum, not the old one.
+  const std::string node = engine->structure().members().front().node_id;
+  (void)engine->internals().retitle_node(
+      node, "a much, much longer title than before");
+  std::size_t new_total = 0;
+  for (const std::string& page : pages) {
+    site::Response r = server->get(page);
+    ASSERT_TRUE(r.ok());
+    new_total += r.body->size();
+  }
+  serve::ConcurrentServer::Stats s = server->stats();
+  EXPECT_EQ(s.cached_bytes, new_total);
+  EXPECT_GE(s.stale_refills, 1u);
+  EXPECT_EQ(s.cache_inserted, s.cached_entries + s.cache_evicted);
 }
 
 }  // namespace

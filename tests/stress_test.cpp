@@ -11,6 +11,7 @@
 // a served byte diverge from what a from-scratch build of the current
 // authored state would produce.
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <set>
@@ -26,6 +27,8 @@
 #include "hypermedia/context.hpp"
 #include "nav/pipeline.hpp"
 #include "oracle.hpp"
+#include "repl/publisher.hpp"
+#include "repl/replica.hpp"
 #include "serve/concurrent_server.hpp"
 #include "site/virtual_site.hpp"
 
@@ -264,6 +267,192 @@ TEST(DifferentialStress, MixedMutationSequenceServesOnlyOracleBytes) {
       engine->site().artifacts();
   engine->internals().rebuild();
   EXPECT_EQ(engine->site().artifacts(), final_state);
+}
+
+// The replicated-reader variant: the same randomized mutation mix runs
+// on the origin, but every served body is checked through a replica
+// that has only ever seen the publisher's frame stream over a real
+// socket — FULL on connect, deltas after. After EVERY step the replica
+// must catch up to the origin's epoch and serve (base + per-profile,
+// through an unmodified ConcurrentServer over ITS OWN store) exactly
+// the full-build oracle's bytes. Twice mid-sequence the replica is
+// killed, the origin mutates on without it, and a fresh replica
+// reconnects — the mid-stream resync must converge every time.
+TEST(DifferentialStress, ReplicatedReaderServesOnlyOracleBytes) {
+  namespace repl = navsep::repl;
+
+  auto engine = nav::SitePipeline()
+                    .conceptual(navsep::museum::SyntheticSpec{
+                        .painters = 3,
+                        .paintings_per_painter = 3,
+                        .movements = 2,
+                        .seed = 23})
+                    .access(AccessStructureKind::Index, "painter-0")
+                    .contexts({"ByAuthor", "ByMovement"})
+                    .weave()
+                    .serve();
+
+  const std::vector<std::vector<std::string>> family_subsets{
+      {}, {"ByAuthor"}, {"ByMovement"}, {"ByAuthor", "ByMovement"},
+      {"ByMovement", "ByAuthor"}};
+  std::vector<nav::Profile> profiles{
+      {"kiosk", {}},
+      {"tour", {"ByAuthor"}},
+      {"everything", {"ByAuthor", "ByMovement"}},
+  };
+  for (const nav::Profile& p : profiles) {
+    engine->internals().register_profile(p);
+  }
+
+  auto publisher =
+      engine->open_publisher(repl::Endpoint::tcp("127.0.0.1", 0));
+  auto connect_replica = [&] {
+    auto replica = std::make_unique<repl::Replica>(
+        repl::Connection::connect(publisher->endpoint()));
+    replica->start();
+    return replica;
+  };
+  std::unique_ptr<repl::Replica> replica = connect_replica();
+  std::unique_ptr<serve::ConcurrentServer> server;  // rebuilt on resync
+  std::size_t reconnects = 0;
+
+  std::vector<std::string> all_paintings;
+  for (const auto* node : engine->navigation().nodes_of("PaintingNode")) {
+    all_paintings.push_back(node->id());
+  }
+  const AccessStructureKind kinds[] = {AccessStructureKind::Index,
+                                       AccessStructureKind::GuidedTour,
+                                       AccessStructureKind::IndexedGuidedTour};
+  const std::vector<std::string> family_names{"ByAuthor", "ByMovement"};
+
+  Rng rng(20260807);
+  for (int step = 0; step < 110; ++step) {
+    // Kill-and-resync: the replica dies, the origin mutates on without
+    // it (building an epoch gap), and a new one connects mid-stream.
+    if (step == 35 || step == 75) {
+      server.reset();
+      replica.reset();
+      for (int burst = 0; burst < 4; ++burst) {
+        const auto& members = engine->structure().members();
+        const std::string id =
+            members[static_cast<std::size_t>(rng.below(members.size()))]
+                .node_id;
+        (void)engine->internals().retitle_node(id, "gap-" + rng.word(5));
+      }
+      replica = connect_replica();
+      ++reconnects;
+    }
+
+    const std::uint64_t op = rng.below(7);
+    if (op == 0) {
+      std::vector<hm::AccessArc> arcs = engine->internals().authored_arcs();
+      if (arcs.empty()) continue;
+      const std::size_t index =
+          static_cast<std::size_t>(rng.below(arcs.size()));
+      hm::AccessArc edited = arcs[index];
+      edited.title = "edit-" + rng.word(6);
+      if (rng.chance(0.3)) edited.to = rng.pick(all_paintings);
+      (void)engine->internals().replace_arc(index, edited);
+    } else if (op == 1) {
+      const auto& members = engine->structure().members();
+      const std::string id =
+          members[static_cast<std::size_t>(rng.below(members.size()))]
+              .node_id;
+      (void)engine->internals().retitle_node(id, "title-" + rng.word(5));
+    } else if (op == 2) {
+      if (rng.chance(0.5)) {
+        std::set<std::string> current;
+        for (const auto& m : engine->structure().members()) {
+          current.insert(m.node_id);
+        }
+        std::string candidate;
+        for (const auto& id : all_paintings) {
+          if (current.find(id) == current.end()) {
+            candidate = id;
+            break;
+          }
+        }
+        if (candidate.empty()) continue;
+        (void)engine->internals().add_node(candidate);
+      } else {
+        std::vector<hm::Member> members = engine->structure().members();
+        if (members.size() < 3) continue;
+        members.erase(members.begin() +
+                      static_cast<std::ptrdiff_t>(rng.below(members.size())));
+        (void)engine->internals().set_access_structure(
+            hm::make_access_structure(engine->structure().kind(),
+                                      engine->structure().name(),
+                                      std::move(members)));
+      }
+    } else if (op == 3) {
+      (void)engine->internals().set_access_structure(
+          kinds[static_cast<std::size_t>(rng.below(3))]);
+    } else if (op == 4) {
+      const std::string& family_name = rng.pick(family_names);
+      (void)engine->internals().edit_context_family(
+          family_name, [&](hm::ContextFamily& family) {
+            std::vector<hm::NavigationalContext> contexts =
+                family.contexts();
+            if (contexts.empty()) return;
+            auto& context = contexts[static_cast<std::size_t>(
+                rng.below(contexts.size()))];
+            std::vector<std::string> ids = context.node_ids();
+            if (ids.size() < 2) return;
+            if (rng.chance(0.5)) {
+              std::reverse(ids.begin(), ids.end());
+            } else {
+              std::rotate(ids.begin(), ids.begin() + 1, ids.end());
+            }
+            context = hm::NavigationalContext(context.family(),
+                                              context.name(),
+                                              std::move(ids));
+            family.replace_contexts(std::move(contexts));
+          });
+    } else if (op == 5) {
+      nav::Profile& victim = profiles[static_cast<std::size_t>(
+          rng.below(profiles.size()))];
+      victim.families = rng.pick(family_subsets);
+      engine->internals().register_profile(victim);
+    } else {
+      engine->internals().rebuild();
+    }
+
+    // The replica must catch up to the origin's exact epoch…
+    const std::uint64_t target = engine->internals().snapshots().epoch();
+    ASSERT_TRUE(replica->wait_for_epoch(target,
+                                        std::chrono::seconds(60)))
+        << "step " << step << ": replica stuck at epoch "
+        << replica->stats().epoch << " (target " << target
+        << "): " << replica->error();
+    if (server == nullptr) {
+      server = std::make_unique<serve::ConcurrentServer>(replica->store(), 4);
+    }
+
+    // …and serve exactly the oracle's bytes, base and per-profile,
+    // through an unmodified ConcurrentServer over the replicated store.
+    std::map<std::string, std::string> base_bytes;
+    for (auto& [path, content] : engine->site().artifacts()) {
+      base_bytes.emplace(path, content);
+    }
+    std::vector<std::pair<nav::Profile, std::map<std::string, std::string>>>
+        profile_bytes;
+    profile_bytes.reserve(profiles.size());
+    for (const nav::Profile& profile : profiles) {
+      profile_bytes.emplace_back(profile, profile_oracle(*engine, profile));
+    }
+    ServerUnderTest replicated{"replicated", serve::CacheLimits{}, 4,
+                               std::move(server)};
+    ASSERT_NO_FATAL_FAILURE(expect_server_differential(
+        replicated, base_bytes, profile_bytes, step));
+    server = std::move(replicated.server);
+  }
+
+  // The stream really exercised both frame kinds and both resyncs.
+  EXPECT_EQ(reconnects, 2u);
+  const repl::ReplicaStats rs = replica->stats();
+  EXPECT_GE(rs.deltas_applied, 1u);
+  EXPECT_GE(rs.fulls_applied, 1u);
+  EXPECT_EQ(rs.epoch, engine->internals().snapshots().epoch());
 }
 
 }  // namespace
