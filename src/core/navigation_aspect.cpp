@@ -116,14 +116,20 @@ xml::Element* render_navigation(xml::Element& parent,
   xml::Element& nav = parent.append_element("div");
   nav.set_attribute("class", options.container_class);
 
+  // Resolve the provenance destination once per call: the sink (which
+  // may return a thread-local) wins over the raw pointer.
+  std::vector<AnchorProvenance>* provenance =
+      options.provenance_sink ? options.provenance_sink()
+                              : options.provenance_log;
+
   auto anchor = [&](xml::Element& anchor_parent, const NavArc& arc,
                     std::string_view cls, std::string_view log_context) {
     xml::Element& a = anchor_parent.append_element("a");
     a.set_attribute("href", href_for(arc.to));
     a.set_attribute("class", cls);
     a.append_text(arc.title.empty() ? arc.to : arc.title);
-    if (options.provenance_log != nullptr) {
-      options.provenance_log->push_back(AnchorProvenance{
+    if (provenance != nullptr) {
+      provenance->push_back(AnchorProvenance{
           std::string(page_instance), std::string(log_context), arc.source,
           arc.ordinal, arc.to, arc.role});
     }

@@ -71,6 +71,13 @@ struct NavigationAspectOptions {
   /// between compositions (the engine drains it per page).
   std::vector<AnchorProvenance>* provenance_log = nullptr;
 
+  /// Thread-aware alternative to provenance_log (takes precedence when
+  /// both are set): resolved per render_navigation call, so it can
+  /// return a thread-local vector. This is what lets the parallel
+  /// re-weave path log provenance from any pool thread — a raw pointer
+  /// would pin the log to whichever thread built the aspect.
+  std::function<std::vector<AnchorProvenance>*()> provenance_sink;
+
   /// Families whose context-tagged tour arcs are woven even when the page
   /// is composed OUTSIDE their context: each such context renders as a
   /// labeled tour group (`<div class="nav-tour" data-context="...">`)

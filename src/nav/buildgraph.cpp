@@ -1,8 +1,10 @@
 #include "nav/buildgraph.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "common/error.hpp"
+#include "nav/worker_pool.hpp"
 
 namespace navsep::nav {
 
@@ -55,6 +57,27 @@ void BuildGraph::define(const std::string& id, ProductKind kind,
   it->second.kind = kind;
   it->second.deps = std::move(deps);
   it->second.rebuild = std::move(rebuild);
+  it->second.parallel_rebuild = nullptr;
+  it->second.dirty = true;
+}
+
+void BuildGraph::define_parallel(const std::string& id, ProductKind kind,
+                                 std::vector<std::string> deps,
+                                 ParallelRebuild rebuild) {
+  ++topology_revision_;
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    Node node;
+    node.kind = kind;
+    node.deps = std::move(deps);
+    node.parallel_rebuild = std::move(rebuild);
+    nodes_.emplace(id, std::move(node));
+    return;
+  }
+  it->second.kind = kind;
+  it->second.deps = std::move(deps);
+  it->second.rebuild = nullptr;
+  it->second.parallel_rebuild = std::move(rebuild);
   it->second.dirty = true;
 }
 
@@ -148,8 +171,12 @@ BuildGraph::Plan BuildGraph::plan() const {
   return out;
 }
 
-RebuildReport BuildGraph::run() {
+RebuildReport BuildGraph::run() { return run(nullptr); }
+
+RebuildReport BuildGraph::run(WorkerPool* pool) {
   RebuildReport report;
+  const bool parallel = pool != nullptr && pool->workers() > 1;
+  report.weave_workers = parallel ? pool->workers() : 1;
   // Rebuild callbacks may define or remove nodes (the page set follows
   // the member set), which invalidates the pass plan — so run in passes
   // until one leaves the graph clean. Each pass processes strictly in
@@ -160,20 +187,61 @@ RebuildReport BuildGraph::run() {
     bool any_dirty = false;
     const Plan plan = this->plan();
     const std::uint64_t planned_topology = topology_revision_;
-    for (const std::string& id : plan.order) {
+    for (std::size_t pos = 0; pos < plan.order.size(); ++pos) {
+      const std::string& id = plan.order[pos];
       auto it = nodes_.find(id);
       if (it == nodes_.end()) continue;  // removed earlier this pass
       if (!it->second.dirty) continue;
+      if (parallel && it->second.parallel_rebuild) {
+        // Gather the wave: this node plus every dirty parallel node later
+        // in the plan whose defined inputs have all settled. Plan order
+        // puts producers first, so anything still dirty among a
+        // candidate's deps means the candidate is not ready this wave.
+        std::vector<std::string> wave;
+        for (std::size_t j = pos; j < plan.order.size(); ++j) {
+          auto cand = nodes_.find(plan.order[j]);
+          if (cand == nodes_.end() || !cand->second.dirty ||
+              !cand->second.parallel_rebuild) {
+            continue;
+          }
+          const bool ready = std::none_of(
+              cand->second.deps.begin(), cand->second.deps.end(),
+              [this](const std::string& dep) { return is_dirty(dep); });
+          if (ready) wave.push_back(plan.order[j]);
+        }
+        if (!wave.empty()) {
+          any_dirty = true;
+          run_wave(wave, *pool, plan, report);
+          if (topology_revision_ != planned_topology) break;  // replan
+          continue;
+        }
+        // Not ready (a dep defined mid-pass is still dirty): leave the
+        // node for the next pass.
+        any_dirty = true;
+        continue;
+      }
       any_dirty = true;
       ++report.nodes_dirty;
       it->second.dirty = false;
-      if (!it->second.rebuild) continue;
+      if (!it->second.rebuild && !it->second.parallel_rebuild) continue;
       ++report.nodes_rebuilt;
       if (it->second.kind == ProductKind::Page) ++report.pages_rewoven;
-      // Call through a copy: the callback may remove or redefine its own
-      // node, which would otherwise destroy the std::function mid-call.
-      const Rebuild rebuild = it->second.rebuild;
-      const std::uint64_t new_hash = rebuild();
+      std::uint64_t new_hash = 0;
+      if (it->second.parallel_rebuild) {
+        // Inline (serial) execution of a parallel node: compute, then
+        // commit immediately — the same observable sequence as a
+        // classic rebuild callback.
+        const ParallelRebuild rebuild = it->second.parallel_rebuild;
+        ParallelOutcome outcome = rebuild();
+        new_hash = outcome.hash;
+        if (outcome.commit) outcome.commit();
+      } else {
+        // Call through a copy: the callback may remove or redefine its
+        // own node, which would otherwise destroy the std::function
+        // mid-call.
+        const Rebuild rebuild = it->second.rebuild;
+        new_hash = rebuild();
+      }
       // The callback may have mutated the graph; re-find before writing.
       auto after = nodes_.find(id);
       if (after == nodes_.end()) continue;
@@ -211,6 +279,70 @@ RebuildReport BuildGraph::run() {
   }
   report.pages_total = count(ProductKind::Page);
   return report;
+}
+
+void BuildGraph::run_wave(const std::vector<std::string>& wave,
+                          WorkerPool& pool, const Plan& plan,
+                          RebuildReport& report) {
+  // Compute concurrently into per-slot state (no shared writes: each
+  // task owns its slot, and compute phases are contractually forbidden
+  // from touching the graph).
+  struct Slot {
+    ParallelRebuild rebuild;
+    std::uint64_t hash = 0;
+    std::function<void()> commit;
+    std::exception_ptr error;
+  };
+  std::vector<Slot> slots(wave.size());
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    slots[i].rebuild = nodes_.find(wave[i])->second.parallel_rebuild;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(slots.size());
+  for (Slot& slot : slots) {
+    tasks.push_back([&slot] {
+      try {
+        ParallelOutcome outcome = slot.rebuild();
+        slot.hash = outcome.hash;
+        slot.commit = std::move(outcome.commit);
+      } catch (...) {
+        slot.error = std::current_exception();
+      }
+    });
+  }
+  pool.run(tasks);
+  report.max_parallel_weaves =
+      std::max(report.max_parallel_weaves, wave.size());
+
+  // Commit serially, in plan order — deterministic regardless of which
+  // lane computed what. A compute error surfaces here with serial-run
+  // node state: the throwing node is clean with its stale hash (dirty
+  // cleared before its callback, exactly like run()), and nodes after it
+  // in plan order stay dirty, their computed results discarded.
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    auto it = nodes_.find(wave[i]);
+    if (it == nodes_.end()) continue;
+    ++report.nodes_dirty;
+    it->second.dirty = false;
+    ++report.nodes_rebuilt;
+    if (it->second.kind == ProductKind::Page) ++report.pages_rewoven;
+    if (slots[i].error) std::rethrow_exception(slots[i].error);
+    const std::uint64_t old_hash = it->second.hash;
+    it->second.hash = slots[i].hash;
+    if (slots[i].commit) slots[i].commit();
+    if (slots[i].hash != old_hash) {
+      ++report.nodes_changed;
+      if (it->second.kind == ProductKind::Linkbase) {
+        ++report.linkbases_reauthored;
+      }
+      if (auto dep_it = plan.dependents.find(wave[i]);
+          dep_it != plan.dependents.end()) {
+        for (const std::string& dependent : dep_it->second) {
+          mark_dirty(dependent);
+        }
+      }
+    }
+  }
 }
 
 }  // namespace navsep::nav

@@ -16,6 +16,16 @@
 // Rebuild callbacks may define() and remove() nodes while a run is in
 // flight — the member set of an access structure changes the page set —
 // and run() keeps iterating until no dirty node remains.
+//
+// Nodes whose product is independent once their inputs have settled —
+// page weaves, whose only input is the page's arc slice — may instead be
+// defined through define_parallel(): their callback splits into a
+// thread-safe compute phase (returning the content hash plus a commit
+// closure) and a serial commit phase the coordinating thread applies in
+// plan order. run(pool) gathers every settled-input parallel node into a
+// wave and executes the compute phases on the pool; because commits
+// apply in deterministic plan order, the result is byte-identical to a
+// serial run regardless of worker count.
 #pragma once
 
 #include <cstddef>
@@ -27,6 +37,8 @@
 #include <vector>
 
 namespace navsep::nav {
+
+class WorkerPool;
 
 /// What a node produces. Source nodes are mutation entry points; the
 /// rest name pipeline products. Kinds drive the RebuildReport counters
@@ -54,6 +66,18 @@ struct RebuildReport {
   std::size_t pages_total = 0;     ///< Page nodes in the graph after the run
   std::size_t linkbases_reauthored = 0;  ///< Linkbase nodes whose text changed
 
+  // --- batching / parallelism (PR 7) -----------------------------------------
+  /// Mutations coalesced into this run (1 for an unbatched mutation, the
+  /// batch size for Engine::commit_batch; set by the engine, not run()).
+  std::size_t edits_coalesced = 0;
+  /// Snapshot epochs this run published (set by the engine: 1 per
+  /// unbatched mutation or non-empty batch commit, 0 for an empty batch).
+  std::size_t epochs_published = 0;
+  /// Execution lanes the run weaved with (1 = the serial path).
+  std::size_t weave_workers = 0;
+  /// Largest parallel wave dispatched to the pool (0 on the serial path).
+  std::size_t max_parallel_weaves = 0;
+
   /// pages_rewoven / pages_total (0 when the site is empty).
   [[nodiscard]] double reweave_ratio() const noexcept {
     return pages_total == 0
@@ -78,6 +102,18 @@ class BuildGraph {
   /// stops propagation (dependents stay clean).
   using Rebuild = std::function<std::uint64_t()>;
 
+  /// What a parallel node's compute phase yields: the product's content
+  /// hash plus the closure that installs the product (writes artifacts,
+  /// invalidates caches). The compute phase may run on any pool thread
+  /// and must not touch the graph or any writer-owned state; the commit
+  /// closure runs on the coordinating thread, in plan order, and must
+  /// not define()/remove() nodes.
+  struct ParallelOutcome {
+    std::uint64_t hash = 0;
+    std::function<void()> commit;
+  };
+  using ParallelRebuild = std::function<ParallelOutcome()>;
+
   /// Define (or redefine) a node. `deps` are producer node ids: when any
   /// of them changes, this node is re-run. Dependencies may be declared
   /// before the producer exists (the edge activates when it is defined).
@@ -85,6 +121,14 @@ class BuildGraph {
   /// unchanged product still cuts off propagation.
   void define(const std::string& id, ProductKind kind,
               std::vector<std::string> deps, Rebuild rebuild);
+
+  /// Define (or redefine) a node whose rebuild is split into a
+  /// thread-safe compute phase and a serial commit phase (see
+  /// ParallelOutcome). run(pool) schedules these onto the pool in waves;
+  /// run() and run(nullptr) execute them inline, compute-then-commit, so
+  /// a graph mixing both node flavors behaves identically either way.
+  void define_parallel(const std::string& id, ProductKind kind,
+                       std::vector<std::string> deps, ParallelRebuild rebuild);
 
   /// Remove a node (dependents keep their edge declarations; a dangling
   /// edge is inert until the id is defined again). Returns false when the
@@ -112,11 +156,25 @@ class BuildGraph {
   /// navsep::SemanticError on a dependency cycle.
   RebuildReport run();
 
+  /// As run(), additionally scheduling define_parallel() nodes onto
+  /// `pool` in waves: whenever the dependency-order walk reaches a dirty
+  /// parallel node, every dirty parallel node later in the plan whose
+  /// defined inputs have settled joins the wave, their compute phases
+  /// run concurrently, and their commits apply serially in plan order —
+  /// so output bytes, hashes and propagation are identical to run() for
+  /// any worker count. A null pool (or a single-lane one) is the serial
+  /// path. A compute-phase exception surfaces during the wave's commit
+  /// sweep with the same node state the serial path would leave (the
+  /// throwing node clean with its stale hash, nodes after it in plan
+  /// order still dirty).
+  RebuildReport run(WorkerPool* pool);
+
  private:
   struct Node {
     ProductKind kind = ProductKind::Source;
     std::vector<std::string> deps;
     Rebuild rebuild;
+    ParallelRebuild parallel_rebuild;  // set iff defined via define_parallel
     std::uint64_t hash = 0;
     bool dirty = true;
   };
@@ -130,6 +188,11 @@ class BuildGraph {
     std::map<std::string, std::vector<std::string>, std::less<>> dependents;
   };
   [[nodiscard]] Plan plan() const;
+
+  /// Execute one wave of parallel nodes: compute on the pool, commit
+  /// serially in plan order (counters, hash write, propagation).
+  void run_wave(const std::vector<std::string>& wave, WorkerPool& pool,
+                const Plan& plan, RebuildReport& report);
 
   std::map<std::string, Node, std::less<>> nodes_;
   /// Bumped by define()/remove(); run() aborts a pass and replans when it

@@ -35,10 +35,34 @@ std::string page_node(std::string_view page_id) {
 std::string slice_node(std::string_view page_id) {
   return "arcslice:" + std::string(page_id);
 }
+std::string menu_sub_node(std::size_t index) {
+  return "menusub:" + std::to_string(index);
+}
 
 std::uint64_t hash_str(std::uint64_t seed, std::string_view s) {
   return hash_combine(seed, hash_bytes(s));
 }
+
+/// Where the navigation aspect logs anchor provenance during a page
+/// composition. Thread-local so parallel page weaves each get their own
+/// log: the aspect resolves it per render through
+/// NavigationAspectOptions::provenance_sink, on whichever thread is
+/// composing.
+thread_local std::vector<core::AnchorProvenance> t_weave_provenance;
+
+/// Restores the parallel-wave flag even when the graph run throws.
+class WaveFlagGuard {
+ public:
+  WaveFlagGuard(bool& flag, bool value) noexcept : flag_(flag) {
+    flag_ = value;
+  }
+  ~WaveFlagGuard() { flag_ = false; }
+  WaveFlagGuard(const WaveFlagGuard&) = delete;
+  WaveFlagGuard& operator=(const WaveFlagGuard&) = delete;
+
+ private:
+  bool& flag_;
+};
 
 }  // namespace
 
@@ -88,12 +112,12 @@ std::string Engine::compose_page(std::string_view node_id,
   if (mode_ == WeaveMode::Tangled) {
     return core::TangledRenderer(*nav_, *structure_).render_node_page(*node);
   }
-  // On-demand composition logs anchors into the same scratch the build
-  // graph uses; keep it from accumulating across calls.
-  provenance_scratch_.clear();
+  // On-demand composition logs anchors into the same thread-local the
+  // build graph uses; keep it from accumulating across calls.
+  t_weave_provenance.clear();
   std::string page =
       core::SeparatedComposer(weaver_).compose_node_page(*node, context_tag);
-  provenance_scratch_.clear();
+  t_weave_provenance.clear();
   return page;
 }
 
@@ -104,21 +128,109 @@ void Engine::rebuild() {
   // replaces would otherwise scan the still-warm cache in invalidate().
   server_->clear_cache();
   build_graph_.mark_all_dirty();
-  (void)build_graph_.run();
-  browser_->refresh();
-  publish_snapshot();
+  if (batch_open_) {
+    ++batch_edits_;
+    batch_publish_pending_ = true;
+    batch_graph_pending_ = true;
+    return;
+  }
+  (void)run_graph_now();
 }
 
 // --- Engine: incremental mutation entry points --------------------------------
 
 RebuildReport Engine::run_graph_after_mutation() {
   build_graph_.mark_dirty(std::string(kSpecNode));
-  RebuildReport report = build_graph_.run();
+  return run_or_defer();
+}
+
+RebuildReport Engine::run_or_defer() {
+  if (batch_open_) {
+    // The mutation already moved engine state and marked its nodes
+    // dirty; the graph run, browser refresh and (single) publish all
+    // wait for commit_batch().
+    ++batch_edits_;
+    batch_publish_pending_ = true;
+    batch_graph_pending_ = true;
+    return RebuildReport{};
+  }
+  RebuildReport report = run_graph_now();
+  report.edits_coalesced = 1;
+  report.epochs_published = 1;
+  return report;
+}
+
+RebuildReport Engine::run_graph_now() {
+  WorkerPool* pool = eligible_pool();
+  RebuildReport report;
+  {
+    WaveFlagGuard guard(parallel_wave_active_, pool != nullptr);
+    report = build_graph_.run(pool);
+  }
   // The arc table (and with it the Arc storage the browser's cached
   // links() point into) may have been rebuilt; re-resolve the session.
   browser_->refresh();
   publish_snapshot();
   return report;
+}
+
+WorkerPool* Engine::eligible_pool() const {
+  if (pool_ == nullptr || pool_->workers() <= 1) return nullptr;
+  if (mode_ != WeaveMode::Separated) return nullptr;
+  // Foreign aspects (anything beyond the engine's own navigation
+  // aspect) carry no thread-safety contract for their advice — weave
+  // serially so user advice keeps its single-threaded world.
+  for (const std::string& name : weaver_.aspect_names()) {
+    if (name != "navigation") return nullptr;
+  }
+  return pool_.get();
+}
+
+void Engine::begin_batch() {
+  if (batch_open_) {
+    throw SemanticError(
+        "Engine::begin_batch: a batch is already open (commit_batch it "
+        "first — batches do not nest)");
+  }
+  batch_open_ = true;
+  batch_edits_ = 0;
+  batch_publish_pending_ = false;
+  batch_graph_pending_ = false;
+}
+
+RebuildReport Engine::commit_batch() {
+  if (!batch_open_) {
+    throw SemanticError(
+        "Engine::commit_batch: no batch is open (begin_batch first)");
+  }
+  batch_open_ = false;
+  const std::size_t edits = batch_edits_;
+  const bool publish_pending = batch_publish_pending_;
+  const bool graph_pending = batch_graph_pending_;
+  batch_edits_ = 0;
+  batch_publish_pending_ = false;
+  batch_graph_pending_ = false;
+
+  RebuildReport report;
+  if (graph_pending) {
+    report = run_graph_now();  // one run, one publish for the whole burst
+    report.epochs_published = 1;
+  } else if (publish_pending) {
+    // Publish-only batch (profile registrations): no graph run needed,
+    // still exactly one epoch.
+    publish_snapshot();
+    report.epochs_published = 1;
+  }
+  report.edits_coalesced = edits;
+  return report;
+}
+
+void Engine::set_weave_workers(std::size_t lanes) {
+  if (lanes == 1) {
+    pool_.reset();
+    return;
+  }
+  pool_ = std::make_unique<WorkerPool>(lanes);
 }
 
 void Engine::publish_snapshot() {
@@ -175,6 +287,13 @@ void Engine::register_profile(Profile profile) {
   } else {
     profiles_.push_back(std::move(profile));
   }
+  if (batch_open_) {
+    // Registration is visible to later batched operations immediately;
+    // only the publish coalesces into the batch's single epoch.
+    ++batch_edits_;
+    batch_publish_pending_ = true;
+    return;
+  }
   // Nothing re-weaves: the next epoch differs only in its profile table.
   publish_snapshot();
 }
@@ -210,10 +329,7 @@ RebuildReport Engine::edit_context_family(
         break;
       }
     }
-    RebuildReport report = build_graph_.run();
-    browser_->refresh();
-    publish_snapshot();
-    return report;
+    return run_or_defer();
   };
   try {
     edit(*family);
@@ -234,7 +350,11 @@ RebuildReport Engine::set_access_structure(
   if (structure == nullptr) {
     throw SemanticError("Engine::set_access_structure: null structure");
   }
+  // Capture the Menu sub-structure shape BEFORE materializing flattens
+  // it away — this is where a constructed Menu becomes mutable.
+  adopt_structure_shape(*structure);
   structure_ = hypermedia::MaterializedStructure::snapshot(*structure);
+  sync_menu_nodes();
   return run_graph_after_mutation();
 }
 
@@ -249,6 +369,24 @@ RebuildReport Engine::add_node(std::string_view node_id) {
     throw ResolutionError("Engine::add_node: unknown node id '" +
                           std::string(node_id) + "'");
   }
+  if (structure_->kind() == hypermedia::AccessStructureKind::Menu &&
+      !menu_subs_.empty()) {
+    // Sub-aware path: the member joins the LAST sub (a Menu's own member
+    // list is derived — the sub entries — so that is where leaf members
+    // actually live).
+    for (const MenuSubSpec& sub : menu_subs_) {
+      for (const auto& m : sub.members) {
+        if (m.node_id == node_id) {
+          throw SemanticError("Engine::add_node: '" + std::string(node_id) +
+                              "' is already a member of sub-structure '" +
+                              sub.name + "'");
+        }
+      }
+    }
+    menu_subs_.back().members.push_back(
+        hypermedia::Member{std::string(node_id), node->title()});
+    return commit_menu_subs(menu_subs_.size() - 1);
+  }
   std::vector<hypermedia::Member> members = structure_->members();
   for (const auto& m : members) {
     if (m.node_id == node_id) {
@@ -262,6 +400,21 @@ RebuildReport Engine::add_node(std::string_view node_id) {
 
 RebuildReport Engine::retitle_node(std::string_view node_id,
                                    std::string_view title) {
+  if (structure_->kind() == hypermedia::AccessStructureKind::Menu &&
+      !menu_subs_.empty()) {
+    // Sub-aware path: retitle the member inside whichever sub holds it.
+    for (std::size_t i = 0; i < menu_subs_.size(); ++i) {
+      auto member = std::find_if(
+          menu_subs_[i].members.begin(), menu_subs_[i].members.end(),
+          [&](const auto& m) { return m.node_id == node_id; });
+      if (member != menu_subs_[i].members.end()) {
+        member->title = std::string(title);
+        return commit_menu_subs(i);
+      }
+    }
+    throw ResolutionError("Engine::retitle_node: '" + std::string(node_id) +
+                          "' is not a member of any Menu sub-structure");
+  }
   std::vector<hypermedia::Member> members = structure_->members();
   auto it = std::find_if(members.begin(), members.end(), [&](const auto& m) {
     return m.node_id == node_id;
@@ -295,19 +448,125 @@ RebuildReport Engine::regenerate_structure(
     hypermedia::AccessStructureKind kind,
     std::vector<hypermedia::Member> members) {
   if (kind == hypermedia::AccessStructureKind::Menu) {
-    // A Menu's arcs derive from its sub-structures, not from a flat
-    // member list, so kind-based regeneration cannot rebuild one.
-    throw SemanticError(
-        "Engine: structural mutations (add_node/retitle_node/"
-        "set_access_structure(kind)) regenerate arcs from the structure "
-        "kind and cannot target Menu; pass a constructed Menu to "
-        "set_access_structure(structure), or edit arcs individually with "
-        "replace_arc");
+    if (menu_subs_.empty()) {
+      // A Menu the engine cannot see into (nested Menus, a
+      // pre-materialized snapshot, or a current structure that never was
+      // a Menu) has no sub specs to regenerate from — refuse without
+      // moving any state, exactly like the pre-sub-capture guard.
+      throw SemanticError(
+          "Engine: Menu-kind regeneration needs captured sub-structures; "
+          "this structure is opaque (nested Menu, materialized snapshot, "
+          "or not a Menu at all) — pass a constructed Menu to "
+          "set_access_structure(structure), or edit arcs individually "
+          "with replace_arc");
+    }
+    // Refresh the Menu's derived arcs from the captured subs (the Menu
+    // analogue of kind-regeneration: discards replace_arc overlays).
+    structure_ = hypermedia::MaterializedStructure::snapshot(*regenerate_menu());
+    return run_graph_after_mutation();
   }
   auto regenerated = hypermedia::make_access_structure(
       kind, structure_->name(), std::move(members));
+  // The structure is no longer a Menu: drop the captured subs and their
+  // graph nodes.
+  if (!menu_subs_.empty()) {
+    menu_subs_.clear();
+    sync_menu_nodes();
+  }
   structure_ = hypermedia::MaterializedStructure::snapshot(*regenerated);
   return run_graph_after_mutation();
+}
+
+std::unique_ptr<hypermedia::AccessStructure> Engine::regenerate_menu() const {
+  std::vector<std::unique_ptr<hypermedia::AccessStructure>> subs;
+  subs.reserve(menu_subs_.size());
+  for (const MenuSubSpec& spec : menu_subs_) {
+    if (spec.kind == hypermedia::AccessStructureKind::GuidedTour) {
+      // The factory cannot express circularity; build tours directly.
+      subs.push_back(std::make_unique<hypermedia::GuidedTour>(
+          spec.name, spec.members, spec.circular));
+    } else {
+      subs.push_back(hypermedia::make_access_structure(spec.kind, spec.name,
+                                                       spec.members));
+    }
+  }
+  return std::make_unique<hypermedia::Menu>(structure_->name(),
+                                            std::move(subs));
+}
+
+void Engine::adopt_structure_shape(
+    const hypermedia::AccessStructure& structure) {
+  menu_subs_.clear();
+  if (structure.kind() != hypermedia::AccessStructureKind::Menu) return;
+  const auto* menu = dynamic_cast<const hypermedia::Menu*>(&structure);
+  if (menu == nullptr) return;  // a materialized Menu snapshot: opaque
+  std::vector<MenuSubSpec> subs;
+  subs.reserve(menu->sub_structures().size());
+  for (const auto& sub : menu->sub_structures()) {
+    if (sub->kind() == hypermedia::AccessStructureKind::Menu) {
+      return;  // nested Menus stay opaque (menu_subs_ left empty)
+    }
+    MenuSubSpec spec{sub->kind(), sub->name(), sub->members(), false};
+    if (const auto* tour =
+            dynamic_cast<const hypermedia::GuidedTour*>(sub.get())) {
+      spec.circular = tour->circular();
+    }
+    subs.push_back(std::move(spec));
+  }
+  menu_subs_ = std::move(subs);
+}
+
+void Engine::sync_menu_nodes() {
+  // The graph may not be wired yet (adoption happens before wire_graph
+  // during serve()); wire_graph calls back in once the spec node exists.
+  if (!build_graph_.contains(kSpecNode)) return;
+  std::vector<std::string> existing;
+  for (const std::string& id : build_graph_.ids(ProductKind::Source)) {
+    if (id.rfind("menusub:", 0) == 0) existing.push_back(id);
+  }
+  std::vector<std::string> desired;
+  desired.reserve(menu_subs_.size());
+  for (std::size_t i = 0; i < menu_subs_.size(); ++i) {
+    desired.push_back(menu_sub_node(i));
+  }
+  std::vector<std::string> sorted_desired = desired;
+  std::sort(sorted_desired.begin(), sorted_desired.end());
+  std::sort(existing.begin(), existing.end());
+  if (existing == sorted_desired) return;  // topology already right
+
+  for (const std::string& id : existing) {
+    if (!std::binary_search(sorted_desired.begin(), sorted_desired.end(),
+                            id)) {
+      build_graph_.remove(id);
+    }
+  }
+  for (std::size_t i = 0; i < menu_subs_.size(); ++i) {
+    if (build_graph_.contains(desired[i])) continue;
+    build_graph_.define(desired[i], ProductKind::Source, {}, [this, i] {
+      // The sub spec IS the product: hash its declarative state so a
+      // no-op edit (retitle to the same title) cuts off right here.
+      if (i >= menu_subs_.size()) return std::uint64_t{0};
+      const MenuSubSpec& spec = menu_subs_[i];
+      std::uint64_t h = hash_bytes(spec.name);
+      h = hash_combine(h, static_cast<std::uint64_t>(spec.kind));
+      h = hash_combine(h, spec.circular ? 1 : 0);
+      for (const auto& member : spec.members) {
+        h = hash_str(h, member.node_id);
+        h = hash_str(h, member.title);
+      }
+      return h;
+    });
+  }
+  // Re-point the spec node at the sub inputs: a sub edit now propagates
+  // sub → spec → linkbase → arc table → exactly the changed slices.
+  build_graph_.define(std::string(kSpecNode), ProductKind::Source,
+                      std::move(desired), [this] { return rebuild_spec(); });
+}
+
+RebuildReport Engine::commit_menu_subs(std::size_t sub_index) {
+  structure_ = hypermedia::MaterializedStructure::snapshot(*regenerate_menu());
+  build_graph_.mark_dirty(menu_sub_node(sub_index));
+  return run_or_defer();
 }
 
 // --- Engine: build-graph wiring -----------------------------------------------
@@ -425,7 +684,10 @@ std::uint64_t Engine::rebuild_arc_table() {
   std::vector<core::NavArc> arcs = core::combined_nav_arcs(sourced);
 
   core::NavigationAspectOptions aspect_options;
-  aspect_options.provenance_log = &provenance_scratch_;
+  // A sink, not a pointer: each weave lane logs into its own thread-local
+  // scratch, so parallel page compositions never share a provenance
+  // vector (the aspect itself is shared across weaver clones).
+  aspect_options.provenance_sink = [] { return &t_weave_provenance; };
   weaver_.replace_aspect(
       core::NavigationAspect::from_contextual_arcs(arcs, aspect_options));
 
@@ -496,8 +758,9 @@ void Engine::sync_pages() {
                             auto it = slice_hashes_.find(id);
                             return it == slice_hashes_.end() ? 0 : it->second;
                           });
-      build_graph_.define(page_node(id), ProductKind::Page, {slice_node(id)},
-                          [this, id] { return rebuild_woven_page(id); });
+      build_graph_.define_parallel(
+          page_node(id), ProductKind::Page, {slice_node(id)},
+          [this, id] { return weave_page_outcome(id); });
     }
   }
 
@@ -520,20 +783,53 @@ void Engine::sync_pages() {
   }
 }
 
-std::uint64_t Engine::rebuild_woven_page(const std::string& page_id) {
-  provenance_scratch_.clear();
-  core::SeparatedComposer composer(weaver_);
+BuildGraph::ParallelOutcome Engine::weave_page_outcome(
+    const std::string& page_id) {
+  // COMPUTE PHASE — runs on a pool lane during parallel waves. Reads
+  // structure_/nav_/weaver aspects (all frozen for the duration of a
+  // graph run), writes only locals and the thread-local provenance
+  // scratch. Everything shared-mutable (site_, server_, provenance_)
+  // moves into the commit closure, which the coordinator runs serially
+  // in plan order — so output is byte-identical for any worker count.
+  t_weave_provenance.clear();
   std::string text;
-  if (page_id == structure_->page_id()) {
-    text = composer.compose_structure_page(page_id, structure_->name());
-  } else {
-    const hypermedia::NavNode* node = nav_->node(page_id);
-    if (node == nullptr) return 0;  // retired between sync and rebuild
-    text = composer.compose_node_page(*node);
+  bool retired = false;
+  {
+    // Pool lanes weave through a private registry clone (the weaver's
+    // memo cache and stats are not thread-safe); the serial path keeps
+    // using the engine weaver so its stats/cache accumulate exactly as
+    // they always have.
+    aop::Weaver lane_weaver;
+    aop::Weaver* weaver = &weaver_;
+    if (parallel_wave_active_) {
+      lane_weaver = weaver_.clone_registry();
+      weaver = &lane_weaver;
+    }
+    core::SeparatedComposer composer(*weaver);
+    if (page_id == structure_->page_id()) {
+      text = composer.compose_structure_page(page_id, structure_->name());
+    } else {
+      const hypermedia::NavNode* node = nav_->node(page_id);
+      if (node == nullptr) {
+        retired = true;  // retired between sync and rebuild
+      } else {
+        text = composer.compose_node_page(*node);
+      }
+    }
   }
-  provenance_[page_id] = std::move(provenance_scratch_);
-  provenance_scratch_.clear();
-  return put_if_changed(core::default_href_for(page_id), std::move(text));
+  BuildGraph::ParallelOutcome outcome;
+  if (retired) {
+    t_weave_provenance.clear();
+    return outcome;  // hash 0, no commit — same as the old serial path
+  }
+  outcome.hash = hash_bytes(text);
+  outcome.commit = [this, page_id, text = std::move(text),
+                    provenance = std::move(t_weave_provenance)]() mutable {
+    provenance_[page_id] = std::move(provenance);
+    (void)put_if_changed(core::default_href_for(page_id), std::move(text));
+  };
+  t_weave_provenance.clear();
+  return outcome;
 }
 
 std::uint64_t Engine::rebuild_tangled_page(const std::string& page_id) {
@@ -551,6 +847,9 @@ std::uint64_t Engine::rebuild_tangled_page(const std::string& page_id) {
 void Engine::wire_graph() {
   build_graph_.define(std::string(kSpecNode), ProductKind::Source, {},
                       [this] { return rebuild_spec(); });
+  // If a constructed Menu was adopted, its sub specs become Source
+  // inputs feeding the spec node.
+  sync_menu_nodes();
   if (mode_ == WeaveMode::Tangled) {
     // Tangled has no linkbase layer: every page hangs off the spec, so
     // any navigation edit re-renders the whole site — the asymmetry the
@@ -651,6 +950,11 @@ SitePipeline& SitePipeline::tangled() {
   return *this;
 }
 
+SitePipeline& SitePipeline::weave_workers(std::size_t lanes) {
+  weave_lanes_ = lanes;
+  return *this;
+}
+
 SitePipeline::Materialized SitePipeline::materialize() {
   if (world_ == nullptr) {
     throw SemanticError(
@@ -734,8 +1038,17 @@ std::unique_ptr<Engine> SitePipeline::serve(std::string_view base) {
 
   engine->server_ = std::make_unique<site::HypermediaServer>(
       engine->site_, engine->site_base_);
+  // Capture Menu sub specs BEFORE wiring so their Source nodes exist
+  // from the first run, and configure the pool so the initial weave
+  // parallelizes too.
+  engine->adopt_structure_shape(*engine->structure_);
+  engine->set_weave_workers(weave_lanes_);
   engine->wire_graph();
-  (void)engine->build_graph_.run();
+  {
+    WorkerPool* pool = engine->eligible_pool();
+    WaveFlagGuard guard(engine->parallel_wave_active_, pool != nullptr);
+    (void)engine->build_graph_.run(pool);
+  }
   engine->publish_snapshot();  // epoch 1: the initially built site
 
   engine->browser_ =

@@ -39,6 +39,7 @@
 #include "nav/buildgraph.hpp"
 #include "nav/roles.hpp"
 #include "nav/session.hpp"
+#include "nav/worker_pool.hpp"
 #include "serve/snapshot.hpp"
 #include "site/browser.hpp"
 #include "site/server.hpp"
@@ -199,6 +200,15 @@ class Engine final : public EngineInternals {
   RebuildReport edit_context_family(
       std::string_view family_name,
       const std::function<void(hypermedia::ContextFamily&)>& edit) override;
+  void begin_batch() override;
+  RebuildReport commit_batch() override;
+  [[nodiscard]] bool batch_open() const noexcept override {
+    return batch_open_;
+  }
+  void set_weave_workers(std::size_t lanes) override;
+  [[nodiscard]] std::size_t weave_workers() const noexcept override {
+    return pool_ ? pool_->workers() : 1;
+  }
 
   // --- weave provenance -------------------------------------------------------
 
@@ -223,8 +233,14 @@ class Engine final : public EngineInternals {
   [[nodiscard]] std::uint64_t rebuild_structure_linkbase();
   [[nodiscard]] std::uint64_t rebuild_context_linkbase(std::size_t index);
   [[nodiscard]] std::uint64_t rebuild_arc_table();
-  [[nodiscard]] std::uint64_t rebuild_woven_page(const std::string& page_id);
   [[nodiscard]] std::uint64_t rebuild_tangled_page(const std::string& page_id);
+
+  /// A woven page node's compute phase: render the page (thread-safe —
+  /// through a registry clone of the weaver when a parallel wave is in
+  /// flight, logging provenance into a thread-local) and return its hash
+  /// plus the commit closure that installs text + provenance.
+  [[nodiscard]] BuildGraph::ParallelOutcome weave_page_outcome(
+      const std::string& page_id);
 
   /// Write `text` at `path` iff it differs, invalidating the server's
   /// cached responses for the path. Returns the text hash.
@@ -241,6 +257,50 @@ class Engine final : public EngineInternals {
 
   /// Mark the spec dirty, run the graph, refresh the session browser.
   RebuildReport run_graph_after_mutation();
+
+  /// Run the graph now (through the pool when eligible), refresh the
+  /// browser, publish one snapshot — or, with a batch open, record the
+  /// edit and defer all of it to commit_batch().
+  RebuildReport run_or_defer();
+  RebuildReport run_graph_now();
+
+  /// The pool to weave with, or null for the serial path: requires a
+  /// configured multi-lane pool, Separated mode, and no foreign aspects
+  /// on the weaver (user advice has no thread-safety contract).
+  [[nodiscard]] WorkerPool* eligible_pool() const;
+
+  // --- Menu-aware mutations ---------------------------------------------------
+
+  /// One captured Menu sub-structure: enough declarative state to
+  /// regenerate the sub (and with it the Menu's derived arcs) after a
+  /// member-level edit. Captured when a constructed hypermedia::Menu is
+  /// adopted; empty for every other structure — including Menus the
+  /// engine cannot see into (nested Menus, pre-materialized snapshots),
+  /// which stay opaque and keep the old SemanticError guard.
+  struct MenuSubSpec {
+    hypermedia::AccessStructureKind kind;
+    std::string name;
+    std::vector<hypermedia::Member> members;
+    bool circular = false;  // GuidedTour subs only
+  };
+
+  /// Capture (or clear) menu_subs_ from a freshly adopted structure.
+  void adopt_structure_shape(const hypermedia::AccessStructure& structure);
+
+  /// Reconstruct the Menu from the captured subs (kind/name/members/
+  /// circular — the same inputs make_access_structure regenerates every
+  /// other kind from).
+  [[nodiscard]] std::unique_ptr<hypermedia::AccessStructure> regenerate_menu()
+      const;
+
+  /// Reconcile the per-sub Source nodes ("menusub:<i>") with menu_subs_
+  /// and point the spec node's deps at them — sub edits become
+  /// first-class build-graph inputs with their own early cutoff.
+  void sync_menu_nodes();
+
+  /// Install the regenerated Menu, dirty sub `sub_index`'s graph node,
+  /// and run (or defer) — the shared tail of the sub-level mutations.
+  RebuildReport commit_menu_subs(std::size_t sub_index);
 
   /// Capture site_ + graph_ as the next epoch and install it in
   /// snapshots_ — the atomic hand-off from this (writer) thread to
@@ -304,15 +364,36 @@ class Engine final : public EngineInternals {
   /// (context-free arcs leaving it) — published by the arc-table rebuild,
   /// read by the per-page ArcSlice nodes.
   std::map<std::string, std::uint64_t, std::less<>> slice_hashes_;
-  /// Scratch the navigation aspect logs anchors into while one page
-  /// composes (mutable: compose_page() is logically const but the aspect
-  /// writes through its stored pointer).
-  mutable std::vector<core::AnchorProvenance> provenance_scratch_;
   std::map<std::string, std::vector<core::AnchorProvenance>, std::less<>>
       provenance_;
   /// Tangled mode's renderer, rebuilt when the spec changes (arc
   /// materialization is per-construction; pages share one).
   std::unique_ptr<core::TangledRenderer> tangled_renderer_;
+
+  // --- parallel re-weave state ------------------------------------------------
+  /// The shared pool page weaves schedule onto (null = serial, the
+  /// default; see set_weave_workers()).
+  std::unique_ptr<WorkerPool> pool_;
+  /// True while run_graph_now() executes with the pool: page compute
+  /// phases check it to decide between the engine's weaver (serial, so
+  /// its stats/cache keep accumulating as they always have) and a
+  /// per-task registry clone (parallel). Written by the coordinating
+  /// thread strictly before/after the pool runs; workers read it under
+  /// the pool's task hand-off, so it is never read and written
+  /// concurrently.
+  bool parallel_wave_active_ = false;
+
+  // --- batch state ------------------------------------------------------------
+  bool batch_open_ = false;
+  std::size_t batch_edits_ = 0;        // mutations coalesced so far
+  bool batch_publish_pending_ = false; // something dirtied or deferred
+  /// Profile registrations are publish-only (no graph run); a batch
+  /// holding ONLY those commits without a graph run but still publishes
+  /// once.
+  bool batch_graph_pending_ = false;
+
+  // --- Menu sub-structure capture ---------------------------------------------
+  std::vector<MenuSubSpec> menu_subs_;
 };
 
 /// Fluent composer of the whole separated-navigation pipeline. Stages may
@@ -377,6 +458,12 @@ class SitePipeline {
   /// Tangled baseline (navigation embedded in every page).
   SitePipeline& tangled();
 
+  /// Worker lanes for the parallel re-weave path (0 = hardware
+  /// concurrency, 1 = serial, the default) — forwarded to
+  /// EngineInternals::set_weave_workers before the initial build, so the
+  /// first weave parallelizes too.
+  SitePipeline& weave_workers(std::size_t lanes);
+
   // --- terminals --------------------------------------------------------------
 
   /// Materialize everything and serve it: returns the running Engine.
@@ -408,6 +495,7 @@ class SitePipeline {
   std::unique_ptr<hypermedia::AccessStructure> structure_;
   std::vector<std::string> family_names_;
   WeaveMode mode_ = WeaveMode::Separated;
+  std::size_t weave_lanes_ = 1;
 };
 
 }  // namespace navsep::nav

@@ -150,10 +150,16 @@ class EngineInternals {
   /// finest-grained edit: typically exactly one page re-weaves.
   /// NOTE: structural mutations (set_access_structure(kind) / add_node /
   /// retitle_node) regenerate the arc set from the structure kind and
-  /// discard earlier replace_arc overlays; they throw SemanticError for
-  /// Menu structures, whose arcs derive from sub-structures rather than
-  /// a member list (set_access_structure(structure) and replace_arc
-  /// still work on a Menu).
+  /// discard earlier replace_arc overlays. For a Menu adopted from a
+  /// constructed hypermedia::Menu the engine captures the sub-structure
+  /// specs as build-graph inputs, so these mutations regenerate the
+  /// Menu's derived arcs (retitle_node edits the sub holding the member,
+  /// add_node appends to the last sub, set_access_structure(Menu)
+  /// refreshes from the captured subs). A Menu the engine cannot see
+  /// into — nested Menus, or a pre-materialized snapshot — stays opaque
+  /// and Menu-kind regeneration throws SemanticError without moving any
+  /// state (set_access_structure(structure) and replace_arc always
+  /// work).
   virtual RebuildReport replace_arc(std::size_t index,
                                     hypermedia::AccessArc arc) = 0;
 
@@ -212,6 +218,51 @@ class EngineInternals {
   virtual RebuildReport edit_context_family(
       std::string_view family_name,
       const std::function<void(hypermedia::ContextFamily&)>& edit) = 0;
+
+  // --- mutation batching ------------------------------------------------------
+  //
+  // An edit burst normally pays one plan, one graph run and one snapshot
+  // publish PER mutation. A batch coalesces it: between begin_batch()
+  // and commit_batch() every mutation validates eagerly and moves engine
+  // state (later batched mutations and readers of structure()/
+  // authored_arcs() see it immediately) but only accumulates dirty marks
+  // — the graph does not run, nothing re-weaves, and no snapshot is
+  // published, so batched mutations return an empty report. commit_batch
+  // runs the graph once over the union of dirty marks and publishes
+  // exactly one epoch — SnapshotStore subscribers and repl::Publishers
+  // see ONE delta for the whole burst. Batches are writer-side state
+  // like every mutation (no concurrent mutators).
+
+  /// Open a batch. Throws navsep::SemanticError when one is open.
+  virtual void begin_batch() = 0;
+
+  /// Run the accumulated batch: one graph run (parallel when weave
+  /// workers are configured), one published epoch — or none at all for
+  /// an empty batch. The report carries edits_coalesced /
+  /// epochs_published / weave_workers / max_parallel_weaves. Throws
+  /// navsep::SemanticError when no batch is open. If a batched
+  /// mutation's edit threw mid-flight the commit still reconciles
+  /// whatever state moved, exactly like the unbatched propagate-on-throw
+  /// contract.
+  virtual RebuildReport commit_batch() = 0;
+
+  /// Whether a batch is currently open.
+  [[nodiscard]] virtual bool batch_open() const noexcept = 0;
+
+  // --- parallel re-weave ------------------------------------------------------
+
+  /// Configure the worker pool page re-weaves run on: `lanes` total
+  /// execution lanes (0 = hardware concurrency, 1 = serial — the
+  /// default). Output is byte-identical for every value; only wall-clock
+  /// changes. The pool is only used when the weave path is provably
+  /// thread-safe: Separated mode with no foreign aspects registered on
+  /// the weaver (user advice carries no thread-safety contract, so
+  /// engines with extra aspects fall back to the serial path and the
+  /// report says so via weave_workers == 1).
+  virtual void set_weave_workers(std::size_t lanes) = 0;
+
+  /// The configured lane count (1 when serial).
+  [[nodiscard]] virtual std::size_t weave_workers() const noexcept = 0;
 };
 
 }  // namespace navsep::nav

@@ -1,0 +1,75 @@
+#include "nav/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace navsep::nav {
+
+WorkerPool::WorkerPool(std::size_t lanes) {
+  if (lanes == 0) {
+    lanes = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(lanes - 1);
+  for (std::size_t i = 0; i + 1 < lanes; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::run(const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  if (threads_.empty()) {
+    for (const auto& task : tasks) task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_ = &tasks;
+    next_ = 0;
+    finished_ = 0;
+  }
+  wake_.notify_all();
+
+  // The caller is a lane: claim tasks until none remain, then wait for
+  // the stragglers the other lanes are still executing.
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (next_ < tasks.size()) {
+    const std::size_t index = next_++;
+    lock.unlock();
+    tasks[index]();
+    lock.lock();
+    ++finished_;
+  }
+  done_.wait(lock, [&] { return finished_ == tasks.size(); });
+  tasks_ = nullptr;
+}
+
+void WorkerPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [&] {
+      return stop_ || (tasks_ != nullptr && next_ < tasks_->size());
+    });
+    if (stop_) return;
+    while (tasks_ != nullptr && next_ < tasks_->size()) {
+      const std::size_t index = next_++;
+      const auto* tasks = tasks_;
+      lock.unlock();
+      (*tasks)[index]();
+      lock.lock();
+      ++finished_;
+      if (tasks_ != nullptr && finished_ == tasks_->size()) {
+        done_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace navsep::nav

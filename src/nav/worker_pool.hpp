@@ -1,0 +1,57 @@
+// A small fork-join pool for the build graph's parallel re-weave waves.
+//
+// The pool is deliberately minimal: run() takes a batch of independent
+// tasks, the calling thread participates as one execution lane, and the
+// call returns only when every task has finished. There is no task
+// queue that outlives a batch, no futures, no work stealing — the build
+// graph's waves are coarse (one task = one page weave) and bounded, so
+// a mutex-guarded claim counter is both simple and ThreadSanitizer-
+// clean. Tasks must not throw (the build graph wraps each wave slot in
+// its own exception capture) and must not touch the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace navsep::nav {
+
+class WorkerPool {
+ public:
+  /// A pool with `lanes` total execution lanes (background threads plus
+  /// the thread that calls run()). 0 means hardware_concurrency; 1 means
+  /// no background threads at all (run() executes inline).
+  explicit WorkerPool(std::size_t lanes = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Total execution lanes, caller included.
+  [[nodiscard]] std::size_t workers() const noexcept {
+    return threads_.size() + 1;
+  }
+
+  /// Execute every task to completion; the caller is one of the lanes.
+  /// Tasks may run in any order and on any lane — they must be
+  /// independent, must not throw, and must not call back into the pool.
+  /// One batch at a time: run() is not reentrant and not thread-safe.
+  void run(const std::vector<std::function<void()>>& tasks);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;  // workers: a batch arrived (or stop)
+  std::condition_variable done_;  // caller: the batch drained
+  const std::vector<std::function<void()>>* tasks_ = nullptr;
+  std::size_t next_ = 0;      // next unclaimed task index
+  std::size_t finished_ = 0;  // tasks completed this batch
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace navsep::nav

@@ -395,6 +395,7 @@ void SnapshotStore::publish(std::shared_ptr<const SiteSnapshot> snapshot) {
   // may even be newer — harmless, the entry just retires one probe
   // early... never late).
   epoch_.store(next, std::memory_order_release);
+  publishes_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::shared_ptr<const SiteSnapshot> SnapshotStore::current() const {

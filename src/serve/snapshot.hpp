@@ -389,6 +389,14 @@ class SnapshotStore {
     return epoch_.load(std::memory_order_acquire);
   }
 
+  /// How many snapshots have ever been published here. The probe behind
+  /// the batching contract: a K-edit batch commit moves this by exactly
+  /// one (epochs could in principle skip, so tests count publications,
+  /// not epoch deltas).
+  [[nodiscard]] std::uint64_t publishes() const noexcept {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+
  private:
 #if NAVSEP_ATOMIC_SHARED_PTR
   std::atomic<std::shared_ptr<const SiteSnapshot>> current_;
@@ -402,6 +410,7 @@ class SnapshotStore {
   std::shared_ptr<const SiteSnapshot> current_;
 #endif
   std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> publishes_{0};
 };
 
 }  // namespace navsep::serve

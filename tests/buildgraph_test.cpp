@@ -5,13 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "aop/aspect.hpp"
 #include "common/rng.hpp"
 #include "nav/buildgraph.hpp"
 #include "nav/pipeline.hpp"
+#include "nav/worker_pool.hpp"
 #include "oracle.hpp"
 #include "site/virtual_site.hpp"
 
@@ -303,17 +306,89 @@ TEST(IncrementalEngine, ShrinkingTheStructureRetiresPages) {
   expect_sites_identical(engine->site(), full_build_oracle(*engine));
 }
 
-TEST(IncrementalEngine, MenuStructuresRejectKindRegeneration) {
-  // A Menu can be served and arc-edited, but kind-based regeneration
-  // (add_node/retitle_node/set_access_structure(kind)) cannot rebuild
-  // its sub-structure-derived arcs — the error must say so up front.
+TEST(IncrementalEngine, MenuMutationsRegenerateSubStructureArcs) {
+  // A constructed Menu's sub-structures are captured as build-graph
+  // inputs, so member-level mutations regenerate its derived arcs
+  // instead of throwing: retitle_node edits the sub holding the member,
+  // add_node appends to the last sub, set_access_structure(Menu)
+  // refreshes from the captured subs — all byte-identical to a full
+  // build of the regenerated Menu.
   auto engine = synthetic_engine(4, hm::AccessStructureKind::Index);
+  const std::vector<hm::Member> wing_members = engine->structure().members();
   std::vector<std::unique_ptr<hm::AccessStructure>> subs;
   subs.push_back(hm::make_access_structure(hm::AccessStructureKind::Index,
-                                           "wing-a",
-                                           engine->structure().members()));
-  auto menu = std::make_unique<hm::Menu>("floors", std::move(subs));
-  (void)engine->set_access_structure(std::move(menu));  // flattened snapshot
+                                           "wing-a", wing_members));
+  (void)engine->set_access_structure(
+      std::make_unique<hm::Menu>("floors", std::move(subs)));
+  EXPECT_EQ(engine->structure().kind(), hm::AccessStructureKind::Menu);
+  expect_sites_identical(engine->site(), full_build_oracle(*engine));
+
+  // Retitle a painting member inside the sub: the sub's derived arcs
+  // regenerate and the site matches a from-scratch build.
+  const std::string member = wing_members.front().node_id;
+  nav::RebuildReport r = engine->retitle_node(member, "Renamed Piece");
+  EXPECT_GT(r.nodes_rebuilt, 0u);
+  bool renamed = false;
+  for (const auto& arc : engine->authored_arcs()) {
+    if (arc.to == member && arc.title == "Renamed Piece") renamed = true;
+  }
+  EXPECT_TRUE(renamed);
+  expect_sites_identical(engine->site(), full_build_oracle(*engine));
+
+  // A no-op retitle cuts off at the sub's Source node: nothing re-weaves.
+  nav::RebuildReport noop = engine->retitle_node(member, "Renamed Piece");
+  EXPECT_EQ(noop.pages_rewoven, 0u);
+  EXPECT_EQ(noop.linkbases_reauthored, 0u);
+
+  // add_node appends to the last sub and its arcs appear.
+  std::string newcomer;
+  for (const auto* node : engine->navigation().nodes_of("PaintingNode")) {
+    if (std::none_of(wing_members.begin(), wing_members.end(),
+                     [&](const auto& m) { return m.node_id == node->id(); })) {
+      newcomer = node->id();
+      break;
+    }
+  }
+  ASSERT_FALSE(newcomer.empty());
+  (void)engine->add_node(newcomer);
+  bool reachable = false;
+  for (const auto& arc : engine->authored_arcs()) {
+    if (arc.to == newcomer) reachable = true;
+  }
+  EXPECT_TRUE(reachable);
+  expect_sites_identical(engine->site(), full_build_oracle(*engine));
+
+  // Members unknown to every sub, and duplicates, are still rejected.
+  EXPECT_THROW((void)engine->retitle_node("floors", "X"),
+               navsep::ResolutionError);
+  EXPECT_THROW((void)engine->add_node(member), navsep::SemanticError);
+
+  // Menu-kind regeneration now works too: it refreshes from the subs.
+  (void)engine->set_access_structure(hm::AccessStructureKind::Menu);
+  EXPECT_EQ(engine->structure().kind(), hm::AccessStructureKind::Menu);
+  expect_sites_identical(engine->site(), full_build_oracle(*engine));
+
+  // replace_arc still works on the materialized Menu.
+  std::vector<hm::AccessArc> arcs = engine->authored_arcs();
+  ASSERT_FALSE(arcs.empty());
+  arcs[0].title = "Ground floor";
+  (void)engine->replace_arc(0, arcs[0]);
+  expect_sites_identical(engine->site(), full_build_oracle(*engine));
+}
+
+TEST(IncrementalEngine, OpaqueMenusStillRejectKindRegeneration) {
+  // Regression for the pre-sub-capture guard: a Menu the engine cannot
+  // see into (here: a Menu nested inside a Menu) has no captured subs,
+  // so kind-based regeneration still throws WITHOUT moving any state.
+  auto engine = synthetic_engine(4, hm::AccessStructureKind::Index);
+  std::vector<std::unique_ptr<hm::AccessStructure>> inner;
+  inner.push_back(hm::make_access_structure(hm::AccessStructureKind::Index,
+                                            "wing-a",
+                                            engine->structure().members()));
+  std::vector<std::unique_ptr<hm::AccessStructure>> subs;
+  subs.push_back(std::make_unique<hm::Menu>("east", std::move(inner)));
+  (void)engine->set_access_structure(
+      std::make_unique<hm::Menu>("floors", std::move(subs)));
   EXPECT_EQ(engine->structure().kind(), hm::AccessStructureKind::Menu);
   expect_sites_identical(engine->site(), full_build_oracle(*engine));
 
@@ -524,6 +599,327 @@ TEST(IncrementalEngine, GraphShapeMatchesTheSite) {
   EXPECT_FALSE(g.is_dirty("nav:spec"));
   EXPECT_TRUE(g.contains("page:guitar"));
   EXPECT_TRUE(g.contains("linkbase:links-byauthor.xml"));
+}
+
+// --- parallel waves (BuildGraph mechanism) --------------------------------------
+
+TEST(BuildGraphMechanism, ParallelNodesCommitInPlanOrderForAnyLaneCount) {
+  // Compute phases may run on any lane in any order; commits must land
+  // serially in plan order, so the observable effect sequence is
+  // identical to a serial run whatever the pool size.
+  for (std::size_t lanes : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    nav::BuildGraph g;
+    std::vector<std::string> committed;
+    g.define("src", nav::ProductKind::Source, {},
+             [] { return nav::hash_bytes("s1"); });
+    for (const char* id : {"p1", "p2", "p3", "p4", "p5"}) {
+      g.define_parallel(id, nav::ProductKind::Page, {"src"},
+                        [id, &committed] {
+                          nav::BuildGraph::ParallelOutcome out;
+                          out.hash = nav::hash_bytes(id);
+                          out.commit = [id, &committed] {
+                            committed.emplace_back(id);
+                          };
+                          return out;
+                        });
+    }
+    nav::WorkerPool pool(lanes);
+    nav::RebuildReport r = g.run(&pool);
+    EXPECT_EQ(committed,
+              (std::vector<std::string>{"p1", "p2", "p3", "p4", "p5"}))
+        << "lanes=" << lanes;
+    EXPECT_EQ(r.nodes_rebuilt, 6u);
+    EXPECT_EQ(r.pages_rewoven, 5u);
+    EXPECT_EQ(r.weave_workers, lanes == 1 ? 1u : lanes);
+    EXPECT_EQ(r.max_parallel_weaves, lanes == 1 ? 0u : 5u);
+
+    // Early cutoff still applies: a clean graph schedules nothing.
+    nav::RebuildReport clean = g.run(&pool);
+    EXPECT_EQ(clean.nodes_rebuilt, 0u);
+    EXPECT_EQ(clean.max_parallel_weaves, 0u);
+  }
+}
+
+TEST(BuildGraphMechanism, ParallelWaveExceptionKeepsSerialContract) {
+  // The serial contract on a throwing rebuild: the node's dirty bit is
+  // cleared before the callback runs, so the throwing node ends clean
+  // with a stale hash. A parallel wave must behave identically — plus:
+  // commits ordered before the throwing node land, later ones do not.
+  nav::BuildGraph g;
+  std::vector<std::string> committed;
+  auto page = [&](const char* id, bool boom) {
+    g.define_parallel(id, nav::ProductKind::Page, {},
+                      [id, boom, &committed] {
+                        if (boom) throw navsep::SemanticError("weave failed");
+                        nav::BuildGraph::ParallelOutcome out;
+                        out.hash = nav::hash_bytes(id);
+                        out.commit = [id, &committed] {
+                          committed.emplace_back(id);
+                        };
+                        return out;
+                      });
+  };
+  page("a", false);
+  page("b", true);
+  page("c", false);
+  nav::WorkerPool pool(4);
+  EXPECT_THROW((void)g.run(&pool), navsep::SemanticError);
+  EXPECT_EQ(committed, (std::vector<std::string>{"a"}));
+  EXPECT_FALSE(g.is_dirty("a"));
+  EXPECT_FALSE(g.is_dirty("b"));  // cleared before the compute ran
+  EXPECT_TRUE(g.is_dirty("c"));   // its commit never ran
+
+  // The next run picks up where the wave stopped.
+  committed.clear();
+  nav::RebuildReport r = g.run(&pool);
+  EXPECT_EQ(committed, (std::vector<std::string>{"c"}));
+  EXPECT_EQ(r.nodes_rebuilt, 1u);
+}
+
+// --- parallel weaving (Engine) ---------------------------------------------------
+
+TEST(IncrementalEngine, WorkerCountsProduceByteIdenticalSites) {
+  // The tentpole determinism claim: the woven site is a pure function of
+  // the navigation design, not of the lane count. Build the same design
+  // serially and with 2/4-lane pools, mutate identically, compare bytes.
+  auto build = [](std::size_t lanes) {
+    auto engine = nav::SitePipeline()
+                      .conceptual(SyntheticSpec{.painters = 2,
+                                                .paintings_per_painter = 8,
+                                                .movements = 3,
+                                                .seed = 21})
+                      .access(hm::AccessStructureKind::IndexedGuidedTour,
+                              "painter-0")
+                      .contexts({"ByAuthor", "ByMovement"})
+                      .weave()
+                      .weave_workers(lanes)
+                      .serve();
+    (void)engine->retitle_node(engine->structure().members()[1].node_id,
+                               "Retitled");
+    (void)engine->set_access_structure(hm::AccessStructureKind::GuidedTour);
+    return engine;
+  };
+  auto serial = build(1);
+  auto two = build(2);
+  auto four = build(4);
+  EXPECT_EQ(serial->internals().weave_workers(), 1u);
+  EXPECT_EQ(two->internals().weave_workers(), 2u);
+  EXPECT_EQ(four->internals().weave_workers(), 4u);
+  expect_sites_identical(two->site(), serial->site());
+  expect_sites_identical(four->site(), serial->site());
+  expect_sites_identical(four->site(), full_build_oracle(*four));
+
+  // Provenance (logged through thread-locals during parallel waves)
+  // matches the serial engine's too.
+  const std::string member = serial->structure().members()[0].node_id;
+  const auto* sp = serial->provenance_for(member);
+  const auto* pp = four->provenance_for(member);
+  ASSERT_NE(sp, nullptr);
+  ASSERT_NE(pp, nullptr);
+  ASSERT_EQ(sp->size(), pp->size());
+  for (std::size_t i = 0; i < sp->size(); ++i) {
+    EXPECT_EQ((*sp)[i].to, (*pp)[i].to);
+    EXPECT_EQ((*sp)[i].role, (*pp)[i].role);
+    EXPECT_EQ((*sp)[i].ordinal, (*pp)[i].ordinal);
+    EXPECT_EQ((*sp)[i].source, (*pp)[i].source);
+  }
+}
+
+TEST(IncrementalEngine, ParallelReportCountersSurfaceTheWave) {
+  auto engine = nav::SitePipeline()
+                    .conceptual(SyntheticSpec{.painters = 1,
+                                              .paintings_per_painter = 6,
+                                              .movements = 2,
+                                              .seed = 3})
+                    .access(hm::AccessStructureKind::Index, "painter-0")
+                    .weave()
+                    .weave_workers(3)
+                    .serve();
+  // A structure-kind swap re-weaves every page: the wave spans the site.
+  nav::RebuildReport r =
+      engine->set_access_structure(hm::AccessStructureKind::GuidedTour);
+  EXPECT_EQ(r.weave_workers, 3u);
+  EXPECT_EQ(r.max_parallel_weaves, r.pages_rewoven);
+  EXPECT_GT(r.max_parallel_weaves, 1u);
+  EXPECT_EQ(r.edits_coalesced, 1u);
+  EXPECT_EQ(r.epochs_published, 1u);
+  expect_sites_identical(engine->site(), full_build_oracle(*engine));
+}
+
+TEST(IncrementalEngine, ForeignAspectsForceTheSerialPath) {
+  // User advice has no thread-safety contract: as soon as a non-engine
+  // aspect is registered, weaves fall back to the serial path (and the
+  // report says so), even with a pool configured.
+  auto engine = nav::SitePipeline()
+                    .conceptual(SyntheticSpec{.painters = 1,
+                                              .paintings_per_painter = 4,
+                                              .movements = 2,
+                                              .seed = 5})
+                    .access(hm::AccessStructureKind::Index, "painter-0")
+                    .weave()
+                    .weave_workers(4)
+                    .serve();
+  auto extra = std::make_shared<navsep::aop::Aspect>("extra");
+  engine->internals().weaver().register_aspect(extra);
+  nav::RebuildReport r =
+      engine->set_access_structure(hm::AccessStructureKind::GuidedTour);
+  EXPECT_EQ(r.weave_workers, 1u);
+  EXPECT_EQ(r.max_parallel_weaves, 0u);
+  expect_sites_identical(engine->site(), full_build_oracle(*engine));
+}
+
+// --- mutation batching -----------------------------------------------------------
+
+TEST(IncrementalEngine, BatchCoalescesEditsIntoOneEpoch) {
+  auto engine = synthetic_engine(6, hm::AccessStructureKind::Index);
+  const std::uint64_t epoch_before = engine->snapshots().epoch();
+  const std::uint64_t publishes_before = engine->snapshots().publishes();
+
+  engine->begin_batch();
+  EXPECT_TRUE(engine->batch_open());
+  // Retitle first: structural mutations regenerate the arc set (and
+  // discard arc-level overlays), exactly as they do unbatched.
+  nav::RebuildReport mid = engine->retitle_node(
+      engine->structure().members()[0].node_id, "batched-c");
+  EXPECT_EQ(mid.nodes_rebuilt, 0u);  // deferred: nothing ran yet
+  EXPECT_EQ(mid.epochs_published, 0u);
+  std::vector<hm::AccessArc> arcs = engine->authored_arcs();
+  ASSERT_GE(arcs.size(), 2u);
+  arcs[0].title = "batched-a";
+  (void)engine->replace_arc(0, arcs[0]);
+  arcs[1].title = "batched-b";
+  (void)engine->replace_arc(1, arcs[1]);
+  // Batched state moves eagerly: later reads see the edits pre-commit...
+  EXPECT_EQ(engine->authored_arcs()[0].title, "batched-a");
+  // ...but nothing published.
+  EXPECT_EQ(engine->snapshots().epoch(), epoch_before);
+
+  nav::RebuildReport r = engine->commit_batch();
+  EXPECT_FALSE(engine->batch_open());
+  EXPECT_EQ(r.edits_coalesced, 3u);
+  EXPECT_EQ(r.epochs_published, 1u);
+  EXPECT_GT(r.nodes_rebuilt, 0u);
+  EXPECT_EQ(engine->snapshots().epoch(), epoch_before + 1);
+  EXPECT_EQ(engine->snapshots().publishes(), publishes_before + 1);
+  expect_sites_identical(engine->site(), full_build_oracle(*engine));
+}
+
+TEST(IncrementalEngine, BatchLifecycleErrorsAndEmptyBatches) {
+  auto engine = synthetic_engine(4, hm::AccessStructureKind::Index);
+  EXPECT_THROW(engine->commit_batch(), navsep::SemanticError);
+  engine->begin_batch();
+  EXPECT_THROW(engine->begin_batch(), navsep::SemanticError);
+
+  // An empty batch publishes nothing at all.
+  const std::uint64_t publishes_before = engine->snapshots().publishes();
+  nav::RebuildReport r = engine->commit_batch();
+  EXPECT_EQ(r.edits_coalesced, 0u);
+  EXPECT_EQ(r.epochs_published, 0u);
+  EXPECT_EQ(engine->snapshots().publishes(), publishes_before);
+
+  // A failed mutation inside a batch does not wedge the batch.
+  engine->begin_batch();
+  EXPECT_THROW((void)engine->add_node("no-such-node"),
+               navsep::ResolutionError);
+  std::vector<hm::AccessArc> arcs = engine->authored_arcs();
+  arcs[0].title = "survivor";
+  (void)engine->replace_arc(0, arcs[0]);
+  nav::RebuildReport after = engine->commit_batch();
+  EXPECT_EQ(after.edits_coalesced, 1u);
+  EXPECT_EQ(after.epochs_published, 1u);
+  expect_sites_identical(engine->site(), full_build_oracle(*engine));
+}
+
+TEST(IncrementalEngine, BatchedAndSequentialEnginesStayByteIdentical) {
+  // The batching oracle: the same randomized mixed edit stream applied
+  // sequentially to one engine and in randomized batch sizes to another
+  // (with a parallel pool, for good measure) must leave both sites
+  // byte-identical at every commit point.
+  auto make = [](std::size_t lanes) {
+    return nav::SitePipeline()
+        .conceptual(SyntheticSpec{.painters = 3,
+                                  .paintings_per_painter = 5,
+                                  .movements = 3,
+                                  .seed = 17})
+        .access(hm::AccessStructureKind::Index, "painter-1")
+        .contexts({"ByAuthor"})
+        .weave()
+        .weave_workers(lanes)
+        .serve();
+  };
+  auto sequential = make(1);
+  auto batched = make(2);
+
+  std::vector<std::string> all_paintings;
+  for (const auto* node : batched->navigation().nodes_of("PaintingNode")) {
+    all_paintings.push_back(node->id());
+  }
+  const hm::AccessStructureKind kinds[] = {
+      hm::AccessStructureKind::Index, hm::AccessStructureKind::GuidedTour,
+      hm::AccessStructureKind::IndexedGuidedTour};
+
+  navsep::Rng rng(404);
+  for (int round = 0; round < 10; ++round) {
+    const std::uint64_t epoch_before = batched->snapshots().epoch();
+    const std::size_t batch_size = 1 + static_cast<std::size_t>(rng.below(5));
+    batched->begin_batch();
+    std::size_t applied = 0;
+    for (std::size_t k = 0; k < batch_size; ++k) {
+      const std::uint64_t op = rng.below(4);
+      // Decide the edit from the batched engine's (eagerly moved) state,
+      // then apply the identical edit to both engines.
+      if (op == 0) {
+        std::vector<hm::AccessArc> arcs = batched->internals().authored_arcs();
+        if (arcs.empty()) continue;
+        const std::size_t index =
+            static_cast<std::size_t>(rng.below(arcs.size()));
+        hm::AccessArc edited = arcs[index];
+        edited.title = "edit-" + rng.word(6);
+        (void)batched->internals().replace_arc(index, edited);
+        (void)sequential->internals().replace_arc(index, edited);
+      } else if (op == 1) {
+        const auto& members = batched->structure().members();
+        const std::string id =
+            members[static_cast<std::size_t>(rng.below(members.size()))]
+                .node_id;
+        const std::string title = "title-" + rng.word(5);
+        (void)batched->internals().retitle_node(id, title);
+        (void)sequential->internals().retitle_node(id, title);
+      } else if (op == 2) {
+        std::set<std::string> current;
+        for (const auto& m : batched->structure().members()) {
+          current.insert(m.node_id);
+        }
+        std::string candidate;
+        for (const auto& id : all_paintings) {
+          if (current.find(id) == current.end()) {
+            candidate = id;
+            break;
+          }
+        }
+        if (candidate.empty()) continue;
+        (void)batched->internals().add_node(candidate);
+        (void)sequential->internals().add_node(candidate);
+      } else {
+        const auto kind = kinds[static_cast<std::size_t>(rng.below(3))];
+        (void)batched->internals().set_access_structure(kind);
+        (void)sequential->internals().set_access_structure(kind);
+      }
+      ++applied;
+    }
+    nav::RebuildReport r = batched->internals().commit_batch();
+    EXPECT_EQ(r.edits_coalesced, applied);
+    if (applied > 0) {
+      EXPECT_EQ(batched->snapshots().epoch(), epoch_before + 1)
+          << "a " << applied << "-edit batch must publish exactly one epoch";
+    }
+    ASSERT_NO_FATAL_FAILURE(
+        expect_sites_identical(batched->site(), sequential->site()))
+        << "diverged in round " << round;
+    ASSERT_NO_FATAL_FAILURE(
+        expect_sites_identical(batched->site(), full_build_oracle(*batched)))
+        << "left the oracle in round " << round;
+  }
 }
 
 }  // namespace

@@ -517,14 +517,17 @@ TEST(ServeStress, WorkloadSurvivesConcurrentLinkbaseEdits) {
 
 // --- Menu structures: failed mutations leave the served site coherent -----------
 
-// Menu arcs derive from sub-structures, not a member list, so the
-// kind-based mutation paths (set_access_structure(kind) / add_node /
-// retitle_node) refuse them with SemanticError (noted in the build-graph
-// PR). The contract under test: the refusal is an exception, not a
-// crash; it happens BEFORE any engine state moves, so no epoch is
-// published and a live ConcurrentServer keeps serving the exact
-// pre-mutation bytes — even with readers in flight — and the engine
-// accepts further (valid) mutations afterwards.
+// Menu arcs derive from sub-structures, not a member list. A Menu built
+// from visible subs is mutable these days (the engine captures the sub
+// specs), but a Menu the engine cannot see into — here one whose sub is
+// itself a Menu — stays opaque, and the kind-based mutation paths
+// (set_access_structure(kind) / add_node / retitle_node) still refuse it
+// with SemanticError. The contract under test (regression for the
+// original guard): the refusal is an exception, not a crash; it happens
+// BEFORE any engine state moves, so no epoch is published and a live
+// ConcurrentServer keeps serving the exact pre-mutation bytes — even
+// with readers in flight — and the engine accepts further (valid)
+// mutations afterwards.
 TEST(MenuMutations, FailedKindMutationsPublishNoEpochAndReadersStayCoherent) {
   auto engine = nav::SitePipeline()
                     .conceptual(navsep::museum::SyntheticSpec{
@@ -536,10 +539,12 @@ TEST(MenuMutations, FailedKindMutationsPublishNoEpochAndReadersStayCoherent) {
                     .contexts({"ByAuthor"})
                     .weave()
                     .serve();
+  std::vector<std::unique_ptr<hm::AccessStructure>> inner;
+  inner.push_back(hm::make_access_structure(AccessStructureKind::Index,
+                                            "wing-a",
+                                            engine->structure().members()));
   std::vector<std::unique_ptr<hm::AccessStructure>> subs;
-  subs.push_back(hm::make_access_structure(AccessStructureKind::Index,
-                                           "wing-a",
-                                           engine->structure().members()));
+  subs.push_back(std::make_unique<hm::Menu>("east", std::move(inner)));
   (void)engine->internals().set_access_structure(
       std::make_unique<hm::Menu>("floors", std::move(subs)));
   ASSERT_EQ(engine->structure().kind(), AccessStructureKind::Menu);

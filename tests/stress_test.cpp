@@ -455,4 +455,186 @@ TEST(DifferentialStress, ReplicatedReaderServesOnlyOracleBytes) {
   EXPECT_EQ(rs.epoch, engine->internals().snapshots().epoch());
 }
 
+// The batched variant: the same mutation mix, but grouped into
+// randomized-size begin_batch()/commit_batch() bursts on an engine with
+// a parallel weave pool. The invariants under test, after EVERY commit:
+// the coalesced report counts every edit, a K-edit burst advances the
+// snapshot epoch by exactly ONE, a live replica fed by a real
+// repl::Publisher applies exactly ONE delta for the whole burst, and
+// both the origin site and the replica-served bytes equal the
+// full-build oracle of the final batched state.
+TEST(DifferentialStress, BatchedBurstsPublishOneDeltaAndServeOracleBytes) {
+  namespace repl = navsep::repl;
+
+  auto engine = nav::SitePipeline()
+                    .conceptual(navsep::museum::SyntheticSpec{
+                        .painters = 3,
+                        .paintings_per_painter = 3,
+                        .movements = 2,
+                        .seed = 29})
+                    .access(AccessStructureKind::Index, "painter-0")
+                    .contexts({"ByAuthor", "ByMovement"})
+                    .weave()
+                    .weave_workers(2)
+                    .serve();
+
+  const std::vector<std::vector<std::string>> family_subsets{
+      {}, {"ByAuthor"}, {"ByMovement"}, {"ByAuthor", "ByMovement"}};
+  std::vector<nav::Profile> profiles{
+      {"kiosk", {}},
+      {"tour", {"ByAuthor"}},
+  };
+  for (const nav::Profile& p : profiles) {
+    engine->internals().register_profile(p);
+  }
+
+  auto publisher =
+      engine->open_publisher(repl::Endpoint::tcp("127.0.0.1", 0));
+  auto replica = std::make_unique<repl::Replica>(
+      repl::Connection::connect(publisher->endpoint()));
+  replica->start();
+  ASSERT_TRUE(replica->wait_for_epoch(engine->internals().snapshots().epoch(),
+                                      std::chrono::seconds(60)));
+  auto replica_server =
+      std::make_unique<serve::ConcurrentServer>(replica->store(), 4);
+
+  std::vector<std::string> all_paintings;
+  for (const auto* node : engine->navigation().nodes_of("PaintingNode")) {
+    all_paintings.push_back(node->id());
+  }
+  const AccessStructureKind kinds[] = {AccessStructureKind::Index,
+                                       AccessStructureKind::GuidedTour,
+                                       AccessStructureKind::IndexedGuidedTour};
+  const std::vector<std::string> family_names{"ByAuthor", "ByMovement"};
+
+  Rng rng(20260808);
+  for (int round = 0; round < 30; ++round) {
+    const std::uint64_t epoch_before = engine->internals().snapshots().epoch();
+    const std::uint64_t deltas_before = replica->stats().deltas_applied;
+    const std::size_t burst = 1 + static_cast<std::size_t>(rng.below(6));
+
+    engine->internals().begin_batch();
+    std::size_t applied = 0;
+    for (std::size_t k = 0; k < burst; ++k) {
+      const std::uint64_t op = rng.below(7);
+      if (op == 0) {
+        std::vector<hm::AccessArc> arcs = engine->internals().authored_arcs();
+        if (arcs.empty()) continue;
+        const std::size_t index =
+            static_cast<std::size_t>(rng.below(arcs.size()));
+        hm::AccessArc edited = arcs[index];
+        edited.title = "edit-" + rng.word(6);
+        if (rng.chance(0.3)) edited.to = rng.pick(all_paintings);
+        (void)engine->internals().replace_arc(index, edited);
+      } else if (op == 1) {
+        const auto& members = engine->structure().members();
+        const std::string id =
+            members[static_cast<std::size_t>(rng.below(members.size()))]
+                .node_id;
+        (void)engine->internals().retitle_node(id, "title-" + rng.word(5));
+      } else if (op == 2) {
+        if (rng.chance(0.5)) {
+          std::set<std::string> current;
+          for (const auto& m : engine->structure().members()) {
+            current.insert(m.node_id);
+          }
+          std::string candidate;
+          for (const auto& id : all_paintings) {
+            if (current.find(id) == current.end()) {
+              candidate = id;
+              break;
+            }
+          }
+          if (candidate.empty()) continue;
+          (void)engine->internals().add_node(candidate);
+        } else {
+          std::vector<hm::Member> members = engine->structure().members();
+          if (members.size() < 3) continue;
+          members.erase(members.begin() + static_cast<std::ptrdiff_t>(
+                                              rng.below(members.size())));
+          (void)engine->internals().set_access_structure(
+              hm::make_access_structure(engine->structure().kind(),
+                                        engine->structure().name(),
+                                        std::move(members)));
+        }
+      } else if (op == 3) {
+        (void)engine->internals().set_access_structure(
+            kinds[static_cast<std::size_t>(rng.below(3))]);
+      } else if (op == 4) {
+        const std::string& family_name = rng.pick(family_names);
+        (void)engine->internals().edit_context_family(
+            family_name, [&](hm::ContextFamily& family) {
+              std::vector<hm::NavigationalContext> contexts =
+                  family.contexts();
+              if (contexts.empty()) return;
+              auto& context = contexts[static_cast<std::size_t>(
+                  rng.below(contexts.size()))];
+              std::vector<std::string> ids = context.node_ids();
+              if (ids.size() < 2) return;
+              std::reverse(ids.begin(), ids.end());
+              context = hm::NavigationalContext(context.family(),
+                                                context.name(),
+                                                std::move(ids));
+              family.replace_contexts(std::move(contexts));
+            });
+      } else if (op == 5) {
+        nav::Profile& victim = profiles[static_cast<std::size_t>(
+            rng.below(profiles.size()))];
+        victim.families = rng.pick(family_subsets);
+        engine->internals().register_profile(victim);
+      } else {
+        engine->internals().rebuild();
+      }
+      ++applied;
+    }
+
+    nav::RebuildReport report = engine->internals().commit_batch();
+    ASSERT_EQ(report.edits_coalesced, applied) << "round " << round;
+    const std::uint64_t epoch_after = engine->internals().snapshots().epoch();
+    if (applied == 0) {
+      ASSERT_EQ(epoch_after, epoch_before) << "round " << round;
+      continue;
+    }
+    ASSERT_EQ(report.epochs_published, 1u) << "round " << round;
+    ASSERT_EQ(epoch_after, epoch_before + 1)
+        << "round " << round << ": a " << applied
+        << "-edit burst must publish exactly one epoch";
+
+    // The origin equals the from-scratch oracle of the batched state.
+    ASSERT_NO_FATAL_FAILURE(expect_sites_identical(
+        engine->site(), full_build_oracle(*engine)))
+        << "site diverged after round " << round;
+
+    // The publisher streamed the whole burst as exactly ONE delta.
+    ASSERT_TRUE(replica->wait_for_epoch(epoch_after,
+                                        std::chrono::seconds(60)))
+        << "round " << round << ": replica stuck at epoch "
+        << replica->stats().epoch << ": " << replica->error();
+    const repl::ReplicaStats rs = replica->stats();
+    ASSERT_EQ(rs.deltas_applied, deltas_before + 1) << "round " << round;
+
+    // And the replica serves the origin's exact bytes.
+    std::map<std::string, std::string> base_bytes;
+    for (auto& [path, content] : engine->site().artifacts()) {
+      base_bytes.emplace(path, content);
+    }
+    std::vector<std::pair<nav::Profile, std::map<std::string, std::string>>>
+        profile_bytes;
+    for (const nav::Profile& profile : profiles) {
+      profile_bytes.emplace_back(profile, profile_oracle(*engine, profile));
+    }
+    ServerUnderTest replicated{"batched-replica", serve::CacheLimits{}, 4,
+                               std::move(replica_server)};
+    ASSERT_NO_FATAL_FAILURE(expect_server_differential(
+        replicated, base_bytes, profile_bytes, round));
+    replica_server = std::move(replicated.server);
+  }
+
+  // The batched end state must be a fixpoint of the force path.
+  std::vector<std::pair<std::string, std::string>> final_state =
+      engine->site().artifacts();
+  engine->internals().rebuild();
+  EXPECT_EQ(engine->site().artifacts(), final_state);
+}
+
 }  // namespace
