@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "nav/worker_pool.hpp"
+#include "obs/registry.hpp"
 
 namespace navsep::nav {
 
@@ -183,9 +184,13 @@ RebuildReport BuildGraph::run(WorkerPool* pool) {
   // dependency order, so a node rebuilds at most once per pass and only
   // after its producers; a topology change aborts the pass and replans.
   constexpr std::size_t kMaxPasses = 64;  // far above any real depth
+  obs::SpanLog* spans = telemetry_ != nullptr ? &telemetry_->spans() : nullptr;
   for (std::size_t pass = 0; pass < kMaxPasses; ++pass) {
     bool any_dirty = false;
-    const Plan plan = this->plan();
+    const Plan plan = [&] {
+      obs::ScopedSpan span(spans, "build.plan", epoch_hint_);
+      return this->plan();
+    }();
     const std::uint64_t planned_topology = topology_revision_;
     for (std::size_t pos = 0; pos < plan.order.size(); ++pos) {
       const std::string& id = plan.order[pos];
@@ -310,15 +315,24 @@ void BuildGraph::run_wave(const std::vector<std::string>& wave,
       }
     });
   }
-  pool.run(tasks);
+  obs::SpanLog* spans = telemetry_ != nullptr ? &telemetry_->spans() : nullptr;
+  {
+    obs::ScopedSpan span(spans, "build.wave.compute", epoch_hint_);
+    pool.run(tasks);
+  }
   report.max_parallel_weaves =
       std::max(report.max_parallel_weaves, wave.size());
+  if (telemetry_ != nullptr) {
+    telemetry_->histogram("build.wave_occupancy")
+        .record(static_cast<std::uint64_t>(wave.size()));
+  }
 
   // Commit serially, in plan order — deterministic regardless of which
   // lane computed what. A compute error surfaces here with serial-run
   // node state: the throwing node is clean with its stale hash (dirty
   // cleared before its callback, exactly like run()), and nodes after it
   // in plan order stay dirty, their computed results discarded.
+  obs::ScopedSpan commit_span(spans, "build.wave.commit", epoch_hint_);
   for (std::size_t i = 0; i < wave.size(); ++i) {
     auto it = nodes_.find(wave[i]);
     if (it == nodes_.end()) continue;

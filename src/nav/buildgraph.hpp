@@ -36,6 +36,10 @@
 #include <string_view>
 #include <vector>
 
+namespace navsep::obs {
+class Registry;
+}
+
 namespace navsep::nav {
 
 class WorkerPool;
@@ -97,6 +101,22 @@ struct RebuildReport {
 
 class BuildGraph {
  public:
+  /// Point graph-run telemetry at `registry` (nullptr = off, the
+  /// default): run()/run(pool) then record epoch-correlated spans
+  /// (build.plan, build.wave.compute, build.wave.commit) into the
+  /// registry's SpanLog and feed each wave's size into the
+  /// `build.wave_occupancy` histogram. The registry must outlive the
+  /// graph or be detached first. Non-owning on purpose: the engine owns
+  /// the shared_ptr, the graph just reports into it.
+  void set_telemetry(obs::Registry* registry) noexcept {
+    telemetry_ = registry;
+  }
+
+  /// The epoch spans recorded by the next run() are stamped with — the
+  /// engine sets it to the epoch the run is building toward, so a
+  /// burst's plan/compute/commit/publish spans all correlate.
+  void set_epoch_hint(std::uint64_t epoch) noexcept { epoch_hint_ = epoch; }
+
   /// Recompute the node's product and return its content hash. Runs only
   /// when the node is dirty; a returned hash equal to the previous one
   /// stops propagation (dependents stay clean).
@@ -198,6 +218,8 @@ class BuildGraph {
   /// Bumped by define()/remove(); run() aborts a pass and replans when it
   /// moves (a same-size swap of nodes would evade a size check).
   std::uint64_t topology_revision_ = 0;
+  obs::Registry* telemetry_ = nullptr;  // non-owning; see set_telemetry
+  std::uint64_t epoch_hint_ = 0;
 };
 
 }  // namespace navsep::nav

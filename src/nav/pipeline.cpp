@@ -164,6 +164,14 @@ RebuildReport Engine::run_graph_now() {
   WorkerPool* pool = eligible_pool();
   RebuildReport report;
   {
+    // Spans recorded under this run (plan/wave/publish) are all stamped
+    // with the epoch the run is building toward, so one edit burst is
+    // traceable end-to-end by epoch.
+    const std::uint64_t target_epoch = snapshots_.epoch() + 1;
+    build_graph_.set_epoch_hint(target_epoch);
+    obs::ScopedSpan span(
+        telemetry_ != nullptr ? &telemetry_->spans() : nullptr, "build.run",
+        target_epoch);
     WaveFlagGuard guard(parallel_wave_active_, pool != nullptr);
     report = build_graph_.run(pool);
   }
@@ -171,6 +179,13 @@ RebuildReport Engine::run_graph_now() {
   // links() point into) may have been rebuilt; re-resolve the session.
   browser_->refresh();
   publish_snapshot();
+  if (telemetry_ != nullptr) {
+    telemetry_->counter("build.runs").add(1);
+    telemetry_->counter("build.nodes_rebuilt").add(report.nodes_rebuilt);
+    telemetry_->counter("build.pages_rewoven").add(report.pages_rewoven);
+    telemetry_->counter("build.linkbases_reauthored")
+        .add(report.linkbases_reauthored);
+  }
   return report;
 }
 
@@ -233,7 +248,35 @@ void Engine::set_weave_workers(std::size_t lanes) {
   pool_ = std::make_unique<WorkerPool>(lanes);
 }
 
+void Engine::attach_telemetry(std::shared_ptr<obs::Registry> registry) {
+  telemetry_sampler_.reset();
+  build_graph_.set_telemetry(registry.get());
+  telemetry_ = std::move(registry);
+  if (telemetry_ == nullptr) return;
+  // Raw pointer capture on purpose: the registry holding a closure that
+  // shares ownership of itself would never be destroyed. The handle
+  // (reset above / on destruction / on re-attach) bounds its use.
+  obs::Registry* reg = telemetry_.get();
+  telemetry_sampler_ = reg->add_sampler([this, reg] {
+    const site::HypermediaServer::Stats s = server_->stats();
+    reg->gauge("engine.server.requests")
+        .set(static_cast<std::int64_t>(s.requests));
+    reg->gauge("engine.server.misses")
+        .set(static_cast<std::int64_t>(s.misses));
+    reg->gauge("engine.server.cache_hits")
+        .set(static_cast<std::int64_t>(s.cache_hits));
+    reg->gauge("engine.server.cache_size")
+        .set(static_cast<std::int64_t>(s.cache_size));
+    reg->gauge("store.epoch")
+        .set(static_cast<std::int64_t>(snapshots_.epoch()));
+    reg->gauge("store.publishes")
+        .set(static_cast<std::int64_t>(snapshots_.publishes()));
+  });
+}
+
 void Engine::publish_snapshot() {
+  obs::ScopedSpan span(telemetry_ != nullptr ? &telemetry_->spans() : nullptr,
+                       "build.publish", snapshots_.epoch() + 1);
   serve::SnapshotOverlayInputs overlays;
   overlays.arcs = combined_arcs_;  // null in Tangled mode: no overlays
   overlays.structure_source = std::string(kStructureLinkbasePath);

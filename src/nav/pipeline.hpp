@@ -38,6 +38,7 @@
 #include "museum/museum.hpp"
 #include "nav/buildgraph.hpp"
 #include "nav/roles.hpp"
+#include "obs/registry.hpp"
 #include "nav/session.hpp"
 #include "nav/worker_pool.hpp"
 #include "serve/snapshot.hpp"
@@ -208,6 +209,10 @@ class Engine final : public EngineInternals {
   void set_weave_workers(std::size_t lanes) override;
   [[nodiscard]] std::size_t weave_workers() const noexcept override {
     return pool_ ? pool_->workers() : 1;
+  }
+  void attach_telemetry(std::shared_ptr<obs::Registry> registry) override;
+  [[nodiscard]] obs::Registry* telemetry() const noexcept override {
+    return telemetry_.get();
   }
 
   // --- weave provenance -------------------------------------------------------
@@ -394,6 +399,13 @@ class Engine final : public EngineInternals {
 
   // --- Menu sub-structure capture ---------------------------------------------
   std::vector<MenuSubSpec> menu_subs_;
+
+  // --- telemetry --------------------------------------------------------------
+  /// Attached registry (see attach_telemetry) and the engine's pull
+  /// sampler registered on it. Handle declared after the registry so it
+  /// unregisters first on destruction.
+  std::shared_ptr<obs::Registry> telemetry_;
+  obs::SamplerHandle telemetry_sampler_;
 };
 
 /// Fluent composer of the whole separated-navigation pipeline. Stages may

@@ -33,6 +33,9 @@ class Weaver;
 namespace navsep::hypermedia {
 class ContextFamily;
 }
+namespace navsep::obs {
+class Registry;
+}
 namespace navsep::serve {
 class SnapshotStore;
 }
@@ -263,6 +266,22 @@ class EngineInternals {
 
   /// The configured lane count (1 when serial).
   [[nodiscard]] virtual std::size_t weave_workers() const noexcept = 0;
+
+  // --- telemetry --------------------------------------------------------------
+
+  /// Attach a metrics registry (obs/registry.hpp). The engine registers
+  /// a pull sampler mirroring its writer-side stats (HypermediaServer
+  /// counters, snapshot-store epoch/publishes) into gauges, counts every
+  /// graph run into `build.*` counters, feeds wave occupancy into a
+  /// histogram, and records epoch-correlated spans (build.plan /
+  /// build.wave.compute / build.wave.commit / build.publish) into the
+  /// registry's SpanLog. Pass nullptr to detach. The registry must
+  /// outlive the engine or be detached first; attaching is writer-side
+  /// state like every mutation.
+  virtual void attach_telemetry(std::shared_ptr<obs::Registry> registry) = 0;
+
+  /// The attached registry (nullptr when telemetry is off).
+  [[nodiscard]] virtual obs::Registry* telemetry() const noexcept = 0;
 };
 
 }  // namespace navsep::nav

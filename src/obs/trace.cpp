@@ -1,0 +1,19 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace navsep::obs {
+
+std::vector<std::pair<std::string, std::uint64_t>> TraceAggregate::top_pages(
+    std::size_t n) const {
+  std::vector<std::pair<std::string, std::uint64_t>> out(page_views.begin(),
+                                                         page_views.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+}  // namespace navsep::obs

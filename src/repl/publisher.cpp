@@ -10,7 +10,26 @@ Publisher::Publisher(const serve::SnapshotStore& store, Listener listener,
     : store_(&store),
       listener_(std::move(listener)),
       endpoint_(listener_.endpoint()),
-      options_(options) {
+      options_(std::move(options)) {
+  if (options_.telemetry != nullptr) {
+    // Raw pointer: a shared_ptr capture would let the registry own a
+    // closure owning the registry. options_ keeps the shared_ptr alive
+    // for the publisher's lifetime; the handle unregisters first.
+    obs::Registry* reg = options_.telemetry.get();
+    telemetry_sampler_ = reg->add_sampler([this, reg] {
+      const Stats s = stats();
+      const auto g = [reg](const char* name, std::uint64_t v) {
+        reg->gauge(name).set(static_cast<std::int64_t>(v));
+      };
+      g("repl.pub.subscribers_accepted", s.subscribers_accepted);
+      g("repl.pub.subscribers_active", s.subscribers_active);
+      g("repl.pub.full_frames", s.full_frames);
+      g("repl.pub.delta_frames", s.delta_frames);
+      g("repl.pub.resync_fulls", s.resync_fulls);
+      g("repl.pub.full_bytes", s.full_bytes);
+      g("repl.pub.delta_bytes", s.delta_bytes);
+    });
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -98,28 +117,39 @@ void Publisher::stream_to(Subscriber& subscriber) {
         std::this_thread::sleep_for(poll_interval);
         continue;
       }
+      obs::SpanLog* spans = options_.telemetry != nullptr
+                                ? &options_.telemetry->spans()
+                                : nullptr;
       std::string frame_bytes;
-      if (!last_sent) {
-        // Mid-stream connect: the subscriber starts from a FULL frame.
-        frame_bytes = encode_frame(FrameType::Full, encode_full(*current));
-        full_frames_.fetch_add(1, std::memory_order_relaxed);
-        full_bytes_.fetch_add(frame_bytes.size(), std::memory_order_relaxed);
-      } else if (current->epoch() - last_sent->epoch() >
-                 options_.max_delta_gap) {
-        // Resync-on-gap: a delta chain this long would outweigh the
-        // site; start the subscriber over from the current epoch.
-        frame_bytes = encode_frame(FrameType::Full, encode_full(*current));
-        full_frames_.fetch_add(1, std::memory_order_relaxed);
-        resync_fulls_.fetch_add(1, std::memory_order_relaxed);
-        full_bytes_.fetch_add(frame_bytes.size(), std::memory_order_relaxed);
-      } else {
-        frame_bytes = encode_frame(FrameType::Delta,
-                                   encode_delta(*last_sent, *current));
-        delta_frames_.fetch_add(1, std::memory_order_relaxed);
-        delta_bytes_.fetch_add(frame_bytes.size(),
-                               std::memory_order_relaxed);
+      {
+        obs::ScopedSpan span(spans, "repl.encode", current->epoch());
+        if (!last_sent) {
+          // Mid-stream connect: the subscriber starts from a FULL frame.
+          frame_bytes = encode_frame(FrameType::Full, encode_full(*current));
+          full_frames_.fetch_add(1, std::memory_order_relaxed);
+          full_bytes_.fetch_add(frame_bytes.size(),
+                                std::memory_order_relaxed);
+        } else if (current->epoch() - last_sent->epoch() >
+                   options_.max_delta_gap) {
+          // Resync-on-gap: a delta chain this long would outweigh the
+          // site; start the subscriber over from the current epoch.
+          frame_bytes = encode_frame(FrameType::Full, encode_full(*current));
+          full_frames_.fetch_add(1, std::memory_order_relaxed);
+          resync_fulls_.fetch_add(1, std::memory_order_relaxed);
+          full_bytes_.fetch_add(frame_bytes.size(),
+                                std::memory_order_relaxed);
+        } else {
+          frame_bytes = encode_frame(FrameType::Delta,
+                                     encode_delta(*last_sent, *current));
+          delta_frames_.fetch_add(1, std::memory_order_relaxed);
+          delta_bytes_.fetch_add(frame_bytes.size(),
+                                 std::memory_order_relaxed);
+        }
       }
-      subscriber.conn.write_frame(frame_bytes);
+      {
+        obs::ScopedSpan span(spans, "repl.ship", current->epoch());
+        subscriber.conn.write_frame(frame_bytes);
+      }
       last_sent = std::move(current);
     }
   } catch (const TransportError&) {

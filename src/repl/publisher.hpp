@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "repl/transport.hpp"
 #include "serve/snapshot.hpp"
 
@@ -46,6 +47,12 @@ struct PublisherOptions {
   /// How long the accept loop waits per poll before re-checking the
   /// stop flag.
   int accept_timeout_ms = 50;
+
+  /// Optional metrics registry: the publisher registers a pull sampler
+  /// mirroring stats() into `repl.pub.*` gauges and records
+  /// epoch-correlated spans (repl.encode / repl.ship) into the
+  /// registry's SpanLog. The registry must outlive the publisher.
+  std::shared_ptr<obs::Registry> telemetry;
 };
 
 class Publisher {
@@ -105,6 +112,8 @@ class Publisher {
   std::atomic<std::size_t> resync_fulls_{0};
   std::atomic<std::uint64_t> full_bytes_{0};
   std::atomic<std::uint64_t> delta_bytes_{0};
+
+  obs::SamplerHandle telemetry_sampler_;
 };
 
 }  // namespace navsep::repl

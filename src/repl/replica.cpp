@@ -7,7 +7,10 @@ namespace navsep::repl {
 bool Replica::apply_next() {
   Frame frame;
   if (!conn_.read_frame(frame)) return false;
+  obs::ScopedSpan span(telemetry_ != nullptr ? &telemetry_->spans() : nullptr,
+                       "repl.apply", /*epoch=*/0);
   auto next = apply_frame(frame, current_);
+  span.set_epoch(next->epoch());
   // Count the frame BEFORE publishing: wait_for_epoch() wakes on the
   // store's epoch, so the stats a waiter reads afterwards must already
   // include the frame that advanced it.
@@ -77,6 +80,26 @@ ReplicaStats Replica::stats() const {
 std::string Replica::error() const {
   std::lock_guard<std::mutex> lock(error_mutex_);
   return error_;
+}
+
+void Replica::attach_telemetry(std::shared_ptr<obs::Registry> registry) {
+  telemetry_sampler_.reset();
+  telemetry_ = std::move(registry);
+  if (telemetry_ == nullptr) return;
+  // Raw pointer: the registry must not own (via the closure) a share of
+  // itself. telemetry_ keeps it alive; the handle unregisters first.
+  obs::Registry* reg = telemetry_.get();
+  telemetry_sampler_ = reg->add_sampler([this, reg] {
+    const ReplicaStats s = stats();
+    const auto g = [reg](const char* name, std::uint64_t v) {
+      reg->gauge(name).set(static_cast<std::int64_t>(v));
+    };
+    g("repl.rep.frames_applied", s.frames_applied);
+    g("repl.rep.fulls_applied", s.fulls_applied);
+    g("repl.rep.deltas_applied", s.deltas_applied);
+    g("repl.rep.bytes_received", s.bytes_received);
+    g("repl.rep.epoch", s.epoch);
+  });
 }
 
 }  // namespace navsep::repl

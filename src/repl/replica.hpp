@@ -23,6 +23,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/registry.hpp"
 #include "repl/transport.hpp"
 #include "serve/snapshot.hpp"
 
@@ -83,6 +84,14 @@ class Replica {
   /// error, holds that error's message (EOF is not an error).
   [[nodiscard]] std::string error() const;
 
+  /// Attach a metrics registry: registers a pull sampler mirroring
+  /// stats() into `repl.rep.*` gauges and records an epoch-correlated
+  /// `repl.apply` span per applied frame into the registry's SpanLog.
+  /// Call BEFORE start() (it is not synchronized against the apply
+  /// thread); the registry must outlive the replica. Pass nullptr to
+  /// detach.
+  void attach_telemetry(std::shared_ptr<obs::Registry> registry);
+
  private:
   Connection conn_;
   serve::SnapshotStore store_;
@@ -97,6 +106,9 @@ class Replica {
 
   mutable std::mutex error_mutex_;
   std::string error_;
+
+  std::shared_ptr<obs::Registry> telemetry_;
+  obs::SamplerHandle telemetry_sampler_;
 };
 
 }  // namespace navsep::repl

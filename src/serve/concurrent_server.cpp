@@ -200,49 +200,110 @@ site::Response ConcurrentServer::get(std::string_view uri_or_path,
   return r;
 }
 
-ConcurrentServer::Stats ConcurrentServer::stats() const {
-  Stats s;
-  s.base_cap_per_shard = limits_.base_entries_per_shard;
-  s.overlay_cap_per_shard = limits_.overlay_entries_per_shard;
-  s.base_byte_cap_per_shard = limits_.base_bytes_per_shard;
-  s.overlay_byte_cap_per_shard = limits_.overlay_bytes_per_shard;
-  for (std::size_t i = 0; i < n_shards_; ++i) {
-    const BaseShard& shard = shards_[i];
+namespace {
+
+/// Aggregate one layer's shard array into its symmetric LayerStats.
+template <typename ShardT>
+ConcurrentServer::LayerStats aggregate_layer(const ShardT* shards,
+                                             std::size_t n,
+                                             std::size_t entry_cap,
+                                             std::size_t byte_cap) {
+  ConcurrentServer::LayerStats s;
+  s.entry_cap_per_shard = entry_cap;
+  s.byte_cap_per_shard = byte_cap;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ShardT& shard = shards[i];
     {
       // One lock per shard samples the residency ledger coherently:
       // inserted == entries + evicted holds in the aggregate too.
       std::lock_guard<std::mutex> lock(shard.mutex);
-      s.cached_entries += shard.cache.size();
-      s.cache_inserted += shard.inserted;
-      s.cache_evicted += shard.evicted;
-      s.cached_bytes += shard.resident_bytes;
+      s.entries += shard.cache.size();
+      s.inserted += shard.inserted;
+      s.evicted += shard.evicted;
+      s.resident_bytes += shard.resident_bytes;
     }
     // hits/resolves before requests: per shard, requests >= hits +
     // resolves stays true in the sample.
-    s.cache_hits += shard.hits.load(std::memory_order_relaxed);
-    s.snapshot_resolves += shard.resolves.load(std::memory_order_relaxed);
+    s.hits += shard.hits.load(std::memory_order_relaxed);
+    s.resolves += shard.resolves.load(std::memory_order_relaxed);
     s.stale_refills += shard.stale_refills.load(std::memory_order_relaxed);
     s.not_found += shard.not_found.load(std::memory_order_relaxed);
     s.requests += shard.requests.load(std::memory_order_relaxed);
   }
-  for (std::size_t i = 0; i < n_shards_; ++i) {
-    const OverlayShard& shard = overlay_shards_[i];
-    {
-      std::lock_guard<std::mutex> lock(shard.mutex);
-      s.overlay_entries += shard.cache.size();
-      s.overlay_inserted += shard.inserted;
-      s.overlay_evicted += shard.evicted;
-      s.overlay_bytes += shard.resident_bytes;
-    }
-    s.overlay_hits += shard.hits.load(std::memory_order_relaxed);
-    s.overlay_renders += shard.resolves.load(std::memory_order_relaxed);
-    s.overlay_stale_renders +=
-        shard.stale_refills.load(std::memory_order_relaxed);
-    s.overlay_not_found += shard.not_found.load(std::memory_order_relaxed);
-    s.overlay_requests += shard.requests.load(std::memory_order_relaxed);
-  }
+  return s;
+}
+
+}  // namespace
+
+ConcurrentServer::UnifiedStats ConcurrentServer::unified_stats() const {
+  UnifiedStats s;
+  s.base = aggregate_layer(shards_.get(), n_shards_,
+                           limits_.base_entries_per_shard,
+                           limits_.base_bytes_per_shard);
+  s.overlay = aggregate_layer(overlay_shards_.get(), n_shards_,
+                              limits_.overlay_entries_per_shard,
+                              limits_.overlay_bytes_per_shard);
   s.epoch = store_->epoch();
   return s;
+}
+
+ConcurrentServer::Stats ConcurrentServer::stats() const {
+  const UnifiedStats u = unified_stats();
+  Stats s;
+  s.requests = u.base.requests;
+  s.cache_hits = u.base.hits;
+  s.snapshot_resolves = u.base.resolves;
+  s.stale_refills = u.base.stale_refills;
+  s.not_found = u.base.not_found;
+  s.cached_entries = u.base.entries;
+  s.cache_inserted = u.base.inserted;
+  s.cache_evicted = u.base.evicted;
+  s.cached_bytes = u.base.resident_bytes;
+  s.epoch = u.epoch;
+  s.overlay_requests = u.overlay.requests;
+  s.overlay_hits = u.overlay.hits;
+  s.overlay_renders = u.overlay.resolves;
+  s.overlay_stale_renders = u.overlay.stale_refills;
+  s.overlay_not_found = u.overlay.not_found;
+  s.overlay_entries = u.overlay.entries;
+  s.overlay_inserted = u.overlay.inserted;
+  s.overlay_evicted = u.overlay.evicted;
+  s.overlay_bytes = u.overlay.resident_bytes;
+  s.base_cap_per_shard = u.base.entry_cap_per_shard;
+  s.overlay_cap_per_shard = u.overlay.entry_cap_per_shard;
+  s.base_byte_cap_per_shard = u.base.byte_cap_per_shard;
+  s.overlay_byte_cap_per_shard = u.overlay.byte_cap_per_shard;
+  return s;
+}
+
+obs::SamplerHandle ConcurrentServer::register_metrics(
+    std::shared_ptr<obs::Registry> registry, std::string prefix) const {
+  // The sampler captures the registry as a raw pointer on purpose: a
+  // shared_ptr capture would make the registry own a closure owning the
+  // registry. The SamplerHandle contract already forces the caller to
+  // drop the handle before the registry, which bounds the pointer's use.
+  obs::Registry* reg = registry.get();
+  return reg->add_sampler([this, reg, prefix = std::move(prefix)] {
+    const UnifiedStats u = unified_stats();
+    const auto layer = [&](const std::string& name, const LayerStats& s) {
+      const std::string p = prefix + '.' + name + '.';
+      const auto g = [&](const char* field, std::size_t v) {
+        reg->gauge(p + field).set(static_cast<std::int64_t>(v));
+      };
+      g("requests", s.requests);
+      g("hits", s.hits);
+      g("resolves", s.resolves);
+      g("stale_refills", s.stale_refills);
+      g("not_found", s.not_found);
+      g("entries", s.entries);
+      g("inserted", s.inserted);
+      g("evicted", s.evicted);
+      g("resident_bytes", s.resident_bytes);
+    };
+    layer("base", u.base);
+    layer("overlay", u.overlay);
+    reg->gauge(prefix + ".epoch").set(static_cast<std::int64_t>(u.epoch));
+  });
 }
 
 }  // namespace navsep::serve

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "nav/profile.hpp"
+#include "obs/registry.hpp"
 #include "serve/snapshot.hpp"
 #include "site/server.hpp"
 
@@ -59,21 +60,47 @@ struct CacheLimits {
 
 class ConcurrentServer final : public site::PageService {
  public:
-  /// Counters, one coherent-enough sample across shards. requests >=
-  /// cache_hits + snapshot_resolves holds per shard (hits/resolves are
-  /// summed before requests). The overlay_* counters cover the
-  /// profile-scoped layer (get(uri, profile)); its entries retire by
-  /// slice-precise content validity (serve::OverlayValidity), not by
-  /// epoch, so a publication that leaves a profile's inputs untouched
-  /// costs it nothing.
-  ///
-  /// The residency ledger reconciles exactly: per layer,
-  /// `inserted == entries + evicted` — inserted counts first-time key
-  /// insertions, evicted counts every removal (LRU-capacity eviction
-  /// AND staleness retirement of a path that 404s in the current
-  /// snapshot); refreshing an existing key in place is neither.
-  /// inserted/evicted/entries are sampled under each shard's lock, so
-  /// the ledger balances even while traffic runs.
+  /// One cache layer's counters, symmetrically named for both layers.
+  /// requests >= hits + resolves holds per shard (hits/resolves are
+  /// summed before requests), and the residency ledger reconciles
+  /// exactly: `inserted == entries + evicted` — inserted counts
+  /// first-time key insertions, evicted counts every removal
+  /// (LRU-capacity eviction AND staleness retirement of a path that
+  /// 404s in the current snapshot); refreshing an existing key in place
+  /// is neither. inserted/evicted/entries/resident_bytes are sampled
+  /// under each shard's lock, so the ledger balances even while traffic
+  /// runs.
+  struct LayerStats {
+    std::size_t requests = 0;
+    std::size_t hits = 0;      ///< served from a valid cached entry
+    std::size_t resolves = 0;  ///< resolved/rendered against the snapshot
+    std::size_t stale_refills = 0;  ///< resolves replacing an invalid entry
+    std::size_t not_found = 0;      ///< 404s
+    std::size_t entries = 0;        ///< live entries across shards
+    std::size_t inserted = 0;       ///< entries ever added
+    std::size_t evicted = 0;        ///< entries ever removed
+    std::size_t resident_bytes = 0;  ///< Σ cached response bodies
+    /// The configured per-shard caps, echoed (kUnbounded when off).
+    std::size_t entry_cap_per_shard = CacheLimits::kUnbounded;
+    std::size_t byte_cap_per_shard = CacheLimits::kUnbounded;
+  };
+
+  /// Both layers under one naming scheme. `base` is the epoch-validated
+  /// page cache (get(uri)); `overlay` is the profile-scoped layer
+  /// (get(uri, profile)), whose entries retire by slice-precise content
+  /// validity (serve::OverlayValidity), not by epoch — a publication
+  /// that leaves a profile's inputs untouched costs it nothing.
+  struct UnifiedStats {
+    LayerStats base;
+    LayerStats overlay;
+    std::uint64_t epoch = 0;  ///< store epoch at sample time
+  };
+
+  /// Compatibility view of UnifiedStats, preserving the historical
+  /// asymmetric field names (cache_hits vs overlay_hits,
+  /// snapshot_resolves vs overlay_renders, ...). New code should prefer
+  /// unified_stats(); this struct is a thin mapping kept so existing
+  /// callers and dashboards don't churn.
   struct Stats {
     std::size_t requests = 0;
     std::size_t cache_hits = 0;         ///< served from a fresh shard entry
@@ -157,9 +184,23 @@ class ConcurrentServer final : public site::PageService {
   [[nodiscard]] std::size_t shard_count() const noexcept { return n_shards_; }
   [[nodiscard]] const CacheLimits& limits() const noexcept { return limits_; }
 
-  /// Aggregate the per-shard counters (locks each shard briefly for its
-  /// residency ledger; counter loads are ordered per shard, see Stats).
+  /// Aggregate the per-shard counters into the symmetric two-layer view
+  /// (locks each shard briefly for its residency ledger; counter loads
+  /// are ordered per shard, see LayerStats).
+  [[nodiscard]] UnifiedStats unified_stats() const;
+
+  /// The historical flat view, mapped field-for-field from
+  /// unified_stats().
   [[nodiscard]] Stats stats() const;
+
+  /// Register a pull sampler on `registry` that mirrors unified_stats()
+  /// into gauges at every Registry::snapshot() — `<prefix>.base.*` and
+  /// `<prefix>.overlay.*` with the symmetric LayerStats names, plus
+  /// `<prefix>.epoch`. The returned handle unregisters on destruction;
+  /// the caller must drop it (or the registry) before this server dies.
+  [[nodiscard]] obs::SamplerHandle register_metrics(
+      std::shared_ptr<obs::Registry> registry,
+      std::string prefix = "serve") const;
 
   static constexpr std::size_t kDefaultShards = 16;
 

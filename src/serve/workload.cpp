@@ -43,17 +43,9 @@ void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
 }
 
 std::uint64_t LatencyHistogram::quantile_ns(double q) const noexcept {
-  if (count_ == 0) return 0;
-  if (q < 0.0) q = 0.0;
-  if (q > 1.0) q = 1.0;
-  const auto rank = static_cast<std::uint64_t>(
-      q * static_cast<double>(count_ - 1));
-  std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    seen += counts_[i];
-    if (seen > rank) return std::uint64_t{1} << (i + 1);  // bucket upper bound
-  }
-  return max_ns_;
+  const double v = obs::log2_interpolated_quantile(counts_.data(), kBuckets,
+                                                   count_, max_ns_, q);
+  return static_cast<std::uint64_t>(v + 0.5);
 }
 
 // --- session behaviors --------------------------------------------------------
@@ -67,18 +59,51 @@ struct SessionOutcome {
   std::size_t requests = 0;
   std::size_t failures = 0;
   LatencyHistogram latency;
+
+  // Trace capture: null ring = off (the default — zero cost on the
+  // request path). The ring is single-writer: this session's thread is
+  // the only writer, the aggregator reads only after join.
+  obs::TraceRing* ring = nullptr;
+  std::uint32_t sample_every = 1;
+  std::uint64_t sample_clock = 0;
+  const ConcurrentServer* server = nullptr;  ///< epoch stamps for events
+  std::string profile;  ///< profile lens of this session, "" for base
 };
 
-/// One timed GET; returns ok.
+/// Record one navigation step into the session's ring, honoring the
+/// sampling stride. `from`/`role` say how the session arrived at `to`
+/// ("" = direct entry / re-seed jump, i.e. no arc was followed).
+void maybe_trace(SessionOutcome& out, std::string_view from,
+                 std::string_view to, std::string_view role,
+                 std::uint64_t latency_ns, bool ok) {
+  if (out.ring == nullptr) return;
+  if (out.sample_clock++ % out.sample_every != 0) return;
+  obs::TraceEvent event;
+  event.from = std::string(from);
+  event.to = std::string(to);
+  event.role = std::string(role);
+  event.profile = out.profile;
+  event.epoch = out.server != nullptr ? out.server->epoch() : 0;
+  event.latency_ns = latency_ns;
+  event.ok = ok;
+  out.ring->record(std::move(event));
+}
+
+/// One timed GET; returns ok. `from`/`role` describe the arc the
+/// session followed to reach `uri` (trace capture only — "" when the
+/// session jumped there directly).
 bool timed_get(const ConcurrentServer& server, std::string_view uri,
-               SessionOutcome& out) {
+               SessionOutcome& out, std::string_view from = {},
+               std::string_view role = {}) {
   const auto t0 = std::chrono::steady_clock::now();
   site::Response r = server.get(uri);
   const auto t1 = std::chrono::steady_clock::now();
-  out.latency.record(static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  out.latency.record(ns);
   ++out.requests;
   if (!r.ok()) ++out.failures;
+  maybe_trace(out, from, uri, role, ns, r.ok());
   return r.ok();
 }
 
@@ -121,11 +146,15 @@ void run_random_surfer(const ConcurrentServer& server,
                        std::size_t steps, SessionOutcome& out) {
   PageIndex index;
   std::string location = entry_path;
+  std::string from;  // where the last followed arc left from
+  std::string role;  // and its role ("" = jumped, no arc)
   for (std::size_t i = 0; i < steps; ++i) {
     ++out.steps;
     std::shared_ptr<const SiteSnapshot> snap = server.snapshot();
-    if (!timed_get(server, location, out)) {
+    if (!timed_get(server, location, out, from, role)) {
       location = random_page(index, *snap, rng, entry_path);
+      from.clear();
+      role.clear();
       continue;
     }
     const std::vector<SnapshotArc>& arcs = snap->outgoing(location);
@@ -134,8 +163,16 @@ void run_random_surfer(const ConcurrentServer& server,
     for (const SnapshotArc& arc : arcs) {
       if (arc.traversable) traversable.push_back(&arc);
     }
-    location = traversable.empty() ? random_page(index, *snap, rng, entry_path)
-                                   : rng.pick(traversable)->to;
+    if (traversable.empty()) {
+      location = random_page(index, *snap, rng, entry_path);
+      from.clear();
+      role.clear();
+    } else {
+      const SnapshotArc* arc = rng.pick(traversable);
+      from = location;
+      role = arc->arcrole;
+      location = arc->to;
+    }
   }
 }
 
@@ -147,11 +184,15 @@ void run_arc_tour(const ConcurrentServer& server,
                   SessionOutcome& out) {
   PageIndex index;
   std::string location = entry_path;
+  std::string from;
+  std::string role;
   for (std::size_t i = 0; i < steps; ++i) {
     ++out.steps;
     std::shared_ptr<const SiteSnapshot> snap = server.snapshot();
-    if (!timed_get(server, location, out)) {
+    if (!timed_get(server, location, out, from, role)) {
       location = random_page(index, *snap, rng, entry_path);
+      from.clear();
+      role.clear();
       continue;
     }
     const bool forward = !rng.chance(0.2);
@@ -160,8 +201,15 @@ void run_arc_tour(const ConcurrentServer& server,
     if (arc == nullptr && forward) {
       arc = snap->outgoing_with_role(location, "up");
     }
-    location = arc != nullptr ? arc->to
-                              : random_page(index, *snap, rng, entry_path);
+    if (arc != nullptr) {
+      from = location;
+      role = arc->arcrole;
+      location = arc->to;
+    } else {
+      location = random_page(index, *snap, rng, entry_path);
+      from.clear();
+      role.clear();
+    }
   }
 }
 
@@ -184,10 +232,19 @@ bool enter_random_context(
 
 void fetch_current(const ConcurrentServer& server,
                    const site::NavigationSession& session,
-                   SessionOutcome& out) {
+                   SessionOutcome& out, std::string_view from = {},
+                   std::string_view role = {}) {
   if (session.current() == nullptr) return;
   (void)timed_get(server, core::default_href_for(session.current()->id()),
-                  out);
+                  out, from, role);
+}
+
+/// Served path of the session's current node — only materialized when
+/// tracing is on (it feeds the next event's `from`).
+std::string trace_location(const SessionOutcome& out,
+                           const site::NavigationSession& session) {
+  if (out.ring == nullptr || session.current() == nullptr) return {};
+  return core::default_href_for(session.current()->id());
 }
 
 void run_guided_tour(const ConcurrentServer& server,
@@ -204,13 +261,21 @@ void run_guided_tour(const ConcurrentServer& server,
     run_arc_tour(server, entry_path, rng, steps, out);
     return;
   }
+  std::string from;
+  std::string role;
   for (std::size_t i = 0; i < steps; ++i) {
     ++out.steps;
-    fetch_current(server, session, out);
+    fetch_current(server, session, out, from, role);
+    const std::string here = trace_location(out, session);
     const bool forward = !rng.chance(0.2);
     const bool moved = forward ? session.next() : session.prev();
-    if (!moved) {
+    if (moved) {
+      from = here;
+      role = forward ? "next" : "prev";
+    } else {
       // Hit an end of the tour: start over in another context.
+      from.clear();
+      role.clear();
       session.leave_context();
       if (!enter_random_context(session, families, rng)) return;
     }
@@ -231,36 +296,52 @@ void run_context_switcher(
     run_random_surfer(server, entry_path, rng, steps, out);
     return;
   }
+  std::string from;
+  std::string role;
   for (std::size_t i = 0; i < steps; ++i) {
     ++out.steps;
-    fetch_current(server, session, out);
+    fetch_current(server, session, out, from, role);
+    const std::string here = trace_location(out, session);
     if (rng.chance(0.3)) {
       // The paper's §2 move: keep the node, re-reach it through another
       // family — "next" now means something different.
       const hm::ContextFamily* family = rng.pick(families);
-      if (!session.through(family->name()) &&
-          !enter_random_context(session, families, rng)) {
-        return;
+      if (session.through(family->name())) {
+        from = here;
+        role = "through";
+        continue;
       }
+      from.clear();
+      role.clear();
+      if (!enter_random_context(session, families, rng)) return;
       continue;
     }
-    if (!(rng.chance(0.8) ? session.next() : session.prev()) &&
-        !enter_random_context(session, families, rng)) {
-      return;
+    const bool forward = rng.chance(0.8);
+    if (forward ? session.next() : session.prev()) {
+      from = here;
+      role = forward ? "next" : "prev";
+    } else {
+      from.clear();
+      role.clear();
+      if (!enter_random_context(session, families, rng)) return;
     }
   }
 }
 
 /// One timed profile-scoped GET; returns ok.
 bool timed_profile_get(const ConcurrentServer& server, std::string_view uri,
-                       const std::string& profile, SessionOutcome& out) {
+                       const std::string& profile, SessionOutcome& out,
+                       std::string_view from = {},
+                       std::string_view role = {}) {
   const auto t0 = std::chrono::steady_clock::now();
   site::Response r = server.get(uri, profile);
   const auto t1 = std::chrono::steady_clock::now();
-  out.latency.record(static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  out.latency.record(ns);
   ++out.requests;
   if (!r.ok()) ++out.failures;
+  maybe_trace(out, from, uri, role, ns, r.ok());
   return r.ok();
 }
 
@@ -273,11 +354,15 @@ void run_profile_mix(const ConcurrentServer& server,
                      std::size_t steps, SessionOutcome& out) {
   PageIndex index;
   std::string location = entry_path;
+  std::string from;
+  std::string role;
   for (std::size_t i = 0; i < steps; ++i) {
     ++out.steps;
     std::shared_ptr<const SiteSnapshot> snap = server.snapshot();
-    if (!timed_profile_get(server, location, profile_name, out)) {
+    if (!timed_profile_get(server, location, profile_name, out, from, role)) {
       location = random_page(index, *snap, rng, entry_path);
+      from.clear();
+      role.clear();
       continue;
     }
     // The profile is always present: profile_names came from a snapshot
@@ -286,9 +371,16 @@ void run_profile_mix(const ConcurrentServer& server,
     const navsep::nav::Profile* profile = snap->find_profile(profile_name);
     std::vector<const core::NavArc*> arcs =
         snap->profile_arcs(location, *profile);
-    location = arcs.empty()
-                   ? random_page(index, *snap, rng, entry_path)
-                   : core::default_href_for(rng.pick(arcs)->to);
+    if (arcs.empty()) {
+      location = random_page(index, *snap, rng, entry_path);
+      from.clear();
+      role.clear();
+    } else {
+      const core::NavArc* arc = rng.pick(arcs);
+      from = location;
+      role = arc->role;
+      location = core::default_href_for(arc->to);
+    }
   }
 }
 
@@ -364,6 +456,23 @@ WorkloadResult Workload::run(ConcurrentServer& server,
 
   const std::size_t threads = options.threads == 0 ? 1 : options.threads;
   std::vector<SessionOutcome> outcomes(threads);
+
+  // One ring per session, owned here: each session thread is its ring's
+  // only writer; the aggregation below reads them only after join.
+  std::vector<std::unique_ptr<obs::TraceRing>> rings;
+  if (options.trace.enabled) {
+    rings.reserve(threads);
+    const std::uint32_t stride =
+        options.trace.sample_every == 0 ? 1 : options.trace.sample_every;
+    for (std::size_t t = 0; t < threads; ++t) {
+      rings.push_back(
+          std::make_unique<obs::TraceRing>(options.trace.ring_capacity));
+      outcomes[t].ring = rings.back().get();
+      outcomes[t].sample_every = stride;
+      outcomes[t].server = &server;
+    }
+  }
+
   std::vector<std::thread> pool;
   pool.reserve(threads);
 
@@ -402,11 +511,11 @@ WorkloadResult Workload::run(ConcurrentServer& server,
             // are every behaviors.size()-th t), not the global thread
             // index — t % profiles would correlate with the behavior
             // slot and starve profiles in mixed-behavior runs.
-            run_profile_mix(server,
-                            profile_names[(t / behaviors.size()) %
-                                          profile_names.size()],
-                            entry_path_, rng, options.steps_per_session,
-                            out);
+            const std::string& profile =
+                profile_names[(t / behaviors.size()) % profile_names.size()];
+            out.profile = profile;
+            run_profile_mix(server, profile, entry_path_, rng,
+                            options.steps_per_session, out);
           }
           break;
       }
@@ -435,15 +544,38 @@ WorkloadResult Workload::run(ConcurrentServer& server,
     ++tally.sessions;
     tally.requests += out.requests;
     tally.failures += out.failures;
+    tally.latency.merge(out.latency);
   }
   for (const BehaviorTally& tally : tallies) {
     if (tally.sessions > 0) result.by_behavior.push_back(tally);
   }
+  for (const auto& ring : rings) result.traces.absorb(*ring);
   result.throughput_rps =
       result.seconds > 0.0
           ? static_cast<double>(result.requests) / result.seconds
           : 0.0;
   result.server = server.stats();
+
+  if (options.telemetry != nullptr) {
+    obs::Registry& reg = *options.telemetry;
+    reg.counter("workload.sessions").add(result.sessions);
+    reg.counter("workload.steps").add(result.steps);
+    reg.counter("workload.requests").add(result.requests);
+    reg.counter("workload.failures").add(result.failures);
+    reg.counter("workload.traces.recorded").add(result.traces.recorded);
+    reg.counter("workload.traces.dropped").add(result.traces.dropped);
+    const auto absorb = [&reg](std::string_view name,
+                               const LatencyHistogram& h) {
+      reg.histogram(name).absorb(h.buckets().data(), h.buckets().size(),
+                                 h.count(), h.total_ns(), h.max_ns());
+    };
+    absorb("workload.latency", result.latency);
+    for (const BehaviorTally& tally : result.by_behavior) {
+      absorb(std::string("workload.latency.") +
+                 std::string(to_string(tally.behavior)),
+             tally.latency);
+    }
+  }
   return result;
 }
 

@@ -31,10 +31,13 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "serve/concurrent_server.hpp"
 
 namespace navsep::nav {
@@ -79,8 +82,11 @@ class LatencyHistogram {
                              static_cast<double>(count_);
   }
 
-  /// Upper bound (ns) of the bucket holding the q-quantile sample
-  /// (q in [0,1]); 0 when empty.
+  /// The q-quantile sample (q in [0,1]), interpolated linearly within
+  /// its log2 bucket's [2^i, 2^(i+1)) range by rank and clamped to the
+  /// observed maximum — not the bucket's upper bound, which would
+  /// overstate a quantile landing just past a boundary by up to 2x.
+  /// 0 when empty.
   [[nodiscard]] std::uint64_t quantile_ns(double q) const noexcept;
 
   [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets()
@@ -106,6 +112,19 @@ struct WorkloadOptions {
   std::vector<Behavior> behaviors;
 
   std::uint64_t seed = 42;
+
+  /// Navigation trace capture (obs/trace.hpp). Off by default; when
+  /// enabled each session records every `trace.sample_every`-th step
+  /// into its own single-writer ring, folded into
+  /// WorkloadResult::traces after the sessions join.
+  obs::TraceConfig trace;
+
+  /// Optional metrics registry. When set, the run exports its
+  /// counters, per-behavior latency histograms
+  /// (`workload.latency.<behavior>`), and trace tallies into it after
+  /// the sessions join — nothing touches the registry on the request
+  /// path.
+  std::shared_ptr<obs::Registry> telemetry;
 };
 
 struct BehaviorTally {
@@ -113,6 +132,7 @@ struct BehaviorTally {
   std::size_t sessions = 0;
   std::size_t requests = 0;
   std::size_t failures = 0;  ///< 404s (expected under concurrent edits)
+  LatencyHistogram latency;  ///< this behavior's sessions only
 };
 
 struct WorkloadResult {
@@ -125,6 +145,7 @@ struct WorkloadResult {
   LatencyHistogram latency;
   ConcurrentServer::Stats server;  ///< sampled after the run
   std::vector<BehaviorTally> by_behavior;
+  obs::TraceAggregate traces;  ///< empty unless options.trace.enabled
 };
 
 /// The session pool. Construct it BEFORE any concurrent writer starts

@@ -9,13 +9,16 @@
 //     context reorders) M ms apart before draining and exiting.
 //
 //   navsep_replica replica <endpoint> [--until-epoch E] [--timeout-ms T]
-//                  [--page PATH] [--profile NAME]
+//                  [--page PATH] [--profile NAME] [--obs PATH]
 //     Connect to an origin, apply its frame stream into a local
 //     SnapshotStore until epoch E (or EOF), optionally serve one page
 //     (base or profile-scoped) through a ConcurrentServer over the
-//     replicated store, and report what was applied.
+//     replicated store, and report what was applied. With --obs, dump
+//     the replica's obs::Registry snapshot (repl.rep.* gauges plus the
+//     epoch-correlated repl.apply spans) as JSON to PATH ("-" for
+//     stdout).
 //
-//   navsep_replica selftest [<endpoint>]
+//   navsep_replica selftest [<endpoint>] [--obs PATH]
 //     Origin and replica in one process over a real socket (default:
 //     ephemeral loopback TCP): mutate, stream, then verify the replica's
 //     snapshot is byte-identical to the origin's — every artifact and
@@ -30,6 +33,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +42,7 @@
 #include "hypermedia/access.hpp"
 #include "hypermedia/context.hpp"
 #include "nav/pipeline.hpp"
+#include "obs/registry.hpp"
 #include "repl/publisher.hpp"
 #include "repl/replica.hpp"
 #include "serve/concurrent_server.hpp"
@@ -45,6 +51,7 @@ namespace {
 
 namespace hm = navsep::hypermedia;
 namespace nav = navsep::nav;
+namespace obs = navsep::obs;
 namespace repl = navsep::repl;
 namespace serve = navsep::serve;
 
@@ -54,9 +61,28 @@ int usage() {
       "usage: navsep_replica origin <endpoint> [--epochs N] [--interval-ms M]\n"
       "       navsep_replica replica <endpoint> [--until-epoch E]\n"
       "                      [--timeout-ms T] [--page PATH] [--profile NAME]\n"
-      "       navsep_replica selftest [<endpoint>]\n"
+      "                      [--obs PATH]\n"
+      "       navsep_replica selftest [<endpoint>] [--obs PATH]\n"
       "  <endpoint>: unix:/path/to.sock | tcp:HOST:PORT\n");
   return 2;
+}
+
+/// Dump a registry snapshot as JSON to `path` ("-" = stdout). Returns
+/// false (with a message) when the file cannot be written.
+bool dump_registry(const obs::Registry& registry, const char* path) {
+  const std::string json = registry.snapshot().to_json();
+  if (std::strcmp(path, "-") == 0) {
+    std::fputs(json.c_str(), stdout);
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return false;
+  }
+  out << json;
+  std::printf("wrote %s\n", path);
+  return true;
 }
 
 long long arg_value(int argc, char** argv, const char* name,
@@ -172,8 +198,11 @@ int run_replica(int argc, char** argv) {
   const long long timeout_ms = arg_value(argc, argv, "--timeout-ms", 10000);
   const char* page = arg_string(argc, argv, "--page", nullptr);
   const char* profile = arg_string(argc, argv, "--profile", nullptr);
+  const char* obs_path = arg_string(argc, argv, "--obs", nullptr);
 
   repl::Replica replica = repl::Replica::connect(endpoint);
+  auto registry = std::make_shared<obs::Registry>();
+  if (obs_path != nullptr) replica.attach_telemetry(registry);
   replica.start();
   if (until_epoch > 0) {
     if (!replica.wait_for_epoch(static_cast<std::uint64_t>(until_epoch),
@@ -216,17 +245,26 @@ int run_replica(int argc, char** argv) {
     }
     std::printf("%s\n", r.body->c_str());
   }
+  if (obs_path != nullptr && !dump_registry(*registry, obs_path)) return 1;
   return 0;
 }
 
 int run_selftest(int argc, char** argv) {
   const repl::Endpoint endpoint =
-      argc > 2 ? repl::Endpoint::parse(argv[2])
-               : repl::Endpoint::tcp("127.0.0.1", 0);
+      argc > 2 && argv[2][0] != '-' ? repl::Endpoint::parse(argv[2])
+                                    : repl::Endpoint::tcp("127.0.0.1", 0);
+  const char* obs_path = arg_string(argc, argv, "--obs", nullptr);
 
   auto engine = make_origin_engine();
-  auto publisher = engine->open_publisher(endpoint);
+  // One registry over both ends of the wire: the publisher's repl.pub.*
+  // gauges and the replica's repl.rep.* gauges land in one snapshot, so
+  // an --obs dump shows the frame stream from both sides.
+  auto registry = std::make_shared<obs::Registry>();
+  repl::PublisherOptions popts;
+  popts.telemetry = registry;
+  auto publisher = engine->open_publisher(endpoint, popts);
   repl::Replica replica = repl::Replica::connect(publisher->endpoint());
+  replica.attach_telemetry(registry);
   replica.start();
 
   for (int step = 0; step < 24; ++step) mutate(*engine, step);
@@ -286,6 +324,7 @@ int run_selftest(int argc, char** argv) {
       publisher->endpoint().to_string().c_str(), checked, ps.full_frames,
       ps.delta_frames,
       static_cast<unsigned long long>(ps.full_bytes + ps.delta_bytes));
+  if (obs_path != nullptr && !dump_registry(*registry, obs_path)) return 1;
   return 0;
 }
 

@@ -1,0 +1,458 @@
+// navsep_stats — one samplable view of the whole serving stack.
+//
+// Builds the synthetic museum, attaches ONE obs::Registry to every
+// stat producer (engine + build graph, concurrent server shards,
+// workload driver, optionally a publisher/replica pair over a real
+// loopback socket), drives traffic through it, and exports the
+// registry snapshot:
+//
+//   navsep_stats run [--paintings N] [--profiles P] [--threads T]
+//                [--steps S] [--shards K] [--seed X]
+//                [--trace off|sampled|full] [--repl]
+//                [--format json|table] [--out PATH]
+//     Drive one workload (with a few interleaved edits so the build
+//     and publish spans show up), then print the unified snapshot —
+//     every layer's counters under one naming scheme, plus the
+//     navigation popularity tables when tracing is on.
+//
+//   navsep_stats selftest
+//     The reconciliation oracle: after a deterministic run, every
+//     registry counter/gauge must equal the per-layer stats() view it
+//     mirrors — serve.base.* == unified_stats().base field for field,
+//     the Stats compatibility struct == UnifiedStats, workload.*
+//     counters == WorkloadResult, engine.server.* == the engine
+//     server's stats(), repl.pub.*/repl.rep.* == the publisher's and
+//     replica's stats(), and the JSON exporter's digits must match the
+//     live values. Exit status is the verdict.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hypermedia/context.hpp"
+#include "nav/pipeline.hpp"
+#include "nav/profile.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "repl/publisher.hpp"
+#include "repl/replica.hpp"
+#include "serve/concurrent_server.hpp"
+#include "serve/workload.hpp"
+
+namespace {
+
+using navsep::hypermedia::AccessStructureKind;
+namespace hm = navsep::hypermedia;
+namespace nav = navsep::nav;
+namespace obs = navsep::obs;
+namespace repl = navsep::repl;
+namespace serve = navsep::serve;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: navsep_stats run [--paintings N] [--profiles P] [--threads T]\n"
+      "                    [--steps S] [--shards K] [--seed X]\n"
+      "                    [--trace off|sampled|full] [--repl]\n"
+      "                    [--format json|table] [--out PATH]\n"
+      "       navsep_stats selftest\n");
+  return 2;
+}
+
+long long arg_value(int argc, char** argv, const char* name,
+                    long long fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
+  }
+  return fallback;
+}
+
+const char* arg_string(int argc, char** argv, const char* name,
+                       const char* fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool arg_flag(int argc, char** argv, const char* name) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<nav::Engine> museum_engine(std::size_t paintings,
+                                           std::size_t profiles) {
+  auto engine = nav::SitePipeline()
+                    .conceptual(navsep::museum::SyntheticSpec{
+                        .painters = 4,
+                        .paintings_per_painter = paintings / 4 + 1,
+                        .movements = 3,
+                        .seed = 42})
+                    .access(AccessStructureKind::IndexedGuidedTour)
+                    .contexts({"ByAuthor", "ByMovement"})
+                    .weave()
+                    .serve();
+  static const std::vector<std::vector<std::string>> kSubsets{
+      {"ByAuthor"}, {"ByMovement"}, {"ByAuthor", "ByMovement"}, {}};
+  for (std::size_t i = 0; i < profiles; ++i) {
+    engine->internals().register_profile(
+        {"profile-" + std::to_string(i), kSubsets[i % kSubsets.size()]});
+  }
+  return engine;
+}
+
+void rotate_first_context(hm::ContextFamily& family) {
+  std::vector<hm::NavigationalContext> contexts = family.contexts();
+  if (contexts.empty() || contexts.front().size() < 2) return;
+  std::vector<std::string> ids = contexts.front().node_ids();
+  std::rotate(ids.begin(), ids.begin() + 1, ids.end());
+  contexts.front() = hm::NavigationalContext(
+      contexts.front().family(), contexts.front().name(), std::move(ids));
+  family.replace_contexts(std::move(contexts));
+}
+
+struct RunConfig {
+  std::size_t paintings = 16;
+  std::size_t profiles = 2;
+  std::size_t threads = 4;
+  std::size_t steps = 256;
+  std::size_t shards = 4;
+  std::uint64_t seed = 42;
+  obs::TraceConfig trace;       // off unless --trace sampled|full
+  bool with_repl = false;       // loopback publisher + replica leg
+};
+
+struct RunOutput {
+  std::shared_ptr<obs::Registry> registry;
+  serve::WorkloadResult workload;
+  serve::ConcurrentServer::UnifiedStats unified;
+  serve::ConcurrentServer::Stats compat;
+  navsep::site::HypermediaServer::Stats engine_server;
+  std::uint64_t store_epoch = 0;
+  repl::Publisher::Stats pub;       // zeroed unless with_repl
+  repl::ReplicaStats rep;           // zeroed unless with_repl
+  obs::Registry::Snapshot snapshot;
+};
+
+/// One fully-wired run: every producer registered into one registry,
+/// traffic + a few edits driven through, final stats captured in the
+/// same quiescent moment as the registry snapshot (so the selftest can
+/// demand exact equality, not approximation).
+RunOutput drive(const RunConfig& config) {
+  RunOutput out;
+  out.registry = std::make_shared<obs::Registry>();
+
+  auto engine = museum_engine(config.paintings, config.profiles);
+  engine->internals().attach_telemetry(out.registry);
+  auto server = engine->open_concurrent(config.shards);
+  obs::SamplerHandle server_metrics =
+      server->register_metrics(out.registry);
+
+  std::unique_ptr<repl::Publisher> publisher;
+  std::unique_ptr<repl::Replica> replica;
+  if (config.with_repl) {
+    repl::PublisherOptions popts;
+    popts.telemetry = out.registry;
+    publisher = engine->open_publisher(repl::Endpoint::tcp("127.0.0.1", 0),
+                                       popts);
+    replica = std::make_unique<repl::Replica>(
+        repl::Connection::connect(publisher->endpoint()));
+    replica->attach_telemetry(out.registry);
+    replica->start();
+  }
+
+  // A few edits before the traffic so the pipeline spans (build.plan /
+  // build.publish / repl.encode...) have epochs to correlate.
+  for (int i = 0; i < 3; ++i) {
+    (void)engine->internals().edit_context_family("ByAuthor",
+                                                  rotate_first_context);
+  }
+
+  serve::Workload workload(*engine);
+  serve::WorkloadOptions options;
+  options.threads = config.threads;
+  options.steps_per_session = config.steps;
+  options.seed = config.seed;
+  options.trace = config.trace;
+  options.telemetry = out.registry;
+  out.workload = workload.run(*server, options);
+
+  if (config.with_repl) {
+    const std::uint64_t target = engine->internals().snapshots().epoch();
+    (void)replica->wait_for_epoch(target, std::chrono::seconds(30));
+    replica->stop();
+    out.pub = publisher->stats();
+    out.rep = replica->stats();
+  }
+
+  out.unified = server->unified_stats();
+  out.compat = server->stats();
+  out.engine_server = engine->server().stats();
+  out.store_epoch = engine->internals().snapshots().epoch();
+  out.snapshot = out.registry->snapshot();
+
+  // The publisher/replica must outlive the snapshot (their samplers
+  // feed it); teardown order past here is free.
+  return out;
+}
+
+/// Append the trace popularity tables to a JSON export — the registry
+/// snapshot carries scalars; the per-page/per-arc tables ride along so
+/// one document feeds a dashboard.
+std::string export_json(const RunOutput& out) {
+  std::string json = out.snapshot.to_json();
+  // Splice the trace tables in before the final closing brace.
+  const std::size_t brace = json.rfind('}');
+  std::string extra = ",\n  \"traces\": {\"events\": " +
+                      std::to_string(out.workload.traces.events) +
+                      ", \"failures\": " +
+                      std::to_string(out.workload.traces.failures) +
+                      ", \"top_pages\": [";
+  bool first = true;
+  for (const auto& [page, hits] : out.workload.traces.top_pages(10)) {
+    extra += first ? "\n    " : ",\n    ";
+    extra += "{\"page\": \"" + page + "\", \"views\": " +
+             std::to_string(hits) + "}";
+    first = false;
+  }
+  extra += first ? "]}\n" : "\n  ]}\n";
+  return json.substr(0, brace) + extra + "}\n";
+}
+
+int run_mode(int argc, char** argv) {
+  RunConfig config;
+  config.paintings =
+      static_cast<std::size_t>(arg_value(argc, argv, "--paintings", 16));
+  config.profiles =
+      static_cast<std::size_t>(arg_value(argc, argv, "--profiles", 2));
+  config.threads =
+      static_cast<std::size_t>(arg_value(argc, argv, "--threads", 4));
+  config.steps = static_cast<std::size_t>(arg_value(argc, argv, "--steps", 256));
+  config.shards =
+      static_cast<std::size_t>(arg_value(argc, argv, "--shards", 4));
+  config.seed = static_cast<std::uint64_t>(arg_value(argc, argv, "--seed", 42));
+  config.with_repl = arg_flag(argc, argv, "--repl");
+  const std::string trace = arg_string(argc, argv, "--trace", "sampled");
+  if (trace == "full") {
+    config.trace = {.enabled = true, .sample_every = 1, .ring_capacity = 4096};
+  } else if (trace == "sampled") {
+    config.trace = {.enabled = true, .sample_every = 16,
+                    .ring_capacity = 1024};
+  } else if (trace != "off") {
+    return usage();
+  }
+
+  const RunOutput out = drive(config);
+
+  const std::string format = arg_string(argc, argv, "--format", "table");
+  std::string rendered;
+  if (format == "json") {
+    rendered = export_json(out);
+  } else if (format == "table") {
+    rendered = out.snapshot.to_table();
+    if (out.workload.traces.events > 0) {
+      rendered += "top pages (traced views)\n";
+      for (const auto& [page, hits] : out.workload.traces.top_pages(10)) {
+        rendered += "  " + page + "  " + std::to_string(hits) + "\n";
+      }
+    }
+  } else {
+    return usage();
+  }
+
+  const char* out_path = arg_string(argc, argv, "--out", nullptr);
+  if (out_path != nullptr) {
+    std::ofstream file(out_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", out_path);
+      return 1;
+    }
+    file << rendered;
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::fputs(rendered.c_str(), stdout);
+  }
+  return 0;
+}
+
+// --- selftest -----------------------------------------------------------------
+
+int failures = 0;
+
+#define CHECK_EQ(a, b)                                                       \
+  do {                                                                       \
+    const unsigned long long va = static_cast<unsigned long long>(a);        \
+    const unsigned long long vb = static_cast<unsigned long long>(b);        \
+    if (va != vb) {                                                          \
+      std::fprintf(stderr, "selftest: %s (%llu) != %s (%llu)\n", #a, va, #b, \
+                   vb);                                                      \
+      ++failures;                                                            \
+    }                                                                        \
+  } while (0)
+
+/// One layer's gauges against its LayerStats, field for field.
+void check_layer(const obs::Registry::Snapshot& snap, const std::string& prefix,
+                 const serve::ConcurrentServer::LayerStats& layer) {
+  const auto gauge = [&](const std::string& name) -> std::uint64_t {
+    auto it = snap.gauges.find(prefix + name);
+    if (it == snap.gauges.end()) {
+      std::fprintf(stderr, "selftest: gauge %s%s missing\n", prefix.c_str(),
+                   name.c_str());
+      ++failures;
+      return ~0ull;
+    }
+    return static_cast<std::uint64_t>(it->second);
+  };
+  CHECK_EQ(gauge(".requests"), layer.requests);
+  CHECK_EQ(gauge(".hits"), layer.hits);
+  CHECK_EQ(gauge(".resolves"), layer.resolves);
+  CHECK_EQ(gauge(".stale_refills"), layer.stale_refills);
+  CHECK_EQ(gauge(".not_found"), layer.not_found);
+  CHECK_EQ(gauge(".entries"), layer.entries);
+  CHECK_EQ(gauge(".inserted"), layer.inserted);
+  CHECK_EQ(gauge(".evicted"), layer.evicted);
+  CHECK_EQ(gauge(".resident_bytes"), layer.resident_bytes);
+}
+
+/// The digits the JSON exporter printed for `name`, parsed back out —
+/// the export must carry the same values the live structs report.
+std::uint64_t json_value(const std::string& json, const std::string& name) {
+  const std::string key = "\"" + name + "\": ";
+  const std::size_t at = json.find(key);
+  if (at == std::string::npos) {
+    std::fprintf(stderr, "selftest: %s missing from JSON export\n",
+                 name.c_str());
+    ++failures;
+    return ~0ull;
+  }
+  return std::strtoull(json.c_str() + at + key.size(), nullptr, 10);
+}
+
+int run_selftest() {
+  RunConfig config;
+  config.paintings = 8;
+  config.threads = 4;
+  config.steps = 96;
+  config.trace = {.enabled = true, .sample_every = 2, .ring_capacity = 256};
+  config.with_repl = true;
+  const RunOutput out = drive(config);
+  const obs::Registry::Snapshot& snap = out.snapshot;
+
+  // Workload counters == the WorkloadResult the run returned.
+  CHECK_EQ(snap.counters.at("workload.sessions"), out.workload.sessions);
+  CHECK_EQ(snap.counters.at("workload.steps"), out.workload.steps);
+  CHECK_EQ(snap.counters.at("workload.requests"), out.workload.requests);
+  CHECK_EQ(snap.counters.at("workload.failures"), out.workload.failures);
+  CHECK_EQ(snap.counters.at("workload.traces.recorded"),
+           out.workload.traces.recorded);
+  CHECK_EQ(snap.histograms.at("workload.latency").count,
+           out.workload.latency.count());
+
+  // serve.base.* / serve.overlay.* gauges == unified_stats(), field for
+  // field, both layers.
+  check_layer(snap, "serve.base", out.unified.base);
+  check_layer(snap, "serve.overlay", out.unified.overlay);
+  CHECK_EQ(static_cast<std::uint64_t>(snap.gauges.at("serve.epoch")),
+           out.unified.epoch);
+
+  // The compatibility Stats struct is a thin mapping of UnifiedStats —
+  // the two views must agree exactly.
+  CHECK_EQ(out.compat.requests, out.unified.base.requests);
+  CHECK_EQ(out.compat.cache_hits, out.unified.base.hits);
+  CHECK_EQ(out.compat.snapshot_resolves, out.unified.base.resolves);
+  CHECK_EQ(out.compat.stale_refills, out.unified.base.stale_refills);
+  CHECK_EQ(out.compat.not_found, out.unified.base.not_found);
+  CHECK_EQ(out.compat.cached_entries, out.unified.base.entries);
+  CHECK_EQ(out.compat.cache_inserted, out.unified.base.inserted);
+  CHECK_EQ(out.compat.cache_evicted, out.unified.base.evicted);
+  CHECK_EQ(out.compat.cached_bytes, out.unified.base.resident_bytes);
+  CHECK_EQ(out.compat.overlay_requests, out.unified.overlay.requests);
+  CHECK_EQ(out.compat.overlay_hits, out.unified.overlay.hits);
+  CHECK_EQ(out.compat.overlay_renders, out.unified.overlay.resolves);
+  CHECK_EQ(out.compat.overlay_stale_renders,
+           out.unified.overlay.stale_refills);
+  CHECK_EQ(out.compat.overlay_not_found, out.unified.overlay.not_found);
+  CHECK_EQ(out.compat.overlay_entries, out.unified.overlay.entries);
+  CHECK_EQ(out.compat.overlay_inserted, out.unified.overlay.inserted);
+  CHECK_EQ(out.compat.overlay_evicted, out.unified.overlay.evicted);
+  CHECK_EQ(out.compat.overlay_bytes, out.unified.overlay.resident_bytes);
+  CHECK_EQ(out.compat.epoch, out.unified.epoch);
+
+  // Engine-side single-site server + store gauges.
+  CHECK_EQ(static_cast<std::uint64_t>(snap.gauges.at("engine.server.requests")),
+           out.engine_server.requests);
+  CHECK_EQ(
+      static_cast<std::uint64_t>(snap.gauges.at("engine.server.cache_hits")),
+      out.engine_server.cache_hits);
+  CHECK_EQ(static_cast<std::uint64_t>(snap.gauges.at("store.epoch")),
+           out.store_epoch);
+
+  // Replication leg: publisher/replica samplers mirror their stats().
+  CHECK_EQ(
+      static_cast<std::uint64_t>(snap.gauges.at("repl.pub.full_frames")),
+      out.pub.full_frames);
+  CHECK_EQ(
+      static_cast<std::uint64_t>(snap.gauges.at("repl.pub.delta_frames")),
+      out.pub.delta_frames);
+  CHECK_EQ(
+      static_cast<std::uint64_t>(snap.gauges.at("repl.rep.frames_applied")),
+      out.rep.frames_applied);
+  CHECK_EQ(static_cast<std::uint64_t>(snap.gauges.at("repl.rep.epoch")),
+           out.rep.epoch);
+  // The replica followed the origin all the way.
+  CHECK_EQ(out.rep.epoch, out.store_epoch);
+
+  // The JSON export carries the same digits as the live structs.
+  const std::string json = export_json(out);
+  CHECK_EQ(json_value(json, "workload.requests"), out.workload.requests);
+  CHECK_EQ(json_value(json, "serve.base.requests"),
+           out.unified.base.requests);
+  CHECK_EQ(json_value(json, "serve.overlay.requests"),
+           out.unified.overlay.requests);
+  CHECK_EQ(json_value(json, "repl.rep.frames_applied"),
+           out.rep.frames_applied);
+
+  // And the run actually observed things worth exporting.
+  if (out.workload.requests == 0 || out.workload.traces.events == 0 ||
+      snap.spans_recorded == 0) {
+    std::fprintf(stderr,
+                 "selftest: empty run (requests=%zu traces=%llu spans=%llu)\n",
+                 out.workload.requests,
+                 static_cast<unsigned long long>(out.workload.traces.events),
+                 static_cast<unsigned long long>(snap.spans_recorded));
+    ++failures;
+  }
+
+  if (failures != 0) {
+    std::fprintf(stderr, "selftest: %d reconciliation failure(s)\n", failures);
+    return 1;
+  }
+  std::printf(
+      "selftest: OK — %zu requests, %llu traced events, %llu spans; registry "
+      "reconciles with every per-layer stats() view\n",
+      out.workload.requests,
+      static_cast<unsigned long long>(out.workload.traces.events),
+      static_cast<unsigned long long>(snap.spans_recorded));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    if (std::strcmp(argv[1], "run") == 0) return run_mode(argc, argv);
+    if (std::strcmp(argv[1], "selftest") == 0) return run_selftest();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "navsep_stats: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
