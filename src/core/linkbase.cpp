@@ -149,6 +149,19 @@ std::unique_ptr<xml::Document> build_context_linkbase(
     const hypermedia::ContextFamily& family,
     const hypermedia::NavigationalModel& model,
     const LinkbaseOptions& options) {
+  return build_context_linkbase(
+      family,
+      [&model](std::string_view id) {
+        const hypermedia::NavNode* node = model.node(id);
+        return node != nullptr ? node->title() : std::string(id);
+      },
+      options);
+}
+
+std::unique_ptr<xml::Document> build_context_linkbase(
+    const hypermedia::ContextFamily& family,
+    const std::function<std::string(std::string_view node_id)>& title_of,
+    const LinkbaseOptions& options) {
   auto data_href = options.data_href ? options.data_href : default_data_href;
 
   auto doc = std::make_unique<xml::Document>();
@@ -182,14 +195,11 @@ std::unique_ptr<xml::Document> build_context_linkbase(
       xattr(loc, "type", "locator");
       xattr(loc, "href", data_href(id));
       xattr(loc, "label", id);
-      const hypermedia::NavNode* node = model.node(id);
-      xattr(loc, "title", node != nullptr ? node->title() : id);
+      xattr(loc, "title", title_of(id));
     }
 
     const auto& ids = ctx.node_ids();
     for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
-      const hypermedia::NavNode* next_node = model.node(ids[i + 1]);
-      const hypermedia::NavNode* prev_node = model.node(ids[i]);
       xml::Element& fwd = link.append_element("go");
       xattr(fwd, "type", "arc");
       xattr(fwd, "from", ids[i]);
@@ -197,9 +207,7 @@ std::unique_ptr<xml::Document> build_context_linkbase(
       xattr(fwd, "arcrole",
             std::string(kNavArcrolePrefix) +
                 std::string(hypermedia::roles::kNext));
-      xattr(fwd, "title",
-            "Next: " + (next_node != nullptr ? next_node->title()
-                                             : ids[i + 1]));
+      xattr(fwd, "title", "Next: " + title_of(ids[i + 1]));
       navattr(fwd, "context", ctx.qualified_name());
 
       xml::Element& bwd = link.append_element("go");
@@ -209,9 +217,7 @@ std::unique_ptr<xml::Document> build_context_linkbase(
       xattr(bwd, "arcrole",
             std::string(kNavArcrolePrefix) +
                 std::string(hypermedia::roles::kPrev));
-      xattr(bwd, "title",
-            "Previous: " +
-                (prev_node != nullptr ? prev_node->title() : ids[i]));
+      xattr(bwd, "title", "Previous: " + title_of(ids[i]));
       navattr(bwd, "context", ctx.qualified_name());
     }
   }

@@ -79,6 +79,18 @@ inline constexpr std::string_view kNavExtensionNamespace =
     const hypermedia::NavigationalModel& model,
     const LinkbaseOptions& options = {});
 
+/// Same authoring, but titles come from a function instead of a model.
+/// The model overload delegates here — one implementation authors every
+/// context linkbase, which is what pins the lazily synthesized route
+/// linkbase (serve::SiteSnapshot has only the engine's exported title
+/// table, no NavigationalModel) byte-identical to the ahead-of-time
+/// authored one. `title_of` must return the node id itself for unknown
+/// ids (the model overload's fallback).
+[[nodiscard]] std::unique_ptr<xml::Document> build_context_linkbase(
+    const hypermedia::ContextFamily& family,
+    const std::function<std::string(std::string_view node_id)>& title_of,
+    const LinkbaseOptions& options = {});
+
 /// Read back context-tagged navigation arcs (for
 /// NavigationAspect::from_contextual_arcs). The graph must have been built
 /// from the same document so arc origins are alive.

@@ -12,6 +12,7 @@ namespace navsep::nav {
 std::string_view to_string(ProductKind k) noexcept {
   switch (k) {
     case ProductKind::Source: return "Source";
+    case ProductKind::Route: return "Route";
     case ProductKind::Linkbase: return "Linkbase";
     case ProductKind::ArcTable: return "ArcTable";
     case ProductKind::ArcSlice: return "ArcSlice";

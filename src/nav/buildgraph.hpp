@@ -49,6 +49,7 @@ class WorkerPool;
 /// (pages_rewoven counts Page nodes, linkbases_reauthored Linkbase ones).
 enum class ProductKind {
   Source,     // authored inputs: the navigation spec
+  Route,      // one registered route program (name + canonical expression)
   Linkbase,   // one authored linkbase document (links*.xml)
   ArcTable,   // the merged traversal graph + combined arc set
   ArcSlice,   // one page's view of the arc table (arcs leaving it)

@@ -38,6 +38,12 @@ std::string slice_node(std::string_view page_id) {
 std::string menu_sub_node(std::size_t index) {
   return "menusub:" + std::to_string(index);
 }
+std::string route_node(std::string_view name) {
+  return "route:" + std::string(name);
+}
+
+/// Engine::route_index's "not registered" sentinel.
+constexpr std::size_t kNoRoute = static_cast<std::size_t>(-1);
 
 std::uint64_t hash_str(std::uint64_t seed, std::string_view s) {
   return hash_combine(seed, hash_bytes(s));
@@ -280,14 +286,25 @@ void Engine::publish_snapshot() {
   serve::SnapshotOverlayInputs overlays;
   overlays.arcs = combined_arcs_;  // null in Tangled mode: no overlays
   overlays.structure_source = std::string(kStructureLinkbasePath);
-  overlays.families.reserve(context_linkbases_.size());
+  overlays.families.reserve(context_linkbases_.size() +
+                            route_programs_.size());
   for (const ContextLinkbase& entry : context_linkbases_) {
     overlays.families.push_back(
         serve::SnapshotOverlayInputs::Family{entry.family->name(),
                                              entry.path});
   }
+  // AOT routes are fully materialized linkbases by publish time — they
+  // ride as ordinary families (path-addressable, slice-hashed). Lazy
+  // routes ride only in the route table and expand inside the snapshot.
+  for (std::size_t i = 0; i < route_programs_.size(); ++i) {
+    if (route_programs_[i].compile != RouteCompile::Aot) continue;
+    overlays.families.push_back(serve::SnapshotOverlayInputs::Family{
+        route_programs_[i].name, routes_[i].path});
+  }
   overlays.profiles = profiles_;
   overlays.slice_hashes = overlay_slice_hashes_;
+  refresh_route_table();
+  overlays.routes = route_table_;
   snapshots_.publish(std::make_shared<serve::SiteSnapshot>(
       site_, graph_, site_base_, snapshots_.epoch() + 1,
       std::move(overlays)));
@@ -307,12 +324,17 @@ void Engine::register_profile(Profile profile) {
   }
   for (std::size_t i = 0; i < profile.families.size(); ++i) {
     const std::string& name = profile.families[i];
-    const bool known = std::any_of(
-        families_.begin(), families_.end(),
-        [&](const hypermedia::ContextFamily& f) { return f.name() == name; });
+    const bool known =
+        std::any_of(families_.begin(), families_.end(),
+                    [&](const hypermedia::ContextFamily& f) {
+                      return f.name() == name;
+                    }) ||
+        route_index(name) != kNoRoute;
     if (!known) {
       throw SemanticError("Engine::register_profile: unknown context family '" +
-                          name + "' (configure it via SitePipeline::contexts)");
+                          name +
+                          "' (configure it via SitePipeline::contexts or "
+                          "register_route)");
     }
     for (std::size_t j = 0; j < i; ++j) {
       if (profile.families[j] == name) {
@@ -386,6 +408,312 @@ RebuildReport Engine::edit_context_family(
     throw;
   }
   return propagate();
+}
+
+// --- Engine: route programs ---------------------------------------------------
+
+RebuildReport Engine::register_route(RouteProgram program) {
+  if (mode_ == WeaveMode::Tangled) {
+    throw SemanticError(
+        "Engine::register_route: the tangled baseline has no separated "
+        "navigation for a route to traverse");
+  }
+  if (program.name.empty() ||
+      program.name.find(':') != std::string::npos ||
+      program.name.find('\n') != std::string::npos) {
+    throw SemanticError(
+        "Engine::register_route: route names must be non-empty and free of "
+        "':' and newlines — the name becomes the route's context-family "
+        "name and tags its arcs '<name>:route'");
+  }
+  const bool family_collision = std::any_of(
+      families_.begin(), families_.end(),
+      [&](const hypermedia::ContextFamily& f) {
+        return f.name() == program.name;
+      });
+  if (family_collision) {
+    throw SemanticError("Engine::register_route: '" + program.name +
+                        "' already names a context family — routes and "
+                        "families share the profile namespace");
+  }
+  const std::string path = site::context_linkbase_path(program.name);
+  for (const ContextLinkbase& entry : context_linkbases_) {
+    if (entry.path == path) {
+      throw SemanticError("Engine::register_route: route '" + program.name +
+                          "' would author '" + path +
+                          "', which family '" + entry.family->name() +
+                          "' already owns (names map to paths "
+                          "case-insensitively)");
+    }
+  }
+  for (std::size_t i = 0; i < route_programs_.size(); ++i) {
+    if (routes_[i].path == path && route_programs_[i].name != program.name) {
+      throw SemanticError("Engine::register_route: route '" + program.name +
+                          "' would author '" + path + "', which route '" +
+                          route_programs_[i].name +
+                          "' already owns (names map to paths "
+                          "case-insensitively)");
+    }
+  }
+  // Parse eagerly (errors name the offending token) and store the
+  // canonical spelling: route tokens — and with them the lazy overlay
+  // cache keys — are hashes of the printed form, so `a/b` and `a / b`
+  // must be one program, not two.
+  program.expression = print_route(parse_route(program.expression));
+
+  const std::string name = program.name;
+  const std::size_t index = route_index(name);
+  if (index != kNoRoute) {
+    const bool was_aot =
+        route_programs_[index].compile == RouteCompile::Aot;
+    const bool now_aot = program.compile == RouteCompile::Aot;
+    route_programs_[index] = std::move(program);
+    if (was_aot && !now_aot) {
+      // Aot -> Lazy: the authored artifact retires; the lazy path serves
+      // the expansion from inside the snapshot instead.
+      site_.remove(routes_[index].path);
+      server_->invalidate(routes_[index].path);
+      routes_[index].doc.reset();
+      routes_[index].graph = xlink::TraversalGraph();
+    }
+  } else {
+    route_programs_.push_back(std::move(program));
+    routes_.push_back(RouteState{path, nullptr, {}});
+  }
+  sync_route_nodes();
+  build_graph_.mark_dirty(route_node(name));
+  // A Lazy program reaches readers purely through the published route
+  // table, but run_or_defer()'s graph run always publishes, so no extra
+  // plumbing: the dirty Route node re-hashes and the new table ships.
+  return run_or_defer();
+}
+
+RebuildReport Engine::edit_route(std::string_view name,
+                                 std::string_view expression) {
+  const std::size_t index = route_index(name);
+  if (index == kNoRoute) {
+    throw ResolutionError("Engine::edit_route: unknown route '" +
+                          std::string(name) + "'");
+  }
+  route_programs_[index].expression =
+      print_route(parse_route(expression));
+  sync_route_nodes();
+  build_graph_.mark_dirty(route_node(name));
+  return run_or_defer();
+}
+
+RebuildReport Engine::remove_route(std::string_view name) {
+  const std::size_t index = route_index(name);
+  if (index == kNoRoute) {
+    throw ResolutionError("Engine::remove_route: unknown route '" +
+                          std::string(name) + "'");
+  }
+  const bool was_aot = route_programs_[index].compile == RouteCompile::Aot;
+  const std::string path = routes_[index].path;
+  route_programs_.erase(route_programs_.begin() +
+                        static_cast<std::ptrdiff_t>(index));
+  routes_.erase(routes_.begin() + static_cast<std::ptrdiff_t>(index));
+  sync_route_nodes();
+  if (was_aot) {
+    // The arc table re-merges without this route's arcs; the artifact
+    // and its cached responses retire now.
+    site_.remove(path);
+    server_->invalidate(path);
+    build_graph_.mark_dirty(std::string(kArcTableNode));
+  }
+  // Lazy removal publishes the shrunk route table through run_or_defer's
+  // unconditional publish (no graph node left to dirty — a clean run
+  // still republishes).
+  return run_or_defer();
+}
+
+std::size_t Engine::route_index(std::string_view name) const {
+  for (std::size_t i = 0; i < route_programs_.size(); ++i) {
+    if (route_programs_[i].name == name) return i;
+  }
+  return kNoRoute;
+}
+
+std::vector<core::NavArc> Engine::route_input_arcs() const {
+  // Route expressions range over the *authored* navigation — structure
+  // plus context families — never over other routes: expansion is a
+  // function of the authored site, not a fixpoint. The lazy path
+  // mirrors this by excluding every route source from its input.
+  if (structure_linkbase_doc_ == nullptr) return {};
+  xlink::TraversalGraph structure_graph =
+      xlink::TraversalGraph::from_linkbase(*structure_linkbase_doc_);
+  std::vector<core::SourcedGraph> sourced;
+  sourced.reserve(context_linkbases_.size() + 1);
+  sourced.push_back(core::SourcedGraph{std::string(kStructureLinkbasePath),
+                                       &structure_graph});
+  for (const ContextLinkbase& entry : context_linkbases_) {
+    sourced.push_back(core::SourcedGraph{entry.path, &entry.graph});
+  }
+  return core::combined_nav_arcs(sourced);
+}
+
+hypermedia::ContextFamily Engine::route_family(std::string_view name) const {
+  const std::size_t index = route_index(name);
+  if (index == kNoRoute) {
+    throw ResolutionError("Engine::route_family: unknown route '" +
+                          std::string(name) + "'");
+  }
+  return route_context_family(route_programs_[index].name,
+                              parse_route(route_programs_[index].expression),
+                              route_input_arcs());
+}
+
+std::uint64_t Engine::rebuild_route_linkbase(std::size_t index) {
+  RouteState& entry = routes_[index];
+  const hypermedia::ContextFamily family = route_context_family(
+      route_programs_[index].name,
+      parse_route(route_programs_[index].expression), route_input_arcs());
+  site::SiteBuildOptions site_options;
+  site_options.site_base = site_base_;
+  core::LinkbaseOptions lb = site::separated_linkbase_options(site_options);
+  lb.base_uri = site_base_ + entry.path;
+  auto doc = core::build_context_linkbase(family, *nav_, lb);
+  std::string text = xml::write(*doc, {.pretty = true});
+  const std::string* current = site_.get(entry.path);
+  const bool changed = current == nullptr || *current != text;
+  const std::uint64_t hash = hash_bytes(text);
+  if (changed) {
+    site_.put(entry.path, std::move(text));
+    server_->invalidate(entry.path);
+    entry.doc = std::move(doc);
+    entry.graph = core::load_linkbase(*entry.doc);
+  }
+  return hash;
+}
+
+void Engine::sync_route_nodes() {
+  // Same deal as sync_menu_nodes: before wire_graph the graph has no
+  // spec node; wire_graph calls back in once the topology exists.
+  if (!build_graph_.contains(kSpecNode)) return;
+  if (mode_ == WeaveMode::Tangled) return;  // no routes ever registered
+
+  // Linkbase nodes the family layer owns — everything else of Linkbase
+  // kind belongs to (possibly stale) Aot routes.
+  std::vector<std::string> family_owned;
+  family_owned.push_back(linkbase_node(kStructureLinkbasePath));
+  for (const ContextLinkbase& entry : context_linkbases_) {
+    family_owned.push_back(linkbase_node(entry.path));
+  }
+  std::sort(family_owned.begin(), family_owned.end());
+
+  std::vector<std::string> desired_routes;
+  std::vector<std::string> desired_lbs;
+  desired_routes.reserve(route_programs_.size());
+  for (std::size_t i = 0; i < route_programs_.size(); ++i) {
+    desired_routes.push_back(route_node(route_programs_[i].name));
+    if (route_programs_[i].compile == RouteCompile::Aot) {
+      desired_lbs.push_back(linkbase_node(routes_[i].path));
+    }
+  }
+  std::vector<std::string> sorted_routes = desired_routes;
+  std::vector<std::string> sorted_lbs = desired_lbs;
+  std::sort(sorted_routes.begin(), sorted_routes.end());
+  std::sort(sorted_lbs.begin(), sorted_lbs.end());
+
+  std::vector<std::string> existing_routes =
+      build_graph_.ids(ProductKind::Route);
+  std::vector<std::string> existing_lbs;
+  for (std::string& id : build_graph_.ids(ProductKind::Linkbase)) {
+    if (!std::binary_search(family_owned.begin(), family_owned.end(), id)) {
+      existing_lbs.push_back(std::move(id));
+    }
+  }
+  std::sort(existing_routes.begin(), existing_routes.end());
+  std::sort(existing_lbs.begin(), existing_lbs.end());
+  if (existing_routes == sorted_routes && existing_lbs == sorted_lbs) {
+    return;  // topology already right
+  }
+
+  // Planning skips dep ids that no longer resolve, so removal order
+  // relative to the arc-table redefinition below does not matter.
+  for (const std::string& id : existing_routes) {
+    if (!std::binary_search(sorted_routes.begin(), sorted_routes.end(), id)) {
+      build_graph_.remove(id);
+    }
+  }
+  for (const std::string& id : existing_lbs) {
+    if (!std::binary_search(sorted_lbs.begin(), sorted_lbs.end(), id)) {
+      build_graph_.remove(id);
+    }
+  }
+
+  // Indices shift on erase; closures resolve by name at run time.
+  for (std::size_t i = 0; i < route_programs_.size(); ++i) {
+    const std::string& name = route_programs_[i].name;
+    if (!build_graph_.contains(desired_routes[i])) {
+      build_graph_.define(
+          desired_routes[i], ProductKind::Route, {}, [this, name] {
+            // The program IS the product: its token covers name,
+            // canonical expression and compile mode, so a no-op
+            // re-registration cuts off right here.
+            const std::size_t at = route_index(name);
+            return at == kNoRoute ? std::uint64_t{0}
+                                  : route_token(route_programs_[at]);
+          });
+    }
+    if (route_programs_[i].compile != RouteCompile::Aot) continue;
+    const std::string lb_node = linkbase_node(routes_[i].path);
+    if (build_graph_.contains(lb_node)) continue;
+    // An Aot route re-expands whenever its program, the structure, or
+    // any family linkbase changes — exactly the inputs of expansion.
+    std::vector<std::string> deps;
+    deps.push_back(desired_routes[i]);
+    deps.push_back(linkbase_node(kStructureLinkbasePath));
+    for (const ContextLinkbase& entry : context_linkbases_) {
+      deps.push_back(linkbase_node(entry.path));
+    }
+    build_graph_.define(lb_node, ProductKind::Linkbase, std::move(deps),
+                        [this, name] {
+                          const std::size_t at = route_index(name);
+                          return at == kNoRoute
+                                     ? std::uint64_t{0}
+                                     : rebuild_route_linkbase(at);
+                        });
+  }
+
+  // Re-point the arc table at the full linkbase set (family + Aot
+  // route): a route expansion change now propagates route -> linkbase ->
+  // arc table -> exactly the changed slices. define() keeps the stored
+  // hash, so re-pointing alone dirties nothing.
+  std::vector<std::string> table_deps;
+  table_deps.push_back(linkbase_node(kStructureLinkbasePath));
+  for (const ContextLinkbase& entry : context_linkbases_) {
+    table_deps.push_back(linkbase_node(entry.path));
+  }
+  for (const std::string& lb : desired_lbs) table_deps.push_back(lb);
+  build_graph_.define(std::string(kArcTableNode), ProductKind::ArcTable,
+                      std::move(table_deps),
+                      [this] { return rebuild_arc_table(); });
+}
+
+void Engine::refresh_route_table() {
+  if (route_programs_.empty()) {
+    route_table_ = nullptr;
+    return;
+  }
+  auto table = std::make_shared<serve::RouteTable>();
+  table->entries.reserve(route_programs_.size());
+  for (std::size_t i = 0; i < route_programs_.size(); ++i) {
+    table->entries.push_back(
+        serve::RouteTable::Entry{route_programs_[i], routes_[i].path});
+  }
+  // Title export: the snapshot's lazy expansion authors locator titles
+  // from this table, pinning its bytes to what the model-backed AOT
+  // authoring produces (ids missing here fall back to the id on both
+  // sides).
+  for (const hypermedia::NavNode& node : nav_->nodes()) {
+    table->titles.emplace(node.id(), node.title());
+  }
+  // Content-equal tables keep pointer identity across epochs — the
+  // replication wire's carry-forward probe relies on it.
+  if (route_table_ == nullptr || !(*table == *route_table_)) {
+    route_table_ = std::move(table);
+  }
 }
 
 RebuildReport Engine::set_access_structure(
@@ -713,16 +1041,26 @@ std::uint64_t Engine::rebuild_arc_table() {
   for (const ContextLinkbase& entry : context_linkbases_) {
     merged.merge(entry.graph);  // cached per-family graph, copied in
   }
+  for (const RouteState& entry : routes_) {
+    if (entry.doc != nullptr) merged.merge(entry.graph);  // Aot routes only
+  }
   graph_ = std::move(merged);
 
   // Materialize the combined arc set with provenance and hand it to the
-  // weaver as the (sole) navigation aspect.
+  // weaver as the (sole) navigation aspect. Aot route linkbases join
+  // after the families — their arcs are context-tagged ('<name>:route'),
+  // so like tour arcs they land in overlay slices, never in stored pages.
   std::vector<core::SourcedGraph> sourced;
-  sourced.reserve(context_linkbases_.size() + 1);
+  sourced.reserve(context_linkbases_.size() + routes_.size() + 1);
   sourced.push_back(
       core::SourcedGraph{std::string(kStructureLinkbasePath), &structure_graph});
   for (const ContextLinkbase& entry : context_linkbases_) {
     sourced.push_back(core::SourcedGraph{entry.path, &entry.graph});
+  }
+  for (const RouteState& entry : routes_) {
+    if (entry.doc != nullptr) {
+      sourced.push_back(core::SourcedGraph{entry.path, &entry.graph});
+    }
   }
   std::vector<core::NavArc> arcs = core::combined_nav_arcs(sourced);
 
@@ -914,6 +1252,9 @@ void Engine::wire_graph() {
   build_graph_.define(std::string(kArcTableNode), ProductKind::ArcTable,
                       std::move(linkbase_nodes),
                       [this] { return rebuild_arc_table(); });
+  // Routes registered before a re-wire (none on first serve) re-join
+  // the topology here, after the arc-table node they feed exists.
+  sync_route_nodes();
 }
 
 // --- SitePipeline ------------------------------------------------------------

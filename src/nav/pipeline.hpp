@@ -201,6 +201,16 @@ class Engine final : public EngineInternals {
   RebuildReport edit_context_family(
       std::string_view family_name,
       const std::function<void(hypermedia::ContextFamily&)>& edit) override;
+  RebuildReport register_route(RouteProgram program) override;
+  RebuildReport edit_route(std::string_view name,
+                           std::string_view expression) override;
+  RebuildReport remove_route(std::string_view name) override;
+  [[nodiscard]] const std::vector<RouteProgram>& routes()
+      const noexcept override {
+    return route_programs_;
+  }
+  [[nodiscard]] hypermedia::ContextFamily route_family(
+      std::string_view name) const override;
   void begin_batch() override;
   RebuildReport commit_batch() override;
   [[nodiscard]] bool batch_open() const noexcept override {
@@ -237,6 +247,7 @@ class Engine final : public EngineInternals {
   [[nodiscard]] std::uint64_t rebuild_spec();
   [[nodiscard]] std::uint64_t rebuild_structure_linkbase();
   [[nodiscard]] std::uint64_t rebuild_context_linkbase(std::size_t index);
+  [[nodiscard]] std::uint64_t rebuild_route_linkbase(std::size_t index);
   [[nodiscard]] std::uint64_t rebuild_arc_table();
   [[nodiscard]] std::uint64_t rebuild_tangled_page(const std::string& page_id);
 
@@ -307,6 +318,25 @@ class Engine final : public EngineInternals {
   /// and run (or defer) — the shared tail of the sub-level mutations.
   RebuildReport commit_menu_subs(std::size_t sub_index);
 
+  // --- route programs ---------------------------------------------------------
+
+  /// Index into route_programs_/routes_, npos when unknown.
+  [[nodiscard]] std::size_t route_index(std::string_view name) const;
+
+  /// The combined non-route arc set route expansion evaluates over
+  /// (structure + family linkbases, weave order) — the engine-side twin
+  /// of the snapshot's route-excluded overlay arcs.
+  [[nodiscard]] std::vector<core::NavArc> route_input_arcs() const;
+
+  /// Reconcile the build graph's Route nodes ("route:<name>") and the
+  /// Aot routes' Linkbase nodes with route_programs_, and re-point the
+  /// arc-table node's deps — the sync_menu_nodes() pattern for routes.
+  void sync_route_nodes();
+
+  /// Refresh route_table_ from route_programs_ + the model's titles,
+  /// preserving pointer identity when nothing changed.
+  void refresh_route_table();
+
   /// Capture site_ + graph_ as the next epoch and install it in
   /// snapshots_ — the atomic hand-off from this (writer) thread to
   /// concurrent readers. Runs after every graph run, so readers always
@@ -337,6 +367,19 @@ class Engine final : public EngineInternals {
     xlink::TraversalGraph graph;               // points into doc
   };
   std::vector<ContextLinkbase> context_linkbases_;
+
+  /// Registered route programs (route_programs_, the routes() view) and
+  /// their per-route derived artifacts, index-aligned. Aot routes own an
+  /// authored document + graph exactly like a ContextLinkbase (declared
+  /// before graph_ for the same lifetime reason); Lazy routes keep both
+  /// empty — their expansion lives in the served snapshots.
+  struct RouteState {
+    std::string path;                    // site path ("links-<name>.xml")
+    std::unique_ptr<xml::Document> doc;  // Aot only
+    xlink::TraversalGraph graph;         // points into doc (Aot only)
+  };
+  std::vector<RouteProgram> route_programs_;
+  std::vector<RouteState> routes_;
   xlink::TraversalGraph graph_;
 
   /// The combined authored arc set (structure + families, weave order,
@@ -353,6 +396,12 @@ class Engine final : public EngineInternals {
 
   /// Registered serving profiles (see register_profile()).
   std::vector<Profile> profiles_;
+
+  /// The route table published into snapshots (and onto the replication
+  /// wire): programs + node-title export. Rebuilt by publish_snapshot();
+  /// the previous value is kept when content-equal so unchanged tables
+  /// keep pointer identity across epochs (the wire's carry-forward probe).
+  std::shared_ptr<const serve::RouteTable> route_table_;
 
   std::unique_ptr<site::HypermediaServer> server_;
   std::unique_ptr<site::Browser> browser_;

@@ -24,8 +24,10 @@
 #include <vector>
 
 #include "hypermedia/access.hpp"
+#include "hypermedia/context.hpp"
 #include "nav/buildgraph.hpp"
 #include "nav/profile.hpp"
+#include "nav/route.hpp"
 
 namespace navsep::aop {
 class Weaver;
@@ -221,6 +223,47 @@ class EngineInternals {
   virtual RebuildReport edit_context_family(
       std::string_view family_name,
       const std::function<void(hypermedia::ContextFamily&)>& edit) = 0;
+
+  // --- route programs ---------------------------------------------------------
+  //
+  // A RouteProgram (nav/route.hpp) declares a navigation source as a
+  // route expression over arc roles and context families. Registered
+  // programs become servable context families named after the program:
+  // RouteCompile::Aot expands at mutation time into an authored
+  // `links-<name>.xml` through the build graph (family edits dirty and
+  // regenerate it); RouteCompile::Lazy ships only the program text and
+  // expands inside each served snapshot on first touch — byte-identical
+  // to the AOT path by the differential harness (tests/route_test.cpp).
+  // Profiles may reference route names exactly like family names.
+
+  /// Register (or, by name, replace) a route program. Throws
+  /// navsep::ParseError for a malformed expression (naming the offending
+  /// token), navsep::SemanticError for an empty/':'/newline-containing
+  /// name, a name colliding with a context family, or any registration
+  /// in Tangled mode. Writer-side; batch-aware like every mutation.
+  virtual RebuildReport register_route(RouteProgram program) = 0;
+
+  /// Replace the expression of the registered route `name`. Throws
+  /// navsep::ResolutionError for an unknown route, navsep::ParseError
+  /// for a malformed expression.
+  virtual RebuildReport edit_route(std::string_view name,
+                                   std::string_view expression) = 0;
+
+  /// Unregister route `name` (its linkbase artifact, arcs and overlay
+  /// entries retire). Throws navsep::ResolutionError when unknown.
+  virtual RebuildReport remove_route(std::string_view name) = 0;
+
+  /// The registered route programs, in registration order.
+  [[nodiscard]] virtual const std::vector<RouteProgram>& routes()
+      const noexcept = 0;
+
+  /// The current expansion of registered route `name` as a context
+  /// family (one `<name>:route` guided-tour context over the expanded
+  /// node ids) — what the AOT path authors and the lazy path must match.
+  /// Evaluated fresh against the current arc table on every call.
+  /// Throws navsep::ResolutionError when unknown.
+  [[nodiscard]] virtual hypermedia::ContextFamily route_family(
+      std::string_view name) const = 0;
 
   // --- mutation batching ------------------------------------------------------
   //

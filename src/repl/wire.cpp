@@ -61,6 +61,22 @@ class ByteReader {
     if (n > kMaxCount) throw WireError("wire: record count out of range");
     return n;
   }
+  /// A count whose records each occupy at least `min_record_bytes` on
+  /// the wire. Decoders that pre-allocate `n` records must use this
+  /// form: a corrupted count can then never demand more memory than the
+  /// remaining payload could possibly justify — the per-record reads
+  /// would have thrown anyway, but only AFTER a resize(n) tried to
+  /// allocate gigabytes.
+  std::uint32_t count(std::size_t min_record_bytes) {
+    const std::uint32_t n = count();
+    if (n > remaining() / min_record_bytes) {
+      throw WireError("wire: record count exceeds remaining payload");
+    }
+    return n;
+  }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
   [[nodiscard]] bool exhausted() const noexcept {
     return pos_ == bytes_.size();
   }
@@ -109,7 +125,8 @@ void write_snapshot_arcs(ByteWriter& w,
 }
 
 std::vector<serve::SnapshotArc> read_snapshot_arcs(ByteReader& r) {
-  std::vector<serve::SnapshotArc> arcs(r.count());
+  // Each arc is ≥ four length prefixes + the traversable byte.
+  std::vector<serve::SnapshotArc> arcs(r.count(17));
   for (serve::SnapshotArc& arc : arcs) {
     arc.from = std::string(r.str());
     arc.to = std::string(r.str());
@@ -134,7 +151,8 @@ void write_nav_arcs(ByteWriter& w, const std::vector<const core::NavArc*>& arcs)
 
 void read_nav_arcs(ByteReader& r, std::string_view source,
                    std::vector<core::NavArc>& out) {
-  const std::uint32_t n = r.count();
+  // Each arc is ≥ five length prefixes + the ordinal.
+  const std::uint32_t n = r.count(24);
   out.reserve(out.size() + n);
   for (std::uint32_t i = 0; i < n; ++i) {
     core::NavArc arc;
@@ -159,10 +177,10 @@ void write_profiles(ByteWriter& w, const std::vector<nav::Profile>& profiles) {
 }
 
 std::vector<nav::Profile> read_profiles(ByteReader& r) {
-  std::vector<nav::Profile> profiles(r.count());
+  std::vector<nav::Profile> profiles(r.count(8));
   for (nav::Profile& profile : profiles) {
     profile.name = std::string(r.str());
-    profile.families.resize(r.count());
+    profile.families.resize(r.count(4));
     for (std::string& family : profile.families) {
       family = std::string(r.str());
     }
@@ -181,12 +199,56 @@ void write_families(
 }
 
 std::vector<serve::SnapshotOverlayInputs::Family> read_families(ByteReader& r) {
-  std::vector<serve::SnapshotOverlayInputs::Family> families(r.count());
+  std::vector<serve::SnapshotOverlayInputs::Family> families(r.count(8));
   for (auto& family : families) {
     family.name = std::string(r.str());
     family.source = std::string(r.str());
   }
   return families;
+}
+
+void write_route_table(ByteWriter& w, const serve::RouteTable* table) {
+  if (table == nullptr) {
+    w.u8(0);
+    return;
+  }
+  w.u8(1);
+  w.u32(static_cast<std::uint32_t>(table->entries.size()));
+  for (const serve::RouteTable::Entry& entry : table->entries) {
+    w.str(entry.program.name);
+    w.str(entry.program.expression);
+    w.u8(static_cast<std::uint8_t>(entry.program.compile));
+    w.str(entry.source);
+  }
+  w.u32(static_cast<std::uint32_t>(table->titles.size()));
+  for (const auto& [id, title] : table->titles) {
+    w.str(id);
+    w.str(title);
+  }
+}
+
+std::shared_ptr<const serve::RouteTable> read_route_table(ByteReader& r) {
+  if (r.u8() == 0) return nullptr;
+  auto table = std::make_shared<serve::RouteTable>();
+  // Each entry is ≥ three length prefixes + the compile-mode byte.
+  table->entries.resize(r.count(13));
+  for (serve::RouteTable::Entry& entry : table->entries) {
+    entry.program.name = std::string(r.str());
+    entry.program.expression = std::string(r.str());
+    const std::uint8_t compile = r.u8();
+    if (compile > static_cast<std::uint8_t>(nav::RouteCompile::Lazy)) {
+      throw WireError("wire: unknown route compile mode " +
+                      std::to_string(compile));
+    }
+    entry.program.compile = static_cast<nav::RouteCompile>(compile);
+    entry.source = std::string(r.str());
+  }
+  const std::uint32_t n_titles = r.count();
+  for (std::uint32_t i = 0; i < n_titles; ++i) {
+    std::string id(r.str());
+    table->titles.emplace(std::move(id), std::string(r.str()));
+  }
+  return table;
 }
 
 /// The combined arc set partitioned by NavArc::source in first-
@@ -312,6 +374,7 @@ std::string encode_full(const serve::SiteSnapshot& snapshot) {
     // The profile table still ships: a base-only snapshot may carry
     // (empty-family) profiles that must keep resolving on the replica.
     write_profiles(w, snapshot.profiles());
+    write_route_table(w, snapshot.route_table().get());
     return w.take();
   }
   w.u8(1);
@@ -324,6 +387,7 @@ std::string encode_full(const serve::SiteSnapshot& snapshot) {
     write_nav_arcs(w, segment.arcs);
   }
   write_profiles(w, snapshot.profiles());
+  write_route_table(w, snapshot.route_table().get());
   return w.take();
 }
 
@@ -361,6 +425,7 @@ std::shared_ptr<const serve::SiteSnapshot> decode_full(
     // derive-when-absent path — identical fold to the origin's).
   }
   state.overlays.profiles = read_profiles(r);
+  state.overlays.routes = read_route_table(r);
   require(r.exhausted(), "trailing bytes after FULL payload");
   return std::make_shared<serve::SiteSnapshot>(std::move(state));
 }
@@ -448,10 +513,22 @@ std::string encode_delta(const serve::SiteSnapshot& prev,
     out.append(removed_buckets.take());
   }
 
+  // Route tables ride like arc segments: unchanged tables (pointer
+  // identity — the engine keeps it across epochs — or value equality as
+  // the fallback) cost one carry byte; only a changed table ships.
+  const serve::RouteTable* prev_routes = prev.route_table().get();
+  const serve::RouteTable* next_routes = next.route_table().get();
+  const bool routes_carry =
+      prev_routes == next_routes ||
+      (prev_routes != nullptr && next_routes != nullptr &&
+       *prev_routes == *next_routes);
+
   ByteWriter tail;
   if (!next.overlays_enabled()) {
     tail.u8(0);
     write_profiles(tail, next.profiles());
+    tail.u8(routes_carry ? 0 : 1);
+    if (!routes_carry) write_route_table(tail, next_routes);
     out.append(tail.take());
     return out;
   }
@@ -472,6 +549,8 @@ std::string encode_delta(const serve::SiteSnapshot& prev,
     if (!carry) write_nav_arcs(tail, segment.arcs);
   }
   write_profiles(tail, next.profiles());
+  tail.u8(routes_carry ? 0 : 1);
+  if (!routes_carry) write_route_table(tail, next_routes);
   out.append(tail.take());
   return out;
 }
@@ -549,6 +628,11 @@ std::shared_ptr<const serve::SiteSnapshot> apply_delta(
     state.overlays.arcs = std::move(arcs);
   }
   state.overlays.profiles = read_profiles(r);
+  if (r.u8() == 0) {
+    state.overlays.routes = prev.route_table();  // carried forward
+  } else {
+    state.overlays.routes = read_route_table(r);
+  }
   require(r.exhausted(), "trailing bytes after DELTA payload");
   return std::make_shared<serve::SiteSnapshot>(std::move(state));
 }

@@ -9,9 +9,10 @@
 //
 //   FULL   — the complete snapshot state (artifact bytes, traversal
 //            arc buckets, overlay inputs: combined arc segments per
-//            linkbase source, family table, profile table). Sent on
-//            subscribe (mid-stream connect) and on resync when a
-//            replica's last-acknowledged epoch lags too far.
+//            linkbase source, family table, profile table, route
+//            table). Sent on subscribe (mid-stream connect) and on
+//            resync when a replica's last-acknowledged epoch lags too
+//            far.
 //   DELTA  — only what moved between two epochs: artifacts whose bytes
 //            changed (or vanished), traversal buckets whose arcs
 //            changed, and per-linkbase arc segments whose PR 5
@@ -19,7 +20,11 @@
 //            segments are carried forward from the replica's previous
 //            snapshot by reference, so a single family edit ships that
 //            family's segment plus the re-authored linkbase artifact —
-//            kilobytes, not the site.
+//            kilobytes, not the site. The route table rides the same
+//            way: one changed-flag byte carries an unchanged table
+//            forward from the replica's previous snapshot (pointer or
+//            value equality on the publisher), only a changed table
+//            ships inline.
 //
 // Slice hashes themselves are deliberately NOT on the wire: the decoder
 // rebuilds every snapshot through SiteSnapshot::derive_slice_hashes —
@@ -54,7 +59,7 @@ class WireError : public Error {
 };
 
 inline constexpr std::uint32_t kWireMagic = 0x4E535257u;  // "NSRW"
-inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint16_t kWireVersion = 2;  // v2: route tables
 inline constexpr std::size_t kFrameHeaderSize = 24;
 
 enum class FrameType : std::uint16_t {

@@ -4,11 +4,14 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "core/linkbase.hpp"
 #include "html/html.hpp"
 #include "nav/buildgraph.hpp"
 #include "uri/uri.hpp"
 #include "xlink/model.hpp"
 #include "xml/dom.hpp"
+#include "xml/parser.hpp"
+#include "xml/serializer.hpp"
 
 namespace navsep::serve {
 
@@ -148,6 +151,7 @@ void SiteSnapshot::init_overlays(SnapshotOverlayInputs overlays) {
   // resolve each linkbase's content handle — the cache-validity tokens.
   profiles_ = std::move(overlays.profiles);
   structure_source_ = overlays.structure_source;
+  route_table_ = std::move(overlays.routes);
   if (overlays.arcs == nullptr) return;
   overlay_arcs_ = std::move(overlays.arcs);
   families_.reserve(overlays.families.size());
@@ -212,13 +216,25 @@ std::vector<const core::NavArc*> SiteSnapshot::profile_arcs(
     out = it->second;
   }
   for (const std::string& family_name : profile.families) {
-    for (const FamilySlice& family : families_) {
-      if (family.name != family_name) continue;
-      if (auto it = family.arcs_by_page.find(path);
-          it != family.arcs_by_page.end()) {
+    auto family = std::find_if(
+        families_.begin(), families_.end(),
+        [&](const FamilySlice& f) { return f.name == family_name; });
+    if (family != families_.end()) {
+      if (auto it = family->arcs_by_page.find(path);
+          it != family->arcs_by_page.end()) {
         out.insert(out.end(), it->second.begin(), it->second.end());
       }
-      break;
+      continue;
+    }
+    // Not an authored family: a Lazy route program composes exactly like
+    // one, from its memoized expansion (the slice outlives the returned
+    // pointers — the snapshot pins it in route_slices_).
+    if (std::shared_ptr<const RouteSlice> route =
+            lazy_route_slice(family_name)) {
+      if (auto it = route->arcs_by_page.find(path);
+          it != route->arcs_by_page.end()) {
+        out.insert(out.end(), it->second.begin(), it->second.end());
+      }
     }
   }
   return out;
@@ -230,16 +246,121 @@ OverlayValidity SiteSnapshot::overlay_validity(const nav::Profile& profile,
   validity.base_body = body(path);
   validity.profile_token = profile_token(profile);
   validity.structure_slice = slice_hash_for(structure_hashes_, path);
+  if (validity.base_body == nullptr && route_table_ != nullptr) {
+    // A Lazy route's linkbase artifact has no stored base bytes; its
+    // synthesized content hash stands in for the structure slice
+    // (compared by value, so an epoch whose re-expansion produces
+    // identical bytes keeps the cached entry alive).
+    for (const RouteTable::Entry& entry : route_table_->entries) {
+      if (entry.program.compile != nav::RouteCompile::Lazy ||
+          entry.source != path) {
+        continue;
+      }
+      if (std::shared_ptr<const RouteSlice> route =
+              lazy_route_slice(entry.program.name)) {
+        validity.structure_slice = nav::hash_bytes(*route->text);
+      }
+      break;
+    }
+  }
   validity.family_slices.reserve(profile.families.size());
   for (const std::string& family_name : profile.families) {
     auto it = std::find_if(
         families_.begin(), families_.end(),
         [&](const FamilySlice& f) { return f.name == family_name; });
-    validity.family_slices.push_back(
-        it == families_.end() ? kUnknownSliceHash
-                              : slice_hash_for(it->hashes, path));
+    if (it != families_.end()) {
+      validity.family_slices.push_back(slice_hash_for(it->hashes, path));
+      continue;
+    }
+    // A Lazy route program's validity is its program token folded with
+    // the expansion's per-page slice hash: editing the program retires
+    // every entry, a family edit retires only pages whose expanded
+    // slice changed (the ISSUE's cache-economics contract).
+    if (std::shared_ptr<const RouteSlice> route =
+            lazy_route_slice(family_name)) {
+      validity.family_slices.push_back(nav::hash_combine(
+          route->token, slice_hash_for(&route->hashes, path)));
+      continue;
+    }
+    validity.family_slices.push_back(kUnknownSliceHash);
   }
   return validity;
+}
+
+std::shared_ptr<const SiteSnapshot::RouteSlice> SiteSnapshot::lazy_route_slice(
+    std::string_view name) const {
+  if (route_table_ == nullptr || overlay_arcs_ == nullptr) return nullptr;
+  const RouteTable::Entry* entry = nullptr;
+  for (const RouteTable::Entry& e : route_table_->entries) {
+    if (e.program.compile == nav::RouteCompile::Lazy &&
+        e.program.name == name) {
+      entry = &e;
+      break;
+    }
+  }
+  if (entry == nullptr) return nullptr;
+
+  {
+    std::lock_guard<std::mutex> lock(route_mutex_);
+    auto it = route_slices_.find(name);
+    if (it != route_slices_.end()) return it->second;
+  }
+
+  // Expand outside the lock — a pure function of immutable snapshot
+  // state, so racing readers compute identical slices (first insert
+  // wins below). Route sources never feed route expansion: programs are
+  // defined over the authored navigation, exactly as the engine's AOT
+  // path expands them.
+  std::vector<std::string> exclude;
+  exclude.reserve(route_table_->entries.size());
+  for (const RouteTable::Entry& e : route_table_->entries) {
+    exclude.push_back(e.source);
+  }
+  hypermedia::ContextFamily family = nav::route_context_family(
+      entry->program.name, nav::parse_route(entry->program.expression),
+      *overlay_arcs_, exclude);
+
+  // Author the linkbase through THE context-linkbase producer (the same
+  // call the engine's AOT rebuild makes), then round-trip it through the
+  // parser like the weave path does — both sides' arc values come from
+  // the authored bytes, so they cannot drift.
+  core::LinkbaseOptions lb;
+  lb.base_uri = base_ + entry->source;
+  lb.data_href = [](std::string_view id) {
+    return core::default_href_for(id);
+  };
+  lb.structure_href = [](std::string_view id) {
+    return core::default_href_for(id);
+  };
+  const auto& titles = route_table_->titles;
+  std::unique_ptr<xml::Document> doc = core::build_context_linkbase(
+      family,
+      [&titles](std::string_view id) {
+        auto it = titles.find(id);
+        return it == titles.end() ? std::string(id) : it->second;
+      },
+      lb);
+
+  auto slice = std::make_shared<RouteSlice>();
+  slice->name = entry->program.name;
+  slice->source = entry->source;
+  slice->token = nav::route_token(entry->program);
+  slice->text =
+      std::make_shared<const std::string>(xml::write(*doc, {.pretty = true}));
+  std::unique_ptr<xml::Document> parsed = xml::parse(*slice->text);
+  xlink::TraversalGraph graph = core::load_linkbase(*parsed);
+  slice->arcs = core::combined_nav_arcs({{entry->source, &graph}});
+  for (const core::NavArc& arc : slice->arcs) {
+    std::string page = core::default_href_for(arc.from);
+    slice->arcs_by_page[page].push_back(&arc);
+    auto [it, inserted] = slice->hashes.emplace(std::move(page),
+                                                kEmptySliceHash);
+    it->second = combine_arc_slice(it->second, arc);
+  }
+
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  auto [it, inserted] = route_slices_.emplace(std::string(name), slice);
+  return it->second;
 }
 
 std::shared_ptr<const std::string> SiteSnapshot::overlay_body(
@@ -311,7 +432,33 @@ site::Response SiteSnapshot::respond_as(const nav::Profile& profile,
   // then apply the profile view on top of the resolved response.
   std::string path;
   site::Response r = respond(uri_or_path, &path);
-  if (!r.ok()) return r;
+  if (!r.ok()) {
+    // A Lazy route's linkbase is not a stored artifact — it exists only
+    // for profiles that include the route, synthesized on first touch
+    // (the AOT build for such a profile would have authored it).
+    std::optional<std::string> missing =
+        site::site_path_under(uri_or_path, normalized_base_);
+    if (route_table_ != nullptr && missing.has_value()) {
+      for (const RouteTable::Entry& entry : route_table_->entries) {
+        if (entry.source != *missing ||
+            entry.program.compile != nav::RouteCompile::Lazy) {
+          continue;
+        }
+        if (std::find(profile.families.begin(), profile.families.end(),
+                      entry.program.name) == profile.families.end()) {
+          break;  // excluded: stays 404, like an excluded family linkbase
+        }
+        if (std::shared_ptr<const RouteSlice> route =
+                lazy_route_slice(entry.program.name)) {
+          if (resolved_path != nullptr) *resolved_path = *missing;
+          return site::Response{
+              200, std::string(site::content_type_for(*missing)),
+              route->text};
+        }
+      }
+    }
+    return r;
+  }
 
   // A contextual linkbase outside the profile is not part of the
   // profile's site: a full build over only its families would never

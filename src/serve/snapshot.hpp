@@ -19,12 +19,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/navigation_aspect.hpp"
 #include "nav/profile.hpp"
+#include "nav/route.hpp"
 #include "site/server.hpp"
 #include "site/virtual_site.hpp"
 #include "xlink/traversal.hpp"
@@ -88,6 +90,27 @@ inline constexpr std::uint64_t kUnknownSliceHash = 0xc2b2ae3d27d4eb4full;
 [[nodiscard]] std::uint64_t combine_arc_slice(std::uint64_t slice,
                                               const core::NavArc& arc) noexcept;
 
+/// The route programs a snapshot knows, as published by the engine and
+/// shipped on the replication wire. AOT programs are informational here
+/// (their expansion already rides the combined arc set as an ordinary
+/// family); Lazy programs are what SiteSnapshot expands and memoizes on
+/// first touch. `titles` exports the engine's node-id → title mapping —
+/// the only navigational-model fact linkbase authoring consumes — so a
+/// replica can synthesize byte-identical route linkbases without the
+/// model.
+struct RouteTable {
+  struct Entry {
+    nav::RouteProgram program;
+    std::string source;  ///< its linkbase's site path ("links-<name>.xml")
+
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+  std::vector<Entry> entries;  ///< in registration order
+  std::map<std::string, std::string, std::less<>> titles;
+
+  friend bool operator==(const RouteTable&, const RouteTable&) = default;
+};
+
 /// The navigation-overlay inputs a snapshot carries beyond the site
 /// bytes: the combined authored arc set (with per-linkbase provenance in
 /// NavArc::source), which linkbase belongs to which context family, and
@@ -115,6 +138,10 @@ struct SnapshotOverlayInputs {
   /// arc-table rebuild. When null the snapshot derives them itself from
   /// `arcs` (same combine_arc_slice fold, so the result is identical).
   std::shared_ptr<const SourceSliceHashes> slice_hashes;
+
+  /// Registered route programs (null when none) — shared with the engine
+  /// and carried verbatim onto the replication wire.
+  std::shared_ptr<const RouteTable> routes;
 };
 
 /// What one cached overlay response depends on, slice-precise: the
@@ -318,6 +345,13 @@ class SiteSnapshot {
     return slice_hashes_;
   }
 
+  /// The route programs this snapshot was published with (null when
+  /// none) — what the replication encoder ships.
+  [[nodiscard]] const std::shared_ptr<const RouteTable>& route_table()
+      const noexcept {
+    return route_table_;
+  }
+
  private:
   /// Per-linkbase slice: the arcs of one source, bucketed by the site
   /// path of the page they leave (core::default_href_for(from)).
@@ -341,6 +375,28 @@ class SiteSnapshot {
       std::string_view path, const std::shared_ptr<const std::string>& base,
       const nav::Profile& profile) const;
 
+  /// A lazily expanded route program: the synthesized linkbase text plus
+  /// its arcs bucketed per page — everything a FamilySlice offers, owned
+  /// by the memo entry (profile_arcs hands out pointers into `arcs`,
+  /// which the snapshot keeps alive in route_slices_).
+  struct RouteSlice {
+    std::string name;
+    std::string source;
+    std::uint64_t token = 0;                  // nav::route_token(program)
+    std::shared_ptr<const std::string> text;  // the authored linkbase doc
+    std::vector<core::NavArc> arcs;           // in authored order
+    ArcSlice arcs_by_page;                    // pointers into `arcs`
+    PageSliceHashes hashes;
+  };
+
+  /// The Lazy-compiled route named `name`, expanded on first touch and
+  /// memoized for this snapshot's lifetime; null when no such route.
+  /// Thread-safe (the serve path calls it concurrently); expansion is a
+  /// pure function of immutable snapshot state, so a duplicate race
+  /// computes identical slices and the first insert wins.
+  [[nodiscard]] std::shared_ptr<const RouteSlice> lazy_route_slice(
+      std::string_view name) const;
+
   /// The shared tail of every constructor: bucket the combined arc set
   /// per (linkbase, page), resolve (or derive) the slice-hash table, and
   /// wire the per-family hash pointers.
@@ -361,6 +417,15 @@ class SiteSnapshot {
   ArcSlice structure_arcs_by_page_;
   std::vector<FamilySlice> families_;
   std::vector<nav::Profile> profiles_;
+  std::shared_ptr<const RouteTable> route_table_;
+
+  // Lazy route memo: route name → expanded slice, filled on first touch.
+  // The only mutable state in a snapshot; guarded because readers share
+  // the snapshot across threads. Entries are immutable once inserted.
+  mutable std::mutex route_mutex_;
+  mutable std::map<std::string, std::shared_ptr<const RouteSlice>,
+                   std::less<>>
+      route_slices_;
 };
 
 /// The publication point between one writer and many readers. publish()

@@ -13,6 +13,18 @@ site::VirtualSite full_build_oracle(const nav::Engine& engine) {
   for (const auto& family : engine.context_families()) {
     options.context_families.push_back(&family);
   }
+  // AOT routes author a linkbase artifact exactly like a family; the
+  // from-scratch build must author it too, from the same expansion.
+  // Lazy routes leave no artifact — they expand inside snapshots only.
+  std::vector<hypermedia::ContextFamily> route_families;
+  route_families.reserve(engine.routes().size());
+  for (const nav::RouteProgram& program : engine.routes()) {
+    if (program.compile != nav::RouteCompile::Aot) continue;
+    route_families.push_back(engine.route_family(program.name));
+  }
+  for (const auto& family : route_families) {
+    options.context_families.push_back(&family);
+  }
   auto snapshot = hypermedia::MaterializedStructure::snapshot(engine.structure());
   return site::build_separated_site(engine.world(), *snapshot, options);
 }
@@ -22,9 +34,22 @@ std::map<std::string, std::string> profile_oracle(const nav::Engine& engine,
   site::SiteBuildOptions options;
   options.site_base = engine.server().base();
   options.weave_context_tours = true;
+  // A profile may name route programs alongside families; both compile
+  // modes expand to the same context family here — the oracle is the
+  // common truth the AOT artifact and the lazy overlay must both match.
+  std::vector<hypermedia::ContextFamily> route_families;
+  route_families.reserve(profile.families.size());
   for (const std::string& name : profile.families) {
+    bool found = false;
     for (const hypermedia::ContextFamily& family : engine.context_families()) {
-      if (family.name() == name) options.context_families.push_back(&family);
+      if (family.name() == name) {
+        options.context_families.push_back(&family);
+        found = true;
+      }
+    }
+    if (!found) {
+      route_families.push_back(engine.route_family(name));
+      options.context_families.push_back(&route_families.back());
     }
   }
   site::VirtualSite built =

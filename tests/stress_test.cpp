@@ -44,6 +44,72 @@ using navsep::testing::expect_sites_identical;
 using navsep::testing::full_build_oracle;
 using navsep::testing::profile_oracle;
 
+/// The route-program churn pool: two route names cycling through
+/// register / edit / compile-mode flip / removal, over a fixed set of
+/// well-formed expressions (randomized program *generation* is
+/// route_test's job; the stress harness churns lifecycle + serving).
+const std::vector<std::string> kRouteNames{"routeA", "routeB"};
+const std::vector<std::string> kRouteExprs{
+    "index-entry / next*",
+    "@ByAuthor",
+    "@ByMovement / next",
+    "(next | prev)*",
+    "up / index-entry",
+    "@ByAuthor | @ByMovement",
+};
+
+/// One randomized route-program mutation. Returns the number of engine
+/// mutations performed (removal first re-registers any profile that
+/// references the dying route, so batched bursts can count every edit).
+std::size_t random_route_op(nav::EngineInternals& in, Rng& rng,
+                            std::vector<nav::Profile>& profiles) {
+  const std::string& name = rng.pick(kRouteNames);
+  const bool registered =
+      std::any_of(in.routes().begin(), in.routes().end(),
+                  [&](const nav::RouteProgram& p) { return p.name == name; });
+  if (!registered) {
+    (void)in.register_route({name, rng.pick(kRouteExprs),
+                             rng.chance(0.5) ? nav::RouteCompile::Aot
+                                             : nav::RouteCompile::Lazy});
+    return 1;
+  }
+  const std::uint64_t roll = rng.below(4);
+  if (roll == 0) {
+    std::size_t edits = 0;
+    for (nav::Profile& p : profiles) {
+      auto it = std::find(p.families.begin(), p.families.end(), name);
+      if (it != p.families.end()) {
+        p.families.erase(it);
+        in.register_profile(p);
+        ++edits;
+      }
+    }
+    (void)in.remove_route(name);
+    return edits + 1;
+  }
+  if (roll == 1) {
+    (void)in.edit_route(name, rng.pick(kRouteExprs));
+    return 1;
+  }
+  // Re-register: new expression AND possibly a compile-mode flip — the
+  // Aot artifact retires (or appears) while the served bytes must not
+  // move for an unchanged expression.
+  (void)in.register_route({name, rng.pick(kRouteExprs),
+                           rng.chance(0.5) ? nav::RouteCompile::Aot
+                                           : nav::RouteCompile::Lazy});
+  return 1;
+}
+
+/// Extend a profile's family list with each currently registered route
+/// name, coin-flip each — profiles reference routes exactly like
+/// families, so the churn must mix them.
+void maybe_reference_routes(const nav::EngineInternals& in, Rng& rng,
+                            nav::Profile& profile) {
+  for (const nav::RouteProgram& program : in.routes()) {
+    if (rng.chance(0.5)) profile.families.push_back(program.name);
+  }
+}
+
 /// One server under test: a ConcurrentServer plus the limits it was
 /// opened with (for the per-step cap assertions).
 struct ServerUnderTest {
@@ -152,7 +218,7 @@ TEST(DifferentialStress, MixedMutationSequenceServesOnlyOracleBytes) {
 
   Rng rng(20260729);
   for (int step = 0; step < 110; ++step) {
-    const std::uint64_t op = rng.below(8);
+    const std::uint64_t op = rng.below(9);
     if (op == 0) {
       // Arc edit: the finest-grained structural mutation.
       std::vector<hm::AccessArc> arcs = engine->internals().authored_arcs();
@@ -221,13 +287,18 @@ TEST(DifferentialStress, MixedMutationSequenceServesOnlyOracleBytes) {
             family.replace_contexts(std::move(contexts));
           });
     } else if (op == 5) {
-      // Re-register a profile with a different family list.
+      // Re-register a profile with a different family list — route
+      // names mixed in beside families.
       nav::Profile& victim = profiles[static_cast<std::size_t>(
           rng.below(profiles.size()))];
       victim.families = rng.pick(family_subsets);
+      maybe_reference_routes(engine->internals(), rng, victim);
       engine->internals().register_profile(victim);
     } else if (op == 6) {
       engine->internals().rebuild();
+    } else if (op == 7) {
+      // Route-program churn: register / edit / flip / remove.
+      (void)random_route_op(engine->internals(), rng, profiles);
     } else {
       // Cache-cap churn: tear one server down and reopen it with fresh
       // random caps (0 = pass-through stays in rotation).
@@ -328,7 +399,9 @@ TEST(DifferentialStress, ReplicatedReaderServesOnlyOracleBytes) {
   Rng rng(20260807);
   for (int step = 0; step < 110; ++step) {
     // Kill-and-resync: the replica dies, the origin mutates on without
-    // it (building an epoch gap), and a new one connects mid-stream.
+    // it (building an epoch gap — route mutations included, so route
+    // tables must survive the mid-stream FULL resync), and a new one
+    // connects mid-stream.
     if (step == 35 || step == 75) {
       server.reset();
       replica.reset();
@@ -339,11 +412,12 @@ TEST(DifferentialStress, ReplicatedReaderServesOnlyOracleBytes) {
                 .node_id;
         (void)engine->internals().retitle_node(id, "gap-" + rng.word(5));
       }
+      (void)random_route_op(engine->internals(), rng, profiles);
       replica = connect_replica();
       ++reconnects;
     }
 
-    const std::uint64_t op = rng.below(7);
+    const std::uint64_t op = rng.below(8);
     if (op == 0) {
       std::vector<hm::AccessArc> arcs = engine->internals().authored_arcs();
       if (arcs.empty()) continue;
@@ -412,9 +486,13 @@ TEST(DifferentialStress, ReplicatedReaderServesOnlyOracleBytes) {
       nav::Profile& victim = profiles[static_cast<std::size_t>(
           rng.below(profiles.size()))];
       victim.families = rng.pick(family_subsets);
+      maybe_reference_routes(engine->internals(), rng, victim);
       engine->internals().register_profile(victim);
-    } else {
+    } else if (op == 6) {
       engine->internals().rebuild();
+    } else {
+      // Route-program churn on the origin: the table must replicate.
+      (void)random_route_op(engine->internals(), rng, profiles);
     }
 
     // The replica must catch up to the origin's exact epoch…
@@ -426,6 +504,20 @@ TEST(DifferentialStress, ReplicatedReaderServesOnlyOracleBytes) {
         << "): " << replica->error();
     if (server == nullptr) {
       server = std::make_unique<serve::ConcurrentServer>(replica->store(), 4);
+    }
+
+    // The replicated route table is byte-for-byte the origin's — across
+    // deltas (carry or inline) AND across the kill-and-resync FULLs.
+    {
+      const auto origin_routes =
+          engine->internals().snapshots().current()->route_table();
+      const auto replica_routes = replica->store().current()->route_table();
+      ASSERT_EQ(origin_routes == nullptr, replica_routes == nullptr)
+          << "step " << step;
+      if (origin_routes != nullptr) {
+        ASSERT_TRUE(*origin_routes == *replica_routes)
+            << "step " << step << ": route table diverged across the wire";
+      }
     }
 
     // …and serve exactly the oracle's bytes, base and per-profile,
@@ -516,7 +608,7 @@ TEST(DifferentialStress, BatchedBurstsPublishOneDeltaAndServeOracleBytes) {
     engine->internals().begin_batch();
     std::size_t applied = 0;
     for (std::size_t k = 0; k < burst; ++k) {
-      const std::uint64_t op = rng.below(7);
+      const std::uint64_t op = rng.below(8);
       if (op == 0) {
         std::vector<hm::AccessArc> arcs = engine->internals().authored_arcs();
         if (arcs.empty()) continue;
@@ -581,9 +673,16 @@ TEST(DifferentialStress, BatchedBurstsPublishOneDeltaAndServeOracleBytes) {
         nav::Profile& victim = profiles[static_cast<std::size_t>(
             rng.below(profiles.size()))];
         victim.families = rng.pick(family_subsets);
+        maybe_reference_routes(engine->internals(), rng, victim);
         engine->internals().register_profile(victim);
-      } else {
+      } else if (op == 6) {
         engine->internals().rebuild();
+      } else {
+        // Route churn inside the batch: a removal may re-register
+        // referencing profiles first, so it contributes several edits —
+        // the helper reports how many it applied.
+        applied += random_route_op(engine->internals(), rng, profiles);
+        continue;
       }
       ++applied;
     }
