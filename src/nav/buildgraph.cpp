@@ -13,6 +13,7 @@ std::string_view to_string(ProductKind k) noexcept {
   switch (k) {
     case ProductKind::Source: return "Source";
     case ProductKind::Route: return "Route";
+    case ProductKind::Landmark: return "Landmark";
     case ProductKind::Linkbase: return "Linkbase";
     case ProductKind::ArcTable: return "ArcTable";
     case ProductKind::ArcSlice: return "ArcSlice";

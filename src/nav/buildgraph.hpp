@@ -50,6 +50,7 @@ class WorkerPool;
 enum class ProductKind {
   Source,     // authored inputs: the navigation spec
   Route,      // one registered route program (name + canonical expression)
+  Landmark,   // one landmark synthesis program (name + options + traffic)
   Linkbase,   // one authored linkbase document (links*.xml)
   ArcTable,   // the merged traversal graph + combined arc set
   ArcSlice,   // one page's view of the arc table (arcs leaving it)

@@ -41,9 +41,16 @@ std::string menu_sub_node(std::size_t index) {
 std::string route_node(std::string_view name) {
   return "route:" + std::string(name);
 }
+std::string landmark_node(std::string_view name) {
+  return "landmark:" + std::string(name);
+}
 
-/// Engine::route_index's "not registered" sentinel.
+/// Engine::route_index / landmark_index "not registered" sentinel.
 constexpr std::size_t kNoRoute = static_cast<std::size_t>(-1);
+
+/// The base landmark family every profile navigates with once
+/// enable_landmarks runs; per-profile families append "-<profile>".
+constexpr std::string_view kLandmarkFamily = "landmarks";
 
 std::uint64_t hash_str(std::uint64_t seed, std::string_view s) {
   return hash_combine(seed, hash_bytes(s));
@@ -301,6 +308,12 @@ void Engine::publish_snapshot() {
     overlays.families.push_back(serve::SnapshotOverlayInputs::Family{
         route_programs_[i].name, routes_[i].path});
   }
+  // Landmark families are always materialized linkbases (there is no
+  // lazy landmark): they ride exactly like AOT routes.
+  for (const LandmarkState& entry : landmarks_) {
+    overlays.families.push_back(
+        serve::SnapshotOverlayInputs::Family{entry.name, entry.path});
+  }
   overlays.profiles = profiles_;
   overlays.slice_hashes = overlay_slice_hashes_;
   refresh_route_table();
@@ -329,12 +342,12 @@ void Engine::register_profile(Profile profile) {
                     [&](const hypermedia::ContextFamily& f) {
                       return f.name() == name;
                     }) ||
-        route_index(name) != kNoRoute;
+        route_index(name) != kNoRoute || landmark_index(name) != kNoRoute;
     if (!known) {
       throw SemanticError("Engine::register_profile: unknown context family '" +
                           name +
-                          "' (configure it via SitePipeline::contexts or "
-                          "register_route)");
+                          "' (configure it via SitePipeline::contexts, "
+                          "register_route or enable_landmarks)");
     }
     for (std::size_t j = 0; j < i; ++j) {
       if (profile.families[j] == name) {
@@ -352,11 +365,28 @@ void Engine::register_profile(Profile profile) {
   } else {
     profiles_.push_back(std::move(profile));
   }
+  // With landmark synthesis on, the new (or replaced) profile picks up
+  // its landmark families: the base one always, its personal one when
+  // per_profile is set — which may author a brand-new linkbase and so
+  // needs a graph run, not just a publish.
+  bool landmarks_changed = false;
+  if (landmark_options_.has_value()) {
+    landmarks_changed = refresh_landmark_states();
+    if (landmarks_changed) {
+      sync_landmark_nodes();
+      build_graph_.mark_dirty(std::string(kArcTableNode));
+    }
+  }
   if (batch_open_) {
     // Registration is visible to later batched operations immediately;
     // only the publish coalesces into the batch's single epoch.
     ++batch_edits_;
     batch_publish_pending_ = true;
+    if (landmarks_changed) batch_graph_pending_ = true;
+    return;
+  }
+  if (landmarks_changed) {
+    (void)run_graph_now();
     return;
   }
   // Nothing re-weaves: the next epoch differs only in its profile table.
@@ -436,7 +466,21 @@ RebuildReport Engine::register_route(RouteProgram program) {
                         "' already names a context family — routes and "
                         "families share the profile namespace");
   }
+  if (landmark_index(program.name) != kNoRoute) {
+    throw SemanticError("Engine::register_route: '" + program.name +
+                        "' already names a landmark family — routes and "
+                        "landmarks share the profile namespace");
+  }
   const std::string path = site::context_linkbase_path(program.name);
+  for (const LandmarkState& entry : landmarks_) {
+    if (entry.path == path) {
+      throw SemanticError("Engine::register_route: route '" + program.name +
+                          "' would author '" + path +
+                          "', which landmark family '" + entry.name +
+                          "' already owns (names map to paths "
+                          "case-insensitively)");
+    }
+  }
   for (const ContextLinkbase& entry : context_linkbases_) {
     if (entry.path == path) {
       throw SemanticError("Engine::register_route: route '" + program.name +
@@ -592,11 +636,14 @@ void Engine::sync_route_nodes() {
   if (!build_graph_.contains(kSpecNode)) return;
   if (mode_ == WeaveMode::Tangled) return;  // no routes ever registered
 
-  // Linkbase nodes the family layer owns — everything else of Linkbase
-  // kind belongs to (possibly stale) Aot routes.
+  // Linkbase nodes the family and landmark layers own — everything else
+  // of Linkbase kind belongs to (possibly stale) Aot routes.
   std::vector<std::string> family_owned;
   family_owned.push_back(linkbase_node(kStructureLinkbasePath));
   for (const ContextLinkbase& entry : context_linkbases_) {
+    family_owned.push_back(linkbase_node(entry.path));
+  }
+  for (const LandmarkState& entry : landmarks_) {
     family_owned.push_back(linkbase_node(entry.path));
   }
   std::sort(family_owned.begin(), family_owned.end());
@@ -676,18 +723,12 @@ void Engine::sync_route_nodes() {
                         });
   }
 
-  // Re-point the arc table at the full linkbase set (family + Aot
-  // route): a route expansion change now propagates route -> linkbase ->
-  // arc table -> exactly the changed slices. define() keeps the stored
-  // hash, so re-pointing alone dirties nothing.
-  std::vector<std::string> table_deps;
-  table_deps.push_back(linkbase_node(kStructureLinkbasePath));
-  for (const ContextLinkbase& entry : context_linkbases_) {
-    table_deps.push_back(linkbase_node(entry.path));
-  }
-  for (const std::string& lb : desired_lbs) table_deps.push_back(lb);
+  // Re-point the arc table at the full linkbase set (family + Aot route
+  // + landmark): a route expansion change now propagates route ->
+  // linkbase -> arc table -> exactly the changed slices. define() keeps
+  // the stored hash, so re-pointing alone dirties nothing.
   build_graph_.define(std::string(kArcTableNode), ProductKind::ArcTable,
-                      std::move(table_deps),
+                      arc_table_deps(),
                       [this] { return rebuild_arc_table(); });
 }
 
@@ -714,6 +755,331 @@ void Engine::refresh_route_table() {
   if (route_table_ == nullptr || !(*table == *route_table_)) {
     route_table_ = std::move(table);
   }
+}
+
+// --- Engine: landmark synthesis -----------------------------------------------
+
+RebuildReport Engine::enable_landmarks(const obs::TraceAggregate& traffic,
+                                       LandmarkOptions options) {
+  if (mode_ == WeaveMode::Tangled) {
+    throw SemanticError(
+        "Engine::enable_landmarks: the tangled baseline has no separated "
+        "navigation to synthesize landmarks into");
+  }
+  // Copy the tables: re-ranking, diagnostics and the landmark tokens all
+  // read from engine-owned state, not from whatever the caller mutates
+  // next.
+  landmark_traffic_ = traffic;
+  landmark_options_ = options;
+  (void)refresh_landmark_states();
+  sync_landmark_nodes();
+  // Fresh traffic re-ranks every family: dirty each program node; the
+  // token cuts off when the tables (and options) are unchanged.
+  for (const LandmarkState& entry : landmarks_) {
+    build_graph_.mark_dirty(landmark_node(entry.name));
+  }
+  build_graph_.mark_dirty(std::string(kArcTableNode));
+  return run_or_defer();
+}
+
+RebuildReport Engine::disable_landmarks() {
+  if (!landmark_options_.has_value()) return RebuildReport{};  // idempotent
+  landmark_options_.reset();
+  (void)refresh_landmark_states();  // desired set is now empty: retire all
+  landmark_traffic_ = obs::TraceAggregate{};
+  sync_landmark_nodes();
+  // The arc table re-merges without the landmark arcs (the retired
+  // linkbase nodes can no longer propagate into it).
+  build_graph_.mark_dirty(std::string(kArcTableNode));
+  return run_or_defer();
+}
+
+std::vector<std::string> Engine::landmark_families() const {
+  std::vector<std::string> names;
+  names.reserve(landmarks_.size());
+  for (const LandmarkState& entry : landmarks_) names.push_back(entry.name);
+  return names;
+}
+
+hypermedia::ContextFamily Engine::landmark_family(
+    std::string_view name) const {
+  const std::size_t index = landmark_index(name);
+  if (index == kNoRoute) {
+    throw ResolutionError("Engine::landmark_family: unknown landmark '" +
+                          std::string(name) + "'");
+  }
+  return landmark_context_family(
+      landmarks_[index].name,
+      score_landmarks(landmark_traffic_, route_input_arcs(),
+                      *landmark_options_, landmarks_[index].profile));
+}
+
+std::vector<LandmarkScore> Engine::landmark_picks(
+    std::string_view name) const {
+  const std::size_t index = landmark_index(name);
+  if (index == kNoRoute) {
+    throw ResolutionError("Engine::landmark_picks: unknown landmark '" +
+                          std::string(name) + "'");
+  }
+  return score_landmarks(landmark_traffic_, route_input_arcs(),
+                         *landmark_options_, landmarks_[index].profile);
+}
+
+std::size_t Engine::landmark_index(std::string_view name) const {
+  for (std::size_t i = 0; i < landmarks_.size(); ++i) {
+    if (landmarks_[i].name == name) return i;
+  }
+  return kNoRoute;
+}
+
+bool Engine::refresh_landmark_states() {
+  // The desired family set, base first then per-profile in registration
+  // order — the landmark_families() contract.
+  std::vector<std::pair<std::string, std::string>> desired;  // name, profile
+  if (landmark_options_.has_value()) {
+    desired.emplace_back(std::string(kLandmarkFamily), "");
+    if (landmark_options_->per_profile) {
+      for (const Profile& profile : profiles_) {
+        if (profile.name.find(':') != std::string::npos) {
+          throw SemanticError(
+              "Engine::enable_landmarks: profile '" + profile.name +
+              "' contains ':' — per-profile landmark families tag their "
+              "arcs '<family>:landmark' and cannot embed one");
+        }
+        desired.emplace_back(
+            std::string(kLandmarkFamily) + "-" + profile.name, profile.name);
+      }
+    }
+  }
+
+  // Collision guards, both namespaces routes already police.
+  for (const auto& [name, profile] : desired) {
+    const bool family_collision = std::any_of(
+        families_.begin(), families_.end(),
+        [&, n = name](const hypermedia::ContextFamily& f) {
+          return f.name() == n;
+        });
+    if (family_collision || route_index(name) != kNoRoute) {
+      throw SemanticError("Engine::enable_landmarks: '" + name +
+                          "' already names a context family or route — "
+                          "landmarks share the profile namespace");
+    }
+    const std::string path = site::context_linkbase_path(name);
+    for (const ContextLinkbase& entry : context_linkbases_) {
+      if (entry.path == path) {
+        throw SemanticError("Engine::enable_landmarks: '" + name +
+                            "' would author '" + path + "', which family '" +
+                            entry.family->name() + "' already owns");
+      }
+    }
+    for (const RouteState& entry : routes_) {
+      if (entry.path == path) {
+        throw SemanticError("Engine::enable_landmarks: '" + name +
+                            "' would author '" + path +
+                            "', which a registered route already owns");
+      }
+    }
+  }
+
+  // Reconcile landmarks_ in desired order, keeping authored documents of
+  // surviving states (their linkbases only re-author when the graph says
+  // so) and retiring artifacts of dropped ones.
+  const std::vector<std::string> previous = landmark_families();
+  std::vector<LandmarkState> next;
+  std::vector<bool> kept(landmarks_.size(), false);
+  next.reserve(desired.size());
+  bool changed = false;
+  for (const auto& [name, profile] : desired) {
+    const std::size_t at = landmark_index(name);
+    if (at != kNoRoute) {
+      kept[at] = true;
+      next.push_back(std::move(landmarks_[at]));
+      next.back().name = name;  // moved-from sources may retain SSO text
+      next.back().profile = profile;
+    } else {
+      next.push_back(LandmarkState{
+          name, profile, site::context_linkbase_path(name), nullptr, {}});
+      changed = true;
+    }
+  }
+  for (std::size_t i = 0; i < landmarks_.size(); ++i) {
+    if (kept[i]) continue;
+    site_.remove(landmarks_[i].path);
+    server_->invalidate(landmarks_[i].path);
+    changed = true;
+  }
+  landmarks_ = std::move(next);
+
+  // Attach the new families to (and detach dropped ones from) the
+  // registered profiles: the base family for everyone, each per-profile
+  // family for its own audience only.
+  for (Profile& profile : profiles_) {
+    auto drop = std::remove_if(
+        profile.families.begin(), profile.families.end(),
+        [&](const std::string& name) {
+          return std::find(previous.begin(), previous.end(), name) !=
+                     previous.end() &&
+                 landmark_index(name) == kNoRoute;
+        });
+    profile.families.erase(drop, profile.families.end());
+    auto attach = [&](const std::string& name) {
+      if (std::find(profile.families.begin(), profile.families.end(), name) ==
+          profile.families.end()) {
+        profile.families.push_back(name);
+      }
+    };
+    if (landmark_options_.has_value()) {
+      attach(std::string(kLandmarkFamily));
+      if (landmark_options_->per_profile) {
+        attach(std::string(kLandmarkFamily) + "-" + profile.name);
+      }
+    }
+  }
+  return changed;
+}
+
+std::uint64_t Engine::rebuild_landmark_linkbase(std::size_t index) {
+  LandmarkState& entry = landmarks_[index];
+  const hypermedia::ContextFamily family = landmark_context_family(
+      entry.name, score_landmarks(landmark_traffic_, route_input_arcs(),
+                                  *landmark_options_, entry.profile));
+  site::SiteBuildOptions site_options;
+  site_options.site_base = site_base_;
+  core::LinkbaseOptions lb = site::separated_linkbase_options(site_options);
+  lb.base_uri = site_base_ + entry.path;
+  auto doc = core::build_context_linkbase(family, *nav_, lb);
+  std::string text = xml::write(*doc, {.pretty = true});
+  const std::string* current = site_.get(entry.path);
+  const bool changed = current == nullptr || *current != text;
+  const std::uint64_t hash = hash_bytes(text);
+  if (changed) {
+    site_.put(entry.path, std::move(text));
+    server_->invalidate(entry.path);
+    entry.doc = std::move(doc);
+    entry.graph = core::load_linkbase(*entry.doc);
+  }
+  return hash;
+}
+
+void Engine::sync_landmark_nodes() {
+  // Same deal as sync_route_nodes: before wire_graph the graph has no
+  // spec node; wire_graph calls back in once the topology exists.
+  if (!build_graph_.contains(kSpecNode)) return;
+  if (mode_ == WeaveMode::Tangled) return;  // never enabled
+
+  // Linkbase nodes the family and route layers own — whatever else of
+  // Linkbase kind remains belongs to (possibly stale) landmarks.
+  std::vector<std::string> other_owned;
+  other_owned.push_back(linkbase_node(kStructureLinkbasePath));
+  for (const ContextLinkbase& entry : context_linkbases_) {
+    other_owned.push_back(linkbase_node(entry.path));
+  }
+  for (std::size_t i = 0; i < route_programs_.size(); ++i) {
+    if (route_programs_[i].compile == RouteCompile::Aot) {
+      other_owned.push_back(linkbase_node(routes_[i].path));
+    }
+  }
+  std::sort(other_owned.begin(), other_owned.end());
+
+  std::vector<std::string> desired_marks;
+  std::vector<std::string> desired_lbs;
+  desired_marks.reserve(landmarks_.size());
+  desired_lbs.reserve(landmarks_.size());
+  for (const LandmarkState& entry : landmarks_) {
+    desired_marks.push_back(landmark_node(entry.name));
+    desired_lbs.push_back(linkbase_node(entry.path));
+  }
+  std::vector<std::string> sorted_marks = desired_marks;
+  std::vector<std::string> sorted_lbs = desired_lbs;
+  std::sort(sorted_marks.begin(), sorted_marks.end());
+  std::sort(sorted_lbs.begin(), sorted_lbs.end());
+
+  std::vector<std::string> existing_marks =
+      build_graph_.ids(ProductKind::Landmark);
+  std::vector<std::string> existing_lbs;
+  for (std::string& id : build_graph_.ids(ProductKind::Linkbase)) {
+    if (!std::binary_search(other_owned.begin(), other_owned.end(), id)) {
+      existing_lbs.push_back(std::move(id));
+    }
+  }
+  std::sort(existing_marks.begin(), existing_marks.end());
+  std::sort(existing_lbs.begin(), existing_lbs.end());
+  if (existing_marks == sorted_marks && existing_lbs == sorted_lbs) {
+    return;  // topology already right
+  }
+
+  for (const std::string& id : existing_marks) {
+    if (!std::binary_search(sorted_marks.begin(), sorted_marks.end(), id)) {
+      build_graph_.remove(id);
+    }
+  }
+  for (const std::string& id : existing_lbs) {
+    if (!std::binary_search(sorted_lbs.begin(), sorted_lbs.end(), id)) {
+      build_graph_.remove(id);
+    }
+  }
+
+  // Indices shift on reconciliation; closures resolve by name at run
+  // time, exactly like route nodes.
+  for (std::size_t i = 0; i < landmarks_.size(); ++i) {
+    const std::string& name = landmarks_[i].name;
+    if (!build_graph_.contains(desired_marks[i])) {
+      build_graph_.define(
+          desired_marks[i], ProductKind::Landmark, {}, [this, name] {
+            // The program IS the product: name, options and the traffic
+            // tables it ranks from — re-feeding identical traffic cuts
+            // off right here.
+            const std::size_t at = landmark_index(name);
+            return at == kNoRoute
+                       ? std::uint64_t{0}
+                       : landmark_token(name, *landmark_options_,
+                                        landmark_traffic_,
+                                        landmarks_[at].profile);
+          });
+    }
+    const std::string lb_node = linkbase_node(landmarks_[i].path);
+    if (build_graph_.contains(lb_node)) continue;
+    // A landmark re-ranks whenever its program (traffic/options), the
+    // structure, or any family linkbase changes — the inputs of scoring.
+    std::vector<std::string> deps;
+    deps.push_back(desired_marks[i]);
+    deps.push_back(linkbase_node(kStructureLinkbasePath));
+    for (const ContextLinkbase& entry : context_linkbases_) {
+      deps.push_back(linkbase_node(entry.path));
+    }
+    build_graph_.define(lb_node, ProductKind::Linkbase, std::move(deps),
+                        [this, name] {
+                          const std::size_t at = landmark_index(name);
+                          return at == kNoRoute
+                                     ? std::uint64_t{0}
+                                     : rebuild_landmark_linkbase(at);
+                        });
+  }
+
+  // Re-point the arc table at the full linkbase set; define() keeps the
+  // stored hash, so re-pointing alone dirties nothing.
+  build_graph_.define(std::string(kArcTableNode), ProductKind::ArcTable,
+                      arc_table_deps(),
+                      [this] { return rebuild_arc_table(); });
+}
+
+std::vector<std::string> Engine::arc_table_deps() const {
+  std::vector<std::string> deps;
+  deps.reserve(1 + context_linkbases_.size() + routes_.size() +
+               landmarks_.size());
+  deps.push_back(linkbase_node(kStructureLinkbasePath));
+  for (const ContextLinkbase& entry : context_linkbases_) {
+    deps.push_back(linkbase_node(entry.path));
+  }
+  for (std::size_t i = 0; i < route_programs_.size(); ++i) {
+    if (route_programs_[i].compile == RouteCompile::Aot) {
+      deps.push_back(linkbase_node(routes_[i].path));
+    }
+  }
+  for (const LandmarkState& entry : landmarks_) {
+    deps.push_back(linkbase_node(entry.path));
+  }
+  return deps;
 }
 
 RebuildReport Engine::set_access_structure(
@@ -1044,6 +1410,9 @@ std::uint64_t Engine::rebuild_arc_table() {
   for (const RouteState& entry : routes_) {
     if (entry.doc != nullptr) merged.merge(entry.graph);  // Aot routes only
   }
+  for (const LandmarkState& entry : landmarks_) {
+    if (entry.doc != nullptr) merged.merge(entry.graph);
+  }
   graph_ = std::move(merged);
 
   // Materialize the combined arc set with provenance and hand it to the
@@ -1051,13 +1420,21 @@ std::uint64_t Engine::rebuild_arc_table() {
   // after the families — their arcs are context-tagged ('<name>:route'),
   // so like tour arcs they land in overlay slices, never in stored pages.
   std::vector<core::SourcedGraph> sourced;
-  sourced.reserve(context_linkbases_.size() + routes_.size() + 1);
+  sourced.reserve(context_linkbases_.size() + routes_.size() +
+                  landmarks_.size() + 1);
   sourced.push_back(
       core::SourcedGraph{std::string(kStructureLinkbasePath), &structure_graph});
   for (const ContextLinkbase& entry : context_linkbases_) {
     sourced.push_back(core::SourcedGraph{entry.path, &entry.graph});
   }
   for (const RouteState& entry : routes_) {
+    if (entry.doc != nullptr) {
+      sourced.push_back(core::SourcedGraph{entry.path, &entry.graph});
+    }
+  }
+  // Landmark arcs join last: context-tagged ('<name>:landmark'), so like
+  // tour and route arcs they land in overlay slices, never stored pages.
+  for (const LandmarkState& entry : landmarks_) {
     if (entry.doc != nullptr) {
       sourced.push_back(core::SourcedGraph{entry.path, &entry.graph});
     }
@@ -1252,9 +1629,11 @@ void Engine::wire_graph() {
   build_graph_.define(std::string(kArcTableNode), ProductKind::ArcTable,
                       std::move(linkbase_nodes),
                       [this] { return rebuild_arc_table(); });
-  // Routes registered before a re-wire (none on first serve) re-join
-  // the topology here, after the arc-table node they feed exists.
+  // Routes and landmarks registered before a re-wire (none on first
+  // serve) re-join the topology here, after the arc-table node they
+  // feed exists.
   sync_route_nodes();
+  sync_landmark_nodes();
 }
 
 // --- SitePipeline ------------------------------------------------------------

@@ -211,6 +211,14 @@ class Engine final : public EngineInternals {
   }
   [[nodiscard]] hypermedia::ContextFamily route_family(
       std::string_view name) const override;
+  RebuildReport enable_landmarks(const obs::TraceAggregate& traffic,
+                                 LandmarkOptions options) override;
+  RebuildReport disable_landmarks() override;
+  [[nodiscard]] std::vector<std::string> landmark_families() const override;
+  [[nodiscard]] hypermedia::ContextFamily landmark_family(
+      std::string_view name) const override;
+  [[nodiscard]] std::vector<LandmarkScore> landmark_picks(
+      std::string_view name) const override;
   void begin_batch() override;
   RebuildReport commit_batch() override;
   [[nodiscard]] bool batch_open() const noexcept override {
@@ -337,6 +345,34 @@ class Engine final : public EngineInternals {
   /// preserving pointer identity when nothing changed.
   void refresh_route_table();
 
+  // --- landmark synthesis -----------------------------------------------------
+
+  /// Index into landmarks_, npos when unknown.
+  [[nodiscard]] std::size_t landmark_index(std::string_view name) const;
+
+  /// Reconcile landmarks_ with landmark_options_ and the registered
+  /// profiles: one base "landmarks" state, plus "landmarks-<p>" per
+  /// profile when per_profile is set. Validates name collisions,
+  /// retires stale states' artifacts, and attaches/detaches landmark
+  /// family names on profiles_. Returns true when the state set (and
+  /// with it the graph topology) changed.
+  bool refresh_landmark_states();
+
+  /// Reconcile the build graph's Landmark nodes ("landmark:<name>") and
+  /// their Linkbase nodes with landmarks_, and re-point the arc-table
+  /// node's deps — the sync_route_nodes() pattern for landmarks.
+  void sync_landmark_nodes();
+
+  /// Author landmarks_[index]'s linkbase from the stored traffic and
+  /// the current authored arcs (the route-linkbase pattern).
+  [[nodiscard]] std::uint64_t rebuild_landmark_linkbase(std::size_t index);
+
+  /// The arc-table node's full dependency list: structure + family
+  /// linkbases + AOT route linkbases + landmark linkbases. Both syncs
+  /// re-point the node through this so neither forgets the other's
+  /// products.
+  [[nodiscard]] std::vector<std::string> arc_table_deps() const;
+
   /// Capture site_ + graph_ as the next epoch and install it in
   /// snapshots_ — the atomic hand-off from this (writer) thread to
   /// concurrent readers. Runs after every graph run, so readers always
@@ -380,6 +416,25 @@ class Engine final : public EngineInternals {
   };
   std::vector<RouteProgram> route_programs_;
   std::vector<RouteState> routes_;
+
+  /// Synthesized landmark families (see enable_landmarks): each one an
+  /// authored linkbase exactly like an AOT route, plus the profile
+  /// whose traffic ranks it ("" = the global base family). Declared
+  /// before graph_ for the same document-lifetime reason as routes.
+  struct LandmarkState {
+    std::string name;                    // family name ("landmarks[-<p>]")
+    std::string profile;                 // ranking lens, "" = global
+    std::string path;                    // site path ("links-<name>.xml")
+    std::unique_ptr<xml::Document> doc;
+    xlink::TraversalGraph graph;         // points into doc
+  };
+  std::vector<LandmarkState> landmarks_;
+  /// Engaged iff landmark synthesis is enabled.
+  std::optional<LandmarkOptions> landmark_options_;
+  /// The traffic tables the current landmarks rank from (copied at
+  /// enable time so re-ranking and diagnostics are reproducible).
+  obs::TraceAggregate landmark_traffic_;
+
   xlink::TraversalGraph graph_;
 
   /// The combined authored arc set (structure + families, weave order,

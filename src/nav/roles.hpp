@@ -26,6 +26,7 @@
 #include "hypermedia/access.hpp"
 #include "hypermedia/context.hpp"
 #include "nav/buildgraph.hpp"
+#include "nav/landmarks.hpp"
 #include "nav/profile.hpp"
 #include "nav/route.hpp"
 
@@ -263,6 +264,47 @@ class EngineInternals {
   /// Evaluated fresh against the current arc table on every call.
   /// Throws navsep::ResolutionError when unknown.
   [[nodiscard]] virtual hypermedia::ContextFamily route_family(
+      std::string_view name) const = 0;
+
+  // --- landmark synthesis -----------------------------------------------------
+  //
+  // Traffic intelligence, consumption side: observed workload traces
+  // (obs::TraceAggregate) rank the site's hub pages, and the engine
+  // authors the winners as generated landmark context families through
+  // the normal build graph — "landmarks" for everyone, plus
+  // "landmarks-<profile>" per registered profile when
+  // LandmarkOptions::per_profile is set. Landmark families auto-attach
+  // to every registered profile (the per-profile family only to its
+  // own), author `links-landmarks[-<p>].xml` artifacts exactly like AOT
+  // routes, and therefore ride snapshot replication unchanged.
+
+  /// Enable (or re-rank with fresh traffic) landmark synthesis. Throws
+  /// navsep::SemanticError in Tangled mode, when a landmark family name
+  /// collides with a context family or route, or when per_profile is
+  /// set and a profile name contains ':' (family names tag arcs
+  /// "<name>:landmark"). Writer-side; batch-aware like every mutation.
+  virtual RebuildReport enable_landmarks(const obs::TraceAggregate& traffic,
+                                         LandmarkOptions options) = 0;
+
+  /// Retire every landmark family, artifact and overlay entry; detach
+  /// landmark names from profiles. Idempotent when already disabled.
+  virtual RebuildReport disable_landmarks() = 0;
+
+  /// Names of the landmark families currently synthesized, base family
+  /// first (empty when disabled).
+  [[nodiscard]] virtual std::vector<std::string> landmark_families()
+      const = 0;
+
+  /// The current expansion of landmark family `name` — what the build
+  /// graph authors and the full-build oracle must match. Evaluated
+  /// fresh against the stored traffic and current arc inputs. Throws
+  /// navsep::ResolutionError when unknown.
+  [[nodiscard]] virtual hypermedia::ContextFamily landmark_family(
+      std::string_view name) const = 0;
+
+  /// The ranked picks behind landmark family `name` (diagnostics /
+  /// reporting). Throws navsep::ResolutionError when unknown.
+  [[nodiscard]] virtual std::vector<LandmarkScore> landmark_picks(
       std::string_view name) const = 0;
 
   // --- mutation batching ------------------------------------------------------

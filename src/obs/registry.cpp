@@ -21,9 +21,21 @@ double log2_interpolated_quantile(const std::uint64_t* counts,
                                   std::uint64_t max_value, double q) noexcept {
   if (count == 0 || n_buckets == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  // The top quantile is the maximum sample itself — report it exactly
-  // when the caller tracked it, rather than its position in its bucket.
-  if (q >= 1.0 && max_value > 0) return static_cast<double>(max_value);
+  // The edges are exact, never interpolated. q >= 1 is the maximum
+  // sample itself — including 0 when every sample was 0 (every tracked
+  // histogram maintains max; interpolating here used to report ~2 for an
+  // all-zero population). q <= 0 is the minimum's bucket lower bound:
+  // the tightest statement a log2 sketch can make about the smallest
+  // sample (0 for bucket 0, 2^i otherwise).
+  if (q >= 1.0) return static_cast<double>(max_value);
+  if (q <= 0.0) {
+    for (std::size_t i = 0; i < n_buckets; ++i) {
+      if (counts[i] != 0) {
+        return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i));
+      }
+    }
+    return 0.0;
+  }
   const double rank = q * static_cast<double>(count - 1);
   double seen = 0.0;
   for (std::size_t i = 0; i < n_buckets; ++i) {

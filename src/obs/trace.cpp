@@ -16,4 +16,31 @@ std::vector<std::pair<std::string, std::uint64_t>> TraceAggregate::top_pages(
   return out;
 }
 
+std::vector<HotEntry> TraceAggregate::top_entries(std::size_t n) const {
+  std::vector<HotEntry> out;
+  out.reserve(profile_page_views.size() + page_views.size());
+  // page_views counts every hit; the profiled share ranks per
+  // (page, profile) row, the remainder is base-layer heat and ranks as
+  // an empty-profile row — warm()'s base-layer key shape.
+  std::map<std::string, std::uint64_t> profiled;
+  for (const auto& [key, views] : profile_page_views) {
+    out.push_back(HotEntry{key.second, key.first, views});
+    profiled[key.second] += views;
+  }
+  for (const auto& [page, views] : page_views) {
+    auto it = profiled.find(page);
+    const std::uint64_t base =
+        it == profiled.end() ? views
+                             : (views > it->second ? views - it->second : 0);
+    if (base > 0) out.push_back(HotEntry{page, "", base});
+  }
+  std::sort(out.begin(), out.end(), [](const HotEntry& a, const HotEntry& b) {
+    if (a.views != b.views) return a.views > b.views;
+    if (a.page != b.page) return a.page < b.page;
+    return a.profile < b.profile;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
 }  // namespace navsep::obs

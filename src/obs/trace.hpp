@@ -101,10 +101,23 @@ struct ArcKey {
   }
 };
 
+/// One ranked (page, profile) heat entry — the unit the cache warmer
+/// pre-renders and the landmark scorer weighs. An empty profile means
+/// base-layer traffic.
+struct HotEntry {
+  std::string page;
+  std::string profile;
+  std::uint64_t views = 0;
+};
+
 /// Post-run popularity tables folded from every session's ring.
 struct TraceAggregate {
   std::map<std::string, std::uint64_t> page_views;  ///< to-page → hits
   std::map<ArcKey, std::uint64_t> arc_follows;  ///< (from,to,role) → hits
+  /// (profile, to-page) → hits, for profile-scoped traffic only: the
+  /// overlay-layer heat map predictive warming draws from.
+  std::map<std::pair<std::string, std::string>, std::uint64_t>
+      profile_page_views;
   std::uint64_t events = 0;    ///< events absorbed (retained in rings)
   std::uint64_t failures = 0;  ///< absorbed events with ok == false
   std::uint64_t recorded = 0;  ///< total ring records incl. overwritten
@@ -115,6 +128,9 @@ struct TraceAggregate {
       ++events;
       if (!event.ok) ++failures;
       ++page_views[event.to];
+      if (!event.profile.empty()) {
+        ++profile_page_views[{event.profile, event.to}];
+      }
       if (!event.role.empty()) {
         ++arc_follows[ArcKey{event.from, event.to, event.role}];
       }
@@ -126,6 +142,15 @@ struct TraceAggregate {
   /// The n most-viewed pages, hottest first (ties by name).
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> top_pages(
       std::size_t n) const;
+
+  /// The n hottest (page, profile) entries across BOTH serving layers,
+  /// hottest first (ties by page then profile name — fully
+  /// deterministic). Profiled traffic ranks per (page, profile) row;
+  /// base-layer traffic (page_views not attributable to any profile)
+  /// ranks as rows with an empty profile — exactly the key shape
+  /// ConcurrentServer::warm() takes, so the vector is a ready warming
+  /// feed.
+  [[nodiscard]] std::vector<HotEntry> top_entries(std::size_t n) const;
 };
 
 }  // namespace navsep::obs

@@ -1,0 +1,130 @@
+#include "serve/cache_warmer.hpp"
+
+#include <utility>
+
+namespace navsep::serve {
+
+CacheWarmer::CacheWarmer(const ConcurrentServer& server, Options options)
+    : server_(&server), options_(options) {}
+
+CacheWarmer::CacheWarmer(const ConcurrentServer& server)
+    : CacheWarmer(server, Options()) {}
+
+CacheWarmer::~CacheWarmer() { stop(); }
+
+void CacheWarmer::set_feed(std::vector<obs::HotEntry> feed) {
+  std::lock_guard<std::mutex> lock(feed_mutex_);
+  feed_ = std::move(feed);
+}
+
+void CacheWarmer::run_cycle() {
+  // Pin the epoch before rendering: a publication racing the cycle just
+  // means some entries warm against the old snapshot and the next cycle
+  // (triggered by the new epoch) redoes them — warm() itself validates
+  // per-entry, so nothing stale is ever admitted as fresh.
+  const std::uint64_t epoch = server_->epoch();
+  std::vector<obs::HotEntry> feed;
+  {
+    std::lock_guard<std::mutex> lock(feed_mutex_);
+    const std::size_t n = feed_.size() < options_.top_n ? feed_.size()
+                                                        : options_.top_n;
+    feed.assign(feed_.begin(), feed_.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  for (const obs::HotEntry& entry : feed) {
+    attempted_.fetch_add(1, std::memory_order_relaxed);
+    switch (server_->warm(entry.page, entry.profile)) {
+      case ConcurrentServer::WarmOutcome::Warmed:
+        warmed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ConcurrentServer::WarmOutcome::AlreadyHot:
+        already_hot_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ConcurrentServer::WarmOutcome::NoRoom:
+        no_room_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ConcurrentServer::WarmOutcome::NotFound:
+        not_found_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+  last_epoch_.store(epoch, std::memory_order_relaxed);
+  cycles_.fetch_add(1, std::memory_order_relaxed);
+}
+
+CacheWarmer::WarmStats CacheWarmer::warm_now() {
+  run_cycle();
+  return stats();
+}
+
+void CacheWarmer::start() {
+  std::lock_guard<std::mutex> lock(lane_mutex_);
+  if (lane_.joinable()) return;
+  stop_requested_ = false;
+  lane_ = std::thread([this] { lane(); });
+}
+
+void CacheWarmer::stop() {
+  std::thread lane;
+  {
+    std::lock_guard<std::mutex> lock(lane_mutex_);
+    if (!lane_.joinable()) return;
+    stop_requested_ = true;
+    lane = std::move(lane_);
+  }
+  lane_cv_.notify_all();
+  lane.join();
+}
+
+void CacheWarmer::lane() {
+  // `seen` deliberately starts one behind the current epoch so the lane
+  // warms once immediately — attaching a warmer to a live server should
+  // not wait for the next publication to be useful.
+  std::uint64_t seen = server_->epoch() - 1;
+  std::unique_lock<std::mutex> lock(lane_mutex_);
+  while (!stop_requested_) {
+    const std::uint64_t current = server_->epoch();
+    if (current != seen) {
+      lock.unlock();
+      run_cycle();
+      lock.lock();
+      seen = current;
+      continue;
+    }
+    lane_cv_.wait_for(lock, options_.poll,
+                      [this] { return stop_requested_; });
+  }
+}
+
+CacheWarmer::WarmStats CacheWarmer::stats() const {
+  WarmStats out;
+  out.cycles = cycles_.load(std::memory_order_relaxed);
+  out.attempted = attempted_.load(std::memory_order_relaxed);
+  out.warmed = warmed_.load(std::memory_order_relaxed);
+  out.already_hot = already_hot_.load(std::memory_order_relaxed);
+  out.no_room = no_room_.load(std::memory_order_relaxed);
+  out.not_found = not_found_.load(std::memory_order_relaxed);
+  out.last_epoch = last_epoch_.load(std::memory_order_relaxed);
+  return out;
+}
+
+obs::SamplerHandle CacheWarmer::register_metrics(
+    std::shared_ptr<obs::Registry> registry, std::string prefix) const {
+  // Raw registry pointer for the same reason as the server's sampler:
+  // the handle's drop-before-registry contract bounds its lifetime.
+  obs::Registry* reg = registry.get();
+  return reg->add_sampler([this, reg, prefix = std::move(prefix)] {
+    const WarmStats s = stats();
+    const auto g = [&](const char* field, std::uint64_t v) {
+      reg->gauge(prefix + '.' + field).set(static_cast<std::int64_t>(v));
+    };
+    g("cycles", s.cycles);
+    g("attempted", s.attempted);
+    g("warmed", s.warmed);
+    g("already_hot", s.already_hot);
+    g("no_room", s.no_room);
+    g("not_found", s.not_found);
+    g("epoch", s.last_epoch);
+  });
+}
+
+}  // namespace navsep::serve

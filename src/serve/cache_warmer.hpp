@@ -1,0 +1,117 @@
+// Predictive cache warming — the serving half of traffic intelligence.
+//
+// Workload traces fold into (page, profile) popularity tables
+// (obs::TraceAggregate::top_entries); a CacheWarmer holds that ranked
+// feed and, after every published epoch, pre-renders the hottest
+// entries into a ConcurrentServer's caches on a background lane — so
+// the first organic request after a publication finds its page already
+// resident instead of paying the render. Warming is strictly advisory:
+// ConcurrentServer::warm() moves no traffic counters, admits entries
+// only when they fit the byte/entry budgets without evicting anything,
+// and inserts them at the cold end of the recency order — a wrong
+// prediction costs spare capacity, never a resident entry organic
+// traffic earned.
+//
+// Threading: set_feed()/warm_now()/stats() are safe from any thread,
+// concurrently with the background lane and with server traffic. The
+// lane wakes on a poll interval, warms once per NEW epoch it observes,
+// and is joined by stop() (or destruction).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "serve/concurrent_server.hpp"
+
+namespace navsep::serve {
+
+class CacheWarmer {
+ public:
+  struct Options {
+    /// Feed entries warmed per cycle (hottest first).
+    std::size_t top_n = 32;
+    /// Background lane's epoch-poll cadence.
+    std::chrono::milliseconds poll = std::chrono::milliseconds(2);
+  };
+
+  /// Cumulative warming counters (every field is a monotonically
+  /// growing total; attempted == warmed + already_hot + no_room +
+  /// not_found).
+  struct WarmStats {
+    std::uint64_t cycles = 0;       ///< warm passes completed
+    std::uint64_t attempted = 0;    ///< warm() calls issued
+    std::uint64_t warmed = 0;       ///< rendered and admitted
+    std::uint64_t already_hot = 0;  ///< valid entry already resident
+    std::uint64_t no_room = 0;      ///< admission refused (budgets full)
+    std::uint64_t not_found = 0;    ///< 404 / retired profile
+    std::uint64_t last_epoch = 0;   ///< epoch of the last completed cycle
+  };
+
+  /// Warm `server`'s caches. The server must outlive the warmer.
+  CacheWarmer(const ConcurrentServer& server, Options options);
+  explicit CacheWarmer(const ConcurrentServer& server);
+  ~CacheWarmer();
+
+  CacheWarmer(const CacheWarmer&) = delete;
+  CacheWarmer& operator=(const CacheWarmer&) = delete;
+
+  /// Install the ranked popularity feed (hottest first — typically
+  /// obs::TraceAggregate::top_entries). Replaces the previous feed; the
+  /// next cycle (background or warm_now) uses it.
+  void set_feed(std::vector<obs::HotEntry> feed);
+
+  /// Run one warming cycle synchronously over the current feed and
+  /// return the cumulative stats after it. Usable with or without the
+  /// background lane running.
+  WarmStats warm_now();
+
+  /// Start the background lane: one warming cycle after every newly
+  /// observed epoch (including the one current at start). Idempotent.
+  void start();
+
+  /// Join the background lane. Idempotent; destruction calls it.
+  void stop();
+
+  [[nodiscard]] WarmStats stats() const;
+
+  /// Register a pull sampler mirroring stats() into gauges —
+  /// `<prefix>.cycles`, `.attempted`, `.warmed`, `.already_hot`,
+  /// `.no_room`, `.not_found`, `.epoch`. Same handle contract as
+  /// ConcurrentServer::register_metrics.
+  [[nodiscard]] obs::SamplerHandle register_metrics(
+      std::shared_ptr<obs::Registry> registry,
+      std::string prefix = "serve.warm") const;
+
+ private:
+  void run_cycle();
+  void lane();
+
+  const ConcurrentServer* server_;
+  Options options_;
+
+  mutable std::mutex feed_mutex_;
+  std::vector<obs::HotEntry> feed_;
+
+  std::atomic<std::uint64_t> cycles_{0};
+  std::atomic<std::uint64_t> attempted_{0};
+  std::atomic<std::uint64_t> warmed_{0};
+  std::atomic<std::uint64_t> already_hot_{0};
+  std::atomic<std::uint64_t> no_room_{0};
+  std::atomic<std::uint64_t> not_found_{0};
+  std::atomic<std::uint64_t> last_epoch_{0};
+
+  std::mutex lane_mutex_;
+  std::condition_variable lane_cv_;
+  bool stop_requested_ = false;
+  std::thread lane_;
+};
+
+}  // namespace navsep::serve

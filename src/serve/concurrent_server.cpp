@@ -36,6 +36,7 @@ void ConcurrentServer::Shard<V>::store(std::string key, V value,
   if (cap == 0 || byte_cap == 0) {
     return;  // pass-through: nothing retained, nothing counted
   }
+  const std::size_t new_bytes = entry_bytes(value);
   std::lock_guard<std::mutex> lock(mutex);
   if (auto it = cache.find(std::string_view(key)); it != cache.end()) {
     // Refresh in place (e.g. a stale refill): neither an insertion nor
@@ -43,17 +44,31 @@ void ConcurrentServer::Shard<V>::store(std::string key, V value,
     // by the size difference, and a grown entry can push the shard over
     // its byte cap (handled by the shared eviction loop below).
     resident_bytes -= entry_bytes(it->second.value);
-    resident_bytes += entry_bytes(value);
+    resident_bytes += new_bytes;
     it->second.value = std::move(value);
     recency.splice(recency.begin(), recency, it->second.pos);
   } else {
-    resident_bytes += entry_bytes(value);
+    resident_bytes += new_bytes;
     recency.push_front(std::move(key));
     // The map key views the list node's string; list nodes are stable
     // across splices, so the view lives exactly as long as the slot.
     cache.emplace(std::string_view(recency.front()),
                   Slot{std::move(value), recency.begin()});
     ++inserted;
+  }
+  if (new_bytes > byte_cap) {
+    // The entry just stored busts the byte budget ALL ON ITS OWN. The
+    // LRU loop below evicts from the tail, but no amount of tail
+    // eviction can bring the shard under cap while this entry sits at
+    // the recency front — it would drain every colder (but cacheable)
+    // entry for nothing, then evict this one anyway. Evict it directly
+    // and leave the rest of the shard alone.
+    auto front = recency.begin();
+    auto front_it = cache.find(std::string_view(*front));
+    resident_bytes -= new_bytes;
+    cache.erase(front_it);  // before the node dies
+    recency.erase(front);
+    ++evicted;
   }
   while ((cache.size() > cap || resident_bytes > byte_cap) &&
          !cache.empty()) {
@@ -64,6 +79,39 @@ void ConcurrentServer::Shard<V>::store(std::string key, V value,
     recency.erase(victim);
     ++evicted;
   }
+}
+
+template <typename V>
+bool ConcurrentServer::Shard<V>::store_if_room(std::string key, V value,
+                                               std::size_t cap,
+                                               std::size_t byte_cap) {
+  if (cap == 0 || byte_cap == 0) return false;  // pass-through: never warm
+  const std::size_t new_bytes = entry_bytes(value);
+  if (new_bytes > byte_cap) return false;  // would self-evict immediately
+  std::lock_guard<std::mutex> lock(mutex);
+  if (auto it = cache.find(std::string_view(key)); it != cache.end()) {
+    // Refresh a (stale) resident entry in place when the size delta
+    // fits — its recency position is deliberately NOT touched: a warmed
+    // refresh must not outrank entries organic traffic actually used.
+    const std::size_t old_bytes = entry_bytes(it->second.value);
+    if (resident_bytes - old_bytes + new_bytes > byte_cap) return false;
+    resident_bytes -= old_bytes;
+    resident_bytes += new_bytes;
+    it->second.value = std::move(value);
+    return true;
+  }
+  if (cache.size() >= cap || resident_bytes + new_bytes > byte_cap) {
+    return false;  // admission would force an eviction — keep residents
+  }
+  resident_bytes += new_bytes;
+  // The recency TAIL: a predicted-hot entry starts coldest, so if the
+  // prediction was wrong it is the first to go, and it can never push
+  // out an entry that earned its place through a real request.
+  recency.push_back(std::move(key));
+  cache.emplace(std::string_view(recency.back()),
+                Slot{std::move(value), std::prev(recency.end())});
+  ++inserted;
+  return true;
 }
 
 template <typename V>
@@ -198,6 +246,70 @@ site::Response ConcurrentServer::get(std::string_view uri_or_path,
               limits_.overlay_entries_per_shard,
               limits_.overlay_bytes_per_shard);
   return r;
+}
+
+ConcurrentServer::WarmOutcome ConcurrentServer::warm(
+    std::string_view uri_or_path, std::string_view profile) const {
+  std::string request(uri_or_path.substr(0, uri_or_path.find('#')));
+  std::shared_ptr<const SiteSnapshot> snap = store_->current();
+
+  if (profile.empty()) {
+    // Base layer: epoch-validated, so "already hot" means an entry
+    // resolved against the snapshot that is current right now.
+    BaseShard& shard = shard_for(request);
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      auto it = shard.cache.find(std::string_view(request));
+      if (it != shard.cache.end() &&
+          it->second.value.epoch == snap->epoch()) {
+        return WarmOutcome::AlreadyHot;
+      }
+    }
+    site::Response r = snap->respond(request);
+    if (!r.ok()) return WarmOutcome::NotFound;
+    const std::uint64_t epoch = snap->epoch();
+    return shard.store_if_room(std::move(request), Entry{std::move(r), epoch},
+                               limits_.base_entries_per_shard,
+                               limits_.base_bytes_per_shard)
+               ? WarmOutcome::Warmed
+               : WarmOutcome::NoRoom;
+  }
+
+  const nav::Profile* resolved = snap->find_profile(profile);
+  if (resolved == nullptr) {
+    // Advisory, not an error: the popularity feed may name a profile
+    // that has since been retired.
+    return WarmOutcome::NotFound;
+  }
+  std::string key = std::string(profile) + '\n' + request;
+  OverlayShard& shard = overlay_shard_for(key);
+  OverlayEntry cached;
+  bool had_entry = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.cache.find(std::string_view(key));
+    if (it != shard.cache.end()) {
+      had_entry = true;
+      cached = it->second.value;
+    }
+  }
+  OverlayValidity checked;
+  if (had_entry) {
+    checked = snap->overlay_validity(*resolved, cached.path);
+    if (checked.same_content(cached.validity)) return WarmOutcome::AlreadyHot;
+  }
+  std::string path;
+  site::Response r = snap->respond_as(*resolved, request, &path);
+  if (!r.ok()) return WarmOutcome::NotFound;
+  OverlayEntry entry{std::move(r), path,
+                     had_entry && cached.path == path
+                         ? std::move(checked)
+                         : snap->overlay_validity(*resolved, path)};
+  return shard.store_if_room(std::move(key), std::move(entry),
+                             limits_.overlay_entries_per_shard,
+                             limits_.overlay_bytes_per_shard)
+             ? WarmOutcome::Warmed
+             : WarmOutcome::NoRoom;
 }
 
 namespace {

@@ -161,6 +161,28 @@ class ConcurrentServer final : public site::PageService {
   [[nodiscard]] site::Response get(std::string_view uri_or_path,
                                    std::string_view profile) const;
 
+  /// What one warm() attempt did (see warm()).
+  enum class WarmOutcome {
+    Warmed,      ///< rendered and admitted into the cache
+    AlreadyHot,  ///< a valid entry was already resident
+    NoRoom,      ///< rendered but admission would have evicted someone
+    NotFound,    ///< the path 404s (or the profile is unknown)
+  };
+
+  /// Predictively render (page, profile) into the cache — the cache
+  /// warmer's entry point (serve/cache_warmer.hpp). An empty `profile`
+  /// warms the base layer, otherwise the overlay layer. Differences
+  /// from get(): traffic counters (requests/hits/resolves) do NOT move
+  /// — warming must not pollute organic hit-ratio math; an unknown
+  /// profile returns NotFound instead of throwing (the feed may predate
+  /// a profile retirement); and insertion is admission-controlled — a
+  /// warmed entry is only admitted when it fits the shard's entry and
+  /// byte budgets WITHOUT evicting anything, and joins at the cold end
+  /// of the recency order, so a predicted-hot entry can never displace
+  /// one organic traffic actually touched. Thread-safe like get().
+  WarmOutcome warm(std::string_view uri_or_path,
+                   std::string_view profile = {}) const;
+
   /// Profiles the currently published snapshot carries.
   [[nodiscard]] std::vector<nav::Profile> profiles() const {
     std::shared_ptr<const SiteSnapshot> snap = store_->current();
@@ -250,14 +272,24 @@ class ConcurrentServer final : public site::PageService {
     /// Insert or refresh `key` under `cap` entries / `byte_cap` resident
     /// body bytes (evicting the LRU tail while either cap is exceeded;
     /// a zero cap = pass-through, nothing retained). An entry bigger
-    /// than `byte_cap` on its own is inserted then immediately evicted —
-    /// the ledger still balances.
+    /// than `byte_cap` on its own is inserted (or refreshed) then
+    /// immediately evicted by itself — the ledger still balances, and
+    /// the colder entries it cannot make room for are left resident
+    /// rather than drained from the tail for nothing.
     void store(std::string key, V value, std::size_t cap,
                std::size_t byte_cap);
 
     /// Drop `key` (counted as an eviction — the ledger's "removed for
     /// any reason" side). False when absent.
     bool drop(const std::string& key);
+
+    /// Admission-controlled store for warm(): insert only when both
+    /// caps hold WITHOUT evicting (new entries join the recency tail —
+    /// a prediction is not a use); refresh an existing key in place
+    /// only when the byte delta fits. False when there is no room (or
+    /// either cap is 0 — pass-through shards never warm).
+    bool store_if_room(std::string key, V value, std::size_t cap,
+                       std::size_t byte_cap);
   };
 
   using BaseShard = Shard<Entry>;

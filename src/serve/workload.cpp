@@ -469,6 +469,14 @@ WorkloadResult Workload::run(ConcurrentServer& server,
           std::make_unique<obs::TraceRing>(options.trace.ring_capacity));
       outcomes[t].ring = rings.back().get();
       outcomes[t].sample_every = stride;
+      // Stagger the sampling phase per session (deterministically, from
+      // the same stream the session rng seeds from). A zero phase for
+      // every session would sample step 0 of every session regardless of
+      // stride — the popularity tables would over-count session entry
+      // pages, exactly the signal landmark synthesis and cache warming
+      // consume.
+      outcomes[t].sample_clock =
+          (options.seed ^ (0x9e3779b97f4a7c15ull * (t + 1))) % stride;
       outcomes[t].server = &server;
     }
   }

@@ -311,6 +311,189 @@ TEST(CacheBytes, ZeroByteCapDegeneratesToPassThrough) {
   EXPECT_EQ(s.overlay_hits, 0u);
 }
 
+TEST(CacheBytes, ResizingRefillChurnKeepsTheLedgerExactUnderByteCaps) {
+  // The refill path where a re-rendered entry changes size under an
+  // active byte cap: retitling swings every body longer then shorter,
+  // so each sweep refreshes entries in place with a different size —
+  // shrinking below and growing above the shard's byte budget
+  // mid-refill. The ledger must reconcile exactly and the caps must
+  // hold at every single sample, not just at rest.
+  auto engine = synthetic_engine(4);
+  engine->internals().register_profile({"tour", {"ByAuthor"}});
+
+  // The hot page is the retitled node's own page: every retitle resizes
+  // its body AND invalidates both its base entry (epoch) and its
+  // overlay entry (base-bytes handle), so re-getting it refreshes the
+  // resident entry in place with a different size. It is touched first
+  // each round, so under a ~2.5-page budget it survives the pressure
+  // pages and the resize really happens mid-residency, not via
+  // evict-and-reinsert.
+  const std::string node = engine->structure().members().front().node_id;
+  const std::string hot = navsep::core::default_href_for(node);
+  std::vector<std::string> pages = html_pages(*engine);
+  std::erase(pages, hot);
+  ASSERT_GE(pages.size(), 2u);
+  pages.resize(2);  // two pressure pages: enough to keep the cap busy
+
+  // Budget = the three-page working set plus half a page of slack: the
+  // set fits while titles are short, so the hot entry is resident when
+  // the next retitle lands — and a grow round's in-place refresh (two
+  // whole pages of title) pushes the shard well past the budget on its
+  // own, forcing the eviction loop to reconcile against the refreshed
+  // size.
+  const std::map<std::string, std::string> tour_oracle =
+      profile_oracle(*engine, {"tour", {"ByAuthor"}});
+  const std::size_t one_page = engine->site().get(hot)->size();
+  std::size_t base_set = engine->site().get(hot)->size();
+  std::size_t overlay_set = tour_oracle.at(hot).size();
+  for (const std::string& page : pages) {
+    base_set += engine->site().get(page)->size();
+    overlay_set += tour_oracle.at(page).size();
+  }
+  const serve::CacheLimits limits{
+      .base_bytes_per_shard = base_set + one_page / 2,
+      .overlay_bytes_per_shard = overlay_set + one_page / 2};
+  auto server = engine->open_concurrent(1, limits);
+
+  const std::string long_title(2 * one_page, 'x');
+  for (int round = 0; round < 6; ++round) {
+    // Alternate growth and shrink so refills cross the cap both ways.
+    (void)engine->internals().retitle_node(
+        node, round % 2 == 0 ? long_title : "t");
+    (void)server->get(hot);
+    (void)server->get(hot, "tour");
+    for (const std::string& page : pages) {
+      ASSERT_TRUE(server->get(page).ok()) << page;
+      ASSERT_TRUE(server->get(page, "tour").ok()) << page;
+      serve::ConcurrentServer::Stats s = server->stats();
+      EXPECT_LE(s.cached_bytes, limits.base_bytes_per_shard);
+      EXPECT_LE(s.overlay_bytes, limits.overlay_bytes_per_shard);
+      EXPECT_EQ(s.cache_inserted, s.cached_entries + s.cache_evicted);
+      EXPECT_EQ(s.overlay_inserted, s.overlay_entries + s.overlay_evicted);
+    }
+  }
+  serve::ConcurrentServer::Stats s = server->stats();
+  EXPECT_GE(s.stale_refills, 1u);
+  EXPECT_GE(s.overlay_stale_renders, 1u);
+  EXPECT_GE(s.cache_evicted, 1u);
+  EXPECT_GE(s.overlay_evicted, 1u);
+}
+
+TEST(CacheBytes, OversizedRefillDoesNotDrainColderResidents) {
+  // A refill that grows an entry past the whole byte budget on its own
+  // must evict only itself: tail evictions cannot bring the shard under
+  // cap while the oversized entry sits at the recency front, so
+  // draining the colder (perfectly cacheable) entries is pure loss.
+  // Pre-fix, one oversized refill flushed the entire shard.
+  auto engine = synthetic_engine(4);
+  engine->internals().register_profile({"tour", {"ByAuthor"}});
+
+  // A member's title is rendered on the pages that LINK to it (the
+  // index, its tour neighbors) — not on its own page. Discover which
+  // page a giant retitle balloons (the hot page) and two pages it
+  // leaves byte-identical (the cold residents), then put the title
+  // back.
+  const std::string node = engine->structure().members().front().node_id;
+  const std::string giant(3600, 'x');
+  (void)engine->internals().retitle_node(node, "t");
+  const std::vector<std::string> all_pages = html_pages(*engine);
+  std::map<std::string, std::size_t> small;
+  for (const std::string& page : all_pages) {
+    small[page] = engine->site().get(page)->size();
+  }
+  (void)engine->internals().retitle_node(node, giant);
+  std::string hot;
+  std::vector<std::string> pages;
+  for (const std::string& page : all_pages) {
+    const std::size_t now = engine->site().get(page)->size();
+    if (now > small[page] + giant.size() / 2) {
+      if (hot.empty()) hot = page;
+    } else if (now == small[page] && pages.size() < 2) {
+      pages.push_back(page);
+    }
+  }
+  ASSERT_FALSE(hot.empty());
+  ASSERT_EQ(pages.size(), 2u);
+  (void)engine->internals().retitle_node(node, "t");
+
+  const std::map<std::string, std::string> tour_oracle =
+      profile_oracle(*engine, {"tour", {"ByAuthor"}});
+  std::size_t base_set = 0, overlay_set = 0;
+  for (const std::string& page : {hot, pages[0], pages[1]}) {
+    base_set += engine->site().get(page)->size();
+    overlay_set += tour_oracle.at(page).size();
+  }
+  // The three-page set fits with slack; the ballooned hot page alone
+  // will not.
+  const serve::CacheLimits limits{.base_bytes_per_shard = base_set + 400,
+                                  .overlay_bytes_per_shard =
+                                      overlay_set + 400};
+  auto server = engine->open_concurrent(1, limits);
+
+  ASSERT_TRUE(server->get(hot).ok());
+  ASSERT_TRUE(server->get(hot, "tour").ok());
+  for (const std::string& page : pages) {
+    ASSERT_TRUE(server->get(page).ok());
+    ASSERT_TRUE(server->get(page, "tour").ok());
+  }
+  ASSERT_EQ(server->stats().cached_entries, 3u);
+  ASSERT_EQ(server->stats().overlay_entries, 3u);
+
+  // Balloon the hot page past the entire per-shard byte budget and
+  // refill it: the stale refresh happens in place, then must retire
+  // only itself.
+  (void)engine->internals().retitle_node(node, giant);
+  ASSERT_GT(engine->site().get(hot)->size(), limits.base_bytes_per_shard);
+  ASSERT_TRUE(server->get(hot).ok());
+  ASSERT_TRUE(server->get(hot, "tour").ok());
+
+  serve::ConcurrentServer::Stats s = server->stats();
+  EXPECT_EQ(s.cached_entries, pages.size());   // colder entries survived
+  EXPECT_EQ(s.overlay_entries, pages.size());
+  EXPECT_LE(s.cached_bytes, limits.base_bytes_per_shard);
+  EXPECT_LE(s.overlay_bytes, limits.overlay_bytes_per_shard);
+  EXPECT_EQ(s.cache_inserted, s.cached_entries + s.cache_evicted);
+  EXPECT_EQ(s.overlay_inserted, s.overlay_entries + s.overlay_evicted);
+
+  // And they survived as RESIDENTS: re-getting a cold page refreshes it
+  // in place (the retitle bumped the epoch) instead of re-inserting it
+  // into a drained shard.
+  const std::size_t inserted = s.cache_inserted;
+  const std::size_t overlay_inserted = s.overlay_inserted;
+  ASSERT_TRUE(server->get(pages[0]).ok());
+  ASSERT_TRUE(server->get(pages[0], "tour").ok());
+  EXPECT_EQ(server->stats().cache_inserted, inserted);
+  EXPECT_EQ(server->stats().overlay_inserted, overlay_inserted);
+}
+
+TEST(CacheBytes, OverlayResizingRefillsKeepExactBytesWhenUnbounded) {
+  // Same resize churn without caps: with nothing ever evicted, the
+  // overlay byte ledger must equal the sum of exactly the bodies a
+  // fresh render would produce — any drift in the refresh delta
+  // accumulates here with nowhere to hide.
+  auto engine = synthetic_engine(3);
+  engine->internals().register_profile({"tour", {"ByAuthor"}});
+  auto server = engine->open_concurrent(1);
+  std::vector<std::string> pages = html_pages(*engine);
+
+  const std::string node = engine->structure().members().front().node_id;
+  for (int round = 0; round < 4; ++round) {
+    (void)engine->internals().retitle_node(
+        node, round % 2 == 0 ? std::string(120, 'y') : "s");
+    std::size_t expected = 0;
+    for (const std::string& page : pages) {
+      site::Response r = server->get(page, "tour");
+      ASSERT_TRUE(r.ok()) << page;
+      expected += r.body->size();
+    }
+    serve::ConcurrentServer::Stats s = server->stats();
+    EXPECT_EQ(s.overlay_bytes, expected);
+    EXPECT_EQ(s.overlay_entries, pages.size());
+    EXPECT_EQ(s.overlay_inserted, s.overlay_entries + s.overlay_evicted);
+  }
+  EXPECT_GE(server->stats().overlay_stale_renders, 1u);
+}
+
 TEST(CacheBytes, StaleRefillMovesTheByteLedgerByTheSizeDelta) {
   auto engine = synthetic_engine(3);
   auto server = engine->open_concurrent(1);

@@ -188,6 +188,50 @@ TEST(Quantile, AbsorbedBucketsAnswerLikeRecordedOnes) {
             lat.quantile_ns(0.5));
 }
 
+TEST(Quantile, EdgesAreWellDefinedOnDegeneratePopulations) {
+  // Empty: every quantile is 0, in both implementations.
+  serve::LatencyHistogram empty_lat;
+  obs::Histogram empty_hist;
+  const obs::HistogramView empty_view = empty_hist.view();
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(empty_lat.quantile_ns(q), 0u) << "q=" << q;
+    EXPECT_EQ(empty_view.quantile(q), 0.0) << "q=" << q;
+  }
+
+  // All-zero samples: count > 0 but max == 0. q=1 must be the tracked
+  // maximum — 0 — not an interpolated position inside bucket [0,2)
+  // (the pre-fix code special-cased q>=1 only when max > 0 and answered
+  // ~2 for a population that never contained anything but zeros).
+  serve::LatencyHistogram zero_lat;
+  obs::Histogram zero_hist;
+  for (int i = 0; i < 5; ++i) {
+    zero_lat.record(0);
+    zero_hist.record(0);
+  }
+  const obs::HistogramView zero_view = zero_hist.view();
+  EXPECT_EQ(zero_lat.quantile_ns(1.0), 0u);
+  EXPECT_EQ(zero_view.quantile(1.0), 0.0);
+  EXPECT_EQ(zero_lat.quantile_ns(0.0), 0u);
+  EXPECT_EQ(zero_view.quantile(0.0), 0.0);
+
+  // q<=0 on a real population: the minimum's bucket LOWER bound (the
+  // tightest claim a log2 sketch can make about the smallest sample),
+  // not a mid-bucket interpolation. Two samples of 100 live in
+  // [64,128): the floor is 64, exactly, under any q <= 0.
+  serve::LatencyHistogram lat;
+  obs::Histogram hist;
+  for (int i = 0; i < 2; ++i) {
+    lat.record(100);
+    hist.record(100);
+  }
+  const obs::HistogramView view = hist.view();
+  EXPECT_EQ(lat.quantile_ns(0.0), 64u);
+  EXPECT_EQ(view.quantile(0.0), 64.0);
+  EXPECT_EQ(lat.quantile_ns(-1.0), 64u);  // clamped, same floor
+  EXPECT_EQ(lat.quantile_ns(1.0), 100u);  // and the ceiling is exact
+  EXPECT_EQ(view.quantile(1.0), 100.0);
+}
+
 // --- trace rings --------------------------------------------------------------
 
 obs::TraceEvent event_to(const std::string& to) {
@@ -534,6 +578,36 @@ TEST(WorkloadTelemetry, SamplingStrideAndRingCapBoundCapture) {
   EXPECT_EQ(result.traces.recorded,
             result.traces.events + result.traces.dropped);
   EXPECT_GT(result.traces.dropped, 0u);
+}
+
+TEST(WorkloadTelemetry, StridedSamplingIsNotEntryPageSkewed) {
+  // Stride == steps: each session records exactly one step. With the
+  // pre-fix zero phase, that step was ALWAYS step 0 — every session's
+  // entry fetch — so a strided aggregate claimed the entry page was the
+  // only page anyone visited, exactly the skew the landmark scorer and
+  // cache warmer would then amplify. Per-session phase offsets must
+  // spread the single sample across the walk.
+  auto engine = synthetic_engine(4);
+  serve::Workload workload(*engine);
+  serve::WorkloadOptions options;
+  options.threads = 16;
+  options.steps_per_session = 64;
+  options.behaviors = {serve::Behavior::RandomSurfer};
+  options.trace = {.enabled = true,
+                   .sample_every = 64,
+                   .ring_capacity = 64};
+  const serve::WorkloadResult result = workload.run(options);
+
+  ASSERT_GE(result.traces.events, options.threads / 2);
+  ASSERT_FALSE(result.traces.page_views.empty());
+  std::size_t top = 0;
+  for (const auto& [page, views] : result.traces.page_views) {
+    top = std::max(top, views);
+  }
+  // No single page (the entry page, pre-fix) may account for every
+  // sampled view, and the sampled walk must touch more than one page.
+  EXPECT_GT(result.traces.page_views.size(), 1u);
+  EXPECT_LT(top, result.traces.events);
 }
 
 TEST(WorkloadTelemetry, CaptureOffCostsAndRecordsNothing) {

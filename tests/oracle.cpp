@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "hypermedia/access.hpp"
 #include "hypermedia/context.hpp"
 
@@ -17,10 +19,16 @@ site::VirtualSite full_build_oracle(const nav::Engine& engine) {
   // from-scratch build must author it too, from the same expansion.
   // Lazy routes leave no artifact — they expand inside snapshots only.
   std::vector<hypermedia::ContextFamily> route_families;
-  route_families.reserve(engine.routes().size());
+  route_families.reserve(engine.routes().size() +
+                         engine.landmark_families().size());
   for (const nav::RouteProgram& program : engine.routes()) {
     if (program.compile != nav::RouteCompile::Aot) continue;
     route_families.push_back(engine.route_family(program.name));
+  }
+  // Landmark families are authored artifacts too (always AOT): the
+  // from-scratch build must author them from the same ranked expansion.
+  for (const std::string& name : engine.landmark_families()) {
+    route_families.push_back(engine.landmark_family(name));
   }
   for (const auto& family : route_families) {
     options.context_families.push_back(&family);
@@ -39,6 +47,7 @@ std::map<std::string, std::string> profile_oracle(const nav::Engine& engine,
   // common truth the AOT artifact and the lazy overlay must both match.
   std::vector<hypermedia::ContextFamily> route_families;
   route_families.reserve(profile.families.size());
+  const std::vector<std::string> landmark_names = engine.landmark_families();
   for (const std::string& name : profile.families) {
     bool found = false;
     for (const hypermedia::ContextFamily& family : engine.context_families()) {
@@ -48,7 +57,11 @@ std::map<std::string, std::string> profile_oracle(const nav::Engine& engine,
       }
     }
     if (!found) {
-      route_families.push_back(engine.route_family(name));
+      const bool is_landmark =
+          std::find(landmark_names.begin(), landmark_names.end(), name) !=
+          landmark_names.end();
+      route_families.push_back(is_landmark ? engine.landmark_family(name)
+                                           : engine.route_family(name));
       options.context_families.push_back(&route_families.back());
     }
   }

@@ -11,11 +11,13 @@
 // a served byte diverge from what a from-scratch build of the current
 // authored state would produce.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -29,6 +31,7 @@
 #include "oracle.hpp"
 #include "repl/publisher.hpp"
 #include "repl/replica.hpp"
+#include "serve/cache_warmer.hpp"
 #include "serve/concurrent_server.hpp"
 #include "site/virtual_site.hpp"
 
@@ -734,6 +737,127 @@ TEST(DifferentialStress, BatchedBurstsPublishOneDeltaAndServeOracleBytes) {
       engine->site().artifacts();
   engine->internals().rebuild();
   EXPECT_EQ(engine->site().artifacts(), final_state);
+}
+
+// The warming variant: a CacheWarmer's background lane races organic
+// reader threads AND an epoch-publishing writer over one bounded
+// server. The writer flips the site between two known states, so every
+// read must match one of the two oracles (A or B) — a warmed entry that
+// leaked stale bytes past its validity check, or an eviction forced by
+// warming, would show up as a torn read or a broken ledger. Run under
+// TSan this is also the warmer's data-race gate.
+TEST(DifferentialStress, WarmerLaneRacesTrafficAndChurnWithoutDivergence) {
+  auto engine = nav::SitePipeline()
+                    .conceptual(navsep::museum::SyntheticSpec{
+                        .painters = 2,
+                        .paintings_per_painter = 4,
+                        .movements = 2,
+                        .seed = 31})
+                    .access(AccessStructureKind::IndexedGuidedTour)
+                    .contexts({"ByAuthor"})
+                    .weave()
+                    .serve();
+  const nav::Profile tour{"tour", {"ByAuthor"}};
+  engine->internals().register_profile(tour);
+
+  // Two site states, flipped by retitling one member: capture both
+  // oracles (base + profile) up front.
+  using Bytes = std::map<std::string, std::string>;
+  const auto capture = [&] {
+    Bytes base;
+    for (auto& [path, content] : engine->site().artifacts()) {
+      base.emplace(path, content);
+    }
+    return std::pair<Bytes, Bytes>{std::move(base),
+                                   profile_oracle(*engine, tour)};
+  };
+  const std::string flip_id = engine->structure().members().front().node_id;
+  (void)engine->internals().retitle_node(flip_id, "Flip State A");
+  const auto [base_a, tour_a] = capture();
+  (void)engine->internals().retitle_node(flip_id, "Flip State B");
+  const auto [base_b, tour_b] = capture();
+
+  auto server = engine->open_concurrent(
+      4, serve::CacheLimits{.base_entries_per_shard = 4,
+                            .overlay_entries_per_shard = 4});
+  const std::vector<std::string> pages =
+      navsep::testing::html_pages(*engine);
+
+  // The warmer's feed covers every page on both layers — more than the
+  // caps admit, so NoRoom races organic insertion constantly.
+  serve::CacheWarmer warmer(
+      *server, serve::CacheWarmer::Options{
+                   .top_n = pages.size() * 2,
+                   .poll = std::chrono::milliseconds(1)});
+  std::vector<navsep::obs::HotEntry> feed;
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    const std::uint64_t views = static_cast<std::uint64_t>(100 - i);
+    feed.push_back({pages[i], "", views});
+    feed.push_back({pages[i], tour.name, views});
+  }
+  warmer.set_feed(std::move(feed));
+  warmer.start();
+
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> reads{0};
+  std::atomic<std::size_t> torn{0};
+  constexpr std::size_t kReaders = 4;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      const bool profiled = r % 2 == 1;
+      const Bytes& a = profiled ? tour_a : base_a;
+      const Bytes& b = profiled ? tour_b : base_b;
+      std::size_t i = r;
+      while (!done.load(std::memory_order_acquire)) {
+        const std::string& path = pages[i++ % pages.size()];
+        site::Response resp = profiled ? server->get(path, tour.name)
+                                       : server->get(path);
+        if (!resp.ok()) continue;
+        reads.fetch_add(1, std::memory_order_relaxed);
+        const std::string& body = *resp.body;
+        auto ia = a.find(path);
+        auto ib = b.find(path);
+        const bool matches = (ia != a.end() && body == ia->second) ||
+                             (ib != b.end() && body == ib->second);
+        if (!matches) torn.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  constexpr std::size_t kFlips = 24;
+  for (std::size_t w = 0; w < kFlips; ++w) {
+    (void)engine->internals().retitle_node(
+        flip_id, w % 2 == 0 ? "Flip State A" : "Flip State B");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  warmer.stop();
+
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_EQ(torn.load(), 0u);
+
+  // The warmer's accounting identity held across every racing cycle.
+  const serve::CacheWarmer::WarmStats ws = warmer.stats();
+  EXPECT_GT(ws.cycles, 0u);
+  EXPECT_EQ(ws.attempted,
+            ws.warmed + ws.already_hot + ws.no_room + ws.not_found);
+
+  // At rest: caps held, ledger balances, and every served body equals
+  // the final oracle exactly.
+  ServerUnderTest sut{"warmed", server->limits(), server->shard_count(),
+                      nullptr};
+  Bytes base_bytes;
+  for (auto& [path, content] : engine->site().artifacts()) {
+    base_bytes.emplace(path, content);
+  }
+  std::vector<std::pair<nav::Profile, Bytes>> profile_bytes;
+  profile_bytes.emplace_back(tour, profile_oracle(*engine, tour));
+  sut.server = std::move(server);
+  ASSERT_NO_FATAL_FAILURE(expect_server_differential(
+      sut, base_bytes, profile_bytes, static_cast<int>(kFlips)));
 }
 
 }  // namespace

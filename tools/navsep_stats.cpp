@@ -9,11 +9,17 @@
 //   navsep_stats run [--paintings N] [--profiles P] [--threads T]
 //                [--steps S] [--shards K] [--seed X]
 //                [--trace off|sampled|full] [--repl]
+//                [--landmarks K] [--warm N]
 //                [--format json|table] [--out PATH]
 //     Drive one workload (with a few interleaved edits so the build
 //     and publish spans show up), then print the unified snapshot —
 //     every layer's counters under one naming scheme, plus the
-//     navigation popularity tables when tracing is on.
+//     navigation popularity tables when tracing is on. --landmarks K
+//     feeds the traced traffic into nav::Engine::enable_landmarks
+//     (top-K hubs per family, reported with their views/degree/score
+//     blend); --warm N runs one serve::CacheWarmer cycle over the N
+//     hottest traced (page, profile) entries and exports the
+//     serve.warm.* gauges alongside everything else.
 //
 //   navsep_stats selftest
 //     The reconciliation oracle: after a deterministic run, every
@@ -22,8 +28,10 @@
 //     the Stats compatibility struct == UnifiedStats, workload.*
 //     counters == WorkloadResult, engine.server.* == the engine
 //     server's stats(), repl.pub.*/repl.rep.* == the publisher's and
-//     replica's stats(), and the JSON exporter's digits must match the
-//     live values. Exit status is the verdict.
+//     replica's stats(), serve.warm.* == the CacheWarmer's stats()
+//     (with its accounting identity intact), the landmark report must
+//     rank real authored hubs, and the JSON exporter's digits must
+//     match the live values. Exit status is the verdict.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -35,12 +43,14 @@
 #include <vector>
 
 #include "hypermedia/context.hpp"
+#include "nav/landmarks.hpp"
 #include "nav/pipeline.hpp"
 #include "nav/profile.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "repl/publisher.hpp"
 #include "repl/replica.hpp"
+#include "serve/cache_warmer.hpp"
 #include "serve/concurrent_server.hpp"
 #include "serve/workload.hpp"
 
@@ -59,6 +69,7 @@ int usage() {
       "usage: navsep_stats run [--paintings N] [--profiles P] [--threads T]\n"
       "                    [--steps S] [--shards K] [--seed X]\n"
       "                    [--trace off|sampled|full] [--repl]\n"
+      "                    [--landmarks K] [--warm N]\n"
       "                    [--format json|table] [--out PATH]\n"
       "       navsep_stats selftest\n");
   return 2;
@@ -127,6 +138,8 @@ struct RunConfig {
   std::uint64_t seed = 42;
   obs::TraceConfig trace;       // off unless --trace sampled|full
   bool with_repl = false;       // loopback publisher + replica leg
+  std::size_t landmark_top_k = 0;  // 0 = landmark synthesis off
+  std::size_t warm_top_n = 0;      // 0 = cache warming off
 };
 
 struct RunOutput {
@@ -138,6 +151,11 @@ struct RunOutput {
   std::uint64_t store_epoch = 0;
   repl::Publisher::Stats pub;       // zeroed unless with_repl
   repl::ReplicaStats rep;           // zeroed unless with_repl
+  /// Per landmark family: its ranked picks (views/degree/score blend).
+  std::vector<std::pair<std::string, std::vector<nav::LandmarkScore>>>
+      landmarks;
+  serve::CacheWarmer::WarmStats warm;  // zeroed unless warm_top_n > 0
+  bool site_has_landmark_artifact = false;
   obs::Registry::Snapshot snapshot;
 };
 
@@ -184,6 +202,29 @@ RunOutput drive(const RunConfig& config) {
   options.telemetry = out.registry;
   out.workload = workload.run(*server, options);
 
+  // Traffic intelligence: fold the traced popularity tables back into
+  // the engine (landmark synthesis) and the server (cache warming).
+  if (config.landmark_top_k > 0) {
+    (void)engine->internals().enable_landmarks(
+        out.workload.traces,
+        {.top_k = config.landmark_top_k});
+    for (const std::string& name : engine->internals().landmark_families()) {
+      out.landmarks.emplace_back(name,
+                                 engine->internals().landmark_picks(name));
+    }
+    out.site_has_landmark_artifact =
+        engine->site().get("links-landmarks.xml") != nullptr;
+  }
+  std::unique_ptr<serve::CacheWarmer> warmer;
+  obs::SamplerHandle warm_metrics;
+  if (config.warm_top_n > 0) {
+    warmer = std::make_unique<serve::CacheWarmer>(
+        *server, serve::CacheWarmer::Options{.top_n = config.warm_top_n});
+    warmer->set_feed(out.workload.traces.top_entries(config.warm_top_n));
+    out.warm = warmer->warm_now();
+    warm_metrics = warmer->register_metrics(out.registry);
+  }
+
   if (config.with_repl) {
     const std::uint64_t target = engine->internals().snapshots().epoch();
     (void)replica->wait_for_epoch(target, std::chrono::seconds(30));
@@ -222,7 +263,27 @@ std::string export_json(const RunOutput& out) {
              std::to_string(hits) + "}";
     first = false;
   }
-  extra += first ? "]}\n" : "\n  ]}\n";
+  extra += first ? "]}" : "\n  ]}";
+  if (!out.landmarks.empty()) {
+    extra += ",\n  \"landmarks\": [";
+    bool first_family = true;
+    for (const auto& [family, picks] : out.landmarks) {
+      extra += first_family ? "\n    " : ",\n    ";
+      extra += "{\"family\": \"" + family + "\", \"picks\": [";
+      bool first_pick = true;
+      for (const nav::LandmarkScore& pick : picks) {
+        extra += first_pick ? "" : ", ";
+        extra += "{\"node\": \"" + pick.node_id +
+                 "\", \"views\": " + std::to_string(pick.views) +
+                 ", \"degree\": " + std::to_string(pick.degree) + "}";
+        first_pick = false;
+      }
+      extra += "]}";
+      first_family = false;
+    }
+    extra += "\n  ]";
+  }
+  extra += "\n";
   return json.substr(0, brace) + extra + "}\n";
 }
 
@@ -239,6 +300,10 @@ int run_mode(int argc, char** argv) {
       static_cast<std::size_t>(arg_value(argc, argv, "--shards", 4));
   config.seed = static_cast<std::uint64_t>(arg_value(argc, argv, "--seed", 42));
   config.with_repl = arg_flag(argc, argv, "--repl");
+  config.landmark_top_k =
+      static_cast<std::size_t>(arg_value(argc, argv, "--landmarks", 0));
+  config.warm_top_n =
+      static_cast<std::size_t>(arg_value(argc, argv, "--warm", 0));
   const std::string trace = arg_string(argc, argv, "--trace", "sampled");
   if (trace == "full") {
     config.trace = {.enabled = true, .sample_every = 1, .ring_capacity = 4096};
@@ -261,6 +326,14 @@ int run_mode(int argc, char** argv) {
       rendered += "top pages (traced views)\n";
       for (const auto& [page, hits] : out.workload.traces.top_pages(10)) {
         rendered += "  " + page + "  " + std::to_string(hits) + "\n";
+      }
+    }
+    for (const auto& [family, picks] : out.landmarks) {
+      rendered += "landmarks: " + family + " (views x degree blend)\n";
+      for (const nav::LandmarkScore& pick : picks) {
+        rendered += "  " + pick.node_id + "  views=" +
+                    std::to_string(pick.views) + "  degree=" +
+                    std::to_string(pick.degree) + "\n";
       }
     }
   } else {
@@ -342,6 +415,8 @@ int run_selftest() {
   config.steps = 96;
   config.trace = {.enabled = true, .sample_every = 2, .ring_capacity = 256};
   config.with_repl = true;
+  config.landmark_top_k = 3;
+  config.warm_top_n = 8;
   const RunOutput out = drive(config);
   const obs::Registry::Snapshot& snap = out.snapshot;
 
@@ -409,6 +484,53 @@ int run_selftest() {
   // The replica followed the origin all the way.
   CHECK_EQ(out.rep.epoch, out.store_epoch);
 
+  // Landmark report: the traced traffic must have crowned real hubs,
+  // ranked within the requested top-K, and the synthesized access
+  // structure must exist as an authored site artifact.
+  if (out.landmarks.empty()) {
+    std::fprintf(stderr, "selftest: no landmark families reported\n");
+    ++failures;
+  }
+  for (const auto& [family, picks] : out.landmarks) {
+    if (picks.empty() || picks.size() > 3) {
+      std::fprintf(stderr, "selftest: %s reported %zu picks (want 1..3)\n",
+                   family.c_str(), picks.size());
+      ++failures;
+    }
+    for (std::size_t i = 1; i < picks.size(); ++i) {
+      if (picks[i - 1].score < picks[i].score) {
+        std::fprintf(stderr, "selftest: %s picks not ranked\n",
+                     family.c_str());
+        ++failures;
+      }
+    }
+  }
+  if (!out.site_has_landmark_artifact) {
+    std::fprintf(stderr,
+                 "selftest: links-landmarks.xml missing from the site\n");
+    ++failures;
+  }
+
+  // Cache warming: the serve.warm.* gauges mirror the warmer's stats()
+  // and the outcome accounting reconciles exactly.
+  CHECK_EQ(static_cast<std::uint64_t>(snap.gauges.at("serve.warm.cycles")),
+           out.warm.cycles);
+  CHECK_EQ(static_cast<std::uint64_t>(snap.gauges.at("serve.warm.attempted")),
+           out.warm.attempted);
+  CHECK_EQ(static_cast<std::uint64_t>(snap.gauges.at("serve.warm.warmed")),
+           out.warm.warmed);
+  CHECK_EQ(static_cast<std::uint64_t>(snap.gauges.at("serve.warm.no_room")),
+           out.warm.no_room);
+  CHECK_EQ(static_cast<std::uint64_t>(snap.gauges.at("serve.warm.not_found")),
+           out.warm.not_found);
+  CHECK_EQ(out.warm.attempted, out.warm.warmed + out.warm.already_hot +
+                                   out.warm.no_room + out.warm.not_found);
+  if (out.warm.cycles != 1 || out.warm.attempted == 0) {
+    std::fprintf(stderr, "selftest: warm cycle empty (attempted=%llu)\n",
+                 static_cast<unsigned long long>(out.warm.attempted));
+    ++failures;
+  }
+
   // The JSON export carries the same digits as the live structs.
   const std::string json = export_json(out);
   CHECK_EQ(json_value(json, "workload.requests"), out.workload.requests);
@@ -418,6 +540,11 @@ int run_selftest() {
            out.unified.overlay.requests);
   CHECK_EQ(json_value(json, "repl.rep.frames_applied"),
            out.rep.frames_applied);
+  CHECK_EQ(json_value(json, "serve.warm.warmed"), out.warm.warmed);
+  if (json.find("\"landmarks\": [") == std::string::npos) {
+    std::fprintf(stderr, "selftest: landmark report missing from JSON\n");
+    ++failures;
+  }
 
   // And the run actually observed things worth exporting.
   if (out.workload.requests == 0 || out.workload.traces.events == 0 ||
